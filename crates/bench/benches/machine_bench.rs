@@ -1,0 +1,57 @@
+//! Criterion end-to-end benchmarks: whole-machine simulation throughput
+//! per protocol (events and cycles simulated per wall-clock second), on a
+//! reduced workload so each sample stays sub-second.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_coherence::ProtocolKind;
+use ring_system::{HtMachine, Machine, MachineConfig};
+use ring_workloads::AppProfile;
+
+fn profile() -> AppProfile {
+    AppProfile::by_name("fmm").expect("fmm").scaled(300)
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine/fmm_300ops");
+    g.sample_size(10);
+    for kind in ProtocolKind::ALL {
+        g.bench_with_input(BenchmarkId::new("ring", kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::paper(kind);
+                cfg.seed = 3;
+                let r = Machine::new(cfg, &profile()).run();
+                assert!(r.finished);
+                black_box(r.exec_cycles)
+            })
+        });
+    }
+    g.bench_function("ht", |b| {
+        b.iter(|| {
+            let mut cfg = MachineConfig::paper(ProtocolKind::Eager);
+            cfg.seed = 3;
+            let r = HtMachine::new(cfg, &profile()).run();
+            assert!(r.finished);
+            black_box(r.exec_cycles)
+        })
+    });
+    g.finish();
+}
+
+fn bench_uncorq_pref(c: &mut Criterion) {
+    c.bench_function("machine/uncorq_pref_fmm_300ops", |b| {
+        b.iter(|| {
+            let mut cfg = MachineConfig::paper_uncorq_pref();
+            cfg.seed = 3;
+            let r = Machine::new(cfg, &profile()).run();
+            assert!(r.finished);
+            black_box(r.exec_cycles)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_protocols, bench_uncorq_pref
+}
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Criterion micro-benchmarks of the protocol building blocks: LTT
+//! operations, agent message handling, winner selection, presence filter
+//! and NPP lookups, xy routing, and ring vs multicast delivery cost in
+//! the network timing model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ring_cache::{CacheConfig, LineAddr};
+use ring_coherence::{
+    AgentInput, Ltt, LttConfig, NodePrefetchPredictor, PresenceFilter, Priority, ProtocolConfig,
+    ProtocolKind, RequestMsg, ResponseMsg, RingAgent, RingMsg, TxnId, TxnKind,
+};
+use ring_noc::{Channel, Network, NetworkConfig, NodeId, RingEmbedding, Torus};
+use ring_sim::DetRng;
+
+fn req(node: usize, serial: u64, line: u64) -> RequestMsg {
+    RequestMsg {
+        txn: TxnId {
+            node: NodeId(node),
+            serial,
+        },
+        line: LineAddr::new(line),
+        kind: TxnKind::Read,
+        priority: Priority::new(TxnKind::Read, serial as u32, NodeId(node)),
+    }
+}
+
+fn bench_ltt(c: &mut Criterion) {
+    c.bench_function("ltt/slot_lifecycle", |b| {
+        let mut ltt = Ltt::new(LttConfig::default());
+        let mut serial = 0u64;
+        b.iter(|| {
+            serial += 1;
+            let r = req(1, serial, serial % 512);
+            ltt.see_request(r);
+            ltt.snoop_complete(r.txn, r.line, false);
+            ltt.see_response(ResponseMsg::initial(&r));
+            let ready = ltt.entry(r.line).map(|e| e.ready()).unwrap_or_default();
+            for txn in ready {
+                black_box(ltt.take(r.line, txn));
+            }
+        })
+    });
+}
+
+fn bench_agent(c: &mut Criterion) {
+    c.bench_function("agent/foreign_read_transaction", |b| {
+        let mut agent = RingAgent::new(
+            NodeId(5),
+            ProtocolConfig::paper(ProtocolKind::Uncorq),
+            CacheConfig::l2_512k(),
+            DetRng::seed(1),
+        );
+        let mut serial = 0u64;
+        b.iter(|| {
+            serial += 1;
+            let r = req(1, serial, serial % 1024);
+            let mut n = 0;
+            n += agent
+                .handle(serial * 10, AgentInput::DirectRequest(r))
+                .len();
+            n += agent
+                .handle(
+                    serial * 10 + 7,
+                    AgentInput::SnoopDone {
+                        txn: r.txn,
+                        line: r.line,
+                    },
+                )
+                .len();
+            n += agent
+                .handle(
+                    serial * 10 + 9,
+                    AgentInput::RingArrival(RingMsg::Response(ResponseMsg::initial(&r))),
+                )
+                .len();
+            black_box(n)
+        })
+    });
+}
+
+fn bench_winner_selection(c: &mut Criterion) {
+    c.bench_function("txn/priority_comparison", |b| {
+        let a = Priority::new(TxnKind::WriteMiss, 123, NodeId(5));
+        let x = Priority::new(TxnKind::Read, 456, NodeId(9));
+        b.iter(|| black_box(black_box(a).beats(black_box(x))))
+    });
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut f = PresenceFilter::new(8192, 2);
+    for i in 0..4096 {
+        f.insert(LineAddr::new(i));
+    }
+    c.bench_function("filter/lookup", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(f.may_contain(LineAddr::new(i % 8192)))
+        })
+    });
+}
+
+fn bench_npp(c: &mut Criterion) {
+    let mut npp = NodePrefetchPredictor::new(8192);
+    for i in 0..8192 {
+        npp.observe(LineAddr::new(i));
+    }
+    c.bench_function("npp/observe_and_query", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            npp.observe(LineAddr::new(i % 16384));
+            black_box(npp.should_prefetch(LineAddr::new((i * 7) % 16384)))
+        })
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    let torus = Torus::new(8, 8);
+    c.bench_function("noc/xy_route_64", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(torus.route(NodeId(i % 64), NodeId((i * 17) % 64)))
+        })
+    });
+    c.bench_function("noc/unicast_timed", |b| {
+        let mut net = Network::new(Torus::new(8, 8), NetworkConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            black_box(net.unicast(t, NodeId(0), NodeId(36), 8, Channel::Request))
+        })
+    });
+    c.bench_function("noc/multicast_timed", |b| {
+        let mut net = Network::new(Torus::new(8, 8), NetworkConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            black_box(net.multicast(t, NodeId(0), 8, Channel::Request))
+        })
+    });
+    c.bench_function("noc/ring_lap_timed", |b| {
+        // One full lap of 64 ring unicasts — the cost the r message pays.
+        let ring = RingEmbedding::boustrophedon(&torus);
+        let mut net = Network::new(Torus::new(8, 8), NetworkConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            let mut node = NodeId(0);
+            let mut at = t;
+            for _ in 0..64 {
+                let next = ring.successor(node);
+                at = net.unicast(at, node, next, 8, Channel::Response).arrival;
+                node = next;
+            }
+            black_box(at)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ltt,
+    bench_agent,
+    bench_winner_selection,
+    bench_filter,
+    bench_npp,
+    bench_network
+);
+criterion_main!(benches);

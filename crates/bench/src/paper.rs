@@ -1,0 +1,124 @@
+//! The paper's published per-application numbers, for side-by-side
+//! comparison in every regenerated table (and in EXPERIMENTS.md).
+
+/// One application row across the paper's Figures 8(c), 10(b) and 11(c).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Application name.
+    pub name: &'static str,
+    /// Figure 8(c): average read-miss latency under Eager (cycles).
+    pub eager_lat: u64,
+    /// Figure 8(c): average read-miss latency under Uncorq (cycles).
+    pub uncorq_lat: u64,
+    /// Figure 8(c): latency reduction (Eager-Uncorq)/Eager, percent.
+    pub reduction_pct: i64,
+    /// Figure 8(c): fraction of misses serviced cache-to-cache, percent.
+    pub c2c_pct: u64,
+    /// Figure 10(b): read-miss latency under Uncorq+Pref (cycles).
+    pub pref_lat: u64,
+    /// Figure 10(b): (Uncorq - Uncorq+Pref)/Uncorq, percent.
+    pub pref_reduction_pct: i64,
+    /// Figure 11(c): read-miss latency under HT (cycles).
+    pub ht_lat: u64,
+    /// Figure 11(c): (HT - Uncorq)/HT latency saving, percent.
+    pub ht_latency_saving_pct: i64,
+    /// Figure 11(c): (HT - Uncorq)/HT traffic saving, percent.
+    pub ht_traffic_saving_pct: i64,
+}
+
+/// All 13 application rows in the paper's order, plus the stated SPLASH-2
+/// averages accessible via [`SPLASH2_AVERAGE`].
+pub const PAPER_ROWS: [PaperRow; 13] = [
+    row("barnes", 319, 107, 66, 97, 99, 7, 172, 38, 56),
+    row("cholesky", 354, 145, 59, 90, 126, 13, 273, 47, 55),
+    row("fft", 517, 391, 24, 54, 294, 25, 431, 9, 52),
+    row("fmm", 345, 144, 58, 90, 134, 7, 190, 24, 55),
+    row("lu", 385, 195, 49, 82, 174, 11, 197, 1, 55),
+    row("ocean", 454, 330, 27, 99, 236, 28, 460, 28, 56),
+    row("radiosity", 301, 80, 74, 99, 78, 2, 144, 44, 56),
+    row("radix", 316, 95, 70, 99, 94, 1, 213, 55, 56),
+    row("raytrace", 320, 106, 67, 95, 101, 4, 153, 31, 56),
+    row("water-nsquared", 365, 158, 57, 90, 148, 6, 277, 43, 55),
+    row("water-spatial", 312, 92, 70, 98, 88, 5, 149, 38, 56),
+    row("SPECjbb", 416, 252, 39, 72, 219, 13, 205, -23, 54),
+    row("SPECweb", 598, 522, 13, 32, 427, 18, 268, -95, 48),
+];
+
+#[allow(clippy::too_many_arguments)] // mirrors the table's column order
+const fn row(
+    name: &'static str,
+    eager_lat: u64,
+    uncorq_lat: u64,
+    reduction_pct: i64,
+    c2c_pct: u64,
+    pref_lat: u64,
+    pref_reduction_pct: i64,
+    ht_lat: u64,
+    ht_latency_saving_pct: i64,
+    ht_traffic_saving_pct: i64,
+) -> PaperRow {
+    PaperRow {
+        name,
+        eager_lat,
+        uncorq_lat,
+        reduction_pct,
+        c2c_pct,
+        pref_lat,
+        pref_reduction_pct,
+        ht_lat,
+        ht_latency_saving_pct,
+        ht_traffic_saving_pct,
+    }
+}
+
+/// The paper's SPLASH-2 average row (Figures 8(c)/10(b)/11(c)).
+pub const SPLASH2_AVERAGE: PaperRow = row("SPLASH-2 avg.", 363, 168, 56, 90, 143, 10, 242, 33, 55);
+
+/// The paper's headline execution-time improvements over Eager, percent
+/// (abstract / §7.2): `(uncorq, uncorq_pref)` for each workload class.
+pub const EXEC_IMPROVEMENT_SPLASH: (i64, i64) = (23, 26);
+/// SPECjbb execution-time improvements (Uncorq, Uncorq+Pref).
+pub const EXEC_IMPROVEMENT_SPECJBB: (i64, i64) = (15, 22);
+/// SPECweb execution-time improvements (Uncorq, Uncorq+Pref).
+pub const EXEC_IMPROVEMENT_SPECWEB: (i64, i64) = (5, 13);
+
+/// Looks up a paper row by application name.
+pub fn paper_row(name: &str) -> Option<&'static PaperRow> {
+    PAPER_ROWS.iter().find(|r| r.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_rows_matching_profiles() {
+        assert_eq!(PAPER_ROWS.len(), 13);
+        for r in &PAPER_ROWS {
+            assert!(
+                ring_workloads::AppProfile::by_name(r.name).is_some(),
+                "no profile for paper app {}",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn reductions_consistent_with_latencies() {
+        for r in &PAPER_ROWS {
+            let red = 100.0 * (r.eager_lat as f64 - r.uncorq_lat as f64) / r.eager_lat as f64;
+            assert!(
+                (red - r.reduction_pct as f64).abs() < 1.5,
+                "{}: computed {red:.1} vs published {}",
+                r.name,
+                r.reduction_pct
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(paper_row("fmm").unwrap().eager_lat, 345);
+        assert!(paper_row("nope").is_none());
+    }
+}

@@ -1,0 +1,385 @@
+//! Set-associative cache arrays with LRU replacement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::line::LineAddr;
+use crate::state::LineState;
+
+/// Geometry and latency of a cache array (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Round-trip access latency, in processor cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's D-L1: 32 KB, 4-way, 64 B lines, 2-cycle round trip.
+    pub fn l1_32k() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            latency: 2,
+        }
+    }
+
+    /// The paper's unified L2: 512 KB, 8-way, 64 B lines, 7-cycle round
+    /// trip.
+    pub fn l2_512k() -> Self {
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency: 7,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.ways as u64 * self.line_bytes)) as usize
+    }
+}
+
+/// A line evicted to make room for an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Eviction {
+    /// Address of the victim line.
+    pub addr: LineAddr,
+    /// State the victim was in; dirty victims must be written back.
+    pub state: LineState,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Way {
+    tag: u64,
+    state: LineState,
+    lru: u64,
+}
+
+/// A set-associative cache array with true-LRU replacement.
+///
+/// The array tracks only tags and coherence states — the simulator does
+/// not model data values except where needed for verification (the
+/// protocol test harness carries logical values in messages instead).
+///
+/// # Examples
+///
+/// ```
+/// use ring_cache::{CacheArray, CacheConfig, LineAddr, LineState};
+///
+/// let mut c = CacheArray::new(CacheConfig::l1_32k());
+/// let a = LineAddr::new(42);
+/// assert!(c.insert(a, LineState::Shared).is_none());
+/// assert_eq!(c.state(a), LineState::Shared);
+/// c.invalidate(a);
+/// assert_eq!(c.state(a), LineState::Invalid);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheArray {
+    /// Creates an empty array with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield at least one set, or if the
+    /// set count is not a power of two.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets >= 1, "cache must have at least one set");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(cfg.ways >= 1, "cache must have at least one way");
+        CacheArray {
+            cfg,
+            sets: vec![Vec::new(); sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The array's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_index(&self, addr: LineAddr) -> usize {
+        (addr.raw() as usize) & (self.sets.len() - 1)
+    }
+
+    /// Current state of `addr` ([`LineState::Invalid`] if absent). Does
+    /// not update LRU and does not count as an access.
+    pub fn state(&self, addr: LineAddr) -> LineState {
+        let set = &self.sets[self.set_index(addr)];
+        set.iter()
+            .find(|w| w.tag == addr.raw())
+            .map(|w| w.state)
+            .unwrap_or(LineState::Invalid)
+    }
+
+    /// Looks up `addr` as a demand access: updates LRU and hit/miss
+    /// counters, and returns the state (Invalid on miss).
+    pub fn access(&mut self, addr: LineAddr) -> LineState {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if let Some(w) = set.iter_mut().find(|w| w.tag == addr.raw()) {
+            if w.state.is_valid() {
+                w.lru = tick;
+                self.hits += 1;
+                return w.state;
+            }
+        }
+        self.misses += 1;
+        LineState::Invalid
+    }
+
+    /// Inserts (or updates) `addr` with `state`, evicting the LRU valid
+    /// line of the set if the set is full. Returns the eviction, if any.
+    ///
+    /// Inserting `Invalid` is equivalent to [`CacheArray::invalidate`].
+    pub fn insert(&mut self, addr: LineAddr, state: LineState) -> Option<Eviction> {
+        if state == LineState::Invalid {
+            self.invalidate(addr);
+            return None;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.cfg.ways;
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if let Some(w) = set.iter_mut().find(|w| w.tag == addr.raw()) {
+            w.state = state;
+            w.lru = tick;
+            return None;
+        }
+        // Reuse an invalid way if present.
+        if let Some(w) = set.iter_mut().find(|w| w.state == LineState::Invalid) {
+            w.tag = addr.raw();
+            w.state = state;
+            w.lru = tick;
+            return None;
+        }
+        if set.len() < ways {
+            set.push(Way {
+                tag: addr.raw(),
+                state,
+                lru: tick,
+            });
+            return None;
+        }
+        // Evict LRU.
+        let (vi, _) = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.lru)
+            .expect("full set has a victim");
+        let victim = set[vi];
+        set[vi] = Way {
+            tag: addr.raw(),
+            state,
+            lru: tick,
+        };
+        Some(Eviction {
+            addr: LineAddr::new(victim.tag),
+            state: victim.state,
+        })
+    }
+
+    /// Changes the state of a resident line. Returns `false` if the line
+    /// is not resident (the call is then a no-op).
+    pub fn set_state(&mut self, addr: LineAddr, state: LineState) -> bool {
+        if state == LineState::Invalid {
+            return self.invalidate(addr);
+        }
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if let Some(w) = set
+            .iter_mut()
+            .find(|w| w.tag == addr.raw() && w.state.is_valid())
+        {
+            w.state = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates `addr` if resident. Returns whether it was resident.
+    pub fn invalidate(&mut self, addr: LineAddr) -> bool {
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if let Some(w) = set
+            .iter_mut()
+            .find(|w| w.tag == addr.raw() && w.state.is_valid())
+        {
+            w.state = LineState::Invalid;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Demand hits observed by [`CacheArray::access`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses observed by [`CacheArray::access`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of valid resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|w| w.state.is_valid()).count())
+            .sum()
+    }
+
+    /// Iterates over all valid resident lines as `(addr, state)`.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, LineState)> + '_ {
+        self.sets.iter().flat_map(|s| {
+            s.iter()
+                .filter(|w| w.state.is_valid())
+                .map(|w| (LineAddr::new(w.tag), w.state))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheArray {
+        // 2 sets x 2 ways x 64B = 256B.
+        CacheArray::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut c = tiny();
+        let a = LineAddr::new(4); // set 0
+        c.insert(a, LineState::Dirty);
+        assert_eq!(c.state(a), LineState::Dirty);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_picks_oldest() {
+        let mut c = tiny();
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(2);
+        let d = LineAddr::new(4); // all set 0
+        c.insert(a, LineState::Shared);
+        c.insert(b, LineState::Shared);
+        c.access(a); // make b the LRU
+        let ev = c.insert(d, LineState::Exclusive).expect("must evict");
+        assert_eq!(ev.addr, b);
+        assert_eq!(c.state(a), LineState::Shared);
+        assert_eq!(c.state(d), LineState::Exclusive);
+    }
+
+    #[test]
+    fn access_counts_hits_and_misses() {
+        let mut c = tiny();
+        let a = LineAddr::new(8);
+        assert_eq!(c.access(a), LineState::Invalid);
+        c.insert(a, LineState::Exclusive);
+        assert_eq!(c.access(a), LineState::Exclusive);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn invalidate_frees_way() {
+        let mut c = tiny();
+        let a = LineAddr::new(0);
+        c.insert(a, LineState::Tagged);
+        assert!(c.invalidate(a));
+        assert!(!c.invalidate(a));
+        assert_eq!(c.state(a), LineState::Invalid);
+        assert_eq!(c.resident_lines(), 0);
+        // Reinsert reuses the invalid way without eviction.
+        let b = LineAddr::new(2);
+        let d = LineAddr::new(4);
+        c.insert(b, LineState::Shared);
+        assert!(c.insert(d, LineState::Shared).is_none());
+    }
+
+    #[test]
+    fn set_state_on_absent_line_is_noop() {
+        let mut c = tiny();
+        assert!(!c.set_state(LineAddr::new(0), LineState::Shared));
+    }
+
+    #[test]
+    fn reinsert_updates_state_without_eviction() {
+        let mut c = tiny();
+        let a = LineAddr::new(0);
+        c.insert(a, LineState::Shared);
+        assert!(c.insert(a, LineState::Dirty).is_none());
+        assert_eq!(c.state(a), LineState::Dirty);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        // Odd lines land in set 1, even in set 0.
+        c.insert(LineAddr::new(0), LineState::Shared);
+        c.insert(LineAddr::new(2), LineState::Shared);
+        assert!(c.insert(LineAddr::new(1), LineState::Shared).is_none());
+        assert_eq!(c.resident_lines(), 3);
+    }
+
+    #[test]
+    fn paper_configs_have_expected_geometry() {
+        assert_eq!(CacheConfig::l1_32k().sets(), 128);
+        assert_eq!(CacheConfig::l2_512k().sets(), 1024);
+    }
+
+    #[test]
+    fn iter_reports_resident_lines() {
+        let mut c = tiny();
+        c.insert(LineAddr::new(0), LineState::Exclusive);
+        c.insert(LineAddr::new(1), LineState::Shared);
+        let mut v: Vec<_> = c.iter().collect();
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                (LineAddr::new(0), LineState::Exclusive),
+                (LineAddr::new(1), LineState::Shared)
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_invalid_is_invalidate() {
+        let mut c = tiny();
+        let a = LineAddr::new(0);
+        c.insert(a, LineState::Shared);
+        assert!(c.insert(a, LineState::Invalid).is_none());
+        assert_eq!(c.state(a), LineState::Invalid);
+    }
+}

@@ -1,0 +1,110 @@
+//! Line-granular addresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cache-line address: a byte address divided by the line size.
+///
+/// Every structure of the simulator that is indexed by memory line (cache
+/// arrays, the LTT, the prefetch predictors, the per-line collision state)
+/// keys on `LineAddr`, which makes it impossible to mix byte and line
+/// granularities.
+///
+/// # Examples
+///
+/// ```
+/// use ring_cache::LineAddr;
+///
+/// let a = LineAddr::from_byte_addr(0x1040, 64);
+/// assert_eq!(a.raw(), 0x41);
+/// assert_eq!(a.byte_addr(64), 0x1040);
+/// assert_eq!(a.page(64, 4096), 0x1);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from its raw line number.
+    pub fn new(line_number: u64) -> Self {
+        LineAddr(line_number)
+    }
+
+    /// Creates a line address from a byte address and a line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero.
+    pub fn from_byte_addr(byte_addr: u64, line_bytes: u64) -> Self {
+        assert!(line_bytes > 0, "line size must be positive");
+        LineAddr(byte_addr / line_bytes)
+    }
+
+    /// The raw line number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the start of the line.
+    pub fn byte_addr(self, line_bytes: u64) -> u64 {
+        self.0 * line_bytes
+    }
+
+    /// The page number this line falls in.
+    pub fn page(self, line_bytes: u64, page_bytes: u64) -> u64 {
+        self.byte_addr(line_bytes) / page_bytes
+    }
+
+    /// Index of this line within its page.
+    pub fn line_in_page(self, line_bytes: u64, page_bytes: u64) -> u64 {
+        let lines_per_page = page_bytes / line_bytes;
+        self.0 % lines_per_page
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_line_roundtrip() {
+        for byte in [0u64, 63, 64, 65, 4096, 1 << 40] {
+            let l = LineAddr::from_byte_addr(byte, 64);
+            assert_eq!(l.byte_addr(64), (byte / 64) * 64);
+        }
+    }
+
+    #[test]
+    fn page_extraction() {
+        // 4 KB pages, 64 B lines: 64 lines per page.
+        let l = LineAddr::new(64);
+        assert_eq!(l.page(64, 4096), 1);
+        assert_eq!(l.line_in_page(64, 4096), 0);
+        let l2 = LineAddr::new(130);
+        assert_eq!(l2.page(64, 4096), 2);
+        assert_eq!(l2.line_in_page(64, 4096), 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", LineAddr::new(7)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "line size must be positive")]
+    fn zero_line_size_rejected() {
+        let _ = LineAddr::from_byte_addr(0, 0);
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(LineAddr::new(1) < LineAddr::new(2));
+    }
+}

@@ -1,0 +1,205 @@
+//! Miss status holding registers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::line::LineAddr;
+
+/// Why an MSHR allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MshrError {
+    /// All entries are in use; the requester must stall.
+    Full,
+    /// An entry for this line is already outstanding (the protocol merges
+    /// or stalls same-line requests instead of issuing twice).
+    AlreadyOutstanding,
+}
+
+impl std::fmt::Display for MshrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MshrError::Full => f.write_str("all MSHR entries are in use"),
+            MshrError::AlreadyOutstanding => {
+                f.write_str("a transaction for this line is already outstanding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MshrError {}
+
+/// A bank of miss status holding registers: bounds the outstanding
+/// transactions of a node (the `T` parameter of the paper's LTT sizing
+/// discussion, §5.1) and maps outstanding lines to a per-transaction
+/// payload `P` owned by the protocol agent.
+///
+/// # Examples
+///
+/// ```
+/// use ring_cache::{LineAddr, Mshr};
+///
+/// let mut m: Mshr<&str> = Mshr::new(2);
+/// m.allocate(LineAddr::new(1), "read").unwrap();
+/// assert!(m.contains(LineAddr::new(1)));
+/// assert_eq!(m.release(LineAddr::new(1)), Some("read"));
+/// assert!(!m.contains(LineAddr::new(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr<P> {
+    capacity: usize,
+    entries: BTreeMap<LineAddr, P>,
+    peak: usize,
+    stalls: u64,
+}
+
+impl<P> Mshr<P> {
+    /// Creates a bank with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        Mshr {
+            capacity,
+            entries: BTreeMap::new(),
+            peak: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Allocates an entry for `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MshrError::Full`] when no entry is free and
+    /// [`MshrError::AlreadyOutstanding`] when `addr` already has one.
+    pub fn allocate(&mut self, addr: LineAddr, payload: P) -> Result<(), MshrError> {
+        if self.entries.contains_key(&addr) {
+            self.stalls += 1;
+            return Err(MshrError::AlreadyOutstanding);
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return Err(MshrError::Full);
+        }
+        self.entries.insert(addr, payload);
+        self.peak = self.peak.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Releases the entry for `addr`, returning its payload.
+    pub fn release(&mut self, addr: LineAddr) -> Option<P> {
+        self.entries.remove(&addr)
+    }
+
+    /// Whether `addr` has an outstanding entry.
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.entries.contains_key(&addr)
+    }
+
+    /// Payload of the outstanding entry for `addr`.
+    pub fn get(&self, addr: LineAddr) -> Option<&P> {
+        self.entries.get(&addr)
+    }
+
+    /// Mutable payload of the outstanding entry for `addr`.
+    pub fn get_mut(&mut self, addr: LineAddr) -> Option<&mut P> {
+        self.entries.get_mut(&addr)
+    }
+
+    /// Number of outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether all entries are in use.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Peak simultaneous occupancy seen.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of failed allocations.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Iterates outstanding `(addr, payload)` entries in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &P)> {
+        self.entries.iter().map(|(a, p)| (*a, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_release_cycle() {
+        let mut m: Mshr<u32> = Mshr::new(2);
+        m.allocate(LineAddr::new(1), 10).unwrap();
+        m.allocate(LineAddr::new(2), 20).unwrap();
+        assert!(m.is_full());
+        assert_eq!(m.release(LineAddr::new(1)), Some(10));
+        assert!(!m.is_full());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn full_rejected() {
+        let mut m: Mshr<()> = Mshr::new(1);
+        m.allocate(LineAddr::new(1), ()).unwrap();
+        assert_eq!(m.allocate(LineAddr::new(2), ()), Err(MshrError::Full));
+        assert_eq!(m.stalls(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut m: Mshr<()> = Mshr::new(4);
+        m.allocate(LineAddr::new(1), ()).unwrap();
+        assert_eq!(
+            m.allocate(LineAddr::new(1), ()),
+            Err(MshrError::AlreadyOutstanding)
+        );
+    }
+
+    #[test]
+    fn get_mut_mutates_payload() {
+        let mut m: Mshr<u32> = Mshr::new(1);
+        m.allocate(LineAddr::new(1), 0).unwrap();
+        *m.get_mut(LineAddr::new(1)).unwrap() = 99;
+        assert_eq!(m.get(LineAddr::new(1)), Some(&99));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m: Mshr<()> = Mshr::new(3);
+        m.allocate(LineAddr::new(1), ()).unwrap();
+        m.allocate(LineAddr::new(2), ()).unwrap();
+        m.release(LineAddr::new(1));
+        m.release(LineAddr::new(2));
+        assert_eq!(m.peak(), 2);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: Mshr<()> = Mshr::new(0);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!MshrError::Full.to_string().is_empty());
+        assert!(!MshrError::AlreadyOutstanding.to_string().is_empty());
+    }
+}

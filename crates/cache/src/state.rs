@@ -1,0 +1,182 @@
+//! The single-supplier coherence line states (paper §2.2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable coherence states of a cached line in the paper's single-supplier
+/// invalidation protocol (similar to IBM Power4).
+///
+/// At most one node in the machine holds a given line in a *supplier*
+/// state ([`LineState::is_supplier`]); that node is the one that answers a
+/// snoop positively and ships the line to a requester.
+///
+/// | State | Same value as memory? | Other copies? | Supplier? |
+/// |---|---|---|---|
+/// | `Exclusive` | yes | no | yes |
+/// | `MasterShared` | yes | maybe | yes |
+/// | `Dirty` | no | no | yes |
+/// | `Tagged` | no | maybe | yes (+ writeback owner) |
+/// | `Shared` | (clean or stale-clean copy) | yes | no |
+/// | `Invalid` | — | — | no |
+///
+/// Transient states (a transaction in flight) are tracked by the protocol
+/// agent's outstanding-transaction table, not here; a line with an
+/// outstanding transaction snoops as if `Invalid`/non-supplier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
+)]
+pub enum LineState {
+    /// Not present (or invalidated).
+    #[default]
+    Invalid,
+    /// Valid copy, some other node is the designated supplier.
+    Shared,
+    /// Clean, only copy in the machine.
+    Exclusive,
+    /// Clean, designated supplier; other nodes may hold `Shared` copies.
+    MasterShared,
+    /// Modified, only copy in the machine; must be written back on
+    /// eviction.
+    Dirty,
+    /// Modified and possibly shared; this copy is the designated supplier
+    /// and writeback owner.
+    Tagged,
+}
+
+impl LineState {
+    /// Whether this state may answer a snoop positively and supply the
+    /// line (E, MS, D, T).
+    pub fn is_supplier(self) -> bool {
+        matches!(
+            self,
+            LineState::Exclusive | LineState::MasterShared | LineState::Dirty | LineState::Tagged
+        )
+    }
+
+    /// Whether the line holds usable data (anything but `Invalid`).
+    pub fn is_valid(self) -> bool {
+        self != LineState::Invalid
+    }
+
+    /// Whether the line differs from memory and must be written back on
+    /// eviction (D, T).
+    pub fn is_dirty(self) -> bool {
+        matches!(self, LineState::Dirty | LineState::Tagged)
+    }
+
+    /// Whether a store can be performed locally without a coherence
+    /// transaction (sole owner: E or D).
+    pub fn can_write_silently(self) -> bool {
+        matches!(self, LineState::Exclusive | LineState::Dirty)
+    }
+
+    /// The state the *requester* ends in after winning a read miss
+    /// serviced by a node that held the line in `self` (the supplier
+    /// status transfers to the requester; paper §2.2, §5.5 default).
+    pub fn read_requester_state(self) -> LineState {
+        match self {
+            LineState::Exclusive | LineState::MasterShared => LineState::MasterShared,
+            LineState::Dirty | LineState::Tagged => LineState::Tagged,
+            // Supplied from memory with no sharers → Exclusive; with
+            // sharers → MasterShared. Callers handle the memory path; a
+            // non-supplier cannot supply.
+            LineState::Shared | LineState::Invalid => LineState::Invalid,
+        }
+    }
+
+    /// The state the *old supplier* demotes to after supplying a read
+    /// (it keeps a non-supplier copy).
+    pub fn read_supplier_demotion(self) -> LineState {
+        match self {
+            LineState::Exclusive
+            | LineState::MasterShared
+            | LineState::Dirty
+            | LineState::Tagged => LineState::Shared,
+            s => s,
+        }
+    }
+}
+
+impl fmt::Display for LineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LineState::Invalid => "I",
+            LineState::Shared => "S",
+            LineState::Exclusive => "E",
+            LineState::MasterShared => "MS",
+            LineState::Dirty => "D",
+            LineState::Tagged => "T",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supplier_classification() {
+        assert!(LineState::Exclusive.is_supplier());
+        assert!(LineState::MasterShared.is_supplier());
+        assert!(LineState::Dirty.is_supplier());
+        assert!(LineState::Tagged.is_supplier());
+        assert!(!LineState::Shared.is_supplier());
+        assert!(!LineState::Invalid.is_supplier());
+    }
+
+    #[test]
+    fn dirty_classification() {
+        assert!(LineState::Dirty.is_dirty());
+        assert!(LineState::Tagged.is_dirty());
+        assert!(!LineState::Exclusive.is_dirty());
+        assert!(!LineState::Shared.is_dirty());
+    }
+
+    #[test]
+    fn silent_write_only_when_sole_owner() {
+        assert!(LineState::Exclusive.can_write_silently());
+        assert!(LineState::Dirty.can_write_silently());
+        assert!(!LineState::MasterShared.can_write_silently());
+        assert!(!LineState::Tagged.can_write_silently());
+        assert!(!LineState::Shared.can_write_silently());
+    }
+
+    #[test]
+    fn read_transfer_preserves_dirtiness() {
+        // Clean supplier -> requester gets clean supplier state.
+        assert_eq!(
+            LineState::Exclusive.read_requester_state(),
+            LineState::MasterShared
+        );
+        assert_eq!(
+            LineState::MasterShared.read_requester_state(),
+            LineState::MasterShared
+        );
+        // Dirty supplier -> requester becomes the writeback owner.
+        assert_eq!(LineState::Dirty.read_requester_state(), LineState::Tagged);
+        assert_eq!(LineState::Tagged.read_requester_state(), LineState::Tagged);
+    }
+
+    #[test]
+    fn supplier_demotes_to_shared_on_read() {
+        for s in [
+            LineState::Exclusive,
+            LineState::MasterShared,
+            LineState::Dirty,
+            LineState::Tagged,
+        ] {
+            assert_eq!(s.read_supplier_demotion(), LineState::Shared);
+        }
+        assert_eq!(
+            LineState::Invalid.read_supplier_demotion(),
+            LineState::Invalid
+        );
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(LineState::default(), LineState::Invalid);
+        assert!(!format!("{}", LineState::Invalid).is_empty());
+    }
+}

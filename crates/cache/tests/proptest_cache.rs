@@ -1,0 +1,123 @@
+//! Property tests for the cache substrate: the set-associative array is
+//! checked against a simple reference model, and the MSHR against its
+//! capacity contract.
+
+use proptest::prelude::*;
+use ring_cache::{CacheArray, CacheConfig, LineAddr, LineState, Mshr};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Insert(u64, LineState),
+    Access(u64),
+    Invalidate(u64),
+    SetState(u64, LineState),
+}
+
+fn arb_state() -> impl Strategy<Value = LineState> {
+    prop_oneof![
+        Just(LineState::Shared),
+        Just(LineState::Exclusive),
+        Just(LineState::MasterShared),
+        Just(LineState::Dirty),
+        Just(LineState::Tagged),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u64..64, arb_state()).prop_map(|(a, s)| CacheOp::Insert(a, s)),
+        (0u64..64).prop_map(CacheOp::Access),
+        (0u64..64).prop_map(CacheOp::Invalidate),
+        (0u64..64, arb_state()).prop_map(|(a, s)| CacheOp::SetState(a, s)),
+    ]
+}
+
+proptest! {
+    /// Against a reference map: a line the array reports valid must have
+    /// the exact state the reference holds; a reference line missing from
+    /// the array must have been evicted (capacity), never corrupted.
+    #[test]
+    fn array_agrees_with_reference_model(ops in proptest::collection::vec(arb_op(), 1..300)) {
+        let cfg = CacheConfig {
+            size_bytes: 16 * 64, // 16 lines: 4 sets x 4 ways
+            ways: 4,
+            line_bytes: 64,
+            latency: 1,
+        };
+        let mut c = CacheArray::new(cfg);
+        let mut reference: HashMap<u64, LineState> = HashMap::new();
+        for op in ops {
+            match op {
+                CacheOp::Insert(a, s) => {
+                    let ev = c.insert(LineAddr::new(a), s);
+                    reference.insert(a, s);
+                    if let Some(ev) = ev {
+                        reference.remove(&ev.addr.raw());
+                    }
+                }
+                CacheOp::Access(a) => {
+                    let got = c.access(LineAddr::new(a));
+                    if got.is_valid() {
+                        prop_assert_eq!(Some(&got), reference.get(&a));
+                    }
+                }
+                CacheOp::Invalidate(a) => {
+                    c.invalidate(LineAddr::new(a));
+                    reference.remove(&a);
+                }
+                CacheOp::SetState(a, s) => {
+                    if c.set_state(LineAddr::new(a), s) {
+                        prop_assert!(reference.contains_key(&a));
+                        reference.insert(a, s);
+                    }
+                }
+            }
+            // Every valid line in the array matches the reference.
+            for (addr, state) in c.iter() {
+                prop_assert_eq!(
+                    Some(&state),
+                    reference.get(&addr.raw()),
+                    "array holds {} in {} unknown to the reference",
+                    addr,
+                    state
+                );
+            }
+        }
+    }
+
+    /// Capacity is never exceeded and eviction only happens on full sets.
+    #[test]
+    fn array_capacity_bound(addrs in proptest::collection::vec(0u64..1000, 1..200)) {
+        let cfg = CacheConfig {
+            size_bytes: 8 * 64, // 8 lines
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
+        let mut c = CacheArray::new(cfg);
+        for a in addrs {
+            c.insert(LineAddr::new(a), LineState::Shared);
+            prop_assert!(c.resident_lines() <= 8);
+        }
+    }
+
+    /// The MSHR never holds more than its capacity and release always
+    /// frees exactly one slot.
+    #[test]
+    fn mshr_capacity_contract(addrs in proptest::collection::vec(0u64..32, 1..100)) {
+        let mut m: Mshr<u64> = Mshr::new(4);
+        for (i, a) in addrs.iter().enumerate() {
+            let line = LineAddr::new(*a);
+            if m.contains(line) {
+                prop_assert_eq!(m.release(line), Some(*a));
+            } else if !m.is_full() {
+                m.allocate(line, *a).unwrap();
+            } else {
+                prop_assert!(m.allocate(line, *a).is_err());
+            }
+            prop_assert!(m.len() <= 4, "iteration {i}");
+            prop_assert_eq!(m.is_full(), m.len() == 4);
+        }
+    }
+}

@@ -1,0 +1,1630 @@
+//! The per-node embedded-ring protocol engine.
+//!
+//! [`RingAgent`] implements Eager, SupersetCon, SupersetAgg and Uncorq as
+//! one message-driven state machine: the machine simulator feeds it
+//! [`AgentInput`]s (with the current cycle) and executes the returned
+//! [`Effect`]s — sending ring messages to the ring successor, multicasting
+//! requests, starting snoops, fetching memory, and recording statistics.
+//!
+//! The agent owns the node's L2 array, its [`Ltt`], its presence filter
+//! (Flexible Snooping), its [`NodePrefetchPredictor`], and the MSHRs for
+//! its own outstanding transactions. All collision handling of the
+//! paper's Tables 1 and 2 lives here.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use ring_cache::{CacheArray, CacheConfig, LineAddr, LineState, Mshr};
+use ring_noc::NodeId;
+use ring_sim::{Cycle, DetRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{ProtocolConfig, ProtocolKind};
+use crate::filter::PresenceFilter;
+use crate::ltt::Ltt;
+use crate::msg::{RequestMsg, ResponseMsg, RingMsg, SupplierMsg};
+use crate::npp::NodePrefetchPredictor;
+use crate::txn::{Priority, TxnId, TxnKind};
+
+/// An input delivered to a protocol agent at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AgentInput {
+    /// The local core needs a coherence transaction for `line`.
+    CoreRequest {
+        /// Line to transact on.
+        line: LineAddr,
+        /// Kind of transaction (classified against the L2 by the caller).
+        kind: TxnKind,
+    },
+    /// A ring message arrived from the ring predecessor.
+    RingArrival(RingMsg),
+    /// A multicast request arrived over the unconstrained path (Uncorq).
+    DirectRequest(RequestMsg),
+    /// A previously started local snoop finished.
+    SnoopDone {
+        /// Transaction the snoop serves.
+        txn: TxnId,
+        /// Line snooped.
+        line: LineAddr,
+    },
+    /// A suppliership message arrived (directly from the supplier).
+    Supplier(SupplierMsg),
+    /// A demand memory fetch (or claimed prefetch) completed.
+    MemData {
+        /// Line whose data arrived.
+        line: LineAddr,
+    },
+    /// A scheduled retry fired.
+    RetryNow {
+        /// Line to retry.
+        line: LineAddr,
+    },
+}
+
+/// A side effect the machine simulator must carry out for the agent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Effect {
+    /// Send a ring message to the ring successor after `delay` extra
+    /// cycles (filter lookup, stall-and-snoop forwarding).
+    RingSend {
+        /// The message.
+        msg: RingMsg,
+        /// Extra cycles before injection.
+        delay: Cycle,
+    },
+    /// Multicast a request to every other node over any network path.
+    MulticastRequest(RequestMsg),
+    /// Send a suppliership message directly to `to`.
+    SendSupplier {
+        /// Destination (the requester).
+        to: NodeId,
+        /// The suppliership.
+        msg: SupplierMsg,
+    },
+    /// Schedule `SnoopDone { txn, line }` after `delay` cycles.
+    StartSnoop {
+        /// Transaction being snooped.
+        txn: TxnId,
+        /// Line being snooped.
+        line: LineAddr,
+        /// Snoop latency (includes filter lookup where applicable).
+        delay: Cycle,
+    },
+    /// Re-deliver `SnoopDone` after `delay` (SNID reservation stall).
+    DelaySnoop {
+        /// Transaction stalled.
+        txn: TxnId,
+        /// Line stalled.
+        line: LineAddr,
+        /// Stall length in cycles.
+        delay: Cycle,
+    },
+    /// Fetch `line` from memory; `prefetch` distinguishes the §5.4
+    /// speculative prefetch from a demand fetch after `r-`.
+    MemFetch {
+        /// Line to fetch.
+        line: LineAddr,
+        /// Whether this is a speculative prefetch.
+        prefetch: bool,
+    },
+    /// Write a dirty victim back to memory.
+    Writeback {
+        /// Victim line.
+        line: LineAddr,
+    },
+    /// The requested data (or ownership) became usable — the load/store
+    /// binds. Read-miss latency is measured here.
+    Bound {
+        /// Line bound.
+        line: LineAddr,
+        /// Transaction kind.
+        kind: TxnKind,
+        /// Cycles from first issue (including retries) to binding.
+        latency: Cycle,
+        /// Serviced by a cache-to-cache transfer?
+        c2c: bool,
+    },
+    /// The transaction completed (own `r` consumed; all copies
+    /// invalidated for writes).
+    Complete {
+        /// Line completed.
+        line: LineAddr,
+        /// Transaction kind.
+        kind: TxnKind,
+        /// Serviced cache-to-cache?
+        c2c: bool,
+        /// Times the transaction was squashed and retried.
+        retries: u32,
+        /// Whether a §5.4 prefetch was issued for it.
+        prefetch_issued: bool,
+        /// Cycles from first issue to completion — the "time to response
+        /// reception" of the paper's Figure 5(b).
+        latency: Cycle,
+    },
+    /// Schedule `RetryNow { line }` after `delay` cycles.
+    Retry {
+        /// Line to retry.
+        line: LineAddr,
+        /// Backoff delay.
+        delay: Cycle,
+    },
+    /// The node's L2 lost this line (invalidation or eviction); the
+    /// machine must invalidate the core's L1 copy to preserve inclusion.
+    L1Invalidate {
+        /// Line to drop from the L1.
+        line: LineAddr,
+    },
+}
+
+/// Counters the agent maintains about its own operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentStats {
+    /// Transactions issued (first attempts).
+    pub issued: u64,
+    /// Transactions completed.
+    pub completed: u64,
+    /// Completions serviced cache-to-cache.
+    pub completed_c2c: u64,
+    /// Squash/loser retries.
+    pub retries: u64,
+    /// Collisions observed (foreign transaction overlapping an own one).
+    pub collisions: u64,
+    /// Local snoop operations performed.
+    pub snoops: u64,
+    /// Snoops skipped thanks to the presence filter.
+    pub snoops_skipped: u64,
+    /// Suppliership messages sent.
+    pub supplierships_sent: u64,
+    /// Responses this node marked as squashed.
+    pub squash_marks: u64,
+    /// Responses this node marked with the Loser Hint.
+    pub loser_hint_marks: u64,
+    /// Starvation episodes (forward-progress mechanism engaged).
+    pub starvation_events: u64,
+    /// §5.4 prefetches issued.
+    pub prefetches_issued: u64,
+}
+
+/// Per-collider bookkeeping inside an own transaction.
+#[derive(Debug, Clone, Copy)]
+struct Collider {
+    priority: Priority,
+    response_seen: bool,
+}
+
+/// State of one own outstanding transaction (an MSHR payload).
+#[derive(Debug, Clone)]
+struct OwnTx {
+    txn: TxnId,
+    kind: TxnKind,
+    priority: Priority,
+    first_issued_at: Cycle,
+    retries: u32,
+    suppliership: Option<SupplierMsg>,
+    own_resp: Option<ResponseMsg>,
+    /// Point of no return: own `r` consumed and this transaction won
+    /// (committed to suppliership wait or memory).
+    committed: bool,
+    lost: bool,
+    colliders: BTreeMap<TxnId, Collider>,
+    must_invalidate: bool,
+    /// Our resident copy was evicted out from under a WriteHit.
+    copy_lost: bool,
+    /// Sharers observed by our own combined response.
+    sharers_seen: bool,
+    prefetch_issued: bool,
+    mem_waiting: bool,
+}
+
+impl OwnTx {
+    fn all_collider_responses_seen(&self) -> bool {
+        self.colliders.values().all(|c| c.response_seen)
+    }
+
+    fn beats_all_colliders(&self) -> bool {
+        self.colliders
+            .values()
+            .all(|c| self.priority.beats(c.priority))
+    }
+}
+
+/// Retry bookkeeping that survives across attempts on a line.
+#[derive(Debug, Clone, Copy)]
+struct RetryInfo {
+    kind: TxnKind,
+    count: u32,
+    first_issued_at: Cycle,
+}
+
+/// The per-node protocol engine. See the crate docs for the protocol
+/// family and the module docs for the interaction model.
+#[derive(Debug, Clone)]
+pub struct RingAgent {
+    node: NodeId,
+    cfg: ProtocolConfig,
+    l2: CacheArray,
+    ltt: Ltt,
+    filter: Option<PresenceFilter>,
+    npp: NodePrefetchPredictor,
+    outstanding: Mshr<OwnTx>,
+    pending_core: VecDeque<(LineAddr, TxnKind)>,
+    retry_info: BTreeMap<LineAddr, RetryInfo>,
+    squash_set: BTreeMap<LineAddr, BTreeSet<TxnId>>,
+    /// Foreign requests intercepted while starving (Eager §5.2.1).
+    held_requests: Vec<RequestMsg>,
+    /// SupersetCon: requests to forward once their snoop completes.
+    forward_on_snoop: BTreeSet<TxnId>,
+    /// Remaining SNID-stall re-deliveries per snoop (bounded).
+    snoop_delay_budget: BTreeMap<TxnId, u32>,
+    starving: Option<LineAddr>,
+    serial: u64,
+    rng: DetRng,
+    stats: AgentStats,
+}
+
+impl RingAgent {
+    /// Creates the agent for `node` with an empty L2 of geometry
+    /// `l2_cfg`.
+    pub fn new(node: NodeId, cfg: ProtocolConfig, l2_cfg: CacheConfig, rng: DetRng) -> Self {
+        let filter = cfg.kind.uses_filter().then(|| PresenceFilter::new(8192, 2));
+        RingAgent {
+            node,
+            l2: CacheArray::new(l2_cfg),
+            ltt: Ltt::new(cfg.ltt),
+            filter,
+            npp: NodePrefetchPredictor::new(if cfg.prefetch { cfg.npp_entries } else { 0 }),
+            outstanding: Mshr::new(cfg.max_outstanding),
+            pending_core: VecDeque::new(),
+            retry_info: BTreeMap::new(),
+            squash_set: BTreeMap::new(),
+            held_requests: Vec::new(),
+            forward_on_snoop: BTreeSet::new(),
+            snoop_delay_budget: BTreeMap::new(),
+            starving: None,
+            serial: 0,
+            rng,
+            cfg,
+            stats: AgentStats::default(),
+        }
+    }
+
+    /// This agent's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// Read access to the node's L2 array.
+    pub fn l2(&self) -> &CacheArray {
+        &self.l2
+    }
+
+    /// Read access to the LTT.
+    pub fn ltt(&self) -> &Ltt {
+        &self.ltt
+    }
+
+    /// The agent's counters.
+    pub fn stats(&self) -> &AgentStats {
+        &self.stats
+    }
+
+    /// Whether a transaction for `line` is outstanding at this node.
+    pub fn has_outstanding(&self, line: LineAddr) -> bool {
+        self.outstanding.contains(line)
+    }
+
+    /// Whether `line` is engaged by this node in any form: an outstanding
+    /// transaction, a deferred core request, or a retry in backoff. The
+    /// machine treats engaged lines as store-to-load-forwardable so cores
+    /// do not issue duplicate transactions.
+    pub fn is_line_engaged(&self, line: LineAddr) -> bool {
+        self.outstanding.contains(line)
+            || self.retry_info.contains_key(&line)
+            || self.pending_core.iter().any(|&(l, _)| l == line)
+    }
+
+    /// Number of own outstanding transactions.
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Classifies a store against the current L2 state: `None` if it can
+    /// proceed silently, otherwise the transaction kind needed.
+    pub fn classify_store(&self, line: LineAddr) -> Option<TxnKind> {
+        match self.l2.state(line) {
+            s if s.can_write_silently() => None,
+            LineState::Shared | LineState::MasterShared | LineState::Tagged => {
+                Some(TxnKind::WriteHit)
+            }
+            LineState::Invalid => Some(TxnKind::WriteMiss),
+            _ => unreachable!("can_write_silently covers E and D"),
+        }
+    }
+
+    /// Records `line` as recently seen in ring traffic (warm-up hook for
+    /// the Node Prefetch Predictor: the paper's runs skip initialization,
+    /// during which this traffic would have been observed).
+    pub fn npp_observe(&mut self, line: LineAddr) {
+        self.npp.observe(line);
+    }
+
+    /// Directly installs a line (test setup / warm-up), updating the
+    /// filter. Returns a dirty victim to write back, if any.
+    pub fn install_line(&mut self, line: LineAddr, state: LineState) -> Option<LineAddr> {
+        let evicted = self.l2.insert(line, state);
+        if let Some(f) = self.filter.as_mut() {
+            f.insert(line);
+            if let Some(ev) = evicted {
+                f.remove(ev.addr);
+            }
+        }
+        evicted.and_then(|ev| ev.state.is_dirty().then_some(ev.addr))
+    }
+
+    /// Handles one input at cycle `now`, returning the effects to apply.
+    pub fn handle(&mut self, now: Cycle, input: AgentInput) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        match input {
+            AgentInput::CoreRequest { line, kind } => {
+                self.core_request(now, line, kind, &mut fx);
+            }
+            AgentInput::RingArrival(RingMsg::Request(req)) => {
+                self.ring_request(now, req, &mut fx);
+            }
+            AgentInput::RingArrival(RingMsg::Response(resp)) => {
+                self.response_arrival(now, resp, &mut fx);
+            }
+            AgentInput::DirectRequest(req) => {
+                self.direct_request(now, req, &mut fx);
+            }
+            AgentInput::SnoopDone { txn, line } => {
+                self.snoop_done(now, txn, line, &mut fx);
+            }
+            AgentInput::Supplier(msg) => {
+                self.supplier_arrival(now, msg, &mut fx);
+            }
+            AgentInput::MemData { line } => {
+                self.mem_data(now, line, &mut fx);
+            }
+            AgentInput::RetryNow { line } => {
+                self.retry_now(now, line, &mut fx);
+            }
+        }
+        self.drain_pending_core(now, &mut fx);
+        fx
+    }
+
+    // ------------------------------------------------------------------
+    // Issue path
+    // ------------------------------------------------------------------
+
+    fn core_request(&mut self, now: Cycle, line: LineAddr, kind: TxnKind, fx: &mut Vec<Effect>) {
+        if !self.can_issue(line) {
+            if !self.pending_core.iter().any(|&(l, _)| l == line) {
+                self.pending_core.push_back((line, kind));
+            }
+            return;
+        }
+        self.issue(now, line, kind, fx);
+    }
+
+    /// The In-Progress Transaction Restriction (§3.2) plus MSHR limits.
+    /// A starving node bypasses the IPTR for its starved line (§5.2).
+    fn can_issue(&self, line: LineAddr) -> bool {
+        if self.outstanding.contains(line) {
+            return false;
+        }
+        if self.outstanding.is_full() {
+            return false;
+        }
+        if self.ltt.line_busy(line) && self.starving != Some(line) {
+            return false;
+        }
+        true
+    }
+
+    fn issue(&mut self, now: Cycle, line: LineAddr, kind: TxnKind, fx: &mut Vec<Effect>) {
+        let info = self.retry_info.get(&line).copied();
+        let (kind, retries, first_issued_at) = match info {
+            Some(i) => (i.kind, i.count, i.first_issued_at),
+            None => (kind, 0, now),
+        };
+        self.serial += 1;
+        let txn = TxnId {
+            node: self.node,
+            serial: self.serial,
+        };
+        let priority = if self.cfg.winner_node_id_only {
+            // Ablation: node-id-only priority (paper §3.3.2's "unfair,
+            // but it never ties" strawman).
+            Priority::new(TxnKind::Read, 0, self.node)
+        } else {
+            Priority::new(kind, self.rng.next_u64() as u32, self.node)
+        };
+        let req = RequestMsg {
+            txn,
+            line,
+            kind,
+            priority,
+        };
+        let mut tx = OwnTx {
+            txn,
+            kind,
+            priority,
+            first_issued_at,
+            retries,
+            suppliership: None,
+            own_resp: None,
+            committed: false,
+            lost: false,
+            colliders: BTreeMap::new(),
+            must_invalidate: false,
+            copy_lost: false,
+            sharers_seen: false,
+            prefetch_issued: false,
+            mem_waiting: false,
+        };
+        // Adopt every foreign transaction already in flight at this node
+        // as a collider. The In-Progress Transaction Restriction normally
+        // prevents issuing while one is pending, but the §5.2 starvation
+        // path legitimately bypasses it — and the new transaction must
+        // still serialize against (and, if it wins, squash) those
+        // transactions.
+        if let Some(entry) = self.ltt.entry(line) {
+            for slot in entry.slots() {
+                if slot.txn.node == self.node {
+                    continue;
+                }
+                let info = slot
+                    .request
+                    .map(|r| (r.priority, r.kind))
+                    .or_else(|| slot.response.map(|r| (r.priority, r.kind)));
+                if let Some((priority, fkind)) = info {
+                    tx.colliders.insert(
+                        slot.txn,
+                        Collider {
+                            priority,
+                            response_seen: slot.response.is_some(),
+                        },
+                    );
+                    if fkind.is_write() {
+                        tx.must_invalidate = true;
+                    }
+                }
+            }
+        }
+        // §5.4 prefetch: reads only, Uncorq+Pref only.
+        if self.cfg.prefetch && kind == TxnKind::Read && self.npp.should_prefetch(line) {
+            tx.prefetch_issued = true;
+            self.stats.prefetches_issued += 1;
+            fx.push(Effect::MemFetch {
+                line,
+                prefetch: true,
+            });
+        }
+        self.outstanding
+            .allocate(line, tx)
+            .expect("can_issue checked capacity");
+        if retries == 0 {
+            self.stats.issued += 1;
+        }
+        // Request delivery: multicast for Uncorq reads, ring otherwise.
+        if kind == TxnKind::Read && self.cfg.kind.multicast_reads() {
+            fx.push(Effect::MulticastRequest(req));
+        } else {
+            fx.push(Effect::RingSend {
+                msg: RingMsg::Request(req),
+                delay: 0,
+            });
+        }
+        // The response follows on the ring.
+        fx.push(Effect::RingSend {
+            msg: RingMsg::Response(ResponseMsg::initial(&req)),
+            delay: 0,
+        });
+        // A starving Eager node releases held foreign requests behind its
+        // own (§5.2.1).
+        if self.starving == Some(line) && !self.held_requests.is_empty() {
+            for held in std::mem::take(&mut self.held_requests) {
+                fx.push(Effect::RingSend {
+                    msg: RingMsg::Request(held),
+                    delay: 0,
+                });
+            }
+        }
+    }
+
+    fn retry_now(&mut self, now: Cycle, line: LineAddr, fx: &mut Vec<Effect>) {
+        if self.outstanding.contains(line) {
+            // Already re-issued (starvation interception fast path).
+            return;
+        }
+        let Some(info) = self.retry_info.get(&line).copied() else {
+            return; // completed meanwhile
+        };
+        if self.can_issue(line) {
+            self.issue(now, line, info.kind, fx);
+        } else if !self.pending_core.iter().any(|&(l, _)| l == line) {
+            self.pending_core.push_back((line, info.kind));
+        }
+    }
+
+    fn drain_pending_core(&mut self, now: Cycle, fx: &mut Vec<Effect>) {
+        let mut remaining = VecDeque::new();
+        while let Some((line, kind)) = self.pending_core.pop_front() {
+            if self.can_issue(line) {
+                self.issue(now, line, kind, fx);
+            } else {
+                remaining.push_back((line, kind));
+            }
+        }
+        self.pending_core = remaining;
+    }
+
+    // ------------------------------------------------------------------
+    // Request arrival
+    // ------------------------------------------------------------------
+
+    fn ring_request(&mut self, now: Cycle, req: RequestMsg, fx: &mut Vec<Effect>) {
+        if req.requester() == self.node {
+            // Own request completed its lap; consumed silently.
+            return;
+        }
+        self.npp.observe(req.line);
+        // Starvation interception (Eager/ring delivery, §5.2.1): hold the
+        // forwarding of conflicting requests; the snoop still proceeds.
+        let mut forward = true;
+        if self.starving == Some(req.line)
+            && !self.outstanding.contains(req.line)
+            && self.retry_info.contains_key(&req.line)
+        {
+            self.held_requests.push(req);
+            forward = false;
+            // Issue our own request ahead of the held one right now.
+            if self.can_issue(req.line) {
+                let info = self.retry_info[&req.line];
+                self.issue(now, req.line, info.kind, fx);
+            }
+        }
+        match self.cfg.kind {
+            ProtocolKind::Eager | ProtocolKind::Uncorq => {
+                if forward {
+                    fx.push(Effect::RingSend {
+                        msg: RingMsg::Request(req),
+                        delay: 0,
+                    });
+                }
+                self.accept_request(req, fx);
+                fx.push(Effect::StartSnoop {
+                    txn: req.txn,
+                    line: req.line,
+                    delay: self.cfg.snoop_latency,
+                });
+            }
+            ProtocolKind::SupersetCon => {
+                let hit = self
+                    .filter
+                    .as_mut()
+                    .map(|f| f.query(req.line))
+                    .unwrap_or(true);
+                self.accept_request(req, fx);
+                if hit {
+                    // Stall the request behind the snoop.
+                    if forward {
+                        self.forward_on_snoop.insert(req.txn);
+                    }
+                    fx.push(Effect::StartSnoop {
+                        txn: req.txn,
+                        line: req.line,
+                        delay: self.cfg.filter_latency + self.cfg.snoop_latency,
+                    });
+                } else {
+                    if forward {
+                        fx.push(Effect::RingSend {
+                            msg: RingMsg::Request(req),
+                            delay: self.cfg.filter_latency,
+                        });
+                    }
+                    self.skip_snoop(now, req, fx);
+                }
+            }
+            ProtocolKind::SupersetAgg => {
+                let hit = self
+                    .filter
+                    .as_mut()
+                    .map(|f| f.query(req.line))
+                    .unwrap_or(true);
+                if forward {
+                    fx.push(Effect::RingSend {
+                        msg: RingMsg::Request(req),
+                        delay: self.cfg.filter_latency,
+                    });
+                }
+                self.accept_request(req, fx);
+                if hit {
+                    fx.push(Effect::StartSnoop {
+                        txn: req.txn,
+                        line: req.line,
+                        delay: self.cfg.filter_latency + self.cfg.snoop_latency,
+                    });
+                } else {
+                    self.skip_snoop(now, req, fx);
+                }
+            }
+        }
+    }
+
+    fn direct_request(&mut self, now: Cycle, req: RequestMsg, fx: &mut Vec<Effect>) {
+        debug_assert_ne!(req.requester(), self.node, "multicast excludes the root");
+        self.npp.observe(req.line);
+        self.accept_request(req, fx);
+        fx.push(Effect::StartSnoop {
+            txn: req.txn,
+            line: req.line,
+            delay: self.cfg.snoop_latency,
+        });
+        let _ = now;
+    }
+
+    /// Common per-request bookkeeping: LTT slot and collision detection.
+    fn accept_request(&mut self, req: RequestMsg, _fx: &mut [Effect]) {
+        self.ltt.see_request(req);
+        if let Some(tx) = self.outstanding.get_mut(req.line) {
+            self.stats.collisions += 1;
+            tx.colliders.entry(req.txn).or_insert(Collider {
+                priority: req.priority,
+                response_seen: false,
+            });
+            if req.kind.is_write() {
+                tx.must_invalidate = true;
+            }
+        }
+    }
+
+    /// The filter proved absence: complete the "snoop" instantly with a
+    /// negative outcome (no tag access, no invalidation needed).
+    fn skip_snoop(&mut self, _now: Cycle, req: RequestMsg, fx: &mut Vec<Effect>) {
+        self.stats.snoops_skipped += 1;
+        self.ltt.snoop_complete(req.txn, req.line, false);
+        self.drain_responses(req.line, fx);
+    }
+
+    // ------------------------------------------------------------------
+    // Snoop completion
+    // ------------------------------------------------------------------
+
+    fn snoop_done(&mut self, now: Cycle, txn: TxnId, line: LineAddr, fx: &mut Vec<Effect>) {
+        // SNID reservation (§5.2.2): the new supplier briefly refuses to
+        // service nodes other than the reserved starving node.
+        if let Some((holder, _)) = self.ltt.reservation(line) {
+            if holder != txn.node && !self.ltt.clear_reservation(line, now, false) {
+                let budget = self.snoop_delay_budget.entry(txn).or_insert(8);
+                if *budget > 0 {
+                    *budget -= 1;
+                    fx.push(Effect::DelaySnoop {
+                        txn,
+                        line,
+                        delay: 64,
+                    });
+                    return;
+                }
+                // Budget exhausted: break the reservation to preserve
+                // liveness.
+                self.ltt.clear_reservation(line, now, true);
+            }
+        }
+        self.snoop_delay_budget.remove(&txn);
+        self.stats.snoops += 1;
+        let Some(req) = self
+            .ltt
+            .entry(line)
+            .and_then(|e| e.slot(txn))
+            .and_then(|s| s.request)
+        else {
+            return; // slot vanished (defensive)
+        };
+        let state = self.l2.state(line);
+        let transient = self.outstanding.contains(line);
+        let positive = state.is_supplier() && !transient;
+        if positive {
+            let keep = self.cfg.reads_keep_supplier && req.kind == TxnKind::Read;
+            let (new_state, with_data) = match req.kind {
+                // §5.5 extension: the requester gets a plain Shared copy
+                // and this node stays the designated supplier.
+                TxnKind::Read if keep => (LineState::Shared, true),
+                TxnKind::Read => (state.read_requester_state(), true),
+                TxnKind::WriteMiss => (LineState::Dirty, true),
+                TxnKind::WriteHit => (LineState::Dirty, false),
+            };
+            fx.push(Effect::SendSupplier {
+                to: req.requester(),
+                msg: SupplierMsg {
+                    txn,
+                    line,
+                    with_data,
+                    new_state,
+                },
+            });
+            self.stats.supplierships_sent += 1;
+            if req.kind.is_write() {
+                self.l2.invalidate(line);
+                if let Some(f) = self.filter.as_mut() {
+                    f.remove(line);
+                }
+                fx.push(Effect::L1Invalidate { line });
+            } else if keep {
+                // Remain the designated provider; clean sole copies gain
+                // a sharer (E→MS), dirty ones become dirty-shared (D→T).
+                let kept = match state {
+                    LineState::Exclusive => LineState::MasterShared,
+                    LineState::Dirty => LineState::Tagged,
+                    s => s,
+                };
+                self.l2.set_state(line, kept);
+            } else {
+                self.l2.set_state(line, state.read_supplier_demotion());
+            }
+        } else if req.kind.is_write() && state.is_valid() && !transient {
+            // Invalidation of a non-supplier copy.
+            self.l2.invalidate(line);
+            if let Some(f) = self.filter.as_mut() {
+                f.remove(line);
+            }
+            fx.push(Effect::L1Invalidate { line });
+        }
+        self.ltt.snoop_complete(txn, line, positive);
+        if self.forward_on_snoop.remove(&txn) {
+            fx.push(Effect::RingSend {
+                msg: RingMsg::Request(req),
+                delay: 0,
+            });
+        }
+        self.drain_responses(line, fx);
+    }
+
+    // ------------------------------------------------------------------
+    // Response arrival and forwarding
+    // ------------------------------------------------------------------
+
+    fn response_arrival(&mut self, now: Cycle, resp: ResponseMsg, fx: &mut Vec<Effect>) {
+        self.npp.observe(resp.line);
+        if resp.requester() == self.node {
+            self.own_response(now, resp, fx);
+            return;
+        }
+        // Collision bookkeeping against an own outstanding transaction.
+        let mut cancel_memory_path = false;
+        if let Some(tx) = self.outstanding.get_mut(resp.line) {
+            let collider = tx.colliders.entry(resp.txn).or_insert_with(|| {
+                self.stats.collisions += 1;
+                Collider {
+                    priority: resp.priority,
+                    response_seen: false,
+                }
+            });
+            collider.response_seen = true;
+            if resp.positive {
+                tx.lost = true;
+                // A passing positive response proves a live supplier epoch
+                // this transaction's own lap missed (a suppliership chain
+                // in motion). If we have committed to a memory fill but
+                // the data has not arrived, nothing is bound yet (§5.3),
+                // so the commit is revocable: cancel and retry rather than
+                // install a second supplier copy from stale memory.
+                if tx.mem_waiting {
+                    cancel_memory_path = true;
+                }
+            }
+        }
+        if cancel_memory_path {
+            self.fail_txn(now, resp.line, fx);
+        }
+        self.ltt.see_response(resp);
+        // An own transaction deferring its decision may now be decidable.
+        // Deciding BEFORE draining is essential: if this response was the
+        // last unseen collider and our transaction wins, completing first
+        // places the loser in the squash set while its response is still
+        // buffered — so the very response that decided us carries the
+        // squash mark back to its owner (Table 1's natural-serialization
+        // squash). Draining first would forward it clean and let the
+        // loser double-commit from memory.
+        self.try_decide(now, resp.line, fx);
+        self.drain_responses(resp.line, fx);
+    }
+
+    /// Forwards every response the LTT says is ready, combining outcomes
+    /// and applying serialization marks.
+    fn drain_responses(&mut self, line: LineAddr, fx: &mut Vec<Effect>) {
+        loop {
+            let Some(txn) = self
+                .ltt
+                .entry(line)
+                .and_then(|e| e.ready().into_iter().next())
+            else {
+                return;
+            };
+            let slot = self.ltt.take(line, txn).expect("ready slot exists");
+            let mut combined = slot.response.expect("ready implies response");
+            // Combine the local snoop outcome.
+            combined.outcomes += 1;
+            if slot.snoop_done && slot.snoop_positive {
+                combined.positive = true;
+            }
+            if self.l2.state(line) == LineState::Shared {
+                combined.sharers = true;
+            }
+            self.apply_marks(line, &mut combined);
+            // SNID stamping by a starving node (§5.2.2).
+            if self.starving == Some(line) && combined.requester() != self.node {
+                combined.snid = Some(self.node);
+            }
+            fx.push(Effect::RingSend {
+                msg: RingMsg::Response(combined),
+                delay: 0,
+            });
+        }
+    }
+
+    /// Applies squash and Loser Hint marks to a combined response about
+    /// to be forwarded.
+    fn apply_marks(&mut self, line: LineAddr, resp: &mut ResponseMsg) {
+        if resp.positive {
+            return; // positives are never marked
+        }
+        // Squash set: transactions our completed transaction overlapped.
+        if let Some(set) = self.squash_set.get_mut(&line) {
+            if set.remove(&resp.txn) {
+                resp.squashed = true;
+                self.stats.squash_marks += 1;
+                if set.is_empty() {
+                    self.squash_set.remove(&line);
+                }
+                return;
+            }
+        }
+        let Some(tx) = self.outstanding.get_mut(line) else {
+            return;
+        };
+        if tx.committed || tx.suppliership.is_some() {
+            // We are the already-committed winner — either our own positive
+            // response arrived, or the suppliership did (the transaction is
+            // bound and cannot be undone, §5.3). Either way our win is
+            // serialized before the passing transaction at the supplier,
+            // so the passing loser must retry (the natural-serialization
+            // squash of Tables 1/2). This also closes the moving-supplier
+            // race: a negative response lapping the ring while the
+            // suppliership hops between requesters always crosses at least
+            // one bound winner, which squashes it.
+            resp.squashed = true;
+            self.stats.squash_marks += 1;
+        } else if !tx.lost && tx.priority.beats(resp.priority) {
+            // No winner known yet: pairwise winner selection; hint the
+            // loser (the §4.4 Loser Hint). The paper introduces the bit
+            // for Uncorq's response reorderings; we apply it in the Eager
+            // family too, because with three or more overlapping
+            // transactions (plus retries) the paper's symmetric-knowledge
+            // argument breaks: a transaction issued in the gap after a
+            // collider's messages passed is blind to it, and without the
+            // hint both sides can commit to memory. The hint rides an
+            // existing message and is ignored when the response later
+            // combines positive, so it is always safe.
+            resp.loser_hint = true;
+            self.stats.loser_hint_marks += 1;
+        }
+    }
+
+    fn own_response(&mut self, now: Cycle, resp: ResponseMsg, fx: &mut Vec<Effect>) {
+        // SNID reservation on suppliership arrival at the new supplier.
+        if resp.positive {
+            if let Some(snid) = resp.snid {
+                if snid != self.node {
+                    self.ltt
+                        .reserve(resp.line, snid, now + self.cfg.reservation_cycles);
+                }
+            }
+        }
+        let Some(tx) = self.outstanding.get_mut(resp.line) else {
+            return; // stale (transaction already failed over)
+        };
+        if tx.txn != resp.txn {
+            return; // response of a previous, already-retried attempt
+        }
+        tx.own_resp = Some(resp);
+        tx.sharers_seen = resp.sharers;
+        if resp.must_retry() || (!resp.positive && tx.lost) {
+            self.fail_txn(now, resp.line, fx);
+            return;
+        }
+        if resp.positive {
+            tx.committed = true;
+            if tx.suppliership.is_some() {
+                self.complete_txn(now, resp.line, true, fx);
+            }
+            // else: wait for the suppliership already in flight.
+            return;
+        }
+        // Clean negative: no supplier on chip.
+        self.try_decide(now, resp.line, fx);
+    }
+
+    /// Acts on a clean negative own response once every known collider's
+    /// response has been observed (Uncorq defers across the two §4.4
+    /// reorderings; with no collision this fires immediately).
+    fn try_decide(&mut self, now: Cycle, line: LineAddr, fx: &mut Vec<Effect>) {
+        let Some(tx) = self.outstanding.get_mut(line) else {
+            return;
+        };
+        let Some(own) = tx.own_resp else {
+            return;
+        };
+        if own.positive || tx.committed || tx.mem_waiting {
+            return;
+        }
+        if tx.lost {
+            self.fail_txn(now, line, fx);
+            return;
+        }
+        if !tx.all_collider_responses_seen() {
+            return; // decision deferred
+        }
+        if !tx.beats_all_colliders() {
+            self.fail_txn(now, line, fx);
+            return;
+        }
+        // Winner (or no collision): commit.
+        tx.committed = true;
+        if tx.kind == TxnKind::WriteHit && !tx.copy_lost && self.l2.state(line).is_valid() {
+            // Locally cached data + all remote copies invalidated by the
+            // completed lap: the store completes without memory.
+            self.complete_txn(now, line, true, fx);
+            return;
+        }
+        if tx.kind == TxnKind::WriteHit {
+            // Copy lost under us: degrade to a miss-style memory fill.
+            tx.kind = TxnKind::WriteMiss;
+        }
+        tx.mem_waiting = true;
+        fx.push(Effect::MemFetch {
+            line,
+            prefetch: false,
+        });
+    }
+
+    fn mem_data(&mut self, now: Cycle, line: LineAddr, fx: &mut Vec<Effect>) {
+        let Some(tx) = self.outstanding.get_mut(line) else {
+            return; // prefetch completion for a line no longer waited on
+        };
+        if !tx.mem_waiting {
+            return;
+        }
+        let state = match tx.kind {
+            TxnKind::Read => {
+                if tx.sharers_seen {
+                    LineState::MasterShared
+                } else {
+                    LineState::Exclusive
+                }
+            }
+            TxnKind::WriteMiss | TxnKind::WriteHit => LineState::Dirty,
+        };
+        let kind = tx.kind;
+        let latency = now - tx.first_issued_at;
+        self.install(line, state, fx);
+        fx.push(Effect::Bound {
+            line,
+            kind,
+            latency,
+            c2c: false,
+        });
+        self.complete_txn(now, line, false, fx);
+    }
+
+    fn supplier_arrival(&mut self, now: Cycle, msg: SupplierMsg, fx: &mut Vec<Effect>) {
+        let Some(tx) = self.outstanding.get_mut(msg.line) else {
+            return; // defensive: suppliership for a failed transaction
+        };
+        if tx.txn != msg.txn || tx.suppliership.is_some() {
+            return;
+        }
+        tx.suppliership = Some(msg);
+        fx.push(Effect::Bound {
+            line: msg.line,
+            kind: tx.kind,
+            latency: now - tx.first_issued_at,
+            c2c: true,
+        });
+        if tx.own_resp.map(|r| r.positive).unwrap_or(false) {
+            self.complete_txn(now, msg.line, true, fx);
+        }
+    }
+
+    /// Installs a line into the L2, handling filter updates, dirty
+    /// writebacks, and eviction of lines with outstanding WriteHits.
+    fn install(&mut self, line: LineAddr, state: LineState, fx: &mut Vec<Effect>) {
+        let evicted = self.l2.insert(line, state);
+        if let Some(f) = self.filter.as_mut() {
+            f.insert(line);
+        }
+        if let Some(ev) = evicted {
+            if let Some(f) = self.filter.as_mut() {
+                f.remove(ev.addr);
+            }
+            fx.push(Effect::L1Invalidate { line: ev.addr });
+            if ev.state.is_dirty() {
+                fx.push(Effect::Writeback { line: ev.addr });
+            }
+            if let Some(victim_tx) = self.outstanding.get_mut(ev.addr) {
+                victim_tx.copy_lost = true;
+            }
+        }
+    }
+
+    fn complete_txn(&mut self, now: Cycle, line: LineAddr, c2c: bool, fx: &mut Vec<Effect>) {
+        let Some(tx) = self.outstanding.release(line) else {
+            return;
+        };
+        // Install the supplied state (memory fills install in mem_data).
+        if let Some(sup) = tx.suppliership {
+            self.install(line, sup.new_state, fx);
+        } else if tx.kind == TxnKind::WriteHit && c2c {
+            // Local completion of an invalidating write hit.
+            self.l2.set_state(line, LineState::Dirty);
+        }
+        // Foreign transactions that overlapped ours and whose responses we
+        // have not yet forwarded must be squashed when they pass (the
+        // natural-serialization squash of Tables 1 and 2).
+        let unserviced: BTreeSet<TxnId> = tx
+            .colliders
+            .iter()
+            .filter(|(id, c)| {
+                !c.response_seen || self.ltt.entry(line).and_then(|e| e.slot(**id)).is_some()
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        if !unserviced.is_empty() {
+            self.squash_set.entry(line).or_default().extend(unserviced);
+        }
+        self.retry_info.remove(&line);
+        if self.starving == Some(line) {
+            self.starving = None;
+        }
+        self.stats.completed += 1;
+        if c2c {
+            self.stats.completed_c2c += 1;
+        }
+        fx.push(Effect::Complete {
+            line,
+            kind: tx.kind,
+            c2c,
+            retries: tx.retries,
+            prefetch_issued: tx.prefetch_issued,
+            latency: now - tx.first_issued_at,
+        });
+    }
+
+    fn fail_txn(&mut self, now: Cycle, line: LineAddr, fx: &mut Vec<Effect>) {
+        let Some(tx) = self.outstanding.release(line) else {
+            return;
+        };
+        self.stats.retries += 1;
+        let mut kind = tx.kind;
+        if tx.must_invalidate || tx.copy_lost {
+            if self.l2.invalidate(line) {
+                if let Some(f) = self.filter.as_mut() {
+                    f.remove(line);
+                }
+                fx.push(Effect::L1Invalidate { line });
+            }
+            if kind == TxnKind::WriteHit {
+                kind = TxnKind::WriteMiss;
+            }
+        }
+        let count = tx.retries + 1;
+        self.retry_info.insert(
+            line,
+            RetryInfo {
+                kind,
+                count,
+                first_issued_at: tx.first_issued_at,
+            },
+        );
+        if count >= self.cfg.starvation_threshold && self.starving.is_none() {
+            self.starving = Some(line);
+            self.stats.starvation_events += 1;
+        }
+        let jitter = self.rng.below(self.cfg.retry_backoff.max(1));
+        fx.push(Effect::Retry {
+            line,
+            delay: self.cfg.retry_backoff + jitter,
+        });
+        let _ = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::RingMsg;
+
+    const LINE: u64 = 0x40;
+
+    fn line() -> LineAddr {
+        LineAddr::new(LINE)
+    }
+
+    fn agent(kind: ProtocolKind) -> RingAgent {
+        RingAgent::new(
+            NodeId(3),
+            ProtocolConfig::paper(kind),
+            CacheConfig::l2_512k(),
+            DetRng::seed(9),
+        )
+    }
+
+    fn foreign_req(node: usize, serial: u64, kind: TxnKind) -> RequestMsg {
+        RequestMsg {
+            txn: TxnId {
+                node: NodeId(node),
+                serial,
+            },
+            line: line(),
+            kind,
+            priority: Priority::new(kind, 1, NodeId(node)),
+        }
+    }
+
+    fn own_request(fx: &[Effect]) -> RequestMsg {
+        fx.iter()
+            .find_map(|e| match e {
+                Effect::RingSend {
+                    msg: RingMsg::Request(r),
+                    ..
+                } => Some(*r),
+                Effect::MulticastRequest(r) => Some(*r),
+                _ => None,
+            })
+            .expect("request issued")
+    }
+
+    #[test]
+    fn read_issue_effects_eager_vs_uncorq() {
+        // Eager: R and r- both ride the ring.
+        let mut e = agent(ProtocolKind::Eager);
+        let fx = e.handle(
+            0,
+            AgentInput::CoreRequest {
+                line: line(),
+                kind: TxnKind::Read,
+            },
+        );
+        assert!(fx.iter().any(|x| matches!(
+            x,
+            Effect::RingSend {
+                msg: RingMsg::Request(_),
+                ..
+            }
+        )));
+        assert!(!fx.iter().any(|x| matches!(x, Effect::MulticastRequest(_))));
+        // Uncorq: the read R is multicast.
+        let mut u = agent(ProtocolKind::Uncorq);
+        let fx = u.handle(
+            0,
+            AgentInput::CoreRequest {
+                line: line(),
+                kind: TxnKind::Read,
+            },
+        );
+        assert!(fx.iter().any(|x| matches!(x, Effect::MulticastRequest(_))));
+        // Both put the initial r- on the ring.
+        assert!(fx.iter().any(|x| matches!(
+            x,
+            Effect::RingSend { msg: RingMsg::Response(r), .. } if !r.positive
+        )));
+    }
+
+    #[test]
+    fn uncorq_write_requests_still_use_the_ring() {
+        // Paper §6: the improvement applies to reads only.
+        let mut u = agent(ProtocolKind::Uncorq);
+        u.install_line(line(), LineState::Shared);
+        let fx = u.handle(
+            0,
+            AgentInput::CoreRequest {
+                line: line(),
+                kind: TxnKind::WriteHit,
+            },
+        );
+        assert!(!fx.iter().any(|x| matches!(x, Effect::MulticastRequest(_))));
+        assert!(fx.iter().any(|x| matches!(
+            x,
+            Effect::RingSend { msg: RingMsg::Request(r), .. } if r.kind == TxnKind::WriteHit
+        )));
+    }
+
+    #[test]
+    fn supplier_snoop_ships_data_and_demotes() {
+        let mut a = agent(ProtocolKind::Eager);
+        a.install_line(line(), LineState::Exclusive);
+        let r = foreign_req(1, 1, TxnKind::Read);
+        a.handle(0, AgentInput::RingArrival(RingMsg::Request(r)));
+        let fx = a.handle(
+            7,
+            AgentInput::SnoopDone {
+                txn: r.txn,
+                line: line(),
+            },
+        );
+        let sup = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::SendSupplier { to, msg } => Some((*to, *msg)),
+                _ => None,
+            })
+            .expect("suppliership sent");
+        assert_eq!(sup.0, NodeId(1));
+        assert!(sup.1.with_data);
+        assert_eq!(sup.1.new_state, LineState::MasterShared);
+        assert_eq!(a.l2().state(line()), LineState::Shared);
+        assert_eq!(a.stats().supplierships_sent, 1);
+    }
+
+    #[test]
+    fn write_snoop_invalidates_and_notifies_l1() {
+        let mut a = agent(ProtocolKind::Eager);
+        a.install_line(line(), LineState::Shared);
+        let r = foreign_req(1, 1, TxnKind::WriteMiss);
+        a.handle(0, AgentInput::RingArrival(RingMsg::Request(r)));
+        let fx = a.handle(
+            7,
+            AgentInput::SnoopDone {
+                txn: r.txn,
+                line: line(),
+            },
+        );
+        assert_eq!(a.l2().state(line()), LineState::Invalid);
+        assert!(fx.iter().any(|e| matches!(e, Effect::L1Invalidate { .. })));
+        assert!(!fx.iter().any(|e| matches!(e, Effect::SendSupplier { .. })));
+    }
+
+    #[test]
+    fn prefetch_issued_only_for_unseen_reads() {
+        let mut cfg = ProtocolConfig::uncorq_pref();
+        cfg.npp_entries = 16;
+        let mut a = RingAgent::new(NodeId(3), cfg, CacheConfig::l2_512k(), DetRng::seed(9));
+        // Unseen address: prefetch fires.
+        let fx = a.handle(
+            0,
+            AgentInput::CoreRequest {
+                line: line(),
+                kind: TxnKind::Read,
+            },
+        );
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::MemFetch { prefetch: true, .. })));
+        // An address observed in ring traffic: no prefetch.
+        let other = LineAddr::new(0x80);
+        let r = RequestMsg {
+            txn: TxnId {
+                node: NodeId(1),
+                serial: 1,
+            },
+            line: other,
+            kind: TxnKind::Read,
+            priority: Priority::new(TxnKind::Read, 0, NodeId(1)),
+        };
+        a.handle(5, AgentInput::DirectRequest(r));
+        let fx = a.handle(
+            10,
+            AgentInput::CoreRequest {
+                line: other,
+                kind: TxnKind::Read,
+            },
+        );
+        assert!(!fx
+            .iter()
+            .any(|e| matches!(e, Effect::MemFetch { prefetch: true, .. })));
+        assert_eq!(a.stats().prefetches_issued, 1);
+    }
+
+    #[test]
+    fn filter_negative_skips_snoop_superset_con() {
+        let mut a = agent(ProtocolKind::SupersetCon);
+        // Empty cache -> filter negative -> no StartSnoop, R forwarded
+        // after the filter latency, and the snoop is logged as skipped.
+        let r = foreign_req(1, 1, TxnKind::Read);
+        let fx = a.handle(0, AgentInput::RingArrival(RingMsg::Request(r)));
+        assert!(!fx.iter().any(|e| matches!(e, Effect::StartSnoop { .. })));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::RingSend { msg: RingMsg::Request(_), delay } if *delay == a.config().filter_latency
+        )));
+        assert_eq!(a.stats().snoops_skipped, 1);
+    }
+
+    #[test]
+    fn filter_positive_stalls_request_behind_snoop_superset_con() {
+        let mut a = agent(ProtocolKind::SupersetCon);
+        a.install_line(line(), LineState::Exclusive);
+        let r = foreign_req(1, 1, TxnKind::Read);
+        let fx = a.handle(0, AgentInput::RingArrival(RingMsg::Request(r)));
+        // Not forwarded yet: stalled behind the snoop.
+        assert!(!fx.iter().any(|e| matches!(
+            e,
+            Effect::RingSend {
+                msg: RingMsg::Request(_),
+                ..
+            }
+        )));
+        let delay = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::StartSnoop { delay, .. } => Some(*delay),
+                _ => None,
+            })
+            .expect("snoop scheduled");
+        assert_eq!(delay, a.config().filter_latency + a.config().snoop_latency);
+        // The request forwards when the snoop completes.
+        let fx = a.handle(
+            delay,
+            AgentInput::SnoopDone {
+                txn: r.txn,
+                line: line(),
+            },
+        );
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::RingSend {
+                msg: RingMsg::Request(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn superset_agg_forwards_and_snoops_in_parallel() {
+        let mut a = agent(ProtocolKind::SupersetAgg);
+        a.install_line(line(), LineState::Exclusive);
+        let r = foreign_req(1, 1, TxnKind::Read);
+        let fx = a.handle(0, AgentInput::RingArrival(RingMsg::Request(r)));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::RingSend { msg: RingMsg::Request(_), delay } if *delay == a.config().filter_latency
+        )));
+        assert!(fx.iter().any(|e| matches!(e, Effect::StartSnoop { .. })));
+    }
+
+    #[test]
+    fn snid_reservation_defers_other_suppliership() {
+        let mut a = agent(ProtocolKind::Uncorq);
+        a.install_line(line(), LineState::Shared);
+        // A's own WriteHit wins; its returning r+ carries an SNID.
+        let fx = a.handle(
+            0,
+            AgentInput::CoreRequest {
+                line: line(),
+                kind: TxnKind::WriteHit,
+            },
+        );
+        let own = own_request(&fx);
+        a.handle(
+            10,
+            AgentInput::Supplier(SupplierMsg {
+                txn: own.txn,
+                line: line(),
+                with_data: false,
+                new_state: LineState::Dirty,
+            }),
+        );
+        let mut rplus = ResponseMsg::initial(&own);
+        rplus.positive = true;
+        rplus.snid = Some(NodeId(9)); // node 9 is starving
+        a.handle(600, AgentInput::RingArrival(RingMsg::Response(rplus)));
+        assert_eq!(a.ltt().reservation(line()).map(|(n, _)| n), Some(NodeId(9)));
+        // A request from a non-starving node is deferred...
+        let other = foreign_req(1, 1, TxnKind::Read);
+        a.handle(610, AgentInput::DirectRequest(other));
+        let fx = a.handle(
+            617,
+            AgentInput::SnoopDone {
+                txn: other.txn,
+                line: line(),
+            },
+        );
+        assert!(fx.iter().any(|e| matches!(e, Effect::DelaySnoop { .. })));
+        assert!(!fx.iter().any(|e| matches!(e, Effect::SendSupplier { .. })));
+        // ...while the starving node is serviced immediately.
+        let starved = foreign_req(9, 1, TxnKind::Read);
+        a.handle(620, AgentInput::DirectRequest(starved));
+        let fx = a.handle(
+            627,
+            AgentInput::SnoopDone {
+                txn: starved.txn,
+                line: line(),
+            },
+        );
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::SendSupplier { to, .. } if *to == NodeId(9)
+        )));
+        assert_eq!(a.ltt().reservation(line()), None, "reservation consumed");
+    }
+
+    #[test]
+    fn starving_node_stamps_snid_on_passing_responses() {
+        let mut a = agent(ProtocolKind::Uncorq);
+        // Drive the agent into starvation via repeated squashes: issue
+        // once, then squash each reissued attempt.
+        let mut retries = 0;
+        let mut fx = a.handle(
+            0,
+            AgentInput::CoreRequest {
+                line: line(),
+                kind: TxnKind::Read,
+            },
+        );
+        for i in 1..=5u64 {
+            let own = own_request(&fx);
+            let mut squashed = ResponseMsg::initial(&own);
+            squashed.squashed = true;
+            let out = a.handle(
+                i * 1000 + 500,
+                AgentInput::RingArrival(RingMsg::Response(squashed)),
+            );
+            if out.iter().any(|e| matches!(e, Effect::Retry { .. })) {
+                retries += 1;
+            }
+            fx = a.handle(i * 1000 + 600, AgentInput::RetryNow { line: line() });
+        }
+        assert!(retries >= 4);
+        assert!(
+            a.stats().starvation_events >= 1,
+            "agent must declare starvation"
+        );
+        // A foreign response passing through now gets stamped.
+        let foreign = foreign_req(1, 7, TxnKind::Read);
+        a.handle(10_000, AgentInput::DirectRequest(foreign));
+        a.handle(
+            10_007,
+            AgentInput::SnoopDone {
+                txn: foreign.txn,
+                line: line(),
+            },
+        );
+        let fx = a.handle(
+            10_010,
+            AgentInput::RingArrival(RingMsg::Response(ResponseMsg::initial(&foreign))),
+        );
+        let stamped = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::RingSend {
+                    msg: RingMsg::Response(r),
+                    ..
+                } => Some(*r),
+                _ => None,
+            })
+            .expect("response forwarded");
+        assert_eq!(stamped.snid, Some(NodeId(3)), "starving node stamps its id");
+    }
+
+    #[test]
+    fn retry_backoff_grows_from_config() {
+        let mut a = agent(ProtocolKind::Eager);
+        let fx = a.handle(
+            0,
+            AgentInput::CoreRequest {
+                line: line(),
+                kind: TxnKind::Read,
+            },
+        );
+        let own = own_request(&fx);
+        let mut squashed = ResponseMsg::initial(&own);
+        squashed.squashed = true;
+        let fx = a.handle(500, AgentInput::RingArrival(RingMsg::Response(squashed)));
+        let delay = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::Retry { delay, .. } => Some(*delay),
+                _ => None,
+            })
+            .expect("retry scheduled");
+        let base = a.config().retry_backoff;
+        assert!(delay >= base && delay < base * 2);
+    }
+
+    #[test]
+    fn mshr_full_defers_core_requests() {
+        let mut cfg = ProtocolConfig::paper(ProtocolKind::Eager);
+        cfg.max_outstanding = 1;
+        let mut a = RingAgent::new(NodeId(3), cfg, CacheConfig::l2_512k(), DetRng::seed(9));
+        a.handle(
+            0,
+            AgentInput::CoreRequest {
+                line: line(),
+                kind: TxnKind::Read,
+            },
+        );
+        let other = LineAddr::new(0x80);
+        let fx = a.handle(
+            1,
+            AgentInput::CoreRequest {
+                line: other,
+                kind: TxnKind::Read,
+            },
+        );
+        assert!(
+            !fx.iter().any(|e| matches!(
+                e,
+                Effect::RingSend {
+                    msg: RingMsg::Request(_),
+                    ..
+                }
+            )),
+            "second request must wait for an MSHR"
+        );
+        assert!(a.is_line_engaged(other), "deferred line counts as engaged");
+    }
+
+    #[test]
+    fn sharers_flag_set_when_forwarding_past_shared_copy() {
+        let mut a = agent(ProtocolKind::Eager);
+        a.install_line(line(), LineState::Shared);
+        let r = foreign_req(1, 1, TxnKind::Read);
+        a.handle(0, AgentInput::RingArrival(RingMsg::Request(r)));
+        a.handle(
+            7,
+            AgentInput::SnoopDone {
+                txn: r.txn,
+                line: line(),
+            },
+        );
+        let fx = a.handle(
+            10,
+            AgentInput::RingArrival(RingMsg::Response(ResponseMsg::initial(&r))),
+        );
+        let fwd = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::RingSend {
+                    msg: RingMsg::Response(resp),
+                    ..
+                } => Some(*resp),
+                _ => None,
+            })
+            .expect("forwarded");
+        assert!(fwd.sharers, "Shared copy must set the sharers flag");
+        assert!(!fwd.positive, "Shared is not a supplier");
+        assert_eq!(fwd.outcomes, 1);
+    }
+
+    #[test]
+    fn memory_fill_state_depends_on_sharers() {
+        for (sharers, expect) in [
+            (false, LineState::Exclusive),
+            (true, LineState::MasterShared),
+        ] {
+            let mut a = agent(ProtocolKind::Eager);
+            let fx = a.handle(
+                0,
+                AgentInput::CoreRequest {
+                    line: line(),
+                    kind: TxnKind::Read,
+                },
+            );
+            let own = own_request(&fx);
+            let mut rminus = ResponseMsg::initial(&own);
+            rminus.sharers = sharers;
+            a.handle(600, AgentInput::RingArrival(RingMsg::Response(rminus)));
+            let fx = a.handle(830, AgentInput::MemData { line: line() });
+            assert!(fx
+                .iter()
+                .any(|e| matches!(e, Effect::Complete { c2c: false, .. })));
+            assert_eq!(a.l2().state(line()), expect);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Protocol selection and timing knobs.
+
+use ring_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::ltt::LttConfig;
+
+/// Which embedded-ring snoop algorithm a machine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Eager Forwarding (paper §2.1): `R` uses the ring, forwarded at each
+    /// node before the local snoop starts.
+    Eager,
+    /// Flexible Snooping, *Superset Conservative*: a per-node presence
+    /// filter; filter-positive nodes stall `R` behind the snoop,
+    /// filter-negative nodes forward without snooping.
+    SupersetCon,
+    /// Flexible Snooping, *Superset Aggressive*: filter-positive nodes
+    /// snoop in parallel with forwarding; filter-negative nodes forward
+    /// without snooping. Forwarding always pays the filter lookup.
+    SupersetAgg,
+    /// Uncorq (paper §4): read `R`s are multicast over any network path;
+    /// write `R`s still use the ring (§6); `r` always uses the ring; the
+    /// LTT enforces the Ordering invariant.
+    Uncorq,
+}
+
+impl ProtocolKind {
+    /// All ring-based protocols, in the order Figure 9 plots them.
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::Eager,
+        ProtocolKind::SupersetCon,
+        ProtocolKind::SupersetAgg,
+        ProtocolKind::Uncorq,
+    ];
+
+    /// Whether this protocol uses a snoop presence filter.
+    pub fn uses_filter(self) -> bool {
+        matches!(self, ProtocolKind::SupersetCon | ProtocolKind::SupersetAgg)
+    }
+
+    /// Whether read requests are delivered off-ring (multicast).
+    pub fn multicast_reads(self) -> bool {
+        matches!(self, ProtocolKind::Uncorq)
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ProtocolKind::Eager => "Eager",
+            ProtocolKind::SupersetCon => "SupersetCon",
+            ProtocolKind::SupersetAgg => "SupersetAgg",
+            ProtocolKind::Uncorq => "Uncorq",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-node protocol agent configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// The algorithm.
+    pub kind: ProtocolKind,
+    /// Enable the §5.4 prefetching optimization (meaningful with
+    /// [`ProtocolKind::Uncorq`]: "Uncorq+Pref"; reads only).
+    pub prefetch: bool,
+    /// L2 snoop (tag access) latency in cycles.
+    pub snoop_latency: Cycle,
+    /// Snoop-filter lookup latency (SupersetCon/Agg only).
+    pub filter_latency: Cycle,
+    /// LTT geometry.
+    pub ltt: LttConfig,
+    /// Maximum outstanding transactions per node (MSHR entries).
+    pub max_outstanding: usize,
+    /// Base retry backoff after a squashed transaction, in cycles.
+    pub retry_backoff: Cycle,
+    /// Retries after which a node declares itself starving and engages
+    /// the forward-progress mechanism (§5.2).
+    pub starvation_threshold: u32,
+    /// How long an SNID suppliership reservation is held (§5.2.2).
+    pub reservation_cycles: Cycle,
+    /// Node Prefetch Predictor capacity in line addresses (8K in the
+    /// paper); 0 disables the NPP even when `prefetch` is on.
+    pub npp_entries: usize,
+    /// Ablation: replace the §3.3.2 winner-selection hierarchy
+    /// (type > random > node id) with bare node-id priority — "unfair,
+    /// but it never ties".
+    pub winner_node_id_only: bool,
+    /// The §5.5 extension (described but not evaluated in the paper):
+    /// cache-to-cache *read* misses do not transfer supplier status. The
+    /// old supplier keeps the designation (E→MS, D→T) and the requester
+    /// installs a plain Shared copy, so colliding cache-to-cache reads
+    /// are always serviced without squashes.
+    pub reads_keep_supplier: bool,
+}
+
+impl ProtocolConfig {
+    /// The paper's configuration for a given protocol kind.
+    pub fn paper(kind: ProtocolKind) -> Self {
+        ProtocolConfig {
+            kind,
+            prefetch: false,
+            snoop_latency: 7,
+            filter_latency: 3,
+            ltt: LttConfig::default(),
+            max_outstanding: 16,
+            retry_backoff: 32,
+            starvation_threshold: 4,
+            reservation_cycles: 1024,
+            npp_entries: 8 * 1024,
+            winner_node_id_only: false,
+            reads_keep_supplier: false,
+        }
+    }
+
+    /// Uncorq+Pref: Uncorq with the §5.4 prefetching optimization.
+    pub fn uncorq_pref() -> Self {
+        ProtocolConfig {
+            prefetch: true,
+            ..Self::paper(ProtocolKind::Uncorq)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        assert!(!ProtocolKind::Eager.uses_filter());
+        assert!(ProtocolKind::SupersetCon.uses_filter());
+        assert!(ProtocolKind::SupersetAgg.uses_filter());
+        assert!(!ProtocolKind::Uncorq.uses_filter());
+        assert!(ProtocolKind::Uncorq.multicast_reads());
+        assert!(!ProtocolKind::Eager.multicast_reads());
+    }
+
+    #[test]
+    fn paper_config_defaults() {
+        let c = ProtocolConfig::paper(ProtocolKind::Eager);
+        assert_eq!(c.snoop_latency, 7);
+        assert_eq!(c.ltt.entries, 512);
+        assert_eq!(c.ltt.ways, 64);
+        assert!(!c.prefetch);
+    }
+
+    #[test]
+    fn uncorq_pref_enables_prefetch() {
+        let c = ProtocolConfig::uncorq_pref();
+        assert_eq!(c.kind, ProtocolKind::Uncorq);
+        assert!(c.prefetch);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProtocolKind::Uncorq.to_string(), "Uncorq");
+        assert_eq!(ProtocolKind::SupersetAgg.to_string(), "SupersetAgg");
+    }
+}

@@ -1,0 +1,182 @@
+//! Snoop presence filter for the Flexible Snooping algorithms.
+
+use ring_cache::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// A *superset* presence filter: answers "might this node cache the
+/// line?" with no false negatives (if the line is cached, the filter says
+/// maybe) but possible false positives.
+///
+/// The Flexible Snooping algorithms (SupersetCon / SupersetAgg, the
+/// paper's reference \[14\])
+/// consult this filter on every request passing the node: a negative
+/// answer skips the snoop entirely (saving energy and, for SupersetCon,
+/// latency); a positive answer triggers a snoop.
+///
+/// Implemented as a counting Bloom-style signature table: hashing a line
+/// to `hashes` counters; a line "may be present" iff all its counters are
+/// non-zero. Counting allows removal on eviction/invalidation.
+///
+/// # Examples
+///
+/// ```
+/// use ring_coherence::PresenceFilter;
+/// use ring_cache::LineAddr;
+///
+/// let mut f = PresenceFilter::new(1024, 2);
+/// let a = LineAddr::new(77);
+/// assert!(!f.may_contain(a));
+/// f.insert(a);
+/// assert!(f.may_contain(a));
+/// f.remove(a);
+/// assert!(!f.may_contain(a));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PresenceFilter {
+    counters: Vec<u16>,
+    hashes: u32,
+    lookups: u64,
+    positives: u64,
+}
+
+impl PresenceFilter {
+    /// Creates a filter with `slots` counters and `hashes` hash
+    /// functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is not a power of two or `hashes` is zero.
+    pub fn new(slots: usize, hashes: u32) -> Self {
+        assert!(
+            slots.is_power_of_two(),
+            "filter slots must be a power of two"
+        );
+        assert!(hashes > 0, "filter needs at least one hash");
+        PresenceFilter {
+            counters: vec![0; slots],
+            hashes,
+            lookups: 0,
+            positives: 0,
+        }
+    }
+
+    fn slot(&self, addr: LineAddr, i: u32) -> usize {
+        // SplitMix64-style mixing, salted per hash function.
+        let mut x = addr
+            .raw()
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(i) + 1));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x as usize) & (self.counters.len() - 1)
+    }
+
+    /// Registers a line as cached.
+    pub fn insert(&mut self, addr: LineAddr) {
+        for i in 0..self.hashes {
+            let s = self.slot(addr, i);
+            self.counters[s] = self.counters[s].saturating_add(1);
+        }
+    }
+
+    /// Unregisters a line (eviction or invalidation). Must be paired with
+    /// a prior [`PresenceFilter::insert`] for the same line, otherwise the
+    /// filter may develop false negatives.
+    pub fn remove(&mut self, addr: LineAddr) {
+        for i in 0..self.hashes {
+            let s = self.slot(addr, i);
+            self.counters[s] = self.counters[s].saturating_sub(1);
+        }
+    }
+
+    /// Whether the line may be cached here (superset semantics).
+    pub fn may_contain(&self, addr: LineAddr) -> bool {
+        (0..self.hashes).all(|i| self.counters[self.slot(addr, i)] > 0)
+    }
+
+    /// Like [`PresenceFilter::may_contain`] but counts the lookup for the
+    /// filter-efficiency statistics.
+    pub fn query(&mut self, addr: LineAddr) -> bool {
+        self.lookups += 1;
+        let hit = self.may_contain(addr);
+        if hit {
+            self.positives += 1;
+        }
+        hit
+    }
+
+    /// Total counted lookups.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Counted lookups that answered "maybe present".
+    pub fn positives(&self) -> u64 {
+        self.positives
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = PresenceFilter::new(256, 2);
+        for i in 0..100 {
+            f.insert(LineAddr::new(i));
+        }
+        for i in 0..100 {
+            assert!(f.may_contain(LineAddr::new(i)));
+        }
+    }
+
+    #[test]
+    fn remove_restores_absence_when_unaliased() {
+        let mut f = PresenceFilter::new(4096, 2);
+        let a = LineAddr::new(1);
+        f.insert(a);
+        f.remove(a);
+        assert!(!f.may_contain(a));
+    }
+
+    #[test]
+    fn aliased_lines_keep_superset_property() {
+        let mut f = PresenceFilter::new(4, 1); // heavy aliasing
+        f.insert(LineAddr::new(1));
+        f.insert(LineAddr::new(2));
+        f.remove(LineAddr::new(2));
+        // Line 1 must still test positive regardless of aliasing.
+        assert!(f.may_contain(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn query_counts() {
+        let mut f = PresenceFilter::new(256, 2);
+        f.insert(LineAddr::new(5));
+        assert!(f.query(LineAddr::new(5)));
+        f.query(LineAddr::new(1_000_000));
+        assert_eq!(f.lookups(), 2);
+        assert!(f.positives() >= 1);
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut f = PresenceFilter::new(4096, 2);
+        for i in 0..256 {
+            f.insert(LineAddr::new(i));
+        }
+        let fp = (10_000..20_000)
+            .filter(|&i| f.may_contain(LineAddr::new(i)))
+            .count();
+        assert!(fp < 500, "false positive count {fp} too high");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        let _ = PresenceFilter::new(100, 2);
+    }
+}

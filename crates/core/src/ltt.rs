@@ -1,0 +1,581 @@
+//! The Local Transaction Table (paper §5.1).
+
+use ring_cache::LineAddr;
+use ring_noc::NodeId;
+use ring_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::msg::{RequestMsg, ResponseMsg};
+use crate::txn::TxnId;
+
+/// LTT geometry (paper Table 3: 512 entries, 64-way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LttConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl Default for LttConfig {
+    fn default() -> Self {
+        LttConfig {
+            entries: 512,
+            ways: 64,
+        }
+    }
+}
+
+impl LttConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.entries / self.ways).max(1)
+    }
+}
+
+/// Per-transaction slot of an LTT entry: the SV bit (snoop done), the RV
+/// bit (response received, with the buffered response itself), and the
+/// request as observed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TxnSlot {
+    /// The transaction.
+    pub txn: TxnId,
+    /// The request message, once seen (needed to snoop).
+    pub request: Option<RequestMsg>,
+    /// SV bit: local snoop completed.
+    pub snoop_done: bool,
+    /// Outcome of the completed snoop (meaningful when `snoop_done`).
+    pub snoop_positive: bool,
+    /// RV bit + buffered response.
+    pub response: Option<ResponseMsg>,
+    /// Arrival order of the response, for FIFO draining.
+    response_order: u64,
+}
+
+impl TxnSlot {
+    fn new(txn: TxnId) -> Self {
+        TxnSlot {
+            txn,
+            request: None,
+            snoop_done: false,
+            snoop_positive: false,
+            response: None,
+            response_order: 0,
+        }
+    }
+}
+
+/// One LTT entry: all simultaneously in-flight transactions at this node
+/// for one memory line, plus the Winning node ID (WID) field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LttEntry {
+    /// The line this entry tracks.
+    pub line: LineAddr,
+    /// Winning Node ID: the node whose transaction holds the suppliership
+    /// of this line. While set, responses of other transactions are
+    /// stalled (Ordering-invariant mechanisms 1 and 2).
+    pub wid: Option<NodeId>,
+    /// A starving-node suppliership reservation (SNID forward progress,
+    /// §5.2.2): `(starving node, expiry cycle)`. Unlike `wid`, a
+    /// reservation never stalls response forwarding — it only makes the
+    /// snoop path defer granting suppliership to other nodes.
+    pub reservation: Option<(NodeId, Cycle)>,
+    slots: Vec<TxnSlot>,
+}
+
+impl LttEntry {
+    fn new(line: LineAddr) -> Self {
+        LttEntry {
+            line,
+            wid: None,
+            reservation: None,
+            slots: Vec::new(),
+        }
+    }
+
+    fn slot_mut(&mut self, txn: TxnId) -> &mut TxnSlot {
+        if let Some(i) = self.slots.iter().position(|s| s.txn == txn) {
+            &mut self.slots[i]
+        } else {
+            self.slots.push(TxnSlot::new(txn));
+            self.slots.last_mut().expect("just pushed")
+        }
+    }
+
+    /// The slot for `txn`, if tracked.
+    pub fn slot(&self, txn: TxnId) -> Option<&TxnSlot> {
+        self.slots.iter().find(|s| s.txn == txn)
+    }
+
+    /// All in-flight transaction slots of this entry.
+    pub fn slots(&self) -> &[TxnSlot] {
+        &self.slots
+    }
+
+    /// Whether any transaction is still in flight here (a slot exists).
+    pub fn busy(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Number of tracked transactions.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the entry can be deallocated: no slots, no WID, and no
+    /// reservation.
+    fn idle(&self) -> bool {
+        self.slots.is_empty() && self.wid.is_none() && self.reservation.is_none()
+    }
+
+    /// Whether a transaction by `node` may forward its response now:
+    /// WID clear, or WID equal to `node` (§5.1 condition 3).
+    fn wid_allows(&self, node: NodeId) -> bool {
+        self.wid.is_none() || self.wid == Some(node)
+    }
+
+    /// Transactions whose responses are ready to forward, in drain order:
+    /// the WID-owning transaction first, then the rest in response arrival
+    /// order.
+    pub fn ready(&self) -> Vec<TxnId> {
+        let mut ready: Vec<&TxnSlot> = self
+            .slots
+            .iter()
+            .filter(|s| s.snoop_done && s.response.is_some() && self.wid_allows(s.txn.node))
+            .collect();
+        ready.sort_by_key(|s| s.response_order);
+        // Winner (if ready) drains first.
+        if let Some(wid) = self.wid {
+            ready.sort_by_key(|s| if s.txn.node == wid { 0 } else { 1 });
+        }
+        ready.iter().map(|s| s.txn).collect()
+    }
+
+    /// Removes the slot for `txn` and returns it (buffered response,
+    /// snoop outcome and observed request); clears WID if this
+    /// transaction owned it. Called when the combined response is
+    /// forwarded.
+    pub fn take(&mut self, txn: TxnId) -> Option<TxnSlot> {
+        let i = self.slots.iter().position(|s| s.txn == txn)?;
+        let slot = self.slots.remove(i);
+        if self.wid == Some(txn.node) {
+            self.wid = None;
+        }
+        Some(slot)
+    }
+}
+
+/// The Local Transaction Table: one per node.
+///
+/// Records every in-flight transaction the node has observed (an `R`
+/// and/or `r` received whose combined response has not yet been forwarded)
+/// and enforces the two Uncorq ordering mechanisms of §4.3:
+///
+/// 1. after the supplier processes a winning `R_i`, it forwards no `r_j`
+///    (j ≠ i) before it forwards `r_i+`;
+/// 2. a node that received `r_i+` forwards no later `r_j-` until it has
+///    received `R_i` and forwarded `r_i+`.
+///
+/// Both reduce to the WID rule implemented by [`LttEntry::ready`].
+///
+/// # Examples
+///
+/// ```
+/// use ring_coherence::{Ltt, LttConfig};
+/// use ring_cache::LineAddr;
+///
+/// let mut ltt = Ltt::new(LttConfig::default());
+/// let e = ltt.entry_mut(LineAddr::new(9));
+/// assert!(!e.busy());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ltt {
+    cfg: LttConfig,
+    sets: Vec<Vec<LttEntry>>,
+    response_seq: u64,
+    stalled_responses: u64,
+    peak_entries: usize,
+    overflows: u64,
+}
+
+impl Ltt {
+    /// Creates an empty LTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry yields no sets or a non-power-of-two set
+    /// count.
+    pub fn new(cfg: LttConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(
+            sets.is_power_of_two(),
+            "LTT set count must be a power of two"
+        );
+        Ltt {
+            cfg,
+            sets: vec![Vec::new(); sets],
+            response_seq: 0,
+            stalled_responses: 0,
+            peak_entries: 0,
+            overflows: 0,
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.sets.len() - 1)
+    }
+
+    /// The entry for `line`, if allocated.
+    pub fn entry(&self, line: LineAddr) -> Option<&LttEntry> {
+        self.sets[self.set_index(line)]
+            .iter()
+            .find(|e| e.line == line)
+    }
+
+    /// The entry for `line`, allocating if needed.
+    ///
+    /// Following the paper's first sizing approach (§5.1), the table is
+    /// provisioned for the maximum in-flight transactions; if a workload
+    /// nevertheless exceeds a set's associativity, the allocation succeeds
+    /// anyway and an overflow is counted (the NACK-and-retry alternative
+    /// is explicitly not modeled, as in the paper).
+    pub fn entry_mut(&mut self, line: LineAddr) -> &mut LttEntry {
+        let ways = self.cfg.ways;
+        let idx = self.set_index(line);
+        let pos = self.sets[idx].iter().position(|e| e.line == line);
+        let i = match pos {
+            Some(i) => i,
+            None => {
+                if self.sets[idx].len() >= ways {
+                    self.overflows += 1;
+                }
+                self.sets[idx].push(LttEntry::new(line));
+                let total: usize = self.sets.iter().map(|s| s.len()).sum();
+                self.peak_entries = self.peak_entries.max(total);
+                self.sets[idx].len() - 1
+            }
+        };
+        &mut self.sets[idx][i]
+    }
+
+    /// Records an observed request: allocates the slot and remembers the
+    /// message (the SV bit is set later, by [`Ltt::snoop_complete`]).
+    pub fn see_request(&mut self, req: RequestMsg) {
+        let entry = self.entry_mut(req.line);
+        let slot = entry.slot_mut(req.txn);
+        slot.request = Some(req);
+    }
+
+    /// Records a completed local snoop for `txn`; a positive outcome sets
+    /// WID to the requester (mechanism 1: this node is the supplier).
+    pub fn snoop_complete(&mut self, txn: TxnId, line: LineAddr, positive: bool) {
+        let entry = self.entry_mut(line);
+        let slot = entry.slot_mut(txn);
+        slot.snoop_done = true;
+        slot.snoop_positive = positive;
+        if positive {
+            entry.wid = Some(txn.node);
+            // A real winner supersedes any starving-node reservation for
+            // the same node; a different node's win is only possible when
+            // the reservation already lapsed or was force-cleared.
+            if entry
+                .reservation
+                .map(|(n, _)| n == txn.node)
+                .unwrap_or(false)
+            {
+                entry.reservation = None;
+            }
+        }
+    }
+
+    /// Records an arriving response; a positive response sets WID to the
+    /// requester (mechanism 2). Returns whether the response had to be
+    /// buffered behind a WID held by another transaction.
+    pub fn see_response(&mut self, resp: ResponseMsg) -> bool {
+        self.response_seq += 1;
+        let seq = self.response_seq;
+        let entry = self.entry_mut(resp.line);
+        if resp.positive {
+            entry.wid = Some(resp.requester());
+        }
+        let stalled = !entry.wid_allows(resp.requester());
+        let slot = entry.slot_mut(resp.txn);
+        slot.response = Some(resp);
+        slot.response_order = seq;
+        if stalled {
+            self.stalled_responses += 1;
+        }
+        stalled
+    }
+
+    /// Places a starving-node reservation on `line` (SNID forward
+    /// progress, §5.2.2): the snoop path defers granting suppliership to
+    /// nodes other than `node` until the reservation is consumed or
+    /// lapses at `until`. Response forwarding is unaffected.
+    pub fn reserve(&mut self, line: LineAddr, node: NodeId, until: Cycle) {
+        let entry = self.entry_mut(line);
+        entry.reservation = Some((node, until));
+    }
+
+    /// The active reservation on `line`, if any.
+    pub fn reservation(&self, line: LineAddr) -> Option<(NodeId, Cycle)> {
+        self.entry(line).and_then(|e| e.reservation)
+    }
+
+    /// Clears the reservation on `line` if `now` is past its expiry (or
+    /// unconditionally when `force`). Returns whether one was cleared.
+    pub fn clear_reservation(&mut self, line: LineAddr, now: Cycle, force: bool) -> bool {
+        let idx = self.set_index(line);
+        if let Some(i) = self.sets[idx].iter().position(|e| e.line == line) {
+            let entry = &mut self.sets[idx][i];
+            if let Some((_, t)) = entry.reservation {
+                if force || now >= t {
+                    entry.reservation = None;
+                    if entry.idle() {
+                        self.sets[idx].remove(i);
+                    }
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Removes the slot for `txn` on `line` and returns it; deallocates
+    /// the entry if it becomes idle.
+    pub fn take(&mut self, line: LineAddr, txn: TxnId) -> Option<TxnSlot> {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        let i = set.iter().position(|e| e.line == line)?;
+        let slot = set[i].take(txn);
+        if set[i].idle() {
+            set.remove(i);
+        }
+        slot
+    }
+
+    /// Whether any transaction for `line` is in flight at this node —
+    /// the In-Progress Transaction Restriction (§3.2) consults this.
+    pub fn line_busy(&self, line: LineAddr) -> bool {
+        self.entry(line).map(LttEntry::busy).unwrap_or(false)
+    }
+
+    /// Responses that were stalled by the WID rule so far.
+    pub fn stalled_responses(&self) -> u64 {
+        self.stalled_responses
+    }
+
+    /// Peak simultaneous entries across all sets.
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+
+    /// Allocations beyond a set's nominal associativity.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Current number of allocated entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::{Priority, TxnKind};
+
+    fn txn(node: usize, serial: u64) -> TxnId {
+        TxnId {
+            node: NodeId(node),
+            serial,
+        }
+    }
+
+    fn req(node: usize, serial: u64, line: u64, kind: TxnKind) -> RequestMsg {
+        RequestMsg {
+            txn: txn(node, serial),
+            line: LineAddr::new(line),
+            kind,
+            priority: Priority::new(kind, 0, NodeId(node)),
+        }
+    }
+
+    fn resp(node: usize, serial: u64, line: u64, positive: bool) -> ResponseMsg {
+        let mut r = ResponseMsg::initial(&req(node, serial, line, TxnKind::Read));
+        r.positive = positive;
+        r
+    }
+
+    #[test]
+    fn slot_lifecycle() {
+        let mut ltt = Ltt::new(LttConfig::default());
+        let line = LineAddr::new(5);
+        ltt.see_request(req(1, 0, 5, TxnKind::Read));
+        assert!(ltt.line_busy(line));
+        ltt.snoop_complete(txn(1, 0), line, false);
+        ltt.see_response(resp(1, 0, 5, false));
+        let ready = ltt.entry(line).unwrap().ready();
+        assert_eq!(ready, vec![txn(1, 0)]);
+        let slot = ltt.take(line, txn(1, 0)).unwrap();
+        assert!(!slot.response.unwrap().positive);
+        assert!(slot.snoop_done);
+        assert!(!ltt.line_busy(line));
+        assert!(ltt.is_empty());
+    }
+
+    #[test]
+    fn response_without_snoop_not_ready() {
+        let mut ltt = Ltt::new(LttConfig::default());
+        let line = LineAddr::new(5);
+        ltt.see_request(req(1, 0, 5, TxnKind::Read));
+        ltt.see_response(resp(1, 0, 5, false));
+        assert!(ltt.entry(line).unwrap().ready().is_empty());
+        ltt.snoop_complete(txn(1, 0), line, false);
+        assert_eq!(ltt.entry(line).unwrap().ready(), vec![txn(1, 0)]);
+    }
+
+    #[test]
+    fn positive_snoop_sets_wid_and_blocks_losers() {
+        // Mechanism 1: after the supplier snoops the winner positively,
+        // the loser's response stalls until the winner's is forwarded.
+        let mut ltt = Ltt::new(LttConfig::default());
+        let line = LineAddr::new(7);
+        // Winner A's request snooped positive.
+        ltt.see_request(req(1, 0, 7, TxnKind::Read));
+        ltt.snoop_complete(txn(1, 0), line, true);
+        // Loser B fully present (snooped + response) — but stalled.
+        ltt.see_request(req(2, 0, 7, TxnKind::Read));
+        ltt.snoop_complete(txn(2, 0), line, false);
+        assert!(ltt.see_response(resp(2, 0, 7, false)));
+        assert!(ltt.entry(line).unwrap().ready().is_empty());
+        // Winner's response arrives → winner ready first.
+        ltt.see_response(resp(1, 0, 7, false)); // will be combined to + by agent
+        assert_eq!(ltt.entry(line).unwrap().ready(), vec![txn(1, 0)]);
+        // Forward winner → loser drains.
+        ltt.take(line, txn(1, 0));
+        assert_eq!(ltt.entry(line).unwrap().ready(), vec![txn(2, 0)]);
+        assert_eq!(ltt.stalled_responses(), 1);
+    }
+
+    #[test]
+    fn positive_response_sets_wid_mechanism_two() {
+        // Mechanism 2 (the Figure 7 scenario): r_A+ arrives before R_A;
+        // a later r_B- must not overtake it.
+        let mut ltt = Ltt::new(LttConfig::default());
+        let line = LineAddr::new(9);
+        // r_A+ arrives first (R_A delayed in the network).
+        assert!(!ltt.see_response(resp(1, 0, 9, true)));
+        // B's request + snoop + response all arrive.
+        ltt.see_request(req(2, 0, 9, TxnKind::WriteHit));
+        ltt.snoop_complete(txn(2, 0), line, false);
+        assert!(ltt.see_response(resp(2, 0, 9, false)));
+        // B is stalled: WID = A.
+        assert!(ltt.entry(line).unwrap().ready().is_empty());
+        // R_A finally arrives and is snooped (negatively — C is not the
+        // supplier in Figure 7).
+        ltt.see_request(req(1, 0, 9, TxnKind::Read));
+        ltt.snoop_complete(txn(1, 0), line, false);
+        // Now A drains first, then B.
+        assert_eq!(ltt.entry(line).unwrap().ready(), vec![txn(1, 0)]);
+        ltt.take(line, txn(1, 0));
+        assert_eq!(ltt.entry(line).unwrap().ready(), vec![txn(2, 0)]);
+    }
+
+    #[test]
+    fn two_negative_responses_can_reorder() {
+        // "Two negative responses can always overtake each other."
+        let mut ltt = Ltt::new(LttConfig::default());
+        let line = LineAddr::new(11);
+        ltt.see_request(req(1, 0, 11, TxnKind::Read));
+        ltt.see_request(req(2, 0, 11, TxnKind::Read));
+        ltt.see_response(resp(1, 0, 11, false));
+        ltt.see_response(resp(2, 0, 11, false));
+        // Only B's snoop is done: B may forward even though A's response
+        // arrived first.
+        ltt.snoop_complete(txn(2, 0), line, false);
+        assert_eq!(ltt.entry(line).unwrap().ready(), vec![txn(2, 0)]);
+    }
+
+    #[test]
+    fn reservation_tracks_and_expires() {
+        let mut ltt = Ltt::new(LttConfig::default());
+        let line = LineAddr::new(13);
+        ltt.reserve(line, NodeId(5), 1000);
+        assert_eq!(ltt.reservation(line), Some((NodeId(5), 1000)));
+        assert!(!ltt.clear_reservation(line, 999, false));
+        assert!(ltt.clear_reservation(line, 1000, false));
+        assert_eq!(ltt.reservation(line), None);
+    }
+
+    #[test]
+    fn reservation_does_not_stall_responses() {
+        // Unlike the WID, a starving-node reservation must not delay
+        // response forwarding -- it only gates suppliership grants.
+        let mut ltt = Ltt::new(LttConfig::default());
+        let line = LineAddr::new(13);
+        ltt.reserve(line, NodeId(5), 1000);
+        ltt.see_request(req(2, 0, 13, TxnKind::Read));
+        ltt.snoop_complete(txn(2, 0), line, false);
+        ltt.see_response(resp(2, 0, 13, false));
+        assert_eq!(ltt.entry(line).unwrap().ready(), vec![txn(2, 0)]);
+    }
+
+    #[test]
+    fn force_clear_reservation() {
+        let mut ltt = Ltt::new(LttConfig::default());
+        let line = LineAddr::new(14);
+        ltt.reserve(line, NodeId(5), 1000);
+        assert!(ltt.clear_reservation(line, 0, true));
+        assert!(!ltt.clear_reservation(line, 0, true));
+    }
+
+    #[test]
+    fn positive_snoop_consumes_matching_reservation() {
+        let mut ltt = Ltt::new(LttConfig::default());
+        let line = LineAddr::new(15);
+        ltt.reserve(line, NodeId(5), 1000);
+        ltt.see_request(req(5, 0, 15, TxnKind::Read));
+        ltt.snoop_complete(txn(5, 0), line, true);
+        assert_eq!(ltt.reservation(line), None);
+        assert_eq!(ltt.entry(line).unwrap().wid, Some(NodeId(5)));
+    }
+
+    #[test]
+    fn overflow_is_counted_not_fatal() {
+        let mut ltt = Ltt::new(LttConfig {
+            entries: 2,
+            ways: 2,
+        });
+        // 1 set, 2 ways; third line overflows but still allocates.
+        ltt.see_request(req(1, 0, 1, TxnKind::Read));
+        ltt.see_request(req(1, 1, 2, TxnKind::Read));
+        ltt.see_request(req(1, 2, 3, TxnKind::Read));
+        assert_eq!(ltt.overflows(), 1);
+        assert_eq!(ltt.len(), 3);
+    }
+
+    #[test]
+    fn take_unknown_returns_none() {
+        let mut ltt = Ltt::new(LttConfig::default());
+        assert!(ltt.take(LineAddr::new(1), txn(1, 0)).is_none());
+    }
+
+    #[test]
+    fn peak_entries_tracks_high_water() {
+        let mut ltt = Ltt::new(LttConfig::default());
+        ltt.see_request(req(1, 0, 1, TxnKind::Read));
+        ltt.see_request(req(1, 1, 2, TxnKind::Read));
+        ltt.snoop_complete(txn(1, 0), LineAddr::new(1), false);
+        ltt.see_response(resp(1, 0, 1, false));
+        ltt.take(LineAddr::new(1), txn(1, 0));
+        assert_eq!(ltt.peak_entries(), 2);
+        assert_eq!(ltt.len(), 1);
+    }
+}

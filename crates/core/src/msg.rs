@@ -1,0 +1,237 @@
+//! Coherence protocol messages.
+
+use ring_cache::{LineAddr, LineState};
+use ring_noc::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::txn::{Priority, TxnId, TxnKind};
+
+/// Size of a control message (R, r, suppliership-without-data, acks) in
+/// bytes, for traffic accounting.
+pub const CONTROL_BYTES: u64 = 8;
+
+/// Size of a data-carrying message (64 B line + 8 B header) in bytes.
+pub const DATA_BYTES: u64 = 72;
+
+/// A snoop request (`R`) message.
+///
+/// Under Eager and Flexible Snooping, `R` traverses the ring; under
+/// Uncorq, read `R`s are delivered over any network path (multicast)
+/// while write `R`s still use the ring (paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestMsg {
+    /// Identity of the transaction.
+    pub txn: TxnId,
+    /// The line being requested.
+    pub line: LineAddr,
+    /// Read, write miss, or invalidating write hit.
+    pub kind: TxnKind,
+    /// Winner-selection priority, fixed at issue.
+    pub priority: Priority,
+}
+
+impl RequestMsg {
+    /// The requesting node (shorthand for `txn.node`).
+    pub fn requester(&self) -> NodeId {
+        self.txn.node
+    }
+}
+
+/// A combined snoop response (`r`) message; always traverses the ring.
+///
+/// Carries the combined outcome of the snoops performed so far, plus the
+/// serialization metadata of §3–§5: the squash mark, the Loser Hint bit
+/// (Uncorq, no-supplier forced serialization), and the starving-node ID
+/// (SNID) used for forward progress in Uncorq.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseMsg {
+    /// Identity of the transaction this response belongs to.
+    pub txn: TxnId,
+    /// The line of the transaction.
+    pub line: LineAddr,
+    /// Kind of the originating request.
+    pub kind: TxnKind,
+    /// Winner-selection priority of the transaction.
+    pub priority: Priority,
+    /// `true` for `r+` (a supplier was found), `false` for `r-`.
+    pub positive: bool,
+    /// Whether any visited node keeps a Shared copy (used by the
+    /// requester to choose Exclusive vs MasterShared on a memory fill).
+    pub sharers: bool,
+    /// Number of snoop outcomes combined so far.
+    pub outcomes: u32,
+    /// Squash mark: the transaction lost a collision and must retry.
+    pub squashed: bool,
+    /// Loser Hint (Uncorq §4.4): set by the winner of a no-supplier
+    /// forced-serialization collision on the loser's `r-`.
+    pub loser_hint: bool,
+    /// Starving-node ID (Uncorq §5.2.2): reserves the next suppliership.
+    pub snid: Option<NodeId>,
+}
+
+impl ResponseMsg {
+    /// The initial negative response a requester places on the ring right
+    /// behind (or together with) its request.
+    pub fn initial(req: &RequestMsg) -> Self {
+        ResponseMsg {
+            txn: req.txn,
+            line: req.line,
+            kind: req.kind,
+            priority: req.priority,
+            positive: false,
+            sharers: false,
+            outcomes: 0,
+            squashed: false,
+            loser_hint: false,
+            snid: None,
+        }
+    }
+
+    /// The requesting node (shorthand for `txn.node`).
+    pub fn requester(&self) -> NodeId {
+        self.txn.node
+    }
+
+    /// Whether this response tells its owner to retry. Squash and Loser
+    /// Hint marks are only meaningful on negative responses: a response
+    /// that later combined positive means the transaction won at the
+    /// supplier, overriding any pairwise guess made upstream.
+    pub fn must_retry(&self) -> bool {
+        !self.positive && (self.squashed || self.loser_hint)
+    }
+}
+
+/// A message traveling on the logical ring: either a request or a
+/// combined response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RingMsg {
+    /// A snoop request.
+    Request(RequestMsg),
+    /// A combined snoop response.
+    Response(ResponseMsg),
+}
+
+impl RingMsg {
+    /// The line this message concerns.
+    pub fn line(&self) -> LineAddr {
+        match self {
+            RingMsg::Request(m) => m.line,
+            RingMsg::Response(m) => m.line,
+        }
+    }
+
+    /// The transaction this message belongs to.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            RingMsg::Request(m) => m.txn,
+            RingMsg::Response(m) => m.txn,
+        }
+    }
+
+    /// Message size in bytes for traffic accounting.
+    pub fn bytes(&self) -> u64 {
+        CONTROL_BYTES
+    }
+}
+
+/// The suppliership message: sent by the supplier directly to the
+/// requester over the shortest network path, carrying the data (unless
+/// the requester already caches it) and the state the requester will
+/// install on completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupplierMsg {
+    /// Transaction being serviced.
+    pub txn: TxnId,
+    /// Line being supplied.
+    pub line: LineAddr,
+    /// Whether the line's data travels with the message (false for
+    /// ownership-only transfers to a `WriteHit` requester).
+    pub with_data: bool,
+    /// State the requester installs when the transaction completes.
+    pub new_state: LineState,
+}
+
+impl SupplierMsg {
+    /// Message size in bytes for traffic accounting.
+    pub fn bytes(&self) -> u64 {
+        if self.with_data {
+            DATA_BYTES
+        } else {
+            CONTROL_BYTES
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> RequestMsg {
+        RequestMsg {
+            txn: TxnId {
+                node: NodeId(3),
+                serial: 1,
+            },
+            line: LineAddr::new(42),
+            kind: TxnKind::Read,
+            priority: Priority::new(TxnKind::Read, 5, NodeId(3)),
+        }
+    }
+
+    #[test]
+    fn initial_response_is_clean_negative() {
+        let r = ResponseMsg::initial(&req());
+        assert!(!r.positive);
+        assert!(!r.squashed);
+        assert!(!r.loser_hint);
+        assert!(!r.sharers);
+        assert_eq!(r.outcomes, 0);
+        assert_eq!(r.snid, None);
+        assert!(!r.must_retry());
+        assert_eq!(r.requester(), NodeId(3));
+    }
+
+    #[test]
+    fn must_retry_on_either_mark() {
+        let mut r = ResponseMsg::initial(&req());
+        r.squashed = true;
+        assert!(r.must_retry());
+        r.squashed = false;
+        r.loser_hint = true;
+        assert!(r.must_retry());
+    }
+
+    #[test]
+    fn positive_response_ignores_marks() {
+        // A Loser Hint set before the response reached the supplier is
+        // overridden when the supplier combines it positive.
+        let mut r = ResponseMsg::initial(&req());
+        r.loser_hint = true;
+        r.positive = true;
+        assert!(!r.must_retry());
+    }
+
+    #[test]
+    fn ring_msg_accessors() {
+        let m = RingMsg::Request(req());
+        assert_eq!(m.line(), LineAddr::new(42));
+        assert_eq!(m.txn().node, NodeId(3));
+        assert_eq!(m.bytes(), CONTROL_BYTES);
+    }
+
+    #[test]
+    fn supplier_msg_sizes() {
+        let base = SupplierMsg {
+            txn: req().txn,
+            line: LineAddr::new(42),
+            with_data: true,
+            new_state: LineState::MasterShared,
+        };
+        assert_eq!(base.bytes(), DATA_BYTES);
+        let own_only = SupplierMsg {
+            with_data: false,
+            ..base
+        };
+        assert_eq!(own_only.bytes(), CONTROL_BYTES);
+    }
+}

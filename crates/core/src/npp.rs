@@ -1,0 +1,180 @@
+//! The Node Prefetch Predictor (paper §5.4).
+
+use ring_cache::LineAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// The per-node half of the prefetching optimization.
+///
+/// The NPP records "the line addresses of cache miss and invalidation
+/// transactions recently seen in the ring". When the node issues a request
+/// whose address is *not* in the table, the line is unlikely to be on chip
+/// and a memory prefetch is issued in parallel with the ring transaction.
+///
+/// Modeled as an LRU table of the most recent *distinct* addresses
+/// (paper configuration: 8K line addresses).
+///
+/// # Examples
+///
+/// ```
+/// use ring_coherence::NodePrefetchPredictor;
+/// use ring_cache::LineAddr;
+///
+/// let mut npp = NodePrefetchPredictor::new(1024);
+/// let a = LineAddr::new(9);
+/// assert!(npp.should_prefetch(a)); // unseen → likely in memory
+/// npp.observe(a);
+/// assert!(!npp.should_prefetch(a)); // seen in ring traffic → on chip
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NodePrefetchPredictor {
+    capacity: usize,
+    /// Lazy LRU queue of (addr, stamp); stale entries are skipped.
+    queue: VecDeque<(LineAddr, u64)>,
+    /// addr -> latest observation stamp.
+    present: HashMap<LineAddr, u64>,
+    tick: u64,
+    observations: u64,
+    prefetch_hits: u64,
+    prefetch_suppressions: u64,
+}
+
+impl NodePrefetchPredictor {
+    /// Creates a predictor remembering up to `capacity` distinct
+    /// addresses. A capacity of 0 yields a predictor that always
+    /// recommends prefetching.
+    pub fn new(capacity: usize) -> Self {
+        NodePrefetchPredictor {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Records a transaction address observed in ring traffic. Re-seen
+    /// addresses are refreshed (moved to most-recently-used); distinct
+    /// addresses beyond capacity evict the least recently observed.
+    pub fn observe(&mut self, addr: LineAddr) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.observations += 1;
+        self.tick += 1;
+        self.present.insert(addr, self.tick);
+        self.queue.push_back((addr, self.tick));
+        // Evict least-recently-observed distinct addresses, skipping
+        // stale queue entries superseded by a refresh.
+        while self.present.len() > self.capacity {
+            let (old, stamp) = self.queue.pop_front().expect("non-empty queue");
+            if self.present.get(&old) == Some(&stamp) {
+                self.present.remove(&old);
+            }
+        }
+        // Bound the lazy queue by trimming leading stale entries only
+        // (live entries stay in place to preserve LRU order).
+        while self.queue.len() > self.capacity * 4 {
+            match self.queue.front() {
+                Some(&(old, stamp)) if self.present.get(&old) != Some(&stamp) => {
+                    self.queue.pop_front();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Decides whether a miss on `addr` should send a prefetch to the
+    /// memory controller: yes iff the address has not been seen recently.
+    pub fn should_prefetch(&mut self, addr: LineAddr) -> bool {
+        let seen = self.present.contains_key(&addr);
+        if seen {
+            self.prefetch_suppressions += 1;
+        } else {
+            self.prefetch_hits += 1;
+        }
+        !seen
+    }
+
+    /// Number of ring observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Times the predictor recommended prefetching.
+    pub fn prefetches_recommended(&self) -> u64 {
+        self.prefetch_hits
+    }
+
+    /// Times the predictor suppressed a prefetch.
+    pub fn prefetches_suppressed(&self) -> u64 {
+        self.prefetch_suppressions
+    }
+
+    /// Distinct addresses currently remembered.
+    pub fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.present.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_address_prefetches() {
+        let mut npp = NodePrefetchPredictor::new(4);
+        assert!(npp.should_prefetch(LineAddr::new(1)));
+        assert_eq!(npp.prefetches_recommended(), 1);
+    }
+
+    #[test]
+    fn observed_address_suppressed() {
+        let mut npp = NodePrefetchPredictor::new(4);
+        npp.observe(LineAddr::new(1));
+        assert!(!npp.should_prefetch(LineAddr::new(1)));
+        assert_eq!(npp.prefetches_suppressed(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut npp = NodePrefetchPredictor::new(2);
+        npp.observe(LineAddr::new(1));
+        npp.observe(LineAddr::new(2));
+        npp.observe(LineAddr::new(3));
+        assert!(npp.should_prefetch(LineAddr::new(1)), "1 evicted");
+        assert!(!npp.should_prefetch(LineAddr::new(2)));
+        assert!(!npp.should_prefetch(LineAddr::new(3)));
+    }
+
+    #[test]
+    fn repeated_observation_keeps_address_resident() {
+        let mut npp = NodePrefetchPredictor::new(2);
+        npp.observe(LineAddr::new(1));
+        npp.observe(LineAddr::new(1));
+        npp.observe(LineAddr::new(2));
+        // FIFO holds [1,1,2] trimmed to [1,2]: both still present.
+        assert!(!npp.should_prefetch(LineAddr::new(1)));
+        assert!(!npp.should_prefetch(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn zero_capacity_always_prefetches() {
+        let mut npp = NodePrefetchPredictor::new(0);
+        npp.observe(LineAddr::new(1));
+        assert!(npp.should_prefetch(LineAddr::new(1)));
+        assert!(npp.is_empty());
+        assert_eq!(npp.observations(), 0);
+    }
+
+    #[test]
+    fn len_counts_distinct() {
+        let mut npp = NodePrefetchPredictor::new(8);
+        npp.observe(LineAddr::new(1));
+        npp.observe(LineAddr::new(1));
+        npp.observe(LineAddr::new(2));
+        assert_eq!(npp.len(), 2);
+    }
+}

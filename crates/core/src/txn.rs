@@ -1,0 +1,197 @@
+//! Transaction identity, kinds, and the winner-selection priority.
+
+use ring_noc::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of coherence transaction a node initiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum TxnKind {
+    /// Load miss: needs the line's data (and, in the paper's default
+    /// protocol, supplier status).
+    Read,
+    /// Store miss: needs the data and exclusive ownership; invalidates all
+    /// other copies.
+    WriteMiss,
+    /// Store to a locally cached but not silently-writable line (Shared,
+    /// MasterShared or Tagged): sends invalidations; needs ownership but
+    /// not data. The paper calls this "a write hit that sends
+    /// invalidations".
+    WriteHit,
+}
+
+impl TxnKind {
+    /// Whether the transaction invalidates other copies.
+    pub fn is_write(self) -> bool {
+        !matches!(self, TxnKind::Read)
+    }
+
+    /// Whether the requester needs the line's data shipped (a `WriteHit`
+    /// already caches the data and needs only ownership).
+    pub fn needs_data(self) -> bool {
+        !matches!(self, TxnKind::WriteHit)
+    }
+
+    /// Winner-selection rank (paper §3.3.2): a write hit beats a write
+    /// miss beats a read miss. Selecting the write hit minimizes memory
+    /// accesses; selecting a write miss over a read can speed up lock
+    /// transfer.
+    pub fn rank(self) -> u8 {
+        match self {
+            TxnKind::WriteHit => 2,
+            TxnKind::WriteMiss => 1,
+            TxnKind::Read => 0,
+        }
+    }
+}
+
+impl fmt::Display for TxnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TxnKind::Read => "read",
+            TxnKind::WriteMiss => "write-miss",
+            TxnKind::WriteHit => "write-hit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Globally unique transaction identity: the requesting node plus a
+/// per-node serial number. Retries are *new* transactions with fresh
+/// serials (and fresh random tiebreaks).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TxnId {
+    /// The node that initiated the transaction.
+    pub node: NodeId,
+    /// Per-node monotonically increasing serial.
+    pub serial: u64,
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.node, self.serial)
+    }
+}
+
+/// The hierarchical winner-selection priority of §3.3.2, carried in every
+/// `R` and `r` message so that all nodes resolve any pair of colliding
+/// transactions identically.
+///
+/// The hierarchy is: transaction type first (write hit > write miss >
+/// read), then a random number attached at issue (fair), then the node ID
+/// (total, never ties).
+///
+/// `Priority` is a total order: [`Ord`] implements exactly this
+/// hierarchy, so `a > b` means "a wins over b".
+///
+/// # Examples
+///
+/// ```
+/// use ring_coherence::{Priority, TxnKind};
+/// use ring_noc::NodeId;
+///
+/// let write = Priority::new(TxnKind::WriteMiss, 0, NodeId(1));
+/// let read = Priority::new(TxnKind::Read, u32::MAX, NodeId(2));
+/// assert!(write > read); // type outranks the random tiebreak
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Priority {
+    kind_rank: u8,
+    random: u32,
+    node: usize,
+}
+
+impl Priority {
+    /// Builds the priority of a transaction of `kind` from `node` with
+    /// the issue-time `random` tiebreak.
+    pub fn new(kind: TxnKind, random: u32, node: NodeId) -> Self {
+        Priority {
+            kind_rank: kind.rank(),
+            random,
+            node: node.0,
+        }
+    }
+
+    /// Whether `self` wins against `other` (strictly higher priority).
+    pub fn beats(self, other: Priority) -> bool {
+        self > other
+    }
+}
+
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Priority {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.kind_rank, self.random, self.node).cmp(&(other.kind_rank, other.random, other.node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_ranks_follow_paper_hierarchy() {
+        assert!(TxnKind::WriteHit.rank() > TxnKind::WriteMiss.rank());
+        assert!(TxnKind::WriteMiss.rank() > TxnKind::Read.rank());
+    }
+
+    #[test]
+    fn write_classification() {
+        assert!(!TxnKind::Read.is_write());
+        assert!(TxnKind::WriteMiss.is_write());
+        assert!(TxnKind::WriteHit.is_write());
+    }
+
+    #[test]
+    fn data_need() {
+        assert!(TxnKind::Read.needs_data());
+        assert!(TxnKind::WriteMiss.needs_data());
+        assert!(!TxnKind::WriteHit.needs_data());
+    }
+
+    #[test]
+    fn priority_type_dominates_random() {
+        let hi = Priority::new(TxnKind::WriteHit, 0, NodeId(0));
+        let lo = Priority::new(TxnKind::Read, u32::MAX, NodeId(63));
+        assert!(hi.beats(lo));
+        assert!(!lo.beats(hi));
+    }
+
+    #[test]
+    fn priority_random_dominates_node() {
+        let a = Priority::new(TxnKind::Read, 10, NodeId(0));
+        let b = Priority::new(TxnKind::Read, 5, NodeId(63));
+        assert!(a.beats(b));
+    }
+
+    #[test]
+    fn priority_node_breaks_final_ties() {
+        let a = Priority::new(TxnKind::Read, 7, NodeId(9));
+        let b = Priority::new(TxnKind::Read, 7, NodeId(3));
+        assert!(a.beats(b));
+        assert!(!b.beats(a));
+    }
+
+    #[test]
+    fn priority_is_total_never_self_beating() {
+        let a = Priority::new(TxnKind::Read, 7, NodeId(9));
+        assert!(!a.beats(a));
+        assert_eq!(a, a);
+    }
+
+    #[test]
+    fn txn_id_display() {
+        let id = TxnId {
+            node: NodeId(3),
+            serial: 7,
+        };
+        assert_eq!(id.to_string(), "N3#7");
+    }
+}

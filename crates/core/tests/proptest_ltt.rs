@@ -1,0 +1,158 @@
+//! Property tests of the Local Transaction Table: under arbitrary
+//! interleavings of requests, snoops and responses, the Ordering
+//! invariant's mechanical consequences must hold — a winner's positive
+//! response is never preceded out of the node by a negative response that
+//! arrived after it, and nothing is lost or duplicated.
+
+use proptest::prelude::*;
+use ring_cache::LineAddr;
+use ring_coherence::{Ltt, LttConfig, Priority, RequestMsg, ResponseMsg, TxnId, TxnKind};
+use ring_noc::NodeId;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone, Copy)]
+enum LttOp {
+    SeeRequest(usize),
+    SnoopDone(usize, bool),
+    SeeResponse(usize, bool),
+}
+
+fn arb_ops(txns: usize) -> impl Strategy<Value = Vec<LttOp>> {
+    let op = prop_oneof![
+        (0..txns).prop_map(LttOp::SeeRequest),
+        (0..txns, any::<bool>()).prop_map(|(t, p)| LttOp::SnoopDone(t, p)),
+        (0..txns, any::<bool>()).prop_map(|(t, p)| LttOp::SeeResponse(t, p)),
+    ];
+    proptest::collection::vec(op, 1..60)
+}
+
+fn txn(i: usize) -> TxnId {
+    TxnId {
+        node: NodeId(i),
+        serial: 1,
+    }
+}
+
+fn req(i: usize) -> RequestMsg {
+    RequestMsg {
+        txn: txn(i),
+        line: LineAddr::new(7),
+        kind: TxnKind::Read,
+        priority: Priority::new(TxnKind::Read, i as u32, NodeId(i)),
+    }
+}
+
+fn resp(i: usize, positive: bool) -> ResponseMsg {
+    let mut r = ResponseMsg::initial(&req(i));
+    r.positive = positive;
+    r
+}
+
+proptest! {
+    /// Drain everything that becomes ready after every step; check:
+    /// (1) each transaction's response leaves at most once;
+    /// (2) while a WID is pending (positive seen, not yet drained), no
+    ///     other transaction's response leaves;
+    /// (3) at the end, force-completing all missing pieces drains every
+    ///     response (no losses, no deadlock).
+    #[test]
+    fn drains_exactly_once_and_respects_wid(ops in arb_ops(5)) {
+        let line = LineAddr::new(7);
+        let mut ltt = Ltt::new(LttConfig::default());
+        let mut snooped = [false; 5];
+        let mut responded = [false; 5];
+        let mut positive = [false; 5];
+        let mut drained: BTreeSet<usize> = BTreeSet::new();
+        let mut pending_winner: Option<usize> = None;
+
+        let drain = |ltt: &mut Ltt,
+                         drained: &mut BTreeSet<usize>,
+                         pending_winner: &mut Option<usize>|
+         -> Result<(), TestCaseError> {
+            loop {
+                let Some(t) = ltt.entry(line).and_then(|e| e.ready().first().copied()) else {
+                    return Ok(());
+                };
+                let slot = ltt.take(line, t).expect("ready slot");
+                prop_assert!(slot.snoop_done);
+                prop_assert!(slot.response.is_some());
+                prop_assert!(drained.insert(t.node.0), "double drain of {t}");
+                if *pending_winner == Some(t.node.0) {
+                    *pending_winner = None;
+                }
+                // Mechanism check: while a winner is pending, only the
+                // winner itself may leave.
+                if let Some(w) = *pending_winner {
+                    prop_assert_eq!(w, t.node.0, "loser drained before winner");
+                }
+            }
+        };
+
+        for op in &ops {
+            match *op {
+                LttOp::SeeRequest(i) => {
+                    if !drained.contains(&i) {
+                        ltt.see_request(req(i));
+                    }
+                }
+                LttOp::SnoopDone(i, pos) => {
+                    if !drained.contains(&i) && !snooped[i] {
+                        // Environment constraint: a single-supplier
+                        // protocol never produces two concurrent winners
+                        // for one line — a positive snoop can only occur
+                        // while no other winner is undrained.
+                        let pos = pos && pending_winner.is_none_or(|w| w == i);
+                        ltt.see_request(req(i));
+                        ltt.snoop_complete(txn(i), line, pos);
+                        snooped[i] = true;
+                        if pos {
+                            positive[i] = true;
+                            pending_winner = Some(i);
+                        }
+                    }
+                }
+                LttOp::SeeResponse(i, pos) => {
+                    if !drained.contains(&i) && !responded[i] {
+                        // Same environment constraint for positive
+                        // responses (mechanism 2's trigger).
+                        let pos = (pos && pending_winner.is_none_or(|w| w == i))
+                            || positive[i];
+                        ltt.see_response(resp(i, pos));
+                        responded[i] = true;
+                        if pos {
+                            positive[i] = true;
+                            pending_winner = Some(i);
+                        }
+                    }
+                }
+            }
+            drain(&mut ltt, &mut drained, &mut pending_winner)?;
+        }
+
+        // Force-complete everything still in flight; all must drain.
+        for i in 0..5 {
+            if drained.contains(&i) {
+                continue;
+            }
+            let started = snooped[i] || responded[i];
+            if !started {
+                continue;
+            }
+            if !snooped[i] {
+                ltt.see_request(req(i));
+                ltt.snoop_complete(txn(i), line, false);
+                snooped[i] = true;
+            }
+            if !responded[i] {
+                ltt.see_response(resp(i, positive[i]));
+                responded[i] = true;
+            }
+        }
+        drain(&mut ltt, &mut drained, &mut pending_winner)?;
+        for i in 0..5 {
+            if snooped[i] && responded[i] {
+                prop_assert!(drained.contains(&i), "txn {i} never drained");
+            }
+        }
+    }
+}

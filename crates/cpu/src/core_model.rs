@@ -1,0 +1,486 @@
+//! The core state machine.
+
+use ring_cache::{CacheArray, CacheConfig, LineAddr};
+use serde::{Deserialize, Serialize};
+
+use crate::ops::Op;
+use crate::store_buffer::StoreBuffer;
+
+/// What the core asks the machine to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextStep {
+    /// Spend `cycles` of local time (compute and cache hits), then call
+    /// again.
+    Advance {
+        /// Local cycles consumed.
+        cycles: u64,
+    },
+    /// A load missed; the core blocks until the machine reports the data
+    /// bound for `line` via [`Core::read_done`].
+    BlockedRead {
+        /// Local cycles consumed before the miss issued.
+        cycles: u64,
+        /// The missing line.
+        line: LineAddr,
+    },
+    /// A store needs a coherence transaction; the core does NOT block
+    /// (release consistency). The machine must issue the transaction and
+    /// later call [`Core::write_complete`].
+    IssueWrite {
+        /// Local cycles consumed.
+        cycles: u64,
+        /// The line being written.
+        line: LineAddr,
+    },
+    /// The core stalls until the store buffer drains below capacity or
+    /// empties (fence); resumes via [`Core::write_complete`].
+    BlockedStores {
+        /// Local cycles consumed before stalling.
+        cycles: u64,
+    },
+    /// The op stream is exhausted and all stores completed.
+    Finished,
+}
+
+/// Per-core execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Retired operations (memory + compute + fences).
+    pub retired: u64,
+    /// Retired memory references.
+    pub mem_refs: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits (L1 misses that hit the local L2).
+    pub l2_hits: u64,
+    /// Read transactions issued to the protocol.
+    pub read_misses: u64,
+    /// Write transactions issued to the protocol.
+    pub write_txns: u64,
+    /// Stores absorbed locally (silent upgrade or merged in buffer or
+    /// forwarded from an outstanding transaction).
+    pub silent_stores: u64,
+}
+
+/// The blocking state of the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    No,
+    Read(LineAddr),
+    /// Waiting for the store buffer (op to re-execute is stashed).
+    StoreFull(LineAddr),
+    Fence,
+}
+
+/// One simulated core: an op stream, a private L1, and a store buffer.
+///
+/// The machine drives the core through [`Core::next`], which consumes ops
+/// until it needs the memory system. The closure-free, poll-style
+/// interface keeps the core testable without a full machine: the caller
+/// supplies the L2-derived classification of each memory reference via
+/// [`L2View`].
+pub struct Core {
+    ops: Box<dyn Iterator<Item = Op> + Send>,
+    l1: CacheArray,
+    l1_latency: u64,
+    l2_latency: u64,
+    store_buffer: StoreBuffer,
+    blocked: Blocked,
+    exhausted: bool,
+    stats: CoreStats,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("blocked", &self.blocked)
+            .field("exhausted", &self.exhausted)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The machine's answer to "how is this line classified right now?",
+/// derived from the node's L2 and protocol agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2View {
+    /// The L2 holds the line readable; stores can proceed silently.
+    HitSilent,
+    /// The L2 holds the line readable; stores need a transaction.
+    HitNeedsOwnership,
+    /// The line is not in the L2.
+    Miss,
+    /// A transaction for this line is already outstanding at this node
+    /// (reads forward from it; stores merge into it).
+    Outstanding,
+}
+
+impl Core {
+    /// Creates a core over an op stream.
+    pub fn new(
+        ops: Box<dyn Iterator<Item = Op> + Send>,
+        l1_cfg: CacheConfig,
+        l2_latency: u64,
+        store_capacity: usize,
+    ) -> Self {
+        Core {
+            ops,
+            l1_latency: l1_cfg.latency,
+            l1: CacheArray::new(l1_cfg),
+            l2_latency,
+            store_buffer: StoreBuffer::new(store_capacity),
+            blocked: Blocked::No,
+            exhausted: false,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Whether the core is currently blocked.
+    pub fn is_blocked(&self) -> bool {
+        self.blocked != Blocked::No
+    }
+
+    /// Whether the core finished its stream (including store drain).
+    pub fn is_finished(&self) -> bool {
+        self.exhausted && self.store_buffer.is_empty() && self.blocked == Blocked::No
+    }
+
+    /// Outstanding stores in the buffer.
+    pub fn pending_stores(&self) -> usize {
+        self.store_buffer.len()
+    }
+
+    /// Invalidate a line in the L1 (inclusion: the machine calls this
+    /// when the L2 loses the line).
+    pub fn l1_invalidate(&mut self, line: LineAddr) {
+        self.l1.invalidate(line);
+    }
+
+    /// Runs the core forward, consuming ops until it needs the memory
+    /// system, finishes, or exhausts `budget` local cycles.
+    ///
+    /// `classify` is called for each memory reference that misses the L1
+    /// to determine how the L2/protocol sees the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the core is blocked.
+    pub fn next<F>(&mut self, budget: u64, mut classify: F) -> NextStep
+    where
+        F: FnMut(LineAddr) -> L2View,
+    {
+        assert!(
+            self.blocked == Blocked::No,
+            "core stepped while blocked: {:?}",
+            self.blocked
+        );
+        let mut local: u64 = 0;
+        loop {
+            if local >= budget {
+                return NextStep::Advance { cycles: local };
+            }
+            let Some(op) = self.ops.next() else {
+                self.exhausted = true;
+                if self.store_buffer.is_empty() {
+                    return NextStep::Finished;
+                }
+                self.blocked = Blocked::Fence;
+                return NextStep::BlockedStores { cycles: local };
+            };
+            self.stats.retired += 1;
+            match op {
+                Op::Compute(c) => local += u64::from(c),
+                Op::Fence => {
+                    if !self.store_buffer.is_empty() {
+                        self.blocked = Blocked::Fence;
+                        return NextStep::BlockedStores { cycles: local };
+                    }
+                }
+                Op::Read(line) => {
+                    self.stats.mem_refs += 1;
+                    if self.l1.access(line).is_valid() {
+                        self.stats.l1_hits += 1;
+                        local += self.l1_latency;
+                        continue;
+                    }
+                    match classify(line) {
+                        L2View::HitSilent | L2View::HitNeedsOwnership => {
+                            self.stats.l2_hits += 1;
+                            local += self.l1_latency + self.l2_latency;
+                            self.l1_fill(line);
+                        }
+                        L2View::Outstanding => {
+                            // Forward from the in-flight transaction /
+                            // store buffer.
+                            local += self.l1_latency;
+                        }
+                        L2View::Miss => {
+                            self.stats.read_misses += 1;
+                            self.blocked = Blocked::Read(line);
+                            return NextStep::BlockedRead {
+                                cycles: local + self.l1_latency + self.l2_latency,
+                                line,
+                            };
+                        }
+                    }
+                }
+                Op::Write(line) => {
+                    self.stats.mem_refs += 1;
+                    local += self.l1_latency;
+                    match classify(line) {
+                        L2View::HitSilent => {
+                            self.stats.silent_stores += 1;
+                            self.l1_fill(line);
+                        }
+                        L2View::Outstanding => {
+                            // Merge into the outstanding transaction.
+                            self.stats.silent_stores += 1;
+                        }
+                        L2View::HitNeedsOwnership | L2View::Miss => {
+                            if self.store_buffer.contains(line) {
+                                self.stats.silent_stores += 1;
+                                self.store_buffer.push(line);
+                                continue;
+                            }
+                            if self.store_buffer.is_full() {
+                                self.blocked = Blocked::StoreFull(line);
+                                return NextStep::BlockedStores { cycles: local };
+                            }
+                            self.store_buffer.push(line);
+                            self.stats.write_txns += 1;
+                            return NextStep::IssueWrite {
+                                cycles: local,
+                                line,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn l1_fill(&mut self, line: LineAddr) {
+        self.l1.insert(line, ring_cache::LineState::Shared);
+    }
+
+    /// The machine reports that the read for `line` bound. Fills the L1
+    /// and unblocks the core. Returns `true` if the core was waiting on
+    /// this line.
+    pub fn read_done(&mut self, line: LineAddr) -> bool {
+        if self.blocked == Blocked::Read(line) {
+            self.blocked = Blocked::No;
+            self.l1_fill(line);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The machine reports that a write transaction for `line` completed.
+    /// Returns the line of a write to issue now (a store that was stalled
+    /// on a full buffer), and whether the core unblocked.
+    pub fn write_complete(&mut self, line: LineAddr) -> (Option<LineAddr>, bool) {
+        self.store_buffer.complete(line);
+        match self.blocked {
+            Blocked::StoreFull(pending) if !self.store_buffer.is_full() => {
+                self.blocked = Blocked::No;
+                self.store_buffer.push(pending);
+                self.stats.write_txns += 1;
+                (Some(pending), true)
+            }
+            Blocked::Fence if self.store_buffer.is_empty() => {
+                self.blocked = Blocked::No;
+                (None, true)
+            }
+            _ => (None, false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_cache::CacheConfig;
+
+    fn mk(ops: Vec<Op>) -> Core {
+        Core::new(Box::new(ops.into_iter()), CacheConfig::l1_32k(), 7, 2)
+    }
+
+    #[test]
+    fn compute_advances_time() {
+        let mut c = mk(vec![Op::Compute(10), Op::Compute(5)]);
+        let step = c.next(1_000_000, |_| L2View::Miss);
+        assert_eq!(step, NextStep::Finished);
+        assert_eq!(c.stats().retired, 2);
+    }
+
+    #[test]
+    fn budget_yields() {
+        let mut c = mk(vec![Op::Compute(100), Op::Compute(100)]);
+        match c.next(50, |_| L2View::Miss) {
+            NextStep::Advance { cycles } => assert_eq!(cycles, 100),
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn read_miss_blocks_until_done() {
+        let line = LineAddr::new(7);
+        let mut c = mk(vec![Op::Read(line), Op::Compute(1)]);
+        match c.next(1000, |_| L2View::Miss) {
+            NextStep::BlockedRead { line: l, .. } => assert_eq!(l, line),
+            s => panic!("unexpected {s:?}"),
+        }
+        assert!(c.is_blocked());
+        assert!(c.read_done(line));
+        assert!(!c.is_blocked());
+        // After the fill, the same line L1-hits.
+        let step = c.next(1000, |_| panic!("must hit L1"));
+        assert_eq!(step, NextStep::Finished);
+    }
+
+    #[test]
+    fn second_read_after_fill_hits_l1() {
+        let line = LineAddr::new(7);
+        let mut c = mk(vec![Op::Read(line), Op::Read(line)]);
+        match c.next(1000, |_| L2View::Miss) {
+            NextStep::BlockedRead { .. } => {}
+            s => panic!("unexpected {s:?}"),
+        }
+        c.read_done(line);
+        assert_eq!(c.next(1000, |_| L2View::Miss), NextStep::Finished);
+        assert_eq!(c.stats().l1_hits, 1);
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn l2_hit_does_not_block() {
+        let mut c = mk(vec![Op::Read(LineAddr::new(1))]);
+        assert_eq!(c.next(1000, |_| L2View::HitSilent), NextStep::Finished);
+        assert_eq!(c.stats().l2_hits, 1);
+    }
+
+    #[test]
+    fn writes_do_not_block_until_buffer_full() {
+        let mut c = mk(vec![
+            Op::Write(LineAddr::new(1)),
+            Op::Write(LineAddr::new(2)),
+            Op::Write(LineAddr::new(3)),
+        ]);
+        // Buffer capacity 2: first two issue, third stalls.
+        match c.next(1000, |_| L2View::Miss) {
+            NextStep::IssueWrite { line, .. } => assert_eq!(line, LineAddr::new(1)),
+            s => panic!("unexpected {s:?}"),
+        }
+        match c.next(1000, |_| L2View::Miss) {
+            NextStep::IssueWrite { line, .. } => assert_eq!(line, LineAddr::new(2)),
+            s => panic!("unexpected {s:?}"),
+        }
+        match c.next(1000, |_| L2View::Miss) {
+            NextStep::BlockedStores { .. } => {}
+            s => panic!("unexpected {s:?}"),
+        }
+        // Completing one write releases the stalled store.
+        let (issue, unblocked) = c.write_complete(LineAddr::new(1));
+        assert_eq!(issue, Some(LineAddr::new(3)));
+        assert!(unblocked);
+    }
+
+    #[test]
+    fn fence_waits_for_stores() {
+        let mut c = mk(vec![Op::Write(LineAddr::new(1)), Op::Fence, Op::Compute(1)]);
+        match c.next(1000, |_| L2View::Miss) {
+            NextStep::IssueWrite { .. } => {}
+            s => panic!("unexpected {s:?}"),
+        }
+        match c.next(1000, |_| L2View::Miss) {
+            NextStep::BlockedStores { .. } => {}
+            s => panic!("unexpected {s:?}"),
+        }
+        let (_, unblocked) = c.write_complete(LineAddr::new(1));
+        assert!(unblocked);
+        assert_eq!(c.next(1000, |_| L2View::Miss), NextStep::Finished);
+    }
+
+    #[test]
+    fn silent_store_needs_no_transaction() {
+        let mut c = mk(vec![Op::Write(LineAddr::new(1))]);
+        assert_eq!(c.next(1000, |_| L2View::HitSilent), NextStep::Finished);
+        assert_eq!(c.stats().silent_stores, 1);
+        assert_eq!(c.stats().write_txns, 0);
+    }
+
+    #[test]
+    fn store_to_buffered_line_merges() {
+        let mut c = mk(vec![
+            Op::Write(LineAddr::new(1)),
+            Op::Write(LineAddr::new(1)),
+        ]);
+        match c.next(1000, |_| L2View::Miss) {
+            NextStep::IssueWrite { .. } => {}
+            s => panic!("unexpected {s:?}"),
+        }
+        // The merged second store retires; the drain then waits on the
+        // single outstanding transaction.
+        match c.next(1000, |_| L2View::Miss) {
+            NextStep::BlockedStores { .. } => {}
+            s => panic!("unexpected {s:?}"),
+        }
+        assert_eq!(c.stats().write_txns, 1);
+        assert_eq!(c.stats().silent_stores, 1);
+        c.write_complete(LineAddr::new(1));
+        assert!(c.is_finished());
+    }
+
+    #[test]
+    fn finish_waits_for_store_drain() {
+        let mut c = mk(vec![Op::Write(LineAddr::new(1))]);
+        match c.next(1000, |_| L2View::Miss) {
+            NextStep::IssueWrite { .. } => {}
+            s => panic!("unexpected {s:?}"),
+        }
+        match c.next(1000, |_| L2View::Miss) {
+            NextStep::BlockedStores { .. } => {}
+            s => panic!("unexpected {s:?}"),
+        }
+        assert!(!c.is_finished());
+        c.write_complete(LineAddr::new(1));
+        assert!(c.is_finished());
+    }
+
+    #[test]
+    fn outstanding_line_forwards() {
+        let mut c = mk(vec![
+            Op::Read(LineAddr::new(1)),
+            Op::Write(LineAddr::new(1)),
+        ]);
+        assert_eq!(c.next(1000, |_| L2View::Outstanding), NextStep::Finished);
+        assert_eq!(c.stats().read_misses, 0);
+        assert_eq!(c.stats().write_txns, 0);
+    }
+
+    #[test]
+    fn l1_invalidation_forces_reclassification() {
+        let line = LineAddr::new(3);
+        let mut c = mk(vec![Op::Read(line), Op::Read(line)]);
+        match c.next(1000, |_| L2View::Miss) {
+            NextStep::BlockedRead { .. } => {}
+            s => panic!("unexpected {s:?}"),
+        }
+        c.read_done(line);
+        c.l1_invalidate(line);
+        // Second read goes back to the classifier.
+        let mut asked = false;
+        let step = c.next(1000, |_| {
+            asked = true;
+            L2View::HitSilent
+        });
+        assert_eq!(step, NextStep::Finished);
+        assert!(asked);
+    }
+}

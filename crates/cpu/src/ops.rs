@@ -1,0 +1,55 @@
+//! The dynamic operation stream a core executes.
+
+use ring_cache::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// One dynamic operation of a core's instruction stream, at the
+/// granularity the memory system cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Non-memory work: `n` cycles of computation.
+    Compute(u32),
+    /// A load from the given line.
+    Read(LineAddr),
+    /// A store to the given line.
+    Write(LineAddr),
+    /// A memory fence (release/acquire point): stalls until all earlier
+    /// stores complete.
+    Fence,
+}
+
+impl Op {
+    /// The line this operation touches, if it is a memory operation.
+    pub fn line(&self) -> Option<LineAddr> {
+        match self {
+            Op::Read(l) | Op::Write(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a memory reference.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Op::Read(_) | Op::Write(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_accessor() {
+        assert_eq!(Op::Read(LineAddr::new(4)).line(), Some(LineAddr::new(4)));
+        assert_eq!(Op::Write(LineAddr::new(5)).line(), Some(LineAddr::new(5)));
+        assert_eq!(Op::Compute(10).line(), None);
+        assert_eq!(Op::Fence.line(), None);
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Op::Read(LineAddr::new(0)).is_memory());
+        assert!(Op::Write(LineAddr::new(0)).is_memory());
+        assert!(!Op::Compute(1).is_memory());
+        assert!(!Op::Fence.is_memory());
+    }
+}

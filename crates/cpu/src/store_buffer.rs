@@ -1,0 +1,136 @@
+//! The store buffer: release-consistency write tracking.
+
+use ring_cache::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// Tracks stores that have retired from the core but whose coherence
+/// transactions have not yet completed.
+///
+/// Under release consistency (the paper's memory model), stores do not
+/// stall the core; only a full buffer or a fence does. Stores to a line
+/// already in the buffer merge.
+///
+/// # Examples
+///
+/// ```
+/// use ring_cpu::StoreBuffer;
+/// use ring_cache::LineAddr;
+///
+/// let mut sb = StoreBuffer::new(2);
+/// assert!(sb.push(LineAddr::new(1)));
+/// assert!(sb.push(LineAddr::new(1))); // merges
+/// assert_eq!(sb.len(), 1);
+/// sb.complete(LineAddr::new(1));
+/// assert!(sb.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StoreBuffer {
+    capacity: usize,
+    entries: Vec<LineAddr>,
+    merges: u64,
+    full_stalls: u64,
+}
+
+impl StoreBuffer {
+    /// Creates a buffer holding up to `capacity` distinct lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store buffer capacity must be positive");
+        StoreBuffer {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Admits a store to `line`. Returns `false` when the buffer is full
+    /// (the core must stall); stores to buffered lines always merge.
+    pub fn push(&mut self, line: LineAddr) -> bool {
+        if self.entries.contains(&line) {
+            self.merges += 1;
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            self.full_stalls += 1;
+            return false;
+        }
+        self.entries.push(line);
+        true
+    }
+
+    /// Marks the write transaction for `line` complete.
+    pub fn complete(&mut self, line: LineAddr) {
+        self.entries.retain(|&l| l != line);
+    }
+
+    /// Whether `line` has an uncompleted store.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains(&line)
+    }
+
+    /// Outstanding (distinct-line) stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no stores are outstanding (fences may proceed).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Stores merged into existing entries.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Rejections due to a full buffer.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_complete() {
+        let mut sb = StoreBuffer::new(2);
+        assert!(sb.push(LineAddr::new(1)));
+        assert!(sb.push(LineAddr::new(2)));
+        assert!(sb.is_full());
+        assert!(!sb.push(LineAddr::new(3)));
+        assert_eq!(sb.full_stalls(), 1);
+        sb.complete(LineAddr::new(1));
+        assert!(sb.push(LineAddr::new(3)));
+    }
+
+    #[test]
+    fn merge_same_line() {
+        let mut sb = StoreBuffer::new(1);
+        assert!(sb.push(LineAddr::new(1)));
+        assert!(sb.push(LineAddr::new(1)));
+        assert_eq!(sb.merges(), 1);
+        assert!(sb.contains(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn complete_unknown_is_noop() {
+        let mut sb = StoreBuffer::new(1);
+        sb.complete(LineAddr::new(9));
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = StoreBuffer::new(0);
+    }
+}

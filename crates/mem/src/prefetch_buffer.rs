@@ -1,0 +1,185 @@
+//! The small timed buffer that holds prefetched lines (paper §5.4).
+
+use ring_cache::LineAddr;
+use ring_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Holds lines fetched by the prefetching optimization until the
+/// requesting node claims them or they expire.
+///
+/// The paper: "When the line is received, it is kept in a small buffer for
+/// a certain number of cycles in case the requesting node wants it."
+///
+/// # Examples
+///
+/// ```
+/// use ring_mem::PrefetchBuffer;
+/// use ring_cache::LineAddr;
+///
+/// let mut b = PrefetchBuffer::new(4, 1000);
+/// b.fill(100, LineAddr::new(1), 350); // ready at cycle 350
+/// // Claim at 400: data already there, available immediately.
+/// assert_eq!(b.claim(400, LineAddr::new(1)), Some(400));
+/// // Claimed entries are consumed.
+/// assert_eq!(b.claim(401, LineAddr::new(1)), None);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefetchBuffer {
+    capacity: usize,
+    hold_cycles: Cycle,
+    entries: Vec<Entry>,
+    hits: u64,
+    expirations: u64,
+    discards: u64,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Entry {
+    addr: LineAddr,
+    ready_at: Cycle,
+}
+
+impl PrefetchBuffer {
+    /// Creates a buffer of `capacity` lines, each held for `hold_cycles`
+    /// after its data is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, hold_cycles: Cycle) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        PrefetchBuffer {
+            capacity,
+            hold_cycles,
+            entries: Vec::new(),
+            hits: 0,
+            expirations: 0,
+            discards: 0,
+        }
+    }
+
+    fn expire(&mut self, now: Cycle) {
+        let hold = self.hold_cycles;
+        let before = self.entries.len();
+        self.entries.retain(|e| e.ready_at + hold >= now);
+        self.expirations += (before - self.entries.len()) as u64;
+    }
+
+    /// Inserts a prefetched line whose data becomes ready at `ready_at`.
+    /// If the buffer is full, the oldest entry is discarded.
+    pub fn fill(&mut self, now: Cycle, addr: LineAddr, ready_at: Cycle) {
+        self.expire(now);
+        // Refresh an existing entry for the same line.
+        self.entries.retain(|e| e.addr != addr);
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.discards += 1;
+        }
+        self.entries.push(Entry { addr, ready_at });
+    }
+
+    /// Claims the line for a demand request at cycle `now`. Returns the
+    /// cycle at which the data is available (`max(now, ready_at)`), or
+    /// `None` if the line is not buffered (expired, discarded, or never
+    /// prefetched). A successful claim consumes the entry.
+    pub fn claim(&mut self, now: Cycle, addr: LineAddr) -> Option<Cycle> {
+        self.expire(now);
+        let idx = self.entries.iter().position(|e| e.addr == addr)?;
+        let e = self.entries.remove(idx);
+        self.hits += 1;
+        Some(e.ready_at.max(now))
+    }
+
+    /// Drops the buffered line (an on-chip cache supplied the data, so
+    /// the prefetched copy is discarded, per the paper).
+    pub fn discard(&mut self, addr: LineAddr) {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.addr != addr);
+        if self.entries.len() != before {
+            self.discards += 1;
+        }
+    }
+
+    /// Lines currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Successful claims.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Entries that timed out unclaimed.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+
+    /// Entries discarded (capacity pressure or explicit discard).
+    pub fn discards(&self) -> u64 {
+        self.discards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_waits_for_data() {
+        let mut b = PrefetchBuffer::new(2, 100);
+        b.fill(0, LineAddr::new(1), 50);
+        // Claim before the data is back: available at ready time.
+        assert_eq!(b.claim(20, LineAddr::new(1)), Some(50));
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut b = PrefetchBuffer::new(2, 100);
+        b.fill(0, LineAddr::new(1), 50);
+        assert_eq!(b.claim(151, LineAddr::new(1)), None);
+        assert_eq!(b.expirations(), 1);
+    }
+
+    #[test]
+    fn capacity_discards_oldest() {
+        let mut b = PrefetchBuffer::new(2, 1000);
+        b.fill(0, LineAddr::new(1), 10);
+        b.fill(0, LineAddr::new(2), 10);
+        b.fill(0, LineAddr::new(3), 10);
+        assert_eq!(b.claim(20, LineAddr::new(1)), None);
+        assert!(b.claim(20, LineAddr::new(2)).is_some());
+        assert!(b.claim(20, LineAddr::new(3)).is_some());
+        assert_eq!(b.discards(), 1);
+    }
+
+    #[test]
+    fn explicit_discard() {
+        let mut b = PrefetchBuffer::new(2, 1000);
+        b.fill(0, LineAddr::new(1), 10);
+        b.discard(LineAddr::new(1));
+        assert_eq!(b.claim(20, LineAddr::new(1)), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn refill_refreshes_entry() {
+        let mut b = PrefetchBuffer::new(2, 100);
+        b.fill(0, LineAddr::new(1), 10);
+        b.fill(90, LineAddr::new(1), 120);
+        // Old entry would have expired at 110; refreshed one survives.
+        assert_eq!(b.claim(150, LineAddr::new(1)), Some(150));
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = PrefetchBuffer::new(0, 10);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the memory substrate.
+
+use proptest::prelude::*;
+use ring_cache::LineAddr;
+use ring_mem::{ControllerPrefetchPredictor, MemConfig, MemoryController, PrefetchBuffer};
+
+proptest! {
+    /// Completion times never precede `now + round_trip`, and total
+    /// throughput is bounded by the slot count.
+    #[test]
+    fn controller_latency_and_throughput(
+        arrivals in proptest::collection::vec(0u64..10_000, 1..100),
+        slots in 1usize..8,
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut mc = MemoryController::new(MemConfig {
+            round_trip: 100,
+            page_bytes: 4096,
+            line_bytes: 64,
+            max_in_flight: slots,
+        });
+        let mut completions = Vec::new();
+        for (i, &t) in sorted.iter().enumerate() {
+            let done = mc.request(t, LineAddr::new(i as u64));
+            prop_assert!(done >= t + 100);
+            completions.push(done);
+        }
+        // No more than `slots` completions can fall in any 100-cycle
+        // window (each slot finishes one request per round trip).
+        completions.sort_unstable();
+        for w in completions.windows(slots + 1) {
+            prop_assert!(w[slots] > w[0], "throughput exceeded slot bound");
+        }
+    }
+
+    /// The prefetch buffer never yields data earlier than its ready time
+    /// and never after the hold window.
+    #[test]
+    fn prefetch_buffer_timing(
+        fill_at in 0u64..1000,
+        ready_delay in 0u64..500,
+        claim_delay in 0u64..2000,
+    ) {
+        let hold = 300u64;
+        let mut b = PrefetchBuffer::new(4, hold);
+        let line = LineAddr::new(1);
+        let ready = fill_at + ready_delay;
+        b.fill(fill_at, line, ready);
+        let claim_at = fill_at + claim_delay;
+        match b.claim(claim_at, line) {
+            Some(avail) => {
+                prop_assert!(avail >= ready);
+                prop_assert!(avail >= claim_at);
+                prop_assert!(claim_at <= ready + hold, "claim succeeded past expiry");
+            }
+            None => {
+                prop_assert!(claim_at > ready + hold, "claim failed inside the window");
+            }
+        }
+    }
+
+    /// CPP: a fetched line tests resident until written back or evicted
+    /// by a conflicting page; never falsely resident after writeback.
+    #[test]
+    fn cpp_tracks_residency(ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..200)) {
+        let mut cpp = ControllerPrefetchPredictor::new(64, 64, 4096);
+        let mut model: std::collections::HashMap<u64, bool> = Default::default();
+        for &(line, fetch) in &ops {
+            let addr = LineAddr::new(line);
+            let page = line / 64;
+            if fetch {
+                cpp.mark_fetched(addr);
+                // Conflicting pages in the same direct-mapped slot forget
+                // their residency in the model too.
+                model.retain(|&l, _| {
+                    let p = l / 64;
+                    p == page || (p % 64) != (page % 64)
+                });
+                model.insert(line, true);
+            } else {
+                cpp.mark_written_back(addr);
+                model.remove(&line);
+            }
+            // The CPP may be *less* sure than the model (conflict
+            // evictions), but must never claim residency the model
+            // rejects.
+            if cpp.likely_on_chip(addr) {
+                prop_assert!(model.contains_key(&line),
+                    "CPP claims residency for written-back/unfetched line {line}");
+            }
+        }
+    }
+}

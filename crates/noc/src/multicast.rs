@@ -1,0 +1,147 @@
+//! Dimension-ordered multicast tree construction.
+
+use crate::topology::{Direction, LinkId, NodeId, Torus};
+
+/// One directed edge of a multicast tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeEdge {
+    /// Parent node (already reached).
+    pub from: NodeId,
+    /// Child node (reached over `link`).
+    pub to: NodeId,
+    /// The physical link traversed.
+    pub link: LinkId,
+}
+
+/// Builds a dimension-ordered multicast tree rooted at `root` covering all
+/// nodes of the torus.
+///
+/// The tree mirrors xy routing: the message first spreads along the root's
+/// row (splitting east/west to use the torus wrap minimally), and each node
+/// of that row then spreads along its column (splitting south/north). Each
+/// of the `N-1` tree edges is one physical link, so a broadcast costs
+/// exactly `N-1` link traversals — the efficient multicast the paper
+/// assumes for Uncorq request delivery.
+///
+/// Edges are returned in root-outward (topological) order: an edge's
+/// `from` node always appears as a `to` of an earlier edge or is the root.
+///
+/// # Examples
+///
+/// ```
+/// use ring_noc::{multicast_tree, NodeId, Torus};
+///
+/// let t = Torus::new(8, 8);
+/// let edges = multicast_tree(&t, NodeId(0));
+/// assert_eq!(edges.len(), 63);
+/// ```
+pub fn multicast_tree(torus: &Torus, root: NodeId) -> Vec<TreeEdge> {
+    let w = torus.width();
+    let h = torus.height();
+    let mut edges = Vec::with_capacity(torus.nodes() - 1);
+
+    // Phase 1: spread along the root's row, east for the first half,
+    // west for the rest (minimal wrap split).
+    let east_steps = w / 2;
+    let west_steps = w - 1 - east_steps;
+    let mut row_nodes = vec![root];
+    let mut cur = root;
+    for _ in 0..east_steps {
+        let next = torus.neighbor(cur, Direction::East);
+        edges.push(TreeEdge {
+            from: cur,
+            to: next,
+            link: torus.link(cur, Direction::East),
+        });
+        row_nodes.push(next);
+        cur = next;
+    }
+    cur = root;
+    for _ in 0..west_steps {
+        let next = torus.neighbor(cur, Direction::West);
+        edges.push(TreeEdge {
+            from: cur,
+            to: next,
+            link: torus.link(cur, Direction::West),
+        });
+        row_nodes.push(next);
+        cur = next;
+    }
+
+    // Phase 2: each row node spreads along its column.
+    let south_steps = h / 2;
+    let north_steps = h - 1 - south_steps;
+    for &row_node in &row_nodes {
+        let mut cur = row_node;
+        for _ in 0..south_steps {
+            let next = torus.neighbor(cur, Direction::South);
+            edges.push(TreeEdge {
+                from: cur,
+                to: next,
+                link: torus.link(cur, Direction::South),
+            });
+            cur = next;
+        }
+        cur = row_node;
+        for _ in 0..north_steps {
+            let next = torus.neighbor(cur, Direction::North);
+            edges.push(TreeEdge {
+                from: cur,
+                to: next,
+                link: torus.link(cur, Direction::North),
+            });
+            cur = next;
+        }
+    }
+    debug_assert_eq!(edges.len(), torus.nodes() - 1);
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn covers_every_node_exactly_once() {
+        let t = Torus::new(8, 8);
+        for root in [NodeId(0), NodeId(27), NodeId(63)] {
+            let edges = multicast_tree(&t, root);
+            let mut reached: HashSet<NodeId> = HashSet::new();
+            reached.insert(root);
+            for e in &edges {
+                assert!(reached.contains(&e.from), "edge from unreached node");
+                assert!(reached.insert(e.to), "node {:?} reached twice", e.to);
+            }
+            assert_eq!(reached.len(), t.nodes());
+        }
+    }
+
+    #[test]
+    fn edge_count_is_n_minus_one() {
+        for (w, h) in [(2, 2), (4, 8), (8, 8), (3, 5)] {
+            let t = Torus::new(w, h);
+            assert_eq!(multicast_tree(&t, NodeId(1)).len(), t.nodes() - 1);
+        }
+    }
+
+    #[test]
+    fn edges_use_adjacent_links() {
+        let t = Torus::new(8, 8);
+        for e in multicast_tree(&t, NodeId(9)) {
+            assert_eq!(t.distance(e.from, e.to), 1);
+        }
+    }
+
+    #[test]
+    fn tree_depth_bounded_by_half_extents() {
+        // On an 8x8 torus the deepest leaf is 4 (row) + 4 (col) = 8 edges.
+        let t = Torus::new(8, 8);
+        let edges = multicast_tree(&t, NodeId(0));
+        let mut depth = vec![0usize; t.nodes()];
+        for e in &edges {
+            depth[e.to.0] = depth[e.from.0] + 1;
+        }
+        assert_eq!(*depth.iter().max().unwrap(), 8);
+    }
+}

@@ -1,0 +1,352 @@
+//! Network timing model: per-link occupancy and serialization.
+
+use ring_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::multicast::multicast_tree;
+use crate::topology::{NodeId, Torus};
+
+/// Virtual network (message class) a message travels on.
+///
+/// Like real coherence NoCs, the network provides separate virtual
+/// channels per protocol message class, so request bursts (e.g. Uncorq's
+/// multicast `R` delivery) cannot block the response ring, and neither
+/// can data transfers. Each class has its own per-link occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Channel {
+    /// Snoop requests and probes.
+    Request,
+    /// Combined responses / acks.
+    Response,
+    /// Data-carrying transfers.
+    Data,
+}
+
+impl Channel {
+    /// Number of virtual channels.
+    pub const COUNT: usize = 3;
+
+    fn index(self) -> usize {
+        match self {
+            Channel::Request => 0,
+            Channel::Response => 1,
+            Channel::Data => 2,
+        }
+    }
+}
+
+/// Timing parameters of the on-chip network (paper Table 3: 8×8 2D torus,
+/// 8 processor cycles per hop, 2 GHz network at 64 GB/s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Latency of one router-to-router hop, in processor cycles.
+    pub hop_cycles: Cycle,
+    /// Link bandwidth, in bytes per processor cycle. Serialization of a
+    /// message over a link takes `ceil(bytes / link_bytes_per_cycle)`.
+    pub link_bytes_per_cycle: u64,
+    /// When `true`, messages contend for links (a link can carry one flit
+    /// per cycle); when `false`, the network is contention-free and every
+    /// message sees only hop + serialization latency.
+    pub model_contention: bool,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            hop_cycles: 8,
+            link_bytes_per_cycle: 8,
+            model_contention: true,
+        }
+    }
+}
+
+/// Outcome of injecting a message: when it arrives and how many links it
+/// traversed (for traffic accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Destination node.
+    pub to: NodeId,
+    /// Absolute arrival cycle at the destination.
+    pub arrival: Cycle,
+    /// Number of links traversed.
+    pub hops: u64,
+}
+
+/// The network timing model. Owns per-link occupancy state.
+///
+/// All protocol messages (ring `R`/`r`, direct suppliership transfers,
+/// Uncorq multicast requests, HT probes/responses) are timed through this
+/// one model, so every protocol sees identical network resources — matching
+/// the paper's "all algorithms use exactly the same network".
+///
+/// # Examples
+///
+/// ```
+/// use ring_noc::{Network, NetworkConfig, NodeId, Torus};
+///
+/// let mut net = Network::new(Torus::new(8, 8), NetworkConfig::default());
+/// // 1-hop control message: 8 cycles of hop latency + 1 cycle serialization.
+/// let d = net.unicast(0, NodeId(0), NodeId(1), 8, ring_noc::Channel::Request);
+/// assert_eq!(d.arrival, 9);
+/// assert_eq!(d.hops, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    torus: Torus,
+    cfg: NetworkConfig,
+    /// Per-channel, per-link occupancy: `free_at[channel][link]`.
+    free_at: Vec<Vec<Cycle>>,
+    messages_sent: u64,
+}
+
+impl Network {
+    /// Creates a network over `torus` with the given timing parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop_cycles` or `link_bytes_per_cycle` is zero.
+    pub fn new(torus: Torus, cfg: NetworkConfig) -> Self {
+        assert!(cfg.hop_cycles > 0, "hop latency must be positive");
+        assert!(
+            cfg.link_bytes_per_cycle > 0,
+            "link bandwidth must be positive"
+        );
+        let links = torus.links();
+        Network {
+            torus,
+            cfg,
+            free_at: vec![vec![0; links]; Channel::COUNT],
+            messages_sent: 0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Total messages injected so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    fn serialization(&self, bytes: u64) -> Cycle {
+        bytes.div_ceil(self.cfg.link_bytes_per_cycle)
+    }
+
+    /// Sends a `bytes`-sized message from `from` to `to` at cycle `now`
+    /// along the xy route on virtual channel `ch`, reserving link
+    /// occupancy on that channel.
+    ///
+    /// Sending to self arrives instantly with zero hops.
+    pub fn unicast(
+        &mut self,
+        now: Cycle,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        ch: Channel,
+    ) -> Delivery {
+        self.messages_sent += 1;
+        if from == to {
+            return Delivery {
+                to,
+                arrival: now,
+                hops: 0,
+            };
+        }
+        let ser = self.serialization(bytes);
+        let route = self.torus.route(from, to);
+        let free_at = &mut self.free_at[ch.index()];
+        let mut t = now;
+        for link in &route {
+            if self.cfg.model_contention {
+                let depart = t.max(free_at[link.0]);
+                free_at[link.0] = depart + ser;
+                t = depart + self.cfg.hop_cycles;
+            } else {
+                t += self.cfg.hop_cycles;
+            }
+        }
+        Delivery {
+            to,
+            arrival: t + ser,
+            hops: route.len() as u64,
+        }
+    }
+
+    /// Estimates the contention-free latency from `from` to `to` for a
+    /// `bytes`-sized message, without reserving any link.
+    pub fn latency_estimate(&self, from: NodeId, to: NodeId, bytes: u64) -> Cycle {
+        let hops = self.torus.distance(from, to) as Cycle;
+        hops * self.cfg.hop_cycles + self.serialization(bytes)
+    }
+
+    /// Broadcasts a `bytes`-sized message from `root` to every other node
+    /// using a dimension-ordered multicast tree (the unconstrained delivery
+    /// Uncorq uses for its `R` messages). Returns one [`Delivery`] per
+    /// destination; the `hops` field of each delivery is the number of
+    /// *tree* links attributed to that destination (each tree link is
+    /// counted exactly once across the whole broadcast, so summing `hops`
+    /// over all deliveries gives total broadcast traffic).
+    pub fn multicast(
+        &mut self,
+        now: Cycle,
+        root: NodeId,
+        bytes: u64,
+        ch: Channel,
+    ) -> Vec<Delivery> {
+        self.messages_sent += 1;
+        let ser = self.serialization(bytes);
+        let edges = multicast_tree(&self.torus, root);
+        let free_at = &mut self.free_at[ch.index()];
+        // Arrival time at each node, filled in BFS order (edges are already
+        // topologically ordered root-outward by construction).
+        let mut arrive: Vec<Option<Cycle>> = vec![None; self.torus.nodes()];
+        arrive[root.0] = Some(now);
+        let mut deliveries = Vec::with_capacity(self.torus.nodes() - 1);
+        for e in &edges {
+            let t0 = arrive[e.from.0].expect("multicast edges must be topologically ordered");
+            let t = if self.cfg.model_contention {
+                let depart = t0.max(free_at[e.link.0]);
+                free_at[e.link.0] = depart + ser;
+                depart + self.cfg.hop_cycles
+            } else {
+                t0 + self.cfg.hop_cycles
+            };
+            arrive[e.to.0] = Some(t);
+            deliveries.push(Delivery {
+                to: e.to,
+                arrival: t + ser,
+                hops: 1,
+            });
+        }
+        deliveries
+    }
+
+    /// Clears all link occupancy (used between independent measurements).
+    pub fn reset_contention(&mut self) {
+        for ch in &mut self.free_at {
+            ch.fill(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Torus;
+
+    const CH: Channel = Channel::Request;
+
+    fn net() -> Network {
+        Network::new(Torus::new(8, 8), NetworkConfig::default())
+    }
+
+    #[test]
+    fn self_send_is_instant() {
+        let mut n = net();
+        let d = n.unicast(100, NodeId(3), NodeId(3), 64, CH);
+        assert_eq!(d.arrival, 100);
+        assert_eq!(d.hops, 0);
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let mut n = net();
+        let d1 = n.unicast(0, NodeId(0), NodeId(1), 8, CH);
+        n.reset_contention();
+        let d2 = n.unicast(0, NodeId(0), NodeId(2), 8, CH);
+        assert_eq!(d1.arrival, 8 + 1);
+        assert_eq!(d2.arrival, 16 + 1);
+    }
+
+    #[test]
+    fn contention_serializes_same_link() {
+        let mut n = net();
+        // Two 64-byte messages over the same single link back-to-back.
+        let a = n.unicast(0, NodeId(0), NodeId(1), 64, CH);
+        let b = n.unicast(0, NodeId(0), NodeId(1), 64, CH);
+        assert!(b.arrival > a.arrival, "second message must queue");
+    }
+
+    #[test]
+    fn virtual_channels_are_independent() {
+        let mut n = net();
+        let a = n.unicast(0, NodeId(0), NodeId(1), 64, Channel::Request);
+        let b = n.unicast(0, NodeId(0), NodeId(1), 64, Channel::Response);
+        assert_eq!(a.arrival, b.arrival, "different classes must not contend");
+    }
+
+    #[test]
+    fn no_contention_mode_is_pure_latency() {
+        let cfg = NetworkConfig {
+            model_contention: false,
+            ..NetworkConfig::default()
+        };
+        let mut n = Network::new(Torus::new(8, 8), cfg);
+        let a = n.unicast(0, NodeId(0), NodeId(1), 64, CH);
+        let b = n.unicast(0, NodeId(0), NodeId(1), 64, CH);
+        assert_eq!(a.arrival, b.arrival);
+    }
+
+    #[test]
+    fn estimate_matches_uncontended_unicast() {
+        let mut n = net();
+        let est = n.latency_estimate(NodeId(0), NodeId(5), 8);
+        let d = n.unicast(0, NodeId(0), NodeId(5), 8, CH);
+        assert_eq!(est, d.arrival);
+    }
+
+    #[test]
+    fn multicast_reaches_all_other_nodes() {
+        let mut n = net();
+        let ds = n.multicast(0, NodeId(0), 8, CH);
+        assert_eq!(ds.len(), 63);
+        let mut seen: Vec<usize> = ds.iter().map(|d| d.to.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 63);
+        assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn multicast_total_hops_is_n_minus_one() {
+        let mut n = net();
+        let ds = n.multicast(0, NodeId(17), 8, CH);
+        let total: u64 = ds.iter().map(|d| d.hops).sum();
+        assert_eq!(total, 63);
+    }
+
+    #[test]
+    fn multicast_max_arrival_bounded_by_diameter() {
+        let mut n = net();
+        let ds = n.multicast(0, NodeId(0), 8, CH);
+        let max = ds.iter().map(|d| d.arrival).max().unwrap();
+        // Diameter 8 hops * 8 cycles + serialization; with tree contention
+        // allow a small margin.
+        assert!(max <= 8 * 8 + 8 + 8, "max arrival {max}");
+    }
+
+    #[test]
+    fn multicast_nearest_nodes_arrive_first() {
+        let mut n = net();
+        let ds = n.multicast(0, NodeId(0), 8, CH);
+        let near = ds.iter().find(|d| d.to == NodeId(1)).unwrap().arrival;
+        let far = ds.iter().find(|d| d.to == NodeId(36)).unwrap().arrival;
+        assert!(near < far);
+    }
+
+    #[test]
+    fn message_count_increments() {
+        let mut n = net();
+        n.unicast(0, NodeId(0), NodeId(1), 8, CH);
+        n.multicast(0, NodeId(0), 8, CH);
+        assert_eq!(n.messages_sent(), 2);
+    }
+}

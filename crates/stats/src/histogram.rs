@@ -1,0 +1,396 @@
+//! Fixed-bin histograms with cumulative distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a cumulative distribution: the upper edge of a bin and the
+/// fraction of samples at or below it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdfPoint {
+    /// Upper edge (inclusive) of the bin, in the sample's unit (cycles).
+    pub upper: u64,
+    /// Fraction of all samples `<= upper`, in `[0, 1]`.
+    pub cumulative: f64,
+}
+
+/// A histogram with uniform bins of width `bin_width`, covering
+/// `[0, bin_width * bins)`, plus an overflow bin.
+///
+/// Used to regenerate the read-miss latency histograms of Figures 8 and 11.
+///
+/// # Examples
+///
+/// ```
+/// use ring_stats::Histogram;
+///
+/// let mut h = Histogram::new(100, 20);
+/// h.record(50);    // bin 0
+/// h.record(250);   // bin 2
+/// h.record(10_000); // overflow
+/// assert_eq!(h.count(0), 1);
+/// assert_eq!(h.count(2), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bin_width: u64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins of width `bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero or `bins` is zero.
+    pub fn new(bin_width: u64, bins: usize) -> Self {
+        assert!(bin_width > 0, "bin width must be positive");
+        assert!(bins > 0, "bin count must be positive");
+        Histogram {
+            bin_width,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bin_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples in bin `idx` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// Number of samples beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded samples, including overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// Number of (non-overflow) bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Mean of all recorded samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Fraction of samples in each bin (overflow excluded), in bin order.
+    pub fn densities(&self) -> Vec<f64> {
+        let t = self.total.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / t).collect()
+    }
+
+    /// Cumulative distribution at each bin's upper edge.
+    ///
+    /// The final point does not include overflow samples, so it reaches 1.0
+    /// only when no samples overflowed.
+    pub fn cdf(&self) -> Vec<CdfPoint> {
+        let t = self.total.max(1) as f64;
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                acc += c;
+                CdfPoint {
+                    upper: (i as u64 + 1) * self.bin_width,
+                    cumulative: acc as f64 / t,
+                }
+            })
+            .collect()
+    }
+
+    /// Approximate percentile (linear in bins). `p` in `[0, 100]`.
+    ///
+    /// Returns the upper edge of the first bin at which the cumulative
+    /// fraction reaches `p`, or the overflow edge if it never does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        let need = (p / 100.0 * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= need {
+                return (i as u64 + 1) * self.bin_width;
+            }
+        }
+        self.bin_width * self.counts.len() as u64
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bin widths or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bin_width, other.bin_width, "bin width mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Writes the histogram as CSV (`bin_start,bin_end,count,cumulative`)
+    /// for external plotting — the regenerable form of the paper's
+    /// Figures 8(a)/(b) and 11(a)/(b).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "bin_start,bin_end,count,cumulative")?;
+        let total = self.total.max(1) as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            writeln!(
+                w,
+                "{},{},{},{:.6}",
+                i as u64 * self.bin_width,
+                (i as u64 + 1) * self.bin_width,
+                c,
+                acc as f64 / total
+            )?;
+        }
+        if self.overflow > 0 {
+            writeln!(
+                w,
+                "{},inf,{},{:.6}",
+                self.counts.len() as u64 * self.bin_width,
+                self.overflow,
+                (acc + self.overflow) as f64 / total
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Renders an ASCII bar chart, one row per bin, suitable for terminal
+    /// output of Figures 8(a)/(b) and 11(a)/(b). Empty leading/trailing bins
+    /// are trimmed.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let first = self.counts.iter().position(|&c| c > 0).unwrap_or(0);
+        let last = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(self.counts.len().saturating_sub(1));
+        let mut out = String::new();
+        let mut cum = 0u64;
+        for i in 0..=first.saturating_sub(1) {
+            cum += self.counts.get(i).copied().unwrap_or(0);
+        }
+        for i in first..=last {
+            let c = self.counts[i];
+            cum += c;
+            let bar = (c as usize * width) / max as usize;
+            out.push_str(&format!(
+                "{:>6}-{:<6} |{:<w$}| {:>8} ({:>5.1}% cum)\n",
+                i as u64 * self.bin_width,
+                (i as u64 + 1) * self.bin_width,
+                "#".repeat(bar),
+                c,
+                100.0 * cum as f64 / self.total.max(1) as f64,
+                w = width
+            ));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!(
+                "{:>6}+{:<6} |{:<w$}| {:>8}\n",
+                (last as u64 + 1) * self.bin_width,
+                "",
+                "",
+                self.overflow,
+                w = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(10, 5);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(49);
+        h.record(50); // overflow
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut h = Histogram::new(10, 10);
+        for v in [5, 15, 25] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 15.0);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(25));
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new(10, 10);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.percentile(50.0), 10);
+    }
+
+    #[test]
+    fn cdf_reaches_one_without_overflow() {
+        let mut h = Histogram::new(10, 4);
+        for v in [1, 11, 21, 31] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf[3].cumulative - 1.0).abs() < 1e-12);
+        assert_eq!(cdf[0].upper, 10);
+        assert!((cdf[0].cumulative - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_monotone() {
+        let mut h = Histogram::new(1, 100);
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert!(h.percentile(10.0) <= h.percentile(50.0));
+        assert!(h.percentile(50.0) <= h.percentile(99.0));
+        assert_eq!(h.percentile(50.0), 50);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(10, 4);
+        let mut b = Histogram::new(10, 4);
+        a.record(5);
+        b.record(5);
+        b.record(35);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width mismatch")]
+    fn merge_rejects_different_widths() {
+        let mut a = Histogram::new(10, 4);
+        let b = Histogram::new(20, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn ascii_render_contains_counts() {
+        let mut h = Histogram::new(10, 4);
+        h.record(15);
+        h.record(15);
+        let s = h.render_ascii(20);
+        assert!(s.contains("2"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn zero_bin_width_rejected() {
+        let _ = Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn csv_export_roundtrips_counts() {
+        let mut h = Histogram::new(10, 3);
+        h.record(5);
+        h.record(15);
+        h.record(100); // overflow
+        let mut buf = Vec::new();
+        h.write_csv(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "bin_start,bin_end,count,cumulative");
+        assert_eq!(lines[1], "0,10,1,0.333333");
+        assert_eq!(lines[2], "10,20,1,0.666667");
+        assert!(lines[4].starts_with("30,inf,1"));
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn densities_sum_below_one_with_overflow() {
+        let mut h = Histogram::new(10, 2);
+        h.record(5);
+        h.record(100);
+        let d: f64 = h.densities().iter().sum();
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! Streaming summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming accumulator for mean/min/max/count, used for the average
+/// latency columns of the paper's tables.
+///
+/// # Examples
+///
+/// ```
+/// let mut s = ring_stats::Summary::new();
+/// s.record(1.0);
+/// s.record(3.0);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    sum_sq: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population variance, or 0.0 if empty.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.count as f64 - m * m).max(0.0)
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_count() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 6.0] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(6.0));
+    }
+
+    #[test]
+    fn empty_is_zeroish() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        let mut s = Summary::new();
+        for _ in 0..10 {
+            s.record(7.0);
+        }
+        assert!(s.variance() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut c = Summary::new();
+        for v in [1.0, 2.0] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [3.0, 4.0] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert!((a.mean() - c.mean()).abs() < 1e-12);
+        assert!((a.variance() - c.variance()).abs() < 1e-12);
+    }
+}

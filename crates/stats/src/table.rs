@@ -1,0 +1,175 @@
+//! Plain-text table rendering in the style of the paper's result tables.
+
+/// Column alignment for [`Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (application names).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table builder producing the same row layout the paper's
+/// tables use (e.g. Figure 8(c): application, latencies, percentages).
+///
+/// # Examples
+///
+/// ```
+/// use ring_stats::{Align, Table};
+///
+/// let mut t = Table::new(vec!["App".into(), "Lat".into()]);
+/// t.align(vec![Align::Left, Align::Right]);
+/// t.row(vec!["fmm".into(), "345".into()]);
+/// let s = t.render();
+/// assert!(s.contains("fmm"));
+/// assert!(s.contains("345"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        let n = headers.len();
+        Table {
+            headers,
+            rows: Vec::new(),
+            aligns: vec![Align::Right; n],
+        }
+    }
+
+    /// Sets per-column alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of alignments differs from the number of columns.
+    pub fn align(&mut self, aligns: Vec<Align>) -> &mut Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the number of columns.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row length mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a separator row (rendered as dashes), used before the
+    /// average rows in the paper's tables.
+    pub fn separator(&mut self) -> &mut Self {
+        self.rows.push(Vec::new());
+        self
+    }
+
+    /// Number of data rows (separators excluded).
+    pub fn len(&self) -> usize {
+        self.rows.iter().filter(|r| !r.is_empty()).count()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| {
+            let mut line = String::new();
+            for i in 0..n {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                match aligns[i] {
+                    Align::Left => line.push_str(&format!("{:<w$}", cell, w = widths[i])),
+                    Align::Right => line.push_str(&format!("{:>w$}", cell, w = widths[i])),
+                }
+                if i + 1 < n {
+                    line.push_str("  ");
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths, &self.aligns));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            if r.is_empty() {
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            } else {
+                out.push_str(&fmt_row(r, &widths, &self.aligns));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_rows() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yy".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains('a'));
+        assert!(s.contains("22"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn separator_renders_dashes() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into()]);
+        t.separator();
+        t.row(vec!["2".into()]);
+        let s = t.render();
+        // header underline + explicit separator
+        assert!(s.matches('-').count() > 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn rejects_wrong_row_length() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn alignment_pads_correctly() {
+        let mut t = Table::new(vec!["name".into(), "v".into()]);
+        t.align(vec![Align::Left, Align::Right]);
+        t.row(vec!["ab".into(), "1".into()]);
+        let s = t.render();
+        let data_line = s.lines().nth(2).unwrap();
+        assert!(data_line.starts_with("ab"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(vec!["a".into()]);
+        assert!(t.is_empty());
+        assert!(t.render().contains('a'));
+    }
+}

@@ -1,0 +1,108 @@
+//! Network traffic accounting in byte×hops.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates interconnect traffic, classified by message category,
+/// measured in byte-hops (message size × links traversed).
+///
+/// Regenerates the traffic column of Figure 11(c), which compares Uncorq
+/// traffic against HyperTransport traffic.
+///
+/// # Examples
+///
+/// ```
+/// let mut t = ring_stats::TrafficMeter::new();
+/// t.add_control(8, 3);  // 8-byte control message over 3 links
+/// t.add_data(72, 2);    // 72-byte data message over 2 links
+/// assert_eq!(t.control_byte_hops(), 24);
+/// assert_eq!(t.data_byte_hops(), 144);
+/// assert_eq!(t.total_byte_hops(), 168);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrafficMeter {
+    control: u64,
+    data: u64,
+    messages: u64,
+}
+
+impl TrafficMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a control message of `bytes` traversing `hops` links.
+    pub fn add_control(&mut self, bytes: u64, hops: u64) {
+        self.control += bytes * hops;
+        self.messages += 1;
+    }
+
+    /// Records a data-carrying message of `bytes` traversing `hops` links.
+    pub fn add_data(&mut self, bytes: u64, hops: u64) {
+        self.data += bytes * hops;
+        self.messages += 1;
+    }
+
+    /// Byte-hops of control traffic.
+    pub fn control_byte_hops(&self) -> u64 {
+        self.control
+    }
+
+    /// Byte-hops of data traffic.
+    pub fn data_byte_hops(&self) -> u64 {
+        self.data
+    }
+
+    /// Total byte-hops.
+    pub fn total_byte_hops(&self) -> u64 {
+        self.control + self.data
+    }
+
+    /// Number of messages recorded.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Merges another meter into this one.
+    pub fn merge(&mut self, other: &TrafficMeter) {
+        self.control += other.control;
+        self.data += other.data;
+        self.messages += other.messages;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_category() {
+        let mut t = TrafficMeter::new();
+        t.add_control(8, 10);
+        t.add_control(8, 1);
+        t.add_data(72, 4);
+        assert_eq!(t.control_byte_hops(), 88);
+        assert_eq!(t.data_byte_hops(), 288);
+        assert_eq!(t.total_byte_hops(), 376);
+        assert_eq!(t.messages(), 3);
+    }
+
+    #[test]
+    fn zero_hop_message_is_free() {
+        let mut t = TrafficMeter::new();
+        t.add_control(8, 0);
+        assert_eq!(t.total_byte_hops(), 0);
+        assert_eq!(t.messages(), 1);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = TrafficMeter::new();
+        let mut b = TrafficMeter::new();
+        a.add_data(10, 1);
+        b.add_control(5, 2);
+        a.merge(&b);
+        assert_eq!(a.total_byte_hops(), 20);
+        assert_eq!(a.messages(), 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the statistics substrate against naive reference
+//! computations.
+
+use proptest::prelude::*;
+use ring_stats::{Histogram, Summary, TrafficMeter};
+
+proptest! {
+    /// Histogram totals, mean, min and max agree with direct computation.
+    #[test]
+    fn histogram_agrees_with_reference(values in proptest::collection::vec(0u64..5_000, 1..300)) {
+        let mut h = Histogram::new(64, 32);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let sum: u64 = values.iter().sum();
+        let mean = sum as f64 / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-9);
+        prop_assert_eq!(h.min(), values.iter().min().copied());
+        prop_assert_eq!(h.max(), values.iter().max().copied());
+        // Bin counts + overflow account for every sample.
+        let binned: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+        prop_assert_eq!(binned + h.overflow(), h.total());
+        // CDF is monotone.
+        let cdf = h.cdf();
+        for w in cdf.windows(2) {
+            prop_assert!(w[1].cumulative >= w[0].cumulative);
+        }
+    }
+
+    /// Percentiles are monotone in p and bracket the reference quantile
+    /// to within one bin.
+    #[test]
+    fn percentiles_bracket_reference(values in proptest::collection::vec(0u64..2_000, 1..300)) {
+        let mut h = Histogram::new(16, 128);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &v in &values {
+            h.record(v);
+        }
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let idx = ((p / 100.0 * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let reference = sorted[idx - 1];
+            let got = h.percentile(p);
+            prop_assert!(got >= reference, "p{p}: {got} < ref {reference}");
+            prop_assert!(got <= reference + 16, "p{p}: {got} too far above {reference}");
+        }
+    }
+
+    /// Merging summaries equals summarizing the concatenation.
+    #[test]
+    fn summary_merge_equals_concat(
+        a in proptest::collection::vec(-1e6f64..1e6, 0..100),
+        b in proptest::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut sa = Summary::new();
+        let mut sb = Summary::new();
+        let mut sc = Summary::new();
+        for &v in &a { sa.record(v); sc.record(v); }
+        for &v in &b { sb.record(v); sc.record(v); }
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), sc.count());
+        prop_assert!((sa.sum() - sc.sum()).abs() <= 1e-6 * sc.sum().abs().max(1.0));
+        prop_assert_eq!(sa.min(), sc.min());
+        prop_assert_eq!(sa.max(), sc.max());
+    }
+
+    /// Traffic accounting is exact byte×hop arithmetic.
+    #[test]
+    fn traffic_is_exact(msgs in proptest::collection::vec((1u64..128, 0u64..16, any::<bool>()), 0..100)) {
+        let mut t = TrafficMeter::new();
+        let mut control = 0u64;
+        let mut data = 0u64;
+        for &(bytes, hops, is_data) in &msgs {
+            if is_data {
+                t.add_data(bytes, hops);
+                data += bytes * hops;
+            } else {
+                t.add_control(bytes, hops);
+                control += bytes * hops;
+            }
+        }
+        prop_assert_eq!(t.control_byte_hops(), control);
+        prop_assert_eq!(t.data_byte_hops(), data);
+        prop_assert_eq!(t.total_byte_hops(), control + data);
+        prop_assert_eq!(t.messages(), msgs.len() as u64);
+    }
+}

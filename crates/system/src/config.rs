@@ -1,0 +1,128 @@
+//! Machine configuration (paper Table 3).
+
+use ring_cache::CacheConfig;
+use ring_coherence::{ProtocolConfig, ProtocolKind};
+use ring_mem::MemConfig;
+use ring_noc::NetworkConfig;
+use ring_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a simulated machine.
+///
+/// [`MachineConfig::paper`] reproduces Table 3 of the paper: a 64-core
+/// CMP on an 8×8 torus, 32 KB L1s, 512 KB L2s, DDR2-800 memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Torus width (nodes).
+    pub width: usize,
+    /// Torus height (nodes).
+    pub height: usize,
+    /// Protocol agent configuration (ignored by [`crate::HtMachine`]
+    /// except for the snoop latency).
+    pub protocol: ProtocolConfig,
+    /// Network timing.
+    pub net: NetworkConfig,
+    /// Private L1 geometry.
+    pub l1: CacheConfig,
+    /// Private unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Memory timing.
+    pub mem: MemConfig,
+    /// Store buffer capacity per core.
+    pub store_buffer: usize,
+    /// RNG seed (workloads and protocol tiebreaks derive from it).
+    pub seed: u64,
+    /// Use the naive row-major ring embedding instead of the snake
+    /// (ablation only).
+    pub ring_row_major: bool,
+    /// §2.1 load balancing: even-numbered lines use the snake ring,
+    /// odd-numbered lines the same ring in the opposite direction.
+    pub dual_rings: bool,
+    /// Core local-execution slice, in cycles, between machine events.
+    pub core_slice: u64,
+    /// Cycles a prefetched line is held in the controller buffer.
+    pub prefetch_hold: Cycle,
+    /// Safety cap on simulated cycles (0 = unlimited).
+    pub max_cycles: Cycle,
+    /// Assert coherence invariants (single supplier per line) at every
+    /// transaction completion. Slows simulation; meant for tests.
+    pub check_invariants: bool,
+    /// Record a protocol event trace for these line numbers (see
+    /// [`crate::Machine::line_trace`]). Invariant checking implies
+    /// tracing of every line.
+    pub trace_lines: Vec<u64>,
+}
+
+impl MachineConfig {
+    /// The paper's 64-core configuration for the given protocol.
+    pub fn paper(kind: ProtocolKind) -> Self {
+        Self::with_protocol(ProtocolConfig::paper(kind))
+    }
+
+    /// The paper's configuration for Uncorq+Pref.
+    pub fn paper_uncorq_pref() -> Self {
+        Self::with_protocol(ProtocolConfig::uncorq_pref())
+    }
+
+    /// The paper's machine around an explicit protocol configuration.
+    pub fn with_protocol(protocol: ProtocolConfig) -> Self {
+        MachineConfig {
+            width: 8,
+            height: 8,
+            protocol,
+            net: NetworkConfig::default(),
+            l1: CacheConfig::l1_32k(),
+            l2: CacheConfig::l2_512k(),
+            mem: MemConfig::ddr2_800(),
+            store_buffer: 16,
+            seed: 0xC0FFEE,
+            ring_row_major: false,
+            dual_rings: false,
+            core_slice: 256,
+            prefetch_hold: 2048,
+            max_cycles: 2_000_000_000,
+            check_invariants: false,
+            trace_lines: Vec::new(),
+        }
+    }
+
+    /// A 4×4 machine for fast tests.
+    pub fn small_test(kind: ProtocolKind) -> Self {
+        MachineConfig {
+            width: 4,
+            height: 4,
+            max_cycles: 50_000_000,
+            ..Self::paper(kind)
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_is_64_nodes() {
+        let c = MachineConfig::paper(ProtocolKind::Eager);
+        assert_eq!(c.nodes(), 64);
+        assert_eq!(c.net.hop_cycles, 8);
+        assert_eq!(c.mem.round_trip, 224);
+    }
+
+    #[test]
+    fn uncorq_pref_config() {
+        let c = MachineConfig::paper_uncorq_pref();
+        assert!(c.protocol.prefetch);
+        assert_eq!(c.protocol.kind, ProtocolKind::Uncorq);
+    }
+
+    #[test]
+    fn small_test_is_16_nodes() {
+        assert_eq!(MachineConfig::small_test(ProtocolKind::Uncorq).nodes(), 16);
+    }
+}

@@ -1,0 +1,376 @@
+//! The HyperTransport-baseline machine (paper §7.4).
+
+use ring_cache::LineAddr;
+use ring_coherence::ht::{HtAgent, HtEffect, HtInput};
+use ring_coherence::{CONTROL_BYTES, DATA_BYTES};
+use ring_cpu::{Core, L2View, NextStep};
+use ring_mem::MemoryController;
+use ring_noc::{Channel, Network, NodeId, Torus};
+use ring_sim::{Cycle, EventQueue};
+use ring_workloads::{AppProfile, WorkloadGen};
+
+use crate::config::MachineConfig;
+use crate::stats::{MachineStats, Report};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    Resume(usize),
+    Agent(usize, HtInput),
+    MemDone(usize, LineAddr),
+}
+
+/// The same CMP as [`crate::Machine`] but running the HT-style broadcast
+/// protocol with per-address serialization points, for the Figure 11
+/// comparison. Uses the identical network, caches, memory, and workload
+/// streams.
+pub struct HtMachine {
+    cfg: MachineConfig,
+    queue: EventQueue<Ev>,
+    net: Network,
+    cores: Vec<Core>,
+    agents: Vec<HtAgent>,
+    mem: MemoryController,
+    finish_time: Vec<Option<Cycle>>,
+    stats: MachineStats,
+}
+
+impl HtMachine {
+    /// Builds the HT machine over `profile`, with the shared regions
+    /// pre-warmed (the paper skips initialization).
+    pub fn new(cfg: MachineConfig, profile: &AppProfile) -> Self {
+        let nodes = cfg.nodes();
+        let seed = cfg.seed;
+        let streams: Vec<Box<dyn Iterator<Item = ring_cpu::Op> + Send>> = (0..nodes)
+            .map(|n| {
+                Box::new(WorkloadGen::new(profile, n, nodes, seed))
+                    as Box<dyn Iterator<Item = ring_cpu::Op> + Send>
+            })
+            .collect();
+        let mut m = Self::with_streams(cfg, streams);
+        for (raw, owner) in profile.warm_lines(nodes) {
+            m.agents[owner].install_line(LineAddr::new(raw), ring_cache::LineState::Exclusive);
+        }
+        m
+    }
+
+    /// Builds the HT machine over explicit per-core op streams, with cold
+    /// caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len() != cfg.nodes()`.
+    pub fn with_streams(
+        cfg: MachineConfig,
+        streams: Vec<Box<dyn Iterator<Item = ring_cpu::Op> + Send>>,
+    ) -> Self {
+        let nodes = cfg.nodes();
+        assert_eq!(streams.len(), nodes, "one op stream per node required");
+        let torus = Torus::new(cfg.width, cfg.height);
+        let net = Network::new(torus, cfg.net);
+        let mut cores = Vec::with_capacity(nodes);
+        let mut agents = Vec::with_capacity(nodes);
+        for (n, stream) in streams.into_iter().enumerate() {
+            cores.push(Core::new(stream, cfg.l1, cfg.l2.latency, cfg.store_buffer));
+            agents.push(HtAgent::new(
+                NodeId(n),
+                nodes,
+                cfg.protocol.snoop_latency,
+                cfg.l2,
+            ));
+        }
+        let mut queue = EventQueue::new();
+        for n in 0..nodes {
+            queue.schedule(0, Ev::Resume(n));
+        }
+        HtMachine {
+            mem: MemoryController::new(cfg.mem),
+            cfg,
+            queue,
+            net,
+            cores,
+            agents,
+            finish_time: vec![None; nodes],
+            stats: MachineStats::default(),
+        }
+    }
+
+    /// Runs to completion (or the cycle cap) and reports. The machine can
+    /// be inspected afterwards.
+    pub fn run(&mut self) -> Report {
+        let cap = if self.cfg.max_cycles == 0 {
+            Cycle::MAX
+        } else {
+            self.cfg.max_cycles
+        };
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > cap {
+                break;
+            }
+            match ev {
+                Ev::Resume(n) => self.resume(t, n),
+                Ev::Agent(n, input) => {
+                    let fx = self.agents[n].handle(t, input);
+                    self.apply_effects(t, n, fx);
+                }
+                Ev::MemDone(n, line) => {
+                    let fx = self.agents[n].handle(t, HtInput::MemData { line });
+                    self.apply_effects(t, n, fx);
+                }
+            }
+        }
+        self.report()
+    }
+
+    /// Builds the report for the run so far without consuming the
+    /// machine.
+    pub fn report(&self) -> Report {
+        let finished = self.finish_time.iter().all(Option::is_some);
+        let exec_cycles = self
+            .finish_time
+            .iter()
+            .map(|f| f.unwrap_or(self.queue.now()))
+            .max()
+            .unwrap_or(0);
+        let mut stats = self.stats.clone();
+        for core in &self.cores {
+            stats.ops_retired += core.stats().retired;
+        }
+        for agent in &self.agents {
+            let a = agent.stats();
+            stats.transactions += a.completed;
+            stats.snoops += a.snoops;
+        }
+        stats.events = self.queue.events_processed();
+        Report {
+            exec_cycles,
+            finished,
+            stats,
+        }
+    }
+
+    /// Read access to the per-node HT agents (post-run inspection).
+    pub fn agents(&self) -> &[HtAgent] {
+        &self.agents
+    }
+
+    /// Counts the nodes currently holding `line` in a supplier state.
+    pub fn supplier_count(&self, line: LineAddr) -> usize {
+        self.agents
+            .iter()
+            .filter(|a| a.l2().state(line).is_supplier())
+            .count()
+    }
+
+    fn resume(&mut self, t: Cycle, n: usize) {
+        if self.cores[n].is_finished() {
+            // A core that drained its last stores finishes here rather
+            // than through a Finished step.
+            if self.finish_time[n].is_none() {
+                self.finish_time[n] = Some(t);
+            }
+            return;
+        }
+        if self.cores[n].is_blocked() {
+            return;
+        }
+        let slice = self.cfg.core_slice;
+        let (cores, agents) = (&mut self.cores, &self.agents);
+        let agent = &agents[n];
+        let step = cores[n].next(slice, |line| {
+            if agent.is_line_engaged(line) {
+                L2View::Outstanding
+            } else {
+                let state = agent.l2().state(line);
+                if state.can_write_silently() {
+                    L2View::HitSilent
+                } else if state.is_valid() {
+                    L2View::HitNeedsOwnership
+                } else {
+                    L2View::Miss
+                }
+            }
+        });
+        match step {
+            NextStep::Advance { cycles } => {
+                self.queue.schedule(t + cycles.max(1), Ev::Resume(n));
+            }
+            NextStep::BlockedRead { cycles, line } => {
+                self.queue.schedule(
+                    t + cycles,
+                    Ev::Agent(n, HtInput::CoreRequest { line, write: false }),
+                );
+            }
+            NextStep::IssueWrite { cycles, line } => {
+                self.issue_write(t + cycles, n, line);
+                self.queue.schedule(t + cycles.max(1), Ev::Resume(n));
+            }
+            NextStep::BlockedStores { .. } => {}
+            NextStep::Finished => {
+                if self.finish_time[n].is_none() {
+                    self.finish_time[n] = Some(t);
+                }
+            }
+        }
+    }
+
+    fn issue_write(&mut self, t: Cycle, n: usize, line: LineAddr) {
+        if self.agents[n].classify_store(line).is_some() {
+            self.queue
+                .schedule(t, Ev::Agent(n, HtInput::CoreRequest { line, write: true }));
+        } else {
+            self.write_completed(t, n, line);
+        }
+    }
+
+    fn write_completed(&mut self, t: Cycle, n: usize, line: LineAddr) {
+        let (pending, unblocked) = self.cores[n].write_complete(line);
+        if let Some(pl) = pending {
+            self.issue_write(t, n, pl);
+        }
+        if unblocked {
+            self.queue.schedule(t, Ev::Resume(n));
+        }
+    }
+
+    fn apply_effects(&mut self, t: Cycle, n: usize, fx: Vec<HtEffect>) {
+        let me = NodeId(n);
+        for e in fx {
+            match e {
+                HtEffect::SendRequest { home, req } => {
+                    let d = self
+                        .net
+                        .unicast(t, me, home, CONTROL_BYTES, Channel::Request);
+                    self.stats.traffic.add_control(CONTROL_BYTES, d.hops);
+                    self.queue
+                        .schedule(d.arrival, Ev::Agent(home.0, HtInput::Request(req)));
+                }
+                HtEffect::Broadcast(probe) => {
+                    let requester = probe.req.txn.node;
+                    // The home snoops its own cache too (local probe).
+                    if me != requester {
+                        self.queue.schedule(t, Ev::Agent(n, HtInput::Probe(probe)));
+                    }
+                    let ds = self.net.multicast(t, me, CONTROL_BYTES, Channel::Request);
+                    for d in ds {
+                        self.stats.traffic.add_control(CONTROL_BYTES, d.hops);
+                        if d.to != requester {
+                            self.queue
+                                .schedule(d.arrival, Ev::Agent(d.to.0, HtInput::Probe(probe)));
+                        }
+                    }
+                }
+                HtEffect::StartSnoop { probe, delay } => {
+                    self.queue
+                        .schedule(t + delay, Ev::Agent(n, HtInput::ProbeSnoopDone(probe)));
+                }
+                HtEffect::SendResponse { to, resp } => {
+                    let d = self
+                        .net
+                        .unicast(t, me, to, CONTROL_BYTES, Channel::Response);
+                    self.stats.traffic.add_control(CONTROL_BYTES, d.hops);
+                    self.queue
+                        .schedule(d.arrival, Ev::Agent(to.0, HtInput::Response(resp)));
+                }
+                HtEffect::SendData { to, data } => {
+                    let d = self.net.unicast(t, me, to, DATA_BYTES, Channel::Data);
+                    self.stats.traffic.add_data(DATA_BYTES, d.hops);
+                    self.queue
+                        .schedule(d.arrival, Ev::Agent(to.0, HtInput::Data(data)));
+                }
+                HtEffect::MemFetch { line } => {
+                    let done = self.mem.request(t, line);
+                    self.queue.schedule(done, Ev::MemDone(n, line));
+                }
+                HtEffect::SendDone { home, done } => {
+                    let d = self
+                        .net
+                        .unicast(t, me, home, CONTROL_BYTES, Channel::Response);
+                    self.stats.traffic.add_control(CONTROL_BYTES, d.hops);
+                    self.queue
+                        .schedule(d.arrival, Ev::Agent(home.0, HtInput::Done(done)));
+                }
+                HtEffect::L1Invalidate { line } => {
+                    self.cores[n].l1_invalidate(line);
+                }
+                HtEffect::Bound {
+                    line,
+                    write,
+                    latency,
+                    c2c,
+                } => {
+                    if !write {
+                        let lat = (latency + self.cfg.l1.latency) as f64;
+                        self.stats.read_latency.record(lat);
+                        if c2c {
+                            self.stats.read_latency_c2c.record(lat);
+                            self.stats
+                                .c2c_histogram
+                                .record(latency + self.cfg.l1.latency);
+                            self.stats.reads_c2c += 1;
+                        } else {
+                            self.stats.read_latency_mem.record(lat);
+                            self.stats.reads_mem += 1;
+                        }
+                        if self.cores[n].read_done(line) {
+                            self.queue.schedule(t, Ev::Resume(n));
+                        }
+                    }
+                }
+                HtEffect::Complete { line, write, c2c } => {
+                    if write {
+                        self.write_completed(t, n, line);
+                    } else if c2c {
+                        self.stats.nopref_cache += 1;
+                    } else {
+                        self.stats.nopref_mem += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_coherence::ProtocolKind;
+
+    fn run_ht() -> (Report, HtMachine) {
+        let mut cfg = MachineConfig::small_test(ProtocolKind::Eager);
+        cfg.seed = 7;
+        let profile = AppProfile::by_name("fmm").unwrap().scaled(200);
+        let mut m = HtMachine::new(cfg, &profile);
+        let r = m.run();
+        (r, m)
+    }
+
+    #[test]
+    fn ht_runs_to_completion() {
+        let (r, _) = run_ht();
+        assert!(r.finished, "HT machine stalled");
+        assert!(r.stats.read_misses() > 0);
+        assert!(r.stats.traffic.total_byte_hops() > 0);
+    }
+
+    #[test]
+    fn ht_deterministic() {
+        let (a, _) = run_ht();
+        let (b, _) = run_ht();
+        assert_eq!(a.exec_cycles, b.exec_cycles);
+        assert_eq!(a.stats.read_misses(), b.stats.read_misses());
+    }
+
+    #[test]
+    fn ht_quiescent_single_supplier() {
+        let (r, m) = run_ht();
+        assert!(r.finished);
+        // The home serialization makes the invariant easy for HT, but it
+        // must still hold across the shared pools at quiescence.
+        for raw in 0..4096u64 {
+            assert!(
+                m.supplier_count(LineAddr::new(raw)) <= 1,
+                "line {raw} has multiple suppliers"
+            );
+        }
+    }
+}

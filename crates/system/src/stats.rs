@@ -1,0 +1,201 @@
+//! Machine-level statistics and run reports.
+
+use ring_sim::Cycle;
+use ring_stats::{Histogram, Summary, TrafficMeter};
+use serde::{Deserialize, Serialize};
+
+/// Everything a machine run measures — the raw material for every figure
+/// and table of the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Read-miss latency over all read misses (Figure 8(c) column 2/3).
+    pub read_latency: Summary,
+    /// Read-miss latency, cache-to-cache transfers only.
+    pub read_latency_c2c: Summary,
+    /// Read-miss latency, memory transfers only.
+    pub read_latency_mem: Summary,
+    /// Histogram of cache-to-cache read-miss latencies (Figures 8(a)/(b)
+    /// and 11(a)/(b)).
+    pub c2c_histogram: Histogram,
+    /// Time from issue to *completion* (own combined response consumed)
+    /// for read transactions — the "time to response reception" of the
+    /// paper's Figure 5(b), as opposed to the binding latency above.
+    pub read_completion: Summary,
+    /// Read misses serviced cache-to-cache.
+    pub reads_c2c: u64,
+    /// Read misses serviced from memory.
+    pub reads_mem: u64,
+    /// Figure 10(a) categories (read misses under Uncorq+Pref):
+    /// prefetch issued, serviced from a cache.
+    pub pref_cache: u64,
+    /// No prefetch issued, serviced from a cache.
+    pub nopref_cache: u64,
+    /// No prefetch issued, serviced from memory.
+    pub nopref_mem: u64,
+    /// Prefetch issued and serviced from memory.
+    pub pref_mem: u64,
+    /// Coherence traffic in byte-hops (Figure 11(c) traffic column).
+    pub traffic: TrafficMeter,
+    /// Total squash/loser retries across nodes.
+    pub retries: u64,
+    /// Transactions completed.
+    pub transactions: u64,
+    /// Snoop operations performed across nodes.
+    pub snoops: u64,
+    /// Snoops skipped by presence filters (Flexible Snooping).
+    pub snoops_skipped: u64,
+    /// Responses stalled by LTT WID rules (Ordering invariant at work).
+    pub ltt_stalls: u64,
+    /// Peak LTT occupancy across nodes.
+    pub ltt_peak: usize,
+    /// Starvation episodes.
+    pub starvation_events: u64,
+    /// Operations retired by all cores.
+    pub ops_retired: u64,
+    /// Simulation events processed.
+    pub events: u64,
+}
+
+impl Default for MachineStats {
+    fn default() -> Self {
+        MachineStats {
+            read_latency: Summary::new(),
+            read_latency_c2c: Summary::new(),
+            read_latency_mem: Summary::new(),
+            c2c_histogram: Histogram::new(16, 96),
+            read_completion: Summary::new(),
+            reads_c2c: 0,
+            reads_mem: 0,
+            pref_cache: 0,
+            nopref_cache: 0,
+            nopref_mem: 0,
+            pref_mem: 0,
+            traffic: TrafficMeter::new(),
+            retries: 0,
+            transactions: 0,
+            snoops: 0,
+            snoops_skipped: 0,
+            ltt_stalls: 0,
+            ltt_peak: 0,
+            starvation_events: 0,
+            ops_retired: 0,
+            events: 0,
+        }
+    }
+}
+
+impl MachineStats {
+    /// Fraction of read misses serviced cache-to-cache (Figure 8(c) last
+    /// column), or 0 with no misses.
+    pub fn c2c_fraction(&self) -> f64 {
+        let total = self.reads_c2c + self.reads_mem;
+        if total == 0 {
+            0.0
+        } else {
+            self.reads_c2c as f64 / total as f64
+        }
+    }
+
+    /// Total read misses observed.
+    pub fn read_misses(&self) -> u64 {
+        self.reads_c2c + self.reads_mem
+    }
+}
+
+/// The result of one machine run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Cycle at which the last core finished (the execution time of
+    /// Figure 9).
+    pub exec_cycles: Cycle,
+    /// Whether all cores ran to completion (false = hit the cycle cap).
+    pub finished: bool,
+    /// All measurements.
+    pub stats: MachineStats,
+}
+
+impl Report {
+    /// Writes a gem5-style plain-text statistics listing, one
+    /// `name value` pair per line, suitable for archiving runs and
+    /// diffing protocols.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_stats<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        let s = &self.stats;
+        writeln!(w, "finished {}", self.finished)?;
+        writeln!(w, "exec_cycles {}", self.exec_cycles)?;
+        writeln!(w, "ops_retired {}", s.ops_retired)?;
+        writeln!(w, "read_misses {}", s.read_misses())?;
+        writeln!(w, "read_misses_c2c {}", s.reads_c2c)?;
+        writeln!(w, "read_misses_mem {}", s.reads_mem)?;
+        writeln!(w, "read_latency_avg {:.2}", s.read_latency.mean())?;
+        writeln!(w, "read_latency_c2c_avg {:.2}", s.read_latency_c2c.mean())?;
+        writeln!(w, "read_latency_mem_avg {:.2}", s.read_latency_mem.mean())?;
+        writeln!(w, "read_completion_avg {:.2}", s.read_completion.mean())?;
+        writeln!(w, "c2c_fraction {:.4}", s.c2c_fraction())?;
+        writeln!(w, "transactions {}", s.transactions)?;
+        writeln!(w, "retries {}", s.retries)?;
+        writeln!(w, "snoops {}", s.snoops)?;
+        writeln!(w, "snoops_skipped {}", s.snoops_skipped)?;
+        writeln!(w, "ltt_stalled_responses {}", s.ltt_stalls)?;
+        writeln!(w, "ltt_peak_entries {}", s.ltt_peak)?;
+        writeln!(w, "starvation_events {}", s.starvation_events)?;
+        writeln!(w, "traffic_byte_hops {}", s.traffic.total_byte_hops())?;
+        writeln!(w, "traffic_messages {}", s.traffic.messages())?;
+        writeln!(w, "pref_cache {}", s.pref_cache)?;
+        writeln!(w, "nopref_cache {}", s.nopref_cache)?;
+        writeln!(w, "nopref_mem {}", s.nopref_mem)?;
+        writeln!(w, "pref_mem {}", s.pref_mem)?;
+        writeln!(w, "events {}", s.events)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2c_fraction_handles_empty() {
+        let s = MachineStats::default();
+        assert_eq!(s.c2c_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stats_listing_contains_every_headline_counter() {
+        let r = Report {
+            exec_cycles: 123,
+            finished: true,
+            stats: MachineStats::default(),
+        };
+        let mut buf = Vec::new();
+        r.write_stats(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        for key in [
+            "exec_cycles 123",
+            "read_latency_avg",
+            "c2c_fraction",
+            "traffic_byte_hops",
+            "ltt_stalled_responses",
+        ] {
+            assert!(
+                s.contains(key),
+                "missing {key} in
+{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn c2c_fraction_computes() {
+        let s = MachineStats {
+            reads_c2c: 90,
+            reads_mem: 10,
+            ..MachineStats::default()
+        };
+        assert!((s.c2c_fraction() - 0.9).abs() < 1e-12);
+        assert_eq!(s.read_misses(), 100);
+    }
+}

@@ -1,0 +1,316 @@
+//! The per-core operation stream generator.
+
+use ring_cache::LineAddr;
+use ring_cpu::Op;
+use ring_sim::DetRng;
+
+use crate::profile::AppProfile;
+
+/// Base line number of the migratory shared pool.
+const MIGRATORY_BASE: u64 = 0;
+/// Base line number of the read-mostly shared pool (above migratory).
+fn read_mostly_base(p: &AppProfile) -> u64 {
+    MIGRATORY_BASE + p.shared_lines
+}
+/// Base line number of the producer-consumer buffers (above both pools).
+fn pc_region_base(p: &AppProfile) -> u64 {
+    read_mostly_base(p) + p.shared_lines
+}
+/// Base line number of core `id`'s private region (above all shared
+/// regions; leaves room for up to 1024 producer-consumer buffers).
+fn private_base(p: &AppProfile, core: usize) -> u64 {
+    pc_region_base(p) + 1024 * p.pc_lines_per_core + core as u64 * p.private_lines
+}
+
+/// A deterministic, lazily generated operation stream for one core.
+///
+/// Implements [`Iterator`] over [`Op`]; two generators with the same
+/// profile, core id and seed produce identical streams, so every protocol
+/// run of an experiment executes exactly the same work.
+///
+/// # Examples
+///
+/// ```
+/// use ring_workloads::{AppProfile, WorkloadGen};
+///
+/// let p = AppProfile::by_name("radix").unwrap().scaled(100);
+/// let a: Vec<_> = WorkloadGen::new(&p, 3, 64, 7).collect();
+/// let b: Vec<_> = WorkloadGen::new(&p, 3, 64, 7).collect();
+/// assert_eq!(a, b);
+/// assert!(!a.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    profile: AppProfile,
+    core: usize,
+    ncores: usize,
+    rng: DetRng,
+    emitted_mem: u64,
+    /// Queued ops (the generator emits compute + RMW pairs).
+    queue: Vec<Op>,
+    /// Sequential cursor into the private region.
+    private_cursor: u64,
+    /// Recently touched private lines for reuse hits.
+    recent: [u64; 4],
+    /// Next line to produce into this core's PC buffer.
+    produce_seq: u64,
+    /// Next line to consume from the ring-predecessor's PC buffer.
+    consume_seq: u64,
+}
+
+impl WorkloadGen {
+    /// Creates the stream for `core` (of `ncores`) with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= ncores`.
+    pub fn new(profile: &AppProfile, core: usize, ncores: usize, seed: u64) -> Self {
+        assert!(core < ncores, "core id out of range");
+        let mut root = DetRng::seed(seed);
+        let rng = root.fork(core as u64);
+        let base = private_base(profile, core);
+        WorkloadGen {
+            profile: profile.clone(),
+            core,
+            ncores,
+            rng,
+            emitted_mem: 0,
+            queue: Vec::new(),
+            private_cursor: 0,
+            recent: [base; 4],
+            produce_seq: 0,
+            consume_seq: 0,
+        }
+    }
+
+    /// Memory operations emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted_mem
+    }
+
+    fn gen_slot(&mut self) {
+        let p = &self.profile;
+        // Fences at synchronization density.
+        if self.emitted_mem > 0 && self.emitted_mem.is_multiple_of(p.fence_every) {
+            self.queue.push(Op::Fence);
+        }
+        let compute = self.rng.exp_around(p.compute_mean) as u32;
+        if compute > 0 {
+            self.queue.push(Op::Compute(compute));
+        }
+        let r = self.rng.unit();
+        if r < p.shared_migratory {
+            // Migratory read-modify-write on a random hot line.
+            let line = LineAddr::new(MIGRATORY_BASE + self.rng.below(p.shared_lines));
+            self.queue.push(Op::Read(line));
+            self.queue.push(Op::Write(line));
+            self.emitted_mem += 2;
+        } else if r < p.shared_migratory + p.shared_read_mostly {
+            let line = LineAddr::new(read_mostly_base(p) + self.rng.below(p.shared_lines));
+            if self.rng.chance(p.read_mostly_write_fraction) {
+                self.queue.push(Op::Write(line));
+            } else {
+                self.queue.push(Op::Read(line));
+            }
+            self.emitted_mem += 1;
+        } else if r < p.shared_migratory + p.shared_read_mostly + p.shared_producer_consumer {
+            // Producer-consumer: alternately produce into this core's
+            // buffer and consume the ring-predecessor's freshest lines
+            // (dirty cache-to-cache handoffs).
+            if self.produce_seq <= self.consume_seq {
+                let line = p.pc_base(self.core) + self.produce_seq % p.pc_lines_per_core;
+                self.produce_seq += 1;
+                self.queue.push(Op::Write(LineAddr::new(line)));
+            } else {
+                let pred = (self.core + self.ncores - 1) % self.ncores;
+                let line = p.pc_base(pred) + self.consume_seq % p.pc_lines_per_core;
+                self.consume_seq += 1;
+                self.queue.push(Op::Read(LineAddr::new(line)));
+            }
+            self.emitted_mem += 1;
+        } else {
+            // Private reference.
+            let base = private_base(p, self.core);
+            let line = if self.rng.chance(p.private_miss_rate) {
+                // Fresh line: a capacity/cold miss to memory.
+                self.private_cursor = (self.private_cursor + 1) % p.private_lines;
+                let l = base + self.private_cursor;
+                let slot = (self.rng.next_u64() % 4) as usize;
+                self.recent[slot] = l;
+                l
+            } else {
+                // Re-touch a recent line: an L1 hit.
+                self.recent[(self.rng.next_u64() % 4) as usize]
+            };
+            let line = LineAddr::new(line);
+            if self.rng.chance(p.private_write_fraction) {
+                self.queue.push(Op::Write(line));
+            } else {
+                self.queue.push(Op::Read(line));
+            }
+            self.emitted_mem += 1;
+        }
+        // FIFO order.
+        self.queue.reverse();
+    }
+}
+
+impl Iterator for WorkloadGen {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if let Some(op) = self.queue.pop() {
+            return Some(op);
+        }
+        if self.emitted_mem >= self.profile.ops_per_core {
+            return None;
+        }
+        self.gen_slot();
+        self.queue.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn profile() -> AppProfile {
+        AppProfile::by_name("fmm").unwrap().scaled(2_000)
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_core() {
+        let p = profile();
+        let a: Vec<_> = WorkloadGen::new(&p, 1, 64, 9).collect();
+        let b: Vec<_> = WorkloadGen::new(&p, 1, 64, 9).collect();
+        let c: Vec<_> = WorkloadGen::new(&p, 2, 64, 9).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different cores get different streams");
+    }
+
+    #[test]
+    fn respects_ops_budget() {
+        let p = profile();
+        let mem = WorkloadGen::new(&p, 0, 64, 1).filter(Op::is_memory).count() as u64;
+        // RMW pairs may overshoot by one.
+        assert!(mem >= p.ops_per_core && mem <= p.ops_per_core + 1);
+    }
+
+    #[test]
+    fn private_regions_are_disjoint() {
+        let p = profile();
+        let private_start = 2 * p.shared_lines + 1024 * p.pc_lines_per_core;
+        let lines = |core: usize| -> HashSet<u64> {
+            WorkloadGen::new(&p, core, 64, 1)
+                .filter_map(|o| o.line())
+                .map(|l| l.raw())
+                .filter(|&l| l >= private_start) // private only
+                .collect()
+        };
+        let a = lines(0);
+        let b = lines(1);
+        assert!(a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn producer_consumer_buffers_shared_with_ring_neighbor() {
+        let p = profile();
+        let pc = |core: usize| -> HashSet<u64> {
+            WorkloadGen::new(&p, core, 64, 1)
+                .filter_map(|o| o.line())
+                .map(|l| l.raw())
+                .filter(|&l| {
+                    l >= 2 * p.shared_lines && l < 2 * p.shared_lines + 1024 * p.pc_lines_per_core
+                })
+                .collect()
+        };
+        // Core 1 consumes core 0's buffer: their PC line sets intersect.
+        let a = pc(0);
+        let b = pc(1);
+        assert!(
+            !a.is_disjoint(&b),
+            "consumer must touch the producer's buffer"
+        );
+        // Core 0 only touches its own buffer and its predecessor's (63).
+        let own = p.pc_base(0);
+        let pred = p.pc_base(63);
+        for l in &a {
+            let in_own = *l >= own && *l < own + p.pc_lines_per_core;
+            let in_pred = *l >= pred && *l < pred + p.pc_lines_per_core;
+            assert!(in_own || in_pred, "stray PC line {l}");
+        }
+    }
+
+    #[test]
+    fn warm_lines_cover_pools_and_pc_buffers() {
+        let p = profile();
+        let warm = p.warm_lines(64);
+        // Pools + 64 PC buffers.
+        assert_eq!(
+            warm.len() as u64,
+            2 * p.shared_lines + 64 * p.pc_lines_per_core
+        );
+        // PC buffers are owned by their producing core.
+        let base = p.pc_base(5);
+        let owner = warm
+            .iter()
+            .find(|&&(l, _)| l == base)
+            .map(|&(_, n)| n)
+            .unwrap();
+        assert_eq!(owner, 5);
+    }
+
+    #[test]
+    fn shared_pool_is_shared() {
+        let p = profile();
+        let shared = |core: usize| -> HashSet<u64> {
+            WorkloadGen::new(&p, core, 64, 1)
+                .filter_map(|o| o.line())
+                .map(|l| l.raw())
+                .filter(|&l| l < 2 * p.shared_lines)
+                .collect()
+        };
+        let a = shared(0);
+        let b = shared(1);
+        assert!(!a.is_disjoint(&b), "cores must touch common shared lines");
+    }
+
+    #[test]
+    fn contains_fences_and_compute() {
+        let p = profile();
+        let ops: Vec<_> = WorkloadGen::new(&p, 0, 64, 1).collect();
+        assert!(ops.iter().any(|o| matches!(o, Op::Fence)));
+        assert!(ops.iter().any(|o| matches!(o, Op::Compute(_))));
+        assert!(ops.iter().any(|o| matches!(o, Op::Write(_))));
+    }
+
+    #[test]
+    fn migratory_refs_are_rmw_pairs() {
+        let p = profile();
+        let ops: Vec<_> = WorkloadGen::new(&p, 0, 64, 1).collect();
+        for w in ops.windows(2) {
+            if let (Op::Read(a), Op::Write(b)) = (&w[0], &w[1]) {
+                if a.raw() < p.shared_lines {
+                    assert_eq!(a, b, "migratory read must pair with its write");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_mix_roughly_matches_profile() {
+        let p = AppProfile::by_name("SPECweb").unwrap().scaled(5_000);
+        let shared_refs = WorkloadGen::new(&p, 0, 64, 3)
+            .filter_map(|o| o.line())
+            .filter(|l| l.raw() < 2 * p.shared_lines)
+            .count() as f64;
+        let total = p.ops_per_core as f64;
+        let expect = p.shared_migratory * 2.0 + p.shared_read_mostly;
+        let got = shared_refs / total;
+        assert!(
+            (got - expect).abs() < 0.02,
+            "shared ref fraction {got:.3} vs expected {expect:.3}"
+        );
+    }
+}

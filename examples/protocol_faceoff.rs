@@ -1,0 +1,81 @@
+//! Protocol face-off: one application, every protocol — the five ring
+//! protocols of Figure 9 plus the HyperTransport baseline of Figure 11 —
+//! side by side, including traffic.
+//!
+//! Run with: `cargo run --release --example protocol_faceoff [app]`
+
+use uncorq::coherence::{ProtocolConfig, ProtocolKind};
+use uncorq::stats::{Align, Table};
+use uncorq::system::{HtMachine, Machine, MachineConfig};
+use uncorq::workloads::AppProfile;
+
+fn main() {
+    let app = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "radix".to_string());
+    let profile = AppProfile::by_name(&app)
+        .unwrap_or_else(|| panic!("unknown application {app}"))
+        .scaled(5_000);
+    println!("protocol face-off on `{app}` (scaled run)\n");
+
+    let mut t = Table::new(
+        [
+            "Protocol",
+            "Exec (cyc)",
+            "Norm",
+            "Miss lat",
+            "c2c lat",
+            "Traffic (MB-hops)",
+            "Snoops/miss",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    t.align(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    let mut base = 0.0;
+    let runs: Vec<(&str, Option<ProtocolConfig>)> = vec![
+        ("Eager", Some(ProtocolConfig::paper(ProtocolKind::Eager))),
+        (
+            "SupersetCon",
+            Some(ProtocolConfig::paper(ProtocolKind::SupersetCon)),
+        ),
+        (
+            "SupersetAgg",
+            Some(ProtocolConfig::paper(ProtocolKind::SupersetAgg)),
+        ),
+        ("Uncorq", Some(ProtocolConfig::paper(ProtocolKind::Uncorq))),
+        ("Uncorq+Pref", Some(ProtocolConfig::uncorq_pref())),
+        ("HT", None),
+    ];
+    for (name, proto) in runs {
+        let report = match proto {
+            Some(p) => Machine::new(MachineConfig::with_protocol(p), &profile).run(),
+            None => HtMachine::new(MachineConfig::paper(ProtocolKind::Eager), &profile).run(),
+        };
+        assert!(report.finished, "{name} did not finish");
+        if base == 0.0 {
+            base = report.exec_cycles as f64;
+        }
+        let misses = report.stats.read_misses().max(1);
+        t.row(vec![
+            name.to_string(),
+            format!("{}", report.exec_cycles),
+            format!("{:.2}", report.exec_cycles as f64 / base),
+            format!("{:.0}", report.stats.read_latency.mean()),
+            format!("{:.0}", report.stats.read_latency_c2c.mean()),
+            format!("{:.1}", report.stats.traffic.total_byte_hops() as f64 / 1e6),
+            format!("{:.1}", report.stats.snoops as f64 / misses as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Note the Flexible Snooping rows: fewer snoops per miss (their goal,");
+    println!("energy) but slower than Eager on a single CMP — as the paper found.");
+}

@@ -1,0 +1,244 @@
+//! `uncorq` — command-line front end for the simulator.
+//!
+//! ```text
+//! uncorq --app fmm --protocol uncorq [--ops 20000] [--seed 2007]
+//!        [--prefetch] [--dual-rings] [--row-major-ring] [--nodes 8x8]
+//!        [--check-invariants] [--histogram]
+//! uncorq --list
+//! ```
+
+use std::process::ExitCode;
+
+use uncorq::coherence::ProtocolKind;
+use uncorq::system::{HtMachine, Machine, MachineConfig, Report};
+use uncorq::workloads::AppProfile;
+
+#[derive(Debug)]
+struct Args {
+    app: String,
+    protocol: String,
+    ops: Option<u64>,
+    seed: u64,
+    prefetch: bool,
+    dual_rings: bool,
+    row_major_ring: bool,
+    nodes: (usize, usize),
+    check_invariants: bool,
+    histogram: bool,
+    trace_line: Option<u64>,
+    stats_out: Option<String>,
+    list: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            app: "fmm".into(),
+            protocol: "uncorq".into(),
+            ops: None,
+            seed: 2007,
+            prefetch: false,
+            dual_rings: false,
+            row_major_ring: false,
+            nodes: (8, 8),
+            check_invariants: false,
+            histogram: false,
+            trace_line: None,
+            stats_out: None,
+            list: false,
+        }
+    }
+}
+
+const USAGE: &str =
+    "usage: uncorq [--list] [--app NAME] [--protocol eager|supersetcon|supersetagg|uncorq|ht]
+              [--ops N] [--seed N] [--prefetch] [--dual-rings] [--row-major-ring]
+              [--nodes WxH] [--check-invariants] [--histogram] [--trace-line N]
+              [--stats-out FILE]";
+
+fn parse(mut argv: std::env::Args) -> Result<Args, String> {
+    let mut a = Args::default();
+    argv.next(); // program name
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--list" => a.list = true,
+            "--app" => a.app = value("--app")?,
+            "--protocol" => a.protocol = value("--protocol")?.to_lowercase(),
+            "--ops" => a.ops = Some(value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?),
+            "--seed" => {
+                a.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--prefetch" => a.prefetch = true,
+            "--dual-rings" => a.dual_rings = true,
+            "--row-major-ring" => a.row_major_ring = true,
+            "--check-invariants" => a.check_invariants = true,
+            "--histogram" => a.histogram = true,
+            "--stats-out" => a.stats_out = Some(value("--stats-out")?),
+            "--trace-line" => {
+                let v = value("--trace-line")?;
+                let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    v.parse()
+                };
+                a.trace_line = Some(parsed.map_err(|e| format!("--trace-line: {e}"))?);
+            }
+            "--nodes" => {
+                let v = value("--nodes")?;
+                let (w, h) = v
+                    .split_once(['x', 'X'])
+                    .ok_or_else(|| format!("--nodes expects WxH, got {v}"))?;
+                a.nodes = (
+                    w.parse().map_err(|e| format!("--nodes width: {e}"))?,
+                    h.parse().map_err(|e| format!("--nodes height: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(a)
+}
+
+fn protocol_kind(name: &str) -> Result<Option<ProtocolKind>, String> {
+    Ok(Some(match name {
+        "eager" => ProtocolKind::Eager,
+        "supersetcon" => ProtocolKind::SupersetCon,
+        "supersetagg" => ProtocolKind::SupersetAgg,
+        "uncorq" => ProtocolKind::Uncorq,
+        "ht" => return Ok(None),
+        other => return Err(format!("unknown protocol {other}\n{USAGE}")),
+    }))
+}
+
+fn print_report(args: &Args, report: &Report) {
+    let s = &report.stats;
+    println!(
+        "machine    : {}x{} nodes, seed {}",
+        args.nodes.0, args.nodes.1, args.seed
+    );
+    println!(
+        "protocol   : {}{}{}",
+        args.protocol,
+        if args.prefetch { "+pref" } else { "" },
+        if args.dual_rings { " (dual rings)" } else { "" }
+    );
+    println!("finished   : {}", report.finished);
+    println!("exec       : {} cycles", report.exec_cycles);
+    println!("ops retired: {}", s.ops_retired);
+    println!(
+        "read miss  : avg {:.0} cyc over {} misses ({:.1}% cache-to-cache)",
+        s.read_latency.mean(),
+        s.read_misses(),
+        100.0 * s.c2c_fraction()
+    );
+    println!(
+        "             c2c avg {:.0} cyc | memory avg {:.0} cyc",
+        s.read_latency_c2c.mean(),
+        s.read_latency_mem.mean()
+    );
+    println!(
+        "traffic    : {:.2} MB-hops over {} messages",
+        s.traffic.total_byte_hops() as f64 / 1e6,
+        s.traffic.messages()
+    );
+    println!(
+        "protocol   : {} txns, {} retries, {} snoops ({} skipped), {} LTT stalls",
+        s.transactions, s.retries, s.snoops, s.snoops_skipped, s.ltt_stalls
+    );
+    if args.histogram {
+        println!("\ncache-to-cache read miss latency histogram:");
+        print!("{}", s.c2c_histogram.render_ascii(48));
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse(std::env::args()) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        println!("applications (11 SPLASH-2 + 2 commercial, paper Figure 8(c)):");
+        for p in AppProfile::all() {
+            println!(
+                "  {:<16} {:>6} ops/core, compute ~{:.0} cyc/ref",
+                p.name, p.ops_per_core, p.compute_mean
+            );
+        }
+        println!("protocols: eager supersetcon supersetagg uncorq ht");
+        return ExitCode::SUCCESS;
+    }
+    let Some(mut profile) = AppProfile::by_name(&args.app) else {
+        eprintln!("unknown application {}; try --list", args.app);
+        return ExitCode::FAILURE;
+    };
+    if let Some(ops) = args.ops {
+        profile = profile.scaled(ops);
+    }
+    let kind = match protocol_kind(&args.protocol) {
+        Ok(k) => k,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = match kind {
+        Some(k) if args.prefetch => {
+            let mut c = MachineConfig::paper_uncorq_pref();
+            c.protocol.kind = k;
+            c
+        }
+        Some(k) => MachineConfig::paper(k),
+        None => MachineConfig::paper(ProtocolKind::Eager), // HT machine
+    };
+    cfg.width = args.nodes.0;
+    cfg.height = args.nodes.1;
+    cfg.seed = args.seed;
+    cfg.dual_rings = args.dual_rings;
+    cfg.ring_row_major = args.row_major_ring;
+    cfg.check_invariants = args.check_invariants;
+    if let Some(l) = args.trace_line {
+        cfg.trace_lines.push(l);
+    }
+    let report = match kind {
+        Some(_) if args.trace_line.is_some() => {
+            let mut m = Machine::new(cfg, &profile);
+            let r = m.run();
+            let line = uncorq::cache::LineAddr::new(args.trace_line.unwrap());
+            println!("protocol trace for {line}:");
+            for e in m.line_trace(line) {
+                println!("  {e}");
+            }
+            println!();
+            r
+        }
+        Some(_) => Machine::new(cfg, &profile).run(),
+        None => HtMachine::new(cfg, &profile).run(),
+    };
+    print_report(&args, &report);
+    if let Some(path) = &args.stats_out {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("--stats-out {path}: {e}");
+            std::process::exit(1);
+        });
+        report
+            .write_stats(std::io::BufWriter::new(file))
+            .expect("write stats");
+        println!("\nstats written to {path}");
+    }
+    if report.finished {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nwarning: hit the cycle cap before completion");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,691 @@
+//! Directed reproductions of the collision cases of the paper's
+//! **Table 1** (Eager) and **Table 2** (Uncorq), driven message-by-message
+//! through a single node's protocol agent so every interleaving is exactly
+//! the one the paper describes.
+
+use uncorq::cache::{CacheConfig, LineAddr, LineState};
+use uncorq::coherence::{
+    AgentInput, Effect, Priority, ProtocolConfig, ProtocolKind, RequestMsg, ResponseMsg, RingAgent,
+    RingMsg, SupplierMsg, TxnId, TxnKind,
+};
+use uncorq::noc::NodeId;
+use uncorq::sim::DetRng;
+
+const LINE: u64 = 0x40;
+
+fn agent(node: usize, kind: ProtocolKind) -> RingAgent {
+    RingAgent::new(
+        NodeId(node),
+        ProtocolConfig::paper(kind),
+        CacheConfig::l2_512k(),
+        DetRng::seed(42),
+    )
+}
+
+fn line() -> LineAddr {
+    LineAddr::new(LINE)
+}
+
+fn req(node: usize, serial: u64, kind: TxnKind, rand: u32) -> RequestMsg {
+    RequestMsg {
+        txn: TxnId {
+            node: NodeId(node),
+            serial,
+        },
+        line: line(),
+        kind,
+        priority: Priority::new(kind, rand, NodeId(node)),
+    }
+}
+
+fn resp(r: &RequestMsg, positive: bool) -> ResponseMsg {
+    let mut m = ResponseMsg::initial(r);
+    m.positive = positive;
+    m
+}
+
+/// Extracts the request this agent issued from its effect list.
+fn issued_request(fx: &[Effect]) -> RequestMsg {
+    fx.iter()
+        .find_map(|e| match e {
+            Effect::RingSend {
+                msg: RingMsg::Request(r),
+                ..
+            } => Some(*r),
+            Effect::MulticastRequest(r) => Some(*r),
+            _ => None,
+        })
+        .expect("agent must issue a request")
+}
+
+fn forwarded_responses(fx: &[Effect]) -> Vec<ResponseMsg> {
+    fx.iter()
+        .filter_map(|e| match e {
+            Effect::RingSend {
+                msg: RingMsg::Response(r),
+                ..
+            } => Some(*r),
+            _ => None,
+        })
+        .collect()
+}
+
+fn has_retry(fx: &[Effect]) -> bool {
+    fx.iter().any(|e| matches!(e, Effect::Retry { .. }))
+}
+
+fn has_complete(fx: &[Effect]) -> bool {
+    fx.iter().any(|e| matches!(e, Effect::Complete { .. }))
+}
+
+// ---------------------------------------------------------------------
+// Table 1 (Eager)
+// ---------------------------------------------------------------------
+
+/// Supplier present, natural serialization, viewed from winner B: B's own
+/// r+ arrives before it sees any message of A's transaction; B then
+/// services A's request as the new supplier.
+#[test]
+fn eager_supplier_present_natural() {
+    let mut b = agent(1, ProtocolKind::Eager);
+    // B issues an invalidating write hit (it caches the line Shared).
+    b.install_line(line(), LineState::Shared);
+    let fx = b.handle(
+        0,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::WriteHit,
+        },
+    );
+    let rb = issued_request(&fx);
+    assert_eq!(rb.kind, TxnKind::WriteHit);
+    // Suppliership (ownership only) arrives from the old supplier.
+    let fx = b.handle(
+        50,
+        AgentInput::Supplier(SupplierMsg {
+            txn: rb.txn,
+            line: line(),
+            with_data: false,
+            new_state: LineState::Dirty,
+        }),
+    );
+    assert!(fx
+        .iter()
+        .any(|e| matches!(e, Effect::Bound { c2c: true, .. })));
+    // B's own positive response completes the transaction.
+    let fx = b.handle(
+        600,
+        AgentInput::RingArrival(RingMsg::Response(resp(&rb, true))),
+    );
+    assert!(has_complete(&fx), "B must complete: {fx:?}");
+    assert_eq!(b.l2().state(line()), LineState::Dirty);
+    // A's request now arrives: B is the supplier and services it.
+    let ra = req(0, 1, TxnKind::Read, 5);
+    let fx = b.handle(700, AgentInput::RingArrival(RingMsg::Request(ra)));
+    assert!(fx.iter().any(|e| matches!(e, Effect::StartSnoop { .. })));
+    let fx = b.handle(
+        707,
+        AgentInput::SnoopDone {
+            txn: ra.txn,
+            line: line(),
+        },
+    );
+    assert!(
+        fx.iter().any(|e| matches!(
+            e,
+            Effect::SendSupplier { to, msg } if *to == NodeId(0) && msg.with_data
+        )),
+        "completed B must supply A: {fx:?}"
+    );
+    // B demoted: dirty line supplied to a reader leaves B Shared.
+    assert_eq!(b.l2().state(line()), LineState::Shared);
+}
+
+/// Supplier present, natural serialization, the uncommon sub-case: B has
+/// its r+ but not yet the suppliership when A's request arrives. B must
+/// ignore the request and squash A's response when it passes.
+#[test]
+fn eager_supplier_present_natural_squash_before_suppliership() {
+    let mut b = agent(1, ProtocolKind::Eager);
+    b.install_line(line(), LineState::Shared);
+    let fx = b.handle(
+        0,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::WriteHit,
+        },
+    );
+    let rb = issued_request(&fx);
+    // r_B+ arrives FIRST (suppliership still in flight): B is committed
+    // but incomplete.
+    let fx = b.handle(
+        600,
+        AgentInput::RingArrival(RingMsg::Response(resp(&rb, true))),
+    );
+    assert!(!has_complete(&fx));
+    // A's read request arrives; B snoops negative (transient).
+    let ra = req(0, 1, TxnKind::Read, 5);
+    b.handle(610, AgentInput::RingArrival(RingMsg::Request(ra)));
+    let fx = b.handle(
+        617,
+        AgentInput::SnoopDone {
+            txn: ra.txn,
+            line: line(),
+        },
+    );
+    assert!(
+        !fx.iter().any(|e| matches!(e, Effect::SendSupplier { .. })),
+        "B must not supply while its own transaction is incomplete"
+    );
+    // A's response passes through B: marked squashed.
+    let fx = b.handle(
+        700,
+        AgentInput::RingArrival(RingMsg::Response(resp(&ra, false))),
+    );
+    let fwd = forwarded_responses(&fx);
+    assert_eq!(fwd.len(), 1);
+    assert!(fwd[0].squashed, "A's r- must be squash-marked: {fwd:?}");
+}
+
+/// Supplier present, forced serialization, viewed from loser B (the
+/// paper's Figure 4): B sees R_A, then r_A+ (records its own loss), then
+/// its own r- — and retries.
+#[test]
+fn eager_supplier_present_forced_loser_retries() {
+    let mut b = agent(1, ProtocolKind::Eager);
+    b.install_line(line(), LineState::Shared);
+    let fx = b.handle(
+        0,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::WriteHit,
+        },
+    );
+    let rb = issued_request(&fx);
+    // A's read request passes B while B is outstanding (collision).
+    let ra = req(0, 1, TxnKind::Read, 5);
+    b.handle(10, AgentInput::RingArrival(RingMsg::Request(ra)));
+    b.handle(
+        17,
+        AgentInput::SnoopDone {
+            txn: ra.txn,
+            line: line(),
+        },
+    );
+    // A's positive response passes B: B records that it lost.
+    let fx = b.handle(
+        100,
+        AgentInput::RingArrival(RingMsg::Response(resp(&ra, true))),
+    );
+    let fwd = forwarded_responses(&fx);
+    assert_eq!(fwd.len(), 1);
+    assert!(fwd[0].positive);
+    assert!(!fwd[0].must_retry());
+    // B's own clean negative arrives: retry.
+    let fx = b.handle(
+        600,
+        AgentInput::RingArrival(RingMsg::Response(resp(&rb, false))),
+    );
+    assert!(has_retry(&fx), "loser B must retry: {fx:?}");
+    assert!(!has_complete(&fx));
+    // A's transaction was a read: B keeps its Shared copy for the retry.
+    assert_eq!(b.l2().state(line()), LineState::Shared);
+}
+
+/// Like the previous case but the winner is a WRITE: the loser must also
+/// invalidate its copy when it retries (and degrade WriteHit→WriteMiss).
+#[test]
+fn eager_loser_invalidates_when_winner_is_write() {
+    let mut b = agent(1, ProtocolKind::Eager);
+    b.install_line(line(), LineState::Shared);
+    let fx = b.handle(
+        0,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::WriteHit,
+        },
+    );
+    let rb = issued_request(&fx);
+    let ra = req(0, 1, TxnKind::WriteMiss, 5);
+    b.handle(10, AgentInput::RingArrival(RingMsg::Request(ra)));
+    b.handle(
+        17,
+        AgentInput::SnoopDone {
+            txn: ra.txn,
+            line: line(),
+        },
+    );
+    b.handle(
+        100,
+        AgentInput::RingArrival(RingMsg::Response(resp(&ra, true))),
+    );
+    let fx = b.handle(
+        600,
+        AgentInput::RingArrival(RingMsg::Response(resp(&rb, false))),
+    );
+    assert!(has_retry(&fx));
+    assert_eq!(
+        b.l2().state(line()),
+        LineState::Invalid,
+        "losing to a write must invalidate the local copy"
+    );
+}
+
+/// Supplier not present, natural serialization (paper definition: A
+/// receives its own `r-` before seeing *any* of B's messages): A gets the
+/// data from memory; B's overlapping transaction, whose request arrives
+/// during A's memory wait, is squashed as its response passes.
+#[test]
+fn eager_no_supplier_natural_squash() {
+    let mut a = agent(0, ProtocolKind::Eager);
+    let fx = a.handle(
+        0,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::Read,
+        },
+    );
+    let ra = issued_request(&fx);
+    // A's own clean r- returns first: A commits to memory.
+    let fx = a.handle(
+        600,
+        AgentInput::RingArrival(RingMsg::Response(resp(&ra, false))),
+    );
+    assert!(
+        fx.iter().any(|e| matches!(
+            e,
+            Effect::MemFetch {
+                prefetch: false,
+                ..
+            }
+        )),
+        "A must fetch from memory: {fx:?}"
+    );
+    // B's write request arrives while A waits for memory ("otherwise, A
+    // ignores R_B"): the snoop is negative (transient).
+    let rb = req(1, 1, TxnKind::WriteMiss, 9);
+    a.handle(610, AgentInput::RingArrival(RingMsg::Request(rb)));
+    let fx = a.handle(
+        617,
+        AgentInput::SnoopDone {
+            txn: rb.txn,
+            line: line(),
+        },
+    );
+    assert!(!fx.iter().any(|e| matches!(e, Effect::SendSupplier { .. })));
+    let fx = a.handle(830, AgentInput::MemData { line: line() });
+    assert!(has_complete(&fx));
+    // B's r- passes A afterwards: squashed.
+    let fx = a.handle(
+        900,
+        AgentInput::RingArrival(RingMsg::Response(resp(&rb, false))),
+    );
+    let fwd = forwarded_responses(&fx);
+    assert_eq!(fwd.len(), 1);
+    assert!(fwd[0].squashed, "B must be told to retry: {fwd:?}");
+}
+
+/// Same natural case, but B's response passes while A is still waiting
+/// for memory: the committed winner squashes it on the spot.
+#[test]
+fn eager_no_supplier_natural_squash_during_memory_wait() {
+    let mut a = agent(0, ProtocolKind::Eager);
+    let fx = a.handle(
+        0,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::Read,
+        },
+    );
+    let ra = issued_request(&fx);
+    a.handle(
+        600,
+        AgentInput::RingArrival(RingMsg::Response(resp(&ra, false))),
+    );
+    let rb = req(1, 1, TxnKind::WriteMiss, 9);
+    a.handle(610, AgentInput::RingArrival(RingMsg::Request(rb)));
+    a.handle(
+        617,
+        AgentInput::SnoopDone {
+            txn: rb.txn,
+            line: line(),
+        },
+    );
+    // B's r- passes while A is committed but still waiting for memory.
+    let fx = a.handle(
+        700,
+        AgentInput::RingArrival(RingMsg::Response(resp(&rb, false))),
+    );
+    let fwd = forwarded_responses(&fx);
+    assert_eq!(fwd.len(), 1);
+    assert!(
+        fwd[0].squashed,
+        "committed winner squashes the loser: {fwd:?}"
+    );
+    // A still completes normally from memory afterwards.
+    let fx = a.handle(830, AgentInput::MemData { line: line() });
+    assert!(has_complete(&fx));
+}
+
+/// When A saw R_B *before* its own r- (not natural per the paper), the
+/// decision falls to winner selection: A (read) defers until B's response
+/// passes, then loses to the write and retries — no double memory fetch.
+#[test]
+fn eager_no_supplier_interleaved_defers_to_winner_selection() {
+    let mut a = agent(0, ProtocolKind::Eager);
+    let fx = a.handle(
+        0,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::Read,
+        },
+    );
+    let ra = issued_request(&fx);
+    let rb = req(1, 1, TxnKind::WriteMiss, 9);
+    a.handle(10, AgentInput::RingArrival(RingMsg::Request(rb)));
+    a.handle(
+        17,
+        AgentInput::SnoopDone {
+            txn: rb.txn,
+            line: line(),
+        },
+    );
+    // Own r- first: decision deferred (B's response unseen).
+    let fx = a.handle(
+        600,
+        AgentInput::RingArrival(RingMsg::Response(resp(&ra, false))),
+    );
+    assert!(
+        !fx.iter().any(|e| matches!(e, Effect::MemFetch { .. })),
+        "must not fetch before the collision resolves: {fx:?}"
+    );
+    // B's r- passes: A loses to the write and retries.
+    let fx = a.handle(
+        650,
+        AgentInput::RingArrival(RingMsg::Response(resp(&rb, false))),
+    );
+    assert!(has_retry(&fx), "read loses to write: {fx:?}");
+}
+
+/// Supplier not present, forced serialization: both nodes see everything;
+/// the winner-selection hierarchy picks the write over the read.
+#[test]
+fn eager_no_supplier_forced_write_beats_read() {
+    let mut a = agent(0, ProtocolKind::Eager);
+    let fx = a.handle(
+        0,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::Read,
+        },
+    );
+    let ra = issued_request(&fx);
+    // B's WRITE request and response pass A before A's own r- returns.
+    let rb = req(1, 1, TxnKind::WriteMiss, 0);
+    a.handle(10, AgentInput::RingArrival(RingMsg::Request(rb)));
+    a.handle(
+        17,
+        AgentInput::SnoopDone {
+            txn: rb.txn,
+            line: line(),
+        },
+    );
+    let fx = a.handle(
+        300,
+        AgentInput::RingArrival(RingMsg::Response(resp(&rb, false))),
+    );
+    let fwd = forwarded_responses(&fx);
+    assert_eq!(fwd.len(), 1, "B's r- forwards (A is not committed)");
+    assert!(!fwd[0].squashed);
+    // A's own r- returns: the write wins by type rank; A (read) retries.
+    let fx = a.handle(
+        600,
+        AgentInput::RingArrival(RingMsg::Response(resp(&ra, false))),
+    );
+    assert!(has_retry(&fx), "read must lose to write: {fx:?}");
+}
+
+// ---------------------------------------------------------------------
+// Table 2 (Uncorq)
+// ---------------------------------------------------------------------
+
+/// Uncorq's new collision instance: with unconstrained delivery, R_B can
+/// reach the supplier before R_A even though A issued first. Viewed from
+/// the supplier: B gets the suppliership; A snoops negative afterwards;
+/// the responses drain winner-first.
+#[test]
+fn uncorq_supplier_sees_requests_reordered() {
+    let mut s = agent(2, ProtocolKind::Uncorq);
+    s.install_line(line(), LineState::Exclusive);
+    // R_B (write miss) arrives first — over any network path.
+    let rb = req(1, 1, TxnKind::WriteMiss, 3);
+    s.handle(10, AgentInput::DirectRequest(rb));
+    let fx = s.handle(
+        17,
+        AgentInput::SnoopDone {
+            txn: rb.txn,
+            line: line(),
+        },
+    );
+    assert!(
+        fx.iter().any(|e| matches!(
+            e,
+            Effect::SendSupplier { to, .. } if *to == NodeId(1)
+        )),
+        "B reached the supplier first and must win: {fx:?}"
+    );
+    assert_eq!(
+        s.l2().state(line()),
+        LineState::Invalid,
+        "write takes the line"
+    );
+    // R_A (read) arrives later; snoop is negative now.
+    let ra = req(0, 1, TxnKind::Read, 9);
+    s.handle(30, AgentInput::DirectRequest(ra));
+    s.handle(
+        37,
+        AgentInput::SnoopDone {
+            txn: ra.txn,
+            line: line(),
+        },
+    );
+    // A's r- arrives first at the ring but must NOT leave before r_B+.
+    let fx = s.handle(
+        50,
+        AgentInput::RingArrival(RingMsg::Response(resp(&ra, false))),
+    );
+    assert!(
+        forwarded_responses(&fx).is_empty(),
+        "r_A- must stall behind WID=B"
+    );
+    let fx = s.handle(
+        60,
+        AgentInput::RingArrival(RingMsg::Response(resp(&rb, false))),
+    );
+    let fwd = forwarded_responses(&fx);
+    assert_eq!(fwd.len(), 2, "winner then loser drain together: {fwd:?}");
+    assert!(fwd[0].positive && fwd[0].requester() == NodeId(1));
+    assert!(!fwd[1].positive && fwd[1].requester() == NodeId(0));
+}
+
+/// Uncorq, no supplier, forced serialization, reordered negatives
+/// (Table 2 bottom): A sees r_B- BEFORE its own r_A-; it runs winner
+/// selection at r_B- and acts at r_A-. When A wins it sets the Loser
+/// Hint on B's response.
+#[test]
+fn uncorq_loser_hint_on_reordered_negatives() {
+    let mut a = agent(0, ProtocolKind::Uncorq);
+    a.install_line(line(), LineState::Shared);
+    // A's write hit outranks B's read in the type hierarchy.
+    let fx = a.handle(
+        0,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::WriteHit,
+        },
+    );
+    let ra = issued_request(&fx);
+    let rb = req(1, 1, TxnKind::Read, u32::MAX);
+    a.handle(10, AgentInput::DirectRequest(rb));
+    a.handle(
+        17,
+        AgentInput::SnoopDone {
+            txn: rb.txn,
+            line: line(),
+        },
+    );
+    // B's negative passes A first.
+    let fx = a.handle(
+        100,
+        AgentInput::RingArrival(RingMsg::Response(resp(&rb, false))),
+    );
+    let fwd = forwarded_responses(&fx);
+    assert_eq!(fwd.len(), 1);
+    assert!(
+        fwd[0].loser_hint,
+        "A wins the pair and must hint B: {fwd:?}"
+    );
+    // A's own clean negative arrives: with every collider response seen
+    // and all of them beaten, A completes locally (write hit, data
+    // cached).
+    let fx = a.handle(
+        600,
+        AgentInput::RingArrival(RingMsg::Response(resp(&ra, false))),
+    );
+    assert!(has_complete(&fx), "winner completes: {fx:?}");
+    assert_eq!(a.l2().state(line()), LineState::Dirty);
+}
+
+/// The dual: A loses the pairwise selection, forwards B's r- unmarked,
+/// and retries at its own r-.
+#[test]
+fn uncorq_pairwise_loser_retries() {
+    let mut a = agent(0, ProtocolKind::Uncorq);
+    let fx = a.handle(
+        0,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::Read,
+        },
+    );
+    let ra = issued_request(&fx);
+    let rb = req(1, 1, TxnKind::WriteMiss, 0);
+    a.handle(10, AgentInput::DirectRequest(rb));
+    a.handle(
+        17,
+        AgentInput::SnoopDone {
+            txn: rb.txn,
+            line: line(),
+        },
+    );
+    let fx = a.handle(
+        100,
+        AgentInput::RingArrival(RingMsg::Response(resp(&rb, false))),
+    );
+    let fwd = forwarded_responses(&fx);
+    assert!(!fwd[0].loser_hint, "A lost the pair; no hint: {fwd:?}");
+    let fx = a.handle(
+        600,
+        AgentInput::RingArrival(RingMsg::Response(resp(&ra, false))),
+    );
+    assert!(has_retry(&fx));
+}
+
+/// A Loser-Hinted response forces a retry even when the losing node never
+/// observed the collision itself (Table 2's second new instance).
+#[test]
+fn uncorq_loser_hint_retries_unaware_node() {
+    let mut b = agent(1, ProtocolKind::Uncorq);
+    let fx = b.handle(
+        0,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::Read,
+        },
+    );
+    let rb = issued_request(&fx);
+    // B's own response returns with the Loser Hint set by the winner.
+    let mut own = resp(&rb, false);
+    own.loser_hint = true;
+    let fx = b.handle(600, AgentInput::RingArrival(RingMsg::Response(own)));
+    assert!(has_retry(&fx), "hinted loser must retry: {fx:?}");
+}
+
+/// A positive combined response overrides a stale Loser Hint (the hint
+/// was a pairwise guess made before the supplier ruled).
+#[test]
+fn positive_response_overrides_loser_hint() {
+    let mut b = agent(1, ProtocolKind::Uncorq);
+    let fx = b.handle(
+        0,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::Read,
+        },
+    );
+    let rb = issued_request(&fx);
+    b.handle(
+        50,
+        AgentInput::Supplier(SupplierMsg {
+            txn: rb.txn,
+            line: line(),
+            with_data: true,
+            new_state: LineState::MasterShared,
+        }),
+    );
+    let mut own = resp(&rb, true);
+    own.loser_hint = true; // stale pairwise guess upstream
+    let fx = b.handle(600, AgentInput::RingArrival(RingMsg::Response(own)));
+    assert!(
+        has_complete(&fx),
+        "positive response wins regardless: {fx:?}"
+    );
+    assert_eq!(b.l2().state(line()), LineState::MasterShared);
+}
+
+/// The In-Progress Transaction Restriction (§3.2): a node that observed a
+/// foreign request may not issue its own transaction for the line until
+/// the foreign response has been observed (and forwarded).
+#[test]
+fn iptr_defers_own_issue() {
+    let mut n = agent(3, ProtocolKind::Eager);
+    let rb = req(1, 1, TxnKind::Read, 1);
+    n.handle(0, AgentInput::RingArrival(RingMsg::Request(rb)));
+    n.handle(
+        7,
+        AgentInput::SnoopDone {
+            txn: rb.txn,
+            line: line(),
+        },
+    );
+    // Core wants the same line: must NOT issue yet.
+    let fx = n.handle(
+        10,
+        AgentInput::CoreRequest {
+            line: line(),
+            kind: TxnKind::Read,
+        },
+    );
+    assert!(
+        fx.iter().all(|e| !matches!(
+            e,
+            Effect::RingSend {
+                msg: RingMsg::Request(_),
+                ..
+            }
+        )),
+        "IPTR must defer the issue: {fx:?}"
+    );
+    // Once B's response passes, the deferred request issues.
+    let fx = n.handle(
+        100,
+        AgentInput::RingArrival(RingMsg::Response(resp(&rb, false))),
+    );
+    assert!(
+        fx.iter().any(
+            |e| matches!(e, Effect::RingSend { msg: RingMsg::Request(r), .. }
+            if r.requester() == NodeId(3))
+        ),
+        "deferred request must issue after r_B passes: {fx:?}"
+    );
+}

@@ -1,0 +1,100 @@
+//! Property-based tests: random workloads, random machine shapes, random
+//! interleavings — the protocol must always terminate coherently and
+//! conserve its accounting.
+
+use proptest::prelude::*;
+use uncorq::cache::LineAddr;
+use uncorq::coherence::ProtocolKind;
+use uncorq::cpu::Op;
+use uncorq::system::{Machine, MachineConfig};
+
+/// A compact random program: per-core op streams over a small hot set.
+fn arb_streams(nodes: usize) -> impl Strategy<Value = Vec<Vec<Op>>> {
+    let op = (0u8..4, 0u64..6, 1u32..30).prop_map(|(kind, line, c)| match kind {
+        0 => Op::Read(LineAddr::new(line)),
+        1 => Op::Write(LineAddr::new(line)),
+        2 => Op::Compute(c),
+        _ => Op::Fence,
+    });
+    let stream = proptest::collection::vec(op, 0..40);
+    proptest::collection::vec(stream, nodes)
+}
+
+fn run_random(
+    kind: ProtocolKind,
+    streams: Vec<Vec<Op>>,
+    seed: u64,
+) -> (uncorq::system::Report, Machine) {
+    let mut cfg = MachineConfig::small_test(kind);
+    cfg.seed = seed;
+    cfg.check_invariants = true;
+    let boxed: Vec<Box<dyn Iterator<Item = Op> + Send>> = streams
+        .into_iter()
+        .map(|v| Box::new(v.into_iter()) as Box<dyn Iterator<Item = Op> + Send>)
+        .collect();
+    let mut m = Machine::with_streams(cfg, boxed);
+    let r = m.run();
+    (r, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every random program terminates under every protocol, preserves
+    /// the single-supplier invariant throughout (runtime check) and at
+    /// quiescence, and conserves read-miss accounting.
+    #[test]
+    fn random_programs_terminate_coherently(
+        streams in arb_streams(16),
+        seed in 0u64..1000,
+    ) {
+        for kind in [ProtocolKind::Eager, ProtocolKind::Uncorq] {
+            let (report, m) = run_random(kind, streams.clone(), seed);
+            prop_assert!(report.finished, "{kind} stalled");
+            prop_assert_eq!(
+                report.stats.read_misses(),
+                report.stats.reads_c2c + report.stats.reads_mem
+            );
+            for line in 0..6u64 {
+                prop_assert!(
+                    m.supplier_count(LineAddr::new(line)) <= 1,
+                    "{} suppliers for line {} under {}",
+                    m.supplier_count(LineAddr::new(line)), line, kind
+                );
+            }
+        }
+    }
+
+    /// Determinism: the same program and seed produce identical reports.
+    #[test]
+    fn runs_are_deterministic(
+        streams in arb_streams(16),
+        seed in 0u64..1000,
+    ) {
+        let (a, _) = run_random(ProtocolKind::Uncorq, streams.clone(), seed);
+        let (b, _) = run_random(ProtocolKind::Uncorq, streams, seed);
+        prop_assert_eq!(a.exec_cycles, b.exec_cycles);
+        prop_assert_eq!(a.stats.read_misses(), b.stats.read_misses());
+        prop_assert_eq!(a.stats.retries, b.stats.retries);
+        prop_assert_eq!(a.stats.events, b.stats.events);
+    }
+
+    /// All protocols execute the same architectural work: identical op
+    /// counts retired, regardless of timing.
+    #[test]
+    fn protocols_retire_identical_work(
+        streams in arb_streams(16),
+        seed in 0u64..1000,
+    ) {
+        let expected: u64 = streams.iter().map(|s| s.len() as u64).sum();
+        for kind in [
+            ProtocolKind::Eager,
+            ProtocolKind::SupersetCon,
+            ProtocolKind::SupersetAgg,
+            ProtocolKind::Uncorq,
+        ] {
+            let (report, _) = run_random(kind, streams.clone(), seed);
+            prop_assert_eq!(report.stats.ops_retired, expected, "{}", kind);
+        }
+    }
+}

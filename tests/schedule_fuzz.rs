@@ -1,0 +1,457 @@
+//! Schedule fuzzing: the paper proves the Ordering invariant "by
+//! exhaustively testing all possible transaction combinations" (§3.1,
+//! citing Strauss's thesis). This harness randomizes *delivery schedules*
+//! directly at the protocol-agent level, exploring message orderings the
+//! timed network simulator can never produce: arbitrarily delayed
+//! multicast requests, reordered direct messages, adversarial snoop
+//! completion, and any legal ring interleaving (per-link FIFO with
+//! requests allowed to overtake responses — §3.2's exact rule).
+//!
+//! After every completion the single-supplier invariant is checked, and
+//! each run must quiesce with every issued transaction completed.
+
+use proptest::prelude::*;
+use ring_cache::{CacheConfig, LineAddr, LineState};
+use ring_coherence::{
+    AgentInput, Effect, ProtocolConfig, ProtocolKind, RingAgent, RingMsg, TxnKind,
+};
+use ring_noc::{NodeId, RingEmbedding};
+use ring_sim::DetRng;
+use std::collections::VecDeque;
+
+const NODES: usize = 4;
+
+/// All message pools the scheduler can pick from.
+struct Pools {
+    /// Per ring edge (from node i to its successor): in-order queue.
+    /// Requests may be delivered out of the head (overtaking responses),
+    /// responses only from the head — §3.2's FIFO exception.
+    ring: Vec<VecDeque<RingMsg>>,
+    /// Unordered deliveries: multicast requests, supplierships, memory
+    /// data, retry firings.
+    unordered: Vec<(usize, AgentInput)>,
+    /// Pending snoop completions (unordered — adversarial snoop timing).
+    snoops: Vec<(usize, AgentInput)>,
+}
+
+impl Pools {
+    fn new() -> Self {
+        Pools {
+            ring: (0..NODES).map(|_| VecDeque::new()).collect(),
+            unordered: Vec::new(),
+            snoops: Vec::new(),
+        }
+    }
+
+    /// Enumerates every legal delivery choice as an opaque index.
+    fn choices(&self) -> usize {
+        let mut n = self.unordered.len() + self.snoops.len();
+        for q in &self.ring {
+            if !q.is_empty() {
+                n += 1; // head
+                if q.iter()
+                    .take(8)
+                    .skip(1)
+                    .any(|m| matches!(m, RingMsg::Request(_)))
+                {
+                    n += 1; // an overtaking request
+                }
+            }
+        }
+        n
+    }
+
+    /// Removes and returns the `idx`-th delivery choice as
+    /// `(destination node, input)`.
+    fn take(&mut self, ring: &RingEmbedding, mut idx: usize) -> (usize, AgentInput) {
+        if idx < self.unordered.len() {
+            return self.unordered.swap_remove(idx);
+        }
+        idx -= self.unordered.len();
+        if idx < self.snoops.len() {
+            return self.snoops.swap_remove(idx);
+        }
+        idx -= self.snoops.len();
+        for (from, q) in self.ring.iter_mut().enumerate() {
+            if q.is_empty() {
+                continue;
+            }
+            let dest = ring.successor(NodeId(from)).0;
+            let has_overtake = q
+                .iter()
+                .take(8)
+                .skip(1)
+                .any(|m| matches!(m, RingMsg::Request(_)));
+            if idx == 0 {
+                let msg = q.pop_front().expect("non-empty");
+                return (dest, AgentInput::RingArrival(msg));
+            }
+            idx -= 1;
+            if has_overtake {
+                if idx == 0 {
+                    let pos = q
+                        .iter()
+                        .take(8)
+                        .skip(1)
+                        .position(|m| matches!(m, RingMsg::Request(_)))
+                        .expect("overtaking request exists")
+                        + 1;
+                    let msg = q.remove(pos).expect("in range");
+                    return (dest, AgentInput::RingArrival(msg));
+                }
+                idx -= 1;
+            }
+        }
+        unreachable!("choice index out of range");
+    }
+}
+
+struct Harness {
+    agents: Vec<RingAgent>,
+    ring: RingEmbedding,
+    pools: Pools,
+    now: u64,
+    completes: usize,
+    /// Lines warmed with a supplier (excluded from the has-supplier check
+    /// bookkeeping below).
+    lines: Vec<LineAddr>,
+}
+
+impl Harness {
+    fn new(kind: ProtocolKind, lines: &[u64], warm: &[(u64, usize)], seed: u64) -> Self {
+        let mut cfg = ProtocolConfig::paper(kind);
+        // Tight retry backoff: retries become pool entries immediately.
+        cfg.retry_backoff = 1;
+        let mut rng = DetRng::seed(seed);
+        let mut agents: Vec<RingAgent> = (0..NODES)
+            .map(|n| {
+                RingAgent::new(
+                    NodeId(n),
+                    cfg,
+                    CacheConfig {
+                        size_bytes: 64 * 64,
+                        ways: 4,
+                        line_bytes: 64,
+                        latency: 1,
+                    },
+                    rng.fork(n as u64),
+                )
+            })
+            .collect();
+        for &(line, owner) in warm {
+            agents[owner].install_line(LineAddr::new(line), LineState::Dirty);
+        }
+        Harness {
+            agents,
+            ring: RingEmbedding::from_custom_order((0..NODES).map(NodeId).collect()),
+            pools: Pools::new(),
+            now: 0,
+            completes: 0,
+            lines: lines.iter().map(|&l| LineAddr::new(l)).collect(),
+        }
+    }
+
+    fn feed(&mut self, node: usize, input: AgentInput) {
+        self.now += 1;
+        let fx = self.agents[node].handle(self.now, input);
+        self.apply(node, fx);
+    }
+
+    fn apply(&mut self, node: usize, fx: Vec<Effect>) {
+        for e in fx {
+            match e {
+                Effect::RingSend { msg, .. } => {
+                    self.pools.ring[node].push_back(msg);
+                }
+                Effect::MulticastRequest(req) => {
+                    for n in 0..NODES {
+                        if n != node {
+                            self.pools
+                                .unordered
+                                .push((n, AgentInput::DirectRequest(req)));
+                        }
+                    }
+                }
+                Effect::SendSupplier { to, msg } => {
+                    self.pools.unordered.push((to.0, AgentInput::Supplier(msg)));
+                }
+                Effect::StartSnoop { txn, line, .. } | Effect::DelaySnoop { txn, line, .. } => {
+                    self.pools
+                        .snoops
+                        .push((node, AgentInput::SnoopDone { txn, line }));
+                }
+                Effect::MemFetch { line, prefetch } => {
+                    if !prefetch {
+                        self.pools
+                            .unordered
+                            .push((node, AgentInput::MemData { line }));
+                    }
+                }
+                Effect::Retry { line, .. } => {
+                    self.pools
+                        .unordered
+                        .push((node, AgentInput::RetryNow { line }));
+                }
+                Effect::Complete { .. } => {
+                    self.completes += 1;
+                    self.check_single_supplier();
+                }
+                Effect::Writeback { .. } | Effect::L1Invalidate { .. } | Effect::Bound { .. } => {}
+            }
+        }
+    }
+
+    fn check_single_supplier(&self) {
+        for &line in &self.lines {
+            let settled: Vec<usize> = (0..NODES)
+                .filter(|&n| {
+                    self.agents[n].l2().state(line).is_supplier()
+                        && !self.agents[n].has_outstanding(line)
+                })
+                .collect();
+            assert!(
+                settled.len() <= 1,
+                "line {line}: settled suppliers at {settled:?}"
+            );
+        }
+    }
+
+    /// Runs a random schedule to quiescence (or the step cap).
+    fn run(&mut self, rng: &mut DetRng, cap: usize) -> bool {
+        for _ in 0..cap {
+            let n = self.pools.choices();
+            if n == 0 {
+                return true; // quiesced
+            }
+            let idx = rng.below(n as u64) as usize;
+            let (node, input) = self.pools.take(&self.ring, idx);
+            self.feed(node, input);
+        }
+        false
+    }
+
+    fn outstanding(&self) -> usize {
+        self.agents.iter().map(RingAgent::outstanding_count).sum()
+    }
+}
+
+fn kind_of(byte: u8) -> TxnKind {
+    match byte % 3 {
+        0 => TxnKind::Read,
+        1 => TxnKind::WriteMiss,
+        _ => TxnKind::WriteHit,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random transaction sets under fully adversarial delivery schedules:
+    /// the run must quiesce, every transaction must complete, and the
+    /// single-supplier invariant must hold at every completion.
+    #[test]
+    fn adversarial_schedules_preserve_invariants(
+        txns in proptest::collection::vec((0usize..NODES, 0u64..3, any::<u8>()), 1..10),
+        warm_owner in proptest::collection::vec(0usize..NODES, 3),
+        schedule_seed in any::<u64>(),
+        protocol_uncorq in any::<bool>(),
+    ) {
+        let kind = if protocol_uncorq { ProtocolKind::Uncorq } else { ProtocolKind::Eager };
+        let lines = [0u64, 1, 2];
+        let warm: Vec<(u64, usize)> =
+            lines.iter().zip(&warm_owner).map(|(&l, &o)| (l, o)).collect();
+        let mut h = Harness::new(kind, &lines, &warm, schedule_seed ^ 0xABCD);
+        let mut rng = DetRng::seed(schedule_seed);
+        // Issue the transactions; the agent defers IPTR-blocked ones
+        // internally and releases them as the schedule progresses.
+        let mut expected = 0usize;
+        for &(node, line, kb) in &txns {
+            let line_addr = LineAddr::new(line);
+            if h.agents[node].is_line_engaged(line_addr) {
+                continue; // same-line merge at this node; skip
+            }
+            // Classify against the node's cache exactly as the machine
+            // does: the agent's precondition is that a transaction is
+            // actually needed.
+            let state = h.agents[node].l2().state(line_addr);
+            let kind = match kind_of(kb) {
+                TxnKind::Read => {
+                    if state.is_valid() {
+                        continue; // local hit: no transaction
+                    }
+                    TxnKind::Read
+                }
+                _ => match h.agents[node].classify_store(line_addr) {
+                    None => continue, // silently writable
+                    Some(k) => k,
+                },
+            };
+            h.feed(node, AgentInput::CoreRequest { line: line_addr, kind });
+            expected += 1;
+            // Interleave a few deliveries between issues so transactions
+            // overlap heavily but not identically.
+            let interleave = rng.below(4) as usize;
+            let _ = h.run(&mut rng, interleave);
+        }
+        let quiesced = h.run(&mut rng, 200_000);
+        if std::env::var_os("FUZZ_DEBUG").is_some() {
+            eprintln!(
+                "issued={} completes={} steps(now)={} quiesced={}",
+                expected, h.completes, h.now, quiesced
+            );
+        }
+        prop_assert!(quiesced, "schedule did not quiesce (livelock/deadlock)");
+        prop_assert_eq!(h.outstanding(), 0, "transactions left outstanding");
+        prop_assert!(
+            h.completes >= expected,
+            "completions {} < issued {}",
+            h.completes,
+            expected
+        );
+        h.check_single_supplier();
+    }
+}
+
+// ---------------------------------------------------------------------
+// HT baseline under adversarial schedules
+// ---------------------------------------------------------------------
+
+mod ht_fuzz {
+    use super::*;
+    use ring_coherence::ht::{HtAgent, HtEffect, HtInput};
+
+    struct HtHarness {
+        agents: Vec<HtAgent>,
+        /// All HT messages are point-to-point and unordered here —
+        /// maximally adversarial delivery.
+        pool: Vec<(usize, HtInput)>,
+        now: u64,
+        completes: usize,
+    }
+
+    impl HtHarness {
+        fn new(warm: &[(u64, usize)]) -> Self {
+            let mut agents: Vec<HtAgent> = (0..NODES)
+                .map(|n| {
+                    HtAgent::new(
+                        NodeId(n),
+                        NODES,
+                        7,
+                        CacheConfig {
+                            size_bytes: 64 * 64,
+                            ways: 4,
+                            line_bytes: 64,
+                            latency: 1,
+                        },
+                    )
+                })
+                .collect();
+            for &(line, owner) in warm {
+                agents[owner].install_line(LineAddr::new(line), LineState::Dirty);
+            }
+            HtHarness {
+                agents,
+                pool: Vec::new(),
+                now: 0,
+                completes: 0,
+            }
+        }
+
+        fn feed(&mut self, node: usize, input: HtInput) {
+            self.now += 1;
+            let fx = self.agents[node].handle(self.now, input);
+            for e in fx {
+                match e {
+                    HtEffect::SendRequest { home, req } => {
+                        self.pool.push((home.0, HtInput::Request(req)));
+                    }
+                    HtEffect::Broadcast(probe) => {
+                        let requester = probe.req.txn.node.0;
+                        for n in 0..NODES {
+                            if n != requester {
+                                self.pool.push((n, HtInput::Probe(probe)));
+                            }
+                        }
+                    }
+                    HtEffect::StartSnoop { probe, .. } => {
+                        self.pool.push((node, HtInput::ProbeSnoopDone(probe)));
+                    }
+                    HtEffect::SendResponse { to, resp } => {
+                        self.pool.push((to.0, HtInput::Response(resp)));
+                    }
+                    HtEffect::SendData { to, data } => {
+                        self.pool.push((to.0, HtInput::Data(data)));
+                    }
+                    HtEffect::MemFetch { line } => {
+                        self.pool.push((node, HtInput::MemData { line }));
+                    }
+                    HtEffect::SendDone { home, done } => {
+                        self.pool.push((home.0, HtInput::Done(done)));
+                    }
+                    HtEffect::Complete { .. } => self.completes += 1,
+                    HtEffect::Bound { .. } | HtEffect::L1Invalidate { .. } => {}
+                }
+            }
+        }
+
+        fn run(&mut self, rng: &mut DetRng, cap: usize) -> bool {
+            for _ in 0..cap {
+                if self.pool.is_empty() {
+                    return true;
+                }
+                let idx = rng.below(self.pool.len() as u64) as usize;
+                let (node, input) = self.pool.swap_remove(idx);
+                self.feed(node, input);
+            }
+            false
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The HT baseline must also quiesce coherently under arbitrary
+        /// point-to-point delivery orders.
+        #[test]
+        fn ht_adversarial_schedules(
+            txns in proptest::collection::vec((0usize..NODES, 0u64..3, any::<bool>()), 1..10),
+            warm_owner in proptest::collection::vec(0usize..NODES, 3),
+            schedule_seed in any::<u64>(),
+        ) {
+            let lines = [0u64, 1, 2];
+            let warm: Vec<(u64, usize)> =
+                lines.iter().zip(&warm_owner).map(|(&l, &o)| (l, o)).collect();
+            let mut h = HtHarness::new(&warm);
+            let mut rng = DetRng::seed(schedule_seed);
+            let mut expected = 0usize;
+            for &(node, line, write) in &txns {
+                let line_addr = LineAddr::new(line);
+                if h.agents[node].is_line_engaged(line_addr) {
+                    continue;
+                }
+                let state = h.agents[node].l2().state(line_addr);
+                if write {
+                    if h.agents[node].classify_store(line_addr).is_none() {
+                        continue;
+                    }
+                } else if state.is_valid() {
+                    continue;
+                }
+                h.feed(node, HtInput::CoreRequest { line: line_addr, write });
+                expected += 1;
+                let interleave = rng.below(4) as usize;
+                let _ = h.run(&mut rng, interleave);
+            }
+            let quiesced = h.run(&mut rng, 100_000);
+            prop_assert!(quiesced, "HT schedule did not quiesce");
+            prop_assert!(h.completes >= expected);
+            for &line in &lines {
+                let line = LineAddr::new(line);
+                let suppliers = (0..NODES)
+                    .filter(|&n| h.agents[n].l2().state(line).is_supplier())
+                    .count();
+                prop_assert!(suppliers <= 1, "line {}: {} suppliers", line, suppliers);
+            }
+        }
+    }
+}
