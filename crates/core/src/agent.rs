@@ -16,9 +16,40 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use ring_cache::{CacheArray, CacheConfig, LineAddr, LineState, Mshr};
 use ring_noc::NodeId;
 use ring_sim::{Cycle, DetRng};
+use ring_trace::{EventKind as TraceKind, OpClass, Payload, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{ProtocolConfig, ProtocolKind};
+
+/// Maps a protocol transaction kind onto the trace-layer operation
+/// class.
+fn op_class(kind: TxnKind) -> OpClass {
+    match kind {
+        TxnKind::Read => OpClass::Read,
+        TxnKind::WriteMiss => OpClass::WriteMiss,
+        TxnKind::WriteHit => OpClass::WriteHit,
+    }
+}
+
+/// Pushes a [`TraceEvent`] onto the agent's buffer when tracing is on.
+///
+/// A macro rather than a method so it can be used while a disjoint
+/// field of the agent (e.g. an MSHR entry) is mutably borrowed.
+macro_rules! tev {
+    ($self:ident, $now:expr, $txn:expr, $line:expr, $kind:expr) => {
+        if $self.trace_on {
+            let txn: TxnId = $txn;
+            $self.trace_buf.push(TraceEvent {
+                cycle: $now,
+                node: $self.node.0 as u32,
+                txn_node: txn.node.0 as u32,
+                txn_serial: txn.serial,
+                line: $line.raw(),
+                kind: $kind,
+            });
+        }
+    };
+}
 use crate::filter::PresenceFilter;
 use crate::ltt::Ltt;
 use crate::msg::{RequestMsg, ResponseMsg, RingMsg, SupplierMsg};
@@ -259,6 +290,10 @@ pub struct RingAgent {
     serial: u64,
     rng: DetRng,
     stats: AgentStats,
+    /// Whether trace events are collected (off by default: the hot path
+    /// then only tests one bool per site).
+    trace_on: bool,
+    trace_buf: Vec<TraceEvent>,
 }
 
 impl RingAgent {
@@ -284,7 +319,21 @@ impl RingAgent {
             rng,
             cfg,
             stats: AgentStats::default(),
+            trace_on: false,
+            trace_buf: Vec::new(),
         }
+    }
+
+    /// Turns trace-event collection on or off. While off (the default)
+    /// the agent never constructs a [`TraceEvent`].
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace_on = on;
+    }
+
+    /// Takes the trace events accumulated since the last drain, in
+    /// emission (chronological) order.
+    pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace_buf)
     }
 
     /// This agent's node id.
@@ -451,6 +500,16 @@ impl RingAgent {
             kind,
             priority,
         };
+        tev!(
+            self,
+            now,
+            txn,
+            line,
+            TraceKind::RequestIssue {
+                op: op_class(kind),
+                retry: retries > 0,
+            }
+        );
         let mut tx = OwnTx {
             txn,
             kind,
@@ -501,6 +560,7 @@ impl RingAgent {
         if self.cfg.prefetch && kind == TxnKind::Read && self.npp.should_prefetch(line) {
             tx.prefetch_issued = true;
             self.stats.prefetches_issued += 1;
+            tev!(self, now, txn, line, TraceKind::MemFetch { prefetch: true });
             fx.push(Effect::MemFetch {
                 line,
                 prefetch: true,
@@ -570,6 +630,17 @@ impl RingAgent {
     // ------------------------------------------------------------------
 
     fn ring_request(&mut self, now: Cycle, req: RequestMsg, fx: &mut Vec<Effect>) {
+        tev!(
+            self,
+            now,
+            req.txn,
+            req.line,
+            TraceKind::RingRecv {
+                payload: Payload::Request {
+                    op: op_class(req.kind),
+                },
+            }
+        );
         if req.requester() == self.node {
             // Own request completed its lap; consumed silently.
             return;
@@ -598,7 +669,7 @@ impl RingAgent {
                         delay: 0,
                     });
                 }
-                self.accept_request(req, fx);
+                self.accept_request(now, req, fx);
                 fx.push(Effect::StartSnoop {
                     txn: req.txn,
                     line: req.line,
@@ -611,7 +682,7 @@ impl RingAgent {
                     .as_mut()
                     .map(|f| f.query(req.line))
                     .unwrap_or(true);
-                self.accept_request(req, fx);
+                self.accept_request(now, req, fx);
                 if hit {
                     // Stall the request behind the snoop.
                     if forward {
@@ -644,7 +715,7 @@ impl RingAgent {
                         delay: self.cfg.filter_latency,
                     });
                 }
-                self.accept_request(req, fx);
+                self.accept_request(now, req, fx);
                 if hit {
                     fx.push(Effect::StartSnoop {
                         txn: req.txn,
@@ -661,20 +732,45 @@ impl RingAgent {
     fn direct_request(&mut self, now: Cycle, req: RequestMsg, fx: &mut Vec<Effect>) {
         debug_assert_ne!(req.requester(), self.node, "multicast excludes the root");
         self.npp.observe(req.line);
-        self.accept_request(req, fx);
+        self.accept_request(now, req, fx);
         fx.push(Effect::StartSnoop {
             txn: req.txn,
             line: req.line,
             delay: self.cfg.snoop_latency,
         });
-        let _ = now;
     }
 
     /// Common per-request bookkeeping: LTT slot and collision detection.
-    fn accept_request(&mut self, req: RequestMsg, _fx: &mut [Effect]) {
+    fn accept_request(&mut self, now: Cycle, req: RequestMsg, _fx: &mut [Effect]) {
+        let fresh = self
+            .ltt
+            .entry(req.line)
+            .and_then(|e| e.slot(req.txn))
+            .is_none();
         self.ltt.see_request(req);
+        if fresh {
+            tev!(
+                self,
+                now,
+                req.txn,
+                req.line,
+                TraceKind::LttInsert {
+                    occupancy: self.ltt.len() as u32,
+                }
+            );
+        }
         if let Some(tx) = self.outstanding.get_mut(req.line) {
             self.stats.collisions += 1;
+            tev!(
+                self,
+                now,
+                tx.txn,
+                req.line,
+                TraceKind::Collision {
+                    other_node: req.txn.node.0 as u32,
+                    other_serial: req.txn.serial,
+                }
+            );
             tx.colliders.entry(req.txn).or_insert(Collider {
                 priority: req.priority,
                 response_seen: false,
@@ -687,10 +783,11 @@ impl RingAgent {
 
     /// The filter proved absence: complete the "snoop" instantly with a
     /// negative outcome (no tag access, no invalidation needed).
-    fn skip_snoop(&mut self, _now: Cycle, req: RequestMsg, fx: &mut Vec<Effect>) {
+    fn skip_snoop(&mut self, now: Cycle, req: RequestMsg, fx: &mut Vec<Effect>) {
         self.stats.snoops_skipped += 1;
+        tev!(self, now, req.txn, req.line, TraceKind::SnoopSkip);
         self.ltt.snoop_complete(req.txn, req.line, false);
-        self.drain_responses(req.line, fx);
+        self.drain_responses(now, req.line, fx);
     }
 
     // ------------------------------------------------------------------
@@ -730,6 +827,7 @@ impl RingAgent {
         let state = self.l2.state(line);
         let transient = self.outstanding.contains(line);
         let positive = state.is_supplier() && !transient;
+        tev!(self, now, txn, line, TraceKind::SnoopPerform { positive });
         if positive {
             let keep = self.cfg.reads_keep_supplier && req.kind == TxnKind::Read;
             let (new_state, with_data) = match req.kind {
@@ -740,6 +838,16 @@ impl RingAgent {
                 TxnKind::WriteMiss => (LineState::Dirty, true),
                 TxnKind::WriteHit => (LineState::Dirty, false),
             };
+            tev!(
+                self,
+                now,
+                txn,
+                line,
+                TraceKind::Suppliership {
+                    to: req.requester().0 as u32,
+                    with_data,
+                }
+            );
             fx.push(Effect::SendSupplier {
                 to: req.requester(),
                 msg: SupplierMsg {
@@ -783,7 +891,7 @@ impl RingAgent {
                 delay: 0,
             });
         }
-        self.drain_responses(line, fx);
+        self.drain_responses(now, line, fx);
     }
 
     // ------------------------------------------------------------------
@@ -791,6 +899,20 @@ impl RingAgent {
     // ------------------------------------------------------------------
 
     fn response_arrival(&mut self, now: Cycle, resp: ResponseMsg, fx: &mut Vec<Effect>) {
+        tev!(
+            self,
+            now,
+            resp.txn,
+            resp.line,
+            TraceKind::RingRecv {
+                payload: Payload::Response {
+                    positive: resp.positive,
+                    squashed: resp.squashed,
+                    loser_hint: resp.loser_hint,
+                    outcomes: resp.outcomes,
+                },
+            }
+        );
         self.npp.observe(resp.line);
         if resp.requester() == self.node {
             self.own_response(now, resp, fx);
@@ -799,12 +921,23 @@ impl RingAgent {
         // Collision bookkeeping against an own outstanding transaction.
         let mut cancel_memory_path = false;
         if let Some(tx) = self.outstanding.get_mut(resp.line) {
-            let collider = tx.colliders.entry(resp.txn).or_insert_with(|| {
+            let fresh_collider = !tx.colliders.contains_key(&resp.txn);
+            if fresh_collider {
                 self.stats.collisions += 1;
-                Collider {
-                    priority: resp.priority,
-                    response_seen: false,
-                }
+                tev!(
+                    self,
+                    now,
+                    tx.txn,
+                    resp.line,
+                    TraceKind::Collision {
+                        other_node: resp.txn.node.0 as u32,
+                        other_serial: resp.txn.serial,
+                    }
+                );
+            }
+            let collider = tx.colliders.entry(resp.txn).or_insert(Collider {
+                priority: resp.priority,
+                response_seen: false,
             });
             collider.response_seen = true;
             if resp.positive {
@@ -823,7 +956,26 @@ impl RingAgent {
         if cancel_memory_path {
             self.fail_txn(now, resp.line, fx);
         }
-        self.ltt.see_response(resp);
+        let fresh_slot = self
+            .ltt
+            .entry(resp.line)
+            .and_then(|e| e.slot(resp.txn))
+            .is_none();
+        let stalled = self.ltt.see_response(resp);
+        if fresh_slot {
+            tev!(
+                self,
+                now,
+                resp.txn,
+                resp.line,
+                TraceKind::LttInsert {
+                    occupancy: self.ltt.len() as u32,
+                }
+            );
+        }
+        if stalled {
+            tev!(self, now, resp.txn, resp.line, TraceKind::LttStall);
+        }
         // An own transaction deferring its decision may now be decidable.
         // Deciding BEFORE draining is essential: if this response was the
         // last unseen collider and our transaction wins, completing first
@@ -833,12 +985,12 @@ impl RingAgent {
         // squash). Draining first would forward it clean and let the
         // loser double-commit from memory.
         self.try_decide(now, resp.line, fx);
-        self.drain_responses(resp.line, fx);
+        self.drain_responses(now, resp.line, fx);
     }
 
     /// Forwards every response the LTT says is ready, combining outcomes
     /// and applying serialization marks.
-    fn drain_responses(&mut self, line: LineAddr, fx: &mut Vec<Effect>) {
+    fn drain_responses(&mut self, now: Cycle, line: LineAddr, fx: &mut Vec<Effect>) {
         loop {
             let Some(txn) = self
                 .ltt
@@ -848,6 +1000,15 @@ impl RingAgent {
                 return;
             };
             let slot = self.ltt.take(line, txn).expect("ready slot exists");
+            tev!(
+                self,
+                now,
+                txn,
+                line,
+                TraceKind::LttRemove {
+                    occupancy: self.ltt.len() as u32,
+                }
+            );
             let mut combined = slot.response.expect("ready implies response");
             // Combine the local snoop outcome.
             combined.outcomes += 1;
@@ -933,6 +1094,18 @@ impl RingAgent {
         if tx.txn != resp.txn {
             return; // response of a previous, already-retried attempt
         }
+        tev!(
+            self,
+            now,
+            resp.txn,
+            resp.line,
+            TraceKind::ResponseConsume {
+                positive: resp.positive,
+                squashed: resp.squashed,
+                loser_hint: resp.loser_hint,
+                outcomes: resp.outcomes,
+            }
+        );
         tx.own_resp = Some(resp);
         tx.sharers_seen = resp.sharers;
         if resp.must_retry() || (!resp.positive && tx.lost) {
@@ -941,6 +1114,16 @@ impl RingAgent {
         }
         if resp.positive {
             tx.committed = true;
+            tev!(
+                self,
+                now,
+                resp.txn,
+                resp.line,
+                TraceKind::WinnerSelected {
+                    winner_node: resp.txn.node.0 as u32,
+                    winner_serial: resp.txn.serial,
+                }
+            );
             if tx.suppliership.is_some() {
                 self.complete_txn(now, resp.line, true, fx);
             }
@@ -977,6 +1160,16 @@ impl RingAgent {
         }
         // Winner (or no collision): commit.
         tx.committed = true;
+        tev!(
+            self,
+            now,
+            tx.txn,
+            line,
+            TraceKind::WinnerSelected {
+                winner_node: tx.txn.node.0 as u32,
+                winner_serial: tx.txn.serial,
+            }
+        );
         if tx.kind == TxnKind::WriteHit && !tx.copy_lost && self.l2.state(line).is_valid() {
             // Locally cached data + all remote copies invalidated by the
             // completed lap: the store completes without memory.
@@ -988,6 +1181,13 @@ impl RingAgent {
             tx.kind = TxnKind::WriteMiss;
         }
         tx.mem_waiting = true;
+        tev!(
+            self,
+            now,
+            tx.txn,
+            line,
+            TraceKind::MemFetch { prefetch: false }
+        );
         fx.push(Effect::MemFetch {
             line,
             prefetch: false,
@@ -1012,8 +1212,19 @@ impl RingAgent {
             TxnKind::WriteMiss | TxnKind::WriteHit => LineState::Dirty,
         };
         let kind = tx.kind;
+        let txn = tx.txn;
         let latency = now - tx.first_issued_at;
-        self.install(line, state, fx);
+        self.install(now, line, state, fx);
+        tev!(
+            self,
+            now,
+            txn,
+            line,
+            TraceKind::Bound {
+                latency,
+                c2c: false,
+            }
+        );
         fx.push(Effect::Bound {
             line,
             kind,
@@ -1031,10 +1242,18 @@ impl RingAgent {
             return;
         }
         tx.suppliership = Some(msg);
+        let latency = now - tx.first_issued_at;
+        tev!(
+            self,
+            now,
+            msg.txn,
+            msg.line,
+            TraceKind::Bound { latency, c2c: true }
+        );
         fx.push(Effect::Bound {
             line: msg.line,
             kind: tx.kind,
-            latency: now - tx.first_issued_at,
+            latency,
             c2c: true,
         });
         if tx.own_resp.map(|r| r.positive).unwrap_or(false) {
@@ -1044,7 +1263,7 @@ impl RingAgent {
 
     /// Installs a line into the L2, handling filter updates, dirty
     /// writebacks, and eviction of lines with outstanding WriteHits.
-    fn install(&mut self, line: LineAddr, state: LineState, fx: &mut Vec<Effect>) {
+    fn install(&mut self, now: Cycle, line: LineAddr, state: LineState, fx: &mut Vec<Effect>) {
         let evicted = self.l2.insert(line, state);
         if let Some(f) = self.filter.as_mut() {
             f.insert(line);
@@ -1055,6 +1274,18 @@ impl RingAgent {
             }
             fx.push(Effect::L1Invalidate { line: ev.addr });
             if ev.state.is_dirty() {
+                // Evictions are not part of any transaction; serial 0 is
+                // reserved (real transactions start at 1).
+                tev!(
+                    self,
+                    now,
+                    TxnId {
+                        node: self.node,
+                        serial: 0,
+                    },
+                    ev.addr,
+                    TraceKind::Writeback
+                );
                 fx.push(Effect::Writeback { line: ev.addr });
             }
             if let Some(victim_tx) = self.outstanding.get_mut(ev.addr) {
@@ -1069,7 +1300,7 @@ impl RingAgent {
         };
         // Install the supplied state (memory fills install in mem_data).
         if let Some(sup) = tx.suppliership {
-            self.install(line, sup.new_state, fx);
+            self.install(now, line, sup.new_state, fx);
         } else if tx.kind == TxnKind::WriteHit && c2c {
             // Local completion of an invalidating write hit.
             self.l2.set_state(line, LineState::Dirty);
@@ -1096,13 +1327,25 @@ impl RingAgent {
         if c2c {
             self.stats.completed_c2c += 1;
         }
+        let latency = now - tx.first_issued_at;
+        tev!(
+            self,
+            now,
+            tx.txn,
+            line,
+            TraceKind::Complete {
+                op: op_class(tx.kind),
+                c2c,
+                latency,
+            }
+        );
         fx.push(Effect::Complete {
             line,
             kind: tx.kind,
             c2c,
             retries: tx.retries,
             prefetch_issued: tx.prefetch_issued,
-            latency: now - tx.first_issued_at,
+            latency,
         });
     }
 
@@ -1135,13 +1378,20 @@ impl RingAgent {
         if count >= self.cfg.starvation_threshold && self.starving.is_none() {
             self.starving = Some(line);
             self.stats.starvation_events += 1;
+            tev!(
+                self,
+                now,
+                tx.txn,
+                line,
+                TraceKind::Starvation {
+                    snid: self.node.0 as u32,
+                }
+            );
         }
         let jitter = self.rng.below(self.cfg.retry_backoff.max(1));
-        fx.push(Effect::Retry {
-            line,
-            delay: self.cfg.retry_backoff + jitter,
-        });
-        let _ = now;
+        let delay = self.cfg.retry_backoff + jitter;
+        tev!(self, now, tx.txn, line, TraceKind::Retry { delay });
+        fx.push(Effect::Retry { line, delay });
     }
 }
 

@@ -18,9 +18,34 @@ use std::collections::{BTreeMap, VecDeque};
 use ring_cache::{CacheArray, CacheConfig, LineAddr, LineState, Mshr};
 use ring_noc::NodeId;
 use ring_sim::Cycle;
+use ring_trace::{EventKind as TraceKind, OpClass, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::txn::TxnId;
+
+fn ht_op(write: bool) -> OpClass {
+    if write {
+        OpClass::WriteMiss
+    } else {
+        OpClass::Read
+    }
+}
+
+macro_rules! tev {
+    ($self:ident, $now:expr, $txn:expr, $line:expr, $kind:expr) => {
+        if $self.trace_on {
+            let txn: TxnId = $txn;
+            $self.trace_buf.push(TraceEvent {
+                cycle: $now,
+                node: $self.node.0 as u32,
+                txn_node: txn.node.0 as u32,
+                txn_serial: txn.serial,
+                line: $line.raw(),
+                kind: $kind,
+            });
+        }
+    };
+}
 
 /// A request from a missing node to the line's home.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -211,6 +236,8 @@ pub struct HtAgent {
     home_lines: BTreeMap<LineAddr, HomeLine>,
     serial: u64,
     stats: HtStats,
+    trace_on: bool,
+    trace_buf: Vec<TraceEvent>,
 }
 
 #[derive(Debug, Clone)]
@@ -253,7 +280,19 @@ impl HtAgent {
             home_lines: BTreeMap::new(),
             serial: 0,
             stats: HtStats::default(),
+            trace_on: false,
+            trace_buf: Vec::new(),
         }
+    }
+
+    /// Switches structured event tracing on or off.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace_on = on;
+    }
+
+    /// Takes the events accumulated since the last drain.
+    pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace_buf)
     }
 
     /// The home (serialization point) of a line: address-interleaved
@@ -306,16 +345,16 @@ impl HtAgent {
         let mut fx = Vec::new();
         match input {
             HtInput::CoreRequest { line, write } => self.core_request(now, line, write, &mut fx),
-            HtInput::Request(req) => self.home_request(req, &mut fx),
+            HtInput::Request(req) => self.home_request(now, req, &mut fx),
             HtInput::Probe(p) => fx.push(HtEffect::StartSnoop {
                 probe: p,
                 delay: self.snoop_latency,
             }),
-            HtInput::ProbeSnoopDone(p) => self.probe_snoop(p, &mut fx),
+            HtInput::ProbeSnoopDone(p) => self.probe_snoop(now, p, &mut fx),
             HtInput::Response(r) => self.response(now, r, &mut fx),
             HtInput::Data(d) => self.data(now, d, &mut fx),
             HtInput::MemData { line } => self.home_mem_data(line, &mut fx),
-            HtInput::Done(d) => self.home_done(d, &mut fx),
+            HtInput::Done(d) => self.home_done(now, d, &mut fx),
         }
         fx
     }
@@ -350,13 +389,23 @@ impl HtAgent {
             )
             .expect("checked capacity");
         self.stats.issued += 1;
+        tev!(
+            self,
+            now,
+            txn,
+            line,
+            TraceKind::RequestIssue {
+                op: ht_op(write),
+                retry: false,
+            }
+        );
         fx.push(HtEffect::SendRequest {
             home: Self::home_of(line, self.nodes),
             req: HtReq { txn, line, write },
         });
     }
 
-    fn home_request(&mut self, req: HtReq, fx: &mut Vec<HtEffect>) {
+    fn home_request(&mut self, now: Cycle, req: HtReq, fx: &mut Vec<HtEffect>) {
         debug_assert_eq!(Self::home_of(req.line, self.nodes), self.node);
         let entry = self.home_lines.entry(req.line).or_default();
         if entry.active.is_some() {
@@ -368,10 +417,17 @@ impl HtAgent {
             fx.push(HtEffect::Broadcast(HtProbe { req }));
             fx.push(HtEffect::MemFetch { line: req.line });
             self.stats.mem_fetches += 1;
+            tev!(
+                self,
+                now,
+                req.txn,
+                req.line,
+                TraceKind::MemFetch { prefetch: false }
+            );
         }
     }
 
-    fn probe_snoop(&mut self, p: HtProbe, fx: &mut Vec<HtEffect>) {
+    fn probe_snoop(&mut self, now: Cycle, p: HtProbe, fx: &mut Vec<HtEffect>) {
         self.stats.snoops += 1;
         let line = p.req.line;
         let requester = p.req.txn.node;
@@ -380,6 +436,25 @@ impl HtAgent {
         // answers from its current stable state; the home's serialization
         // guarantees the states are not in transition here.
         let supplies = state.is_supplier();
+        tev!(
+            self,
+            now,
+            p.req.txn,
+            line,
+            TraceKind::SnoopPerform { positive: supplies }
+        );
+        if supplies {
+            tev!(
+                self,
+                now,
+                p.req.txn,
+                line,
+                TraceKind::Suppliership {
+                    to: requester.0 as u32,
+                    with_data: true,
+                }
+            );
+        }
         let sharer;
         if supplies {
             let new_state = if p.req.write {
@@ -451,7 +526,7 @@ impl HtAgent {
         } else {
             tx.data_at = Some(now);
             tx.data_c2c = true;
-            let (line, write, latency) = (d.line, tx.write, now - tx.issued_at);
+            let (line, write, latency, txn) = (d.line, tx.write, now - tx.issued_at, tx.txn);
             let emitted = std::mem::replace(&mut tx.bound_emitted, true);
             // Install the supplied state immediately; completion (for
             // write ordering) still waits for all responses.
@@ -459,6 +534,13 @@ impl HtAgent {
                 fx.push(HtEffect::L1Invalidate { line: ev.addr });
             }
             if !emitted {
+                tev!(
+                    self,
+                    now,
+                    txn,
+                    line,
+                    TraceKind::Bound { latency, c2c: true }
+                );
                 fx.push(HtEffect::Bound {
                     line,
                     write,
@@ -494,12 +576,22 @@ impl HtAgent {
             } else {
                 LineState::Exclusive
             };
-            let (write, latency) = (tx.write, now - tx.issued_at);
+            let (write, latency, txn) = (tx.write, now - tx.issued_at, tx.txn);
             let emitted = std::mem::replace(&mut tx.bound_emitted, true);
             if let Some(ev) = self.l2.insert(md.line, state) {
                 fx.push(HtEffect::L1Invalidate { line: ev.addr });
             }
             if !emitted {
+                tev!(
+                    self,
+                    now,
+                    txn,
+                    line,
+                    TraceKind::Bound {
+                        latency,
+                        c2c: false,
+                    }
+                );
                 fx.push(HtEffect::Bound {
                     line,
                     write,
@@ -513,6 +605,17 @@ impl HtAgent {
         if tx.data_c2c {
             self.stats.completed_c2c += 1;
         }
+        tev!(
+            self,
+            now,
+            tx.txn,
+            line,
+            TraceKind::Complete {
+                op: ht_op(tx.write),
+                c2c: tx.data_c2c,
+                latency: now - tx.issued_at,
+            }
+        );
         fx.push(HtEffect::Complete {
             line,
             write: tx.write,
@@ -548,7 +651,7 @@ impl HtAgent {
         });
     }
 
-    fn home_done(&mut self, d: HtDone, fx: &mut Vec<HtEffect>) {
+    fn home_done(&mut self, now: Cycle, d: HtDone, fx: &mut Vec<HtEffect>) {
         let Some(entry) = self.home_lines.get_mut(&d.line) else {
             return;
         };
@@ -562,6 +665,13 @@ impl HtAgent {
             fx.push(HtEffect::Broadcast(HtProbe { req: next }));
             fx.push(HtEffect::MemFetch { line: next.line });
             self.stats.mem_fetches += 1;
+            tev!(
+                self,
+                now,
+                next.txn,
+                next.line,
+                TraceKind::MemFetch { prefetch: false }
+            );
         } else {
             self.home_lines.remove(&d.line);
         }

@@ -69,6 +69,12 @@ impl ControllerPrefetchPredictor {
         }
     }
 
+    /// Number of cache lines tracked per page entry (one presence bit
+    /// each).
+    pub fn lines_per_page(&self) -> u64 {
+        self.lines_per_page
+    }
+
     fn slot(&self, page: u64) -> usize {
         (page as usize) & (self.entries.len() - 1)
     }

@@ -33,6 +33,6 @@ mod ring;
 mod topology;
 
 pub use multicast::multicast_tree;
-pub use network::{Channel, Delivery, Network, NetworkConfig};
+pub use network::{Channel, Delivery, LinkTraffic, Network, NetworkConfig};
 pub use ring::RingEmbedding;
 pub use topology::{Direction, LinkId, NodeId, Torus};

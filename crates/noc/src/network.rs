@@ -96,7 +96,20 @@ pub struct Network {
     cfg: NetworkConfig,
     /// Per-channel, per-link occupancy: `free_at[channel][link]`.
     free_at: Vec<Vec<Cycle>>,
+    /// Per-link traffic counters (all virtual channels combined),
+    /// indexed like `free_at[_]` by physical link.
+    link_traffic: Vec<LinkTraffic>,
     messages_sent: u64,
+}
+
+/// Messages and bytes that crossed one physical link, for hotspot
+/// analysis (the embedded ring concentrates load on its ring links).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkTraffic {
+    /// Messages that traversed the link.
+    pub messages: u64,
+    /// Bytes that traversed the link.
+    pub bytes: u64,
 }
 
 impl Network {
@@ -116,6 +129,7 @@ impl Network {
             torus,
             cfg,
             free_at: vec![vec![0; links]; Channel::COUNT],
+            link_traffic: vec![LinkTraffic::default(); links],
             messages_sent: 0,
         }
     }
@@ -133,6 +147,11 @@ impl Network {
     /// Total messages injected so far.
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent
+    }
+
+    /// Per-link traffic counters, indexed by physical link id.
+    pub fn link_traffic(&self) -> &[LinkTraffic] {
+        &self.link_traffic
     }
 
     fn serialization(&self, bytes: u64) -> Cycle {
@@ -165,6 +184,8 @@ impl Network {
         let free_at = &mut self.free_at[ch.index()];
         let mut t = now;
         for link in &route {
+            self.link_traffic[link.0].messages += 1;
+            self.link_traffic[link.0].bytes += bytes;
             if self.cfg.model_contention {
                 let depart = t.max(free_at[link.0]);
                 free_at[link.0] = depart + ser;
@@ -212,6 +233,8 @@ impl Network {
         let mut deliveries = Vec::with_capacity(self.torus.nodes() - 1);
         for e in &edges {
             let t0 = arrive[e.from.0].expect("multicast edges must be topologically ordered");
+            self.link_traffic[e.link.0].messages += 1;
+            self.link_traffic[e.link.0].bytes += bytes;
             let t = if self.cfg.model_contention {
                 let depart = t0.max(free_at[e.link.0]);
                 free_at[e.link.0] = depart + ser;

@@ -1,14 +1,10 @@
 //! Deterministic random number generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A seedable, deterministic RNG used throughout the simulator.
 ///
-/// Wrapping [`rand::rngs::StdRng`] behind a newtype keeps the public API of
-/// the simulator independent of the `rand` crate's types and guarantees
-/// every component derives its stream from an explicit seed, so a given
-/// configuration always simulates identically.
+/// Implemented in-tree (xoshiro256** core, splitmix64 seeding) so the
+/// simulator has no external RNG dependency and a given configuration
+/// always simulates identically across toolchains and platforms.
 ///
 /// # Examples
 ///
@@ -20,24 +16,50 @@ use rand::{Rng, RngCore, SeedableRng};
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 #[derive(Debug, Clone)]
-pub struct DetRng(StdRng);
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 impl DetRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        DetRng(StdRng::seed_from_u64(seed))
+        let mut sm = seed;
+        DetRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
     }
 
     /// Derives an independent child RNG, e.g. one per node, so that adding
     /// draws to one node does not perturb another node's stream.
     pub fn fork(&mut self, salt: u64) -> Self {
-        let s = self.0.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         DetRng::seed(s)
     }
 
-    /// Next uniform `u64`.
+    /// Next uniform `u64` (xoshiro256** step).
     pub fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -47,12 +69,20 @@ impl DetRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.0.gen_range(0..bound)
+        // Rejection sampling over the largest multiple of `bound` to
+        // avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.0.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -178,5 +208,14 @@ mod tests {
     fn exp_around_zero_mean_is_zero() {
         let mut r = DetRng::seed(11);
         assert_eq!(r.exp_around(0.0), 0);
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut r = DetRng::seed(12);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 }

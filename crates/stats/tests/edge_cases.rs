@@ -1,0 +1,96 @@
+//! Edge-case coverage for the statistics substrate: empty summaries,
+//! histogram overflow handling, and zero-hop traffic accounting.
+
+use ring_stats::{Histogram, Summary, TrafficMeter};
+
+#[test]
+fn empty_summary_is_well_defined() {
+    let s = Summary::new();
+    assert_eq!(s.count(), 0);
+    assert_eq!(s.sum(), 0.0);
+    assert_eq!(s.mean(), 0.0);
+    assert_eq!(s.variance(), 0.0);
+    assert_eq!(s.stddev(), 0.0);
+    assert_eq!(s.min(), None);
+    assert_eq!(s.max(), None);
+}
+
+#[test]
+fn merging_an_empty_summary_changes_nothing() {
+    let mut a = Summary::new();
+    a.record(10.0);
+    a.record(20.0);
+    let before = (a.count(), a.sum(), a.mean());
+    a.merge(&Summary::new());
+    assert_eq!((a.count(), a.sum(), a.mean()), before);
+
+    let mut empty = Summary::new();
+    empty.merge(&a);
+    assert_eq!(empty.count(), 2);
+    assert_eq!(empty.mean(), 15.0);
+}
+
+#[test]
+fn histogram_routes_large_values_to_the_overflow_bin() {
+    let mut h = Histogram::new(10, 4); // covers [0, 40)
+    h.record(0);
+    h.record(39);
+    h.record(40); // first value past the last bin
+    h.record(u64::MAX);
+    assert_eq!(h.count(0), 1);
+    assert_eq!(h.count(3), 1);
+    assert_eq!(h.overflow(), 2);
+    assert_eq!(h.total(), 4);
+    // Overflowed samples still participate in the mean and max.
+    assert!(h.mean() > 0.0);
+    assert_eq!(h.max(), Some(u64::MAX));
+}
+
+#[test]
+fn histogram_percentile_with_only_overflow_samples() {
+    let mut h = Histogram::new(10, 4);
+    h.record(1000);
+    h.record(2000);
+    // Every sample is in the overflow bin; percentiles must not panic
+    // and must point past the covered range.
+    assert!(h.percentile(50.0) >= 40);
+    assert_eq!(h.overflow(), 2);
+}
+
+#[test]
+fn empty_histogram_renders_and_merges() {
+    let mut h = Histogram::new(16, 8);
+    assert_eq!(h.total(), 0);
+    assert_eq!(h.min(), None);
+    assert_eq!(h.max(), None);
+    let _ = h.render_ascii(40); // must not panic on zero samples
+    let other = Histogram::new(16, 8);
+    h.merge(&other);
+    assert_eq!(h.total(), 0);
+}
+
+#[test]
+fn zero_hop_traffic_counts_the_message_but_no_byte_hops() {
+    let mut t = TrafficMeter::new();
+    // A message delivered to self (zero hops) still happened, but moved
+    // zero byte-hops over the interconnect.
+    t.add_control(8, 0);
+    t.add_data(72, 0);
+    assert_eq!(t.messages(), 2);
+    assert_eq!(t.total_byte_hops(), 0);
+    assert_eq!(t.control_byte_hops(), 0);
+    assert_eq!(t.data_byte_hops(), 0);
+}
+
+#[test]
+fn traffic_merge_accumulates_both_classes() {
+    let mut a = TrafficMeter::new();
+    a.add_control(8, 2);
+    let mut b = TrafficMeter::new();
+    b.add_data(72, 3);
+    a.merge(&b);
+    assert_eq!(a.messages(), 2);
+    assert_eq!(a.control_byte_hops(), 16);
+    assert_eq!(a.data_byte_hops(), 216);
+    assert_eq!(a.total_byte_hops(), 232);
+}

@@ -7,6 +7,7 @@ use ring_cpu::{Core, L2View, NextStep};
 use ring_mem::MemoryController;
 use ring_noc::{Channel, Network, NodeId, Torus};
 use ring_sim::{Cycle, EventQueue};
+use ring_trace::TraceSink;
 use ring_workloads::{AppProfile, WorkloadGen};
 
 use crate::config::MachineConfig;
@@ -32,6 +33,7 @@ pub struct HtMachine {
     mem: MemoryController,
     finish_time: Vec<Option<Cycle>>,
     stats: MachineStats,
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl HtMachine {
@@ -91,6 +93,26 @@ impl HtMachine {
             agents,
             finish_time: vec![None; nodes],
             stats: MachineStats::default(),
+            sink: None,
+        }
+    }
+
+    /// Streams every structured trace event into `sink` (the HT agents
+    /// emit issue / snoop / suppliership / fetch / bind / complete
+    /// events; ring-specific events do not occur).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+        for a in &mut self.agents {
+            a.set_tracing(true);
+        }
+    }
+
+    fn drain_agent_trace(&mut self, n: usize) {
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        for ev in self.agents[n].drain_trace() {
+            sink.record(&ev);
         }
     }
 
@@ -110,13 +132,18 @@ impl HtMachine {
                 Ev::Resume(n) => self.resume(t, n),
                 Ev::Agent(n, input) => {
                     let fx = self.agents[n].handle(t, input);
+                    self.drain_agent_trace(n);
                     self.apply_effects(t, n, fx);
                 }
                 Ev::MemDone(n, line) => {
                     let fx = self.agents[n].handle(t, HtInput::MemData { line });
+                    self.drain_agent_trace(n);
                     self.apply_effects(t, n, fx);
                 }
             }
+        }
+        if let Some(s) = self.sink.as_mut() {
+            let _ = s.flush();
         }
         self.report()
     }

@@ -6,10 +6,33 @@ use ring_cpu::{Core, L2View, NextStep};
 use ring_mem::{ControllerPrefetchPredictor, MemoryController, PrefetchBuffer};
 use ring_noc::{Channel, Network, NodeId, RingEmbedding, Torus};
 use ring_sim::{Cycle, DetRng, EventQueue};
+use ring_trace::{
+    EventKind as TraceKind, LinkMetrics, MetricsRegistry, OpClass, Payload, TraceEvent, TraceSink,
+};
 use ring_workloads::{AppProfile, WorkloadGen};
 
 use crate::config::MachineConfig;
 use crate::stats::{MachineStats, Report};
+
+/// Maps a protocol transaction kind onto the trace-layer operation
+/// class.
+fn op_class(kind: TxnKind) -> OpClass {
+    match kind {
+        TxnKind::Read => OpClass::Read,
+        TxnKind::WriteMiss => OpClass::WriteMiss,
+        TxnKind::WriteHit => OpClass::WriteHit,
+    }
+}
+
+/// Timestamps of one in-flight read attempt, keyed by
+/// `(requester node, line)`, from which the Figure-5 latency anatomy is
+/// assembled at completion.
+#[derive(Debug, Clone, Copy, Default)]
+struct AnatomyMark {
+    issued: Option<Cycle>,
+    supplied: Option<Cycle>,
+    bound: Option<Cycle>,
+}
 
 /// Machine-level events.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,8 +65,18 @@ pub struct Machine {
     pbufs: Vec<PrefetchBuffer>,
     finish_time: Vec<Option<Cycle>>,
     stats: MachineStats,
-    /// Per-line protocol event trace, kept only under `check_invariants`.
-    trace: std::collections::BTreeMap<LineAddr, Vec<String>>,
+    /// Per-node/per-link counters, merged into [`MachineStats`] at
+    /// report time.
+    registry: MetricsRegistry,
+    /// Latency-anatomy timestamps of in-flight transactions.
+    anatomy_marks: std::collections::HashMap<(usize, u64), AnatomyMark>,
+    /// Per-line protocol event trace, kept only for lines selected by
+    /// `check_invariants` or `trace_lines`.
+    trace: std::collections::BTreeMap<LineAddr, Vec<TraceEvent>>,
+    /// Structured event sink; every trace event of every line goes here.
+    sink: Option<Box<dyn TraceSink>>,
+    /// Whether any consumer (sink or per-line trace) wants events.
+    trace_enabled: bool,
 }
 
 impl Machine {
@@ -118,6 +151,12 @@ impl Machine {
         for n in 0..nodes {
             queue.schedule(0, Ev::Resume(n));
         }
+        let trace_enabled = cfg.check_invariants || !cfg.trace_lines.is_empty();
+        if trace_enabled {
+            for a in &mut agents {
+                a.set_tracing(true);
+            }
+        }
         Machine {
             mem: MemoryController::new(cfg.mem),
             cpp,
@@ -130,8 +169,29 @@ impl Machine {
             pbufs,
             finish_time: vec![None; nodes],
             stats: MachineStats::default(),
+            registry: MetricsRegistry::new(nodes, 16, 96),
+            anatomy_marks: std::collections::HashMap::new(),
             trace: std::collections::BTreeMap::new(),
+            sink: None,
+            trace_enabled,
         }
+    }
+
+    /// Installs a structured trace sink: from now on every protocol
+    /// trace event (all lines, all nodes) is recorded into it in
+    /// chronological order. Enables agent-side event collection.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+        self.trace_enabled = true;
+        for a in &mut self.agents {
+            a.set_tracing(true);
+        }
+    }
+
+    /// The per-node/per-link metrics registry accumulated so far (link
+    /// loads are only installed at [`Machine::report`] time).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// Pre-installs a line at a node in the given state (warm-up for
@@ -158,15 +218,44 @@ impl Machine {
                 Ev::Resume(n) => self.resume(t, n),
                 Ev::Agent(n, input) => {
                     let fx = self.agents[n].handle(t, input);
+                    self.drain_agent_trace(n);
                     self.apply_effects(t, n, fx);
                 }
                 Ev::MemDone(n, line) => {
                     let fx = self.agents[n].handle(t, AgentInput::MemData { line });
+                    self.drain_agent_trace(n);
                     self.apply_effects(t, n, fx);
                 }
             }
         }
+        if let Some(s) = self.sink.as_mut() {
+            let _ = s.flush();
+        }
         self.report()
+    }
+
+    /// Moves the events the agent emitted during its last `handle` into
+    /// the sink and the per-line traces. The event queue pops in time
+    /// order, so emission order is chronological.
+    fn drain_agent_trace(&mut self, n: usize) {
+        if !self.trace_enabled {
+            return;
+        }
+        for ev in self.agents[n].drain_trace() {
+            self.emit(ev);
+        }
+    }
+
+    /// Routes one trace event to the sink and, for selected lines, the
+    /// per-line trace.
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some(s) = self.sink.as_mut() {
+            s.record(&ev);
+        }
+        let line = LineAddr::new(ev.line);
+        if self.tracing(line) {
+            self.trace.entry(line).or_default().push(ev);
+        }
     }
 
     /// Builds the report for the run so far without consuming the
@@ -180,6 +269,35 @@ impl Machine {
             .max()
             .unwrap_or(0);
         let mut stats = self.stats.clone();
+        // Roll the per-node/per-link registry up into the machine stats.
+        let mut reg = self.registry.clone();
+        reg.set_link_loads(
+            self.net
+                .link_traffic()
+                .iter()
+                .map(|l| LinkMetrics {
+                    messages: l.messages,
+                    bytes: l.bytes,
+                })
+                .collect(),
+        );
+        stats.read_latency = reg.merged(|m| &m.read_latency);
+        stats.read_latency_c2c = reg.merged(|m| &m.read_latency_c2c);
+        stats.read_latency_mem = reg.merged(|m| &m.read_latency_mem);
+        stats.read_completion = reg.merged(|m| &m.read_completion);
+        if let Some(h) = reg.merged_c2c_histogram() {
+            stats.c2c_histogram = h;
+        }
+        stats.reads_c2c = reg.total(|m| m.reads_c2c);
+        stats.reads_mem = reg.total(|m| m.reads_mem);
+        stats.pref_cache = reg.total(|m| m.pref_cache);
+        stats.nopref_cache = reg.total(|m| m.nopref_cache);
+        stats.nopref_mem = reg.total(|m| m.nopref_mem);
+        stats.pref_mem = reg.total(|m| m.pref_mem);
+        stats.anat_delivery = reg.anatomy.delivery;
+        stats.anat_transfer = reg.anatomy.transfer;
+        stats.anat_response = reg.anatomy.response;
+        stats.link_msgs = reg.link_message_summary();
         for core in &self.cores {
             stats.ops_retired += core.stats().retired;
         }
@@ -225,13 +343,14 @@ impl Machine {
         self.cfg.check_invariants || self.cfg.trace_lines.contains(&line.raw())
     }
 
-    /// The recorded protocol event trace for `line` (one human-readable
-    /// entry per request forwarding, response forwarding with its marks,
-    /// suppliership transfer, memory fetch, retry, and completion).
-    /// Empty unless the line was traced via
-    /// [`MachineConfig::check_invariants`] or
+    /// The recorded protocol event trace for `line`, in chronological
+    /// order (request issue/forwarding, snoops, LTT activity, response
+    /// forwarding with its marks, suppliership transfers, memory
+    /// fetches, retries, and completions). The events render the legacy
+    /// human-readable lines through their `Display` impl. Empty unless
+    /// the line was traced via [`MachineConfig::check_invariants`] or
     /// [`MachineConfig::trace_lines`].
-    pub fn line_trace(&self, line: LineAddr) -> &[String] {
+    pub fn line_trace(&self, line: LineAddr) -> &[TraceEvent] {
         self.trace.get(&line).map(Vec::as_slice).unwrap_or(&[])
     }
 
@@ -324,25 +443,46 @@ impl Machine {
         for e in fx {
             match e {
                 Effect::RingSend { msg, delay } => {
-                    if self.tracing(msg.line()) {
-                        let desc = match &msg {
-                            ring_coherence::RingMsg::Request(r) => {
-                                format!("t={t} n{n} fwd R txn={} kind={}", r.txn, r.kind)
-                            }
-                            ring_coherence::RingMsg::Response(r) => format!(
-                                "t={t} n{n} fwd r txn={} {} sq={} lh={} outc={}",
-                                r.txn,
-                                if r.positive { "+" } else { "-" },
-                                r.squashed,
-                                r.loser_hint,
-                                r.outcomes
-                            ),
-                        };
-                        self.trace.entry(msg.line()).or_default().push(desc);
-                    }
                     let from = self.node(n);
-                    let ring = &self.rings[(msg.line().raw() as usize) % self.rings.len()];
-                    let succ = ring.successor(from);
+                    let succ =
+                        self.rings[(msg.line().raw() as usize) % self.rings.len()].successor(from);
+                    if self.trace_enabled {
+                        let payload = match &msg {
+                            ring_coherence::RingMsg::Request(r) => Payload::Request {
+                                op: op_class(r.kind),
+                            },
+                            ring_coherence::RingMsg::Response(r) => Payload::Response {
+                                positive: r.positive,
+                                squashed: r.squashed,
+                                loser_hint: r.loser_hint,
+                                outcomes: r.outcomes,
+                            },
+                        };
+                        let txn = msg.txn();
+                        self.emit(TraceEvent {
+                            cycle: t,
+                            node: n as u32,
+                            txn_node: txn.node.0 as u32,
+                            txn_serial: txn.serial,
+                            line: msg.line().raw(),
+                            kind: TraceKind::RingSend {
+                                to: succ.0 as u32,
+                                payload,
+                            },
+                        });
+                    }
+                    if let ring_coherence::RingMsg::Request(r) = &msg {
+                        if r.requester().0 == n {
+                            self.registry.node_mut(n).requests += 1;
+                            self.anatomy_marks.insert(
+                                (n, msg.line().raw()),
+                                AnatomyMark {
+                                    issued: Some(t),
+                                    ..AnatomyMark::default()
+                                },
+                            );
+                        }
+                    }
                     let ch = match msg {
                         ring_coherence::RingMsg::Request(_) => Channel::Request,
                         ring_coherence::RingMsg::Response(_) => Channel::Response,
@@ -353,12 +493,26 @@ impl Machine {
                         .schedule(d.arrival, Ev::Agent(succ.0, AgentInput::RingArrival(msg)));
                 }
                 Effect::MulticastRequest(req) => {
-                    if self.tracing(req.line) {
-                        self.trace.entry(req.line).or_default().push(format!(
-                            "t={t} n{n} MCAST R txn={} kind={}",
-                            req.txn, req.kind
-                        ));
+                    if self.trace_enabled {
+                        self.emit(TraceEvent {
+                            cycle: t,
+                            node: n as u32,
+                            txn_node: req.txn.node.0 as u32,
+                            txn_serial: req.txn.serial,
+                            line: req.line.raw(),
+                            kind: TraceKind::MulticastRequest {
+                                op: op_class(req.kind),
+                            },
+                        });
                     }
+                    self.registry.node_mut(n).requests += 1;
+                    self.anatomy_marks.insert(
+                        (n, req.line.raw()),
+                        AnatomyMark {
+                            issued: Some(t),
+                            ..AnatomyMark::default()
+                        },
+                    );
                     let ds = self
                         .net
                         .multicast(t, self.node(n), CONTROL_BYTES, Channel::Request);
@@ -369,11 +523,14 @@ impl Machine {
                     }
                 }
                 Effect::SendSupplier { to, msg } => {
-                    if self.tracing(msg.line) {
-                        self.trace.entry(msg.line).or_default().push(format!(
-                            "t={t} n{n} SUPPLIERSHIP -> {to} txn={} state={} data={}",
-                            msg.txn, msg.new_state, msg.with_data
-                        ));
+                    self.registry.node_mut(n).supplies += 1;
+                    if let Some(m) = self
+                        .anatomy_marks
+                        .get_mut(&(msg.txn.node.0, msg.line.raw()))
+                    {
+                        if m.supplied.is_none() {
+                            m.supplied = Some(t);
+                        }
                     }
                     let ch = if msg.with_data {
                         Channel::Data
@@ -395,27 +552,35 @@ impl Machine {
                         .schedule(t + delay, Ev::Agent(n, AgentInput::SnoopDone { txn, line }));
                 }
                 Effect::MemFetch { line, prefetch } => {
-                    if self.tracing(line) && !prefetch {
-                        self.trace
-                            .entry(line)
-                            .or_default()
-                            .push(format!("t={t} n{n} MEMFETCH (demand)"));
-                    }
                     if prefetch {
                         if self.cpp.admit_prefetch(line) {
+                            self.registry.node_mut(n).mem_prefetch += 1;
                             let done = self.mem.request(t, line);
                             self.cpp.mark_fetched(line);
                             self.pbufs[n].fill(t, line, done);
                         }
                     } else if let Some(avail) = self.pbufs[n].claim(t, line) {
+                        self.registry.node_mut(n).prefetch_hits += 1;
+                        if self.trace_enabled {
+                            self.emit(TraceEvent {
+                                cycle: t,
+                                node: n as u32,
+                                txn_node: n as u32,
+                                txn_serial: 0,
+                                line: line.raw(),
+                                kind: TraceKind::PrefetchHit,
+                            });
+                        }
                         self.queue.schedule(avail, Ev::MemDone(n, line));
                     } else {
+                        self.registry.node_mut(n).mem_demand += 1;
                         let done = self.mem.request(t, line);
                         self.cpp.mark_fetched(line);
                         self.queue.schedule(done, Ev::MemDone(n, line));
                     }
                 }
                 Effect::Writeback { line } => {
+                    self.registry.node_mut(n).writebacks += 1;
                     self.cpp.mark_written_back(line);
                 }
                 Effect::L1Invalidate { line } => {
@@ -427,22 +592,18 @@ impl Machine {
                     latency,
                     c2c,
                 } => {
+                    if let Some(m) = self.anatomy_marks.get_mut(&(n, line.raw())) {
+                        if m.bound.is_none() {
+                            m.bound = Some(t);
+                        }
+                    }
                     if kind == TxnKind::Read {
                         // Add the L1 fill on top of the L2-to-L2 path, per
                         // the paper's "until the data arrives at the
                         // requester's L1".
-                        let lat = (latency + self.cfg.l1.latency) as f64;
-                        self.stats.read_latency.record(lat);
-                        if c2c {
-                            self.stats.read_latency_c2c.record(lat);
-                            self.stats
-                                .c2c_histogram
-                                .record(latency + self.cfg.l1.latency);
-                            self.stats.reads_c2c += 1;
-                        } else {
-                            self.stats.read_latency_mem.record(lat);
-                            self.stats.reads_mem += 1;
-                        }
+                        self.registry
+                            .node_mut(n)
+                            .record_read_bound(latency + self.cfg.l1.latency, c2c);
                         if self.cores[n].read_done(line) {
                             self.queue.schedule(t, Ev::Resume(n));
                         }
@@ -456,36 +617,36 @@ impl Machine {
                     prefetch_issued,
                     latency,
                 } => {
+                    let mark = self.anatomy_marks.remove(&(n, line.raw()));
                     if kind == TxnKind::Read {
-                        self.stats.read_completion.record(latency as f64);
-                    }
-                    if self.tracing(line) {
-                        self.trace.entry(line).or_default().push(format!(
-                            "t={t} n{n} COMPLETE kind={kind} c2c={c2c} -> state={}",
-                            self.agents[n].l2().state(line)
-                        ));
+                        self.registry.node_mut(n).record_read_complete(
+                            latency,
+                            c2c,
+                            prefetch_issued,
+                        );
+                        if c2c {
+                            if let Some(AnatomyMark {
+                                issued: Some(i),
+                                supplied: Some(s),
+                                bound: Some(b),
+                            }) = mark
+                            {
+                                if i <= s && s <= b && b <= t {
+                                    self.registry.anatomy.record(s - i, b - s, t - b);
+                                }
+                            }
+                        }
                     }
                     if self.cfg.check_invariants {
                         self.check_line_invariants(t, line);
                     }
-                    if kind == TxnKind::Read {
-                        match (prefetch_issued, c2c) {
-                            (true, true) => self.stats.pref_cache += 1,
-                            (false, true) => self.stats.nopref_cache += 1,
-                            (false, false) => self.stats.nopref_mem += 1,
-                            (true, false) => self.stats.pref_mem += 1,
-                        }
-                    } else {
+                    if kind != TxnKind::Read {
                         self.write_completed(t, n, line);
                     }
                 }
                 Effect::Retry { line, delay } => {
-                    if self.tracing(line) {
-                        self.trace
-                            .entry(line)
-                            .or_default()
-                            .push(format!("t={t} n{n} RETRY scheduled +{delay}"));
-                    }
+                    self.registry.node_mut(n).retries += 1;
+                    self.anatomy_marks.remove(&(n, line.raw()));
                     self.queue
                         .schedule(t + delay, Ev::Agent(n, AgentInput::RetryNow { line }));
                 }

@@ -54,6 +54,18 @@ pub struct MachineStats {
     pub ops_retired: u64,
     /// Simulation events processed.
     pub events: u64,
+    /// Figure 5(a) anatomy, segment 1: issue until the supplier grants
+    /// suppliership (request delivery plus the supplier's snoop).
+    pub anat_delivery: Summary,
+    /// Anatomy segment 2: suppliership grant until the data binds at the
+    /// requester.
+    pub anat_transfer: Summary,
+    /// Anatomy segment 3: data bound until the combined response lets the
+    /// transaction complete.
+    pub anat_response: Summary,
+    /// Distribution of per-physical-link message counts (hotspot view:
+    /// the embedded ring concentrates load on ring links).
+    pub link_msgs: Summary,
 }
 
 impl Default for MachineStats {
@@ -80,6 +92,10 @@ impl Default for MachineStats {
             starvation_events: 0,
             ops_retired: 0,
             events: 0,
+            anat_delivery: Summary::new(),
+            anat_transfer: Summary::new(),
+            anat_response: Summary::new(),
+            link_msgs: Summary::new(),
         }
     }
 }
@@ -148,6 +164,15 @@ impl Report {
         writeln!(w, "nopref_cache {}", s.nopref_cache)?;
         writeln!(w, "nopref_mem {}", s.nopref_mem)?;
         writeln!(w, "pref_mem {}", s.pref_mem)?;
+        writeln!(w, "anatomy_delivery_avg {:.2}", s.anat_delivery.mean())?;
+        writeln!(w, "anatomy_transfer_avg {:.2}", s.anat_transfer.mean())?;
+        writeln!(w, "anatomy_response_avg {:.2}", s.anat_response.mean())?;
+        writeln!(
+            w,
+            "link_messages_max {:.0}",
+            s.link_msgs.max().unwrap_or(0.0)
+        )?;
+        writeln!(w, "link_messages_avg {:.2}", s.link_msgs.mean())?;
         writeln!(w, "events {}", s.events)?;
         Ok(())
     }

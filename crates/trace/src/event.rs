@@ -1,0 +1,816 @@
+//! Typed trace events and their JSONL encoding.
+
+use std::fmt;
+
+/// The class of operation a transaction performs, mirroring the
+/// protocol's `TxnKind` without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// A read miss.
+    Read,
+    /// A write miss (needs data and ownership).
+    WriteMiss,
+    /// An invalidating upgrade of a valid non-writable copy.
+    WriteHit,
+}
+
+impl OpClass {
+    fn code(self) -> &'static str {
+        match self {
+            OpClass::Read => "rd",
+            OpClass::WriteMiss => "wm",
+            OpClass::WriteHit => "wh",
+        }
+    }
+
+    fn from_code(s: &str) -> Option<Self> {
+        match s {
+            "rd" => Some(OpClass::Read),
+            "wm" => Some(OpClass::WriteMiss),
+            "wh" => Some(OpClass::WriteHit),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpClass::Read => f.write_str("Read"),
+            OpClass::WriteMiss => f.write_str("WriteMiss"),
+            OpClass::WriteHit => f.write_str("WriteHit"),
+        }
+    }
+}
+
+/// What travels on a ring hop: a snoop request `R` or a combined
+/// response `r` with its marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// A snoop request.
+    Request {
+        /// Operation class of the request.
+        op: OpClass,
+    },
+    /// A combined snoop response.
+    Response {
+        /// `true` for `r+` (a supplier was found).
+        positive: bool,
+        /// Squash mark (lost a collision).
+        squashed: bool,
+        /// Loser Hint mark (Uncorq forced serialization).
+        loser_hint: bool,
+        /// Number of snoop outcomes combined so far.
+        outcomes: u32,
+    },
+}
+
+/// What happened; one variant per event in the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A requester issued (or re-issued) a transaction.
+    RequestIssue {
+        /// Operation class.
+        op: OpClass,
+        /// `true` when this is a retry of a squashed attempt.
+        retry: bool,
+    },
+    /// A node forwarded a ring message to its ring successor.
+    RingSend {
+        /// The successor node receiving the hop.
+        to: u32,
+        /// Request or response payload.
+        payload: Payload,
+    },
+    /// A ring message arrived at a node.
+    RingRecv {
+        /// Request or response payload.
+        payload: Payload,
+    },
+    /// An Uncorq read request was multicast over the unconstrained
+    /// network instead of the ring.
+    MulticastRequest {
+        /// Operation class.
+        op: OpClass,
+    },
+    /// A node performed a snoop for a transaction.
+    SnoopPerform {
+        /// `true` when the snoop found a supplier copy here.
+        positive: bool,
+    },
+    /// A node skipped a snoop (Flexible Snooping filters).
+    SnoopSkip,
+    /// A transaction entered a node's Local Transaction Table.
+    LttInsert {
+        /// Table occupancy after the insert.
+        occupancy: u32,
+    },
+    /// A transaction left a node's Local Transaction Table.
+    LttRemove {
+        /// Table occupancy after the removal.
+        occupancy: u32,
+    },
+    /// A combined response stalled in the LTT waiting for the local
+    /// snoop (the Ordering invariant at work).
+    LttStall,
+    /// Two in-flight transactions on the same line collided at a node.
+    Collision {
+        /// Requester node of the other transaction.
+        other_node: u32,
+        /// Serial of the other transaction.
+        other_serial: u64,
+    },
+    /// Winner selection resolved a collision.
+    WinnerSelected {
+        /// Requester node of the winning transaction.
+        winner_node: u32,
+        /// Serial of the winning transaction.
+        winner_serial: u64,
+    },
+    /// A requester consumed its own combined response.
+    ResponseConsume {
+        /// `true` for `r+`.
+        positive: bool,
+        /// Squash mark observed.
+        squashed: bool,
+        /// Loser Hint mark observed.
+        loser_hint: bool,
+        /// Snoop outcomes combined.
+        outcomes: u32,
+    },
+    /// Suppliership (and possibly data) was sent to a requester.
+    Suppliership {
+        /// The requester receiving suppliership.
+        to: u32,
+        /// Whether the line's data travels with the message.
+        with_data: bool,
+    },
+    /// The node started a memory fetch for the line.
+    MemFetch {
+        /// `true` for controller-predicted prefetches.
+        prefetch: bool,
+    },
+    /// A demand fetch was satisfied by the node's prefetch buffer.
+    PrefetchHit,
+    /// The node wrote the line back to memory.
+    Writeback,
+    /// Data (or ownership) arrived at the requester; the load can bind.
+    Bound {
+        /// L2-to-L2 latency in cycles.
+        latency: u64,
+        /// `true` for cache-to-cache transfers.
+        c2c: bool,
+    },
+    /// The transaction completed at its requester.
+    Complete {
+        /// Operation class.
+        op: OpClass,
+        /// `true` for cache-to-cache service.
+        c2c: bool,
+        /// Issue-to-complete latency in cycles.
+        latency: u64,
+    },
+    /// The transaction was squashed and a retry was scheduled.
+    Retry {
+        /// Delay until the retry in cycles.
+        delay: u64,
+    },
+    /// A starving node reserved the next suppliership (SNID).
+    Starvation {
+        /// The starving node's ID.
+        snid: u32,
+    },
+}
+
+/// One structured protocol event.
+///
+/// `node` is where the event happened; `txn_node`/`txn_serial` identify
+/// the transaction it belongs to (the requester node and its per-node
+/// serial), and `line` is the cache line concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle of the event.
+    pub cycle: u64,
+    /// Node at which the event happened.
+    pub node: u32,
+    /// Requester node of the owning transaction.
+    pub txn_node: u32,
+    /// Per-requester serial of the owning transaction.
+    pub txn_serial: u64,
+    /// Raw line address the event concerns.
+    pub line: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for TraceEvent {
+    /// Human-readable one-liner, keeping the historical line-trace
+    /// vocabulary (`fwd R`, `MCAST R`, `SUPPLIERSHIP`, `MEMFETCH`,
+    /// `COMPLETE`, `RETRY`) so existing debug workflows keep working.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.cycle;
+        let n = self.node;
+        let txn = format_args!("{}.{}", self.txn_node, self.txn_serial);
+        match self.kind {
+            EventKind::RequestIssue { op, retry } => {
+                write!(f, "t={t} n{n} ISSUE txn={txn} kind={op} retry={retry}")
+            }
+            EventKind::RingSend { to, payload } => match payload {
+                Payload::Request { op } => {
+                    write!(f, "t={t} n{n} fwd R -> n{to} txn={txn} kind={op}")
+                }
+                Payload::Response {
+                    positive,
+                    squashed,
+                    loser_hint,
+                    outcomes,
+                } => write!(
+                    f,
+                    "t={t} n{n} fwd r -> n{to} txn={txn} {} sq={squashed} lh={loser_hint} outc={outcomes}",
+                    if positive { "+" } else { "-" },
+                ),
+            },
+            EventKind::RingRecv { payload } => match payload {
+                Payload::Request { op } => {
+                    write!(f, "t={t} n{n} recv R txn={txn} kind={op}")
+                }
+                Payload::Response {
+                    positive,
+                    squashed,
+                    loser_hint,
+                    outcomes,
+                } => write!(
+                    f,
+                    "t={t} n{n} recv r txn={txn} {} sq={squashed} lh={loser_hint} outc={outcomes}",
+                    if positive { "+" } else { "-" },
+                ),
+            },
+            EventKind::MulticastRequest { op } => {
+                write!(f, "t={t} n{n} MCAST R txn={txn} kind={op}")
+            }
+            EventKind::SnoopPerform { positive } => write!(
+                f,
+                "t={t} n{n} SNOOP txn={txn} {}",
+                if positive { "+" } else { "-" }
+            ),
+            EventKind::SnoopSkip => write!(f, "t={t} n{n} SNOOP-SKIP txn={txn}"),
+            EventKind::LttInsert { occupancy } => {
+                write!(f, "t={t} n{n} LTT+ txn={txn} occ={occupancy}")
+            }
+            EventKind::LttRemove { occupancy } => {
+                write!(f, "t={t} n{n} LTT- txn={txn} occ={occupancy}")
+            }
+            EventKind::LttStall => write!(f, "t={t} n{n} LTT-STALL txn={txn}"),
+            EventKind::Collision {
+                other_node,
+                other_serial,
+            } => write!(
+                f,
+                "t={t} n{n} COLLISION txn={txn} with {other_node}.{other_serial}"
+            ),
+            EventKind::WinnerSelected {
+                winner_node,
+                winner_serial,
+            } => write!(
+                f,
+                "t={t} n{n} WINNER txn={txn} -> {winner_node}.{winner_serial}"
+            ),
+            EventKind::ResponseConsume {
+                positive,
+                squashed,
+                loser_hint,
+                outcomes,
+            } => write!(
+                f,
+                "t={t} n{n} CONSUME r txn={txn} {} sq={squashed} lh={loser_hint} outc={outcomes}",
+                if positive { "+" } else { "-" },
+            ),
+            EventKind::Suppliership { to, with_data } => write!(
+                f,
+                "t={t} n{n} SUPPLIERSHIP -> n{to} txn={txn} data={with_data}"
+            ),
+            EventKind::MemFetch { prefetch } => write!(
+                f,
+                "t={t} n{n} MEMFETCH ({})",
+                if prefetch { "prefetch" } else { "demand" }
+            ),
+            EventKind::PrefetchHit => write!(f, "t={t} n{n} PREFETCH-HIT"),
+            EventKind::Writeback => write!(f, "t={t} n{n} WRITEBACK"),
+            EventKind::Bound { latency, c2c } => {
+                write!(f, "t={t} n{n} BOUND txn={txn} lat={latency} c2c={c2c}")
+            }
+            EventKind::Complete { op, c2c, latency } => write!(
+                f,
+                "t={t} n{n} COMPLETE txn={txn} kind={op} c2c={c2c} lat={latency}"
+            ),
+            EventKind::Retry { delay } => {
+                write!(f, "t={t} n{n} RETRY txn={txn} scheduled +{delay}")
+            }
+            EventKind::Starvation { snid } => {
+                write!(f, "t={t} n{n} STARVE txn={txn} snid={snid}")
+            }
+        }
+    }
+}
+
+/// An error parsing a JSONL trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// A flat JSON value as used by the trace encoding.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Val {
+    fn num(&self) -> Result<u64, ParseError> {
+        match self {
+            Val::Num(n) => Ok(*n),
+            v => Err(err(format!("expected number, got {v:?}"))),
+        }
+    }
+    fn boolean(&self) -> Result<bool, ParseError> {
+        match self {
+            Val::Bool(b) => Ok(*b),
+            v => Err(err(format!("expected bool, got {v:?}"))),
+        }
+    }
+    fn string(&self) -> Result<&str, ParseError> {
+        match self {
+            Val::Str(s) => Ok(s),
+            v => Err(err(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+/// Parses one flat JSON object (string/number/bool values only — the
+/// full shape of a trace line) into key/value pairs.
+fn parse_flat_object(s: &str) -> Result<Vec<(String, Val)>, ParseError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| err("not an object"))?;
+    let mut out = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        // key
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| err("expected key quote"))?;
+        let kend = rest.find('"').ok_or_else(|| err("unterminated key"))?;
+        let key = rest[..kend].to_string();
+        rest = rest[kend + 1..].trim_start();
+        rest = rest
+            .strip_prefix(':')
+            .ok_or_else(|| err("expected ':'"))?
+            .trim_start();
+        // value
+        let (val, after) = if let Some(r) = rest.strip_prefix('"') {
+            let vend = r.find('"').ok_or_else(|| err("unterminated string"))?;
+            (Val::Str(r[..vend].to_string()), &r[vend + 1..])
+        } else if let Some(r) = rest.strip_prefix("true") {
+            (Val::Bool(true), r)
+        } else if let Some(r) = rest.strip_prefix("false") {
+            (Val::Bool(false), r)
+        } else {
+            let vend = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            if vend == 0 {
+                return Err(err(format!("bad value at '{rest}'")));
+            }
+            let n = rest[..vend]
+                .parse::<u64>()
+                .map_err(|e| err(format!("bad number: {e}")))?;
+            (Val::Num(n), &rest[vend..])
+        };
+        out.push((key, val));
+        rest = after.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(err(format!("trailing garbage: '{rest}'")));
+        }
+    }
+    Ok(out)
+}
+
+struct Fields(Vec<(String, Val)>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Result<&Val, ParseError> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| err(format!("missing field '{key}'")))
+    }
+    fn num(&self, key: &str) -> Result<u64, ParseError> {
+        self.get(key)?.num()
+    }
+    fn boolean(&self, key: &str) -> Result<bool, ParseError> {
+        self.get(key)?.boolean()
+    }
+    fn string(&self, key: &str) -> Result<&str, ParseError> {
+        self.get(key)?.string()
+    }
+    fn op(&self, key: &str) -> Result<OpClass, ParseError> {
+        let s = self.string(key)?;
+        OpClass::from_code(s).ok_or_else(|| err(format!("bad op class '{s}'")))
+    }
+}
+
+impl Payload {
+    fn encode(&self, out: &mut String) {
+        match self {
+            Payload::Request { op } => {
+                out.push_str(",\"pl\":\"R\",\"op\":\"");
+                out.push_str(op.code());
+                out.push('"');
+            }
+            Payload::Response {
+                positive,
+                squashed,
+                loser_hint,
+                outcomes,
+            } => {
+                use std::fmt::Write;
+                let _ = write!(
+                    out,
+                    ",\"pl\":\"r\",\"pos\":{positive},\"sq\":{squashed},\"lh\":{loser_hint},\"outc\":{outcomes}"
+                );
+            }
+        }
+    }
+
+    fn decode(f: &Fields) -> Result<Self, ParseError> {
+        match f.string("pl")? {
+            "R" => Ok(Payload::Request { op: f.op("op")? }),
+            "r" => Ok(Payload::Response {
+                positive: f.boolean("pos")?,
+                squashed: f.boolean("sq")?,
+                loser_hint: f.boolean("lh")?,
+                outcomes: f.num("outc")? as u32,
+            }),
+            other => Err(err(format!("bad payload tag '{other}'"))),
+        }
+    }
+}
+
+impl TraceEvent {
+    /// Tag string identifying the event kind in the JSONL encoding.
+    pub fn tag(&self) -> &'static str {
+        match self.kind {
+            EventKind::RequestIssue { .. } => "issue",
+            EventKind::RingSend { .. } => "ring_send",
+            EventKind::RingRecv { .. } => "ring_recv",
+            EventKind::MulticastRequest { .. } => "mcast",
+            EventKind::SnoopPerform { .. } => "snoop",
+            EventKind::SnoopSkip => "snoop_skip",
+            EventKind::LttInsert { .. } => "ltt_insert",
+            EventKind::LttRemove { .. } => "ltt_remove",
+            EventKind::LttStall => "ltt_stall",
+            EventKind::Collision { .. } => "collision",
+            EventKind::WinnerSelected { .. } => "winner",
+            EventKind::ResponseConsume { .. } => "consume",
+            EventKind::Suppliership { .. } => "supply",
+            EventKind::MemFetch { .. } => "mem_fetch",
+            EventKind::PrefetchHit => "pref_hit",
+            EventKind::Writeback => "writeback",
+            EventKind::Bound { .. } => "bound",
+            EventKind::Complete { .. } => "complete",
+            EventKind::Retry { .. } => "retry",
+            EventKind::Starvation { .. } => "starve",
+        }
+    }
+
+    /// Encodes the event as one JSON object on a single line, with a
+    /// stable field order (so identical runs produce byte-identical
+    /// traces).
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t\":{},\"n\":{},\"tn\":{},\"ts\":{},\"line\":{},\"ev\":\"{}\"",
+            self.cycle,
+            self.node,
+            self.txn_node,
+            self.txn_serial,
+            self.line,
+            self.tag()
+        );
+        match self.kind {
+            EventKind::RequestIssue { op, retry } => {
+                let _ = write!(s, ",\"op\":\"{}\",\"retry\":{retry}", op.code());
+            }
+            EventKind::RingSend { to, payload } => {
+                let _ = write!(s, ",\"to\":{to}");
+                payload.encode(&mut s);
+            }
+            EventKind::RingRecv { payload } => payload.encode(&mut s),
+            EventKind::MulticastRequest { op } => {
+                let _ = write!(s, ",\"op\":\"{}\"", op.code());
+            }
+            EventKind::SnoopPerform { positive } => {
+                let _ = write!(s, ",\"pos\":{positive}");
+            }
+            EventKind::SnoopSkip
+            | EventKind::LttStall
+            | EventKind::PrefetchHit
+            | EventKind::Writeback => {}
+            EventKind::LttInsert { occupancy } | EventKind::LttRemove { occupancy } => {
+                let _ = write!(s, ",\"occ\":{occupancy}");
+            }
+            EventKind::Collision {
+                other_node,
+                other_serial,
+            } => {
+                let _ = write!(s, ",\"on\":{other_node},\"os\":{other_serial}");
+            }
+            EventKind::WinnerSelected {
+                winner_node,
+                winner_serial,
+            } => {
+                let _ = write!(s, ",\"wn\":{winner_node},\"ws\":{winner_serial}");
+            }
+            EventKind::ResponseConsume {
+                positive,
+                squashed,
+                loser_hint,
+                outcomes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pos\":{positive},\"sq\":{squashed},\"lh\":{loser_hint},\"outc\":{outcomes}"
+                );
+            }
+            EventKind::Suppliership { to, with_data } => {
+                let _ = write!(s, ",\"to\":{to},\"data\":{with_data}");
+            }
+            EventKind::MemFetch { prefetch } => {
+                let _ = write!(s, ",\"pref\":{prefetch}");
+            }
+            EventKind::Bound { latency, c2c } => {
+                let _ = write!(s, ",\"lat\":{latency},\"c2c\":{c2c}");
+            }
+            EventKind::Complete { op, c2c, latency } => {
+                let _ = write!(
+                    s,
+                    ",\"op\":\"{}\",\"c2c\":{c2c},\"lat\":{latency}",
+                    op.code()
+                );
+            }
+            EventKind::Retry { delay } => {
+                let _ = write!(s, ",\"delay\":{delay}");
+            }
+            EventKind::Starvation { snid } => {
+                let _ = write!(s, ",\"snid\":{snid}");
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSONL trace line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first malformed or
+    /// missing field.
+    pub fn from_jsonl(line: &str) -> Result<Self, ParseError> {
+        let f = Fields(parse_flat_object(line)?);
+        let kind = match f.string("ev")? {
+            "issue" => EventKind::RequestIssue {
+                op: f.op("op")?,
+                retry: f.boolean("retry")?,
+            },
+            "ring_send" => EventKind::RingSend {
+                to: f.num("to")? as u32,
+                payload: Payload::decode(&f)?,
+            },
+            "ring_recv" => EventKind::RingRecv {
+                payload: Payload::decode(&f)?,
+            },
+            "mcast" => EventKind::MulticastRequest { op: f.op("op")? },
+            "snoop" => EventKind::SnoopPerform {
+                positive: f.boolean("pos")?,
+            },
+            "snoop_skip" => EventKind::SnoopSkip,
+            "ltt_insert" => EventKind::LttInsert {
+                occupancy: f.num("occ")? as u32,
+            },
+            "ltt_remove" => EventKind::LttRemove {
+                occupancy: f.num("occ")? as u32,
+            },
+            "ltt_stall" => EventKind::LttStall,
+            "collision" => EventKind::Collision {
+                other_node: f.num("on")? as u32,
+                other_serial: f.num("os")?,
+            },
+            "winner" => EventKind::WinnerSelected {
+                winner_node: f.num("wn")? as u32,
+                winner_serial: f.num("ws")?,
+            },
+            "consume" => EventKind::ResponseConsume {
+                positive: f.boolean("pos")?,
+                squashed: f.boolean("sq")?,
+                loser_hint: f.boolean("lh")?,
+                outcomes: f.num("outc")? as u32,
+            },
+            "supply" => EventKind::Suppliership {
+                to: f.num("to")? as u32,
+                with_data: f.boolean("data")?,
+            },
+            "mem_fetch" => EventKind::MemFetch {
+                prefetch: f.boolean("pref")?,
+            },
+            "pref_hit" => EventKind::PrefetchHit,
+            "writeback" => EventKind::Writeback,
+            "bound" => EventKind::Bound {
+                latency: f.num("lat")?,
+                c2c: f.boolean("c2c")?,
+            },
+            "complete" => EventKind::Complete {
+                op: f.op("op")?,
+                c2c: f.boolean("c2c")?,
+                latency: f.num("lat")?,
+            },
+            "retry" => EventKind::Retry {
+                delay: f.num("delay")?,
+            },
+            "starve" => EventKind::Starvation {
+                snid: f.num("snid")? as u32,
+            },
+            other => return Err(err(format!("unknown event tag '{other}'"))),
+        };
+        Ok(TraceEvent {
+            cycle: f.num("t")?,
+            node: f.num("n")? as u32,
+            txn_node: f.num("tn")? as u32,
+            txn_serial: f.num("ts")?,
+            line: f.num("line")?,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            cycle: 1234,
+            node: 5,
+            txn_node: 5,
+            txn_serial: 42,
+            line: 0x1f80,
+            kind,
+        }
+    }
+
+    fn all_kinds() -> Vec<EventKind> {
+        vec![
+            EventKind::RequestIssue {
+                op: OpClass::Read,
+                retry: false,
+            },
+            EventKind::RequestIssue {
+                op: OpClass::WriteHit,
+                retry: true,
+            },
+            EventKind::RingSend {
+                to: 6,
+                payload: Payload::Request { op: OpClass::Read },
+            },
+            EventKind::RingSend {
+                to: 6,
+                payload: Payload::Response {
+                    positive: true,
+                    squashed: false,
+                    loser_hint: true,
+                    outcomes: 17,
+                },
+            },
+            EventKind::RingRecv {
+                payload: Payload::Response {
+                    positive: false,
+                    squashed: true,
+                    loser_hint: false,
+                    outcomes: 63,
+                },
+            },
+            EventKind::MulticastRequest {
+                op: OpClass::WriteMiss,
+            },
+            EventKind::SnoopPerform { positive: true },
+            EventKind::SnoopSkip,
+            EventKind::LttInsert { occupancy: 3 },
+            EventKind::LttRemove { occupancy: 2 },
+            EventKind::LttStall,
+            EventKind::Collision {
+                other_node: 9,
+                other_serial: 100,
+            },
+            EventKind::WinnerSelected {
+                winner_node: 5,
+                winner_serial: 42,
+            },
+            EventKind::ResponseConsume {
+                positive: true,
+                squashed: false,
+                loser_hint: false,
+                outcomes: 64,
+            },
+            EventKind::Suppliership {
+                to: 11,
+                with_data: true,
+            },
+            EventKind::MemFetch { prefetch: false },
+            EventKind::MemFetch { prefetch: true },
+            EventKind::PrefetchHit,
+            EventKind::Writeback,
+            EventKind::Bound {
+                latency: 88,
+                c2c: true,
+            },
+            EventKind::Complete {
+                op: OpClass::Read,
+                c2c: false,
+                latency: 412,
+            },
+            EventKind::Retry { delay: 200 },
+            EventKind::Starvation { snid: 7 },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_every_kind() {
+        for kind in all_kinds() {
+            let e = ev(kind);
+            let line = e.to_jsonl();
+            let back = TraceEvent::from_jsonl(&line)
+                .unwrap_or_else(|err| panic!("parse failed for {line}: {err}"));
+            assert_eq!(back, e, "roundtrip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_is_single_line_and_stable() {
+        for kind in all_kinds() {
+            let e = ev(kind);
+            let a = e.to_jsonl();
+            assert!(!a.contains('\n'));
+            assert_eq!(a, e.to_jsonl(), "encoding must be deterministic");
+        }
+    }
+
+    #[test]
+    fn display_keeps_legacy_vocabulary() {
+        let m = ev(EventKind::MulticastRequest { op: OpClass::Read });
+        assert!(m.to_string().contains("MCAST R"));
+        let s = ev(EventKind::Suppliership {
+            to: 3,
+            with_data: true,
+        });
+        assert!(s.to_string().contains("SUPPLIERSHIP"));
+        let c = ev(EventKind::Complete {
+            op: OpClass::Read,
+            c2c: true,
+            latency: 50,
+        });
+        assert!(c.to_string().contains("COMPLETE"));
+        let f = ev(EventKind::MemFetch { prefetch: false });
+        assert!(f.to_string().contains("MEMFETCH (demand)"));
+        let r = ev(EventKind::Retry { delay: 10 });
+        assert!(r.to_string().contains("RETRY"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(TraceEvent::from_jsonl("").is_err());
+        assert!(TraceEvent::from_jsonl("{}").is_err());
+        assert!(TraceEvent::from_jsonl("not json").is_err());
+        assert!(TraceEvent::from_jsonl("{\"t\":1}").is_err());
+        // unknown tag
+        let bad = "{\"t\":1,\"n\":0,\"tn\":0,\"ts\":0,\"line\":0,\"ev\":\"nope\"}";
+        assert!(TraceEvent::from_jsonl(bad).is_err());
+    }
+}

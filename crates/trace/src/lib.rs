@@ -1,0 +1,50 @@
+//! Structured coherence-event tracing for the Uncorq simulator.
+//!
+//! This crate is the observability layer of the simulator:
+//!
+//! - [`TraceEvent`] — a typed record of one protocol event (request
+//!   issue, ring hop, snoop, LTT activity, collision/winner selection,
+//!   combined-response consumption, memory fetch, prefetch, retry,
+//!   starvation), carrying the cycle, node, transaction identity, and
+//!   line it concerns.
+//! - [`TraceSink`] — where events go: [`NullSink`] (a no-op, the
+//!   default), [`RingBufferSink`] (last-N in memory, for post-mortem
+//!   debugging), and [`JsonlSink`] (one JSON object per line, for the
+//!   offline `tracecheck` pipeline).
+//! - [`MetricsRegistry`] — per-node and per-link counters/histograms
+//!   that accumulate during a run and roll up into the machine-level
+//!   report, including the per-transaction latency anatomy
+//!   (request-delivery vs data-transfer vs response-return, in the
+//!   style of the paper's Figure 5).
+//!
+//! The crate is dependency-light on purpose: events identify nodes,
+//! transactions, and lines by raw integers so that every simulator layer
+//! can emit events without cyclic crate dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use ring_trace::{EventKind, OpClass, TraceEvent};
+//!
+//! let ev = TraceEvent {
+//!     cycle: 120,
+//!     node: 3,
+//!     txn_node: 3,
+//!     txn_serial: 7,
+//!     line: 4096,
+//!     kind: EventKind::MulticastRequest { op: OpClass::Read },
+//! };
+//! let line = ev.to_jsonl();
+//! assert_eq!(TraceEvent::from_jsonl(&line).unwrap(), ev);
+//! assert!(ev.to_string().contains("MCAST R"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod sink;
+
+pub use event::{EventKind, OpClass, ParseError, Payload, TraceEvent};
+pub use metrics::{LatencyAnatomy, LinkMetrics, MetricsRegistry, NodeMetrics};
+pub use sink::{JsonlSink, NullSink, RingBufferSink, SharedBufferSink, TraceSink};

@@ -1,0 +1,298 @@
+//! Per-node and per-link metrics that roll up into the machine report.
+
+use ring_stats::{Histogram, Summary};
+
+/// Counters and latency accumulators for one node.
+///
+/// The machine bumps these as it executes protocol effects; at report
+/// time [`MetricsRegistry`] merges all nodes into the machine-level
+/// statistics, replacing the previous ad-hoc global field bumps and
+/// keeping the per-node breakdown available for inspection.
+#[derive(Debug, Clone)]
+pub struct NodeMetrics {
+    /// Transactions issued by this node (including retries).
+    pub requests: u64,
+    /// Retries scheduled at this node.
+    pub retries: u64,
+    /// Suppliership transfers sent by this node.
+    pub supplies: u64,
+    /// Demand memory fetches started by this node.
+    pub mem_demand: u64,
+    /// Prefetch memory fetches started on behalf of this node.
+    pub mem_prefetch: u64,
+    /// Demand fetches satisfied by the node's prefetch buffer.
+    pub prefetch_hits: u64,
+    /// Lines written back to memory by this node.
+    pub writebacks: u64,
+    /// Read misses served cache-to-cache.
+    pub reads_c2c: u64,
+    /// Read misses served from memory.
+    pub reads_mem: u64,
+    /// Reads with a prefetch issued, served cache-to-cache.
+    pub pref_cache: u64,
+    /// Reads without a prefetch, served cache-to-cache.
+    pub nopref_cache: u64,
+    /// Reads with a prefetch issued, served from memory.
+    pub pref_mem: u64,
+    /// Reads without a prefetch, served from memory.
+    pub nopref_mem: u64,
+    /// Read-miss latency (L1 fill included), all reads.
+    pub read_latency: Summary,
+    /// Read-miss latency, cache-to-cache subset.
+    pub read_latency_c2c: Summary,
+    /// Read-miss latency, memory subset.
+    pub read_latency_mem: Summary,
+    /// Issue-to-completion latency of read transactions.
+    pub read_completion: Summary,
+    /// Cache-to-cache read latency histogram (Figure 8 style).
+    pub c2c_histogram: Histogram,
+}
+
+impl NodeMetrics {
+    /// Fresh metrics with a c2c histogram of `bins` bins of
+    /// `bin_width` cycles.
+    pub fn new(bin_width: u64, bins: usize) -> Self {
+        NodeMetrics {
+            requests: 0,
+            retries: 0,
+            supplies: 0,
+            mem_demand: 0,
+            mem_prefetch: 0,
+            prefetch_hits: 0,
+            writebacks: 0,
+            reads_c2c: 0,
+            reads_mem: 0,
+            pref_cache: 0,
+            nopref_cache: 0,
+            pref_mem: 0,
+            nopref_mem: 0,
+            read_latency: Summary::new(),
+            read_latency_c2c: Summary::new(),
+            read_latency_mem: Summary::new(),
+            read_completion: Summary::new(),
+            c2c_histogram: Histogram::new(bin_width, bins),
+        }
+    }
+
+    /// Records a read binding (data arrival) with its end-to-end
+    /// latency `lat` (cycles, L1 fill included).
+    pub fn record_read_bound(&mut self, lat: u64, c2c: bool) {
+        self.read_latency.record(lat as f64);
+        if c2c {
+            self.read_latency_c2c.record(lat as f64);
+            self.c2c_histogram.record(lat);
+            self.reads_c2c += 1;
+        } else {
+            self.read_latency_mem.record(lat as f64);
+            self.reads_mem += 1;
+        }
+    }
+
+    /// Records a read completion and its prefetch/service class.
+    pub fn record_read_complete(&mut self, latency: u64, c2c: bool, prefetch_issued: bool) {
+        self.read_completion.record(latency as f64);
+        match (prefetch_issued, c2c) {
+            (true, true) => self.pref_cache += 1,
+            (false, true) => self.nopref_cache += 1,
+            (false, false) => self.nopref_mem += 1,
+            (true, false) => self.pref_mem += 1,
+        }
+    }
+}
+
+/// Message/byte counters for one physical network link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkMetrics {
+    /// Messages that crossed the link.
+    pub messages: u64,
+    /// Bytes that crossed the link.
+    pub bytes: u64,
+}
+
+/// Per-transaction latency anatomy, Figure-5 style: where the cycles of
+/// a cache-to-cache read go.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyAnatomy {
+    /// Issue until the supplier sends suppliership (request delivery
+    /// plus the supplier's snoop).
+    pub delivery: Summary,
+    /// Suppliership send until the data binds at the requester.
+    pub transfer: Summary,
+    /// Data bound until the combined response lets the transaction
+    /// complete (the serialization wait).
+    pub response: Summary,
+}
+
+impl LatencyAnatomy {
+    /// Empty anatomy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one fully-observed cache-to-cache read.
+    pub fn record(&mut self, delivery: u64, transfer: u64, response: u64) {
+        self.delivery.record(delivery as f64);
+        self.transfer.record(transfer as f64);
+        self.response.record(response as f64);
+    }
+
+    /// Total mean latency across the three segments.
+    pub fn mean_total(&self) -> f64 {
+        self.delivery.mean() + self.transfer.mean() + self.response.mean()
+    }
+}
+
+/// The run-wide registry: one [`NodeMetrics`] per node, one
+/// [`LinkMetrics`] per network link, and the latency anatomy.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    nodes: Vec<NodeMetrics>,
+    links: Vec<LinkMetrics>,
+    /// Latency anatomy of cache-to-cache reads.
+    pub anatomy: LatencyAnatomy,
+}
+
+impl MetricsRegistry {
+    /// A registry for `nodes` nodes, with c2c histograms of `bins`
+    /// bins of `bin_width` cycles each.
+    pub fn new(nodes: usize, bin_width: u64, bins: usize) -> Self {
+        MetricsRegistry {
+            nodes: (0..nodes)
+                .map(|_| NodeMetrics::new(bin_width, bins))
+                .collect(),
+            links: Vec::new(),
+            anatomy: LatencyAnatomy::new(),
+        }
+    }
+
+    /// Mutable access to one node's metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn node_mut(&mut self, n: usize) -> &mut NodeMetrics {
+        &mut self.nodes[n]
+    }
+
+    /// All per-node metrics.
+    pub fn nodes(&self) -> &[NodeMetrics] {
+        &self.nodes
+    }
+
+    /// Installs the per-link loads (copied from the network at report
+    /// time).
+    pub fn set_link_loads(&mut self, links: Vec<LinkMetrics>) {
+        self.links = links;
+    }
+
+    /// All per-link metrics (empty until [`Self::set_link_loads`]).
+    pub fn links(&self) -> &[LinkMetrics] {
+        &self.links
+    }
+
+    /// Distribution of per-link message counts — its max/mean expose
+    /// hotspots (the embedded ring concentrates load on ring links).
+    pub fn link_message_summary(&self) -> Summary {
+        let mut s = Summary::new();
+        for l in &self.links {
+            s.record(l.messages as f64);
+        }
+        s
+    }
+
+    /// Sums `f` over all nodes.
+    pub fn total(&self, f: impl Fn(&NodeMetrics) -> u64) -> u64 {
+        self.nodes.iter().map(f).sum()
+    }
+
+    /// Merges `f`-selected summaries over all nodes.
+    pub fn merged(&self, f: impl Fn(&NodeMetrics) -> &Summary) -> Summary {
+        let mut out = Summary::new();
+        for n in &self.nodes {
+            out.merge(f(n));
+        }
+        out
+    }
+
+    /// Merges all nodes' c2c histograms.
+    pub fn merged_c2c_histogram(&self) -> Option<Histogram> {
+        let mut it = self.nodes.iter();
+        let mut out = it.next()?.c2c_histogram.clone();
+        for n in it {
+            out.merge(&n.c2c_histogram);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollup_merges_across_nodes() {
+        let mut r = MetricsRegistry::new(2, 16, 96);
+        r.node_mut(0).record_read_bound(100, true);
+        r.node_mut(1).record_read_bound(300, true);
+        r.node_mut(1).record_read_bound(500, false);
+        let all = r.merged(|n| &n.read_latency);
+        assert_eq!(all.count(), 3);
+        assert!((all.mean() - 300.0).abs() < 1e-9);
+        let c2c = r.merged(|n| &n.read_latency_c2c);
+        assert_eq!(c2c.count(), 2);
+        assert_eq!(r.total(|n| n.reads_c2c), 2);
+        assert_eq!(r.total(|n| n.reads_mem), 1);
+        let h = r.merged_c2c_histogram().unwrap();
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn completion_classes_are_exclusive() {
+        let mut m = NodeMetrics::new(16, 96);
+        m.record_read_complete(50, true, true);
+        m.record_read_complete(50, true, false);
+        m.record_read_complete(50, false, true);
+        m.record_read_complete(50, false, false);
+        assert_eq!(
+            (m.pref_cache, m.nopref_cache, m.pref_mem, m.nopref_mem),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(m.read_completion.count(), 4);
+    }
+
+    #[test]
+    fn link_summary_exposes_hotspots() {
+        let mut r = MetricsRegistry::new(1, 16, 96);
+        r.set_link_loads(vec![
+            LinkMetrics {
+                messages: 10,
+                bytes: 80,
+            },
+            LinkMetrics {
+                messages: 90,
+                bytes: 720,
+            },
+        ]);
+        let s = r.link_message_summary();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), Some(90.0));
+        assert!((s.mean() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anatomy_accumulates_segments() {
+        let mut a = LatencyAnatomy::new();
+        a.record(40, 20, 60);
+        a.record(60, 30, 80);
+        assert_eq!(a.delivery.count(), 2);
+        assert!((a.mean_total() - (50.0 + 25.0 + 70.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_registry_rolls_up_to_empty() {
+        let r = MetricsRegistry::new(0, 16, 96);
+        assert_eq!(r.merged(|n| &n.read_latency).count(), 0);
+        assert!(r.merged_c2c_histogram().is_none());
+        assert_eq!(r.link_message_summary().count(), 0);
+    }
+}

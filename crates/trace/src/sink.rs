@@ -1,0 +1,222 @@
+//! Pluggable destinations for trace events.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceEvent;
+
+/// Where trace events go.
+///
+/// The machine invokes [`TraceSink::record`] once per emitted event;
+/// event construction itself is skipped entirely when no sink is
+/// installed, so the disabled path costs one branch.
+pub trait TraceSink: Send {
+    /// Records one event.
+    fn record(&mut self, ev: &TraceEvent);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards every event. Installing `NullSink` is equivalent to
+/// installing no sink at all — it exists so code can hold a
+/// `Box<dyn TraceSink>` unconditionally.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: &TraceEvent) {}
+}
+
+/// Keeps the most recent `capacity` events in memory, for post-mortem
+/// inspection after a failure.
+///
+/// The sink is cheaply cloneable; clones share the same buffer, so one
+/// clone can be installed into the machine while another is kept to
+/// read the events back afterwards.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: Arc<Mutex<VecDeque<TraceEvent>>>,
+}
+
+impl RingBufferSink {
+    /// A ring buffer holding at most `capacity` events (the oldest are
+    /// dropped first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBufferSink {
+            capacity,
+            buf: Arc::new(Mutex::new(VecDeque::with_capacity(capacity))),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.buf.lock().unwrap().iter().copied().collect()
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(*ev);
+    }
+}
+
+/// Collects every event in memory, unbounded. Clones share the buffer
+/// (install one clone, read from the other); used by tests that assert
+/// on full event streams.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBufferSink {
+    buf: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl SharedBufferSink {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded events in emission order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.buf.lock().unwrap().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for SharedBufferSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.buf.lock().unwrap().push(*ev);
+    }
+}
+
+/// Streams events as JSON Lines to a writer (one object per line, in
+/// stable field order — two identical runs produce byte-identical
+/// files). This is the input format of the `tracecheck` pipeline.
+pub struct JsonlSink<W: Write + Send> {
+    w: W,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a JSONL trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink {
+            w: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(w: W) -> Self {
+        JsonlSink { w }
+    }
+
+    /// Unwraps the inner writer (flushing is the caller's concern).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, ev: &TraceEvent) {
+        // A full disk is unrecoverable mid-run; drop the event rather
+        // than aborting the simulation.
+        let _ = writeln!(self.w, "{}", ev.to_jsonl());
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, OpClass};
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            node: 1,
+            txn_node: 1,
+            txn_serial: cycle,
+            line: 64,
+            kind: EventKind::RequestIssue {
+                op: OpClass::Read,
+                retry: false,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut s = RingBufferSink::new(3);
+        for c in 0..5 {
+            s.record(&ev(c));
+        }
+        let kept: Vec<u64> = s.snapshot().iter().map(|e| e.cycle).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn shared_buffer_clones_share_storage() {
+        let reader = SharedBufferSink::new();
+        let mut writer = reader.clone();
+        writer.record(&ev(9));
+        assert_eq!(reader.len(), 1);
+        assert_eq!(reader.snapshot()[0].cycle, 9);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&ev(1));
+        sink.record(&ev(2));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let events: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::from_jsonl(l).unwrap())
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].cycle, 2);
+    }
+
+    #[test]
+    fn null_sink_is_a_noop() {
+        let mut s = NullSink;
+        s.record(&ev(1));
+        assert!(s.flush().is_ok());
+    }
+}

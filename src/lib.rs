@@ -8,6 +8,8 @@
 //! - [`coherence`] — the protocol family (Eager, Flexible Snooping,
 //!   **Uncorq**, the HT baseline), the Ordering invariant and the LTT;
 //! - [`system`] — the 64-node CMP machine that runs them;
+//! - [`trace`] — structured coherence-event tracing, sinks, and the
+//!   per-node/per-link metrics registry;
 //! - [`workloads`] — synthetic SPLASH-2 / commercial application profiles;
 //! - [`noc`], [`cache`], [`mem`], [`cpu`], [`sim`], [`stats`] — the
 //!   substrates.
@@ -38,4 +40,5 @@ pub use ring_noc as noc;
 pub use ring_sim as sim;
 pub use ring_stats as stats;
 pub use ring_system as system;
+pub use ring_trace as trace;
 pub use ring_workloads as workloads;

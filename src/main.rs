@@ -3,7 +3,7 @@
 //! ```text
 //! uncorq --app fmm --protocol uncorq [--ops 20000] [--seed 2007]
 //!        [--prefetch] [--dual-rings] [--row-major-ring] [--nodes 8x8]
-//!        [--check-invariants] [--histogram]
+//!        [--check-invariants] [--histogram] [--trace-out FILE]
 //! uncorq --list
 //! ```
 
@@ -26,6 +26,7 @@ struct Args {
     check_invariants: bool,
     histogram: bool,
     trace_line: Option<u64>,
+    trace_out: Option<String>,
     stats_out: Option<String>,
     list: bool,
 }
@@ -44,6 +45,7 @@ impl Default for Args {
             check_invariants: false,
             histogram: false,
             trace_line: None,
+            trace_out: None,
             stats_out: None,
             list: false,
         }
@@ -54,7 +56,7 @@ const USAGE: &str =
     "usage: uncorq [--list] [--app NAME] [--protocol eager|supersetcon|supersetagg|uncorq|ht]
               [--ops N] [--seed N] [--prefetch] [--dual-rings] [--row-major-ring]
               [--nodes WxH] [--check-invariants] [--histogram] [--trace-line N]
-              [--stats-out FILE]";
+              [--trace-out FILE] [--stats-out FILE]";
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     let mut a = Args::default();
@@ -80,6 +82,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--check-invariants" => a.check_invariants = true,
             "--histogram" => a.histogram = true,
             "--stats-out" => a.stats_out = Some(value("--stats-out")?),
+            "--trace-out" => a.trace_out = Some(value("--trace-out")?),
             "--trace-line" => {
                 let v = value("--trace-line")?;
                 let parsed = if let Some(hex) = v.strip_prefix("0x") {
@@ -210,19 +213,41 @@ fn main() -> ExitCode {
         cfg.trace_lines.push(l);
     }
     let report = match kind {
-        Some(_) if args.trace_line.is_some() => {
+        Some(_) => {
             let mut m = Machine::new(cfg, &profile);
-            let r = m.run();
-            let line = uncorq::cache::LineAddr::new(args.trace_line.unwrap());
-            println!("protocol trace for {line}:");
-            for e in m.line_trace(line) {
-                println!("  {e}");
+            if let Some(path) = &args.trace_out {
+                match uncorq::trace::JsonlSink::create(path) {
+                    Ok(sink) => m.set_trace_sink(Box::new(sink)),
+                    Err(e) => {
+                        eprintln!("--trace-out {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
-            println!();
+            let r = m.run();
+            if let Some(l) = args.trace_line {
+                let line = uncorq::cache::LineAddr::new(l);
+                println!("protocol trace for {line}:");
+                for e in m.line_trace(line) {
+                    println!("  {e}");
+                }
+                println!();
+            }
             r
         }
-        Some(_) => Machine::new(cfg, &profile).run(),
-        None => HtMachine::new(cfg, &profile).run(),
+        None => {
+            let mut m = HtMachine::new(cfg, &profile);
+            if let Some(path) = &args.trace_out {
+                match uncorq::trace::JsonlSink::create(path) {
+                    Ok(sink) => m.set_trace_sink(Box::new(sink)),
+                    Err(e) => {
+                        eprintln!("--trace-out {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            m.run()
+        }
     };
     print_report(&args, &report);
     if let Some(path) = &args.stats_out {
@@ -234,6 +259,9 @@ fn main() -> ExitCode {
             .write_stats(std::io::BufWriter::new(file))
             .expect("write stats");
         println!("\nstats written to {path}");
+    }
+    if let Some(path) = &args.trace_out {
+        println!("trace written to {path} (validate with `tracecheck {path}`)");
     }
     if report.finished {
         ExitCode::SUCCESS

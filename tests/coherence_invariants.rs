@@ -320,12 +320,25 @@ fn line_trace_records_protocol_conversation() {
     m.run();
     let trace = m.line_trace(line);
     assert!(!trace.is_empty(), "traced line must record events");
-    assert!(trace.iter().any(|e| e.contains("MCAST R")), "{trace:?}");
+    let rendered: Vec<String> = trace.iter().map(|e| e.to_string()).collect();
     assert!(
-        trace.iter().any(|e| e.contains("SUPPLIERSHIP")),
-        "{trace:?}"
+        rendered.iter().any(|e| e.contains("MCAST R")),
+        "{rendered:?}"
     );
-    assert!(trace.iter().any(|e| e.contains("COMPLETE")), "{trace:?}");
+    assert!(
+        rendered.iter().any(|e| e.contains("SUPPLIERSHIP")),
+        "{rendered:?}"
+    );
+    assert!(
+        rendered.iter().any(|e| e.contains("COMPLETE")),
+        "{rendered:?}"
+    );
+    // The structured form is queryable without string matching, and the
+    // events stay in chronological order.
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e.kind, uncorq::trace::EventKind::Suppliership { .. })));
+    assert!(trace.windows(2).all(|w| w[0].cycle <= w[1].cycle));
     // Untraced lines record nothing.
     assert!(m.line_trace(LineAddr::new(0x78)).is_empty());
 }

@@ -1,0 +1,82 @@
+//! Determinism regression: two runs with the same seed must produce
+//! byte-identical JSONL traces, and the trace must satisfy a JSONL
+//! round-trip (`to_jsonl` then `from_jsonl` reproduces the event).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use uncorq::coherence::ProtocolKind;
+use uncorq::system::{Machine, MachineConfig};
+use uncorq::trace::{SharedBufferSink, TraceEvent};
+use uncorq::workloads::AppProfile;
+
+/// Run the paper machine (scaled down) with a shared-buffer sink and
+/// return the full JSONL rendering of the trace.
+fn traced_run(kind: ProtocolKind, seed: u64) -> String {
+    let mut cfg = MachineConfig::paper(kind);
+    cfg.seed = seed;
+    let app = AppProfile::by_name("fmm").unwrap().scaled(300);
+    let mut m = Machine::new(cfg, &app);
+    let sink = SharedBufferSink::new();
+    m.set_trace_sink(Box::new(sink.clone()));
+    let report = m.run();
+    assert!(report.finished, "run hit the cycle cap");
+    let events = sink.snapshot();
+    assert!(!events.is_empty(), "trace is empty");
+    let mut out = String::new();
+    for ev in &events {
+        out.push_str(&ev.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+fn hash(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_traces() {
+    let a = traced_run(ProtocolKind::Uncorq, 2007);
+    let b = traced_run(ProtocolKind::Uncorq, 2007);
+    assert_eq!(hash(&a), hash(&b), "trace hashes differ between runs");
+    assert_eq!(a, b, "traces are not byte-identical");
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    let a = traced_run(ProtocolKind::Uncorq, 2007);
+    let b = traced_run(ProtocolKind::Uncorq, 2008);
+    assert_ne!(a, b, "different seeds produced the same trace");
+}
+
+#[test]
+fn tracing_is_observational_only() {
+    // A run with a (null) sink installed must behave identically to an
+    // untraced run: event construction may cost time, never cycles.
+    let cfg = || {
+        let mut c = MachineConfig::paper(ProtocolKind::Uncorq);
+        c.seed = 42;
+        c
+    };
+    let app = AppProfile::by_name("fmm").unwrap().scaled(300);
+    let plain = Machine::new(cfg(), &app).run();
+    let mut traced_machine = Machine::new(cfg(), &app);
+    traced_machine.set_trace_sink(Box::new(uncorq::trace::NullSink));
+    let traced = traced_machine.run();
+    assert_eq!(plain.exec_cycles, traced.exec_cycles);
+    assert_eq!(plain.stats.ops_retired, traced.stats.ops_retired);
+    assert_eq!(plain.stats.transactions, traced.stats.transactions);
+    assert_eq!(plain.stats.retries, traced.stats.retries);
+}
+
+#[test]
+fn jsonl_round_trip_preserves_every_event() {
+    let trace = traced_run(ProtocolKind::Uncorq, 7);
+    for line in trace.lines().take(20_000) {
+        let ev = TraceEvent::from_jsonl(line).expect("parse back our own JSONL");
+        assert_eq!(ev.to_jsonl(), line);
+    }
+}

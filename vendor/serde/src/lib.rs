@@ -1,0 +1,21 @@
+//! Offline stub of `serde` (see `vendor/README.md`).
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and derive macros
+//! so that `#[derive(Serialize, Deserialize)]` compiles without a
+//! registry. Nothing in this workspace serializes through serde — all
+//! structured output is hand-written — so the traits are blanket
+//! marker impls and the derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

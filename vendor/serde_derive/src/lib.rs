@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde stub.
+//!
+//! The real serde_derive generates trait impls; here the traits are
+//! blanket-implemented in the `serde` stub, so the derives only need to
+//! exist and accept the usual serde attributes.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
