@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use ring_cache::{CacheArray, CacheConfig, LineAddr, LineState, Mshr};
 use ring_noc::NodeId;
 use ring_sim::{Cycle, DetRng};
-use ring_trace::{EventKind as TraceKind, OpClass, Payload, TraceEvent};
+use ring_trace::{ErrorClass, EventKind as TraceKind, OpClass, Payload, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{ProtocolConfig, ProtocolKind};
@@ -213,6 +213,10 @@ pub struct AgentStats {
     pub starvation_events: u64,
     /// §5.4 prefetches issued.
     pub prefetches_issued: u64,
+    /// Protocol-state errors detected and recovered from (e.g. an MSHR
+    /// or LTT slot missing where the protocol required one). Always 0 in
+    /// a correct run, including runs under in-spec fault injection.
+    pub protocol_errors: u64,
 }
 
 /// Per-collider bookkeeping inside an own transaction.
@@ -299,7 +303,17 @@ pub struct RingAgent {
 impl RingAgent {
     /// Creates the agent for `node` with an empty L2 of geometry
     /// `l2_cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg` fails [`ProtocolConfig::validate`] — agents no
+    /// longer clamp degenerate values at use sites, so construction is
+    /// the last line of defense. Callers wanting a recoverable error
+    /// should validate first.
     pub fn new(node: NodeId, cfg: ProtocolConfig, l2_cfg: CacheConfig, rng: DetRng) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid protocol config for node {}: {e}", node.0);
+        }
         let filter = cfg.kind.uses_filter().then(|| PresenceFilter::new(8192, 2));
         RingAgent {
             node,
@@ -379,6 +393,23 @@ impl RingAgent {
     /// Number of own outstanding transactions.
     pub fn outstanding_count(&self) -> usize {
         self.outstanding.len()
+    }
+
+    /// Lines currently in retry backoff, with their retry counts
+    /// (stall-report introspection).
+    pub fn retry_lines(&self) -> Vec<(LineAddr, u32)> {
+        self.retry_info.iter().map(|(l, i)| (*l, i.count)).collect()
+    }
+
+    /// The line this node is starving on, if the §5.2 forward-progress
+    /// mechanism is engaged.
+    pub fn starving_line(&self) -> Option<LineAddr> {
+        self.starving
+    }
+
+    /// Core requests deferred behind the MSHR/IPTR limits.
+    pub fn pending_core_len(&self) -> usize {
+        self.pending_core.len()
     }
 
     /// Classifies a store against the current L2 state: `None` if it can
@@ -566,9 +597,14 @@ impl RingAgent {
                 prefetch: true,
             });
         }
-        self.outstanding
-            .allocate(line, tx)
-            .expect("can_issue checked capacity");
+        if self.outstanding.allocate(line, tx).is_err() {
+            // can_issue() already checked capacity and the IPTR, so an
+            // allocation failure here means the agent's own bookkeeping
+            // is corrupt (e.g. a duplicated delivery re-entered issue).
+            // Surface it through the trace layer instead of crashing.
+            self.protocol_error(now, txn, line, ErrorClass::MshrOverflow);
+            return;
+        }
         if retries == 0 {
             self.stats.issued += 1;
         }
@@ -999,7 +1035,12 @@ impl RingAgent {
             else {
                 return;
             };
-            let slot = self.ltt.take(line, txn).expect("ready slot exists");
+            let Some(slot) = self.ltt.take(line, txn) else {
+                // entry().ready() just reported this slot; its absence
+                // means LTT state was corrupted mid-drain.
+                self.protocol_error(now, txn, line, ErrorClass::LttSlotMissing);
+                return;
+            };
             tev!(
                 self,
                 now,
@@ -1009,7 +1050,12 @@ impl RingAgent {
                     occupancy: self.ltt.len() as u32,
                 }
             );
-            let mut combined = slot.response.expect("ready implies response");
+            let Some(mut combined) = slot.response else {
+                // ready() requires a buffered response; drop the slot and
+                // surface the inconsistency rather than crash.
+                self.protocol_error(now, txn, line, ErrorClass::LttResponseMissing);
+                return;
+            };
             // Combine the local snoop outcome.
             combined.outcomes += 1;
             if slot.snoop_done && slot.snoop_positive {
@@ -1349,6 +1395,16 @@ impl RingAgent {
         });
     }
 
+    /// Records a recovered protocol-state error: counted in
+    /// [`AgentStats::protocol_errors`] and surfaced as a
+    /// [`TraceKind::ProtocolError`] event so `tracecheck`/`chaoscheck`
+    /// flag the run. These paths replace `expect()`s that a duplicated
+    /// or reordered delivery could otherwise have turned into a crash.
+    fn protocol_error(&mut self, now: Cycle, txn: TxnId, line: LineAddr, error: ErrorClass) {
+        self.stats.protocol_errors += 1;
+        tev!(self, now, txn, line, TraceKind::ProtocolError { error });
+    }
+
     fn fail_txn(&mut self, now: Cycle, line: LineAddr, fx: &mut Vec<Effect>) {
         let Some(tx) = self.outstanding.release(line) else {
             return;
@@ -1388,7 +1444,8 @@ impl RingAgent {
                 }
             );
         }
-        let jitter = self.rng.below(self.cfg.retry_backoff.max(1));
+        // retry_backoff >= 1 is guaranteed by ProtocolConfig::validate.
+        let jitter = self.rng.below(self.cfg.retry_backoff);
         let delay = self.cfg.retry_backoff + jitter;
         tev!(self, now, tx.txn, line, TraceKind::Retry { delay });
         fx.push(Effect::Retry { line, delay });

@@ -121,7 +121,126 @@ impl ProtocolConfig {
             ..Self::paper(ProtocolKind::Uncorq)
         }
     }
+
+    /// Rejects degenerate configurations that would silently break the
+    /// forward-progress machinery (§5.2) or the agent's bookkeeping.
+    ///
+    /// The agent used to clamp some of these at use sites (e.g.
+    /// `retry_backoff.max(1)`), which hid misconfiguration; callers now
+    /// validate up front and get a typed error instead.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_outstanding == 0 {
+            return Err(ConfigError::ZeroMaxOutstanding);
+        }
+        if self.retry_backoff == 0 {
+            return Err(ConfigError::ZeroRetryBackoff);
+        }
+        if self.starvation_threshold == 0 {
+            return Err(ConfigError::ZeroStarvationThreshold);
+        }
+        if self.reservation_cycles == 0 {
+            return Err(ConfigError::ZeroReservationCycles);
+        }
+        if self.snoop_latency == 0 {
+            return Err(ConfigError::ZeroSnoopLatency);
+        }
+        if self.kind.uses_filter() && self.filter_latency == 0 {
+            return Err(ConfigError::ZeroFilterLatency);
+        }
+        if self.ltt.entries == 0 || self.ltt.ways == 0 {
+            return Err(ConfigError::EmptyLtt {
+                entries: self.ltt.entries,
+                ways: self.ltt.ways,
+            });
+        }
+        if self.ltt.ways > self.ltt.entries || !self.ltt.entries.is_multiple_of(self.ltt.ways) {
+            return Err(ConfigError::LttGeometry {
+                entries: self.ltt.entries,
+                ways: self.ltt.ways,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// A degenerate [`ProtocolConfig`] value, detected by
+/// [`ProtocolConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `max_outstanding == 0`: the node could never issue a request.
+    ZeroMaxOutstanding,
+    /// `retry_backoff == 0`: squashed transactions would retry with no
+    /// jitter window, so colliding requesters can livelock in lockstep.
+    ZeroRetryBackoff,
+    /// `starvation_threshold == 0`: every first attempt would claim the
+    /// starvation escape hatch, defeating the §5.2 fairness mechanism.
+    ZeroStarvationThreshold,
+    /// `reservation_cycles == 0`: a starving node's SNID reservation
+    /// would expire immediately, so starvation could never resolve.
+    ZeroReservationCycles,
+    /// `snoop_latency == 0`: an L2 tag access takes at least a cycle.
+    ZeroSnoopLatency,
+    /// `filter_latency == 0` on a filter-based protocol: the filter
+    /// lookup takes at least a cycle.
+    ZeroFilterLatency,
+    /// LTT with zero entries or zero ways can hold no transactions.
+    EmptyLtt {
+        /// Configured total entry count.
+        entries: usize,
+        /// Configured associativity.
+        ways: usize,
+    },
+    /// LTT entry count must be a positive multiple of the way count.
+    LttGeometry {
+        /// Configured total entry count.
+        entries: usize,
+        /// Configured associativity.
+        ways: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroMaxOutstanding => {
+                write!(f, "max_outstanding must be >= 1 (node could never issue)")
+            }
+            ConfigError::ZeroRetryBackoff => write!(
+                f,
+                "retry_backoff must be >= 1 (zero jitter window can livelock colliding retries)"
+            ),
+            ConfigError::ZeroStarvationThreshold => write!(
+                f,
+                "starvation_threshold must be >= 1 (zero would engage the escape hatch on \
+                 every first attempt)"
+            ),
+            ConfigError::ZeroReservationCycles => write!(
+                f,
+                "reservation_cycles must be >= 1 (a reservation expiring immediately cannot \
+                 resolve starvation)"
+            ),
+            ConfigError::ZeroSnoopLatency => {
+                write!(f, "snoop_latency must be >= 1 cycle")
+            }
+            ConfigError::ZeroFilterLatency => {
+                write!(
+                    f,
+                    "filter_latency must be >= 1 cycle on filter-based protocols"
+                )
+            }
+            ConfigError::EmptyLtt { entries, ways } => write!(
+                f,
+                "LTT geometry {entries} entries x {ways} ways holds no transactions"
+            ),
+            ConfigError::LttGeometry { entries, ways } => write!(
+                f,
+                "LTT entries ({entries}) must be a positive multiple of ways ({ways})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -157,5 +276,89 @@ mod tests {
     fn display_names() {
         assert_eq!(ProtocolKind::Uncorq.to_string(), "Uncorq");
         assert_eq!(ProtocolKind::SupersetAgg.to_string(), "SupersetAgg");
+    }
+
+    #[test]
+    fn paper_configs_validate() {
+        for kind in ProtocolKind::ALL {
+            ProtocolConfig::paper(kind).validate().unwrap();
+        }
+        ProtocolConfig::uncorq_pref().validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_values_are_rejected() {
+        let base = ProtocolConfig::paper(ProtocolKind::Uncorq);
+        let cases = [
+            (
+                ProtocolConfig {
+                    retry_backoff: 0,
+                    ..base
+                },
+                ConfigError::ZeroRetryBackoff,
+            ),
+            (
+                ProtocolConfig {
+                    starvation_threshold: 0,
+                    ..base
+                },
+                ConfigError::ZeroStarvationThreshold,
+            ),
+            (
+                ProtocolConfig {
+                    max_outstanding: 0,
+                    ..base
+                },
+                ConfigError::ZeroMaxOutstanding,
+            ),
+            (
+                ProtocolConfig {
+                    reservation_cycles: 0,
+                    ..base
+                },
+                ConfigError::ZeroReservationCycles,
+            ),
+            (
+                ProtocolConfig {
+                    snoop_latency: 0,
+                    ..base
+                },
+                ConfigError::ZeroSnoopLatency,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(), Err(want));
+        }
+    }
+
+    #[test]
+    fn filter_latency_only_checked_for_filter_protocols() {
+        let mut c = ProtocolConfig::paper(ProtocolKind::Uncorq);
+        c.filter_latency = 0;
+        c.validate().unwrap();
+        let mut c = ProtocolConfig::paper(ProtocolKind::SupersetCon);
+        c.filter_latency = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroFilterLatency));
+    }
+
+    #[test]
+    fn ltt_geometry_is_checked() {
+        let mut c = ProtocolConfig::paper(ProtocolKind::Eager);
+        c.ltt.entries = 0;
+        assert!(matches!(c.validate(), Err(ConfigError::EmptyLtt { .. })));
+        let mut c = ProtocolConfig::paper(ProtocolKind::Eager);
+        c.ltt.entries = 100;
+        c.ltt.ways = 64;
+        assert!(matches!(c.validate(), Err(ConfigError::LttGeometry { .. })));
+    }
+
+    #[test]
+    fn config_error_display_is_actionable() {
+        assert!(ConfigError::ZeroRetryBackoff
+            .to_string()
+            .contains("retry_backoff"));
+        assert!(ConfigError::ZeroStarvationThreshold
+            .to_string()
+            .contains("starvation_threshold"));
     }
 }

@@ -57,7 +57,7 @@ pub mod npp;
 pub mod txn;
 
 pub use agent::{AgentInput, AgentStats, Effect, RingAgent};
-pub use config::{ProtocolConfig, ProtocolKind};
+pub use config::{ConfigError, ProtocolConfig, ProtocolKind};
 pub use filter::PresenceFilter;
 pub use ltt::{Ltt, LttConfig};
 pub use msg::{RequestMsg, ResponseMsg, RingMsg, SupplierMsg, CONTROL_BYTES, DATA_BYTES};

@@ -1,0 +1,373 @@
+//! Deterministic fault injection for the network model.
+//!
+//! The Uncorq protocols claim correctness under *any* delivery schedule
+//! the network can legally produce (PAPER §4–5): snoop requests may race,
+//! responses may be delayed arbitrarily, and suppliership transfers may
+//! cross other traffic in flight. This module perturbs delivery — extra
+//! per-link latency jitter, transient link congestion bursts, bounded
+//! extra delay ("reordering") of non-ring messages, and duplicated
+//! point-to-point deliveries — to drive the recovery machinery (retry
+//! backoff, squash marks, SNID starvation interception) through schedules
+//! a well-behaved torus never produces.
+//!
+//! Everything is driven by the in-tree deterministic RNG: a
+//! [`FaultPlan`] (profile + seed) fully reproduces a chaos run, byte for
+//! byte.
+//!
+//! # In-spec vs out-of-scope faults
+//!
+//! The embedded ring is a *reliable, FIFO* transport by construction; the
+//! protocols are not designed to survive lost, corrupted, duplicated, or
+//! reordered **ring** messages. Injected faults therefore only perturb
+//! what the paper's network model legitimately allows:
+//!
+//! - **Jitter / congestion** delay messages *through the link-occupancy
+//!   chain*, so per-link, per-channel FIFO order is preserved (a message
+//!   can never overtake an earlier one on the same link) — the ring stays
+//!   a ring, it just gets slower and burstier.
+//! - **Reordering** (extra delivery delay) applies only to messages that
+//!   are unordered by design: Uncorq's multicast `R` deliveries and
+//!   direct suppliership transfers.
+//! - **Duplication** applies only to idempotent point-to-point
+//!   deliveries (suppliership and memory completions, which the agents
+//!   de-duplicate by transaction identity); duplicating a ring message
+//!   would fabricate protocol state and is out of scope.
+
+use ring_sim::{Cycle, DetRng};
+use serde::{Deserialize, Serialize};
+
+/// The class of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Extra per-message latency on a link.
+    Jitter,
+    /// Extra delivery delay for an unordered (non-ring) message.
+    Reorder,
+    /// A duplicated point-to-point delivery.
+    Duplicate,
+    /// A transient busy burst on the links of a route.
+    Congestion,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultKind::Jitter => "jitter",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Congestion => "congestion",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One concrete injected fault, attached to the delivery it perturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// Extra cycles the fault added (burst length for congestion).
+    pub delay: Cycle,
+}
+
+/// Probabilities and magnitudes of each fault class.
+///
+/// All probabilities are per delivery (per multicast tree edge for
+/// multicasts). A magnitude of zero disables the class regardless of its
+/// probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Probability of extra latency on a delivery.
+    pub jitter_prob: f64,
+    /// Maximum extra latency cycles (uniform in `1..=jitter_max`).
+    pub jitter_max: Cycle,
+    /// Probability of extra delivery delay for non-ring messages.
+    pub reorder_prob: f64,
+    /// Maximum reorder delay cycles (uniform in `1..=reorder_max`).
+    pub reorder_max: Cycle,
+    /// Probability of duplicating an idempotent delivery.
+    pub duplicate_prob: f64,
+    /// Maximum extra delay of the duplicate copy (uniform in
+    /// `1..=duplicate_delay_max`).
+    pub duplicate_delay_max: Cycle,
+    /// Probability of a congestion burst on a route.
+    pub congestion_prob: f64,
+    /// Cycles each affected link stays busy during a burst.
+    pub congestion_cycles: Cycle,
+}
+
+impl FaultProfile {
+    /// No faults at all (the well-behaved baseline).
+    pub fn none() -> Self {
+        FaultProfile {
+            jitter_prob: 0.0,
+            jitter_max: 0,
+            reorder_prob: 0.0,
+            reorder_max: 0,
+            duplicate_prob: 0.0,
+            duplicate_delay_max: 0,
+            congestion_prob: 0.0,
+            congestion_cycles: 0,
+        }
+    }
+
+    /// Latency jitter only.
+    pub fn jitter() -> Self {
+        FaultProfile {
+            jitter_prob: 0.25,
+            jitter_max: 24,
+            ..Self::none()
+        }
+    }
+
+    /// Reordering (extra delay) of non-ring messages only.
+    pub fn reorder() -> Self {
+        FaultProfile {
+            reorder_prob: 0.30,
+            reorder_max: 96,
+            ..Self::none()
+        }
+    }
+
+    /// Duplicated idempotent deliveries only.
+    pub fn duplicate() -> Self {
+        FaultProfile {
+            duplicate_prob: 0.25,
+            duplicate_delay_max: 48,
+            ..Self::none()
+        }
+    }
+
+    /// Transient link congestion bursts only.
+    pub fn congestion() -> Self {
+        FaultProfile {
+            congestion_prob: 0.05,
+            congestion_cycles: 64,
+            ..Self::none()
+        }
+    }
+
+    /// Every fault class at once.
+    pub fn chaos() -> Self {
+        FaultProfile {
+            jitter_prob: 0.20,
+            jitter_max: 24,
+            reorder_prob: 0.20,
+            reorder_max: 96,
+            duplicate_prob: 0.15,
+            duplicate_delay_max: 48,
+            congestion_prob: 0.04,
+            congestion_cycles: 64,
+        }
+    }
+
+    /// The named profiles, in sweep order.
+    pub fn named() -> Vec<(&'static str, FaultProfile)> {
+        vec![
+            ("none", Self::none()),
+            ("jitter", Self::jitter()),
+            ("reorder", Self::reorder()),
+            ("duplicate", Self::duplicate()),
+            ("congestion", Self::congestion()),
+            ("chaos", Self::chaos()),
+        ]
+    }
+
+    /// Looks a profile up by its sweep name.
+    pub fn by_name(name: &str) -> Option<FaultProfile> {
+        Self::named()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, p)| p)
+    }
+
+    /// Whether this profile can ever inject anything.
+    pub fn is_nop(&self) -> bool {
+        (self.jitter_prob <= 0.0 || self.jitter_max == 0)
+            && (self.reorder_prob <= 0.0 || self.reorder_max == 0)
+            && (self.duplicate_prob <= 0.0)
+            && (self.congestion_prob <= 0.0 || self.congestion_cycles == 0)
+    }
+}
+
+/// A reproducible fault-injection recipe: a profile plus the seed of the
+/// injector's RNG stream. Two runs with the same machine configuration
+/// and the same plan are byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// What to inject, and how often.
+    pub profile: FaultProfile,
+    /// Seed of the injector's deterministic RNG.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan over `profile` with the given seed.
+    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+        FaultPlan { profile, seed }
+    }
+}
+
+/// Counters of what was actually injected during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Jitter faults injected.
+    pub jitters: u64,
+    /// Reorder delays injected.
+    pub reorders: u64,
+    /// Deliveries duplicated.
+    pub duplicates: u64,
+    /// Congestion bursts injected.
+    pub congestions: u64,
+}
+
+impl FaultStats {
+    /// Total faults of all classes.
+    pub fn total(&self) -> u64 {
+        self.jitters + self.reorders + self.duplicates + self.congestions
+    }
+}
+
+/// The runtime fault source: draws each fault decision from its own
+/// deterministic RNG stream so the workload and protocol tiebreak
+/// streams are unperturbed by chaos mode.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    rng: DetRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Builds the injector for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            profile: plan.profile,
+            rng: DetRng::seed(plan.seed ^ 0xFA17_FA17),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The profile this injector draws from.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// What was injected so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    fn draw(&mut self, prob: f64, max: Cycle) -> Option<Cycle> {
+        if prob <= 0.0 || max == 0 {
+            return None;
+        }
+        if !self.rng.chance(prob) {
+            return None;
+        }
+        Some(1 + self.rng.below(max))
+    }
+
+    /// Extra latency for one delivery, if a jitter fault fires.
+    pub fn jitter(&mut self) -> Option<Cycle> {
+        let d = self.draw(self.profile.jitter_prob, self.profile.jitter_max)?;
+        self.stats.jitters += 1;
+        Some(d)
+    }
+
+    /// Busy-burst length for a route's links, if a congestion fault
+    /// fires.
+    pub fn congestion(&mut self) -> Option<Cycle> {
+        if self.profile.congestion_prob <= 0.0 || self.profile.congestion_cycles == 0 {
+            return None;
+        }
+        if !self.rng.chance(self.profile.congestion_prob) {
+            return None;
+        }
+        self.stats.congestions += 1;
+        Some(self.profile.congestion_cycles)
+    }
+
+    /// Extra delivery delay for an unordered (non-ring) message, if a
+    /// reorder fault fires.
+    pub fn reorder(&mut self) -> Option<Cycle> {
+        let d = self.draw(self.profile.reorder_prob, self.profile.reorder_max)?;
+        self.stats.reorders += 1;
+        Some(d)
+    }
+
+    /// Extra delay of a duplicated copy of an idempotent delivery, if a
+    /// duplication fault fires.
+    pub fn duplicate(&mut self) -> Option<Cycle> {
+        if self.profile.duplicate_prob <= 0.0 {
+            return None;
+        }
+        if !self.rng.chance(self.profile.duplicate_prob) {
+            return None;
+        }
+        self.stats.duplicates += 1;
+        Some(1 + self.rng.below(self.profile.duplicate_delay_max.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_profiles_resolve() {
+        for (name, p) in FaultProfile::named() {
+            assert_eq!(FaultProfile::by_name(name), Some(p));
+        }
+        assert!(FaultProfile::by_name("nope").is_none());
+        assert!(FaultProfile::none().is_nop());
+        assert!(!FaultProfile::chaos().is_nop());
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let plan = FaultPlan::new(FaultProfile::chaos(), 42);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..500 {
+            assert_eq!(a.jitter(), b.jitter());
+            assert_eq!(a.reorder(), b.reorder());
+            assert_eq!(a.duplicate(), b.duplicate());
+            assert_eq!(a.congestion(), b.congestion());
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().total() > 0, "chaos profile must inject something");
+    }
+
+    #[test]
+    fn none_profile_never_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::new(FaultProfile::none(), 7));
+        for _ in 0..200 {
+            assert_eq!(inj.jitter(), None);
+            assert_eq!(inj.reorder(), None);
+            assert_eq!(inj.duplicate(), None);
+            assert_eq!(inj.congestion(), None);
+        }
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn magnitudes_respect_bounds() {
+        let mut inj = FaultInjector::new(FaultPlan::new(FaultProfile::chaos(), 9));
+        let p = *inj.profile();
+        for _ in 0..2000 {
+            if let Some(d) = inj.jitter() {
+                assert!((1..=p.jitter_max).contains(&d));
+            }
+            if let Some(d) = inj.reorder() {
+                assert!((1..=p.reorder_max).contains(&d));
+            }
+            if let Some(d) = inj.duplicate() {
+                assert!((1..=p.duplicate_delay_max).contains(&d));
+            }
+            if let Some(d) = inj.congestion() {
+                assert_eq!(d, p.congestion_cycles);
+            }
+        }
+    }
+}

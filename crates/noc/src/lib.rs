@@ -27,11 +27,13 @@
 
 #![warn(missing_docs)]
 
+mod fault;
 mod multicast;
 mod network;
 mod ring;
 mod topology;
 
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultProfile, FaultStats, InjectedFault};
 pub use multicast::multicast_tree;
 pub use network::{Channel, Delivery, LinkTraffic, Network, NetworkConfig};
 pub use ring::RingEmbedding;

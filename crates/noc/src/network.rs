@@ -3,6 +3,7 @@
 use ring_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultStats, InjectedFault};
 use crate::multicast::multicast_tree;
 use crate::topology::{NodeId, Torus};
 
@@ -70,6 +71,10 @@ pub struct Delivery {
     pub arrival: Cycle,
     /// Number of links traversed.
     pub hops: u64,
+    /// The fault injected into this delivery, if chaos mode perturbed it
+    /// (so the machine can trace injected faults next to protocol
+    /// events).
+    pub fault: Option<InjectedFault>,
 }
 
 /// The network timing model. Owns per-link occupancy state.
@@ -100,6 +105,8 @@ pub struct Network {
     /// indexed like `free_at[_]` by physical link.
     link_traffic: Vec<LinkTraffic>,
     messages_sent: u64,
+    /// Installed by chaos mode; `None` in normal runs.
+    faults: Option<FaultInjector>,
 }
 
 /// Messages and bytes that crossed one physical link, for hotspot
@@ -131,7 +138,39 @@ impl Network {
             free_at: vec![vec![0; links]; Channel::COUNT],
             link_traffic: vec![LinkTraffic::default(); links],
             messages_sent: 0,
+            faults: None,
         }
+    }
+
+    /// Arms deterministic fault injection over `plan`. Jitter and
+    /// congestion faults are applied *through the link-occupancy chain*,
+    /// which preserves per-link, per-channel FIFO order (a later message
+    /// can never overtake an earlier one on the same link) — so the
+    /// embedded ring's ordering guarantee survives injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`NetworkConfig::model_contention`] is on: without
+    /// the occupancy chain, jitter could reorder same-link messages and
+    /// inject out-of-spec faults into the ring.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            self.cfg.model_contention,
+            "fault injection requires contention modeling (ring FIFO safety)"
+        );
+        self.faults = Some(FaultInjector::new(plan));
+    }
+
+    /// Mutable access to the fault injector, for the machine layer to
+    /// draw reorder/duplication decisions on non-ring deliveries.
+    pub fn faults_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.faults.as_mut()
+    }
+
+    /// What the injector has injected so far (zero when chaos mode is
+    /// off).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| *f.stats()).unwrap_or_default()
     }
 
     /// The underlying topology.
@@ -177,12 +216,45 @@ impl Network {
                 to,
                 arrival: now,
                 hops: 0,
+                fault: None,
             };
         }
         let ser = self.serialization(bytes);
         let route = self.torus.route(from, to);
+        // Chaos mode: jitter delays this message's injection; a
+        // congestion burst keeps every link of the route busy for a
+        // while. Both act through the occupancy chain below, so same-link
+        // FIFO order is preserved.
+        let mut fault = None;
+        if let Some(inj) = self.faults.as_mut() {
+            if let Some(jit) = inj.jitter() {
+                fault = Some(InjectedFault {
+                    kind: FaultKind::Jitter,
+                    delay: jit,
+                });
+            }
+            if let Some(burst) = inj.congestion() {
+                let free_at = &mut self.free_at[ch.index()];
+                for link in &route {
+                    free_at[link.0] = free_at[link.0].max(now) + burst;
+                }
+                if fault.is_none() {
+                    fault = Some(InjectedFault {
+                        kind: FaultKind::Congestion,
+                        delay: burst,
+                    });
+                }
+            }
+        }
+        let jitter = match fault {
+            Some(InjectedFault {
+                kind: FaultKind::Jitter,
+                delay,
+            }) => delay,
+            _ => 0,
+        };
         let free_at = &mut self.free_at[ch.index()];
-        let mut t = now;
+        let mut t = now + jitter;
         for link in &route {
             self.link_traffic[link.0].messages += 1;
             self.link_traffic[link.0].bytes += bytes;
@@ -198,6 +270,7 @@ impl Network {
             to,
             arrival: t + ser,
             hops: route.len() as u64,
+            fault,
         }
     }
 
@@ -225,7 +298,6 @@ impl Network {
         self.messages_sent += 1;
         let ser = self.serialization(bytes);
         let edges = multicast_tree(&self.torus, root);
-        let free_at = &mut self.free_at[ch.index()];
         // Arrival time at each node, filled in BFS order (edges are already
         // topologically ordered root-outward by construction).
         let mut arrive: Vec<Option<Cycle>> = vec![None; self.torus.nodes()];
@@ -235,18 +307,50 @@ impl Network {
             let t0 = arrive[e.from.0].expect("multicast edges must be topologically ordered");
             self.link_traffic[e.link.0].messages += 1;
             self.link_traffic[e.link.0].bytes += bytes;
+            // Chaos mode, per tree edge: jitter delays the hop, a
+            // congestion burst keeps the edge's link busy (delaying this
+            // and subsequent traffic). Multicast deliveries are unordered
+            // by design, so any perturbation here is in-spec.
+            let mut fault = None;
+            if let Some(inj) = self.faults.as_mut() {
+                if let Some(jit) = inj.jitter() {
+                    fault = Some(InjectedFault {
+                        kind: FaultKind::Jitter,
+                        delay: jit,
+                    });
+                }
+                if let Some(burst) = inj.congestion() {
+                    self.free_at[ch.index()][e.link.0] =
+                        self.free_at[ch.index()][e.link.0].max(t0) + burst;
+                    if fault.is_none() {
+                        fault = Some(InjectedFault {
+                            kind: FaultKind::Congestion,
+                            delay: burst,
+                        });
+                    }
+                }
+            }
+            let jitter = match fault {
+                Some(InjectedFault {
+                    kind: FaultKind::Jitter,
+                    delay,
+                }) => delay,
+                _ => 0,
+            };
+            let free_at = &mut self.free_at[ch.index()];
             let t = if self.cfg.model_contention {
-                let depart = t0.max(free_at[e.link.0]);
+                let depart = (t0 + jitter).max(free_at[e.link.0]);
                 free_at[e.link.0] = depart + ser;
                 depart + self.cfg.hop_cycles
             } else {
-                t0 + self.cfg.hop_cycles
+                t0 + jitter + self.cfg.hop_cycles
             };
             arrive[e.to.0] = Some(t);
             deliveries.push(Delivery {
                 to: e.to,
                 arrival: t + ser,
                 hops: 1,
+                fault,
             });
         }
         deliveries
@@ -371,5 +475,95 @@ mod tests {
         n.unicast(0, NodeId(0), NodeId(1), 8, CH);
         n.multicast(0, NodeId(0), 8, CH);
         assert_eq!(n.messages_sent(), 2);
+    }
+
+    fn chaos_net(seed: u64) -> Network {
+        let mut n = net();
+        n.set_fault_plan(crate::fault::FaultPlan::new(
+            crate::fault::FaultProfile::chaos(),
+            seed,
+        ));
+        n
+    }
+
+    #[test]
+    fn faults_never_accelerate_delivery() {
+        let mut clean = net();
+        let mut dirty = chaos_net(1);
+        for i in 0..200u64 {
+            let from = NodeId((i % 64) as usize);
+            let to = NodeId(((i * 13 + 7) % 64) as usize);
+            let a = clean.unicast(i * 10, from, to, 72, CH);
+            let b = dirty.unicast(i * 10, from, to, 72, CH);
+            assert!(
+                b.arrival >= a.arrival,
+                "fault injection made a delivery faster: {} < {}",
+                b.arrival,
+                a.arrival
+            );
+        }
+    }
+
+    #[test]
+    fn faults_preserve_same_link_fifo() {
+        // Messages injected in time order on one link must arrive in
+        // order even under heavy jitter/congestion — the ring's FIFO
+        // guarantee. (Same-cycle sends tie-break FIFO in the event
+        // queue, so equality is fine.)
+        for seed in 0..20u64 {
+            let mut n = chaos_net(seed);
+            let mut last = 0;
+            for i in 0..100u64 {
+                let d = n.unicast(i, NodeId(0), NodeId(1), 8, CH);
+                assert!(
+                    d.arrival >= last,
+                    "seed {seed}: delivery {i} overtook its predecessor"
+                );
+                last = d.arrival;
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_annotated() {
+        let mut a = chaos_net(3);
+        let mut b = chaos_net(3);
+        let mut faults = 0;
+        for i in 0..300u64 {
+            let da = a.unicast(i * 3, NodeId(0), NodeId(9), 72, CH);
+            let db = b.unicast(i * 3, NodeId(0), NodeId(9), 72, CH);
+            assert_eq!(da, db);
+            if da.fault.is_some() {
+                faults += 1;
+            }
+        }
+        assert!(faults > 0, "chaos profile should annotate some deliveries");
+        assert_eq!(a.fault_stats(), b.fault_stats());
+        assert!(a.fault_stats().total() >= faults);
+    }
+
+    #[test]
+    fn multicast_faults_are_annotated() {
+        let mut n = chaos_net(5);
+        let mut faulted = 0;
+        for i in 0..20u64 {
+            let ds = n.multicast(i * 100, NodeId(0), 8, CH);
+            faulted += ds.iter().filter(|d| d.fault.is_some()).count();
+        }
+        assert!(faulted > 0, "multicast edges should see injected faults");
+    }
+
+    #[test]
+    #[should_panic(expected = "contention modeling")]
+    fn fault_plan_requires_contention_model() {
+        let cfg = NetworkConfig {
+            model_contention: false,
+            ..NetworkConfig::default()
+        };
+        let mut n = Network::new(Torus::new(4, 4), cfg);
+        n.set_fault_plan(crate::fault::FaultPlan::new(
+            crate::fault::FaultProfile::jitter(),
+            0,
+        ));
     }
 }

@@ -34,9 +34,11 @@
 
 mod queue;
 mod rng;
+mod watchdog;
 
 pub use queue::EventQueue;
 pub use rng::DetRng;
+pub use watchdog::Watchdog;
 
 /// Simulation time, in processor cycles (4 GHz in the paper's Table 3).
 pub type Cycle = u64;

@@ -1,0 +1,103 @@
+//! Forward-progress watchdog for the discrete-event simulation loop.
+//!
+//! A correct configuration of the embedded-ring protocols always makes
+//! forward progress: starvation detection plus reservations bound how
+//! long a transaction can lose collisions, so some requester completes
+//! (or at least binds a new request) within a bounded window. The
+//! [`Watchdog`] encodes that liveness assumption operationally — the
+//! driving loop reports each progress milestone, and the watchdog trips
+//! when too many cycles elapse without one, letting the machine abort
+//! with a structured stall report instead of spinning to its cycle cap.
+
+use crate::Cycle;
+
+/// Tracks the last cycle at which the simulation made forward progress
+/// and trips once `threshold` cycles pass without any.
+///
+/// A `threshold` of 0 disables the watchdog entirely.
+///
+/// # Examples
+///
+/// ```
+/// use ring_sim::Watchdog;
+///
+/// let mut wd = Watchdog::new(100);
+/// wd.progress(40);
+/// assert!(!wd.expired(140));
+/// assert!(wd.expired(141));
+/// assert_eq!(wd.last_progress(), 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    threshold: Cycle,
+    last_progress: Cycle,
+}
+
+impl Watchdog {
+    /// A watchdog that trips after `threshold` cycles without progress
+    /// (0 disables it).
+    pub fn new(threshold: Cycle) -> Self {
+        Self {
+            threshold,
+            last_progress: 0,
+        }
+    }
+
+    /// Records a progress milestone at cycle `now`. Milestones may
+    /// arrive out of order (event handlers fire at their scheduled
+    /// times); the watchdog keeps the latest.
+    pub fn progress(&mut self, now: Cycle) {
+        self.last_progress = self.last_progress.max(now);
+    }
+
+    /// Whether more than the threshold has elapsed since the last
+    /// progress milestone. Never trips when disabled.
+    pub fn expired(&self, now: Cycle) -> bool {
+        self.threshold > 0 && now > self.last_progress.saturating_add(self.threshold)
+    }
+
+    /// The configured no-progress threshold (0 = disabled).
+    pub fn threshold(&self) -> Cycle {
+        self.threshold
+    }
+
+    /// The cycle of the most recent progress milestone.
+    pub fn last_progress(&self) -> Cycle {
+        self.last_progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_watchdog_never_expires() {
+        let wd = Watchdog::new(0);
+        assert!(!wd.expired(u64::MAX));
+    }
+
+    #[test]
+    fn expires_only_past_threshold() {
+        let mut wd = Watchdog::new(50);
+        wd.progress(100);
+        assert!(!wd.expired(150));
+        assert!(wd.expired(151));
+    }
+
+    #[test]
+    fn out_of_order_progress_keeps_latest() {
+        let mut wd = Watchdog::new(50);
+        wd.progress(100);
+        wd.progress(60);
+        assert_eq!(wd.last_progress(), 100);
+        assert!(!wd.expired(150));
+    }
+
+    #[test]
+    fn no_overflow_near_max() {
+        let mut wd = Watchdog::new(Cycle::MAX);
+        wd.progress(10);
+        assert!(!wd.expired(Cycle::MAX));
+    }
+}

@@ -3,7 +3,7 @@
 use ring_cache::CacheConfig;
 use ring_coherence::{ProtocolConfig, ProtocolKind};
 use ring_mem::MemConfig;
-use ring_noc::NetworkConfig;
+use ring_noc::{FaultPlan, NetworkConfig};
 use ring_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +51,13 @@ pub struct MachineConfig {
     /// [`crate::Machine::line_trace`]). Invariant checking implies
     /// tracing of every line.
     pub trace_lines: Vec<u64>,
+    /// Deterministic fault-injection plan (`None` = faults off). See
+    /// [`ring_noc::FaultProfile`] for the fault taxonomy. Requires
+    /// [`NetworkConfig::model_contention`].
+    pub faults: Option<FaultPlan>,
+    /// Forward-progress watchdog: abort with a stall report when this
+    /// many cycles pass without any node making progress (0 = disabled).
+    pub watchdog_cycles: Cycle,
 }
 
 impl MachineConfig {
@@ -83,15 +90,20 @@ impl MachineConfig {
             max_cycles: 2_000_000_000,
             check_invariants: false,
             trace_lines: Vec::new(),
+            faults: None,
+            watchdog_cycles: 0,
         }
     }
 
-    /// A 4×4 machine for fast tests.
+    /// A 4×4 machine for fast tests. The forward-progress watchdog is
+    /// armed generously so a protocol bug stalls a test with a report
+    /// instead of spinning to the cycle cap.
     pub fn small_test(kind: ProtocolKind) -> Self {
         MachineConfig {
             width: 4,
             height: 4,
             max_cycles: 50_000_000,
+            watchdog_cycles: 2_000_000,
             ..Self::paper(kind)
         }
     }

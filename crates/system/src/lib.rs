@@ -31,9 +31,11 @@
 mod config;
 mod ht_machine;
 mod machine;
+mod stall;
 mod stats;
 
 pub use config::MachineConfig;
 pub use ht_machine::HtMachine;
 pub use machine::{run_paper, Machine};
+pub use stall::{NodeStallState, StallCause, StallReport};
 pub use stats::{MachineStats, Report};

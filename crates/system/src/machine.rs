@@ -1,17 +1,19 @@
 //! The ring-protocol machine: event loop and effect execution.
 
 use ring_cache::LineAddr;
-use ring_coherence::{AgentInput, Effect, ProtocolKind, RingAgent, TxnKind, CONTROL_BYTES};
+use ring_coherence::{AgentInput, Effect, ProtocolKind, RingAgent, TxnId, TxnKind, CONTROL_BYTES};
 use ring_cpu::{Core, L2View, NextStep};
 use ring_mem::{ControllerPrefetchPredictor, MemoryController, PrefetchBuffer};
-use ring_noc::{Channel, Network, NodeId, RingEmbedding, Torus};
-use ring_sim::{Cycle, DetRng, EventQueue};
+use ring_noc::{Channel, FaultKind, InjectedFault, Network, NodeId, RingEmbedding, Torus};
+use ring_sim::{Cycle, DetRng, EventQueue, Watchdog};
 use ring_trace::{
-    EventKind as TraceKind, LinkMetrics, MetricsRegistry, OpClass, Payload, TraceEvent, TraceSink,
+    EventKind as TraceKind, FaultClass, LinkMetrics, MetricsRegistry, OpClass, Payload, TraceEvent,
+    TraceSink,
 };
 use ring_workloads::{AppProfile, WorkloadGen};
 
 use crate::config::MachineConfig;
+use crate::stall::{NodeStallState, StallCause, StallReport};
 use crate::stats::{MachineStats, Report};
 
 /// Maps a protocol transaction kind onto the trace-layer operation
@@ -23,6 +25,19 @@ fn op_class(kind: TxnKind) -> OpClass {
         TxnKind::WriteHit => OpClass::WriteHit,
     }
 }
+
+/// Maps a network-layer fault kind onto the trace-layer fault class.
+fn fault_class(kind: FaultKind) -> FaultClass {
+    match kind {
+        FaultKind::Jitter => FaultClass::Jitter,
+        FaultKind::Reorder => FaultClass::Reorder,
+        FaultKind::Duplicate => FaultClass::Duplicate,
+        FaultKind::Congestion => FaultClass::Congestion,
+    }
+}
+
+/// Trace events kept for post-mortem stall reports.
+const RECENT_EVENTS: usize = 64;
 
 /// Timestamps of one in-flight read attempt, keyed by
 /// `(requester node, line)`, from which the Figure-5 latency anatomy is
@@ -77,6 +92,10 @@ pub struct Machine {
     sink: Option<Box<dyn TraceSink>>,
     /// Whether any consumer (sink or per-line trace) wants events.
     trace_enabled: bool,
+    /// Forward-progress watchdog (disabled when the threshold is 0).
+    watchdog: Watchdog,
+    /// Last [`RECENT_EVENTS`] trace events, for stall reports.
+    recent: std::collections::VecDeque<TraceEvent>,
 }
 
 impl Machine {
@@ -130,7 +149,10 @@ impl Machine {
             let rev = rings[0].reversed();
             rings.push(rev);
         }
-        let net = Network::new(torus, cfg.net);
+        let mut net = Network::new(torus, cfg.net);
+        if let Some(plan) = cfg.faults {
+            net.set_fault_plan(plan);
+        }
         let mut root_rng = DetRng::seed(cfg.seed ^ 0x5EED);
         let mut cores = Vec::with_capacity(nodes);
         let mut agents = Vec::with_capacity(nodes);
@@ -157,6 +179,7 @@ impl Machine {
                 a.set_tracing(true);
             }
         }
+        let watchdog = Watchdog::new(cfg.watchdog_cycles);
         Machine {
             mem: MemoryController::new(cfg.mem),
             cpp,
@@ -174,6 +197,8 @@ impl Machine {
             trace: std::collections::BTreeMap::new(),
             sink: None,
             trace_enabled,
+            watchdog,
+            recent: std::collections::VecDeque::new(),
         }
     }
 
@@ -204,15 +229,46 @@ impl Machine {
     /// Runs to completion (or the configured cycle cap) and reports.
     /// The machine can be inspected afterwards (e.g. cache states, agent
     /// counters).
+    ///
+    /// Forward-progress failures (see [`Machine::try_run`]) print their
+    /// [`StallReport`] to stderr and yield a report with
+    /// `finished = false`.
     pub fn run(&mut self) -> Report {
+        match self.try_run() {
+            Ok(r) => r,
+            Err(stall) => {
+                eprintln!("{stall}");
+                self.report()
+            }
+        }
+    }
+
+    /// Runs to completion (or the configured cycle cap), terminating
+    /// with a structured [`StallReport`] when the forward-progress
+    /// watchdog expires ([`MachineConfig::watchdog_cycles`] without a
+    /// completion, binding, or core step) or the event queue drains
+    /// while cores are still unfinished (a protocol deadlock: nothing
+    /// scheduled can ever unblock them).
+    ///
+    /// Hitting the `max_cycles` cap is not a stall: like before, the run
+    /// stops and reports with `finished = false`.
+    pub fn try_run(&mut self) -> Result<Report, Box<StallReport>> {
         let cap = if self.cfg.max_cycles == 0 {
             Cycle::MAX
         } else {
             self.cfg.max_cycles
         };
+        let mut capped = false;
         while let Some((t, ev)) = self.queue.pop() {
             if t > cap {
+                capped = true;
                 break;
+            }
+            if self.watchdog.expired(t) {
+                if let Some(s) = self.sink.as_mut() {
+                    let _ = s.flush();
+                }
+                return Err(Box::new(self.stall_report(StallCause::WatchdogExpired, t)));
             }
             match ev {
                 Ev::Resume(n) => self.resume(t, n),
@@ -231,7 +287,50 @@ impl Machine {
         if let Some(s) = self.sink.as_mut() {
             let _ = s.flush();
         }
-        self.report()
+        let report = self.report();
+        if !capped && !report.finished {
+            let now = self.queue.now();
+            return Err(Box::new(self.stall_report(StallCause::QueueDrained, now)));
+        }
+        Ok(report)
+    }
+
+    /// Snapshots the machine for a forward-progress failure at `now`.
+    fn stall_report(&self, cause: StallCause, now: Cycle) -> StallReport {
+        let nodes = self
+            .agents
+            .iter()
+            .enumerate()
+            .map(|(n, a)| NodeStallState {
+                node: n as u32,
+                finished: self.finish_time[n].is_some(),
+                ltt_occupancy: a.ltt().len(),
+                outstanding: a.outstanding_count(),
+                pending_core: a.pending_core_len(),
+                retrying: a
+                    .retry_lines()
+                    .into_iter()
+                    .map(|(l, c)| (l.raw(), c))
+                    .collect(),
+                starving_on: a.starving_line().map(|l| l.raw()),
+            })
+            .collect();
+        StallReport {
+            cause,
+            detected_at: now,
+            last_progress: self.watchdog.last_progress(),
+            threshold: self.watchdog.threshold(),
+            unfinished_nodes: self
+                .finish_time
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.is_none())
+                .map(|(n, _)| n as u32)
+                .collect(),
+            completed_transactions: self.agents.iter().map(|a| a.stats().completed).sum(),
+            nodes,
+            recent_events: self.recent.iter().cloned().collect(),
+        }
     }
 
     /// Moves the events the agent emitted during its last `handle` into
@@ -246,16 +345,39 @@ impl Machine {
         }
     }
 
-    /// Routes one trace event to the sink and, for selected lines, the
-    /// per-line trace.
+    /// Routes one trace event to the sink, the stall-report ring buffer,
+    /// and, for selected lines, the per-line trace.
     fn emit(&mut self, ev: TraceEvent) {
         if let Some(s) = self.sink.as_mut() {
             s.record(&ev);
         }
+        if self.recent.len() == RECENT_EVENTS {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(ev);
         let line = LineAddr::new(ev.line);
         if self.tracing(line) {
             self.trace.entry(line).or_default().push(ev);
         }
+    }
+
+    /// Emits a [`TraceKind::FaultInjected`] event for an injected fault
+    /// affecting a delivery of `txn` / `line` departing node `n`.
+    fn emit_fault(&mut self, t: Cycle, n: usize, txn: TxnId, line: u64, fault: InjectedFault) {
+        if !self.trace_enabled {
+            return;
+        }
+        self.emit(TraceEvent {
+            cycle: t,
+            node: n as u32,
+            txn_node: txn.node.0 as u32,
+            txn_serial: txn.serial,
+            line,
+            kind: TraceKind::FaultInjected {
+                fault: fault_class(fault.kind),
+                delay: fault.delay,
+            },
+        });
     }
 
     /// Builds the report for the run so far without consuming the
@@ -360,6 +482,7 @@ impl Machine {
             // than through a Finished step.
             if self.finish_time[n].is_none() {
                 self.finish_time[n] = Some(t);
+                self.watchdog.progress(t);
             }
             return;
         }
@@ -385,6 +508,7 @@ impl Machine {
         });
         match step {
             NextStep::Advance { cycles } => {
+                self.watchdog.progress(t);
                 self.queue.schedule(t + cycles.max(1), Ev::Resume(n));
             }
             NextStep::BlockedRead { cycles, line } => {
@@ -409,6 +533,7 @@ impl Machine {
             NextStep::Finished => {
                 if self.finish_time[n].is_none() {
                     self.finish_time[n] = Some(t);
+                    self.watchdog.progress(t);
                 }
             }
         }
@@ -488,6 +613,13 @@ impl Machine {
                         ring_coherence::RingMsg::Response(_) => Channel::Response,
                     };
                     let d = self.net.unicast(t + delay, from, succ, msg.bytes(), ch);
+                    // Ring messages are only ever perturbed inside the
+                    // network model (jitter/congestion through the link
+                    // occupancy chain, which preserves per-link FIFO);
+                    // they are never reordered or duplicated here.
+                    if let Some(fault) = d.fault {
+                        self.emit_fault(t, n, msg.txn(), msg.line().raw(), fault);
+                    }
                     self.stats.traffic.add_control(msg.bytes(), d.hops);
                     self.queue
                         .schedule(d.arrival, Ev::Agent(succ.0, AgentInput::RingArrival(msg)));
@@ -518,8 +650,29 @@ impl Machine {
                         .multicast(t, self.node(n), CONTROL_BYTES, Channel::Request);
                     for d in ds {
                         self.stats.traffic.add_control(CONTROL_BYTES, d.hops);
+                        if let Some(fault) = d.fault {
+                            self.emit_fault(t, n, req.txn, req.line.raw(), fault);
+                        }
+                        // Multicast requests travel the unconstrained
+                        // path, which guarantees no ordering — a bounded
+                        // reordering delay is in-spec.
+                        let mut arrival = d.arrival;
+                        let reorder = self.net.faults_mut().and_then(|fi| fi.reorder());
+                        if let Some(extra) = reorder {
+                            arrival += extra;
+                            self.emit_fault(
+                                t,
+                                n,
+                                req.txn,
+                                req.line.raw(),
+                                InjectedFault {
+                                    kind: FaultKind::Reorder,
+                                    delay: extra,
+                                },
+                            );
+                        }
                         self.queue
-                            .schedule(d.arrival, Ev::Agent(d.to.0, AgentInput::DirectRequest(req)));
+                            .schedule(arrival, Ev::Agent(d.to.0, AgentInput::DirectRequest(req)));
                     }
                 }
                 Effect::SendSupplier { to, msg } => {
@@ -543,8 +696,46 @@ impl Machine {
                     } else {
                         self.stats.traffic.add_control(msg.bytes(), d.hops);
                     }
+                    if let Some(fault) = d.fault {
+                        self.emit_fault(t, n, msg.txn, msg.line.raw(), fault);
+                    }
+                    // Suppliership messages are point-to-point and
+                    // unordered, and their consumption is idempotent
+                    // (the agent ignores a suppliership for a
+                    // transaction it already holds one for) — so both
+                    // reordering and duplication are in-spec.
+                    let mut arrival = d.arrival;
+                    let reorder = self.net.faults_mut().and_then(|fi| fi.reorder());
+                    if let Some(extra) = reorder {
+                        arrival += extra;
+                        self.emit_fault(
+                            t,
+                            n,
+                            msg.txn,
+                            msg.line.raw(),
+                            InjectedFault {
+                                kind: FaultKind::Reorder,
+                                delay: extra,
+                            },
+                        );
+                    }
+                    let duplicate = self.net.faults_mut().and_then(|fi| fi.duplicate());
+                    if let Some(extra) = duplicate {
+                        self.emit_fault(
+                            t,
+                            n,
+                            msg.txn,
+                            msg.line.raw(),
+                            InjectedFault {
+                                kind: FaultKind::Duplicate,
+                                delay: extra,
+                            },
+                        );
+                        self.queue
+                            .schedule(arrival + extra, Ev::Agent(to.0, AgentInput::Supplier(msg)));
+                    }
                     self.queue
-                        .schedule(d.arrival, Ev::Agent(to.0, AgentInput::Supplier(msg)));
+                        .schedule(arrival, Ev::Agent(to.0, AgentInput::Supplier(msg)));
                 }
                 Effect::StartSnoop { txn, line, delay }
                 | Effect::DelaySnoop { txn, line, delay } => {
@@ -571,12 +762,12 @@ impl Machine {
                                 kind: TraceKind::PrefetchHit,
                             });
                         }
-                        self.queue.schedule(avail, Ev::MemDone(n, line));
+                        self.schedule_mem_done(t, n, line, avail);
                     } else {
                         self.registry.node_mut(n).mem_demand += 1;
                         let done = self.mem.request(t, line);
                         self.cpp.mark_fetched(line);
-                        self.queue.schedule(done, Ev::MemDone(n, line));
+                        self.schedule_mem_done(t, n, line, done);
                     }
                 }
                 Effect::Writeback { line } => {
@@ -592,6 +783,7 @@ impl Machine {
                     latency,
                     c2c,
                 } => {
+                    self.watchdog.progress(t);
                     if let Some(m) = self.anatomy_marks.get_mut(&(n, line.raw())) {
                         if m.bound.is_none() {
                             m.bound = Some(t);
@@ -617,6 +809,7 @@ impl Machine {
                     prefetch_issued,
                     latency,
                 } => {
+                    self.watchdog.progress(t);
                     let mark = self.anatomy_marks.remove(&(n, line.raw()));
                     if kind == TxnKind::Read {
                         self.registry.node_mut(n).record_read_complete(
@@ -654,9 +847,41 @@ impl Machine {
         }
     }
 
+    /// Schedules a memory-data delivery at `at`, possibly duplicated
+    /// under fault injection — in-spec because the agent's `MemData`
+    /// handling is idempotent (data for a line with no waiting
+    /// transaction is dropped).
+    fn schedule_mem_done(&mut self, t: Cycle, n: usize, line: LineAddr, at: Cycle) {
+        let duplicate = self.net.faults_mut().and_then(|fi| fi.duplicate());
+        if let Some(extra) = duplicate {
+            let txn = TxnId {
+                node: NodeId(n),
+                serial: 0,
+            };
+            self.emit_fault(
+                t,
+                n,
+                txn,
+                line.raw(),
+                InjectedFault {
+                    kind: FaultKind::Duplicate,
+                    delay: extra,
+                },
+            );
+            self.queue.schedule(at + extra, Ev::MemDone(n, line));
+        }
+        self.queue.schedule(at, Ev::MemDone(n, line));
+    }
+
     /// Read access to the protocol kind this machine runs.
     pub fn protocol(&self) -> ProtocolKind {
         self.cfg.protocol.kind
+    }
+
+    /// Fault-injection statistics accumulated by the network layer's
+    /// injector (all zeros when faults are off).
+    pub fn fault_stats(&self) -> ring_noc::FaultStats {
+        self.net.fault_stats()
     }
 
     /// Asserts the coherence invariants for one line (enabled with
@@ -732,7 +957,10 @@ mod tests {
         let mut cfg = MachineConfig::small_test(kind);
         cfg.seed = 7;
         cfg.check_invariants = true;
-        Machine::new(cfg, &tiny_profile()).run()
+        match Machine::new(cfg, &tiny_profile()).try_run() {
+            Ok(r) => r,
+            Err(stall) => panic!("machine stalled:\n{stall}"),
+        }
     }
 
     #[test]
@@ -784,5 +1012,71 @@ mod tests {
         cfg.seed = 7;
         let r = Machine::new(cfg, &tiny_profile()).run();
         assert!(r.finished);
+    }
+
+    fn chaos_cfg(kind: ProtocolKind, profile: ring_noc::FaultProfile, seed: u64) -> MachineConfig {
+        let mut cfg = MachineConfig::small_test(kind);
+        cfg.seed = 7;
+        cfg.check_invariants = true;
+        cfg.faults = Some(ring_noc::FaultPlan::new(profile, seed));
+        cfg
+    }
+
+    #[test]
+    fn chaos_profile_runs_to_completion_on_all_protocols() {
+        for kind in ProtocolKind::ALL {
+            let cfg = chaos_cfg(kind, ring_noc::FaultProfile::chaos(), 42);
+            let mut m = Machine::new(cfg, &tiny_profile());
+            match m.try_run() {
+                Ok(r) => assert!(r.finished, "{kind} not finished under chaos"),
+                Err(stall) => panic!("{kind} stalled under chaos:\n{stall}"),
+            }
+            assert!(
+                m.fault_stats().total() > 0,
+                "{kind}: chaos profile injected nothing"
+            );
+            for a in m.agents() {
+                assert_eq!(a.stats().protocol_errors, 0, "{kind}: protocol errors");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let run_once = || {
+            let cfg = chaos_cfg(ProtocolKind::Uncorq, ring_noc::FaultProfile::chaos(), 9);
+            let mut m = Machine::new(cfg, &tiny_profile());
+            let r = m.try_run().expect("no stall");
+            (r.exec_cycles, r.stats.traffic, m.fault_stats())
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn watchdog_reports_stall_instead_of_spinning() {
+        // A watchdog threshold far below the memory round trip (224
+        // cycles) makes the very first cold read look like a stall —
+        // a deterministic way to exercise the report path.
+        let mut cfg = MachineConfig::small_test(ProtocolKind::Uncorq);
+        cfg.seed = 7;
+        cfg.watchdog_cycles = 50;
+        let stall = Machine::new(cfg, &tiny_profile())
+            .try_run()
+            .expect_err("tiny watchdog must trip");
+        assert_eq!(stall.cause, StallCause::WatchdogExpired);
+        assert!(stall.detected_at > stall.last_progress);
+        assert!(!stall.unfinished_nodes.is_empty());
+        assert!(stall.interesting_nodes().count() > 0);
+        let text = stall.to_string();
+        assert!(text.contains("FORWARD-PROGRESS STALL"), "{text}");
+    }
+
+    #[test]
+    fn run_survives_watchdog_stall_with_unfinished_report() {
+        let mut cfg = MachineConfig::small_test(ProtocolKind::Eager);
+        cfg.seed = 7;
+        cfg.watchdog_cycles = 50;
+        let r = Machine::new(cfg, &tiny_profile()).run();
+        assert!(!r.finished);
     }
 }

@@ -1,0 +1,381 @@
+//! Streaming protocol-invariant checking over trace events.
+//!
+//! [`InvariantChecker`] consumes a chronological stream of
+//! [`TraceEvent`]s (from a JSONL file or an in-memory sink) and verifies
+//! the invariants that hold for any correct run of the embedded-ring
+//! protocols:
+//!
+//! 1. **Resolution** — every issued transaction attempt eventually
+//!    completes or schedules a retry at its requester, exactly once, and
+//!    nothing is left unresolved at the end of the trace.
+//! 2. **Ordering** — a node never forwards a combined response for a
+//!    transaction before its own snoop for that transaction finished
+//!    (the Uncorq Ordering invariant enforced by the LTT WID rules).
+//! 3. **LTT balance** — every LTT slot insert is matched by exactly one
+//!    remove, and the table is empty when the trace ends.
+//! 4. **Winner uniqueness** — of two colliding writers, at most one
+//!    attempt is selected as winner (exclusive ownership is unique;
+//!    collisions involving a read may legitimately dual-win because the
+//!    read serializes before the write or joins a suppliership chain).
+//!
+//! Injected-fault events ([`EventKind::FaultInjected`]) are counted but
+//! assert nothing: the invariants above must hold *with faults present*,
+//! which is the whole point of a chaos run. Protocol-error events
+//! ([`EventKind::ProtocolError`]) are violations — a correct protocol
+//! under in-spec faults never needs its recovery escape hatches.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::event::{EventKind, OpClass, Payload, TraceEvent};
+
+/// A transaction attempt: requester node + per-requester serial.
+pub type Txn = (u32, u64);
+
+/// How one issued attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolution {
+    Completed,
+    Retried,
+}
+
+/// Streaming checker over a chronological trace. Feed every event to
+/// [`InvariantChecker::observe`], then call
+/// [`InvariantChecker::finish`]; [`InvariantChecker::violations`] lists
+/// everything found.
+#[derive(Default)]
+pub struct InvariantChecker {
+    events: u64,
+    last_cycle: u64,
+    /// Issued attempts -> resolution so far.
+    issued: HashMap<Txn, Option<Resolution>>,
+    /// Operation class per attempt (from the issue event).
+    ops: HashMap<Txn, OpClass>,
+    /// (node, txn) pairs whose local snoop finished (performed/skipped).
+    snooped: HashSet<(u32, Txn)>,
+    /// Live LTT slots: (node, txn, line) -> insert count.
+    ltt: HashMap<(u32, Txn, u64), u32>,
+    /// Colliding attempt pairs, normalized (smaller first).
+    collisions: HashSet<(Txn, Txn)>,
+    /// Attempts selected as winners.
+    winners: HashSet<Txn>,
+    violations: Vec<String>,
+    completed: u64,
+    retried: u64,
+    faults: u64,
+}
+
+impl InvariantChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn violation(&mut self, msg: String) {
+        self.violations.push(msg);
+    }
+
+    /// Consumes one event (must be fed in chronological order).
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        if ev.cycle < self.last_cycle {
+            self.violation(format!(
+                "event out of chronological order: t={} after t={} ({ev})",
+                ev.cycle, self.last_cycle
+            ));
+        }
+        self.last_cycle = self.last_cycle.max(ev.cycle);
+        let txn: Txn = (ev.txn_node, ev.txn_serial);
+        match ev.kind {
+            EventKind::RequestIssue { op, .. } => {
+                if ev.node != ev.txn_node {
+                    self.violation(format!("issue at a node other than the requester: {ev}"));
+                }
+                if self.issued.insert(txn, None).is_some() {
+                    self.violation(format!("attempt issued twice: {ev}"));
+                }
+                self.ops.insert(txn, op);
+            }
+            EventKind::Complete { .. } | EventKind::Retry { .. } if ev.node == ev.txn_node => {
+                let res = if matches!(ev.kind, EventKind::Complete { .. }) {
+                    self.completed += 1;
+                    Resolution::Completed
+                } else {
+                    self.retried += 1;
+                    Resolution::Retried
+                };
+                let msg = match self.issued.get_mut(&txn) {
+                    None => Some(format!("resolution of an unissued attempt: {ev}")),
+                    Some(slot @ None) => {
+                        *slot = Some(res);
+                        None
+                    }
+                    Some(Some(prev)) => {
+                        Some(format!("attempt resolved twice (already {prev:?}): {ev}"))
+                    }
+                };
+                if let Some(m) = msg {
+                    self.violation(m);
+                }
+            }
+            EventKind::SnoopPerform { .. } | EventKind::SnoopSkip => {
+                self.snooped.insert((ev.node, txn));
+            }
+            // The requester injects its own initial response without a
+            // snoop; every other node combines its snoop outcome first.
+            EventKind::RingSend {
+                payload: Payload::Response { .. },
+                ..
+            } if ev.node != ev.txn_node && !self.snooped.contains(&(ev.node, txn)) => {
+                self.violation(format!(
+                    "Ordering invariant: response forwarded before the local snoop: {ev}"
+                ));
+            }
+            EventKind::LttInsert { .. } => {
+                let slot = self.ltt.entry((ev.node, txn, ev.line)).or_insert(0);
+                *slot += 1;
+                let count = *slot;
+                if count > 1 {
+                    self.violation(format!("LTT slot inserted while already present: {ev}"));
+                }
+            }
+            EventKind::LttRemove { .. } => {
+                let matched = match self.ltt.get_mut(&(ev.node, txn, ev.line)) {
+                    Some(c) if *c > 0 => {
+                        *c -= 1;
+                        if *c == 0 {
+                            self.ltt.remove(&(ev.node, txn, ev.line));
+                        }
+                        true
+                    }
+                    _ => false,
+                };
+                if !matched {
+                    self.violation(format!("LTT remove without a matching insert: {ev}"));
+                }
+            }
+            EventKind::Collision {
+                other_node,
+                other_serial,
+            } => {
+                let other: Txn = (other_node, other_serial);
+                let pair = if txn <= other {
+                    (txn, other)
+                } else {
+                    (other, txn)
+                };
+                self.collisions.insert(pair);
+            }
+            EventKind::WinnerSelected {
+                winner_node,
+                winner_serial,
+            } => {
+                self.winners.insert((winner_node, winner_serial));
+            }
+            EventKind::FaultInjected { .. } => {
+                self.faults += 1;
+            }
+            EventKind::ProtocolError { error } => {
+                self.violation(format!(
+                    "protocol error under in-spec faults ({error}): {ev}"
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes the trace: end-of-stream invariants (unresolved attempts,
+    /// leftover LTT slots, winner uniqueness).
+    pub fn finish(&mut self) {
+        let unresolved: Vec<Txn> = self
+            .issued
+            .iter()
+            .filter(|(_, r)| r.is_none())
+            .map(|(t, _)| *t)
+            .collect();
+        for (node, serial) in unresolved {
+            self.violation(format!(
+                "attempt {node}.{serial} never completed nor retried"
+            ));
+        }
+        let leftover: Vec<_> = self.ltt.keys().copied().collect();
+        for (node, (tn, ts), line) in leftover {
+            self.violation(format!(
+                "LTT slot for {tn}.{ts} line {line:#x} still present at node {node} at end of trace"
+            ));
+        }
+        let is_write = |t: &Txn, ops: &HashMap<Txn, OpClass>| {
+            matches!(
+                ops.get(t),
+                Some(OpClass::WriteMiss) | Some(OpClass::WriteHit)
+            )
+        };
+        let conflicting: Vec<(Txn, Txn)> = self
+            .collisions
+            .iter()
+            .filter(|(a, b)| {
+                self.winners.contains(a)
+                    && self.winners.contains(b)
+                    && is_write(a, &self.ops)
+                    && is_write(b, &self.ops)
+            })
+            .copied()
+            .collect();
+        for ((an, asr), (bn, bsr)) in conflicting {
+            self.violation(format!(
+                "winner uniqueness: colliding conflicting attempts {an}.{asr} and {bn}.{bsr} \
+                 were both selected as winners"
+            ));
+        }
+    }
+
+    /// Events observed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Distinct attempts issued.
+    pub fn attempts(&self) -> usize {
+        self.issued.len()
+    }
+
+    /// Attempts that completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Attempts that scheduled a retry.
+    pub fn retried(&self) -> u64 {
+        self.retried
+    }
+
+    /// Collision pairs observed.
+    pub fn collision_pairs(&self) -> usize {
+        self.collisions.len()
+    }
+
+    /// Winner selections observed.
+    pub fn winners(&self) -> usize {
+        self.winners.len()
+    }
+
+    /// Injected-fault events observed.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Every violation found so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ErrorClass, FaultClass};
+
+    fn ev(cycle: u64, node: u32, txn: Txn, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            node,
+            txn_node: txn.0,
+            txn_serial: txn.1,
+            line: 0x40,
+            kind,
+        }
+    }
+
+    fn issue(cycle: u64, node: u32, serial: u64) -> TraceEvent {
+        ev(
+            cycle,
+            node,
+            (node, serial),
+            EventKind::RequestIssue {
+                op: OpClass::Read,
+                retry: false,
+            },
+        )
+    }
+
+    #[test]
+    fn clean_issue_complete_passes() {
+        let mut c = InvariantChecker::new();
+        c.observe(&issue(0, 1, 1));
+        c.observe(&ev(
+            10,
+            1,
+            (1, 1),
+            EventKind::Complete {
+                op: OpClass::Read,
+                c2c: false,
+                latency: 10,
+            },
+        ));
+        c.finish();
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        assert_eq!(c.completed(), 1);
+    }
+
+    #[test]
+    fn unresolved_attempt_is_flagged() {
+        let mut c = InvariantChecker::new();
+        c.observe(&issue(0, 1, 1));
+        c.finish();
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("never completed"));
+    }
+
+    #[test]
+    fn fault_events_are_counted_not_flagged() {
+        let mut c = InvariantChecker::new();
+        c.observe(&ev(
+            5,
+            2,
+            (2, 0),
+            EventKind::FaultInjected {
+                fault: FaultClass::Jitter,
+                delay: 9,
+            },
+        ));
+        c.finish();
+        assert!(c.violations().is_empty());
+        assert_eq!(c.faults(), 1);
+    }
+
+    #[test]
+    fn protocol_error_events_are_violations() {
+        let mut c = InvariantChecker::new();
+        c.observe(&ev(
+            5,
+            2,
+            (2, 0),
+            EventKind::ProtocolError {
+                error: ErrorClass::LttSlotMissing,
+            },
+        ));
+        c.finish();
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("ltt_slot_missing"));
+    }
+
+    #[test]
+    fn out_of_order_events_are_flagged() {
+        let mut c = InvariantChecker::new();
+        c.observe(&issue(10, 1, 1));
+        c.observe(&ev(
+            5,
+            1,
+            (1, 1),
+            EventKind::Complete {
+                op: OpClass::Read,
+                c2c: false,
+                latency: 5,
+            },
+        ));
+        c.finish();
+        assert!(c
+            .violations()
+            .iter()
+            .any(|v| v.contains("chronological order")));
+    }
+}

@@ -43,6 +43,89 @@ impl fmt::Display for OpClass {
     }
 }
 
+/// The class of an injected delivery fault, mirroring the network
+/// layer's `FaultKind` without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Extra per-message link latency.
+    Jitter,
+    /// Extra delivery delay of an unordered (non-ring) message.
+    Reorder,
+    /// A duplicated point-to-point delivery.
+    Duplicate,
+    /// A transient link congestion burst.
+    Congestion,
+}
+
+impl FaultClass {
+    fn code(self) -> &'static str {
+        match self {
+            FaultClass::Jitter => "jit",
+            FaultClass::Reorder => "ro",
+            FaultClass::Duplicate => "dup",
+            FaultClass::Congestion => "cong",
+        }
+    }
+
+    fn from_code(s: &str) -> Option<Self> {
+        match s {
+            "jit" => Some(FaultClass::Jitter),
+            "ro" => Some(FaultClass::Reorder),
+            "dup" => Some(FaultClass::Duplicate),
+            "cong" => Some(FaultClass::Congestion),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultClass::Jitter => f.write_str("jitter"),
+            FaultClass::Reorder => f.write_str("reorder"),
+            FaultClass::Duplicate => f.write_str("duplicate"),
+            FaultClass::Congestion => f.write_str("congestion"),
+        }
+    }
+}
+
+/// A protocol-level error an agent recovered from instead of panicking
+/// (the hardened hot paths under fault injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// An MSHR allocation failed although capacity was checked.
+    MshrOverflow,
+    /// A ready LTT slot vanished between selection and take.
+    LttSlotMissing,
+    /// A ready LTT slot carried no combined response.
+    LttResponseMissing,
+}
+
+impl ErrorClass {
+    fn code(self) -> &'static str {
+        match self {
+            ErrorClass::MshrOverflow => "mshr_overflow",
+            ErrorClass::LttSlotMissing => "ltt_slot_missing",
+            ErrorClass::LttResponseMissing => "ltt_resp_missing",
+        }
+    }
+
+    fn from_code(s: &str) -> Option<Self> {
+        match s {
+            "mshr_overflow" => Some(ErrorClass::MshrOverflow),
+            "ltt_slot_missing" => Some(ErrorClass::LttSlotMissing),
+            "ltt_resp_missing" => Some(ErrorClass::LttResponseMissing),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
 /// What travels on a ring hop: a snoop request `R` or a combined
 /// response `r` with its marks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,6 +263,20 @@ pub enum EventKind {
         /// The starving node's ID.
         snid: u32,
     },
+    /// Chaos mode injected a delivery fault (emitted at the send site so
+    /// tracecheck can correlate violations with injected faults).
+    FaultInjected {
+        /// The class of fault.
+        fault: FaultClass,
+        /// Extra cycles the fault added (burst length for congestion).
+        delay: u64,
+    },
+    /// An agent detected and recovered from a protocol-level error
+    /// instead of panicking (hardened hot paths).
+    ProtocolError {
+        /// What went wrong.
+        error: ErrorClass,
+    },
 }
 
 /// One structured protocol event.
@@ -308,6 +405,12 @@ impl fmt::Display for TraceEvent {
             }
             EventKind::Starvation { snid } => {
                 write!(f, "t={t} n{n} STARVE txn={txn} snid={snid}")
+            }
+            EventKind::FaultInjected { fault, delay } => {
+                write!(f, "t={t} n{n} FAULT {fault} txn={txn} +{delay}")
+            }
+            EventKind::ProtocolError { error } => {
+                write!(f, "t={t} n{n} PROTO-ERR {error} txn={txn}")
             }
         }
     }
@@ -497,6 +600,8 @@ impl TraceEvent {
             EventKind::Complete { .. } => "complete",
             EventKind::Retry { .. } => "retry",
             EventKind::Starvation { .. } => "starve",
+            EventKind::FaultInjected { .. } => "fault",
+            EventKind::ProtocolError { .. } => "proto_err",
         }
     }
 
@@ -583,6 +688,12 @@ impl TraceEvent {
             EventKind::Starvation { snid } => {
                 let _ = write!(s, ",\"snid\":{snid}");
             }
+            EventKind::FaultInjected { fault, delay } => {
+                let _ = write!(s, ",\"fk\":\"{}\",\"delay\":{delay}", fault.code());
+            }
+            EventKind::ProtocolError { error } => {
+                let _ = write!(s, ",\"code\":\"{}\"", error.code());
+            }
         }
         s.push('}');
         s
@@ -658,6 +769,21 @@ impl TraceEvent {
             "starve" => EventKind::Starvation {
                 snid: f.num("snid")? as u32,
             },
+            "fault" => {
+                let code = f.string("fk")?;
+                EventKind::FaultInjected {
+                    fault: FaultClass::from_code(code)
+                        .ok_or_else(|| err(format!("bad fault class '{code}'")))?,
+                    delay: f.num("delay")?,
+                }
+            }
+            "proto_err" => {
+                let code = f.string("code")?;
+                EventKind::ProtocolError {
+                    error: ErrorClass::from_code(code)
+                        .ok_or_else(|| err(format!("bad error class '{code}'")))?,
+                }
+            }
             other => return Err(err(format!("unknown event tag '{other}'"))),
         };
         Ok(TraceEvent {
@@ -758,6 +884,31 @@ mod tests {
             },
             EventKind::Retry { delay: 200 },
             EventKind::Starvation { snid: 7 },
+            EventKind::FaultInjected {
+                fault: FaultClass::Jitter,
+                delay: 12,
+            },
+            EventKind::FaultInjected {
+                fault: FaultClass::Reorder,
+                delay: 80,
+            },
+            EventKind::FaultInjected {
+                fault: FaultClass::Duplicate,
+                delay: 31,
+            },
+            EventKind::FaultInjected {
+                fault: FaultClass::Congestion,
+                delay: 64,
+            },
+            EventKind::ProtocolError {
+                error: ErrorClass::MshrOverflow,
+            },
+            EventKind::ProtocolError {
+                error: ErrorClass::LttSlotMissing,
+            },
+            EventKind::ProtocolError {
+                error: ErrorClass::LttResponseMissing,
+            },
         ]
     }
 

@@ -41,10 +41,12 @@
 
 #![warn(missing_docs)]
 
+mod check;
 mod event;
 mod metrics;
 mod sink;
 
-pub use event::{EventKind, OpClass, ParseError, Payload, TraceEvent};
+pub use check::InvariantChecker;
+pub use event::{ErrorClass, EventKind, FaultClass, OpClass, ParseError, Payload, TraceEvent};
 pub use metrics::{LatencyAnatomy, LinkMetrics, MetricsRegistry, NodeMetrics};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, SharedBufferSink, TraceSink};

@@ -1,0 +1,237 @@
+//! `chaoscheck` — deterministic fault-injection sweep for the ring
+//! protocols.
+//!
+//! Runs every ring protocol (Eager, SupersetCon, SupersetAgg, Uncorq,
+//! Uncorq+Pref) across a grid of fault profiles × chaos seeds, and
+//! asserts for each run that:
+//!
+//! 1. **Forward progress** — the machine finishes under the watchdog
+//!    (no [`StallReport`], no cycle-cap spin);
+//! 2. **Coherence invariants** — the full event trace passes the shared
+//!    [`InvariantChecker`] (resolution, Ordering, LTT balance, winner
+//!    uniqueness, zero protocol errors);
+//! 3. **Determinism** — re-running one combo per protocol with the same
+//!    chaos seed reproduces the trace byte-for-byte.
+//!
+//! ```text
+//! chaoscheck [--nodes WxH] [--seeds N] [--ops N] [--profiles a,b,...]
+//! ```
+//!
+//! Exits 0 when every run passes, 1 otherwise.
+
+use std::process::ExitCode;
+
+use uncorq::coherence::{ProtocolConfig, ProtocolKind};
+use uncorq::noc::{FaultPlan, FaultProfile};
+use uncorq::system::{Machine, MachineConfig};
+use uncorq::trace::{InvariantChecker, SharedBufferSink};
+use uncorq::workloads::AppProfile;
+
+const USAGE: &str = "usage: chaoscheck [--nodes WxH] [--seeds N] [--ops N] [--profiles a,b,...]";
+
+struct Args {
+    nodes: (usize, usize),
+    seeds: u64,
+    ops: u64,
+    profiles: Vec<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            nodes: (4, 4),
+            seeds: 5,
+            ops: 1200,
+            profiles: ["jitter", "reorder", "duplicate", "congestion", "chaos"]
+                .map(String::from)
+                .to_vec(),
+        }
+    }
+}
+
+fn parse(mut argv: std::env::Args) -> Result<Args, String> {
+    let mut a = Args::default();
+    argv.next();
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--nodes" => {
+                let v = value("--nodes")?;
+                let (w, h) = v
+                    .split_once(['x', 'X'])
+                    .ok_or_else(|| format!("--nodes expects WxH, got {v}"))?;
+                a.nodes = (
+                    w.parse().map_err(|e| format!("--nodes width: {e}"))?,
+                    h.parse().map_err(|e| format!("--nodes height: {e}"))?,
+                );
+            }
+            "--seeds" => {
+                a.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--ops" => a.ops = value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--profiles" => {
+                a.profiles = value("--profiles")?
+                    .split(',')
+                    .map(|s| s.trim().to_lowercase())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if a.profiles.len() < 3 {
+        return Err("need at least 3 fault profiles for a meaningful sweep".into());
+    }
+    if a.seeds < 5 {
+        return Err("need at least 5 chaos seeds for a meaningful sweep".into());
+    }
+    Ok(a)
+}
+
+/// The five ring protocol variants of the paper's Figure 9.
+fn protocols() -> Vec<(&'static str, ProtocolConfig)> {
+    let mut v: Vec<(&'static str, ProtocolConfig)> = ProtocolKind::ALL
+        .iter()
+        .map(|&k| {
+            let name = match k {
+                ProtocolKind::Eager => "eager",
+                ProtocolKind::SupersetCon => "supersetcon",
+                ProtocolKind::SupersetAgg => "supersetagg",
+                ProtocolKind::Uncorq => "uncorq",
+            };
+            (name, ProtocolConfig::paper(k))
+        })
+        .collect();
+    v.push(("uncorq+pref", ProtocolConfig::uncorq_pref()));
+    v
+}
+
+/// Runs one (protocol, profile, seed) combo and returns the serialized
+/// JSONL trace, or a failure description.
+fn run_combo(
+    args: &Args,
+    protocol: ProtocolConfig,
+    profile: FaultProfile,
+    chaos_seed: u64,
+) -> Result<String, String> {
+    let mut cfg = MachineConfig::with_protocol(protocol);
+    cfg.width = args.nodes.0;
+    cfg.height = args.nodes.1;
+    cfg.seed = 7;
+    cfg.max_cycles = 200_000_000;
+    cfg.watchdog_cycles = 2_000_000;
+    cfg.check_invariants = true;
+    cfg.faults = Some(FaultPlan::new(profile, chaos_seed));
+    let app = AppProfile::by_name("fmm")
+        .expect("fmm profile")
+        .scaled(args.ops);
+    let mut m = Machine::new(cfg, &app);
+    let sink = SharedBufferSink::new();
+    m.set_trace_sink(Box::new(sink.clone()));
+    let report = match m.try_run() {
+        Ok(r) => r,
+        Err(stall) => return Err(format!("forward-progress stall:\n{stall}")),
+    };
+    if !report.finished {
+        return Err("hit the cycle cap before completion".into());
+    }
+    let events = sink.snapshot();
+    let mut checker = InvariantChecker::new();
+    for ev in &events {
+        checker.observe(ev);
+    }
+    checker.finish();
+    if !checker.violations().is_empty() {
+        let mut msg = format!("{} invariant violation(s):", checker.violations().len());
+        for v in checker.violations().iter().take(10) {
+            msg.push_str("\n  ");
+            msg.push_str(v);
+        }
+        return Err(msg);
+    }
+    if !profile.is_nop() && m.fault_stats().total() == 0 {
+        return Err("fault profile active but nothing was injected".into());
+    }
+    let mut out = String::new();
+    for ev in &events {
+        out.push_str(&ev.to_jsonl());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse(std::env::args()) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut profiles = Vec::new();
+    for name in &args.profiles {
+        match FaultProfile::by_name(name) {
+            Some(p) => profiles.push((name.as_str(), p)),
+            None => {
+                eprintln!("unknown fault profile {name}; known: none jitter reorder duplicate congestion chaos");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut failures = 0u32;
+    let mut runs = 0u32;
+    for (proto_name, protocol) in protocols() {
+        let mut first_trace: Option<String> = None;
+        for &(profile_name, profile) in &profiles {
+            for chaos_seed in 1..=args.seeds {
+                runs += 1;
+                match run_combo(&args, protocol, profile, chaos_seed) {
+                    Ok(trace) => {
+                        println!("ok   {proto_name:<12} {profile_name:<10} seed={chaos_seed}");
+                        // Keep the grid's first combo for the replay check.
+                        if profile_name == profiles[0].0 && chaos_seed == 1 {
+                            first_trace = Some(trace);
+                        }
+                    }
+                    Err(msg) => {
+                        failures += 1;
+                        println!(
+                            "FAIL {proto_name:<12} {profile_name:<10} seed={chaos_seed}: {msg}"
+                        );
+                    }
+                }
+            }
+        }
+        // Determinism: the first passing combo must replay to a
+        // byte-identical trace.
+        if let Some(expected) = first_trace {
+            runs += 1;
+            match run_combo(&args, protocol, profiles[0].1, 1) {
+                Ok(replay) if replay == expected => {
+                    println!("ok   {proto_name:<12} replay is byte-identical");
+                }
+                Ok(_) => {
+                    failures += 1;
+                    println!("FAIL {proto_name:<12} replay diverged from the first run");
+                }
+                Err(msg) => {
+                    failures += 1;
+                    println!("FAIL {proto_name:<12} replay: {msg}");
+                }
+            }
+        }
+    }
+    println!("\n{runs} runs, {failures} failures");
+    if failures == 0 {
+        println!("OK: forward progress + coherence invariants hold under all fault profiles");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

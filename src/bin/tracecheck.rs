@@ -1,20 +1,9 @@
 //! `tracecheck` — offline protocol-invariant checker for JSONL traces.
 //!
-//! Replays a trace produced with `uncorq --trace-out FILE` and verifies
-//! the protocol invariants that hold for any correct run:
-//!
-//! 1. **Resolution** — every issued transaction attempt eventually
-//!    completes or schedules a retry at its requester, exactly once, and
-//!    nothing is left unresolved at the end of the trace.
-//! 2. **Ordering** — a node never forwards a combined response for a
-//!    transaction before its own snoop for that transaction finished
-//!    (the Uncorq Ordering invariant enforced by the LTT WID rules).
-//! 3. **LTT balance** — every LTT slot insert is matched by exactly one
-//!    remove, and the table is empty when the trace ends.
-//! 4. **Winner uniqueness** — of two colliding writers, at most one
-//!    attempt is selected as winner (exclusive ownership is unique;
-//!    collisions involving a read may legitimately dual-win because the
-//!    read serializes before the write or joins a suppliership chain).
+//! Replays a trace produced with `uncorq --trace-out FILE` through the
+//! shared [`InvariantChecker`] (see `ring-trace::check` for the full
+//! list of invariants: resolution, Ordering, LTT balance, winner
+//! uniqueness, and absence of protocol-error events).
 //!
 //! ```text
 //! tracecheck TRACE.jsonl
@@ -23,191 +12,10 @@
 //! Exits 0 when the trace is well-formed and all invariants hold, 1
 //! otherwise (listing the violations found).
 
-use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
 
-use uncorq::trace::{EventKind, OpClass, Payload, TraceEvent};
-
-/// A transaction attempt: requester node + per-requester serial.
-type Txn = (u32, u64);
-
-/// How one issued attempt ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Resolution {
-    Completed,
-    Retried,
-}
-
-#[derive(Default)]
-struct Checker {
-    events: u64,
-    last_cycle: u64,
-    /// Issued attempts -> resolution so far.
-    issued: HashMap<Txn, Option<Resolution>>,
-    /// Operation class per attempt (from the issue event).
-    ops: HashMap<Txn, OpClass>,
-    /// (node, txn) pairs whose local snoop finished (performed/skipped).
-    snooped: HashSet<(u32, Txn)>,
-    /// Live LTT slots: (node, txn, line) -> insert count.
-    ltt: HashMap<(u32, Txn, u64), u32>,
-    /// Colliding attempt pairs, normalized (smaller first).
-    collisions: HashSet<(Txn, Txn)>,
-    /// Attempts selected as winners.
-    winners: HashSet<Txn>,
-    violations: Vec<String>,
-    completed: u64,
-    retried: u64,
-}
-
-impl Checker {
-    fn violation(&mut self, msg: String) {
-        self.violations.push(msg);
-    }
-
-    fn observe(&mut self, ev: &TraceEvent) {
-        self.events += 1;
-        if ev.cycle < self.last_cycle {
-            self.violation(format!(
-                "event out of chronological order: t={} after t={} ({ev})",
-                ev.cycle, self.last_cycle
-            ));
-        }
-        self.last_cycle = self.last_cycle.max(ev.cycle);
-        let txn: Txn = (ev.txn_node, ev.txn_serial);
-        match ev.kind {
-            EventKind::RequestIssue { op, .. } => {
-                if ev.node != ev.txn_node {
-                    self.violation(format!("issue at a node other than the requester: {ev}"));
-                }
-                if self.issued.insert(txn, None).is_some() {
-                    self.violation(format!("attempt issued twice: {ev}"));
-                }
-                self.ops.insert(txn, op);
-            }
-            EventKind::Complete { .. } | EventKind::Retry { .. } if ev.node == ev.txn_node => {
-                let res = if matches!(ev.kind, EventKind::Complete { .. }) {
-                    self.completed += 1;
-                    Resolution::Completed
-                } else {
-                    self.retried += 1;
-                    Resolution::Retried
-                };
-                let msg = match self.issued.get_mut(&txn) {
-                    None => Some(format!("resolution of an unissued attempt: {ev}")),
-                    Some(slot @ None) => {
-                        *slot = Some(res);
-                        None
-                    }
-                    Some(Some(prev)) => {
-                        Some(format!("attempt resolved twice (already {prev:?}): {ev}"))
-                    }
-                };
-                if let Some(m) = msg {
-                    self.violation(m);
-                }
-            }
-            EventKind::SnoopPerform { .. } | EventKind::SnoopSkip => {
-                self.snooped.insert((ev.node, txn));
-            }
-            // The requester injects its own initial response without a
-            // snoop; every other node combines its snoop outcome first.
-            EventKind::RingSend {
-                payload: Payload::Response { .. },
-                ..
-            } if ev.node != ev.txn_node && !self.snooped.contains(&(ev.node, txn)) => {
-                self.violation(format!(
-                    "Ordering invariant: response forwarded before the local snoop: {ev}"
-                ));
-            }
-            EventKind::LttInsert { .. } => {
-                let slot = self.ltt.entry((ev.node, txn, ev.line)).or_insert(0);
-                *slot += 1;
-                let count = *slot;
-                if count > 1 {
-                    self.violation(format!("LTT slot inserted while already present: {ev}"));
-                }
-            }
-            EventKind::LttRemove { .. } => {
-                let matched = match self.ltt.get_mut(&(ev.node, txn, ev.line)) {
-                    Some(c) if *c > 0 => {
-                        *c -= 1;
-                        if *c == 0 {
-                            self.ltt.remove(&(ev.node, txn, ev.line));
-                        }
-                        true
-                    }
-                    _ => false,
-                };
-                if !matched {
-                    self.violation(format!("LTT remove without a matching insert: {ev}"));
-                }
-            }
-            EventKind::Collision {
-                other_node,
-                other_serial,
-            } => {
-                let other: Txn = (other_node, other_serial);
-                let pair = if txn <= other {
-                    (txn, other)
-                } else {
-                    (other, txn)
-                };
-                self.collisions.insert(pair);
-            }
-            EventKind::WinnerSelected {
-                winner_node,
-                winner_serial,
-            } => {
-                self.winners.insert((winner_node, winner_serial));
-            }
-            _ => {}
-        }
-    }
-
-    fn finish(&mut self) {
-        let unresolved: Vec<Txn> = self
-            .issued
-            .iter()
-            .filter(|(_, r)| r.is_none())
-            .map(|(t, _)| *t)
-            .collect();
-        for (node, serial) in unresolved {
-            self.violation(format!(
-                "attempt {node}.{serial} never completed nor retried"
-            ));
-        }
-        let leftover: Vec<_> = self.ltt.keys().copied().collect();
-        for (node, (tn, ts), line) in leftover {
-            self.violation(format!(
-                "LTT slot for {tn}.{ts} line {line:#x} still present at node {node} at end of trace"
-            ));
-        }
-        let is_write = |t: &Txn, ops: &HashMap<Txn, OpClass>| {
-            matches!(
-                ops.get(t),
-                Some(OpClass::WriteMiss) | Some(OpClass::WriteHit)
-            )
-        };
-        let conflicting: Vec<(Txn, Txn)> = self
-            .collisions
-            .iter()
-            .filter(|(a, b)| {
-                self.winners.contains(a)
-                    && self.winners.contains(b)
-                    && is_write(a, &self.ops)
-                    && is_write(b, &self.ops)
-            })
-            .copied()
-            .collect();
-        for ((an, asr), (bn, bsr)) in conflicting {
-            self.violation(format!(
-                "winner uniqueness: colliding conflicting attempts {an}.{asr} and {bn}.{bsr} \
-                 were both selected as winners"
-            ));
-        }
-    }
-}
+use uncorq::trace::{InvariantChecker, TraceEvent};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -222,7 +30,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut checker = Checker::default();
+    let mut checker = InvariantChecker::new();
     let mut parse_errors = 0u64;
     for (i, line) in BufReader::new(file).lines().enumerate() {
         let line = match line {
@@ -246,21 +54,22 @@ fn main() -> ExitCode {
         }
     }
     checker.finish();
-    println!("events          : {}", checker.events);
-    println!("attempts issued : {}", checker.issued.len());
-    println!("  completed     : {}", checker.completed);
-    println!("  retried       : {}", checker.retried);
-    println!("collision pairs : {}", checker.collisions.len());
-    println!("winners         : {}", checker.winners.len());
+    println!("events          : {}", checker.events());
+    println!("attempts issued : {}", checker.attempts());
+    println!("  completed     : {}", checker.completed());
+    println!("  retried       : {}", checker.retried());
+    println!("collision pairs : {}", checker.collision_pairs());
+    println!("winners         : {}", checker.winners());
+    println!("faults injected : {}", checker.faults());
     println!("parse errors    : {parse_errors}");
-    println!("violations      : {}", checker.violations.len());
-    for v in checker.violations.iter().take(50) {
+    println!("violations      : {}", checker.violations().len());
+    for v in checker.violations().iter().take(50) {
         println!("  VIOLATION: {v}");
     }
-    if checker.violations.len() > 50 {
-        println!("  ... and {} more", checker.violations.len() - 50);
+    if checker.violations().len() > 50 {
+        println!("  ... and {} more", checker.violations().len() - 50);
     }
-    if checker.violations.is_empty() && parse_errors == 0 {
+    if checker.violations().is_empty() && parse_errors == 0 {
         println!("OK: all invariants hold");
         ExitCode::SUCCESS
     } else {

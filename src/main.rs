@@ -4,12 +4,14 @@
 //! uncorq --app fmm --protocol uncorq [--ops 20000] [--seed 2007]
 //!        [--prefetch] [--dual-rings] [--row-major-ring] [--nodes 8x8]
 //!        [--check-invariants] [--histogram] [--trace-out FILE]
+//!        [--chaos SEED] [--chaos-profile NAME] [--watchdog N]
 //! uncorq --list
 //! ```
 
 use std::process::ExitCode;
 
 use uncorq::coherence::ProtocolKind;
+use uncorq::noc::{FaultPlan, FaultProfile};
 use uncorq::system::{HtMachine, Machine, MachineConfig, Report};
 use uncorq::workloads::AppProfile;
 
@@ -28,6 +30,9 @@ struct Args {
     trace_line: Option<u64>,
     trace_out: Option<String>,
     stats_out: Option<String>,
+    chaos: Option<u64>,
+    chaos_profile: String,
+    watchdog: Option<u64>,
     list: bool,
 }
 
@@ -47,6 +52,9 @@ impl Default for Args {
             trace_line: None,
             trace_out: None,
             stats_out: None,
+            chaos: None,
+            chaos_profile: "chaos".into(),
+            watchdog: None,
             list: false,
         }
     }
@@ -56,7 +64,9 @@ const USAGE: &str =
     "usage: uncorq [--list] [--app NAME] [--protocol eager|supersetcon|supersetagg|uncorq|ht]
               [--ops N] [--seed N] [--prefetch] [--dual-rings] [--row-major-ring]
               [--nodes WxH] [--check-invariants] [--histogram] [--trace-line N]
-              [--trace-out FILE] [--stats-out FILE]";
+              [--trace-out FILE] [--stats-out FILE]
+              [--chaos SEED] [--chaos-profile none|jitter|reorder|duplicate|congestion|chaos]
+              [--watchdog CYCLES]";
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     let mut a = Args::default();
@@ -83,6 +93,21 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--histogram" => a.histogram = true,
             "--stats-out" => a.stats_out = Some(value("--stats-out")?),
             "--trace-out" => a.trace_out = Some(value("--trace-out")?),
+            "--chaos" => {
+                a.chaos = Some(
+                    value("--chaos")?
+                        .parse()
+                        .map_err(|e| format!("--chaos: {e}"))?,
+                )
+            }
+            "--chaos-profile" => a.chaos_profile = value("--chaos-profile")?.to_lowercase(),
+            "--watchdog" => {
+                a.watchdog = Some(
+                    value("--watchdog")?
+                        .parse()
+                        .map_err(|e| format!("--watchdog: {e}"))?,
+                )
+            }
             "--trace-line" => {
                 let v = value("--trace-line")?;
                 let parsed = if let Some(hex) = v.strip_prefix("0x") {
@@ -212,6 +237,23 @@ fn main() -> ExitCode {
     if let Some(l) = args.trace_line {
         cfg.trace_lines.push(l);
     }
+    if let Some(chaos_seed) = args.chaos {
+        if kind.is_none() {
+            eprintln!("--chaos is not supported on the HT baseline machine");
+            return ExitCode::FAILURE;
+        }
+        let Some(profile) = FaultProfile::by_name(&args.chaos_profile) else {
+            eprintln!(
+                "unknown chaos profile {}; known: none jitter reorder duplicate congestion chaos",
+                args.chaos_profile
+            );
+            return ExitCode::FAILURE;
+        };
+        cfg.faults = Some(FaultPlan::new(profile, chaos_seed));
+    }
+    if let Some(w) = args.watchdog {
+        cfg.watchdog_cycles = w;
+    }
     let report = match kind {
         Some(_) => {
             let mut m = Machine::new(cfg, &profile);
@@ -224,7 +266,13 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            let r = m.run();
+            let r = match m.try_run() {
+                Ok(r) => r,
+                Err(stall) => {
+                    eprintln!("{stall}");
+                    m.report()
+                }
+            };
             if let Some(l) = args.trace_line {
                 let line = uncorq::cache::LineAddr::new(l);
                 println!("protocol trace for {line}:");
@@ -266,7 +314,7 @@ fn main() -> ExitCode {
     if report.finished {
         ExitCode::SUCCESS
     } else {
-        eprintln!("\nwarning: hit the cycle cap before completion");
+        eprintln!("\nwarning: run did not complete (stall or cycle cap)");
         ExitCode::FAILURE
     }
 }

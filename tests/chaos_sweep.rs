@@ -1,0 +1,166 @@
+//! Fault-injection sweep: every ring protocol must preserve forward
+//! progress and the coherence invariants under deterministic,
+//! seed-reproducible network faults (latency jitter, bounded reordering
+//! of non-ring messages, duplicated supplier/memory deliveries, and
+//! transient congestion bursts).
+//!
+//! The `chaoscheck` binary runs the same grid at larger scale; these
+//! tests keep a representative slice in `cargo test`.
+
+use uncorq::coherence::{ProtocolConfig, ProtocolKind};
+use uncorq::noc::{FaultPlan, FaultProfile};
+use uncorq::system::{Machine, MachineConfig, StallCause};
+use uncorq::trace::{EventKind, InvariantChecker, SharedBufferSink};
+use uncorq::workloads::AppProfile;
+
+/// The five ring protocol variants of the paper's Figure 9.
+fn protocols() -> Vec<(&'static str, ProtocolConfig)> {
+    vec![
+        ("eager", ProtocolConfig::paper(ProtocolKind::Eager)),
+        (
+            "supersetcon",
+            ProtocolConfig::paper(ProtocolKind::SupersetCon),
+        ),
+        (
+            "supersetagg",
+            ProtocolConfig::paper(ProtocolKind::SupersetAgg),
+        ),
+        ("uncorq", ProtocolConfig::paper(ProtocolKind::Uncorq)),
+        ("uncorq+pref", ProtocolConfig::uncorq_pref()),
+    ]
+}
+
+fn chaos_cfg(protocol: ProtocolConfig, profile: FaultProfile, chaos_seed: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::with_protocol(protocol);
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.seed = 11;
+    cfg.max_cycles = 50_000_000;
+    cfg.watchdog_cycles = 2_000_000;
+    cfg.check_invariants = true;
+    cfg.faults = Some(FaultPlan::new(profile, chaos_seed));
+    cfg
+}
+
+fn app() -> AppProfile {
+    AppProfile::by_name("fmm").unwrap().scaled(150)
+}
+
+/// Runs one combo and returns its JSONL trace, asserting forward
+/// progress and invariant cleanliness.
+fn run_checked(name: &str, protocol: ProtocolConfig, profile: FaultProfile, seed: u64) -> String {
+    let mut m = Machine::new(chaos_cfg(protocol, profile, seed), &app());
+    let sink = SharedBufferSink::new();
+    m.set_trace_sink(Box::new(sink.clone()));
+    let report = match m.try_run() {
+        Ok(r) => r,
+        Err(stall) => panic!("{name} seed={seed}: stalled under faults:\n{stall}"),
+    };
+    assert!(report.finished, "{name} seed={seed}: hit the cycle cap");
+    let events = sink.snapshot();
+    let mut checker = InvariantChecker::new();
+    for ev in &events {
+        checker.observe(ev);
+    }
+    checker.finish();
+    assert!(
+        checker.violations().is_empty(),
+        "{name} seed={seed}: {:?}",
+        checker.violations()
+    );
+    for a in m.agents() {
+        assert_eq!(
+            a.stats().protocol_errors,
+            0,
+            "{name} seed={seed}: protocol errors under in-spec faults"
+        );
+    }
+    events.iter().map(|e| e.to_jsonl() + "\n").collect()
+}
+
+#[test]
+fn all_protocols_survive_every_fault_profile() {
+    for (name, protocol) in protocols() {
+        for (profile_name, profile) in FaultProfile::named() {
+            if profile.is_nop() {
+                continue;
+            }
+            let label = format!("{name}/{profile_name}");
+            run_checked(&label, protocol, profile, 1);
+        }
+    }
+}
+
+#[test]
+fn chaos_profile_survives_many_seeds() {
+    for (name, protocol) in protocols() {
+        for seed in 1..=5 {
+            run_checked(name, protocol, FaultProfile::chaos(), seed);
+        }
+    }
+}
+
+#[test]
+fn identical_chaos_seeds_give_byte_identical_traces() {
+    for (name, protocol) in [
+        ("uncorq", ProtocolConfig::paper(ProtocolKind::Uncorq)),
+        ("eager", ProtocolConfig::paper(ProtocolKind::Eager)),
+    ] {
+        let a = run_checked(name, protocol, FaultProfile::chaos(), 33);
+        let b = run_checked(name, protocol, FaultProfile::chaos(), 33);
+        assert_eq!(a, b, "{name}: same chaos seed must replay identically");
+        let c = run_checked(name, protocol, FaultProfile::chaos(), 34);
+        assert_ne!(a, c, "{name}: different chaos seeds should perturb the run");
+    }
+}
+
+#[test]
+fn chaos_runs_actually_inject_and_trace_faults() {
+    let mut m = Machine::new(
+        chaos_cfg(
+            ProtocolConfig::paper(ProtocolKind::Uncorq),
+            FaultProfile::chaos(),
+            7,
+        ),
+        &app(),
+    );
+    let sink = SharedBufferSink::new();
+    m.set_trace_sink(Box::new(sink.clone()));
+    m.try_run().expect("no stall");
+    assert!(
+        m.fault_stats().total() > 0,
+        "chaos profile injected nothing"
+    );
+    let fault_events = sink
+        .snapshot()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::FaultInjected { .. }))
+        .count();
+    assert!(fault_events > 0, "faults must be visible in the trace");
+}
+
+#[test]
+fn livelocked_config_produces_stall_report_not_hang() {
+    // Watchdog threshold far below the memory round trip: the first cold
+    // read can never "complete" within the window, so the watchdog must
+    // trip deterministically with a structured report.
+    let mut cfg = MachineConfig::small_test(ProtocolKind::Uncorq);
+    cfg.seed = 11;
+    cfg.watchdog_cycles = 50;
+    let stall = Machine::new(cfg, &app())
+        .try_run()
+        .expect_err("tiny watchdog must trip");
+    assert_eq!(stall.cause, StallCause::WatchdogExpired);
+    assert!(!stall.unfinished_nodes.is_empty());
+    assert!(stall.interesting_nodes().count() > 0);
+    assert!(stall.to_string().contains("FORWARD-PROGRESS STALL"));
+    // The same config is reproducible: the stall is detected at the same
+    // cycle every time.
+    let mut cfg2 = MachineConfig::small_test(ProtocolKind::Uncorq);
+    cfg2.seed = 11;
+    cfg2.watchdog_cycles = 50;
+    let stall2 = Machine::new(cfg2, &app())
+        .try_run()
+        .expect_err("still trips");
+    assert_eq!(stall.detected_at, stall2.detected_at);
+}

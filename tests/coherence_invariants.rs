@@ -45,8 +45,14 @@ fn stress(kind: ProtocolKind, lines: u64) {
     let cfg = checked_cfg(kind);
     let nodes = cfg.nodes();
     let mut m = Machine::with_streams(cfg, hot_line_streams(nodes, 60, lines));
-    let report = m.run();
-    assert!(report.finished, "{kind}: machine stalled under contention");
+    let report = match m.try_run() {
+        Ok(r) => r,
+        Err(stall) => panic!("{kind}: machine stalled under contention:\n{stall}"),
+    };
+    assert!(
+        report.finished,
+        "{kind}: hit the cycle cap under contention"
+    );
     // Quiescent check over the whole hot set.
     for l in 0..lines {
         let line = LineAddr::new(l);
@@ -83,7 +89,10 @@ fn uncorq_single_line_all_writers() {
     let cfg = checked_cfg(ProtocolKind::Uncorq);
     let nodes = cfg.nodes();
     let mut m = Machine::with_streams(cfg, hot_line_streams(nodes, 40, 1));
-    let report = m.run();
+    let report = match m.try_run() {
+        Ok(r) => r,
+        Err(stall) => panic!("single-line writer storm stalled:\n{stall}"),
+    };
     assert!(report.finished, "single-line writer storm must complete");
     assert!(m.supplier_count(LineAddr::new(0)) <= 1);
     // This workload collides constantly; retries must have occurred
@@ -97,16 +106,18 @@ fn uncorq_single_line_all_writers() {
 #[test]
 fn forward_progress_with_starvation_pressure() {
     // A single victim line, long runs: exercises the §5.2 forward
-    // progress machinery. Completion is the assertion.
+    // progress machinery. Completion is the assertion; a forward-progress
+    // failure surfaces as a structured StallReport with per-node LTT,
+    // retry, and starvation state rather than a bare boolean.
     for kind in [ProtocolKind::Eager, ProtocolKind::Uncorq] {
         let cfg = checked_cfg(kind);
         let nodes = cfg.nodes();
         let mut m = Machine::with_streams(cfg, hot_line_streams(nodes, 120, 1));
-        let report = m.run();
-        assert!(
-            report.finished,
-            "{kind}: starvation pressure stalled the machine"
-        );
+        let report = match m.try_run() {
+            Ok(r) => r,
+            Err(stall) => panic!("{kind}: starvation pressure stalled the machine:\n{stall}"),
+        };
+        assert!(report.finished, "{kind}: hit the cycle cap");
     }
 }
 
@@ -255,8 +266,11 @@ fn dual_rings_preserve_correctness() {
     cfg.dual_rings = true;
     let nodes = cfg.nodes();
     let mut m = Machine::with_streams(cfg, hot_line_streams(nodes, 60, 4));
-    let report = m.run();
-    assert!(report.finished, "dual-ring machine stalled");
+    let report = match m.try_run() {
+        Ok(r) => r,
+        Err(stall) => panic!("dual-ring machine stalled:\n{stall}"),
+    };
+    assert!(report.finished, "dual-ring machine hit the cycle cap");
     for l in 0..4u64 {
         assert!(m.supplier_count(LineAddr::new(l)) <= 1);
     }

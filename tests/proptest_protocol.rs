@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use uncorq::cache::LineAddr;
 use uncorq::coherence::ProtocolKind;
 use uncorq::cpu::Op;
+use uncorq::noc::{FaultPlan, FaultProfile};
 use uncorq::system::{Machine, MachineConfig};
 
 /// A compact random program: per-core op streams over a small hot set.
@@ -96,5 +97,70 @@ proptest! {
             let (report, _) = run_random(kind, streams.clone(), seed);
             prop_assert_eq!(report.stats.ops_retired, expected, "{}", kind);
         }
+    }
+
+    /// Adversarial retry/starvation knobs plus chaos faults: every ring
+    /// protocol must still make forward progress. Tiny backoffs and
+    /// hair-trigger starvation thresholds maximize collision churn; the
+    /// fault layer perturbs delivery on top. The watchdog converts any
+    /// liveness failure into a structured stall report.
+    #[test]
+    fn adversarial_configs_preserve_forward_progress(
+        streams in arb_streams(16),
+        seed in 0u64..1000,
+        retry_backoff in 1u64..64,
+        starvation_threshold in 1u32..8,
+        reservation_cycles in 1u64..2048,
+        chaos_seed in 0u64..1000,
+        profile_idx in 0usize..5,
+    ) {
+        let profile = [
+            FaultProfile::jitter(),
+            FaultProfile::reorder(),
+            FaultProfile::duplicate(),
+            FaultProfile::congestion(),
+            FaultProfile::chaos(),
+        ][profile_idx];
+        for kind in [
+            ProtocolKind::Eager,
+            ProtocolKind::SupersetCon,
+            ProtocolKind::SupersetAgg,
+            ProtocolKind::Uncorq,
+        ] {
+            let mut cfg = MachineConfig::small_test(kind);
+            cfg.seed = seed;
+            cfg.check_invariants = true;
+            cfg.protocol.retry_backoff = retry_backoff;
+            cfg.protocol.starvation_threshold = starvation_threshold;
+            cfg.protocol.reservation_cycles = reservation_cycles;
+            cfg.faults = Some(FaultPlan::new(profile, chaos_seed));
+            cfg.watchdog_cycles = 2_000_000;
+            let boxed: Vec<Box<dyn Iterator<Item = Op> + Send>> = streams
+                .iter()
+                .cloned()
+                .map(|v| Box::new(v.into_iter()) as Box<dyn Iterator<Item = Op> + Send>)
+                .collect();
+            let mut m = Machine::with_streams(cfg, boxed);
+            match m.try_run() {
+                Ok(report) => prop_assert!(report.finished, "{} hit the cycle cap", kind),
+                Err(stall) => prop_assert!(false, "{} stalled:\n{}", kind, stall),
+            }
+            for a in m.agents() {
+                prop_assert_eq!(a.stats().protocol_errors, 0, "{} protocol errors", kind);
+            }
+        }
+    }
+
+    /// Degenerate configs are rejected up front with a typed error, not
+    /// silently clamped.
+    #[test]
+    fn zero_knobs_are_rejected(which in 0usize..3) {
+        let mut p = uncorq::coherence::ProtocolConfig::paper(ProtocolKind::Uncorq);
+        match which {
+            0 => p.retry_backoff = 0,
+            1 => p.starvation_threshold = 0,
+            _ => p.max_outstanding = 0,
+        }
+        prop_assert!(p.validate().is_err());
     }
 }
