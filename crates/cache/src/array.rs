@@ -181,12 +181,15 @@ impl CacheArray {
             });
             return None;
         }
-        // Evict LRU.
-        let (vi, _) = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.lru)
-            .expect("full set has a victim");
+        // Evict LRU. The set is non-empty here (the `< ways` branch above
+        // handled partial sets and `ways >= 1` is asserted), so a plain
+        // scan avoids unwrapping an `Option` on the hot path.
+        let mut vi = 0;
+        for (i, w) in set.iter().enumerate() {
+            if w.lru < set[vi].lru {
+                vi = i;
+            }
+        }
         let victim = set[vi];
         set[vi] = Way {
             tag: addr.raw(),

@@ -12,6 +12,7 @@
 //! paper's Tables 1 and 2 lives here.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Arc, OnceLock};
 
 use ring_cache::{CacheArray, CacheConfig, LineAddr, LineState, Mshr};
 use ring_noc::NodeId;
@@ -20,6 +21,7 @@ use ring_trace::{ErrorClass, EventKind as TraceKind, OpClass, Payload, TraceEven
 use serde::{Deserialize, Serialize};
 
 use crate::config::{ProtocolConfig, ProtocolKind};
+use crate::table::{SnoopState, SupplierTable};
 
 /// Maps a protocol transaction kind onto the trace-layer operation
 /// class.
@@ -223,6 +225,7 @@ pub struct AgentStats {
 #[derive(Debug, Clone, Copy)]
 struct Collider {
     priority: Priority,
+    kind: TxnKind,
     response_seen: bool,
 }
 
@@ -242,6 +245,13 @@ struct OwnTx {
     lost: bool,
     colliders: BTreeMap<TxnId, Collider>,
     must_invalidate: bool,
+    /// A squashed positive was consumed before the suppliership landed:
+    /// the attempt must fail over, but a transfer is already in flight
+    /// to us (the positive proves a supplier serviced this attempt), so
+    /// the abort is parked until it arrives — failing immediately would
+    /// let the retry bind stale memory while the only current copy is
+    /// still on the wire.
+    doomed: bool,
     /// Our resident copy was evicted out from under a WriteHit.
     copy_lost: bool,
     /// Sharers observed by our own combined response.
@@ -259,6 +269,63 @@ impl OwnTx {
         self.colliders
             .values()
             .all(|c| self.priority.beats(c.priority))
+    }
+}
+
+/// The process-wide canonical supplier table, shared by every agent that
+/// has not been handed a replacement.
+fn canonical_supplier_table() -> Arc<SupplierTable> {
+    static CANONICAL: OnceLock<Arc<SupplierTable>> = OnceLock::new();
+    Arc::clone(CANONICAL.get_or_init(|| Arc::new(SupplierTable::canonical())))
+}
+
+/// A read-only snapshot of one own outstanding transaction, exposing the
+/// requester-side decision inputs the `ring-model` conformance checker
+/// replays against [`crate::DecisionTable`].
+#[derive(Debug, Clone)]
+pub struct OwnTxView {
+    /// The transaction's identity.
+    pub txn: TxnId,
+    /// Current kind (a WriteHit degrades to WriteMiss on copy loss).
+    pub kind: TxnKind,
+    /// Winner-selection priority.
+    pub priority: Priority,
+    /// Own `r` consumed and won (point of no return).
+    pub committed: bool,
+    /// A passing `r+` proved this transaction lost.
+    pub lost: bool,
+    /// Committed to a memory fill that has not arrived yet.
+    pub mem_waiting: bool,
+    /// The suppliership message has arrived.
+    pub has_suppliership: bool,
+    /// Whether the bound suppliership carries data (`None` until one
+    /// arrives).
+    pub suppliership_with_data: Option<bool>,
+    /// Whether the own combined response has been consumed, and if so
+    /// whether it was positive.
+    pub own_resp_positive: Option<bool>,
+    /// A colliding write obligates invalidation of the local copy.
+    pub must_invalidate: bool,
+    /// A squashed positive parked this attempt until its in-flight
+    /// suppliership lands (it then flushes and fails over).
+    pub doomed: bool,
+    /// The resident copy was evicted out from under a WriteHit.
+    pub copy_lost: bool,
+    /// Known colliders as `(txn, priority, response_seen)`.
+    pub colliders: Vec<(TxnId, Priority, bool)>,
+}
+
+impl OwnTxView {
+    /// Whether every known collider's response has been observed.
+    pub fn colliders_seen(&self) -> bool {
+        self.colliders.iter().all(|&(_, _, seen)| seen)
+    }
+
+    /// Whether this transaction's priority beats every known collider's.
+    pub fn beats_all(&self) -> bool {
+        self.colliders
+            .iter()
+            .all(|&(_, p, _)| self.priority.beats(p))
     }
 }
 
@@ -293,6 +360,10 @@ pub struct RingAgent {
     starving: Option<LineAddr>,
     serial: u64,
     rng: DetRng,
+    /// The declarative supplier-side snoop table this agent consults on
+    /// every [`AgentInput::SnoopDone`]. Shared (the canonical table by
+    /// default); replaceable for the model-checker's mutation harness.
+    table: Arc<SupplierTable>,
     stats: AgentStats,
     /// Whether trace events are collected (off by default: the hot path
     /// then only tests one bool per site).
@@ -331,6 +402,7 @@ impl RingAgent {
             starving: None,
             serial: 0,
             rng,
+            table: canonical_supplier_table(),
             cfg,
             stats: AgentStats::default(),
             trace_on: false,
@@ -373,6 +445,107 @@ impl RingAgent {
     /// The agent's counters.
     pub fn stats(&self) -> &AgentStats {
         &self.stats
+    }
+
+    /// The supplier-side snoop table this agent consults.
+    pub fn supplier_table(&self) -> &SupplierTable {
+        &self.table
+    }
+
+    /// Replaces the supplier table (the model checker's mutation harness
+    /// injects deliberately broken tables here; production code keeps the
+    /// canonical default).
+    pub fn set_supplier_table(&mut self, table: Arc<SupplierTable>) {
+        self.table = table;
+    }
+
+    /// A snapshot of the own outstanding transaction on `line`, exposing
+    /// the requester-side decision inputs for differential conformance
+    /// checking. `None` when no transaction is outstanding there.
+    pub fn own_txn_view(&self, line: LineAddr) -> Option<OwnTxView> {
+        let tx = self.outstanding.get(line)?;
+        Some(OwnTxView {
+            txn: tx.txn,
+            kind: tx.kind,
+            priority: tx.priority,
+            committed: tx.committed,
+            lost: tx.lost,
+            mem_waiting: tx.mem_waiting,
+            has_suppliership: tx.suppliership.is_some(),
+            suppliership_with_data: tx.suppliership.map(|s| s.with_data),
+            own_resp_positive: tx.own_resp.map(|r| r.positive),
+            must_invalidate: tx.must_invalidate,
+            doomed: tx.doomed,
+            copy_lost: tx.copy_lost,
+            colliders: tx
+                .colliders
+                .iter()
+                .map(|(id, c)| (*id, c.priority, c.response_seen))
+                .collect(),
+        })
+    }
+
+    /// Hashes the agent's complete protocol-relevant state into `h`, so
+    /// the `ring-model` explorer can deduplicate global states. Includes
+    /// everything future behavior depends on (L2 contents, LTT, MSHR
+    /// payloads, retry/squash/starvation bookkeeping, filter and NPP
+    /// state, the RNG) and excludes pure statistics and the trace buffer.
+    pub fn digest(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.node.hash(h);
+        // L2 resident lines: CacheArray::iter walks sets in index order
+        // and ways in physical order; sort for canonical form (way order
+        // within a set is allocation history, not behavior — LRU ranks
+        // would matter for evictions, but model configs are sized so the
+        // working set fits, and the tiebreak is deterministic anyway).
+        let mut lines: Vec<(LineAddr, LineState)> = self.l2.iter().collect();
+        lines.sort_unstable();
+        lines.hash(h);
+        self.ltt.digest(h);
+        if let Some(f) = self.filter.as_ref() {
+            f.digest(h);
+        }
+        self.npp.digest(h);
+        self.outstanding.len().hash(h);
+        for (line, tx) in self.outstanding.iter() {
+            line.hash(h);
+            tx.txn.hash(h);
+            tx.kind.hash(h);
+            tx.priority.hash(h);
+            tx.first_issued_at.hash(h);
+            tx.retries.hash(h);
+            tx.suppliership.hash(h);
+            tx.own_resp.hash(h);
+            tx.committed.hash(h);
+            tx.lost.hash(h);
+            tx.colliders.len().hash(h);
+            for (id, c) in &tx.colliders {
+                id.hash(h);
+                c.priority.hash(h);
+                c.response_seen.hash(h);
+            }
+            tx.must_invalidate.hash(h);
+            tx.doomed.hash(h);
+            tx.copy_lost.hash(h);
+            tx.sharers_seen.hash(h);
+            tx.prefetch_issued.hash(h);
+            tx.mem_waiting.hash(h);
+        }
+        self.pending_core.hash(h);
+        self.retry_info.len().hash(h);
+        for (line, info) in &self.retry_info {
+            line.hash(h);
+            info.kind.hash(h);
+            info.count.hash(h);
+            info.first_issued_at.hash(h);
+        }
+        self.squash_set.hash(h);
+        self.held_requests.hash(h);
+        self.forward_on_snoop.hash(h);
+        self.snoop_delay_budget.hash(h);
+        self.starving.hash(h);
+        self.serial.hash(h);
+        self.rng.state().hash(h);
     }
 
     /// Whether a transaction for `line` is outstanding at this node.
@@ -513,6 +686,16 @@ impl RingAgent {
             Some(i) => (i.kind, i.count, i.first_issued_at),
             None => (kind, 0, now),
         };
+        // A store's kind freezes when it is parked (`pending_core`,
+        // `retry_info`): a snoop can invalidate the copy before the
+        // request finally issues. A WriteHit without a valid copy would
+        // ride the ring claiming it needs no data, so suppliers would
+        // answer ownership-only — re-derive the honest kind here.
+        let kind = if kind == TxnKind::WriteHit && !self.l2.state(line).is_valid() {
+            TxnKind::WriteMiss
+        } else {
+            kind
+        };
         self.serial += 1;
         let txn = TxnId {
             node: self.node,
@@ -553,6 +736,7 @@ impl RingAgent {
             lost: false,
             colliders: BTreeMap::new(),
             must_invalidate: false,
+            doomed: false,
             copy_lost: false,
             sharers_seen: false,
             prefetch_issued: false,
@@ -578,6 +762,7 @@ impl RingAgent {
                         slot.txn,
                         Collider {
                             priority,
+                            kind: fkind,
                             response_seen: slot.response.is_some(),
                         },
                     );
@@ -809,6 +994,7 @@ impl RingAgent {
             );
             tx.colliders.entry(req.txn).or_insert(Collider {
                 priority: req.priority,
+                kind: req.kind,
                 response_seen: false,
             });
             if req.kind.is_write() {
@@ -862,18 +1048,38 @@ impl RingAgent {
         };
         let state = self.l2.state(line);
         let transient = self.outstanding.contains(line);
-        let positive = state.is_supplier() && !transient;
+        // Consult the declarative supplier table — the same artifact the
+        // `ring-model` checker proves complete and deterministic — for
+        // the snoop outcome, the suppliership, and our copy's next state.
+        let snoop_state = SnoopState::classify(state, transient);
+        let row = match self.table.lookup(snoop_state, req.kind, &self.cfg) {
+            Ok(row) => *row,
+            Err(_) => {
+                // A hole or ambiguity (only possible with a mutated
+                // table): record the error and degrade to a negative
+                // snoop so the protocol stays live for the checker.
+                self.protocol_error(now, txn, line, ErrorClass::TableMiss);
+                tev!(
+                    self,
+                    now,
+                    txn,
+                    line,
+                    TraceKind::SnoopPerform { positive: false }
+                );
+                self.ltt.snoop_complete(txn, line, false);
+                if self.forward_on_snoop.remove(&txn) {
+                    fx.push(Effect::RingSend {
+                        msg: RingMsg::Request(req),
+                        delay: 0,
+                    });
+                }
+                self.drain_responses(now, line, fx);
+                return;
+            }
+        };
+        let positive = row.positive;
         tev!(self, now, txn, line, TraceKind::SnoopPerform { positive });
-        if positive {
-            let keep = self.cfg.reads_keep_supplier && req.kind == TxnKind::Read;
-            let (new_state, with_data) = match req.kind {
-                // §5.5 extension: the requester gets a plain Shared copy
-                // and this node stays the designated supplier.
-                TxnKind::Read if keep => (LineState::Shared, true),
-                TxnKind::Read => (state.read_requester_state(), true),
-                TxnKind::WriteMiss => (LineState::Dirty, true),
-                TxnKind::WriteHit => (LineState::Dirty, false),
-            };
+        if let Some(supply) = row.supply {
             tev!(
                 self,
                 now,
@@ -881,7 +1087,7 @@ impl RingAgent {
                 line,
                 TraceKind::Suppliership {
                     to: req.requester().0 as u32,
-                    with_data,
+                    with_data: supply.with_data,
                 }
             );
             fx.push(Effect::SendSupplier {
@@ -889,36 +1095,24 @@ impl RingAgent {
                 msg: SupplierMsg {
                     txn,
                     line,
-                    with_data,
-                    new_state,
+                    with_data: supply.with_data,
+                    new_state: supply.requester_state,
                 },
             });
             self.stats.supplierships_sent += 1;
-            if req.kind.is_write() {
+        }
+        match row.next_state {
+            Some(LineState::Invalid) => {
                 self.l2.invalidate(line);
                 if let Some(f) = self.filter.as_mut() {
                     f.remove(line);
                 }
                 fx.push(Effect::L1Invalidate { line });
-            } else if keep {
-                // Remain the designated provider; clean sole copies gain
-                // a sharer (E→MS), dirty ones become dirty-shared (D→T).
-                let kept = match state {
-                    LineState::Exclusive => LineState::MasterShared,
-                    LineState::Dirty => LineState::Tagged,
-                    s => s,
-                };
-                self.l2.set_state(line, kept);
-            } else {
-                self.l2.set_state(line, state.read_supplier_demotion());
             }
-        } else if req.kind.is_write() && state.is_valid() && !transient {
-            // Invalidation of a non-supplier copy.
-            self.l2.invalidate(line);
-            if let Some(f) = self.filter.as_mut() {
-                f.remove(line);
+            Some(next) => {
+                self.l2.set_state(line, next);
             }
-            fx.push(Effect::L1Invalidate { line });
+            None => {}
         }
         self.ltt.snoop_complete(txn, line, positive);
         if self.forward_on_snoop.remove(&txn) {
@@ -973,6 +1167,7 @@ impl RingAgent {
             }
             let collider = tx.colliders.entry(resp.txn).or_insert(Collider {
                 priority: resp.priority,
+                kind: resp.kind,
                 response_seen: false,
             });
             collider.response_seen = true;
@@ -1093,21 +1288,54 @@ impl RingAgent {
                 return;
             }
         }
+        let keep_supplier_reads = self.cfg.reads_keep_supplier;
         let Some(tx) = self.outstanding.get_mut(line) else {
             return;
         };
+        if tx.doomed {
+            // A doomed attempt is the serialization point of in-flight
+            // current data: a supplier has already demoted itself and
+            // shipped us the line (the positive proves it), but nothing is
+            // bound and memory may be stale until the transfer lands and
+            // is flushed. Any response passing now combined its outcomes
+            // after that demotion — a clean negative here could send a
+            // third party to stale memory — so every passer retries.
+            resp.squashed = true;
+            self.stats.squash_marks += 1;
+            return;
+        }
         if tx.committed || tx.suppliership.is_some() {
             // We are the already-committed winner — either our own positive
             // response arrived, or the suppliership did (the transaction is
-            // bound and cannot be undone, §5.3). Either way our win is
-            // serialized before the passing transaction at the supplier,
-            // so the passing loser must retry (the natural-serialization
-            // squash of Tables 1/2). This also closes the moving-supplier
-            // race: a negative response lapping the ring while the
-            // suppliership hops between requesters always crosses at least
-            // one bound winner, which squashes it.
-            resp.squashed = true;
-            self.stats.squash_marks += 1;
+            // bound and cannot be undone, §5.3). Our win is serialized
+            // before the passing transaction at the supplier, so the
+            // passing loser must retry (the natural-serialization squash of
+            // Tables 1/2) — but only when the win actually staled the
+            // passing response's collected outcomes. A squash now dominates
+            // even a downstream positive, so it must be precise:
+            //  * our win is an invalidating write — every outcome collected
+            //    before our completion is stale;
+            //  * the passer is a write — it must come back to invalidate
+            //    the copy our win installs (complete_txn defers
+            //    must_invalidate to exactly this squash-retry);
+            //  * our read win moved the suppliership to us — the passing
+            //    response may have crossed the ring during the
+            //    no-supplier window and combined a false clean negative.
+            // A read win that leaves the designation in place (§5.5
+            // keep-supplier) perturbs nothing a passing read relies on:
+            // the still-designated supplier services it, so it rides
+            // unmarked. Everything else — a bound supplier-class
+            // transfer, a memory fill (installs Exclusive/MasterShared),
+            // or an unbound base-protocol transfer — makes this node the
+            // supplier and opens the moving-supplier window.
+            let wins_supplier_state = match tx.suppliership {
+                Some(s) => s.new_state.is_supplier(),
+                None => tx.mem_waiting || !keep_supplier_reads,
+            };
+            if tx.kind.is_write() || resp.kind.is_write() || wins_supplier_state {
+                resp.squashed = true;
+                self.stats.squash_marks += 1;
+            }
         } else if !tx.lost && tx.priority.beats(resp.priority) {
             // No winner known yet: pairwise winner selection; hint the
             // loser (the §4.4 Loser Hint). The paper introduces the bit
@@ -1126,7 +1354,9 @@ impl RingAgent {
 
     fn own_response(&mut self, now: Cycle, resp: ResponseMsg, fx: &mut Vec<Effect>) {
         // SNID reservation on suppliership arrival at the new supplier.
-        if resp.positive {
+        // A squashed positive fails over below, so no reservation: the
+        // transfer is being declined, not accepted.
+        if resp.positive && !resp.must_retry() {
             if let Some(snid) = resp.snid {
                 if snid != self.node {
                     self.ltt
@@ -1155,10 +1385,32 @@ impl RingAgent {
         tx.own_resp = Some(resp);
         tx.sharers_seen = resp.sharers;
         if resp.must_retry() || (!resp.positive && tx.lost) {
+            if resp.positive && tx.suppliership.is_none() {
+                // A squashed positive: the positive proves a supplier
+                // already sent us a transfer that has not landed yet.
+                // Failing over now would let the retry reissue and bind
+                // stale memory while the only current copy is still on
+                // the wire — park the abort until the transfer arrives
+                // (`supplier_arrival` then flushes it and fails over).
+                tx.doomed = true;
+                return;
+            }
             self.fail_txn(now, resp.line, fx);
             return;
         }
         if resp.positive {
+            // An ownership-only suppliership is usable only while the
+            // local copy still holds current data. If a colliding write
+            // compromised the copy (`must_invalidate`/`copy_lost`),
+            // completing now would commit the write against stale data —
+            // fail instead; the retry invalidates and reissues as a
+            // WriteMiss, fetching current data.
+            if let Some(sup) = tx.suppliership {
+                if !sup.with_data && (tx.must_invalidate || tx.copy_lost) {
+                    self.fail_txn(now, resp.line, fx);
+                    return;
+                }
+            }
             tx.committed = true;
             tev!(
                 self,
@@ -1281,10 +1533,41 @@ impl RingAgent {
     }
 
     fn supplier_arrival(&mut self, now: Cycle, msg: SupplierMsg, fx: &mut Vec<Effect>) {
-        let Some(tx) = self.outstanding.get_mut(msg.line) else {
-            return; // defensive: suppliership for a failed transaction
+        let matched = self
+            .outstanding
+            .get_mut(msg.line)
+            .filter(|tx| tx.txn == msg.txn && tx.suppliership.is_none());
+        let Some(tx) = matched else {
+            // Suppliership for a transaction that already failed over (a
+            // squash consumed before the supply landed, or a previous
+            // attempt's supply reaching its retry). The old supplier
+            // demoted itself when it sent this message, so a with-data
+            // transfer is now the only current copy in the system: flush
+            // it to memory so the retry — and every other requester —
+            // finds current data there. The line itself is not
+            // installed; the retry re-acquires it through the protocol.
+            if msg.with_data {
+                tev!(self, now, msg.txn, msg.line, TraceKind::Writeback);
+                fx.push(Effect::Writeback { line: msg.line });
+            }
+            return;
         };
-        if tx.txn != msg.txn || tx.suppliership.is_some() {
+        if tx.doomed {
+            // The parked abort of a squashed positive: the in-flight
+            // transfer has landed. Bind it so `fail_txn` flushes a
+            // with-data payload to memory, then fail over.
+            tx.suppliership = Some(msg);
+            self.fail_txn(now, msg.line, fx);
+            return;
+        }
+        // Same stale-upgrade guard as `own_response`: a committed
+        // transaction must not complete an ownership-only transfer onto a
+        // compromised copy.
+        if !msg.with_data
+            && (tx.must_invalidate || tx.copy_lost)
+            && tx.own_resp.map(|r| r.positive).unwrap_or(false)
+        {
+            self.fail_txn(now, msg.line, fx);
             return;
         }
         tx.suppliership = Some(msg);
@@ -1353,13 +1636,20 @@ impl RingAgent {
         }
         // Foreign transactions that overlapped ours and whose responses we
         // have not yet forwarded must be squashed when they pass (the
-        // natural-serialization squash of Tables 1 and 2).
+        // natural-serialization squash of Tables 1 and 2) — under the same
+        // precision as `apply_marks`: only when our completion staled their
+        // collected outcomes (we wrote, or took the suppliership), or the
+        // collider is a write that must come back to invalidate the copy
+        // we just installed.
+        let win_stales_outcomes =
+            tx.kind.is_write() || tx.suppliership.is_none_or(|s| s.new_state.is_supplier());
         let unserviced: BTreeSet<TxnId> = tx
             .colliders
             .iter()
             .filter(|(id, c)| {
                 !c.response_seen || self.ltt.entry(line).and_then(|e| e.slot(**id)).is_some()
             })
+            .filter(|(_, c)| win_stales_outcomes || c.kind.is_write())
             .map(|(id, _)| *id)
             .collect();
         if !unserviced.is_empty() {
@@ -1410,6 +1700,14 @@ impl RingAgent {
             return;
         };
         self.stats.retries += 1;
+        // A with-data suppliership already bound to the failing attempt
+        // is the only current copy (the supplier demoted itself when it
+        // sent it): flush it to memory before abandoning the attempt so
+        // no write is lost and subsequent memory fills are current.
+        if tx.suppliership.is_some_and(|s| s.with_data) {
+            tev!(self, now, tx.txn, line, TraceKind::Writeback);
+            fx.push(Effect::Writeback { line });
+        }
         let mut kind = tx.kind;
         if tx.must_invalidate || tx.copy_lost {
             if self.l2.invalidate(line) {

@@ -57,6 +57,82 @@ impl std::fmt::Display for ProtocolKind {
     }
 }
 
+/// One of the five evaluated protocol variants (the paper's Figure 9
+/// lines): the four [`ProtocolKind`]s in their paper configuration plus
+/// Uncorq with the §5.4 prefetching optimization.
+///
+/// This is the single source of truth for "run every protocol" sweeps
+/// (`chaoscheck`, `chaos_sweep`, `modelcheck`); binaries should iterate
+/// [`ProtocolVariant::ALL`] rather than re-deriving the list by hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolVariant {
+    /// Eager Forwarding, paper configuration.
+    Eager,
+    /// Flexible Snooping, Superset Conservative, paper configuration.
+    SupersetCon,
+    /// Flexible Snooping, Superset Aggressive, paper configuration.
+    SupersetAgg,
+    /// Uncorq, paper configuration.
+    Uncorq,
+    /// Uncorq with §5.4 prefetching ("Uncorq+Pref").
+    UncorqPref,
+}
+
+impl ProtocolVariant {
+    /// The five variants, in the order Figure 9 plots them.
+    pub const ALL: [ProtocolVariant; 5] = [
+        ProtocolVariant::Eager,
+        ProtocolVariant::SupersetCon,
+        ProtocolVariant::SupersetAgg,
+        ProtocolVariant::Uncorq,
+        ProtocolVariant::UncorqPref,
+    ];
+
+    /// The underlying protocol kind.
+    pub fn kind(self) -> ProtocolKind {
+        match self {
+            ProtocolVariant::Eager => ProtocolKind::Eager,
+            ProtocolVariant::SupersetCon => ProtocolKind::SupersetCon,
+            ProtocolVariant::SupersetAgg => ProtocolKind::SupersetAgg,
+            ProtocolVariant::Uncorq | ProtocolVariant::UncorqPref => ProtocolKind::Uncorq,
+        }
+    }
+
+    /// The paper configuration for this variant.
+    pub fn config(self) -> ProtocolConfig {
+        match self {
+            ProtocolVariant::UncorqPref => ProtocolConfig::uncorq_pref(),
+            other => ProtocolConfig::paper(other.kind()),
+        }
+    }
+
+    /// The CLI-facing lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolVariant::Eager => "eager",
+            ProtocolVariant::SupersetCon => "supersetcon",
+            ProtocolVariant::SupersetAgg => "supersetagg",
+            ProtocolVariant::Uncorq => "uncorq",
+            ProtocolVariant::UncorqPref => "uncorq+pref",
+        }
+    }
+
+    /// Parses a CLI name (case-insensitive; accepts `uncorq+pref` and
+    /// `uncorq-pref`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        let n = name.to_lowercase();
+        ProtocolVariant::ALL
+            .into_iter()
+            .find(|v| v.name() == n || (n == "uncorq-pref" && *v == ProtocolVariant::UncorqPref))
+    }
+}
+
+impl std::fmt::Display for ProtocolVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Per-node protocol agent configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ProtocolConfig {
@@ -276,6 +352,22 @@ mod tests {
     fn display_names() {
         assert_eq!(ProtocolKind::Uncorq.to_string(), "Uncorq");
         assert_eq!(ProtocolKind::SupersetAgg.to_string(), "SupersetAgg");
+    }
+
+    #[test]
+    fn variant_list_covers_figure_9() {
+        assert_eq!(ProtocolVariant::ALL.len(), 5);
+        for v in ProtocolVariant::ALL {
+            assert_eq!(ProtocolVariant::by_name(v.name()), Some(v));
+            v.config().validate().unwrap();
+        }
+        assert_eq!(
+            ProtocolVariant::by_name("UNCORQ-PREF"),
+            Some(ProtocolVariant::UncorqPref)
+        );
+        assert!(ProtocolVariant::UncorqPref.config().prefetch);
+        assert_eq!(ProtocolVariant::UncorqPref.kind(), ProtocolKind::Uncorq);
+        assert!(ProtocolVariant::by_name("bogus").is_none());
     }
 
     #[test]

@@ -116,6 +116,15 @@ impl PresenceFilter {
     pub fn positives(&self) -> u64 {
         self.positives
     }
+
+    /// Hashes the filter's behavioral state (the counters) into `h`,
+    /// excluding the lookup statistics. Used by the `ring-model`
+    /// state-space explorer.
+    pub fn digest(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.counters.hash(h);
+        self.hashes.hash(h);
+    }
 }
 
 #[cfg(test)]

@@ -371,23 +371,27 @@ impl HtAgent {
             node: self.node,
             serial: self.serial,
         };
-        self.outstanding
-            .allocate(
-                line,
-                HtTx {
-                    txn,
-                    write,
-                    issued_at: now,
-                    responses: 0,
-                    supplied: false,
-                    sharers: false,
-                    data_at: None,
-                    data_c2c: false,
-                    mem_data: None,
-                    bound_emitted: false,
-                },
-            )
-            .expect("checked capacity");
+        let alloc = self.outstanding.allocate(
+            line,
+            HtTx {
+                txn,
+                write,
+                issued_at: now,
+                responses: 0,
+                supplied: false,
+                sharers: false,
+                data_at: None,
+                data_c2c: false,
+                mem_data: None,
+                bound_emitted: false,
+            },
+        );
+        if alloc.is_err() {
+            // The caller vetted capacity and uniqueness, so a failure here
+            // means a duplicated input re-entered issue; drop the request
+            // rather than crash.
+            return;
+        }
         self.stats.issued += 1;
         tev!(
             self,
@@ -600,7 +604,12 @@ impl HtAgent {
                 });
             }
         }
-        let tx = self.outstanding.release(line).expect("present");
+        // The entry was just inspected via get_mut, so release can only
+        // fail if the table was corrupted mid-call; bail out rather than
+        // crash.
+        let Some(tx) = self.outstanding.release(line) else {
+            return;
+        };
         self.stats.completed += 1;
         if tx.data_c2c {
             self.stats.completed_c2c += 1;

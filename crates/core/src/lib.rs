@@ -46,6 +46,7 @@
 //! resulting message sequences, mirroring the paper's Tables 1 and 2.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod agent;
 pub mod config;
@@ -54,12 +55,17 @@ pub mod ht;
 pub mod ltt;
 pub mod msg;
 pub mod npp;
+pub mod table;
 pub mod txn;
 
-pub use agent::{AgentInput, AgentStats, Effect, RingAgent};
-pub use config::{ConfigError, ProtocolConfig, ProtocolKind};
+pub use agent::{AgentInput, AgentStats, Effect, OwnTxView, RingAgent};
+pub use config::{ConfigError, ProtocolConfig, ProtocolKind, ProtocolVariant};
 pub use filter::PresenceFilter;
 pub use ltt::{Ltt, LttConfig};
 pub use msg::{RequestMsg, ResponseMsg, RingMsg, SupplierMsg, CONTROL_BYTES, DATA_BYTES};
 pub use npp::NodePrefetchPredictor;
+pub use table::{
+    DecisionAction, DecisionCtx, DecisionGuard, DecisionRow, DecisionTable, RespClass, SnoopRow,
+    SnoopState, SupplierGuard, SupplierTable, SupplyAction, TableAnalysis, TableError,
+};
 pub use txn::{Priority, TxnId, TxnKind};

@@ -94,12 +94,14 @@ impl LttEntry {
     }
 
     fn slot_mut(&mut self, txn: TxnId) -> &mut TxnSlot {
-        if let Some(i) = self.slots.iter().position(|s| s.txn == txn) {
-            &mut self.slots[i]
-        } else {
-            self.slots.push(TxnSlot::new(txn));
-            self.slots.last_mut().expect("just pushed")
-        }
+        let i = match self.slots.iter().position(|s| s.txn == txn) {
+            Some(i) => i,
+            None => {
+                self.slots.push(TxnSlot::new(txn));
+                self.slots.len() - 1
+            }
+        };
+        &mut self.slots[i]
     }
 
     /// The slot for `txn`, if tracked.
@@ -383,6 +385,47 @@ impl Ltt {
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Hashes the semantically relevant table contents into `h`, in a
+    /// canonical order independent of allocation history.
+    ///
+    /// Entries are visited sorted by line and slots sorted by transaction
+    /// id; each slot's raw `response_order` (a globally increasing
+    /// sequence number) is canonicalized to its rank among the entry's
+    /// buffered responses, which is the only aspect draining depends on.
+    /// Statistics counters are excluded. Used by the `ring-model`
+    /// state-space explorer to deduplicate protocol states.
+    pub fn digest(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        let mut entries: Vec<&LttEntry> = self.sets.iter().flatten().collect();
+        entries.sort_by_key(|e| e.line);
+        entries.len().hash(h);
+        for e in entries {
+            e.line.hash(h);
+            e.wid.hash(h);
+            e.reservation.hash(h);
+            let mut orders: Vec<u64> = e
+                .slots
+                .iter()
+                .filter(|s| s.response.is_some())
+                .map(|s| s.response_order)
+                .collect();
+            orders.sort_unstable();
+            let mut slots: Vec<&TxnSlot> = e.slots.iter().collect();
+            slots.sort_by_key(|s| s.txn);
+            slots.len().hash(h);
+            for s in slots {
+                s.txn.hash(h);
+                s.request.hash(h);
+                s.snoop_done.hash(h);
+                s.snoop_positive.hash(h);
+                s.response.hash(h);
+                if s.response.is_some() {
+                    orders.binary_search(&s.response_order).ok().hash(h);
+                }
+            }
+        }
     }
 }
 

@@ -18,7 +18,7 @@ pub const DATA_BYTES: u64 = 72;
 /// Under Eager and Flexible Snooping, `R` traverses the ring; under
 /// Uncorq, read `R`s are delivered over any network path (multicast)
 /// while write `R`s still use the ring (paper §6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RequestMsg {
     /// Identity of the transaction.
     pub txn: TxnId,
@@ -43,7 +43,7 @@ impl RequestMsg {
 /// serialization metadata of §3–§5: the squash mark, the Loser Hint bit
 /// (Uncorq, no-supplier forced serialization), and the starving-node ID
 /// (SNID) used for forward progress in Uncorq.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ResponseMsg {
     /// Identity of the transaction this response belongs to.
     pub txn: TxnId,
@@ -92,18 +92,25 @@ impl ResponseMsg {
         self.txn.node
     }
 
-    /// Whether this response tells its owner to retry. Squash and Loser
-    /// Hint marks are only meaningful on negative responses: a response
-    /// that later combined positive means the transaction won at the
-    /// supplier, overriding any pairwise guess made upstream.
+    /// Whether this response tells its owner to retry. The two marks
+    /// have different strengths. A squash is applied by a node whose
+    /// *committed* win serialized before this transaction — its snoop
+    /// outcome in this very response predates that win and is stale, so
+    /// the combined response is unsound no matter what joins it later: a
+    /// supplier downstream of the squasher may still combine it
+    /// positive, but completing on it would leave the squasher's
+    /// post-win copy unaccounted (its invalidation was never performed).
+    /// Squash therefore dominates even a positive. The Loser Hint is
+    /// only a pairwise guess between two undecided transactions and is
+    /// overridden when the response later combines positive.
     pub fn must_retry(&self) -> bool {
-        !self.positive && (self.squashed || self.loser_hint)
+        self.squashed || (!self.positive && self.loser_hint)
     }
 }
 
 /// A message traveling on the logical ring: either a request or a
 /// combined response.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RingMsg {
     /// A snoop request.
     Request(RequestMsg),
@@ -138,7 +145,7 @@ impl RingMsg {
 /// requester over the shortest network path, carrying the data (unless
 /// the requester already caches it) and the state the requester will
 /// install on completion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SupplierMsg {
     /// Transaction being serviced.
     pub txn: TxnId,
@@ -202,13 +209,17 @@ mod tests {
     }
 
     #[test]
-    fn positive_response_ignores_marks() {
+    fn positive_response_overrides_loser_hint_but_not_squash() {
         // A Loser Hint set before the response reached the supplier is
-        // overridden when the supplier combines it positive.
+        // overridden when the supplier combines it positive...
         let mut r = ResponseMsg::initial(&req());
         r.loser_hint = true;
         r.positive = true;
         assert!(!r.must_retry());
+        // ...but a squash is not: it records a committed winner's stale
+        // snoop outcome in this response, which no later supply can fix.
+        r.squashed = true;
+        assert!(r.must_retry());
     }
 
     #[test]

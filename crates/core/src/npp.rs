@@ -64,7 +64,11 @@ impl NodePrefetchPredictor {
         // Evict least-recently-observed distinct addresses, skipping
         // stale queue entries superseded by a refresh.
         while self.present.len() > self.capacity {
-            let (old, stamp) = self.queue.pop_front().expect("non-empty queue");
+            // Every present entry has a live queue entry, so the queue
+            // cannot drain before the table shrinks below capacity.
+            let Some((old, stamp)) = self.queue.pop_front() else {
+                break;
+            };
             if self.present.get(&old) == Some(&stamp) {
                 self.present.remove(&old);
             }
@@ -116,6 +120,22 @@ impl NodePrefetchPredictor {
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
         self.present.is_empty()
+    }
+
+    /// Hashes the predictor's behavioral state into `h`: the live LRU
+    /// sequence (stale queue entries and raw stamps are canonicalized
+    /// away) and the capacity. Statistics counters are excluded. Used by
+    /// the `ring-model` state-space explorer.
+    pub fn digest(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.capacity.hash(h);
+        let live: Vec<LineAddr> = self
+            .queue
+            .iter()
+            .filter(|(a, stamp)| self.present.get(a) == Some(stamp))
+            .map(|&(a, _)| a)
+            .collect();
+        live.hash(h);
     }
 }
 

@@ -1,0 +1,956 @@
+//! Declarative guarded-action transition tables for the ring protocols.
+//!
+//! The paper's correctness argument rests on a large transition table
+//! that historically lived only inside [`crate::agent`]'s nested
+//! matches. This module lifts the two decision kernels into data:
+//!
+//! - [`SupplierTable`] — what a node does when it *snoops* a foreign
+//!   request: `(line state × request kind × guard) → (snoop outcome,
+//!   suppliership action, next local state)`. [`crate::RingAgent`]
+//!   consults this table directly on the snoop path, so the statically
+//!   checked artifact **is** the shipped logic.
+//! - [`DecisionTable`] — what a *requester* does when it consumes its
+//!   own combined response: `(response class × guard cube) → action`.
+//!   The agent implements this logic independently
+//!   (`own_response`/`try_decide`); the `ring-model` crate checks the
+//!   two encodings against each other (differential conformance).
+//!
+//! Both tables come with a completeness/determinism analysis: for every
+//! protocol variant, every `state × message` pair must be matched by
+//! **exactly one** row whose guard admits the variant's configuration.
+//! Holes (unhandled pairs) and ambiguities (overlapping rows) are
+//! reported as data, and `modelcheck` fails the build on either.
+
+use ring_cache::LineState;
+
+use crate::config::ProtocolConfig;
+use crate::txn::TxnKind;
+
+// ---------------------------------------------------------------------
+// Supplier-side snoop table
+// ---------------------------------------------------------------------
+
+/// The protocol-visible state of a line at a snooping node: the six
+/// stable states plus the single transient class (the node itself has
+/// an outstanding transaction on the line, so it snoops as a
+/// non-supplier regardless of the resident copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SnoopState {
+    /// Not present (or invalidated).
+    Invalid,
+    /// Valid non-supplier copy.
+    Shared,
+    /// Clean sole copy; supplier.
+    Exclusive,
+    /// Clean supplier with possible sharers.
+    MasterShared,
+    /// Modified sole copy; supplier.
+    Dirty,
+    /// Modified supplier with possible sharers.
+    Tagged,
+    /// An own transaction is outstanding on the line (paper §3.2: the
+    /// copy is in flux and must not answer as a supplier).
+    Transient,
+}
+
+impl SnoopState {
+    /// Every snoopable state, for completeness enumeration.
+    pub const ALL: [SnoopState; 7] = [
+        SnoopState::Invalid,
+        SnoopState::Shared,
+        SnoopState::Exclusive,
+        SnoopState::MasterShared,
+        SnoopState::Dirty,
+        SnoopState::Tagged,
+        SnoopState::Transient,
+    ];
+
+    /// Classifies a resident line state plus the transient flag into the
+    /// table's state domain.
+    pub fn classify(state: LineState, transient: bool) -> Self {
+        if transient {
+            return SnoopState::Transient;
+        }
+        match state {
+            LineState::Invalid => SnoopState::Invalid,
+            LineState::Shared => SnoopState::Shared,
+            LineState::Exclusive => SnoopState::Exclusive,
+            LineState::MasterShared => SnoopState::MasterShared,
+            LineState::Dirty => SnoopState::Dirty,
+            LineState::Tagged => SnoopState::Tagged,
+        }
+    }
+}
+
+impl std::fmt::Display for SnoopState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SnoopState::Invalid => "I",
+            SnoopState::Shared => "S",
+            SnoopState::Exclusive => "E",
+            SnoopState::MasterShared => "MS",
+            SnoopState::Dirty => "D",
+            SnoopState::Tagged => "T",
+            SnoopState::Transient => "X",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Guard on a supplier-table row, evaluated against the protocol
+/// configuration (the §5.5 `reads_keep_supplier` extension splits the
+/// supplier × read rows into two families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupplierGuard {
+    /// Row applies under every configuration.
+    Always,
+    /// Row applies only when `reads_keep_supplier` is set.
+    KeepSupplier,
+    /// Row applies only when `reads_keep_supplier` is clear.
+    TransferSupplier,
+}
+
+impl SupplierGuard {
+    /// Whether this guard admits a configuration with the given
+    /// `reads_keep_supplier` setting.
+    pub fn admits(self, reads_keep_supplier: bool) -> bool {
+        match self {
+            SupplierGuard::Always => true,
+            SupplierGuard::KeepSupplier => reads_keep_supplier,
+            SupplierGuard::TransferSupplier => !reads_keep_supplier,
+        }
+    }
+}
+
+/// The suppliership a positive snoop sends to the requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupplyAction {
+    /// Whether the line's data travels with the message (`false` for the
+    /// ownership-only transfer a MasterShared supplier sends to a
+    /// `WriteHit` requester, whose Shared copy holds the same data).
+    pub with_data: bool,
+    /// The state the requester installs on completion.
+    pub requester_state: LineState,
+}
+
+/// One guarded row of the supplier table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnoopRow {
+    /// Protocol-visible state of the snooped line.
+    pub state: SnoopState,
+    /// Kind of the foreign request being snooped.
+    pub req: TxnKind,
+    /// Configuration guard.
+    pub guard: SupplierGuard,
+    /// Whether the snoop answers positive (this node is the supplier).
+    pub positive: bool,
+    /// Suppliership to send when positive.
+    pub supply: Option<SupplyAction>,
+    /// The state this node's copy moves to; `None` leaves the copy
+    /// untouched. `Some(Invalid)` additionally invalidates the core's
+    /// L1 copy (inclusion).
+    pub next_state: Option<LineState>,
+}
+
+impl SnoopRow {
+    const fn new(
+        state: SnoopState,
+        req: TxnKind,
+        guard: SupplierGuard,
+        positive: bool,
+        supply: Option<SupplyAction>,
+        next_state: Option<LineState>,
+    ) -> Self {
+        SnoopRow {
+            state,
+            req,
+            guard,
+            positive,
+            supply,
+            next_state,
+        }
+    }
+}
+
+/// Why a table lookup failed; also the unit of the static analysis
+/// report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// No row matched the pair (an unhandled `state × message` hole).
+    Unhandled,
+    /// More than one row matched the pair (nondeterministic table).
+    Ambiguous,
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::Unhandled => f.write_str("unhandled state x message pair"),
+            TableError::Ambiguous => f.write_str("ambiguous state x message pair"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Result of the completeness/determinism analysis of one table under
+/// one configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableAnalysis {
+    /// `state × message` pairs no row handles.
+    pub holes: Vec<String>,
+    /// `state × message` pairs more than one row handles.
+    pub ambiguities: Vec<String>,
+}
+
+impl TableAnalysis {
+    /// Whether the table is total and deterministic.
+    pub fn is_sound(&self) -> bool {
+        self.holes.is_empty() && self.ambiguities.is_empty()
+    }
+}
+
+/// The declarative supplier-side snoop table (paper §2.2 plus the §5.5
+/// read-suppliership extension). Consulted by [`crate::RingAgent`] on
+/// every snoop; statically analyzed and exhaustively explored by
+/// `ring-model`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupplierTable {
+    rows: Vec<SnoopRow>,
+}
+
+impl SupplierTable {
+    /// The canonical table shipped with the protocol family.
+    pub fn canonical() -> Self {
+        use LineState as L;
+        use SnoopState as S;
+        use SupplierGuard as G;
+        use TxnKind as K;
+        let supply = |with_data, requester_state| {
+            Some(SupplyAction {
+                with_data,
+                requester_state,
+            })
+        };
+        let mut rows = Vec::new();
+        // Invalid and Transient copies answer negative and stay put; a
+        // transient copy defers its invalidation to the collision
+        // machinery (`must_invalidate` on the outstanding transaction).
+        for st in [S::Invalid, S::Transient] {
+            for k in [K::Read, K::WriteMiss, K::WriteHit] {
+                rows.push(SnoopRow::new(st, k, G::Always, false, None, None));
+            }
+        }
+        // A plain Shared copy is not the supplier: reads pass it by,
+        // writes invalidate it.
+        rows.push(SnoopRow::new(
+            S::Shared,
+            K::Read,
+            G::Always,
+            false,
+            None,
+            None,
+        ));
+        for k in [K::WriteMiss, K::WriteHit] {
+            rows.push(SnoopRow::new(
+                S::Shared,
+                k,
+                G::Always,
+                false,
+                None,
+                Some(L::Invalid),
+            ));
+        }
+        // Supplier states × Read, default (§2.2): supplier status
+        // transfers to the requester; the old supplier demotes to
+        // Shared. Clean suppliers hand over MasterShared, dirty ones
+        // hand over Tagged (the writeback obligation moves).
+        for (st, req_state) in [
+            (S::Exclusive, L::MasterShared),
+            (S::MasterShared, L::MasterShared),
+            (S::Dirty, L::Tagged),
+            (S::Tagged, L::Tagged),
+        ] {
+            rows.push(SnoopRow::new(
+                st,
+                K::Read,
+                G::TransferSupplier,
+                true,
+                supply(true, req_state),
+                Some(L::Shared),
+            ));
+        }
+        // Supplier states × Read, §5.5 extension: the supplier keeps
+        // the designation (E→MS, D→T) and the requester installs a
+        // plain Shared copy.
+        for (st, kept) in [
+            (S::Exclusive, L::MasterShared),
+            (S::MasterShared, L::MasterShared),
+            (S::Dirty, L::Tagged),
+            (S::Tagged, L::Tagged),
+        ] {
+            rows.push(SnoopRow::new(
+                st,
+                K::Read,
+                G::KeepSupplier,
+                true,
+                supply(true, L::Shared),
+                Some(kept),
+            ));
+        }
+        // Supplier states × writes: the supplier always ships data to a
+        // WriteMiss and invalidates its own copy.
+        for st in [S::Exclusive, S::MasterShared, S::Dirty, S::Tagged] {
+            rows.push(SnoopRow::new(
+                st,
+                K::WriteMiss,
+                G::Always,
+                true,
+                supply(true, L::Dirty),
+                Some(L::Invalid),
+            ));
+        }
+        // Supplier states × WriteHit. A MasterShared supplier legitimately
+        // coexists with the requester's Shared copy, so the upgrade
+        // transfers ownership only (the bandwidth win of upgrades; the
+        // requester declines and retries if its copy was compromised by a
+        // colliding write). An Exclusive/Dirty/Tagged copy, by SWMR, is
+        // the *only* valid copy on chip — a WriteHit reaching one means
+        // the requester's copy went stale after it classified the store
+        // (it lost a write race while transient), so the transfer must
+        // carry data or the write completes against stale data. For D/T
+        // this is also the only copy of the dirty data: an ownership-only
+        // transfer would drop it with memory stale.
+        rows.push(SnoopRow::new(
+            S::MasterShared,
+            K::WriteHit,
+            G::Always,
+            true,
+            supply(false, L::Dirty),
+            Some(L::Invalid),
+        ));
+        for st in [S::Exclusive, S::Dirty, S::Tagged] {
+            rows.push(SnoopRow::new(
+                st,
+                K::WriteHit,
+                G::Always,
+                true,
+                supply(true, L::Dirty),
+                Some(L::Invalid),
+            ));
+        }
+        SupplierTable { rows }
+    }
+
+    /// The raw rows (for analysis and display).
+    pub fn rows(&self) -> &[SnoopRow] {
+        &self.rows
+    }
+
+    /// Returns a copy of the table with row `i` replaced (the mutation
+    /// harness's entry point).
+    pub fn with_row(&self, i: usize, row: SnoopRow) -> Self {
+        let mut t = self.clone();
+        t.rows[i] = row;
+        t
+    }
+
+    /// Looks up the unique row for a `state × message` pair under the
+    /// given configuration.
+    pub fn lookup(
+        &self,
+        state: SnoopState,
+        req: TxnKind,
+        cfg: &ProtocolConfig,
+    ) -> Result<&SnoopRow, TableError> {
+        let mut found = None;
+        for row in &self.rows {
+            if row.state == state && row.req == req && row.guard.admits(cfg.reads_keep_supplier) {
+                if found.is_some() {
+                    return Err(TableError::Ambiguous);
+                }
+                found = Some(row);
+            }
+        }
+        found.ok_or(TableError::Unhandled)
+    }
+
+    /// Completeness/determinism analysis under one configuration: every
+    /// `state × message` pair must match exactly one admitted row.
+    pub fn analyze(&self, cfg: &ProtocolConfig) -> TableAnalysis {
+        let mut out = TableAnalysis::default();
+        for st in SnoopState::ALL {
+            for k in [TxnKind::Read, TxnKind::WriteMiss, TxnKind::WriteHit] {
+                match self.lookup(st, k, cfg) {
+                    Ok(_) => {}
+                    Err(TableError::Unhandled) => out.holes.push(format!("{st} x {k}")),
+                    Err(TableError::Ambiguous) => out.ambiguities.push(format!("{st} x {k}")),
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requester-side decision table
+// ---------------------------------------------------------------------
+
+/// Classification of a requester's own combined response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RespClass {
+    /// `r+` without a squash mark: a supplier was found and this
+    /// transaction won there.
+    Positive,
+    /// `r+` carrying a squash mark: a supplier serviced this attempt,
+    /// but a committed winner upstream of it baked a stale snoop outcome
+    /// into the response. The attempt must fail over — the squash
+    /// dominates the positive — yet a suppliership is already in flight
+    /// to the requester, so the abort waits for it (and flushes a
+    /// with-data payload to memory) before retrying.
+    PosSquashed,
+    /// `r-` with neither squash nor Loser-Hint mark.
+    NegClean,
+    /// `r-` carrying a squash or Loser-Hint mark: retry. (A Loser Hint
+    /// on a response that later combined *positive* is overridden — it
+    /// is only a pairwise guess — so it never reaches this class.)
+    NegMarked,
+}
+
+impl RespClass {
+    /// All classes, for completeness enumeration.
+    pub const ALL: [RespClass; 4] = [
+        RespClass::Positive,
+        RespClass::PosSquashed,
+        RespClass::NegClean,
+        RespClass::NegMarked,
+    ];
+
+    /// Classifies a concrete response.
+    pub fn classify(positive: bool, squashed: bool, loser_hint: bool) -> Self {
+        if positive && squashed {
+            RespClass::PosSquashed
+        } else if positive {
+            RespClass::Positive
+        } else if squashed || loser_hint {
+            RespClass::NegMarked
+        } else {
+            RespClass::NegClean
+        }
+    }
+}
+
+impl std::fmt::Display for RespClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RespClass::Positive => "r+",
+            RespClass::PosSquashed => "r+(squashed)",
+            RespClass::NegClean => "r-",
+            RespClass::NegMarked => "r-(marked)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The concrete guard context of a requester decision, assembled from
+/// the transaction's bookkeeping at decision time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecisionCtx {
+    /// A passing `r+` of a colliding transaction proved this one lost.
+    pub lost: bool,
+    /// The suppliership message already arrived.
+    pub has_suppliership: bool,
+    /// Every known collider's response has been observed.
+    pub colliders_seen: bool,
+    /// This transaction's priority beats every known collider's.
+    pub beats_all: bool,
+    /// An invalidating write hit whose local copy survived (can
+    /// complete without memory).
+    pub local_write_ok: bool,
+    /// The bound suppliership is ownership-only (no data) while the
+    /// local copy is compromised (`must_invalidate`/`copy_lost`):
+    /// completing would write against stale data.
+    pub stale_suppliership: bool,
+}
+
+impl DecisionCtx {
+    /// Every guard assignment, for completeness enumeration.
+    pub fn enumerate() -> impl Iterator<Item = DecisionCtx> {
+        (0u8..64).map(|b| DecisionCtx {
+            lost: b & 1 != 0,
+            has_suppliership: b & 2 != 0,
+            colliders_seen: b & 4 != 0,
+            beats_all: b & 8 != 0,
+            local_write_ok: b & 16 != 0,
+            stale_suppliership: b & 32 != 0,
+        })
+    }
+}
+
+/// A guard cube over [`DecisionCtx`]: each field constrains the
+/// corresponding bit, `None` is don't-care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecisionGuard {
+    /// Constraint on [`DecisionCtx::lost`].
+    pub lost: Option<bool>,
+    /// Constraint on [`DecisionCtx::has_suppliership`].
+    pub has_suppliership: Option<bool>,
+    /// Constraint on [`DecisionCtx::colliders_seen`].
+    pub colliders_seen: Option<bool>,
+    /// Constraint on [`DecisionCtx::beats_all`].
+    pub beats_all: Option<bool>,
+    /// Constraint on [`DecisionCtx::local_write_ok`].
+    pub local_write_ok: Option<bool>,
+    /// Constraint on [`DecisionCtx::stale_suppliership`].
+    pub stale_suppliership: Option<bool>,
+}
+
+impl DecisionGuard {
+    /// The unconstrained guard (matches every context).
+    pub const ANY: DecisionGuard = DecisionGuard {
+        lost: None,
+        has_suppliership: None,
+        colliders_seen: None,
+        beats_all: None,
+        local_write_ok: None,
+        stale_suppliership: None,
+    };
+
+    /// Whether the cube admits a concrete context.
+    pub fn admits(&self, ctx: DecisionCtx) -> bool {
+        fn ok(c: Option<bool>, v: bool) -> bool {
+            c.is_none_or(|want| want == v)
+        }
+        ok(self.lost, ctx.lost)
+            && ok(self.has_suppliership, ctx.has_suppliership)
+            && ok(self.colliders_seen, ctx.colliders_seen)
+            && ok(self.beats_all, ctx.beats_all)
+            && ok(self.local_write_ok, ctx.local_write_ok)
+            && ok(self.stale_suppliership, ctx.stale_suppliership)
+    }
+}
+
+/// What the requester does with its own response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionAction {
+    /// Commit and complete now (suppliership already held).
+    Complete,
+    /// Commit; wait for the suppliership message in flight.
+    WaitSupplier,
+    /// Fail the attempt and schedule a retry.
+    Retry,
+    /// Defer the decision until more collider responses arrive.
+    Defer,
+    /// Complete an invalidating write hit from the intact local copy.
+    CompleteLocal,
+    /// Commit to a memory fill.
+    MemFetch,
+}
+
+impl std::fmt::Display for DecisionAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DecisionAction::Complete => "complete",
+            DecisionAction::WaitSupplier => "wait-supplier",
+            DecisionAction::Retry => "retry",
+            DecisionAction::Defer => "defer",
+            DecisionAction::CompleteLocal => "complete-local",
+            DecisionAction::MemFetch => "mem-fetch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One guarded row of the decision table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionRow {
+    /// Response class the row matches.
+    pub resp: RespClass,
+    /// Guard cube.
+    pub guard: DecisionGuard,
+    /// Action taken.
+    pub action: DecisionAction,
+}
+
+/// The declarative requester decision table (paper §3.3, §4.4, §5.3).
+///
+/// [`crate::RingAgent`] implements this logic in `own_response` /
+/// `try_decide`; `ring-model` replays every explored transition
+/// through both encodings and flags divergence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTable {
+    rows: Vec<DecisionRow>,
+}
+
+impl DecisionTable {
+    /// The canonical decision table.
+    pub fn canonical() -> Self {
+        use DecisionAction as A;
+        use RespClass as R;
+        let g = |f: fn(&mut DecisionGuard)| {
+            let mut guard = DecisionGuard::ANY;
+            f(&mut guard);
+            guard
+        };
+        let rows = vec![
+            // A positive response commits the win (§5.3's point of no
+            // return); completion waits only for the suppliership.
+            DecisionRow {
+                resp: R::Positive,
+                guard: g(|c| {
+                    c.has_suppliership = Some(true);
+                    c.stale_suppliership = Some(false);
+                }),
+                action: A::Complete,
+            },
+            // An ownership-only suppliership bound while the local copy
+            // is compromised by a colliding write: completing would write
+            // against stale data, so the attempt fails and retries (the
+            // retry reissues as a WriteMiss and fetches current data).
+            DecisionRow {
+                resp: R::Positive,
+                guard: g(|c| {
+                    c.has_suppliership = Some(true);
+                    c.stale_suppliership = Some(true);
+                }),
+                action: A::Retry,
+            },
+            DecisionRow {
+                resp: R::Positive,
+                guard: g(|c| c.has_suppliership = Some(false)),
+                action: A::WaitSupplier,
+            },
+            // A squashed positive fails over, but the positive proves a
+            // suppliership is inbound: with it already bound the attempt
+            // retries at once (flushing a with-data payload to memory);
+            // without it the abort parks until the transfer lands —
+            // retrying immediately would race the reissue against the
+            // only current copy still on the wire and bind stale memory.
+            DecisionRow {
+                resp: R::PosSquashed,
+                guard: g(|c| c.has_suppliership = Some(true)),
+                action: A::Retry,
+            },
+            DecisionRow {
+                resp: R::PosSquashed,
+                guard: g(|c| c.has_suppliership = Some(false)),
+                action: A::WaitSupplier,
+            },
+            // A marked negative always retries (squash or Loser Hint).
+            DecisionRow {
+                resp: R::NegMarked,
+                guard: DecisionGuard::ANY,
+                action: A::Retry,
+            },
+            // A clean negative after a passing r+ proved us the loser.
+            DecisionRow {
+                resp: R::NegClean,
+                guard: g(|c| c.lost = Some(true)),
+                action: A::Retry,
+            },
+            // Undecided collisions defer (the §4.4 reorderings).
+            DecisionRow {
+                resp: R::NegClean,
+                guard: g(|c| {
+                    c.lost = Some(false);
+                    c.colliders_seen = Some(false);
+                }),
+                action: A::Defer,
+            },
+            // All collider responses seen and at least one beats us.
+            DecisionRow {
+                resp: R::NegClean,
+                guard: g(|c| {
+                    c.lost = Some(false);
+                    c.colliders_seen = Some(true);
+                    c.beats_all = Some(false);
+                }),
+                action: A::Retry,
+            },
+            // Winner with an intact local copy: the invalidating write
+            // hit completes without memory.
+            DecisionRow {
+                resp: R::NegClean,
+                guard: g(|c| {
+                    c.lost = Some(false);
+                    c.colliders_seen = Some(true);
+                    c.beats_all = Some(true);
+                    c.local_write_ok = Some(true);
+                }),
+                action: A::CompleteLocal,
+            },
+            // Winner without usable local data: memory fill.
+            DecisionRow {
+                resp: R::NegClean,
+                guard: g(|c| {
+                    c.lost = Some(false);
+                    c.colliders_seen = Some(true);
+                    c.beats_all = Some(true);
+                    c.local_write_ok = Some(false);
+                }),
+                action: A::MemFetch,
+            },
+        ];
+        DecisionTable { rows }
+    }
+
+    /// The raw rows (for analysis and mutation).
+    pub fn rows(&self) -> &[DecisionRow] {
+        &self.rows
+    }
+
+    /// Returns a copy of the table with row `i` replaced.
+    pub fn with_row(&self, i: usize, row: DecisionRow) -> Self {
+        let mut t = self.clone();
+        t.rows[i] = row;
+        t
+    }
+
+    /// The unique action for a response class under a concrete context.
+    pub fn decide(&self, resp: RespClass, ctx: DecisionCtx) -> Result<DecisionAction, TableError> {
+        let mut found = None;
+        for row in &self.rows {
+            if row.resp == resp && row.guard.admits(ctx) {
+                if found.is_some() {
+                    return Err(TableError::Ambiguous);
+                }
+                found = Some(row.action);
+            }
+        }
+        found.ok_or(TableError::Unhandled)
+    }
+
+    /// Completeness/determinism analysis: every `class × context` point
+    /// must be matched by exactly one row.
+    pub fn analyze(&self) -> TableAnalysis {
+        let mut out = TableAnalysis::default();
+        for resp in RespClass::ALL {
+            for ctx in DecisionCtx::enumerate() {
+                match self.decide(resp, ctx) {
+                    Ok(_) => {}
+                    Err(TableError::Unhandled) => out.holes.push(format!("{resp} x {ctx:?}")),
+                    Err(TableError::Ambiguous) => out.ambiguities.push(format!("{resp} x {ctx:?}")),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProtocolKind, ProtocolVariant};
+
+    #[test]
+    fn canonical_supplier_table_is_sound_for_all_variants() {
+        let t = SupplierTable::canonical();
+        for v in ProtocolVariant::ALL {
+            for keep in [false, true] {
+                let mut cfg = v.config();
+                cfg.reads_keep_supplier = keep;
+                let a = t.analyze(&cfg);
+                assert!(
+                    a.is_sound(),
+                    "{v} keep={keep}: holes={:?} ambiguities={:?}",
+                    a.holes,
+                    a.ambiguities
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_decision_table_is_sound() {
+        let a = DecisionTable::canonical().analyze();
+        assert!(a.is_sound(), "{:?}", a);
+    }
+
+    #[test]
+    fn supplier_lookup_matches_legacy_semantics() {
+        let t = SupplierTable::canonical();
+        let cfg = ProtocolConfig::paper(ProtocolKind::Eager);
+        // Dirty supplier hands Tagged to a reader and demotes to Shared.
+        let row = t.lookup(SnoopState::Dirty, TxnKind::Read, &cfg).unwrap();
+        assert!(row.positive);
+        assert_eq!(
+            row.supply,
+            Some(SupplyAction {
+                with_data: true,
+                requester_state: LineState::Tagged
+            })
+        );
+        assert_eq!(row.next_state, Some(LineState::Shared));
+        // WriteHit gets ownership only.
+        let row = t
+            .lookup(SnoopState::MasterShared, TxnKind::WriteHit, &cfg)
+            .unwrap();
+        assert!(row.positive);
+        assert_eq!(
+            row.supply,
+            Some(SupplyAction {
+                with_data: false,
+                requester_state: LineState::Dirty
+            })
+        );
+        assert_eq!(row.next_state, Some(LineState::Invalid));
+        // An exclusive-class supplier proves the WriteHit requester's
+        // copy is stale, so those transfers carry data.
+        for st in [SnoopState::Exclusive, SnoopState::Dirty, SnoopState::Tagged] {
+            let row = t.lookup(st, TxnKind::WriteHit, &cfg).unwrap();
+            assert_eq!(row.supply.map(|s| s.with_data), Some(true), "{st}");
+            assert_eq!(row.next_state, Some(LineState::Invalid));
+        }
+        // Shared copies are invalidated by writes but stay for reads.
+        let row = t
+            .lookup(SnoopState::Shared, TxnKind::WriteMiss, &cfg)
+            .unwrap();
+        assert!(!row.positive);
+        assert_eq!(row.next_state, Some(LineState::Invalid));
+        let row = t.lookup(SnoopState::Shared, TxnKind::Read, &cfg).unwrap();
+        assert_eq!(row.next_state, None);
+        // Transient copies never answer positive and are left alone.
+        for k in [TxnKind::Read, TxnKind::WriteMiss, TxnKind::WriteHit] {
+            let row = t.lookup(SnoopState::Transient, k, &cfg).unwrap();
+            assert!(!row.positive);
+            assert_eq!(row.next_state, None);
+        }
+    }
+
+    #[test]
+    fn keep_supplier_guard_switches_read_rows() {
+        let t = SupplierTable::canonical();
+        let mut cfg = ProtocolConfig::paper(ProtocolKind::Uncorq);
+        cfg.reads_keep_supplier = true;
+        let row = t
+            .lookup(SnoopState::Exclusive, TxnKind::Read, &cfg)
+            .unwrap();
+        assert_eq!(row.next_state, Some(LineState::MasterShared));
+        assert_eq!(
+            row.supply.map(|s| s.requester_state),
+            Some(LineState::Shared)
+        );
+        let row = t.lookup(SnoopState::Tagged, TxnKind::Read, &cfg).unwrap();
+        assert_eq!(row.next_state, Some(LineState::Tagged));
+    }
+
+    #[test]
+    fn removed_row_is_reported_as_hole() {
+        let t = SupplierTable::canonical();
+        let cfg = ProtocolConfig::paper(ProtocolKind::Eager);
+        // Replace the E x Read transfer row with a duplicate of another
+        // pair: its own pair becomes a hole, the other's ambiguous.
+        let i = t
+            .rows()
+            .iter()
+            .position(|r| {
+                r.state == SnoopState::Exclusive
+                    && r.req == TxnKind::Read
+                    && r.guard == SupplierGuard::TransferSupplier
+            })
+            .unwrap();
+        let dup = t.rows()[0];
+        let broken = t.with_row(i, dup);
+        let a = broken.analyze(&cfg);
+        assert!(a.holes.iter().any(|h| h == "E x read"), "{:?}", a.holes);
+        assert!(!a.ambiguities.is_empty());
+    }
+
+    #[test]
+    fn decision_table_matches_known_points() {
+        let t = DecisionTable::canonical();
+        let base = DecisionCtx {
+            lost: false,
+            has_suppliership: false,
+            colliders_seen: true,
+            beats_all: true,
+            local_write_ok: false,
+            stale_suppliership: false,
+        };
+        assert_eq!(
+            t.decide(RespClass::NegClean, base),
+            Ok(DecisionAction::MemFetch)
+        );
+        assert_eq!(
+            t.decide(
+                RespClass::NegClean,
+                DecisionCtx {
+                    local_write_ok: true,
+                    ..base
+                }
+            ),
+            Ok(DecisionAction::CompleteLocal)
+        );
+        assert_eq!(
+            t.decide(
+                RespClass::NegClean,
+                DecisionCtx {
+                    beats_all: false,
+                    ..base
+                }
+            ),
+            Ok(DecisionAction::Retry)
+        );
+        assert_eq!(
+            t.decide(
+                RespClass::NegClean,
+                DecisionCtx {
+                    colliders_seen: false,
+                    beats_all: false,
+                    ..base
+                }
+            ),
+            Ok(DecisionAction::Defer)
+        );
+        assert_eq!(
+            t.decide(RespClass::NegClean, DecisionCtx { lost: true, ..base }),
+            Ok(DecisionAction::Retry)
+        );
+        assert_eq!(
+            t.decide(
+                RespClass::Positive,
+                DecisionCtx {
+                    has_suppliership: true,
+                    ..base
+                }
+            ),
+            Ok(DecisionAction::Complete)
+        );
+        assert_eq!(
+            t.decide(
+                RespClass::Positive,
+                DecisionCtx {
+                    has_suppliership: true,
+                    stale_suppliership: true,
+                    ..base
+                }
+            ),
+            Ok(DecisionAction::Retry)
+        );
+        assert_eq!(
+            t.decide(RespClass::Positive, base),
+            Ok(DecisionAction::WaitSupplier)
+        );
+        assert_eq!(
+            t.decide(RespClass::NegMarked, base),
+            Ok(DecisionAction::Retry)
+        );
+    }
+
+    #[test]
+    fn ambiguous_decision_mutation_is_reported() {
+        let t = DecisionTable::canonical();
+        // Widening the marked-retry row to ANY context is harmless (it
+        // already is ANY); instead widen the lost-retry row to overlap
+        // the defer row.
+        let i = t
+            .rows()
+            .iter()
+            .position(|r| r.resp == RespClass::NegClean && r.guard.lost == Some(true))
+            .unwrap();
+        let mut row = t.rows()[i];
+        row.guard = DecisionGuard::ANY;
+        let broken = t.with_row(i, row);
+        assert!(!broken.analyze().is_sound());
+    }
+}

@@ -1,0 +1,163 @@
+//! Deterministic LTT collision and winner-selection edge cases.
+//!
+//! The property tests in `proptest_ltt.rs` sweep arbitrary interleavings;
+//! these tests pin the specific collision orderings the Ordering
+//! invariant's mechanisms exist for (§4.3 mechanisms 1 and 2), plus the
+//! §3.3.2 winner-selection hierarchy, so a regression reports the exact
+//! broken rule rather than a shrunken counterexample.
+
+use ring_cache::LineAddr;
+use ring_coherence::{Ltt, LttConfig, Priority, RequestMsg, ResponseMsg, TxnId, TxnKind};
+use ring_noc::NodeId;
+
+fn line() -> LineAddr {
+    LineAddr::new(0x140)
+}
+
+fn txn(node: usize) -> TxnId {
+    TxnId {
+        node: NodeId(node),
+        serial: 1,
+    }
+}
+
+fn req(node: usize, kind: TxnKind) -> RequestMsg {
+    RequestMsg {
+        txn: txn(node),
+        line: line(),
+        kind,
+        priority: Priority::new(kind, node as u32, NodeId(node)),
+    }
+}
+
+fn resp(node: usize, kind: TxnKind, positive: bool) -> ResponseMsg {
+    let mut r = ResponseMsg::initial(&req(node, kind));
+    r.positive = positive;
+    r
+}
+
+/// Mechanism 1: after the supplier answers a winning snoop, the winner's
+/// response drains before any colliding response that was already
+/// buffered — even one that arrived first.
+#[test]
+fn supplier_drains_winner_before_earlier_loser() {
+    let mut ltt = Ltt::new(LttConfig::default());
+    ltt.see_request(req(1, TxnKind::Read));
+    ltt.see_request(req(2, TxnKind::Read));
+    // The loser's response arrives first and its snoop completes negative.
+    assert!(!ltt.see_response(resp(2, TxnKind::Read, false)));
+    ltt.snoop_complete(txn(2), line(), false);
+    // Our snoop of txn 1 hits: we are the supplier, WID := node 1. The
+    // loser, ready a moment ago, is now stalled behind the WID.
+    ltt.snoop_complete(txn(1), line(), true);
+    assert_eq!(ltt.entry(line()).unwrap().ready(), Vec::<TxnId>::new());
+    // The winner's own response is never stalled by its own WID.
+    assert!(!ltt.see_response(resp(1, TxnKind::Read, false)));
+    // Drain order: winner first, then the formerly stalled loser.
+    assert_eq!(ltt.entry(line()).unwrap().ready(), vec![txn(1)]);
+    ltt.take(line(), txn(1)).expect("winner slot");
+    assert_eq!(ltt.entry(line()).unwrap().ready(), vec![txn(2)]);
+}
+
+/// Mechanism 2: a passing positive response sets WID even at a
+/// non-supplier node, stalling later negatives until the winner drains.
+#[test]
+fn passing_positive_stalls_later_negatives() {
+    let mut ltt = Ltt::new(LttConfig::default());
+    ltt.see_request(req(1, TxnKind::WriteMiss));
+    ltt.see_request(req(3, TxnKind::WriteMiss));
+    ltt.snoop_complete(txn(1), line(), false);
+    ltt.snoop_complete(txn(3), line(), false);
+    // Winner 1's positive passes first, then loser 3's negative.
+    assert!(!ltt.see_response(resp(1, TxnKind::WriteMiss, true)));
+    assert!(ltt.see_response(resp(3, TxnKind::WriteMiss, false)));
+    assert_eq!(ltt.entry(line()).unwrap().wid, Some(NodeId(1)));
+    assert_eq!(ltt.entry(line()).unwrap().ready(), vec![txn(1)]);
+    // Taking the winner clears the WID and releases the loser.
+    ltt.take(line(), txn(1)).expect("winner slot");
+    assert_eq!(ltt.entry(line()).unwrap().wid, None);
+    assert_eq!(ltt.entry(line()).unwrap().ready(), vec![txn(3)]);
+}
+
+/// A response buffered before its local snoop finishes (the RV-before-SV
+/// stall) only becomes ready once the snoop completes.
+#[test]
+fn response_waits_for_local_snoop() {
+    let mut ltt = Ltt::new(LttConfig::default());
+    ltt.see_request(req(2, TxnKind::Read));
+    assert!(!ltt.see_response(resp(2, TxnKind::Read, false)));
+    assert_eq!(ltt.entry(line()).unwrap().ready(), Vec::<TxnId>::new());
+    ltt.snoop_complete(txn(2), line(), false);
+    assert_eq!(ltt.entry(line()).unwrap().ready(), vec![txn(2)]);
+    let slot = ltt.take(line(), txn(2)).expect("slot");
+    assert!(slot.snoop_done && !slot.snoop_positive);
+    assert!(!ltt.line_busy(line()));
+}
+
+/// Three-way collision: the entry tracks every in-flight transaction in
+/// its own slot and losers drain in response-arrival order after the
+/// winner.
+#[test]
+fn three_way_collision_drains_in_arrival_order_after_winner() {
+    let mut ltt = Ltt::new(LttConfig::default());
+    for n in [1usize, 2, 3] {
+        ltt.see_request(req(n, TxnKind::WriteMiss));
+        ltt.snoop_complete(txn(n), line(), false);
+    }
+    assert_eq!(ltt.entry(line()).unwrap().in_flight(), 3);
+    // Losers 3 then 2 arrive, then winner 1's positive.
+    assert!(!ltt.see_response(resp(3, TxnKind::WriteMiss, false)));
+    assert!(!ltt.see_response(resp(2, TxnKind::WriteMiss, false)));
+    assert!(!ltt.see_response(resp(1, TxnKind::WriteMiss, true)));
+    // While the winner's WID is held, only the winner is ready; the
+    // losers then drain in response-arrival order.
+    assert_eq!(ltt.entry(line()).unwrap().ready(), vec![txn(1)]);
+    ltt.take(line(), txn(1)).expect("winner slot");
+    assert_eq!(ltt.entry(line()).unwrap().ready(), vec![txn(3), txn(2)]);
+}
+
+/// §3.3.2 winner-selection hierarchy: transaction type outranks the
+/// random tiebreak, which outranks the node ID.
+#[test]
+fn priority_hierarchy_type_then_random_then_node() {
+    // Type: an invalidating write hit beats a write miss beats a read,
+    // regardless of random draw or node id.
+    let wh = Priority::new(TxnKind::WriteHit, 0, NodeId(9));
+    let wm = Priority::new(TxnKind::WriteMiss, 100, NodeId(1));
+    let rd = Priority::new(TxnKind::Read, 200, NodeId(0));
+    assert!(wh.beats(wm) && wm.beats(rd) && wh.beats(rd));
+    assert!(!wm.beats(wh) && !rd.beats(wm));
+    // Random: same type, higher draw wins regardless of node id.
+    let hi = Priority::new(TxnKind::Read, 7, NodeId(0));
+    let lo = Priority::new(TxnKind::Read, 3, NodeId(5));
+    assert!(hi.beats(lo) && !lo.beats(hi));
+    // Node id breaks full ties, so two distinct requesters never tie.
+    let a = Priority::new(TxnKind::Read, 7, NodeId(2));
+    let b = Priority::new(TxnKind::Read, 7, NodeId(1));
+    assert!(a.beats(b) ^ b.beats(a));
+    // Selection is a strict total order: nothing beats itself.
+    assert!(!a.beats(a));
+}
+
+/// Winner selection is deterministic across every pair of distinct
+/// transactions: exactly one side of each collision wins.
+#[test]
+fn every_collision_pair_has_exactly_one_winner() {
+    let kinds = [TxnKind::Read, TxnKind::WriteMiss, TxnKind::WriteHit];
+    let mut all = Vec::new();
+    for &k in &kinds {
+        for r in 0..3u32 {
+            for n in 0..3usize {
+                all.push(Priority::new(k, r, NodeId(n)));
+            }
+        }
+    }
+    for (i, &a) in all.iter().enumerate() {
+        for &b in &all[i + 1..] {
+            assert!(
+                a.beats(b) ^ b.beats(a),
+                "collision {a:?} vs {b:?} must have exactly one winner"
+            );
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Differential conformance between the implementation and the
+//! declarative [`DecisionTable`].
+//!
+//! The requester-side decision logic in `RingAgent` (`own_response` /
+//! `try_decide`) is deliberately *not* table-driven: it is an independent
+//! second implementation of the paper's §3.3/§4.4 serialization rules.
+//! The explorer replays every response delivery through the
+//! [`DecisionTable`] and compares the action the table prescribes with
+//! the effects the agent actually emitted. A divergence means either the
+//! agent or the table is wrong — exactly the class of bug a single
+//! implementation cannot detect about itself.
+//!
+//! The comparison is done at the granularity of *observable action
+//! classes*: retry scheduled, demand memory fetch issued, transaction
+//! completed, or no externally visible action (which covers both
+//! `WaitSupplier` and `Defer` — the agent expresses those as pure
+//! bookkeeping).
+
+use ring_cache::LineAddr;
+use ring_coherence::{
+    DecisionAction, DecisionCtx, DecisionTable, Effect, OwnTxView, RespClass, ResponseMsg, TxnKind,
+};
+
+/// The externally observable outcome class of one response delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservedClass {
+    /// A retry was scheduled (`Effect::Retry`).
+    Retry,
+    /// A demand memory fetch was issued (`Effect::MemFetch { prefetch: false }`).
+    MemFetch,
+    /// The transaction completed (`Effect::Complete`).
+    Complete,
+    /// No externally visible action for the line.
+    Quiet,
+}
+
+impl std::fmt::Display for ObservedClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ObservedClass::Retry => "retry",
+            ObservedClass::MemFetch => "mem-fetch",
+            ObservedClass::Complete => "complete",
+            ObservedClass::Quiet => "no action",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Collapses a [`DecisionAction`] to its observable class.
+pub fn action_class(action: DecisionAction) -> ObservedClass {
+    match action {
+        DecisionAction::Retry => ObservedClass::Retry,
+        DecisionAction::MemFetch => ObservedClass::MemFetch,
+        DecisionAction::Complete | DecisionAction::CompleteLocal => ObservedClass::Complete,
+        DecisionAction::WaitSupplier | DecisionAction::Defer => ObservedClass::Quiet,
+    }
+}
+
+/// Classifies the effects one `handle()` call emitted for `line`.
+pub fn observe(fx: &[Effect], line: LineAddr) -> ObservedClass {
+    for e in fx {
+        if let Effect::Retry { line: l, .. } = e {
+            if *l == line {
+                return ObservedClass::Retry;
+            }
+        }
+    }
+    for e in fx {
+        if let Effect::MemFetch {
+            line: l,
+            prefetch: false,
+        } = e
+        {
+            if *l == line {
+                return ObservedClass::MemFetch;
+            }
+        }
+    }
+    for e in fx {
+        if let Effect::Complete { line: l, .. } = e {
+            if *l == line {
+                return ObservedClass::Complete;
+            }
+        }
+    }
+    ObservedClass::Quiet
+}
+
+/// What the model predicts a response delivery should do.
+#[derive(Debug, Clone)]
+pub enum Prediction {
+    /// The table prescribes this action class.
+    Class(ObservedClass, DecisionAction, DecisionCtx, RespClass),
+    /// The table has no (or more than one) applicable row — itself a
+    /// reportable divergence when the canonical table is in use, and the
+    /// kill signal for decision-table hole mutants.
+    TableError(String),
+    /// The model makes no prediction for this delivery (stale response,
+    /// no matching transaction, already committed).
+    None,
+}
+
+fn ctx_from_view(view: &OwnTxView, l2_valid: bool) -> DecisionCtx {
+    DecisionCtx {
+        lost: view.lost,
+        has_suppliership: view.has_suppliership,
+        colliders_seen: view.colliders_seen(),
+        beats_all: view.beats_all(),
+        local_write_ok: view.kind == TxnKind::WriteHit && !view.copy_lost && l2_valid,
+        stale_suppliership: view.suppliership_with_data == Some(false)
+            && (view.must_invalidate || view.copy_lost),
+    }
+}
+
+/// Model prediction for the delivery of the requester's *own* combined
+/// response (`own_response` in the agent).
+///
+/// `l2_valid` must be sampled from the agent's L2 *before* the delivery.
+pub fn predict_own(
+    table: &DecisionTable,
+    view: &OwnTxView,
+    resp: &ResponseMsg,
+    l2_valid: bool,
+) -> Prediction {
+    if view.txn != resp.txn || view.own_resp_positive.is_some() || view.committed {
+        // A response from an already-retried attempt, or a duplicate: the
+        // agent ignores it.
+        return Prediction::None;
+    }
+    let class = RespClass::classify(resp.positive, resp.squashed, resp.loser_hint);
+    let ctx = ctx_from_view(view, l2_valid);
+    match table.decide(class, ctx) {
+        Ok(action) => Prediction::Class(action_class(action), action, ctx, class),
+        Err(e) => Prediction::TableError(format!("{e}")),
+    }
+}
+
+/// Model prediction for the delivery of a *foreign* combined response at
+/// a node holding an own outstanding transaction on the same line
+/// (`response_arrival` bookkeeping plus the deferred `try_decide`).
+pub fn predict_foreign(
+    table: &DecisionTable,
+    view: &OwnTxView,
+    resp: &ResponseMsg,
+    l2_valid: bool,
+) -> Prediction {
+    // A passing positive response while committed to a still-outstanding
+    // memory fill revokes the commit (§5.3): nothing is bound yet, so the
+    // agent must cancel and retry rather than double-install.
+    if view.mem_waiting {
+        if resp.positive {
+            return Prediction::Class(
+                ObservedClass::Retry,
+                DecisionAction::Retry,
+                ctx_from_view(view, l2_valid),
+                RespClass::NegClean,
+            );
+        }
+        return Prediction::None;
+    }
+    if view.own_resp_positive != Some(false) || view.committed {
+        // Decision not yet pending (own response unconsumed, or already
+        // won): the delivery is pure bookkeeping.
+        return Prediction::None;
+    }
+    // Reconstruct the collision bookkeeping the agent performs for this
+    // delivery: the response marks its transaction's collider slot seen
+    // (inserting it if the request itself was never observed), and a
+    // positive outcome proves our transaction lost.
+    let mut view = view.clone();
+    let mut found = false;
+    for c in view.colliders.iter_mut() {
+        if c.0 == resp.txn {
+            c.2 = true;
+            found = true;
+        }
+    }
+    if !found {
+        view.colliders.push((resp.txn, resp.priority, true));
+    }
+    view.lost |= resp.positive;
+    let ctx = ctx_from_view(&view, l2_valid);
+    match table.decide(RespClass::NegClean, ctx) {
+        Ok(action) => Prediction::Class(action_class(action), action, ctx, RespClass::NegClean),
+        Err(e) => Prediction::TableError(format!("{e}")),
+    }
+}
+
+/// Compares a prediction against the observed effects; `Some(detail)` on
+/// divergence.
+pub fn divergence(pred: &Prediction, fx: &[Effect], line: LineAddr, node: usize) -> Option<String> {
+    match pred {
+        Prediction::None => None,
+        Prediction::TableError(e) => Some(format!(
+            "decision table failed on a reachable point at node {node}: {e}"
+        )),
+        Prediction::Class(class, action, ctx, resp_class) => {
+            let seen = observe(fx, line);
+            if seen == *class {
+                None
+            } else {
+                Some(format!(
+                    "node {node} diverged from the decision table on {resp_class} with \
+                     {ctx:?}: table says {action} ({class}), agent did {seen}"
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_coherence::{Priority, TxnId};
+    use ring_noc::NodeId;
+
+    fn view(kind: TxnKind) -> OwnTxView {
+        OwnTxView {
+            txn: TxnId {
+                node: NodeId(0),
+                serial: 1,
+            },
+            kind,
+            priority: Priority::new(kind, 7, NodeId(0)),
+            committed: false,
+            lost: false,
+            mem_waiting: false,
+            has_suppliership: false,
+            suppliership_with_data: None,
+            own_resp_positive: None,
+            must_invalidate: false,
+            copy_lost: false,
+            doomed: false,
+            colliders: Vec::new(),
+        }
+    }
+
+    fn resp(view: &OwnTxView, positive: bool, squashed: bool) -> ResponseMsg {
+        ResponseMsg {
+            txn: view.txn,
+            line: LineAddr::new(0x40),
+            kind: view.kind,
+            priority: view.priority,
+            positive,
+            sharers: false,
+            outcomes: 3,
+            squashed,
+            loser_hint: false,
+            snid: None,
+        }
+    }
+
+    #[test]
+    fn clean_negative_sole_requester_goes_to_memory() {
+        let table = DecisionTable::canonical();
+        let v = view(TxnKind::Read);
+        let r = resp(&v, false, false);
+        match predict_own(&table, &v, &r, false) {
+            Prediction::Class(class, action, _, _) => {
+                assert_eq!(class, ObservedClass::MemFetch);
+                assert_eq!(action, DecisionAction::MemFetch);
+            }
+            other => panic!("unexpected prediction {other:?}"),
+        }
+    }
+
+    #[test]
+    fn squashed_response_predicts_retry() {
+        let table = DecisionTable::canonical();
+        let v = view(TxnKind::Read);
+        let r = resp(&v, false, true);
+        match predict_own(&table, &v, &r, false) {
+            Prediction::Class(class, ..) => assert_eq!(class, ObservedClass::Retry),
+            other => panic!("unexpected prediction {other:?}"),
+        }
+    }
+
+    #[test]
+    fn squashed_positive_parks_until_the_supplier_lands() {
+        let table = DecisionTable::canonical();
+        let v = view(TxnKind::WriteMiss);
+        let r = resp(&v, true, true);
+        // No suppliership bound yet: the positive proves a transfer is in
+        // flight, so the abort waits for it instead of retrying into a
+        // stale memory copy.
+        match predict_own(&table, &v, &r, false) {
+            Prediction::Class(class, action, _, resp_class) => {
+                assert_eq!(resp_class, RespClass::PosSquashed);
+                assert_eq!(class, ObservedClass::Quiet);
+                assert_eq!(action, DecisionAction::WaitSupplier);
+            }
+            other => panic!("unexpected prediction {other:?}"),
+        }
+        // With the suppliership already bound the retry is immediate.
+        let mut v = view(TxnKind::WriteMiss);
+        v.has_suppliership = true;
+        v.suppliership_with_data = Some(true);
+        match predict_own(&table, &v, &r, false) {
+            Prediction::Class(class, ..) => assert_eq!(class, ObservedClass::Retry),
+            other => panic!("unexpected prediction {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_positive_while_mem_waiting_predicts_cancel() {
+        let table = DecisionTable::canonical();
+        let mut v = view(TxnKind::Read);
+        v.mem_waiting = true;
+        v.own_resp_positive = Some(false);
+        let mut r = resp(&v, true, false);
+        r.txn = TxnId {
+            node: NodeId(1),
+            serial: 9,
+        };
+        match predict_foreign(&table, &v, &r, false) {
+            Prediction::Class(class, ..) => assert_eq!(class, ObservedClass::Retry),
+            other => panic!("unexpected prediction {other:?}"),
+        }
+    }
+
+    #[test]
+    fn winning_write_hit_completes_locally() {
+        let table = DecisionTable::canonical();
+        let mut v = view(TxnKind::WriteHit);
+        v.own_resp_positive = Some(false);
+        let mut r = resp(&v, false, false);
+        r.txn = TxnId {
+            node: NodeId(1),
+            serial: 9,
+        };
+        r.positive = false;
+        r.priority = Priority::new(TxnKind::Read, 1, NodeId(1));
+        match predict_foreign(&table, &v, &r, true) {
+            Prediction::Class(class, action, _, _) => {
+                assert_eq!(class, ObservedClass::Complete);
+                assert_eq!(action, DecisionAction::CompleteLocal);
+            }
+            other => panic!("unexpected prediction {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1064 @@
+//! Exhaustive BFS state-space exploration of small ring configurations.
+//!
+//! The explorer drives *the real* [`RingAgent`]s — not an abstracted
+//! re-implementation — through every reachable interleaving of a bounded
+//! scenario: per-link ring FIFOs deliver in order, while multicast
+//! requests, suppliership messages, snoop completions, memory fills and
+//! scheduled retries are delivered in every possible order. Exploration
+//! is breadth-first over canonical state digests, so the first violation
+//! found has a minimal-length event path; that path is replayed with
+//! tracing enabled and reported in the [`TraceEvent`] vocabulary.
+//!
+//! # Abstractions and their justification
+//!
+//! * **Time is frozen at cycle 0.** Every `handle()` call uses `now = 0`,
+//!   so timing fields (latencies, reservation expiries, backoff stamps)
+//!   are path-independent and states merge across interleavings. Delay
+//!   effects (`StartSnoop`, `DelaySnoop`, `Retry`, `MemFetch`) become
+//!   nondeterministically ordered deliveries — a strict superset of the
+//!   orderings any concrete latency assignment can produce. The one
+//!   behavior this removes is *natural expiry* of SNID reservations;
+//!   forward progress still holds through the snoop-delay budget, which
+//!   the explorer exercises.
+//! * **Per-link FIFO.** Ring messages emitted by one `handle()` call are
+//!   kept in emission order (stable-sorted by their delay). Messages from
+//!   *different* calls never overtake each other on a link; the LTT
+//!   drains responses per line in order regardless, so the protocol logic
+//!   under test is insensitive to cross-call link overtakes.
+//! * **Data values are ghost versions.** Memory and every cached copy
+//!   carry a monotone version number per line; completions must observe
+//!   the latest version. This catches stale supplies, double winners and
+//!   lost updates without modeling byte values.
+//! * **Silent stores are no-ops.** The machine completes stores to E/D
+//!   lines without a transaction and without an L2 state change; scenario
+//!   scripts treat them as instant no-ops and do not bump the version.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use ring_cache::{CacheConfig, LineAddr, LineState};
+use ring_coherence::{
+    AgentInput, DecisionTable, Effect, LttConfig, ProtocolVariant, RequestMsg, RingAgent, RingMsg,
+    SupplierMsg, SupplierTable, TxnId, TxnKind,
+};
+use ring_noc::NodeId;
+use ring_sim::DetRng;
+use ring_trace::{InvariantChecker, TraceEvent};
+
+use crate::conformance::{self, ObservedClass};
+
+/// Initial installs `(node, line, state)` plus per-node op scripts.
+type ScenarioSetup = (Vec<(usize, LineAddr, LineState)>, Vec<Vec<Op>>);
+
+/// One scripted core operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A load from the line.
+    Load(LineAddr),
+    /// A store to the line.
+    Store(LineAddr),
+}
+
+/// A bounded contention scenario: initial line placement plus one op
+/// script per node (each node runs its script sequentially, one
+/// transaction in flight at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Every node reads the same initially-uncached line: read collisions
+    /// with no supplier, forced serialization, memory fills.
+    ReadRace,
+    /// Every node but the Dirty holder writes the same line: write
+    /// collisions against a supplier, squash marks, data handoff.
+    WriteRace,
+    /// Reads and writes race against an Exclusive holder: E→MS/Tagged
+    /// supplier transitions and read/write collisions.
+    Mixed,
+    /// Every node holds a Shared copy (one MasterShared) and upgrades:
+    /// WriteHit races, local completion, copy invalidation under the
+    /// winner.
+    UpgradeRace,
+    /// Two lines transacted in opposite orders by alternating nodes:
+    /// cross-line interleavings and LTT multi-entry behavior.
+    TwoLine,
+    /// A quiescent MasterShared supplier, one Shared upgrader, and
+    /// write-miss contenders: exercises the ownership-only WriteHit
+    /// transfer racing a colliding write (the stale-upgrade decline
+    /// path).
+    StaleUpgrade,
+}
+
+impl Scenario {
+    /// Every scenario, in documentation order.
+    pub const ALL: [Scenario; 6] = [
+        Scenario::ReadRace,
+        Scenario::WriteRace,
+        Scenario::Mixed,
+        Scenario::UpgradeRace,
+        Scenario::TwoLine,
+        Scenario::StaleUpgrade,
+    ];
+
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::ReadRace => "read_race",
+            Scenario::WriteRace => "write_race",
+            Scenario::Mixed => "mixed",
+            Scenario::UpgradeRace => "upgrade_race",
+            Scenario::TwoLine => "two_line",
+            Scenario::StaleUpgrade => "stale_upgrade",
+        }
+    }
+
+    /// Inverse of [`Scenario::name`] (case-insensitive).
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        let lower = name.to_ascii_lowercase();
+        Scenario::ALL.iter().copied().find(|s| s.name() == lower)
+    }
+
+    /// Initial installs `(node, line, state)` and per-node op scripts.
+    fn setup(self, nodes: usize) -> ScenarioSetup {
+        let l0 = LineAddr::new(0x40);
+        let l1 = LineAddr::new(0x80);
+        let last = nodes - 1;
+        match self {
+            Scenario::ReadRace => (Vec::new(), vec![vec![Op::Load(l0)]; nodes]),
+            Scenario::WriteRace => {
+                let mut scripts = vec![vec![Op::Store(l0)]; nodes];
+                scripts[last] = Vec::new();
+                (vec![(last, l0, LineState::Dirty)], scripts)
+            }
+            Scenario::Mixed => {
+                let mut scripts: Vec<Vec<Op>> = (0..nodes)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            vec![Op::Load(l0)]
+                        } else {
+                            vec![Op::Store(l0)]
+                        }
+                    })
+                    .collect();
+                scripts[last] = Vec::new();
+                (vec![(last, l0, LineState::Exclusive)], scripts)
+            }
+            Scenario::UpgradeRace => {
+                let mut installs = vec![(last, l0, LineState::MasterShared)];
+                for i in 0..last {
+                    installs.push((i, l0, LineState::Shared));
+                }
+                (installs, vec![vec![Op::Store(l0)]; nodes])
+            }
+            Scenario::TwoLine => {
+                // Cross-line interleavings need exactly two active
+                // scripts in opposite line orders; at three or more nodes
+                // the extra nodes stay passive (supplier and forwarder
+                // roles only) — the product space of two lines under a
+                // third active script is beyond any practical budget.
+                let scripts = (0..nodes)
+                    .map(|i| match i {
+                        0 => vec![Op::Store(l0), Op::Load(l1)],
+                        1 => vec![Op::Load(l0), Op::Store(l1)],
+                        _ => Vec::new(),
+                    })
+                    .collect();
+                (vec![(last, l0, LineState::MasterShared)], scripts)
+            }
+            Scenario::StaleUpgrade => {
+                // The last node is a quiescent MasterShared supplier, so
+                // node 0's upgrade can draw an ownership-only transfer
+                // while the middle nodes' write misses collide with it.
+                let mut scripts = vec![vec![Op::Store(l0)]; nodes];
+                scripts[last] = Vec::new();
+                (
+                    vec![
+                        (last, l0, LineState::MasterShared),
+                        (0, l0, LineState::Shared),
+                    ],
+                    scripts,
+                )
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An explorer run configuration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Protocol variant under test.
+    pub variant: ProtocolVariant,
+    /// Ring size (2–4 nodes are tractable).
+    pub nodes: usize,
+    /// The contention scenario.
+    pub scenario: Scenario,
+    /// Abort (and report truncation) past this many distinct states.
+    pub max_states: usize,
+    /// Run the differential decision-table conformance checks.
+    pub conformance: bool,
+    /// Terminal paths replayed through the trace [`InvariantChecker`]
+    /// (Ordering invariant, winner uniqueness, LTT event balance).
+    pub trace_samples: usize,
+    /// Explore under the §5.5 `reads_keep_supplier` extension.
+    pub keep_supplier: bool,
+    /// Bounded-fairness prune: branches where any single agent has
+    /// retried more than this many times are abandoned (counted in
+    /// [`ExploreReport::pruned`]). Without it the space is infinite:
+    /// the scheduler may starve a winner's memory fill forever while a
+    /// loser retries unboundedly, each attempt minting a fresh serial.
+    /// Real timing bounds the fill latency, so fair schedules — which
+    /// this keeps in full — are the ones that matter.
+    pub retry_bound: u64,
+    /// Replacement supplier table injected into every agent (mutation
+    /// harness); `None` uses the canonical table.
+    pub supplier_table: Option<Arc<SupplierTable>>,
+    /// Replacement decision table for the conformance checker (mutation
+    /// harness); `None` uses the canonical table.
+    pub decision_table: Option<DecisionTable>,
+}
+
+impl ExploreConfig {
+    /// A default configuration for `variant` × `nodes` × `scenario`.
+    pub fn new(variant: ProtocolVariant, nodes: usize, scenario: Scenario) -> Self {
+        ExploreConfig {
+            variant,
+            nodes,
+            scenario,
+            max_states: 400_000,
+            conformance: true,
+            trace_samples: 16,
+            keep_supplier: false,
+            retry_bound: 4,
+            supplier_table: None,
+            decision_table: None,
+        }
+    }
+}
+
+/// A violation found by the explorer, with its minimal event path and
+/// the protocol trace of the replayed counterexample.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Violation class (`swmr`, `stale-read`, `conformance`, …).
+    pub kind: String,
+    /// Human-readable description.
+    pub detail: String,
+    /// The minimal event path from the initial state, rendered.
+    pub events: Vec<String>,
+    /// The coherence-event trace of the replayed counterexample.
+    pub trace: Vec<TraceEvent>,
+}
+
+/// The result of one exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Variant explored.
+    pub variant: ProtocolVariant,
+    /// Scenario explored.
+    pub scenario: Scenario,
+    /// Ring size.
+    pub nodes: usize,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions executed.
+    pub transitions: usize,
+    /// Quiescent terminal states reached.
+    pub terminals: usize,
+    /// Branches abandoned by the bounded-fairness retry prune.
+    pub pruned: usize,
+    /// Whether exploration hit `max_states` before exhausting the space.
+    pub truncated: bool,
+    /// The first (minimal) violation, if any.
+    pub violation: Option<Violation>,
+}
+
+impl ExploreReport {
+    /// Whether the run is a clean pass: exhaustive and violation-free.
+    pub fn ok(&self) -> bool {
+        !self.truncated && self.violation.is_none()
+    }
+}
+
+/// A deliverable non-ring message: multicast requests, suppliership
+/// transfers, snoop completions, memory fills and scheduled retries are
+/// all unordered with respect to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Item {
+    /// An Uncorq multicast request.
+    Direct(RequestMsg),
+    /// A suppliership message carrying a ghost data version.
+    Supplier(SupplierMsg, u32),
+    /// A pending snoop completion.
+    Snoop { txn: TxnId, line: LineAddr },
+    /// A memory fill (demand or prefetch).
+    Mem { line: LineAddr },
+    /// A scheduled retry.
+    Retry { line: LineAddr },
+}
+
+/// One atomic model step.
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    /// Node runs its next scripted op.
+    Issue { node: usize },
+    /// Node accepts the head of its incoming ring link.
+    Ring { node: usize },
+    /// Node accepts one pending unordered item.
+    Deliver { node: usize, item: Item },
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Event::Issue { node } => write!(f, "node {node}: issue next scripted op"),
+            Event::Ring { node } => write!(f, "node {node}: accept ring message"),
+            Event::Deliver { node, item } => write!(f, "node {node}: deliver {item:?}"),
+        }
+    }
+}
+
+/// Ghost data-value state for one line.
+#[derive(Debug, Clone, Default)]
+struct Ghost {
+    /// Version of the globally latest completed write.
+    current: u32,
+    /// Version resident in memory.
+    mem: u32,
+    /// Version of the data each node last received or produced.
+    copies: BTreeMap<usize, u32>,
+}
+
+#[derive(Clone)]
+struct ModelState {
+    agents: Vec<RingAgent>,
+    /// Incoming ring FIFO per node (from its ring predecessor).
+    ring_in: Vec<VecDeque<RingMsg>>,
+    /// Pending unordered deliveries.
+    items: Vec<(usize, Item)>,
+    /// Next op index per node.
+    pc: Vec<usize>,
+    /// Line of the op currently in flight per node.
+    waiting: Vec<Option<LineAddr>>,
+    ghost: BTreeMap<LineAddr, Ghost>,
+}
+
+fn item_fingerprint(node: usize, item: &Item) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    node.hash(&mut h);
+    item.hash(&mut h);
+    h.finish()
+}
+
+impl ModelState {
+    fn digest(&self) -> (u64, u64) {
+        let mut a = std::collections::hash_map::DefaultHasher::new();
+        a.write_u64(0x517c_c1b7_2722_0a95);
+        self.hash_into(&mut a);
+        let mut b = std::collections::hash_map::DefaultHasher::new();
+        b.write_u64(0x9e37_79b9_7f4a_7c15);
+        self.hash_into(&mut b);
+        (a.finish(), b.finish())
+    }
+
+    fn hash_into(&self, h: &mut impl Hasher) {
+        for agent in &self.agents {
+            agent.digest(h);
+        }
+        for q in &self.ring_in {
+            h.write_usize(q.len());
+            for m in q {
+                m.hash(h);
+            }
+        }
+        // The item pool is a multiset: canonicalize by sorted fingerprint.
+        let mut fps: Vec<u64> = self
+            .items
+            .iter()
+            .map(|(n, it)| item_fingerprint(*n, it))
+            .collect();
+        fps.sort_unstable();
+        fps.hash(h);
+        self.pc.hash(h);
+        self.waiting.hash(h);
+        for (line, g) in &self.ghost {
+            line.hash(h);
+            h.write_u32(g.current);
+            h.write_u32(g.mem);
+            h.write_usize(g.copies.len());
+            for (n, v) in &g.copies {
+                h.write_usize(*n);
+                h.write_u32(*v);
+            }
+        }
+    }
+
+    fn copy_version(&self, line: LineAddr, node: usize) -> u32 {
+        self.ghost
+            .get(&line)
+            .and_then(|g| g.copies.get(&node))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+fn initial_state(cfg: &ExploreConfig) -> (ModelState, Vec<Vec<Op>>) {
+    let (installs, scripts) = cfg.scenario.setup(cfg.nodes);
+    let mut pcfg = cfg.variant.config();
+    // Shrink per-node structures so states stay cheap to clone and hash;
+    // geometry is irrelevant to the protocol logic at these scales.
+    pcfg.max_outstanding = 2;
+    pcfg.ltt = LttConfig {
+        entries: 16,
+        ways: 16,
+    };
+    if cfg.keep_supplier {
+        pcfg.reads_keep_supplier = true;
+    }
+    let l2 = CacheConfig {
+        size_bytes: 1024,
+        ways: 4,
+        line_bytes: 64,
+        latency: 1,
+    };
+    let mut agents: Vec<RingAgent> = (0..cfg.nodes)
+        .map(|i| {
+            RingAgent::new(
+                NodeId(i),
+                pcfg,
+                l2,
+                DetRng::seed(0xC0FF_EE00 + 7919 * i as u64),
+            )
+        })
+        .collect();
+    if let Some(table) = &cfg.supplier_table {
+        for a in &mut agents {
+            a.set_supplier_table(Arc::clone(table));
+        }
+    }
+    let mut ghost: BTreeMap<LineAddr, Ghost> = BTreeMap::new();
+    for script in &scripts {
+        for op in script {
+            let (Op::Load(line) | Op::Store(line)) = *op;
+            ghost.entry(line).or_default();
+        }
+    }
+    for &(node, line, state) in &installs {
+        agents[node].install_line(line, state);
+        ghost.entry(line).or_default().copies.insert(node, 0);
+    }
+    let st = ModelState {
+        agents,
+        ring_in: vec![VecDeque::new(); cfg.nodes],
+        items: Vec::new(),
+        pc: vec![0; cfg.nodes],
+        waiting: vec![None; cfg.nodes],
+        ghost,
+    };
+    (st, scripts)
+}
+
+fn enabled_events(st: &ModelState, scripts: &[Vec<Op>]) -> Vec<Event> {
+    let mut evs = Vec::new();
+    for node in 0..st.agents.len() {
+        if !st.ring_in[node].is_empty() {
+            evs.push(Event::Ring { node });
+        }
+    }
+    let mut seen = HashSet::new();
+    for &(node, item) in &st.items {
+        if seen.insert(item_fingerprint(node, &item)) {
+            evs.push(Event::Deliver { node, item });
+        }
+    }
+    for (node, script) in scripts.iter().enumerate().take(st.agents.len()) {
+        if st.waiting[node].is_none() && st.pc[node] < script.len() {
+            evs.push(Event::Issue { node });
+        }
+    }
+    evs
+}
+
+type StepError = (String, String);
+
+/// Applies the ghost-data and script bookkeeping for a `Complete` effect.
+fn on_complete(
+    st: &mut ModelState,
+    node: usize,
+    line: LineAddr,
+    kind: TxnKind,
+) -> Result<(), StepError> {
+    let (current, held) = {
+        let g = st.ghost.entry(line).or_default();
+        (g.current, g.copies.get(&node).copied())
+    };
+    if held != Some(current) {
+        let what = if kind.is_write() { "write" } else { "read" };
+        return Err((
+            format!("stale-{what}"),
+            format!(
+                "node {node} completed a {kind:?} on {line:?} observing data version \
+                 {held:?}, but the latest completed write produced version {current}"
+            ),
+        ));
+    }
+    if kind.is_write() {
+        for (j, agent) in st.agents.iter().enumerate() {
+            if j != node && !agent.has_outstanding(line) && agent.l2().state(line).is_valid() {
+                return Err((
+                    "write-overlaps-copy".to_string(),
+                    format!(
+                        "node {node} completed a {kind:?} on {line:?} while node {j} \
+                         still holds a valid {:?} copy (single-writer violated)",
+                        agent.l2().state(line)
+                    ),
+                ));
+            }
+        }
+        let g = st.ghost.entry(line).or_default();
+        g.current += 1;
+        let v = g.current;
+        g.copies.insert(node, v);
+    }
+    if st.waiting[node] == Some(line) {
+        st.waiting[node] = None;
+    }
+    Ok(())
+}
+
+/// Routes the effects of one `handle()` call into the model state.
+fn process_effects(st: &mut ModelState, node: usize, fx: &[Effect]) -> Result<(), StepError> {
+    let nodes = st.agents.len();
+    let succ = (node + 1) % nodes;
+    let mut ring_sends: Vec<(u64, usize, RingMsg)> = Vec::new();
+    for (order, e) in fx.iter().enumerate() {
+        match *e {
+            Effect::RingSend { msg, delay } => ring_sends.push((delay, order, msg)),
+            Effect::MulticastRequest(req) => {
+                for j in 0..nodes {
+                    if j != node {
+                        st.items.push((j, Item::Direct(req)));
+                    }
+                }
+            }
+            Effect::SendSupplier { to, msg } => {
+                let version = if msg.with_data {
+                    st.copy_version(msg.line, node)
+                } else {
+                    0
+                };
+                st.items.push((to.0, Item::Supplier(msg, version)));
+            }
+            Effect::StartSnoop { txn, line, .. } | Effect::DelaySnoop { txn, line, .. } => {
+                st.items.push((node, Item::Snoop { txn, line }));
+            }
+            Effect::MemFetch { line, .. } => st.items.push((node, Item::Mem { line })),
+            Effect::Writeback { line } => {
+                let v = st.copy_version(line, node);
+                st.ghost.entry(line).or_default().mem = v;
+            }
+            Effect::Bound { .. } | Effect::L1Invalidate { .. } => {}
+            Effect::Complete { line, kind, .. } => on_complete(st, node, line, kind)?,
+            Effect::Retry { line, .. } => st.items.push((node, Item::Retry { line })),
+        }
+    }
+    ring_sends.sort_by_key(|&(delay, order, _)| (delay, order));
+    for (_, _, msg) in ring_sends {
+        st.ring_in[succ].push_back(msg);
+    }
+    Ok(())
+}
+
+/// Structural invariants that must hold in *every* reachable state.
+/// Nodes with an outstanding transaction on the line are excluded: their
+/// copies are transiently stale by design (a colliding winner leaves
+/// them untouched; the eventual `fail_txn` invalidates them).
+fn check_state(st: &ModelState) -> Result<(), StepError> {
+    let lines: Vec<LineAddr> = st.ghost.keys().copied().collect();
+    for line in lines {
+        let mut suppliers: Vec<(usize, LineState)> = Vec::new();
+        let mut valid: Vec<(usize, LineState)> = Vec::new();
+        for (j, agent) in st.agents.iter().enumerate() {
+            if agent.has_outstanding(line) {
+                continue;
+            }
+            let s = agent.l2().state(line);
+            if s.is_supplier() {
+                suppliers.push((j, s));
+            }
+            if s.is_valid() {
+                valid.push((j, s));
+            }
+        }
+        if suppliers.len() > 1 {
+            return Err((
+                "multi-supplier".to_string(),
+                format!(
+                    "{line:?} has {} supplier copies: {suppliers:?}",
+                    suppliers.len()
+                ),
+            ));
+        }
+        let exclusive = suppliers
+            .iter()
+            .find(|(_, s)| matches!(s, LineState::Exclusive | LineState::Dirty));
+        if let Some(&(owner, s)) = exclusive {
+            if valid.len() > 1 {
+                return Err((
+                    "exclusive-not-sole".to_string(),
+                    format!(
+                        "node {owner} holds {line:?} in {s:?} but other valid copies \
+                         exist: {valid:?}"
+                    ),
+                ));
+            }
+        }
+    }
+    for (j, agent) in st.agents.iter().enumerate() {
+        if agent.stats().protocol_errors > 0 {
+            return Err((
+                "protocol-error".to_string(),
+                format!("node {j} recorded a recovered protocol-state error"),
+            ));
+        }
+        if agent.ltt().overflows() > 0 {
+            return Err((
+                "ltt-overflow".to_string(),
+                format!("node {j} overflowed its LTT"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a state with no enabled events: every script must have run to
+/// completion and every agent must be quiescent.
+fn check_quiescent(st: &ModelState, scripts: &[Vec<Op>]) -> Result<(), StepError> {
+    for (node, script) in scripts.iter().enumerate().take(st.agents.len()) {
+        if st.pc[node] < script.len() || st.waiting[node].is_some() {
+            return Err((
+                "deadlock".to_string(),
+                format!(
+                    "no event is enabled but node {node} is stuck at op {}/{} \
+                     (waiting on {:?})",
+                    st.pc[node],
+                    script.len(),
+                    st.waiting[node]
+                ),
+            ));
+        }
+    }
+    for (j, agent) in st.agents.iter().enumerate() {
+        if agent.outstanding_count() > 0 || agent.pending_core_len() > 0 {
+            return Err((
+                "leaked-transaction".to_string(),
+                format!("node {j} still tracks a transaction at quiescence"),
+            ));
+        }
+        if !agent.ltt().is_empty() {
+            return Err((
+                "ltt-imbalance".to_string(),
+                format!("node {j} has LTT residue at quiescence"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Applies one event. Conformance divergences and ghost-data violations
+/// surface as `Err`.
+fn apply_event(
+    st: &mut ModelState,
+    ev: &Event,
+    scripts: &[Vec<Op>],
+    decision: &DecisionTable,
+    conformance_on: bool,
+) -> Result<(), StepError> {
+    match ev {
+        Event::Issue { node } => {
+            let node = *node;
+            let op = scripts[node][st.pc[node]];
+            st.pc[node] += 1;
+            match op {
+                Op::Load(line) => {
+                    if st.agents[node].l2().state(line).is_valid() {
+                        // L2 hit: the load binds immediately and must
+                        // observe the latest completed write.
+                        if !st.agents[node].is_line_engaged(line) {
+                            let (current, held) = {
+                                let g = st.ghost.entry(line).or_default();
+                                (g.current, g.copies.get(&node).copied())
+                            };
+                            if held != Some(current) {
+                                return Err((
+                                    "stale-read".to_string(),
+                                    format!(
+                                        "node {node} hit {line:?} in its L2 with data \
+                                         version {held:?}, current is {current}"
+                                    ),
+                                ));
+                            }
+                        }
+                    } else {
+                        st.waiting[node] = Some(line);
+                        let fx = st.agents[node].handle(
+                            0,
+                            AgentInput::CoreRequest {
+                                line,
+                                kind: TxnKind::Read,
+                            },
+                        );
+                        process_effects(st, node, &fx)?;
+                    }
+                }
+                Op::Store(line) => match st.agents[node].classify_store(line) {
+                    None => {} // silent store on E/D: modeled as a no-op
+                    Some(kind) => {
+                        st.waiting[node] = Some(line);
+                        let fx = st.agents[node].handle(0, AgentInput::CoreRequest { line, kind });
+                        process_effects(st, node, &fx)?;
+                    }
+                },
+            }
+        }
+        Event::Ring { node } => {
+            let node = *node;
+            let Some(msg) = st.ring_in[node].pop_front() else {
+                return Ok(());
+            };
+            let prediction = if conformance_on {
+                if let RingMsg::Response(resp) = &msg {
+                    let line = resp.line;
+                    let l2_valid = st.agents[node].l2().state(line).is_valid();
+                    st.agents[node].own_txn_view(line).map(|view| {
+                        let pred = if resp.requester() == NodeId(node) {
+                            conformance::predict_own(decision, &view, resp, l2_valid)
+                        } else {
+                            conformance::predict_foreign(decision, &view, resp, l2_valid)
+                        };
+                        (pred, line)
+                    })
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            let fx = st.agents[node].handle(0, AgentInput::RingArrival(msg));
+            if let Some((pred, line)) = prediction {
+                if let Some(detail) = conformance::divergence(&pred, &fx, line, node) {
+                    return Err(("conformance".to_string(), detail));
+                }
+            }
+            process_effects(st, node, &fx)?;
+        }
+        Event::Deliver { node, item } => {
+            let node = *node;
+            let Some(pos) = st.items.iter().position(|(n, it)| *n == node && it == item) else {
+                return Ok(());
+            };
+            let (_, item) = st.items.swap_remove(pos);
+            match item {
+                Item::Direct(req) => {
+                    let fx = st.agents[node].handle(0, AgentInput::DirectRequest(req));
+                    process_effects(st, node, &fx)?;
+                }
+                Item::Snoop { txn, line } => {
+                    let fx = st.agents[node].handle(0, AgentInput::SnoopDone { txn, line });
+                    process_effects(st, node, &fx)?;
+                }
+                Item::Supplier(msg, version) => {
+                    let view = st.agents[node].own_txn_view(msg.line);
+                    let consumes = view
+                        .as_ref()
+                        .is_some_and(|v| v.txn == msg.txn && !v.has_suppliership);
+                    let committed = view.as_ref().is_some_and(|v| v.committed);
+                    let doomed = view.as_ref().is_some_and(|v| v.doomed);
+                    // A dataless transfer onto a compromised copy must be
+                    // declined (stale-upgrade retry); anything else a
+                    // committed winner was waiting for must complete it.
+                    let stale = !msg.with_data
+                        && view
+                            .as_ref()
+                            .is_some_and(|v| v.must_invalidate || v.copy_lost);
+                    let fx = st.agents[node].handle(0, AgentInput::Supplier(msg));
+                    // The supplied ghost version lands at this node when
+                    // the transfer is consumed, and also when an orphaned
+                    // transfer (its transaction already failed over) is
+                    // flushed to memory — the agent's Writeback then
+                    // resolves to the payload's version, not whatever the
+                    // node held before.
+                    let flushed = msg.with_data
+                        && fx
+                            .iter()
+                            .any(|e| matches!(e, Effect::Writeback { line } if *line == msg.line));
+                    if msg.with_data && (consumes || flushed) {
+                        st.ghost
+                            .entry(msg.line)
+                            .or_default()
+                            .copies
+                            .insert(node, version);
+                    }
+                    if conformance_on && consumes && (committed || doomed) {
+                        // A doomed attempt (squashed positive parked on the
+                        // in-flight transfer) must fail over and retry the
+                        // moment the suppliership lands; a committed winner
+                        // completes unless the transfer is a stale dataless
+                        // upgrade, which it declines.
+                        let expect = if doomed || stale {
+                            ObservedClass::Retry
+                        } else {
+                            ObservedClass::Complete
+                        };
+                        let seen = conformance::observe(&fx, msg.line);
+                        if seen != expect {
+                            return Err((
+                                "conformance".to_string(),
+                                format!(
+                                    "node {node} was waiting for suppliership of {:?} \
+                                     (committed={committed}, doomed={doomed}): expected its \
+                                     arrival to {expect}, agent did {seen}",
+                                    msg.line
+                                ),
+                            ));
+                        }
+                    }
+                    process_effects(st, node, &fx)?;
+                }
+                Item::Mem { line } => {
+                    let consumes = st.agents[node]
+                        .own_txn_view(line)
+                        .is_some_and(|v| v.mem_waiting);
+                    if consumes {
+                        let mem = st.ghost.entry(line).or_default().mem;
+                        st.ghost.entry(line).or_default().copies.insert(node, mem);
+                    }
+                    let fx = st.agents[node].handle(0, AgentInput::MemData { line });
+                    process_effects(st, node, &fx)?;
+                }
+                Item::Retry { line } => {
+                    let fx = st.agents[node].handle(0, AgentInput::RetryNow { line });
+                    process_effects(st, node, &fx)?;
+                }
+            }
+        }
+    }
+    check_state(st)
+}
+
+/// Replays an event path from the initial state with tracing enabled,
+/// returning the final state and the concatenated coherence-event trace.
+fn replay(
+    cfg: &ExploreConfig,
+    scripts: &[Vec<Op>],
+    decision: &DecisionTable,
+    events: &[Event],
+) -> (ModelState, Vec<TraceEvent>) {
+    let (mut st, _) = initial_state(cfg);
+    for a in &mut st.agents {
+        a.set_tracing(true);
+    }
+    let mut trace = Vec::new();
+    for ev in events {
+        // Violations are already known from the search; replay only for
+        // the trace.
+        let _ = apply_event(&mut st, ev, scripts, decision, false);
+        for a in &mut st.agents {
+            trace.extend(a.drain_trace());
+        }
+    }
+    (st, trace)
+}
+
+struct ArenaNode {
+    parent: usize,
+    event: Option<Event>,
+}
+
+fn path_to(arena: &[ArenaNode], mut idx: usize) -> Vec<Event> {
+    let mut events = Vec::new();
+    loop {
+        let node = &arena[idx];
+        match &node.event {
+            Some(ev) => events.push(ev.clone()),
+            None => break,
+        }
+        idx = node.parent;
+    }
+    events.reverse();
+    events
+}
+
+fn build_violation(
+    cfg: &ExploreConfig,
+    scripts: &[Vec<Op>],
+    decision: &DecisionTable,
+    events: Vec<Event>,
+    kind: String,
+    detail: String,
+) -> Violation {
+    let (_, trace) = replay(cfg, scripts, decision, &events);
+    Violation {
+        kind,
+        detail,
+        events: events.iter().map(|e| e.to_string()).collect(),
+        trace,
+    }
+}
+
+/// Exhaustively explores every interleaving of the scenario, checking
+/// structural invariants, ghost-data integrity, quiescence, and (when
+/// enabled) decision-table conformance on every transition. Returns on
+/// the first violation, whose event path is minimal by BFS order.
+pub fn explore(cfg: &ExploreConfig) -> ExploreReport {
+    assert!(cfg.nodes >= 2, "a ring needs at least 2 nodes");
+    let (init, scripts) = initial_state(cfg);
+    let decision = cfg
+        .decision_table
+        .clone()
+        .unwrap_or_else(DecisionTable::canonical);
+    let mut report = ExploreReport {
+        variant: cfg.variant,
+        scenario: cfg.scenario,
+        nodes: cfg.nodes,
+        states: 1,
+        transitions: 0,
+        terminals: 0,
+        pruned: 0,
+        truncated: false,
+        violation: None,
+    };
+    let mut visited: HashSet<(u64, u64)> = HashSet::new();
+    visited.insert(init.digest());
+    let mut arena = vec![ArenaNode {
+        parent: 0,
+        event: None,
+    }];
+    let mut queue: VecDeque<(usize, ModelState)> = VecDeque::new();
+    queue.push_back((0, init));
+    let mut terminal_samples: Vec<usize> = Vec::new();
+
+    'bfs: while let Some((idx, st)) = queue.pop_front() {
+        let evs = enabled_events(&st, &scripts);
+        if evs.is_empty() {
+            report.terminals += 1;
+            if let Err((kind, detail)) = check_quiescent(&st, &scripts) {
+                let events = path_to(&arena, idx);
+                report.violation = Some(build_violation(
+                    cfg, &scripts, &decision, events, kind, detail,
+                ));
+                break 'bfs;
+            }
+            if terminal_samples.len() < cfg.trace_samples {
+                terminal_samples.push(idx);
+            }
+            continue;
+        }
+        for ev in evs {
+            let mut next = st.clone();
+            report.transitions += 1;
+            if let Err((kind, detail)) =
+                apply_event(&mut next, &ev, &scripts, &decision, cfg.conformance)
+            {
+                let mut events = path_to(&arena, idx);
+                events.push(ev);
+                report.violation = Some(build_violation(
+                    cfg, &scripts, &decision, events, kind, detail,
+                ));
+                break 'bfs;
+            }
+            if next
+                .agents
+                .iter()
+                .any(|a| a.stats().retries > cfg.retry_bound)
+            {
+                report.pruned += 1;
+                continue;
+            }
+            if visited.insert(next.digest()) {
+                report.states += 1;
+                if report.states >= cfg.max_states {
+                    report.truncated = true;
+                    break 'bfs;
+                }
+                arena.push(ArenaNode {
+                    parent: idx,
+                    event: Some(ev),
+                });
+                queue.push_back((arena.len() - 1, next));
+            }
+        }
+    }
+
+    // Replay sampled terminal paths through the trace invariant checker:
+    // the Ordering invariant, winner uniqueness and LTT event balance are
+    // properties of whole executions, not of single states.
+    if report.violation.is_none() && !report.truncated {
+        for idx in terminal_samples {
+            let events = path_to(&arena, idx);
+            let (_, trace) = replay(cfg, &scripts, &decision, &events);
+            let mut checker = InvariantChecker::new();
+            for ev in &trace {
+                checker.observe(ev);
+            }
+            checker.finish();
+            if let Some(first) = checker.violations().first() {
+                report.violation = Some(Violation {
+                    kind: "trace-invariant".to_string(),
+                    detail: first.clone(),
+                    events: events.iter().map(|e| e.to_string()).collect(),
+                    trace,
+                });
+                break;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_node_read_race_is_clean_for_eager() {
+        let report = explore(&ExploreConfig::new(
+            ProtocolVariant::Eager,
+            2,
+            Scenario::ReadRace,
+        ));
+        assert!(
+            report.ok(),
+            "violation: {:?}",
+            report.violation.map(|v| (v.kind, v.detail))
+        );
+        assert!(report.states > 1);
+        assert!(report.terminals > 0);
+    }
+
+    #[test]
+    fn two_node_write_race_is_clean_for_uncorq() {
+        let report = explore(&ExploreConfig::new(
+            ProtocolVariant::Uncorq,
+            2,
+            Scenario::WriteRace,
+        ));
+        assert!(
+            report.ok(),
+            "violation: {:?}",
+            report.violation.map(|v| (v.kind, v.detail))
+        );
+    }
+
+    #[test]
+    fn scenario_names_roundtrip() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::by_name(s.name()), Some(s));
+        }
+        assert!(Scenario::by_name("no_such").is_none());
+    }
+}

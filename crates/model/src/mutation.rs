@@ -1,0 +1,411 @@
+//! Mutation-soundness harness: proves the checker actually checks.
+//!
+//! A model checker that reports "no violations" is only as credible as
+//! its ability to *find* one. This module seeds single-entry mutations
+//! into the transition tables and demands that the explorer kills each
+//! of them:
+//!
+//! * **Supplier-table mutants** are injected into every agent via
+//!   [`RingAgent::set_supplier_table`] — the checked artifact *is* the
+//!   shipped logic, so a flipped entry changes real protocol behavior
+//!   and must surface as an invariant violation (stale data, multiple
+//!   suppliers, deadlock, a recovered table miss, …).
+//! * **Decision-table mutants** are injected into the conformance
+//!   reference only. The agents still run the correct logic, so the kill
+//!   signal is a *divergence* report — proving the differential check
+//!   can tell the two encodings apart.
+//!
+//! [`RingAgent::set_supplier_table`]: ring_coherence::RingAgent::set_supplier_table
+
+use std::sync::Arc;
+
+use ring_coherence::{
+    DecisionAction, DecisionTable, ProtocolVariant, RespClass, SnoopState, SupplierGuard,
+    SupplierTable, TxnKind,
+};
+
+use crate::explorer::{explore, ExploreConfig, Scenario};
+
+/// A single-entry table mutation.
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// Short stable identifier.
+    pub id: &'static str,
+    /// What was flipped and why it is wrong.
+    pub description: String,
+    /// The mutated artifact.
+    pub target: MutantTarget,
+}
+
+/// Which table a mutant perturbs.
+#[derive(Debug, Clone)]
+pub enum MutantTarget {
+    /// Injected into the agents (changes real behavior).
+    Supplier(Arc<SupplierTable>),
+    /// Injected into the conformance reference (changes the model).
+    Decision(DecisionTable),
+}
+
+/// One cell of the kill grid.
+#[derive(Debug, Clone, Copy)]
+pub struct GridPoint {
+    /// Variant to explore under.
+    pub variant: ProtocolVariant,
+    /// Ring size.
+    pub nodes: usize,
+    /// Scenario.
+    pub scenario: Scenario,
+    /// Whether to enable the §5.5 keep-supplier extension.
+    pub keep_supplier: bool,
+}
+
+/// The outcome of hunting one mutant across the grid.
+#[derive(Debug, Clone)]
+pub struct MutationOutcome {
+    /// Mutant identifier.
+    pub id: &'static str,
+    /// Mutant description.
+    pub description: String,
+    /// `Some("variant/scenario: kind — detail")` when killed.
+    pub killed_by: Option<String>,
+}
+
+impl MutationOutcome {
+    /// Whether the mutant was detected.
+    pub fn killed(&self) -> bool {
+        self.killed_by.is_some()
+    }
+}
+
+fn supplier_row_index(
+    table: &SupplierTable,
+    state: SnoopState,
+    req: TxnKind,
+    guard: SupplierGuard,
+) -> usize {
+    table
+        .rows()
+        .iter()
+        .position(|r| r.state == state && r.req == req && r.guard == guard)
+        .unwrap_or_else(|| panic!("canonical table lost its {state} x {req:?} row"))
+}
+
+fn decision_row_index(table: &DecisionTable, resp: RespClass, action: DecisionAction) -> usize {
+    table
+        .rows()
+        .iter()
+        .position(|r| r.resp == resp && r.action == action)
+        .unwrap_or_else(|| panic!("canonical table lost its {resp} -> {action} row"))
+}
+
+/// The seeded mutants the harness must kill. Each perturbs exactly one
+/// table entry, chosen so the resulting protocol (or model) is genuinely
+/// wrong — not merely wasteful.
+pub fn seeded_mutants() -> Vec<Mutant> {
+    let sup = SupplierTable::canonical();
+    let dec = DecisionTable::canonical();
+    let mut mutants = Vec::new();
+
+    // 1. The Exclusive supplier claims the snoop but never ships the
+    //    data: the requester commits to a suppliership that never comes.
+    let i = supplier_row_index(
+        &sup,
+        SnoopState::Exclusive,
+        TxnKind::Read,
+        SupplierGuard::TransferSupplier,
+    );
+    let mut row = sup.rows()[i];
+    row.supply = None;
+    mutants.push(Mutant {
+        id: "sup-e-read-no-supply",
+        description: "E x read answers positive but sends no suppliership".into(),
+        target: MutantTarget::Supplier(Arc::new(sup.with_row(i, row))),
+    });
+
+    // 2. The Dirty supplier hands data to a write miss but keeps its own
+    //    dirty copy: two exclusive-class copies after completion.
+    let i = supplier_row_index(
+        &sup,
+        SnoopState::Dirty,
+        TxnKind::WriteMiss,
+        SupplierGuard::Always,
+    );
+    let mut row = sup.rows()[i];
+    row.next_state = None;
+    mutants.push(Mutant {
+        id: "sup-d-wm-keeps-copy",
+        description: "D x write-miss supplies data but keeps the dirty copy".into(),
+        target: MutantTarget::Supplier(Arc::new(sup.with_row(i, row))),
+    });
+
+    // 3. A guard flip that opens a hole: the E x read case becomes
+    //    unhandled under the default configuration (recovered as a
+    //    TableMiss protocol error at snoop time).
+    let i = supplier_row_index(
+        &sup,
+        SnoopState::Exclusive,
+        TxnKind::Read,
+        SupplierGuard::TransferSupplier,
+    );
+    let mut row = sup.rows()[i];
+    row.guard = SupplierGuard::KeepSupplier;
+    mutants.push(Mutant {
+        id: "sup-e-read-hole",
+        description: "E x read row guarded out of the default configuration (hole)".into(),
+        target: MutantTarget::Supplier(Arc::new(sup.with_row(i, row))),
+    });
+
+    // 4. An Invalid copy answers a read positive: a phantom supplier
+    //    with nothing to send.
+    let i = supplier_row_index(
+        &sup,
+        SnoopState::Invalid,
+        TxnKind::Read,
+        SupplierGuard::Always,
+    );
+    let mut row = sup.rows()[i];
+    row.positive = true;
+    mutants.push(Mutant {
+        id: "sup-i-read-positive",
+        description: "I x read answers positive (phantom supplier)".into(),
+        target: MutantTarget::Supplier(Arc::new(sup.with_row(i, row))),
+    });
+
+    // 5. A Shared copy survives an invalidating write hit: the winner
+    //    completes its store while a stale valid copy remains readable.
+    let i = supplier_row_index(
+        &sup,
+        SnoopState::Shared,
+        TxnKind::WriteHit,
+        SupplierGuard::Always,
+    );
+    let mut row = sup.rows()[i];
+    row.next_state = None;
+    mutants.push(Mutant {
+        id: "sup-s-wh-survives",
+        description: "S x write-hit leaves the shared copy valid".into(),
+        target: MutantTarget::Supplier(Arc::new(sup.with_row(i, row))),
+    });
+
+    // 6. Under §5.5 keep-supplier, the kept E supplier services the read
+    //    with an ownership-only message: the requester binds no data.
+    let i = supplier_row_index(
+        &sup,
+        SnoopState::Exclusive,
+        TxnKind::Read,
+        SupplierGuard::KeepSupplier,
+    );
+    let mut row = sup.rows()[i];
+    if let Some(supply) = row.supply.as_mut() {
+        supply.with_data = false;
+    }
+    mutants.push(Mutant {
+        id: "sup-keep-e-read-dataless",
+        description: "keep-supplier E x read supplies without data".into(),
+        target: MutantTarget::Supplier(Arc::new(sup.with_row(i, row))),
+    });
+
+    // 7. The model claims a clean-negative winner retries instead of
+    //    fetching from memory.
+    let i = decision_row_index(&dec, RespClass::NegClean, DecisionAction::MemFetch);
+    let mut row = dec.rows()[i];
+    row.action = DecisionAction::Retry;
+    mutants.push(Mutant {
+        id: "dec-memfetch-to-retry",
+        description: "decision model: clean-negative winner retries instead of memory fetch".into(),
+        target: MutantTarget::Decision(dec.with_row(i, row)),
+    });
+
+    // 8. The model claims a marked negative defers instead of retrying.
+    let i = decision_row_index(&dec, RespClass::NegMarked, DecisionAction::Retry);
+    let mut row = dec.rows()[i];
+    row.action = DecisionAction::Defer;
+    mutants.push(Mutant {
+        id: "dec-marked-to-defer",
+        description: "decision model: squashed response defers instead of retrying".into(),
+        target: MutantTarget::Decision(dec.with_row(i, row)),
+    });
+
+    // 9. The model sends the local-write winner to memory.
+    let i = decision_row_index(&dec, RespClass::NegClean, DecisionAction::CompleteLocal);
+    let mut row = dec.rows()[i];
+    row.action = DecisionAction::MemFetch;
+    mutants.push(Mutant {
+        id: "dec-local-to-memfetch",
+        description: "decision model: local-write winner fetches from memory".into(),
+        target: MutantTarget::Decision(dec.with_row(i, row)),
+    });
+
+    // 10. The model completes a stale dataless upgrade — the exact lost
+    //     -update class the decline row exists to prevent (an
+    //     ownership-only transfer bound while a colliding write
+    //     compromised the local copy).
+    let i = decision_row_index(&dec, RespClass::Positive, DecisionAction::Retry);
+    let mut row = dec.rows()[i];
+    row.action = DecisionAction::Complete;
+    mutants.push(Mutant {
+        id: "dec-stale-upgrade-completes",
+        description: "decision model: stale dataless upgrade completes instead of retrying".into(),
+        target: MutantTarget::Decision(dec.with_row(i, row)),
+    });
+
+    // 11. The model lets a squashed positive with no suppliership bound
+    //     retry immediately instead of parking on the in-flight
+    //     transfer. The agent parks (the reissue would race the only
+    //     current copy still on the wire and bind stale memory), so the
+    //     mutated model diverges at the first doomed consumption.
+    let i = decision_row_index(&dec, RespClass::PosSquashed, DecisionAction::WaitSupplier);
+    let mut row = dec.rows()[i];
+    row.action = DecisionAction::Retry;
+    mutants.push(Mutant {
+        id: "dec-doomed-retries-early",
+        description: "decision model: squashed positive retries before the supplier lands".into(),
+        target: MutantTarget::Decision(dec.with_row(i, row)),
+    });
+
+    // 12. A guard flip that makes the decision table ambiguous (the
+    //     defer row now overlaps the decided rows) and leaves the real
+    //     defer point unhandled.
+    let i = decision_row_index(&dec, RespClass::NegClean, DecisionAction::Defer);
+    let mut row = dec.rows()[i];
+    row.guard.colliders_seen = Some(true);
+    mutants.push(Mutant {
+        id: "dec-defer-guard-flip",
+        description: "decision model: defer row guard flipped (hole + ambiguity)".into(),
+        target: MutantTarget::Decision(dec.with_row(i, row)),
+    });
+
+    mutants
+}
+
+/// The default kill grid: both request-delivery families (ring-ordered
+/// Eager and unconstrained Uncorq) across every scenario at 2 nodes,
+/// keep-supplier cells for the §5.5 rows, and 3-node stale-upgrade
+/// cells (the decline path needs a third, colliding writer).
+pub fn default_grid() -> Vec<GridPoint> {
+    let mut grid = Vec::new();
+    for &variant in &[ProtocolVariant::Eager, ProtocolVariant::Uncorq] {
+        for scenario in Scenario::ALL {
+            grid.push(GridPoint {
+                variant,
+                nodes: 2,
+                scenario,
+                keep_supplier: false,
+            });
+        }
+        for scenario in [Scenario::Mixed, Scenario::ReadRace] {
+            grid.push(GridPoint {
+                variant,
+                nodes: 2,
+                scenario,
+                keep_supplier: true,
+            });
+        }
+        grid.push(GridPoint {
+            variant,
+            nodes: 3,
+            scenario: Scenario::StaleUpgrade,
+            keep_supplier: false,
+        });
+        // The doomed-parking path (a squashed positive consumed before
+        // its suppliership lands) needs three contending writers.
+        grid.push(GridPoint {
+            variant,
+            nodes: 3,
+            scenario: Scenario::UpgradeRace,
+            keep_supplier: false,
+        });
+    }
+    grid
+}
+
+/// Hunts one mutant across the grid; stops at the first kill.
+pub fn run_mutant(mutant: &Mutant, grid: &[GridPoint], max_states: usize) -> MutationOutcome {
+    let mut killed_by = None;
+    for point in grid {
+        let mut cfg = ExploreConfig::new(point.variant, point.nodes, point.scenario);
+        cfg.max_states = max_states;
+        cfg.keep_supplier = point.keep_supplier;
+        cfg.trace_samples = 0; // invariant + conformance checks suffice
+        if point.nodes >= 3 {
+            // Match the checker's ring-size-scaled bounded-fairness prune
+            // so the kill signal appears inside the state budget.
+            cfg.retry_bound = 2;
+        }
+        match &mutant.target {
+            MutantTarget::Supplier(table) => cfg.supplier_table = Some(Arc::clone(table)),
+            MutantTarget::Decision(table) => cfg.decision_table = Some(table.clone()),
+        }
+        let report = explore(&cfg);
+        if let Some(v) = report.violation {
+            let keep = if point.keep_supplier { "+keep" } else { "" };
+            killed_by = Some(format!(
+                "{}{keep}/{}/{} nodes: {} — {}",
+                point.variant, point.scenario, point.nodes, v.kind, v.detail
+            ));
+            break;
+        }
+    }
+    MutationOutcome {
+        id: mutant.id,
+        description: mutant.description.clone(),
+        killed_by,
+    }
+}
+
+/// Runs the full seeded sweep.
+pub fn run_sweep(max_states: usize) -> Vec<MutationOutcome> {
+    let grid = default_grid();
+    seeded_mutants()
+        .iter()
+        .map(|m| run_mutant(m, &grid, max_states))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kill(id: &str) -> MutationOutcome {
+        let mutants = seeded_mutants();
+        let m = mutants
+            .iter()
+            .find(|m| m.id == id)
+            .unwrap_or_else(|| panic!("no mutant {id}"));
+        run_mutant(m, &default_grid(), 120_000)
+    }
+
+    #[test]
+    fn dirty_supplier_keeping_its_copy_is_killed() {
+        let outcome = kill("sup-d-wm-keeps-copy");
+        assert!(outcome.killed(), "mutant survived: {}", outcome.description);
+    }
+
+    #[test]
+    fn guarded_out_row_is_killed_as_table_miss() {
+        let outcome = kill("sup-e-read-hole");
+        assert!(outcome.killed(), "mutant survived: {}", outcome.description);
+    }
+
+    #[test]
+    fn premature_doomed_retry_is_killed_by_divergence() {
+        let outcome = kill("dec-doomed-retries-early");
+        assert!(outcome.killed(), "mutant survived: {}", outcome.description);
+        let detail = outcome.killed_by.unwrap_or_default();
+        assert!(
+            detail.contains("conformance"),
+            "decision mutants must die to a conformance divergence, got: {detail}"
+        );
+    }
+
+    #[test]
+    fn decision_model_mutation_is_killed_by_divergence() {
+        let outcome = kill("dec-memfetch-to-retry");
+        assert!(outcome.killed(), "mutant survived: {}", outcome.description);
+        let detail = outcome.killed_by.unwrap_or_default();
+        assert!(
+            detail.contains("conformance"),
+            "decision mutants must die to a conformance divergence, got: {detail}"
+        );
+    }
+}

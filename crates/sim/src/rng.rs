@@ -29,6 +29,13 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 impl DetRng {
+    /// The generator's internal state, for state digesting (the
+    /// `ring-model` explorer hashes it so two protocol states that would
+    /// draw different future random numbers never merge).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Creates an RNG from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
         let mut sm = seed;

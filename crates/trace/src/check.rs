@@ -13,10 +13,15 @@
 //!    (the Uncorq Ordering invariant enforced by the LTT WID rules).
 //! 3. **LTT balance** — every LTT slot insert is matched by exactly one
 //!    remove, and the table is empty when the trace ends.
-//! 4. **Winner uniqueness** — of two colliding writers, at most one
-//!    attempt is selected as winner (exclusive ownership is unique;
-//!    collisions involving a read may legitimately dual-win because the
-//!    read serializes before the write or joins a suppliership chain).
+//! 4. **Winner uniqueness** — of two colliding writers, at most one may
+//!    hold the win at a time. If both attempts are ever selected, the
+//!    first must have *completed* before the second was selected:
+//!    chained serialization, where the first winner becomes the supplier
+//!    that services the second. A selected winner that never completes
+//!    vacated its win (a transfer declined after selection) and excludes
+//!    nothing. Collisions involving a read may legitimately dual-win
+//!    because the read serializes before the write or joins a
+//!    suppliership chain.
 //!
 //! Injected-fault events ([`EventKind::FaultInjected`]) are counted but
 //! assert nothing: the invariants above must hold *with faults present*,
@@ -56,8 +61,10 @@ pub struct InvariantChecker {
     ltt: HashMap<(u32, Txn, u64), u32>,
     /// Colliding attempt pairs, normalized (smaller first).
     collisions: HashSet<(Txn, Txn)>,
-    /// Attempts selected as winners.
-    winners: HashSet<Txn>,
+    /// Attempts selected as winners -> event index of first selection.
+    win_at: HashMap<Txn, u64>,
+    /// Completed attempts -> event index of the requester's completion.
+    completed_at: HashMap<Txn, u64>,
     violations: Vec<String>,
     completed: u64,
     retried: u64,
@@ -98,6 +105,7 @@ impl InvariantChecker {
             EventKind::Complete { .. } | EventKind::Retry { .. } if ev.node == ev.txn_node => {
                 let res = if matches!(ev.kind, EventKind::Complete { .. }) {
                     self.completed += 1;
+                    self.completed_at.entry(txn).or_insert(self.events);
                     Resolution::Completed
                 } else {
                     self.retried += 1;
@@ -169,7 +177,9 @@ impl InvariantChecker {
                 winner_node,
                 winner_serial,
             } => {
-                self.winners.insert((winner_node, winner_serial));
+                self.win_at
+                    .entry((winner_node, winner_serial))
+                    .or_insert(self.events);
             }
             EventKind::FaultInjected { .. } => {
                 self.faults += 1;
@@ -213,17 +223,31 @@ impl InvariantChecker {
             .collisions
             .iter()
             .filter(|(a, b)| {
-                self.winners.contains(a)
-                    && self.winners.contains(b)
+                self.win_at.contains_key(a)
+                    && self.win_at.contains_key(b)
                     && is_write(a, &self.ops)
                     && is_write(b, &self.ops)
             })
             .copied()
             .collect();
-        for ((an, asr), (bn, bsr)) in conflicting {
+        for (a, b) in conflicting {
+            // A winner that never completed vacated its win (a transfer
+            // declined after selection) and excludes nothing.
+            let (Some(&ca), Some(&cb)) = (self.completed_at.get(&a), self.completed_at.get(&b))
+            else {
+                continue;
+            };
+            let (&wa, &wb) = (&self.win_at[&a], &self.win_at[&b]);
+            // Chained serialization: the earlier winner completed (and
+            // became the supplier) before the later one was selected.
+            if ca < wb || cb < wa {
+                continue;
+            }
+            let ((an, asr), (bn, bsr)) = (a, b);
             self.violation(format!(
                 "winner uniqueness: colliding conflicting attempts {an}.{asr} and {bn}.{bsr} \
-                 were both selected as winners"
+                 were both selected as winners while neither completion preceded the other's \
+                 selection"
             ));
         }
     }
@@ -255,7 +279,7 @@ impl InvariantChecker {
 
     /// Winner selections observed.
     pub fn winners(&self) -> usize {
-        self.winners.len()
+        self.win_at.len()
     }
 
     /// Injected-fault events observed.

@@ -99,6 +99,9 @@ pub enum ErrorClass {
     LttSlotMissing,
     /// A ready LTT slot carried no combined response.
     LttResponseMissing,
+    /// A transition-table lookup found no unique row for a
+    /// `state × message` pair (only possible with a mutated table).
+    TableMiss,
 }
 
 impl ErrorClass {
@@ -107,6 +110,7 @@ impl ErrorClass {
             ErrorClass::MshrOverflow => "mshr_overflow",
             ErrorClass::LttSlotMissing => "ltt_slot_missing",
             ErrorClass::LttResponseMissing => "ltt_resp_missing",
+            ErrorClass::TableMiss => "table_miss",
         }
     }
 
@@ -115,6 +119,7 @@ impl ErrorClass {
             "mshr_overflow" => Some(ErrorClass::MshrOverflow),
             "ltt_slot_missing" => Some(ErrorClass::LttSlotMissing),
             "ltt_resp_missing" => Some(ErrorClass::LttResponseMissing),
+            "table_miss" => Some(ErrorClass::TableMiss),
             _ => None,
         }
     }
@@ -908,6 +913,9 @@ mod tests {
             },
             EventKind::ProtocolError {
                 error: ErrorClass::LttResponseMissing,
+            },
+            EventKind::ProtocolError {
+                error: ErrorClass::TableMiss,
             },
         ]
     }

@@ -21,7 +21,7 @@
 
 use std::process::ExitCode;
 
-use uncorq::coherence::{ProtocolConfig, ProtocolKind};
+use uncorq::coherence::{ProtocolConfig, ProtocolVariant};
 use uncorq::noc::{FaultPlan, FaultProfile};
 use uncorq::system::{Machine, MachineConfig};
 use uncorq::trace::{InvariantChecker, SharedBufferSink};
@@ -96,20 +96,10 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
 
 /// The five ring protocol variants of the paper's Figure 9.
 fn protocols() -> Vec<(&'static str, ProtocolConfig)> {
-    let mut v: Vec<(&'static str, ProtocolConfig)> = ProtocolKind::ALL
+    ProtocolVariant::ALL
         .iter()
-        .map(|&k| {
-            let name = match k {
-                ProtocolKind::Eager => "eager",
-                ProtocolKind::SupersetCon => "supersetcon",
-                ProtocolKind::SupersetAgg => "supersetagg",
-                ProtocolKind::Uncorq => "uncorq",
-            };
-            (name, ProtocolConfig::paper(k))
-        })
-        .collect();
-    v.push(("uncorq+pref", ProtocolConfig::uncorq_pref()));
-    v
+        .map(|&v| (v.name(), v.config()))
+        .collect()
 }
 
 /// Runs one (protocol, profile, seed) combo and returns the serialized

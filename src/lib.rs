@@ -6,7 +6,11 @@
 //! component crate under one roof:
 //!
 //! - [`coherence`] — the protocol family (Eager, Flexible Snooping,
-//!   **Uncorq**, the HT baseline), the Ordering invariant and the LTT;
+//!   **Uncorq**, the HT baseline), the Ordering invariant, the LTT, and
+//!   the declarative protocol transition tables;
+//! - [`model`] — the exhaustive protocol model checker: static table
+//!   analysis, BFS state-space exploration, differential conformance
+//!   and the mutation-soundness harness behind the `modelcheck` binary;
 //! - [`system`] — the 64-node CMP machine that runs them;
 //! - [`trace`] — structured coherence-event tracing, sinks, and the
 //!   per-node/per-link metrics registry;
@@ -36,6 +40,7 @@ pub use ring_cache as cache;
 pub use ring_coherence as coherence;
 pub use ring_cpu as cpu;
 pub use ring_mem as mem;
+pub use ring_model as model;
 pub use ring_noc as noc;
 pub use ring_sim as sim;
 pub use ring_stats as stats;

@@ -7,7 +7,7 @@
 //! The `chaoscheck` binary runs the same grid at larger scale; these
 //! tests keep a representative slice in `cargo test`.
 
-use uncorq::coherence::{ProtocolConfig, ProtocolKind};
+use uncorq::coherence::{ProtocolConfig, ProtocolKind, ProtocolVariant};
 use uncorq::noc::{FaultPlan, FaultProfile};
 use uncorq::system::{Machine, MachineConfig, StallCause};
 use uncorq::trace::{EventKind, InvariantChecker, SharedBufferSink};
@@ -15,19 +15,10 @@ use uncorq::workloads::AppProfile;
 
 /// The five ring protocol variants of the paper's Figure 9.
 fn protocols() -> Vec<(&'static str, ProtocolConfig)> {
-    vec![
-        ("eager", ProtocolConfig::paper(ProtocolKind::Eager)),
-        (
-            "supersetcon",
-            ProtocolConfig::paper(ProtocolKind::SupersetCon),
-        ),
-        (
-            "supersetagg",
-            ProtocolConfig::paper(ProtocolKind::SupersetAgg),
-        ),
-        ("uncorq", ProtocolConfig::paper(ProtocolKind::Uncorq)),
-        ("uncorq+pref", ProtocolConfig::uncorq_pref()),
-    ]
+    ProtocolVariant::ALL
+        .iter()
+        .map(|&v| (v.name(), v.config()))
+        .collect()
 }
 
 fn chaos_cfg(protocol: ProtocolConfig, profile: FaultProfile, chaos_seed: u64) -> MachineConfig {
