@@ -7,6 +7,7 @@
 //! recorded paper-vs-measured results.
 
 pub mod paper;
+pub mod sweep;
 
 use ring_coherence::ProtocolKind;
 use ring_system::{HtMachine, Machine, MachineConfig, Report};

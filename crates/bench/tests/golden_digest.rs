@@ -1,0 +1,211 @@
+//! Golden determinism digests.
+//!
+//! Runs every [`ProtocolVariant`] at 16 and 64 nodes, hashes the full
+//! `Report` stats listing and the complete trace-event stream, and
+//! asserts the digests match the checked-in golden values. The goldens
+//! were recorded on the pre-optimization simulator (BinaryHeap event
+//! queue, allocating hot path), so this test proves the calendar-queue
+//! rewrite and the allocation-free delivery paths are *byte-identical*
+//! in observable behavior — same event order, same timing, same trace.
+//!
+//! A second test runs the same grid through the sweep runner serially
+//! and in parallel and asserts the results agree field-for-field.
+//!
+//! To regenerate after an *intentional* behavior change:
+//! `cargo test --release -p bench --test golden_digest -- --ignored --nocapture`
+//! and paste the printed table over `GOLDEN`.
+
+use bench::sweep::{report_digest, run_sweep, DigestSink, SweepCell};
+use ring_coherence::ProtocolVariant;
+use ring_system::{Machine, MachineConfig};
+use ring_workloads::AppProfile;
+
+/// Seed shared by every golden cell.
+const SEED: u64 = 2007;
+
+/// Per-core ops: small enough for debug-mode CI, large enough that every
+/// protocol path (retries, squashes, starvation, prefetch) is exercised.
+fn ops_for(nodes: usize) -> u64 {
+    if nodes >= 64 {
+        150
+    } else {
+        400
+    }
+}
+
+/// `(report digest, trace digest, trace events)` of one run, with the
+/// full trace stream enabled.
+fn digest_cell(variant: ProtocolVariant, width: usize, height: usize) -> (u64, u64, u64) {
+    let mut cfg = MachineConfig::with_protocol(variant.config());
+    cfg.width = width;
+    cfg.height = height;
+    cfg.seed = SEED;
+    let profile = AppProfile::by_name("fmm")
+        .expect("fmm")
+        .scaled(ops_for(width * height));
+    let mut m = Machine::new(cfg, &profile);
+    let sink = DigestSink::new();
+    m.set_trace_sink(Box::new(sink.clone()));
+    let r = match m.try_run() {
+        Ok(r) => r,
+        Err(stall) => panic!("{variant} {width}x{height} stalled:\n{stall}"),
+    };
+    assert!(r.finished, "{variant} {width}x{height} hit the cycle cap");
+    let (trace_digest, trace_events) = sink.digest();
+    (report_digest(&r), trace_digest, trace_events)
+}
+
+/// `(variant, width, height, report digest, trace digest, trace events)`
+/// recorded on the pre-optimization simulator.
+const GOLDEN: &[(ProtocolVariant, usize, usize, u64, u64, u64)] = &[
+    (
+        ProtocolVariant::Eager,
+        4,
+        4,
+        0x3fa1b4a9e9e29c08,
+        0xaa08a3469269f925,
+        37208,
+    ),
+    (
+        ProtocolVariant::SupersetCon,
+        4,
+        4,
+        0x5ba66fbb24b7d709,
+        0xd60874c5164bce4f,
+        37095,
+    ),
+    (
+        ProtocolVariant::SupersetAgg,
+        4,
+        4,
+        0xedca4e1640a73873,
+        0x0db5cb39f4899c4a,
+        37208,
+    ),
+    (
+        ProtocolVariant::Uncorq,
+        4,
+        4,
+        0x5d57397ca3c24e1f,
+        0x1092ccdfe4e4dc57,
+        25311,
+    ),
+    (
+        ProtocolVariant::UncorqPref,
+        4,
+        4,
+        0x588c53120d6f0366,
+        0x63bb9258fd43f400,
+        25399,
+    ),
+    (
+        ProtocolVariant::Eager,
+        8,
+        8,
+        0xe61de939eaa3811f,
+        0x902337469924299b,
+        231783,
+    ),
+    (
+        ProtocolVariant::SupersetCon,
+        8,
+        8,
+        0x0290037a569dbd1b,
+        0xb042dd01e6061654,
+        230890,
+    ),
+    (
+        ProtocolVariant::SupersetAgg,
+        8,
+        8,
+        0x1b9c8516a4717dfb,
+        0x600c3f5b681ca010,
+        231787,
+    ),
+    (
+        ProtocolVariant::Uncorq,
+        8,
+        8,
+        0x67e1a8037f522dcb,
+        0xd24dc7edfb833ac3,
+        164162,
+    ),
+    (
+        ProtocolVariant::UncorqPref,
+        8,
+        8,
+        0xa4dab23de0a6dc95,
+        0x0f5c5e173756d94c,
+        164704,
+    ),
+];
+
+fn check(nodes: usize) {
+    let mut checked = 0;
+    for &(variant, w, h, report, trace, events) in GOLDEN {
+        if w * h != nodes {
+            continue;
+        }
+        let (r, t, n) = digest_cell(variant, w, h);
+        assert_eq!(
+            (r, t, n),
+            (report, trace, events),
+            "{variant} at {w}x{h}: digests diverged from pre-optimization golden \
+             (report {r:#018x} vs {report:#018x}, trace {t:#018x} vs {trace:#018x}, \
+             {n} vs {events} events)"
+        );
+        checked += 1;
+    }
+    assert_eq!(
+        checked,
+        ProtocolVariant::ALL.len(),
+        "golden table incomplete for {nodes} nodes"
+    );
+}
+
+#[test]
+fn golden_digests_16_nodes() {
+    check(16);
+}
+
+#[test]
+fn golden_digests_64_nodes() {
+    check(64);
+}
+
+#[test]
+fn sweep_serial_and_parallel_agree_on_golden_grid() {
+    let cells: Vec<SweepCell> = ProtocolVariant::ALL
+        .into_iter()
+        .map(|variant| SweepCell {
+            variant,
+            app: "fmm".into(),
+            width: 4,
+            height: 4,
+            seed: SEED,
+            ops: ops_for(16),
+        })
+        .collect();
+    let serial = run_sweep(&cells, 1);
+    let parallel = run_sweep(&cells, 4);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s.determinism_key(),
+            p.determinism_key(),
+            "parallel sweep diverged from serial"
+        );
+    }
+}
+
+/// Prints the golden table (run with `--ignored --nocapture` to
+/// regenerate after an intentional behavior change).
+#[test]
+#[ignore = "golden regeneration helper, not a check"]
+fn print_golden_table() {
+    for (w, h) in [(4usize, 4usize), (8, 8)] {
+        for variant in ProtocolVariant::ALL {
+            let (r, t, n) = digest_cell(variant, w, h);
+            println!("    (ProtocolVariant::{variant:?}, {w}, {h}, {r:#018x}, {t:#018x}, {n}),");
+        }
+    }
+}

@@ -55,18 +55,22 @@ pub struct Eviction {
     pub state: LineState,
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-struct Way {
-    tag: u64,
-    state: LineState,
-    lru: u64,
-}
-
 /// A set-associative cache array with true-LRU replacement.
 ///
 /// The array tracks only tags and coherence states — the simulator does
 /// not model data values except where needed for verification (the
 /// protocol test harness carries logical values in messages instead).
+///
+/// Ways are stored structure-of-arrays in flat per-field vectors with a
+/// fixed stride of `cfg.ways` slots per set, so a state lookup — the
+/// hottest operation in the simulator (every snoop probes the L2) —
+/// scans one contiguous run of tags instead of chasing a per-set heap
+/// allocation. Slots `[0, occ)` of a set are occupied in insertion
+/// order, exactly mirroring the push-order of a grow-only vector:
+/// invalidation marks a slot `Invalid` in place and insertion reuses
+/// tag-matching or invalid slots before appending, so observable
+/// ordering (and therefore LRU victim choice on ties) is identical to
+/// the previous nested-vector layout.
 ///
 /// # Examples
 ///
@@ -83,7 +87,15 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct CacheArray {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    set_mask: usize,
+    /// Line tags, `cfg.ways` slots per set; only `[0, occ)` are live.
+    tags: Vec<u64>,
+    /// Coherence state per slot, parallel to `tags`.
+    states: Vec<LineState>,
+    /// Last-touch tick per slot, parallel to `tags`.
+    lrus: Vec<u64>,
+    /// Occupied slot count per set.
+    occ: Vec<u32>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -101,9 +113,18 @@ impl CacheArray {
         assert!(sets >= 1, "cache must have at least one set");
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(cfg.ways >= 1, "cache must have at least one way");
+        assert!(
+            u32::try_from(cfg.ways).is_ok(),
+            "associativity must fit the per-set occupancy counter"
+        );
+        let slots = sets * cfg.ways;
         CacheArray {
             cfg,
-            sets: vec![Vec::new(); sets],
+            set_mask: sets - 1,
+            tags: vec![0; slots],
+            states: vec![LineState::Invalid; slots],
+            lrus: vec![0; slots],
+            occ: vec![0; sets],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -116,31 +137,45 @@ impl CacheArray {
     }
 
     fn set_index(&self, addr: LineAddr) -> usize {
-        (addr.raw() as usize) & (self.sets.len() - 1)
+        (addr.raw() as usize) & self.set_mask
+    }
+
+    /// First slot of the set holding `addr` plus its occupied length.
+    #[inline]
+    fn set_span(&self, addr: LineAddr) -> (usize, usize) {
+        let idx = self.set_index(addr);
+        (idx * self.cfg.ways, self.occ[idx] as usize)
+    }
+
+    /// Slot holding `addr`'s tag within its set, if any.
+    #[inline]
+    fn find_slot(&self, addr: LineAddr) -> Option<usize> {
+        let (base, n) = self.set_span(addr);
+        let raw = addr.raw();
+        self.tags[base..base + n]
+            .iter()
+            .position(|&t| t == raw)
+            .map(|i| base + i)
     }
 
     /// Current state of `addr` ([`LineState::Invalid`] if absent). Does
     /// not update LRU and does not count as an access.
     pub fn state(&self, addr: LineAddr) -> LineState {
-        let set = &self.sets[self.set_index(addr)];
-        set.iter()
-            .find(|w| w.tag == addr.raw())
-            .map(|w| w.state)
-            .unwrap_or(LineState::Invalid)
+        match self.find_slot(addr) {
+            Some(i) => self.states[i],
+            None => LineState::Invalid,
+        }
     }
 
     /// Looks up `addr` as a demand access: updates LRU and hit/miss
     /// counters, and returns the state (Invalid on miss).
     pub fn access(&mut self, addr: LineAddr) -> LineState {
         self.tick += 1;
-        let tick = self.tick;
-        let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
-        if let Some(w) = set.iter_mut().find(|w| w.tag == addr.raw()) {
-            if w.state.is_valid() {
-                w.lru = tick;
+        if let Some(i) = self.find_slot(addr) {
+            if self.states[i].is_valid() {
+                self.lrus[i] = self.tick;
                 self.hits += 1;
-                return w.state;
+                return self.states[i];
             }
         }
         self.misses += 1;
@@ -158,48 +193,48 @@ impl CacheArray {
         }
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.cfg.ways;
         let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
-        if let Some(w) = set.iter_mut().find(|w| w.tag == addr.raw()) {
-            w.state = state;
-            w.lru = tick;
+        let base = idx * self.cfg.ways;
+        let n = self.occ[idx] as usize;
+        if let Some(i) = self.find_slot(addr) {
+            self.states[i] = state;
+            self.lrus[i] = tick;
             return None;
         }
         // Reuse an invalid way if present.
-        if let Some(w) = set.iter_mut().find(|w| w.state == LineState::Invalid) {
-            w.tag = addr.raw();
-            w.state = state;
-            w.lru = tick;
+        if let Some(i) = self.states[base..base + n]
+            .iter()
+            .position(|&s| s == LineState::Invalid)
+        {
+            self.tags[base + i] = addr.raw();
+            self.states[base + i] = state;
+            self.lrus[base + i] = tick;
             return None;
         }
-        if set.len() < ways {
-            set.push(Way {
-                tag: addr.raw(),
-                state,
-                lru: tick,
-            });
+        if n < self.cfg.ways {
+            self.tags[base + n] = addr.raw();
+            self.states[base + n] = state;
+            self.lrus[base + n] = tick;
+            self.occ[idx] += 1;
             return None;
         }
         // Evict LRU. The set is non-empty here (the `< ways` branch above
-        // handled partial sets and `ways >= 1` is asserted), so a plain
-        // scan avoids unwrapping an `Option` on the hot path.
-        let mut vi = 0;
-        for (i, w) in set.iter().enumerate() {
-            if w.lru < set[vi].lru {
+        // handled partial sets and `ways >= 1` is asserted); ties break
+        // to the lowest slot, same as the old push-order scan.
+        let mut vi = base;
+        for i in base + 1..base + n {
+            if self.lrus[i] < self.lrus[vi] {
                 vi = i;
             }
         }
-        let victim = set[vi];
-        set[vi] = Way {
-            tag: addr.raw(),
-            state,
-            lru: tick,
+        let victim = Eviction {
+            addr: LineAddr::new(self.tags[vi]),
+            state: self.states[vi],
         };
-        Some(Eviction {
-            addr: LineAddr::new(victim.tag),
-            state: victim.state,
-        })
+        self.tags[vi] = addr.raw();
+        self.states[vi] = state;
+        self.lrus[vi] = tick;
+        Some(victim)
     }
 
     /// Changes the state of a resident line. Returns `false` if the line
@@ -208,31 +243,23 @@ impl CacheArray {
         if state == LineState::Invalid {
             return self.invalidate(addr);
         }
-        let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
-        if let Some(w) = set
-            .iter_mut()
-            .find(|w| w.tag == addr.raw() && w.state.is_valid())
-        {
-            w.state = state;
-            true
-        } else {
-            false
+        match self.find_slot(addr) {
+            Some(i) if self.states[i].is_valid() => {
+                self.states[i] = state;
+                true
+            }
+            _ => false,
         }
     }
 
     /// Invalidates `addr` if resident. Returns whether it was resident.
     pub fn invalidate(&mut self, addr: LineAddr) -> bool {
-        let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
-        if let Some(w) = set
-            .iter_mut()
-            .find(|w| w.tag == addr.raw() && w.state.is_valid())
-        {
-            w.state = LineState::Invalid;
-            true
-        } else {
-            false
+        match self.find_slot(addr) {
+            Some(i) if self.states[i].is_valid() => {
+                self.states[i] = LineState::Invalid;
+                true
+            }
+            _ => false,
         }
     }
 
@@ -248,18 +275,27 @@ impl CacheArray {
 
     /// Number of valid resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets
+        self.occ
             .iter()
-            .map(|s| s.iter().filter(|w| w.state.is_valid()).count())
+            .enumerate()
+            .map(|(idx, &n)| {
+                let base = idx * self.cfg.ways;
+                self.states[base..base + n as usize]
+                    .iter()
+                    .filter(|s| s.is_valid())
+                    .count()
+            })
             .sum()
     }
 
     /// Iterates over all valid resident lines as `(addr, state)`.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, LineState)> + '_ {
-        self.sets.iter().flat_map(|s| {
-            s.iter()
-                .filter(|w| w.state.is_valid())
-                .map(|w| (LineAddr::new(w.tag), w.state))
+        let ways = self.cfg.ways;
+        self.occ.iter().enumerate().flat_map(move |(idx, &n)| {
+            let base = idx * ways;
+            (base..base + n as usize)
+                .filter(|&i| self.states[i].is_valid())
+                .map(|i| (LineAddr::new(self.tags[i]), self.states[i]))
         })
     }
 }

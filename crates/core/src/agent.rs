@@ -53,7 +53,7 @@ macro_rules! tev {
     };
 }
 use crate::filter::PresenceFilter;
-use crate::ltt::Ltt;
+use crate::ltt::{Ltt, LttEntry};
 use crate::msg::{RequestMsg, ResponseMsg, RingMsg, SupplierMsg};
 use crate::npp::NodePrefetchPredictor;
 use crate::txn::{Priority, TxnId, TxnKind};
@@ -621,34 +621,41 @@ impl RingAgent {
     /// Handles one input at cycle `now`, returning the effects to apply.
     pub fn handle(&mut self, now: Cycle, input: AgentInput) -> Vec<Effect> {
         let mut fx = Vec::new();
+        self.handle_into(now, input, &mut fx);
+        fx
+    }
+
+    /// [`RingAgent::handle`] into a caller-owned effect buffer, so the
+    /// event loop can reuse one allocation across all events. Effects
+    /// are appended; the caller clears the buffer between events.
+    pub fn handle_into(&mut self, now: Cycle, input: AgentInput, fx: &mut Vec<Effect>) {
         match input {
             AgentInput::CoreRequest { line, kind } => {
-                self.core_request(now, line, kind, &mut fx);
+                self.core_request(now, line, kind, fx);
             }
             AgentInput::RingArrival(RingMsg::Request(req)) => {
-                self.ring_request(now, req, &mut fx);
+                self.ring_request(now, req, fx);
             }
             AgentInput::RingArrival(RingMsg::Response(resp)) => {
-                self.response_arrival(now, resp, &mut fx);
+                self.response_arrival(now, resp, fx);
             }
             AgentInput::DirectRequest(req) => {
-                self.direct_request(now, req, &mut fx);
+                self.direct_request(now, req, fx);
             }
             AgentInput::SnoopDone { txn, line } => {
-                self.snoop_done(now, txn, line, &mut fx);
+                self.snoop_done(now, txn, line, fx);
             }
             AgentInput::Supplier(msg) => {
-                self.supplier_arrival(now, msg, &mut fx);
+                self.supplier_arrival(now, msg, fx);
             }
             AgentInput::MemData { line } => {
-                self.mem_data(now, line, &mut fx);
+                self.mem_data(now, line, fx);
             }
             AgentInput::RetryNow { line } => {
-                self.retry_now(now, line, &mut fx);
+                self.retry_now(now, line, fx);
             }
         }
-        self.drain_pending_core(now, &mut fx);
-        fx
+        self.drain_pending_core(now, fx);
     }
 
     // ------------------------------------------------------------------
@@ -1222,12 +1229,11 @@ impl RingAgent {
     /// Forwards every response the LTT says is ready, combining outcomes
     /// and applying serialization marks.
     fn drain_responses(&mut self, now: Cycle, line: LineAddr, fx: &mut Vec<Effect>) {
+        // Nothing in the drain loop changes the L2, so one probe (taken
+        // lazily — most calls drain nothing) serves every response.
+        let mut shared_copy = None;
         loop {
-            let Some(txn) = self
-                .ltt
-                .entry(line)
-                .and_then(|e| e.ready().into_iter().next())
-            else {
+            let Some(txn) = self.ltt.entry(line).and_then(LttEntry::first_ready) else {
                 return;
             };
             let Some(slot) = self.ltt.take(line, txn) else {
@@ -1256,7 +1262,9 @@ impl RingAgent {
             if slot.snoop_done && slot.snoop_positive {
                 combined.positive = true;
             }
-            if self.l2.state(line) == LineState::Shared {
+            let shared =
+                *shared_copy.get_or_insert_with(|| self.l2.state(line) == LineState::Shared);
+            if shared {
                 combined.sharers = true;
             }
             self.apply_marks(line, &mut combined);

@@ -153,6 +153,27 @@ impl LttEntry {
         ready.iter().map(|s| s.txn).collect()
     }
 
+    /// First transaction [`ready`](Self::ready) would report, without
+    /// building the full drain order. The drain loop pops one
+    /// transaction at a time, so this is the hot-path form: the winner's
+    /// slot if it is ready, else the ready slot whose response arrived
+    /// earliest (`response_order` values are globally unique, so the
+    /// order is strict and this matches the stable sorts exactly).
+    pub fn first_ready(&self) -> Option<TxnId> {
+        let mut best: Option<(u8, u64, TxnId)> = None;
+        for s in &self.slots {
+            if !(s.snoop_done && s.response.is_some() && self.wid_allows(s.txn.node)) {
+                continue;
+            }
+            let rank = u8::from(self.wid != Some(s.txn.node));
+            let key = (rank, s.response_order, s.txn);
+            if best.is_none_or(|(r, o, _)| (rank, s.response_order) < (r, o)) {
+                best = Some(key);
+            }
+        }
+        best.map(|(.., txn)| txn)
+    }
+
     /// Removes the slot for `txn` and returns it (buffered response,
     /// snoop outcome and observed request); clears WID if this
     /// transaction owned it. Called when the combined response is
@@ -196,6 +217,10 @@ pub struct Ltt {
     sets: Vec<Vec<LttEntry>>,
     response_seq: u64,
     stalled_responses: u64,
+    /// Live entry count across all sets (kept incrementally; allocation
+    /// happens on every observed transaction, so a full scan there
+    /// would be hot-path work).
+    entries: usize,
     peak_entries: usize,
     overflows: u64,
 }
@@ -218,6 +243,7 @@ impl Ltt {
             sets: vec![Vec::new(); sets],
             response_seq: 0,
             stalled_responses: 0,
+            entries: 0,
             peak_entries: 0,
             overflows: 0,
         }
@@ -252,8 +278,8 @@ impl Ltt {
                     self.overflows += 1;
                 }
                 self.sets[idx].push(LttEntry::new(line));
-                let total: usize = self.sets.iter().map(|s| s.len()).sum();
-                self.peak_entries = self.peak_entries.max(total);
+                self.entries += 1;
+                self.peak_entries = self.peak_entries.max(self.entries);
                 self.sets[idx].len() - 1
             }
         };
@@ -335,6 +361,7 @@ impl Ltt {
                     entry.reservation = None;
                     if entry.idle() {
                         self.sets[idx].remove(i);
+                        self.entries -= 1;
                     }
                     return true;
                 }
@@ -352,6 +379,7 @@ impl Ltt {
         let slot = set[i].take(txn);
         if set[i].idle() {
             set.remove(i);
+            self.entries -= 1;
         }
         slot
     }

@@ -1,8 +1,9 @@
 //! The Node Prefetch Predictor (paper §5.4).
 
 use ring_cache::LineAddr;
+use ring_sim::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// The per-node half of the prefetching optimization.
 ///
@@ -31,8 +32,10 @@ pub struct NodePrefetchPredictor {
     capacity: usize,
     /// Lazy LRU queue of (addr, stamp); stale entries are skipped.
     queue: VecDeque<(LineAddr, u64)>,
-    /// addr -> latest observation stamp.
-    present: HashMap<LineAddr, u64>,
+    /// addr -> latest observation stamp. Keyed by small integers whose
+    /// iteration order is never observed, so the fast deterministic
+    /// hasher applies.
+    present: FxHashMap<LineAddr, u64>,
     tick: u64,
     observations: u64,
     prefetch_hits: u64,

@@ -94,14 +94,16 @@ impl MemoryController {
     pub fn request(&mut self, now: Cycle, addr: LineAddr) -> Cycle {
         let _ = addr;
         self.requests += 1;
-        // Pick the service slot that frees up earliest.
-        let slot = self
-            .slot_free
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .map(|(i, _)| i)
-            .expect("at least one slot");
+        // Pick the service slot that frees up earliest; on ties the
+        // lowest-indexed slot wins (first minimum), which keeps slot
+        // assignment — and thus the whole simulation — deterministic.
+        // The constructor guarantees at least one slot.
+        let mut slot = 0;
+        for (i, &t) in self.slot_free.iter().enumerate().skip(1) {
+            if t < self.slot_free[slot] {
+                slot = i;
+            }
+        }
         let start = now.max(self.slot_free[slot]);
         if start > now {
             self.queued += 1;
@@ -190,5 +192,21 @@ mod tests {
             round_trip: 0,
             ..MemConfig::ddr2_800()
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "controller concurrency must be positive")]
+    fn zero_slots_rejected() {
+        let _ = MemoryController::new(cfg(0));
+    }
+
+    #[test]
+    fn slot_ties_break_to_the_first_minimum() {
+        // Both slots free at 0: the first must win, so a third request
+        // at the same cycle queues behind the *first* slot's completion.
+        let mut mc = MemoryController::new(cfg(2));
+        assert_eq!(mc.request(0, LineAddr::new(1)), 100);
+        assert_eq!(mc.request(0, LineAddr::new(2)), 100);
+        assert_eq!(mc.request(50, LineAddr::new(3)), 200);
     }
 }

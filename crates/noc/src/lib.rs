@@ -34,7 +34,7 @@ mod ring;
 mod topology;
 
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultProfile, FaultStats, InjectedFault};
-pub use multicast::multicast_tree;
-pub use network::{Channel, Delivery, LinkTraffic, Network, NetworkConfig};
+pub use multicast::{multicast_tree, TreeEdge};
+pub use network::{Channel, Delivery, LinkTraffic, Network, NetworkConfig, NocError};
 pub use ring::RingEmbedding;
-pub use topology::{Direction, LinkId, NodeId, Torus};
+pub use topology::{Direction, LinkId, NodeId, RouteIter, Torus};

@@ -1,11 +1,42 @@
 //! Network timing model: per-link occupancy and serialization.
 
+use std::fmt;
+
 use ring_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultStats, InjectedFault};
-use crate::multicast::multicast_tree;
+use crate::multicast::{multicast_tree, TreeEdge};
 use crate::topology::{NodeId, Torus};
+
+/// An error the network model reports instead of panicking, so the
+/// machine layer can trace it as a protocol error and keep running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NocError {
+    /// A multicast tree edge departs a node the broadcast has not
+    /// reached yet — the tree is not topologically ordered root-outward
+    /// (only possible with a corrupted or hand-installed tree).
+    MulticastTreeDisorder {
+        /// Root of the broadcast.
+        root: NodeId,
+        /// The unreached node the offending edge departs from.
+        from: NodeId,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::MulticastTreeDisorder { root, from } => write!(
+                f,
+                "multicast tree rooted at {root} is not topologically ordered: \
+                 an edge departs unreached node {from}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NocError {}
 
 /// Virtual network (message class) a message travels on.
 ///
@@ -107,6 +138,13 @@ pub struct Network {
     messages_sent: u64,
     /// Installed by chaos mode; `None` in normal runs.
     faults: Option<FaultInjector>,
+    /// Per-root multicast trees, built lazily on first use and cached
+    /// (the topology never changes) so repeated broadcasts from the
+    /// same root allocate nothing.
+    trees: Vec<Option<Box<[TreeEdge]>>>,
+    /// Reusable per-broadcast arrival scratch, indexed by node;
+    /// `Cycle::MAX` marks an unreached node.
+    arrive: Vec<Cycle>,
 }
 
 /// Messages and bytes that crossed one physical link, for hotspot
@@ -132,6 +170,7 @@ impl Network {
             "link bandwidth must be positive"
         );
         let links = torus.links();
+        let nodes = torus.nodes();
         Network {
             torus,
             cfg,
@@ -139,6 +178,8 @@ impl Network {
             link_traffic: vec![LinkTraffic::default(); links],
             messages_sent: 0,
             faults: None,
+            trees: vec![None; nodes],
+            arrive: vec![Cycle::MAX; nodes],
         }
     }
 
@@ -220,7 +261,6 @@ impl Network {
             };
         }
         let ser = self.serialization(bytes);
-        let route = self.torus.route(from, to);
         // Chaos mode: jitter delays this message's injection; a
         // congestion burst keeps every link of the route busy for a
         // while. Both act through the occupancy chain below, so same-link
@@ -235,7 +275,7 @@ impl Network {
             }
             if let Some(burst) = inj.congestion() {
                 let free_at = &mut self.free_at[ch.index()];
-                for link in &route {
+                for link in self.torus.route_iter(from, to) {
                     free_at[link.0] = free_at[link.0].max(now) + burst;
                 }
                 if fault.is_none() {
@@ -255,9 +295,11 @@ impl Network {
         };
         let free_at = &mut self.free_at[ch.index()];
         let mut t = now + jitter;
-        for link in &route {
+        let mut hops = 0;
+        for link in self.torus.route_iter(from, to) {
             self.link_traffic[link.0].messages += 1;
             self.link_traffic[link.0].bytes += bytes;
+            hops += 1;
             if self.cfg.model_contention {
                 let depart = t.max(free_at[link.0]);
                 free_at[link.0] = depart + ser;
@@ -269,7 +311,7 @@ impl Network {
         Delivery {
             to,
             arrival: t + ser,
-            hops: route.len() as u64,
+            hops,
             fault,
         }
     }
@@ -288,23 +330,56 @@ impl Network {
     /// *tree* links attributed to that destination (each tree link is
     /// counted exactly once across the whole broadcast, so summing `hops`
     /// over all deliveries gives total broadcast traffic).
+    ///
+    /// Allocating convenience wrapper over [`Network::multicast_into`].
     pub fn multicast(
         &mut self,
         now: Cycle,
         root: NodeId,
         bytes: u64,
         ch: Channel,
-    ) -> Vec<Delivery> {
+    ) -> Result<Vec<Delivery>, NocError> {
+        let mut deliveries = Vec::with_capacity(self.torus.nodes() - 1);
+        self.multicast_into(now, root, bytes, ch, &mut deliveries)?;
+        Ok(deliveries)
+    }
+
+    /// [`Network::multicast`] into a caller-owned buffer (cleared first),
+    /// so the per-broadcast hot path allocates nothing: the multicast
+    /// tree is cached per root and the arrival scratch is reused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::MulticastTreeDisorder`] if the tree is not
+    /// topologically ordered root-outward — impossible for trees built
+    /// by [`multicast_tree`], so only a corrupted or hand-installed tree
+    /// (see [`Network::install_multicast_tree`]) triggers it. Link
+    /// traffic and occupancy already charged for earlier edges stay
+    /// charged; `out` holds the deliveries computed before the error.
+    pub fn multicast_into(
+        &mut self,
+        now: Cycle,
+        root: NodeId,
+        bytes: u64,
+        ch: Channel,
+        out: &mut Vec<Delivery>,
+    ) -> Result<(), NocError> {
+        out.clear();
         self.messages_sent += 1;
         let ser = self.serialization(bytes);
-        let edges = multicast_tree(&self.torus, root);
-        // Arrival time at each node, filled in BFS order (edges are already
+        if self.trees[root.0].is_none() {
+            self.trees[root.0] = Some(multicast_tree(&self.torus, root).into_boxed_slice());
+        }
+        let edges = self.trees[root.0].as_deref().expect("tree built above");
+        // Arrival time at each node, filled in BFS order (edges are
         // topologically ordered root-outward by construction).
-        let mut arrive: Vec<Option<Cycle>> = vec![None; self.torus.nodes()];
-        arrive[root.0] = Some(now);
-        let mut deliveries = Vec::with_capacity(self.torus.nodes() - 1);
-        for e in &edges {
-            let t0 = arrive[e.from.0].expect("multicast edges must be topologically ordered");
+        self.arrive.fill(Cycle::MAX);
+        self.arrive[root.0] = now;
+        for e in edges {
+            let t0 = self.arrive[e.from.0];
+            if t0 == Cycle::MAX {
+                return Err(NocError::MulticastTreeDisorder { root, from: e.from });
+            }
             self.link_traffic[e.link.0].messages += 1;
             self.link_traffic[e.link.0].bytes += bytes;
             // Chaos mode, per tree edge: jitter delays the hop, a
@@ -345,15 +420,23 @@ impl Network {
             } else {
                 t0 + jitter + self.cfg.hop_cycles
             };
-            arrive[e.to.0] = Some(t);
-            deliveries.push(Delivery {
+            self.arrive[e.to.0] = t;
+            out.push(Delivery {
                 to: e.to,
                 arrival: t + ser,
                 hops: 1,
                 fault,
             });
         }
-        deliveries
+        Ok(())
+    }
+
+    /// Replaces the cached multicast tree for `root` with an explicit
+    /// edge list. A testing/fault-modeling hook: the edges are *not*
+    /// validated here, so a disordered tree makes the next broadcast
+    /// from `root` report [`NocError::MulticastTreeDisorder`].
+    pub fn install_multicast_tree(&mut self, root: NodeId, edges: Vec<TreeEdge>) {
+        self.trees[root.0] = Some(edges.into_boxed_slice());
     }
 
     /// Clears all link occupancy (used between independent measurements).
@@ -433,7 +516,7 @@ mod tests {
     #[test]
     fn multicast_reaches_all_other_nodes() {
         let mut n = net();
-        let ds = n.multicast(0, NodeId(0), 8, CH);
+        let ds = n.multicast(0, NodeId(0), 8, CH).unwrap();
         assert_eq!(ds.len(), 63);
         let mut seen: Vec<usize> = ds.iter().map(|d| d.to.0).collect();
         seen.sort_unstable();
@@ -445,7 +528,7 @@ mod tests {
     #[test]
     fn multicast_total_hops_is_n_minus_one() {
         let mut n = net();
-        let ds = n.multicast(0, NodeId(17), 8, CH);
+        let ds = n.multicast(0, NodeId(17), 8, CH).unwrap();
         let total: u64 = ds.iter().map(|d| d.hops).sum();
         assert_eq!(total, 63);
     }
@@ -453,7 +536,7 @@ mod tests {
     #[test]
     fn multicast_max_arrival_bounded_by_diameter() {
         let mut n = net();
-        let ds = n.multicast(0, NodeId(0), 8, CH);
+        let ds = n.multicast(0, NodeId(0), 8, CH).unwrap();
         let max = ds.iter().map(|d| d.arrival).max().unwrap();
         // Diameter 8 hops * 8 cycles + serialization; with tree contention
         // allow a small margin.
@@ -463,7 +546,7 @@ mod tests {
     #[test]
     fn multicast_nearest_nodes_arrive_first() {
         let mut n = net();
-        let ds = n.multicast(0, NodeId(0), 8, CH);
+        let ds = n.multicast(0, NodeId(0), 8, CH).unwrap();
         let near = ds.iter().find(|d| d.to == NodeId(1)).unwrap().arrival;
         let far = ds.iter().find(|d| d.to == NodeId(36)).unwrap().arrival;
         assert!(near < far);
@@ -473,8 +556,60 @@ mod tests {
     fn message_count_increments() {
         let mut n = net();
         n.unicast(0, NodeId(0), NodeId(1), 8, CH);
-        n.multicast(0, NodeId(0), 8, CH);
+        n.multicast(0, NodeId(0), 8, CH).unwrap();
         assert_eq!(n.messages_sent(), 2);
+    }
+
+    #[test]
+    fn repeated_multicasts_reuse_the_cached_tree() {
+        let mut a = net();
+        let mut b = net();
+        // Same roots, fresh contention each time: the cached-tree path
+        // must time every broadcast exactly like a fresh network.
+        for root in [NodeId(0), NodeId(17), NodeId(63)] {
+            for _ in 0..3 {
+                let da = a.multicast(0, root, 8, CH).unwrap();
+                a.reset_contention();
+                let db = b.multicast(0, root, 8, CH).unwrap();
+                b.reset_contention();
+                assert_eq!(da, db);
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_into_reuses_the_buffer() {
+        let mut n = net();
+        let mut buf = Vec::new();
+        n.multicast_into(0, NodeId(0), 8, CH, &mut buf).unwrap();
+        assert_eq!(buf.len(), 63);
+        n.reset_contention();
+        let first = buf.clone();
+        n.multicast_into(0, NodeId(0), 8, CH, &mut buf).unwrap();
+        assert_eq!(buf, first, "buffer must be cleared and refilled");
+    }
+
+    #[test]
+    fn disordered_tree_reports_typed_error() {
+        let mut n = net();
+        // An edge departing node 5, which the (empty-prefix) broadcast
+        // from node 0 has not reached.
+        let t = Torus::new(8, 8);
+        let bad = vec![crate::multicast::TreeEdge {
+            from: NodeId(5),
+            to: NodeId(6),
+            link: t.link(NodeId(5), crate::topology::Direction::East),
+        }];
+        n.install_multicast_tree(NodeId(0), bad);
+        let err = n.multicast(0, NodeId(0), 8, CH).unwrap_err();
+        assert_eq!(
+            err,
+            NocError::MulticastTreeDisorder {
+                root: NodeId(0),
+                from: NodeId(5),
+            }
+        );
+        assert!(err.to_string().contains("not topologically ordered"));
     }
 
     fn chaos_net(seed: u64) -> Network {
@@ -547,7 +682,7 @@ mod tests {
         let mut n = chaos_net(5);
         let mut faulted = 0;
         for i in 0..20u64 {
-            let ds = n.multicast(i * 100, NodeId(0), 8, CH);
+            let ds = n.multicast(i * 100, NodeId(0), 8, CH).unwrap();
             faulted += ds.iter().filter(|d| d.fault.is_some()).count();
         }
         assert!(faulted > 0, "multicast edges should see injected faults");

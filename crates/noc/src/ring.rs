@@ -93,9 +93,16 @@ impl RingEmbedding {
     /// §2.1 load-balancing option ("the same ring with different
     /// directions") for spreading lines across two logical rings.
     pub fn reversed(&self) -> Self {
-        let mut order = self.order.clone();
-        order.reverse();
-        Self::from_order(order)
+        // `self` is already a validated permutation, so build the
+        // reversed order and its position index directly instead of
+        // cloning and re-validating through `from_order`.
+        let n = self.order.len();
+        let order: Vec<NodeId> = self.order.iter().rev().copied().collect();
+        let mut position = vec![0; n];
+        for (i, node) in order.iter().enumerate() {
+            position[node.0] = i;
+        }
+        RingEmbedding { order, position }
     }
 
     /// Number of nodes on the ring.

@@ -159,32 +159,20 @@ impl Torus {
     /// xy routing resolves the x offset fully before the y offset, matching
     /// the paper's "2D torus with xy routing".
     pub fn route(&self, from: NodeId, to: NodeId) -> Vec<LinkId> {
+        self.route_iter(from, to).collect()
+    }
+
+    /// Iterator form of [`Torus::route`] — walks the same links without
+    /// allocating, for the per-message hot path.
+    pub fn route_iter(&self, from: NodeId, to: NodeId) -> RouteIter<'_> {
         let (fx, fy) = self.coords(from);
         let (tx, ty) = self.coords(to);
-        let dx = Self::min_offset(fx, tx, self.width);
-        let dy = Self::min_offset(fy, ty, self.height);
-        let mut links = Vec::with_capacity(dx.unsigned_abs() + dy.unsigned_abs());
-        let mut cur = from;
-        for _ in 0..dx.abs() {
-            let d = if dx > 0 {
-                Direction::East
-            } else {
-                Direction::West
-            };
-            links.push(self.link(cur, d));
-            cur = self.neighbor(cur, d);
+        RouteIter {
+            torus: self,
+            cur: from,
+            dx: Self::min_offset(fx, tx, self.width),
+            dy: Self::min_offset(fy, ty, self.height),
         }
-        for _ in 0..dy.abs() {
-            let d = if dy > 0 {
-                Direction::South
-            } else {
-                Direction::North
-            };
-            links.push(self.link(cur, d));
-            cur = self.neighbor(cur, d);
-        }
-        debug_assert_eq!(cur, to);
-        links
     }
 
     /// Minimal hop distance between two nodes.
@@ -200,6 +188,52 @@ impl Torus {
         (0..self.nodes()).map(NodeId)
     }
 }
+
+/// Lazily walks the links of an xy route (see [`Torus::route_iter`]).
+#[derive(Debug, Clone)]
+pub struct RouteIter<'a> {
+    torus: &'a Torus,
+    cur: NodeId,
+    /// Remaining signed x offset (resolved first, per xy routing).
+    dx: isize,
+    /// Remaining signed y offset.
+    dy: isize,
+}
+
+impl Iterator for RouteIter<'_> {
+    type Item = LinkId;
+
+    fn next(&mut self) -> Option<LinkId> {
+        let (d, remaining) = if self.dx != 0 {
+            let d = if self.dx > 0 {
+                Direction::East
+            } else {
+                Direction::West
+            };
+            (d, &mut self.dx)
+        } else if self.dy != 0 {
+            let d = if self.dy > 0 {
+                Direction::South
+            } else {
+                Direction::North
+            };
+            (d, &mut self.dy)
+        } else {
+            return None;
+        };
+        *remaining -= remaining.signum();
+        let link = self.torus.link(self.cur, d);
+        self.cur = self.torus.neighbor(self.cur, d);
+        Some(link)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.dx.unsigned_abs() + self.dy.unsigned_abs();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RouteIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -271,6 +305,18 @@ mod tests {
         assert_eq!(r[0], t.link(NodeId(0), Direction::East));
         assert_eq!(r[1], t.link(NodeId(1), Direction::East));
         assert_eq!(r[2], t.link(NodeId(2), Direction::South));
+    }
+
+    #[test]
+    fn route_iter_matches_route_and_is_exact_size() {
+        let t = Torus::new(8, 8);
+        for a in t.iter() {
+            for b in t.iter() {
+                let it = t.route_iter(a, b);
+                assert_eq!(it.len(), t.distance(a, b));
+                assert_eq!(it.collect::<Vec<_>>(), t.route(a, b));
+            }
+        }
     }
 
     #[test]

@@ -94,7 +94,7 @@ proptest! {
         let torus = Torus::new(8, 8);
         let mut net = Network::new(torus, NetworkConfig::default());
         let root = NodeId(root);
-        let ds = net.multicast(t0, root, 8, Channel::Request);
+        let ds = net.multicast(t0, root, 8, Channel::Request).unwrap();
         prop_assert_eq!(ds.len(), 63);
         let total: u64 = ds.iter().map(|d| d.hops).sum();
         prop_assert_eq!(total, 63);

@@ -32,10 +32,12 @@
 
 #![warn(missing_docs)]
 
+mod fasthash;
 mod queue;
 mod rng;
 mod watchdog;
 
+pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use watchdog::Watchdog;

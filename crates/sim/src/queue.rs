@@ -1,9 +1,28 @@
 //! The event priority queue.
+//!
+//! Implemented as a calendar queue tuned for the delay profile of the
+//! simulated machine: almost every event is scheduled a handful of
+//! cycles out (ring hops are ~8 cycles, a DRAM round trip is a few
+//! hundred), so events land in one-cycle-wide buckets indexed by
+//! `time % BUCKETS` and are pushed/popped in O(1). The rare far-future
+//! event (watchdogs, cycle caps) falls back to a binary heap. Pops
+//! merge the earliest bucketed event with the heap top by `(time,
+//! seq)`, so the observable order — nondecreasing time, FIFO within a
+//! cycle — is *identical* to the previous pure-heap implementation.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::Cycle;
+
+/// Number of one-cycle-wide calendar buckets. A power of two so the
+/// bucket index is a mask, and wider than any hot-path delay (ring
+/// hops, cache and DRAM latencies) so only watchdog-scale events hit
+/// the heap.
+const BUCKETS: usize = 4096;
+const MASK: u64 = BUCKETS as u64 - 1;
+/// Words in the bucket-occupancy bitmap.
+const WORDS: usize = BUCKETS / 64;
 
 /// A deterministic discrete-event queue.
 ///
@@ -22,10 +41,36 @@ use crate::Cycle;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
+    /// Calendar buckets for events within `[now, now + BUCKETS)`.
+    ///
+    /// Because pops always take the global minimum, `now` can never
+    /// pass a pending bucketed event, and two in-window times that
+    /// share a bucket index are equal — so at any moment a non-empty
+    /// bucket holds entries of exactly one time (`times[i]`), in
+    /// insertion (= FIFO) order. Entries carry no key of their own,
+    /// which keeps the per-event copy to the payload itself.
+    buckets: Vec<VecDeque<E>>,
+    /// The common time of each non-empty bucket's entries.
+    times: Vec<Cycle>,
+    /// Occupancy bitmap over buckets; the earliest bucketed time is
+    /// found by a circular first-set-bit scan from `now & MASK`
+    /// (bucketed times all lie within one window, so circular index
+    /// order from `now` is time order).
+    occ: [u64; WORDS],
+    /// Number of events currently in `buckets`.
+    in_buckets: usize,
+    /// Fallback for events scheduled `BUCKETS` or more cycles out.
+    /// Entries are never migrated to buckets; pops merge the heap top
+    /// with the bucket front by time, ties to the heap — every heap
+    /// entry at time `t` was scheduled while `now <= t - BUCKETS`,
+    /// strictly before any bucket entry at `t` could be, so heap-first
+    /// is exactly global FIFO order.
     heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Tie-break for heap entries sharing a time (heap-internal FIFO).
     seq: u64,
     now: Cycle,
     popped: u64,
+    peak: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -52,14 +97,26 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Where the next event lives, with its `(time, seq)` key.
+#[derive(Clone, Copy)]
+struct NextKey {
+    time: Cycle,
+    from_bucket: bool,
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time 0.
     pub fn new() -> Self {
         EventQueue {
+            buckets: (0..BUCKETS).map(|_| VecDeque::new()).collect(),
+            times: vec![0; BUCKETS],
+            occ: [0; WORDS],
+            in_buckets: 0,
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0,
             popped: 0,
+            peak: 0,
         }
     }
 
@@ -75,13 +132,23 @@ impl<E> EventQueue<E> {
             "cannot schedule event at cycle {time} before current time {}",
             self.now
         );
-        let entry = Entry {
-            time,
-            seq: self.seq,
-            event,
-        };
-        self.seq += 1;
-        self.heap.push(Reverse(entry));
+        if time - self.now < BUCKETS as Cycle {
+            let idx = (time & MASK) as usize;
+            let bucket = &mut self.buckets[idx];
+            if bucket.is_empty() {
+                self.occ[idx >> 6] |= 1 << (idx & 63);
+                self.times[idx] = time;
+            } else {
+                debug_assert_eq!(self.times[idx], time);
+            }
+            bucket.push_back(event);
+            self.in_buckets += 1;
+        } else {
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Reverse(Entry { time, seq, event }));
+        }
+        self.peak = self.peak.max(self.len());
     }
 
     /// Schedules `event` to fire `delay` cycles from the current time.
@@ -89,20 +156,93 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event);
     }
 
+    /// Time of the earliest bucketed event: a circular first-set-bit
+    /// scan over the occupancy bitmap starting at `now`'s bucket (at
+    /// most `WORDS` word reads; typically the first is a hit because
+    /// pending events cluster just past `now`).
+    fn bucket_min(&self) -> Option<Cycle> {
+        if self.in_buckets == 0 {
+            return None;
+        }
+        let start = (self.now & MASK) as usize;
+        let mut w = start >> 6;
+        let mut word = self.occ[w] & (!0u64 << (start & 63));
+        for _ in 0..=WORDS {
+            if word != 0 {
+                let idx = (w << 6) + word.trailing_zeros() as usize;
+                return Some(self.times[idx]);
+            }
+            w = (w + 1) & (WORDS - 1);
+            word = self.occ[w];
+        }
+        unreachable!("in_buckets > 0 but the occupancy bitmap is empty")
+    }
+
+    /// Key of the next event to pop, merging bucket front and heap top.
+    /// Time ties go to the heap (see the `heap` field docs: that is
+    /// global FIFO order).
+    fn next_key(&self) -> Option<NextKey> {
+        let bucket = self.bucket_min();
+        let heap = self.heap.peek().map(|Reverse(e)| e.time);
+        let (time, from_bucket) = match (bucket, heap) {
+            (Some(b), Some(h)) => {
+                if b < h {
+                    (b, true)
+                } else {
+                    (h, false)
+                }
+            }
+            (Some(b), None) => (b, true),
+            (None, Some(h)) => (h, false),
+            (None, None) => return None,
+        };
+        Some(NextKey { time, from_bucket })
+    }
+
+    /// Removes the event described by `key`, advancing the clock.
+    fn take(&mut self, key: NextKey) -> (Cycle, E) {
+        let (time, event) = if key.from_bucket {
+            self.in_buckets -= 1;
+            let idx = (key.time & MASK) as usize;
+            let bucket = &mut self.buckets[idx];
+            let event = bucket
+                .pop_front()
+                .expect("next_key found this bucket non-empty");
+            if bucket.is_empty() {
+                self.occ[idx >> 6] &= !(1 << (idx & 63));
+            }
+            (key.time, event)
+        } else {
+            let Reverse(e) = self.heap.pop().expect("next_key found the heap non-empty");
+            (e.time, e.event)
+        };
+        debug_assert!(time >= self.now);
+        self.now = time;
+        self.popped += 1;
+        (time, event)
+    }
+
     /// Removes and returns the next event as `(time, event)`, advancing
     /// the current time to the event's time.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        self.heap.pop().map(|Reverse(e)| {
-            debug_assert!(e.time >= self.now);
-            self.now = e.time;
-            self.popped += 1;
-            (e.time, e.event)
-        })
+        self.next_key().map(|k| self.take(k))
+    }
+
+    /// Like [`pop`](Self::pop), but only if the next event's time is at
+    /// most `cap`; otherwise leaves the queue (and the clock) untouched
+    /// and returns `None`. Lets a bounded run stop *without discarding*
+    /// the first event past the bound.
+    pub fn pop_before(&mut self, cap: Cycle) -> Option<(Cycle, E)> {
+        let key = self.next_key()?;
+        if key.time > cap {
+            return None;
+        }
+        Some(self.take(key))
     }
 
     /// Time of the next event without popping it.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        self.next_key().map(|k| k.time)
     }
 
     /// The time of the most recently popped event (0 before any pop).
@@ -112,17 +252,23 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.in_buckets + self.heap.len()
     }
 
     /// Whether the queue has no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events popped so far.
     pub fn events_processed(&self) -> u64 {
         self.popped
+    }
+
+    /// The largest number of events ever pending at once — the working
+    /// set the queue data structure must handle efficiently.
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 }
 
@@ -196,5 +342,93 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn far_future_events_take_the_heap_path_and_stay_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(2_000_000, "watchdog");
+        q.schedule(5, "hop");
+        q.schedule(2_000_000, "cap");
+        q.schedule(200, "dram");
+        assert_eq!(q.pop(), Some((5, "hop")));
+        assert_eq!(q.pop(), Some((200, "dram")));
+        // Same far-future cycle: FIFO by schedule order.
+        assert_eq!(q.pop(), Some((2_000_000, "watchdog")));
+        assert_eq!(q.pop(), Some((2_000_000, "cap")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_holds_across_the_heap_bucket_boundary() {
+        // An event scheduled far in advance (heap) must still pop
+        // before a later-scheduled event at the same cycle (bucket).
+        let mut q = EventQueue::new();
+        q.schedule(5000, "early-seq"); // beyond the window: heap
+        q.schedule(4990, "advance");
+        assert_eq!(q.pop(), Some((4990, "advance")));
+        q.schedule(5000, "late-seq"); // now in the window: bucket
+        assert_eq!(q.pop(), Some((5000, "early-seq")));
+        assert_eq!(q.pop(), Some((5000, "late-seq")));
+    }
+
+    #[test]
+    fn wrapped_bucket_indices_do_not_collide() {
+        // Times that share a bucket index modulo the calendar size must
+        // still pop in time order (the far one sits in the heap).
+        let mut q = EventQueue::new();
+        let far = BUCKETS as Cycle + 3;
+        q.schedule(far, "far");
+        q.schedule(3, "near"); // same bucket index as `far`
+        assert_eq!(q.pop(), Some((3, "near")));
+        assert_eq!(q.pop(), Some((far, "far")));
+    }
+
+    #[test]
+    fn pop_before_respects_the_cap_without_discarding() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop_before(15), Some((10, "a")));
+        // Next event is past the cap: untouched, clock unchanged.
+        assert_eq!(q.pop_before(15), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now(), 10);
+        // The cap is inclusive.
+        assert_eq!(q.pop_before(20), Some((20, "b")));
+        assert_eq!(q.pop_before(99), None);
+    }
+
+    #[test]
+    fn peak_len_tracks_the_high_water_mark() {
+        let mut q = EventQueue::new();
+        q.schedule(1, ());
+        q.schedule(2, ());
+        q.schedule(10_000, ()); // heap path counts too
+        q.pop();
+        q.pop();
+        assert_eq!(q.peak_len(), 3);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaves_bucket_and_heap_events_by_time() {
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for i in 0..50u64 {
+            let near = i * 7;
+            let far = 5000 + i * 111;
+            q.schedule(near, near);
+            q.schedule(far, far);
+            expect.push(near);
+            expect.push(far);
+        }
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            assert_eq!(t, e);
+            got.push(e);
+        }
+        assert_eq!(got, expect);
     }
 }

@@ -1,11 +1,63 @@
 //! Machine configuration (paper Table 3).
 
+use std::fmt;
+
 use ring_cache::CacheConfig;
-use ring_coherence::{ProtocolConfig, ProtocolKind};
+use ring_coherence::{ConfigError, ProtocolConfig, ProtocolKind};
 use ring_mem::MemConfig;
 use ring_noc::{FaultPlan, NetworkConfig};
 use ring_sim::Cycle;
 use serde::{Deserialize, Serialize};
+
+/// Why a [`MachineConfig`] cannot build a runnable machine.
+///
+/// Returned by [`MachineConfig::validate`], which the machine
+/// constructors run first — so a bad configuration fails up front with
+/// one of these instead of panicking deep inside a subsystem at run
+/// time (e.g. the memory controller's slot picker on a zero-slot
+/// config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineConfigError {
+    /// A torus dimension is smaller than 2 (no ring can be embedded).
+    TorusTooSmall,
+    /// The protocol configuration is invalid.
+    Protocol(ConfigError),
+    /// `net.hop_cycles == 0`: a hop takes at least one cycle.
+    ZeroHopCycles,
+    /// `net.link_bytes_per_cycle == 0`: nothing could ever serialize.
+    ZeroLinkBandwidth,
+    /// `mem.max_in_flight == 0`: the memory controller would have no
+    /// service slot to ever complete a fetch.
+    ZeroMemSlots,
+    /// `mem.round_trip == 0`: a memory fetch takes at least one cycle.
+    ZeroMemRoundTrip,
+    /// `core_slice == 0`: cores could never execute between events.
+    ZeroCoreSlice,
+}
+
+impl fmt::Display for MachineConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineConfigError::TorusTooSmall => {
+                write!(f, "torus must be at least 2x2 to embed a ring")
+            }
+            MachineConfigError::Protocol(e) => write!(f, "protocol config: {e}"),
+            MachineConfigError::ZeroHopCycles => write!(f, "net.hop_cycles must be >= 1"),
+            MachineConfigError::ZeroLinkBandwidth => {
+                write!(f, "net.link_bytes_per_cycle must be >= 1")
+            }
+            MachineConfigError::ZeroMemSlots => write!(
+                f,
+                "mem.max_in_flight must be >= 1 (a zero-slot memory controller could \
+                 never service a fetch)"
+            ),
+            MachineConfigError::ZeroMemRoundTrip => write!(f, "mem.round_trip must be >= 1"),
+            MachineConfigError::ZeroCoreSlice => write!(f, "core_slice must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for MachineConfigError {}
 
 /// Configuration of a simulated machine.
 ///
@@ -112,6 +164,34 @@ impl MachineConfig {
     pub fn nodes(&self) -> usize {
         self.width * self.height
     }
+
+    /// Checks that every subsystem parameter can build a runnable
+    /// machine, so misconfigurations fail here with a typed error
+    /// instead of panicking deep inside a subsystem later.
+    pub fn validate(&self) -> Result<(), MachineConfigError> {
+        if self.width < 2 || self.height < 2 {
+            return Err(MachineConfigError::TorusTooSmall);
+        }
+        self.protocol
+            .validate()
+            .map_err(MachineConfigError::Protocol)?;
+        if self.net.hop_cycles == 0 {
+            return Err(MachineConfigError::ZeroHopCycles);
+        }
+        if self.net.link_bytes_per_cycle == 0 {
+            return Err(MachineConfigError::ZeroLinkBandwidth);
+        }
+        if self.mem.max_in_flight == 0 {
+            return Err(MachineConfigError::ZeroMemSlots);
+        }
+        if self.mem.round_trip == 0 {
+            return Err(MachineConfigError::ZeroMemRoundTrip);
+        }
+        if self.core_slice == 0 {
+            return Err(MachineConfigError::ZeroCoreSlice);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +216,45 @@ mod tests {
     #[test]
     fn small_test_is_16_nodes() {
         assert_eq!(MachineConfig::small_test(ProtocolKind::Uncorq).nodes(), 16);
+    }
+
+    #[test]
+    fn paper_configs_validate() {
+        for kind in ProtocolKind::ALL {
+            MachineConfig::paper(kind).validate().unwrap();
+            MachineConfig::small_test(kind).validate().unwrap();
+        }
+        MachineConfig::paper_uncorq_pref().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_mem_slots_rejected_with_typed_error() {
+        let mut c = MachineConfig::paper(ProtocolKind::Uncorq);
+        c.mem.max_in_flight = 0;
+        assert_eq!(c.validate(), Err(MachineConfigError::ZeroMemSlots));
+        assert!(c.validate().unwrap_err().to_string().contains("zero-slot"));
+    }
+
+    #[test]
+    fn validate_catches_each_zero_parameter() {
+        let base = || MachineConfig::paper(ProtocolKind::Eager);
+        let mut c = base();
+        c.width = 1;
+        assert_eq!(c.validate(), Err(MachineConfigError::TorusTooSmall));
+        let mut c = base();
+        c.net.hop_cycles = 0;
+        assert_eq!(c.validate(), Err(MachineConfigError::ZeroHopCycles));
+        let mut c = base();
+        c.net.link_bytes_per_cycle = 0;
+        assert_eq!(c.validate(), Err(MachineConfigError::ZeroLinkBandwidth));
+        let mut c = base();
+        c.mem.round_trip = 0;
+        assert_eq!(c.validate(), Err(MachineConfigError::ZeroMemRoundTrip));
+        let mut c = base();
+        c.core_slice = 0;
+        assert_eq!(c.validate(), Err(MachineConfigError::ZeroCoreSlice));
+        let mut c = base();
+        c.protocol.retry_backoff = 0;
+        assert!(matches!(c.validate(), Err(MachineConfigError::Protocol(_))));
     }
 }

@@ -124,10 +124,9 @@ impl HtMachine {
         } else {
             self.cfg.max_cycles
         };
-        while let Some((t, ev)) = self.queue.pop() {
-            if t > cap {
-                break;
-            }
+        // `pop_before` leaves any event past the cap in the queue rather
+        // than popping and discarding it.
+        while let Some((t, ev)) = self.queue.pop_before(cap) {
             match ev {
                 Ev::Resume(n) => self.resume(t, n),
                 Ev::Agent(n, input) => {
@@ -277,12 +276,35 @@ impl HtMachine {
                     if me != requester {
                         self.queue.schedule(t, Ev::Agent(n, HtInput::Probe(probe)));
                     }
-                    let ds = self.net.multicast(t, me, CONTROL_BYTES, Channel::Request);
-                    for d in ds {
-                        self.stats.traffic.add_control(CONTROL_BYTES, d.hops);
-                        if d.to != requester {
-                            self.queue
-                                .schedule(d.arrival, Ev::Agent(d.to.0, HtInput::Probe(probe)));
+                    match self.net.multicast(t, me, CONTROL_BYTES, Channel::Request) {
+                        Ok(ds) => {
+                            for d in ds {
+                                self.stats.traffic.add_control(CONTROL_BYTES, d.hops);
+                                if d.to != requester {
+                                    self.queue.schedule(
+                                        d.arrival,
+                                        Ev::Agent(d.to.0, HtInput::Probe(probe)),
+                                    );
+                                }
+                            }
+                        }
+                        Err(noc_err) => {
+                            // Drop the broadcast and trace rather than
+                            // panic; the watchdog-free HT machine will
+                            // simply never complete the transaction.
+                            eprintln!("broadcast from node {n} at cycle {t} failed: {noc_err}");
+                            if let Some(sink) = self.sink.as_mut() {
+                                sink.record(&ring_trace::TraceEvent {
+                                    cycle: t,
+                                    node: n as u32,
+                                    txn_node: probe.req.txn.node.0 as u32,
+                                    txn_serial: probe.req.txn.serial,
+                                    line: probe.req.line.raw(),
+                                    kind: ring_trace::EventKind::ProtocolError {
+                                        error: ring_trace::ErrorClass::MulticastTreeDisorder,
+                                    },
+                                });
+                            }
                         }
                     }
                 }

@@ -34,7 +34,7 @@ mod machine;
 mod stall;
 mod stats;
 
-pub use config::MachineConfig;
+pub use config::{MachineConfig, MachineConfigError};
 pub use ht_machine::HtMachine;
 pub use machine::{run_paper, Machine};
 pub use stall::{NodeStallState, StallCause, StallReport};

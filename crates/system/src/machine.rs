@@ -4,11 +4,13 @@ use ring_cache::LineAddr;
 use ring_coherence::{AgentInput, Effect, ProtocolKind, RingAgent, TxnId, TxnKind, CONTROL_BYTES};
 use ring_cpu::{Core, L2View, NextStep};
 use ring_mem::{ControllerPrefetchPredictor, MemoryController, PrefetchBuffer};
-use ring_noc::{Channel, FaultKind, InjectedFault, Network, NodeId, RingEmbedding, Torus};
-use ring_sim::{Cycle, DetRng, EventQueue, Watchdog};
+use ring_noc::{
+    Channel, Delivery, FaultKind, InjectedFault, Network, NodeId, RingEmbedding, Torus,
+};
+use ring_sim::{Cycle, DetRng, EventQueue, FxHashMap, Watchdog};
 use ring_trace::{
-    EventKind as TraceKind, FaultClass, LinkMetrics, MetricsRegistry, OpClass, Payload, TraceEvent,
-    TraceSink,
+    ErrorClass, EventKind as TraceKind, FaultClass, LinkMetrics, MetricsRegistry, OpClass, Payload,
+    TraceEvent, TraceSink,
 };
 use ring_workloads::{AppProfile, WorkloadGen};
 
@@ -83,8 +85,15 @@ pub struct Machine {
     /// Per-node/per-link counters, merged into [`MachineStats`] at
     /// report time.
     registry: MetricsRegistry,
-    /// Latency-anatomy timestamps of in-flight transactions.
-    anatomy_marks: std::collections::HashMap<(usize, u64), AnatomyMark>,
+    /// Latency-anatomy timestamps of in-flight transactions. Iteration
+    /// order is never observed, so the fast deterministic hasher is
+    /// safe here.
+    anatomy_marks: FxHashMap<(usize, u64), AnatomyMark>,
+    /// Reusable effect buffer for agent handling (one allocation for
+    /// the whole run instead of one per event).
+    fx_buf: Vec<Effect>,
+    /// Reusable multicast delivery buffer.
+    mc_buf: Vec<Delivery>,
     /// Per-line protocol event trace, kept only for lines selected by
     /// `check_invariants` or `trace_lines`.
     trace: std::collections::BTreeMap<LineAddr, Vec<TraceEvent>>,
@@ -138,6 +147,9 @@ impl Machine {
     ) -> Self {
         let nodes = cfg.nodes();
         assert_eq!(streams.len(), nodes, "one op stream per node required");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid machine config: {e}");
+        }
         let torus = Torus::new(cfg.width, cfg.height);
         let ring = if cfg.ring_row_major {
             RingEmbedding::row_major(&torus)
@@ -193,7 +205,9 @@ impl Machine {
             finish_time: vec![None; nodes],
             stats: MachineStats::default(),
             registry: MetricsRegistry::new(nodes, 16, 96),
-            anatomy_marks: std::collections::HashMap::new(),
+            anatomy_marks: FxHashMap::default(),
+            fx_buf: Vec::new(),
+            mc_buf: Vec::new(),
             trace: std::collections::BTreeMap::new(),
             sink: None,
             trace_enabled,
@@ -258,32 +272,41 @@ impl Machine {
         } else {
             self.cfg.max_cycles
         };
-        let mut capped = false;
-        while let Some((t, ev)) = self.queue.pop() {
-            if t > cap {
-                capped = true;
-                break;
-            }
+        // `pop_before` leaves the first event past the cap *in* the
+        // queue (the old pop-then-check discarded it, losing an event
+        // and advancing the clock past the cap).
+        while let Some((t, ev)) = self.queue.pop_before(cap) {
             if self.watchdog.expired(t) {
                 if let Some(s) = self.sink.as_mut() {
                     let _ = s.flush();
                 }
                 return Err(Box::new(self.stall_report(StallCause::WatchdogExpired, t)));
             }
-            match ev {
-                Ev::Resume(n) => self.resume(t, n),
-                Ev::Agent(n, input) => {
-                    let fx = self.agents[n].handle(t, input);
-                    self.drain_agent_trace(n);
-                    self.apply_effects(t, n, fx);
+            let input = match ev {
+                Ev::Resume(n) => {
+                    self.resume(t, n);
+                    continue;
                 }
-                Ev::MemDone(n, line) => {
-                    let fx = self.agents[n].handle(t, AgentInput::MemData { line });
-                    self.drain_agent_trace(n);
-                    self.apply_effects(t, n, fx);
-                }
+                Ev::Agent(_, input) => input,
+                Ev::MemDone(_, line) => AgentInput::MemData { line },
+            };
+            let n = match ev {
+                Ev::Agent(n, _) | Ev::MemDone(n, _) => n,
+                Ev::Resume(_) => unreachable!("handled above"),
+            };
+            // Reuse one effect buffer across all events; `apply_effects`
+            // drains it and never re-enters `handle`, so taking the
+            // buffer out of `self` is safe.
+            let mut fx = std::mem::take(&mut self.fx_buf);
+            fx.clear();
+            self.agents[n].handle_into(t, input, &mut fx);
+            if self.trace_enabled {
+                self.drain_agent_trace(n);
             }
+            self.apply_effects(t, n, &mut fx);
+            self.fx_buf = fx;
         }
+        let capped = !self.queue.is_empty();
         if let Some(s) = self.sink.as_mut() {
             let _ = s.flush();
         }
@@ -564,8 +587,10 @@ impl Machine {
         }
     }
 
-    fn apply_effects(&mut self, t: Cycle, n: usize, fx: Vec<Effect>) {
-        for e in fx {
+    /// Applies the effects in `fx`, draining it (the buffer is reused
+    /// across events). Never calls back into agent handling.
+    fn apply_effects(&mut self, t: Cycle, n: usize, fx: &mut Vec<Effect>) {
+        for e in fx.drain(..) {
             match e {
                 Effect::RingSend { msg, delay } => {
                     let from = self.node(n);
@@ -645,35 +670,64 @@ impl Machine {
                             ..AnatomyMark::default()
                         },
                     );
-                    let ds = self
-                        .net
-                        .multicast(t, self.node(n), CONTROL_BYTES, Channel::Request);
-                    for d in ds {
-                        self.stats.traffic.add_control(CONTROL_BYTES, d.hops);
-                        if let Some(fault) = d.fault {
-                            self.emit_fault(t, n, req.txn, req.line.raw(), fault);
+                    let mut ds = std::mem::take(&mut self.mc_buf);
+                    match self.net.multicast_into(
+                        t,
+                        self.node(n),
+                        CONTROL_BYTES,
+                        Channel::Request,
+                        &mut ds,
+                    ) {
+                        Ok(()) => {
+                            for d in ds.drain(..) {
+                                self.stats.traffic.add_control(CONTROL_BYTES, d.hops);
+                                if let Some(fault) = d.fault {
+                                    self.emit_fault(t, n, req.txn, req.line.raw(), fault);
+                                }
+                                // Multicast requests travel the unconstrained
+                                // path, which guarantees no ordering — a bounded
+                                // reordering delay is in-spec.
+                                let mut arrival = d.arrival;
+                                let reorder = self.net.faults_mut().and_then(|fi| fi.reorder());
+                                if let Some(extra) = reorder {
+                                    arrival += extra;
+                                    self.emit_fault(
+                                        t,
+                                        n,
+                                        req.txn,
+                                        req.line.raw(),
+                                        InjectedFault {
+                                            kind: FaultKind::Reorder,
+                                            delay: extra,
+                                        },
+                                    );
+                                }
+                                self.queue.schedule(
+                                    arrival,
+                                    Ev::Agent(d.to.0, AgentInput::DirectRequest(req)),
+                                );
+                            }
                         }
-                        // Multicast requests travel the unconstrained
-                        // path, which guarantees no ordering — a bounded
-                        // reordering delay is in-spec.
-                        let mut arrival = d.arrival;
-                        let reorder = self.net.faults_mut().and_then(|fi| fi.reorder());
-                        if let Some(extra) = reorder {
-                            arrival += extra;
-                            self.emit_fault(
-                                t,
-                                n,
-                                req.txn,
-                                req.line.raw(),
-                                InjectedFault {
-                                    kind: FaultKind::Reorder,
-                                    delay: extra,
+                        Err(noc_err) => {
+                            // A corrupted multicast tree: drop the
+                            // broadcast and trace the error (recorded
+                            // even without a sink, so stall reports
+                            // show it) instead of panicking.
+                            ds.clear();
+                            eprintln!("multicast from node {n} at cycle {t} failed: {noc_err}");
+                            self.emit(TraceEvent {
+                                cycle: t,
+                                node: n as u32,
+                                txn_node: req.txn.node.0 as u32,
+                                txn_serial: req.txn.serial,
+                                line: req.line.raw(),
+                                kind: TraceKind::ProtocolError {
+                                    error: ErrorClass::MulticastTreeDisorder,
                                 },
-                            );
+                            });
                         }
-                        self.queue
-                            .schedule(arrival, Ev::Agent(d.to.0, AgentInput::DirectRequest(req)));
                     }
+                    self.mc_buf = ds;
                 }
                 Effect::SendSupplier { to, msg } => {
                     self.registry.node_mut(n).supplies += 1;
@@ -876,6 +930,12 @@ impl Machine {
     /// Read access to the protocol kind this machine runs.
     pub fn protocol(&self) -> ProtocolKind {
         self.cfg.protocol.kind
+    }
+
+    /// Peak number of simultaneously pending events observed so far —
+    /// the event-queue working set (reported by the bench sweep).
+    pub fn queue_peak(&self) -> usize {
+        self.queue.peak_len()
     }
 
     /// Fault-injection statistics accumulated by the network layer's

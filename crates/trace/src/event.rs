@@ -102,6 +102,9 @@ pub enum ErrorClass {
     /// A transition-table lookup found no unique row for a
     /// `state × message` pair (only possible with a mutated table).
     TableMiss,
+    /// A multicast tree edge departed a node the broadcast had not
+    /// reached yet (only possible with a corrupted tree).
+    MulticastTreeDisorder,
 }
 
 impl ErrorClass {
@@ -111,6 +114,7 @@ impl ErrorClass {
             ErrorClass::LttSlotMissing => "ltt_slot_missing",
             ErrorClass::LttResponseMissing => "ltt_resp_missing",
             ErrorClass::TableMiss => "table_miss",
+            ErrorClass::MulticastTreeDisorder => "mcast_tree_disorder",
         }
     }
 
@@ -120,6 +124,7 @@ impl ErrorClass {
             "ltt_slot_missing" => Some(ErrorClass::LttSlotMissing),
             "ltt_resp_missing" => Some(ErrorClass::LttResponseMissing),
             "table_miss" => Some(ErrorClass::TableMiss),
+            "mcast_tree_disorder" => Some(ErrorClass::MulticastTreeDisorder),
             _ => None,
         }
     }
@@ -916,6 +921,9 @@ mod tests {
             },
             EventKind::ProtocolError {
                 error: ErrorClass::TableMiss,
+            },
+            EventKind::ProtocolError {
+                error: ErrorClass::MulticastTreeDisorder,
             },
         ]
     }
