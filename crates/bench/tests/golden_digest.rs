@@ -17,6 +17,7 @@
 
 use bench::sweep::{report_digest, run_sweep, DigestSink, SweepCell};
 use ring_coherence::ProtocolVariant;
+use ring_noc::ReliabilityConfig;
 use ring_system::{Machine, MachineConfig};
 use ring_workloads::AppProfile;
 
@@ -171,6 +172,37 @@ fn golden_digests_16_nodes() {
 #[test]
 fn golden_digests_64_nodes() {
     check(64);
+}
+
+/// A disabled reliability sublayer is provably zero-cost: with
+/// `ReliabilityConfig::disabled()` set *explicitly*, every run still
+/// reproduces the pre-reliability golden digests byte-for-byte — same
+/// event order, same timing, same trace stream.
+#[test]
+fn disabled_reliability_reproduces_golden_digests() {
+    for &(variant, w, h, report, trace, events) in GOLDEN {
+        if w * h != 16 {
+            continue; // 4x4 covers all variants; 8x8 runs in the check above
+        }
+        let mut cfg = MachineConfig::with_protocol(variant.config());
+        cfg.width = w;
+        cfg.height = h;
+        cfg.seed = SEED;
+        cfg.reliability = ReliabilityConfig::disabled();
+        let profile = AppProfile::by_name("fmm")
+            .expect("fmm")
+            .scaled(ops_for(w * h));
+        let mut m = Machine::new(cfg, &profile);
+        let sink = DigestSink::new();
+        m.set_trace_sink(Box::new(sink.clone()));
+        let r = m.try_run().expect("no stall");
+        let (t, n) = sink.digest();
+        assert_eq!(
+            (report_digest(&r), t, n),
+            (report, trace, events),
+            "{variant} at {w}x{h}: disabled reliability must be byte-identical to golden"
+        );
+    }
 }
 
 #[test]

@@ -32,8 +32,16 @@
 //!   deliveries (suppliership and memory completions, which the agents
 //!   de-duplicate by transaction identity); duplicating a ring message
 //!   would fabricate protocol state and is out of scope.
+//! - **Drops and link outages** destroy messages outright and are only
+//!   legal *underneath the reliability sublayer*
+//!   ([`crate::ReliableTransport`]), which retransmits until the
+//!   delivery boundary is exactly-once and in-order again — above that
+//!   boundary the protocols still see a reliable FIFO ring. Profiles
+//!   using these classes report [`FaultProfile::needs_reliability`] and
+//!   are rejected by machines that do not enable the sublayer.
 
-use ring_sim::{Cycle, DetRng};
+use crate::topology::LinkId;
+use ring_sim::{splitmix64_mix, Cycle, DetRng};
 use serde::{Deserialize, Serialize};
 
 /// The class of an injected fault.
@@ -47,6 +55,10 @@ pub enum FaultKind {
     Duplicate,
     /// A transient busy burst on the links of a route.
     Congestion,
+    /// A wire frame destroyed by a lossy link.
+    Drop,
+    /// A wire frame destroyed by a scheduled link-outage window.
+    Outage,
 }
 
 impl std::fmt::Display for FaultKind {
@@ -56,9 +68,31 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Reorder => "reorder",
             FaultKind::Duplicate => "duplicate",
             FaultKind::Congestion => "congestion",
+            FaultKind::Drop => "drop",
+            FaultKind::Outage => "outage",
         };
         f.write_str(s)
     }
+}
+
+/// How a delivery is ordered with respect to the protocol, used to
+/// guard fault classes that are only legal on some delivery kinds.
+///
+/// The ring is a reliable FIFO transport *by protocol assumption*;
+/// duplicating or reordering a ring delivery fabricates protocol state.
+/// This was previously enforced only by convention at the machine's
+/// call sites — [`FaultInjector::duplicate`] now takes the class and
+/// debug-asserts it, so a future fault class (or a new call site) can't
+/// silently violate it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeliveryClass {
+    /// A ring hop to the successor: ordered, never duplicated or
+    /// reordered.
+    Ring,
+    /// An unordered point-to-point or multicast delivery (multicast `R`,
+    /// suppliership transfer, memory completion): idempotent at the
+    /// receiver.
+    Direct,
 }
 
 /// One concrete injected fault, attached to the delivery it perturbed.
@@ -94,6 +128,16 @@ pub struct FaultProfile {
     pub congestion_prob: f64,
     /// Cycles each affected link stays busy during a burst.
     pub congestion_cycles: Cycle,
+    /// Probability that a lossy link destroys a wire frame (drawn per
+    /// link traversed). Requires the reliability sublayer.
+    pub drop_prob: f64,
+    /// Period of the scheduled link-outage rota in cycles (0 = no
+    /// outages). In every period one deterministically chosen link is
+    /// down for the first [`FaultProfile::outage_len`] cycles.
+    pub outage_period: Cycle,
+    /// Length of each outage window in cycles (0 = no outages). Must
+    /// be shorter than the period so every link eventually recovers.
+    pub outage_len: Cycle,
 }
 
 impl FaultProfile {
@@ -108,6 +152,9 @@ impl FaultProfile {
             duplicate_delay_max: 0,
             congestion_prob: 0.0,
             congestion_cycles: 0,
+            drop_prob: 0.0,
+            outage_period: 0,
+            outage_len: 0,
         }
     }
 
@@ -147,7 +194,7 @@ impl FaultProfile {
         }
     }
 
-    /// Every fault class at once.
+    /// Every delivery-preserving fault class at once.
     pub fn chaos() -> Self {
         FaultProfile {
             jitter_prob: 0.20,
@@ -158,6 +205,38 @@ impl FaultProfile {
             duplicate_delay_max: 48,
             congestion_prob: 0.04,
             congestion_cycles: 64,
+            ..Self::none()
+        }
+    }
+
+    /// Per-link message drop at the given rate (requires the
+    /// reliability sublayer).
+    pub fn drop_rate(prob: f64) -> Self {
+        FaultProfile {
+            drop_prob: prob,
+            ..Self::none()
+        }
+    }
+
+    /// Scheduled link outages: every 20k cycles one deterministically
+    /// chosen link goes dark for 4k cycles (requires the reliability
+    /// sublayer).
+    pub fn outage() -> Self {
+        FaultProfile {
+            outage_period: 20_000,
+            outage_len: 4_000,
+            ..Self::none()
+        }
+    }
+
+    /// Drops, outages, and every delivery-preserving class at once —
+    /// the worst weather the reliability sublayer must survive.
+    pub fn lossy_chaos() -> Self {
+        FaultProfile {
+            drop_prob: 0.05,
+            outage_period: 20_000,
+            outage_len: 4_000,
+            ..Self::chaos()
         }
     }
 
@@ -170,6 +249,11 @@ impl FaultProfile {
             ("duplicate", Self::duplicate()),
             ("congestion", Self::congestion()),
             ("chaos", Self::chaos()),
+            ("drop1", Self::drop_rate(0.01)),
+            ("drop5", Self::drop_rate(0.05)),
+            ("drop20", Self::drop_rate(0.20)),
+            ("outage", Self::outage()),
+            ("lossy_chaos", Self::lossy_chaos()),
         ]
     }
 
@@ -187,6 +271,13 @@ impl FaultProfile {
             && (self.reorder_prob <= 0.0 || self.reorder_max == 0)
             && (self.duplicate_prob <= 0.0)
             && (self.congestion_prob <= 0.0 || self.congestion_cycles == 0)
+            && !self.needs_reliability()
+    }
+
+    /// Whether this profile destroys messages (drops or outages) and
+    /// therefore requires the reliability sublayer to be enabled.
+    pub fn needs_reliability(&self) -> bool {
+        self.drop_prob > 0.0 || (self.outage_period > 0 && self.outage_len > 0)
     }
 }
 
@@ -219,23 +310,59 @@ pub struct FaultStats {
     pub duplicates: u64,
     /// Congestion bursts injected.
     pub congestions: u64,
+    /// Wire frames destroyed by probabilistic link drops.
+    pub drops: u64,
+    /// Wire frames destroyed by scheduled link outages.
+    pub outage_drops: u64,
 }
 
 impl FaultStats {
     /// Total faults of all classes.
     pub fn total(&self) -> u64 {
-        self.jitters + self.reorders + self.duplicates + self.congestions
+        self.jitters
+            + self.reorders
+            + self.duplicates
+            + self.congestions
+            + self.drops
+            + self.outage_drops
     }
+}
+
+/// A link-outage transition, observed lazily by traffic crossing the
+/// network while the outage rota state differs from the last announced
+/// one. Drained via `Network::take_outage_events` and turned into
+/// `LinkDown`/`LinkUp` trace events by the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageEvent {
+    /// Cycle at which traffic observed the transition.
+    pub at: Cycle,
+    /// The link concerned.
+    pub link: LinkId,
+    /// `true` when the link went down, `false` when it came back up.
+    pub down: bool,
+    /// When a down link is scheduled to recover (0 for up events).
+    pub up_at: Cycle,
 }
 
 /// The runtime fault source: draws each fault decision from its own
 /// deterministic RNG stream so the workload and protocol tiebreak
 /// streams are unperturbed by chaos mode.
+///
+/// The scheduled link-outage rota is *not* drawn from the RNG stream:
+/// which link is down during outage window `k` is a pure hash of
+/// `(seed, k)`, so querying outage state never perturbs the stream no
+/// matter how much traffic asks.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     profile: FaultProfile,
+    seed: u64,
     rng: DetRng,
     stats: FaultStats,
+    /// Total links of the network (0 until the network installs the
+    /// plan; no outage can fire before that).
+    links: usize,
+    /// The outage window last announced via [`FaultInjector::observe_outages`].
+    announced: Option<(u64, LinkId)>,
 }
 
 impl FaultInjector {
@@ -243,9 +370,18 @@ impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
         FaultInjector {
             profile: plan.profile,
+            seed: plan.seed,
             rng: DetRng::seed(plan.seed ^ 0xFA17_FA17),
             stats: FaultStats::default(),
+            links: 0,
+            announced: None,
         }
+    }
+
+    /// Installs the link count of the hosting network, enabling the
+    /// outage rota.
+    pub fn set_links(&mut self, links: usize) {
+        self.links = links;
     }
 
     /// The profile this injector draws from.
@@ -298,7 +434,20 @@ impl FaultInjector {
 
     /// Extra delay of a duplicated copy of an idempotent delivery, if a
     /// duplication fault fires.
-    pub fn duplicate(&mut self) -> Option<Cycle> {
+    ///
+    /// Duplication is only legal for [`DeliveryClass::Direct`]
+    /// deliveries — a duplicated ring message would fabricate protocol
+    /// state (the ring is reliable FIFO by protocol assumption). Debug
+    /// builds assert this; release builds refuse the draw.
+    pub fn duplicate(&mut self, class: DeliveryClass) -> Option<Cycle> {
+        debug_assert_ne!(
+            class,
+            DeliveryClass::Ring,
+            "duplicating a ring delivery would fabricate protocol state"
+        );
+        if class == DeliveryClass::Ring {
+            return None;
+        }
         if self.profile.duplicate_prob <= 0.0 {
             return None;
         }
@@ -307,6 +456,84 @@ impl FaultInjector {
         }
         self.stats.duplicates += 1;
         Some(1 + self.rng.below(self.profile.duplicate_delay_max.max(1)))
+    }
+
+    /// Whether a lossy link destroys the frame currently crossing it.
+    /// Only drawn by the reliability sublayer's wire path; a profile
+    /// without drops never touches the RNG here, so plain traffic stays
+    /// byte-identical.
+    pub fn drop_frame(&mut self) -> bool {
+        if self.profile.drop_prob <= 0.0 {
+            return false;
+        }
+        if !self.rng.chance(self.profile.drop_prob) {
+            return false;
+        }
+        self.stats.drops += 1;
+        true
+    }
+
+    /// The outage window active at `now`, if any:
+    /// `(window index, down link, recovery cycle)`. Pure — never
+    /// perturbs the RNG stream.
+    fn outage_window(&self, now: Cycle) -> Option<(u64, LinkId, Cycle)> {
+        let (period, len) = (self.profile.outage_period, self.profile.outage_len);
+        if period == 0 || len == 0 || self.links == 0 {
+            return None;
+        }
+        if now % period >= len {
+            return None;
+        }
+        let window = now / period;
+        let link = LinkId(
+            splitmix64_mix(self.seed ^ window.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize
+                % self.links,
+        );
+        Some((window, link, window * period + len))
+    }
+
+    /// If `link` is inside a scheduled outage at `now`, the cycle it
+    /// recovers. Pure — never perturbs the RNG stream.
+    pub fn link_down(&self, now: Cycle, link: LinkId) -> Option<Cycle> {
+        match self.outage_window(now) {
+            Some((_, down, up_at)) if down == link => Some(up_at),
+            _ => None,
+        }
+    }
+
+    /// Counts a frame destroyed by an outage (the decision itself is
+    /// pure, so the counter is bumped by the wire path that acted on it).
+    pub fn count_outage_drop(&mut self) {
+        self.stats.outage_drops += 1;
+    }
+
+    /// Compares the outage rota at `now` against the last announced
+    /// state and appends `LinkDown`/`LinkUp` transitions. Called by the
+    /// network whenever lossy traffic crosses it, so outage events
+    /// surface lazily but in chronological order.
+    pub fn observe_outages(&mut self, now: Cycle, out: &mut Vec<OutageEvent>) {
+        let current = self.outage_window(now).map(|(w, l, _)| (w, l));
+        if current == self.announced {
+            return;
+        }
+        if let Some((_, link)) = self.announced {
+            out.push(OutageEvent {
+                at: now,
+                link,
+                down: false,
+                up_at: 0,
+            });
+        }
+        if let Some((w, link, up_at)) = self.outage_window(now) {
+            let _ = w;
+            out.push(OutageEvent {
+                at: now,
+                link,
+                down: true,
+                up_at,
+            });
+        }
+        self.announced = current;
     }
 }
 
@@ -325,6 +552,17 @@ mod tests {
     }
 
     #[test]
+    fn lossy_profiles_declare_their_reliability_need() {
+        assert!(!FaultProfile::none().needs_reliability());
+        assert!(!FaultProfile::chaos().needs_reliability());
+        assert!(FaultProfile::drop_rate(0.2).needs_reliability());
+        assert!(FaultProfile::outage().needs_reliability());
+        assert!(FaultProfile::lossy_chaos().needs_reliability());
+        assert!(!FaultProfile::drop_rate(0.2).is_nop());
+        assert!(!FaultProfile::outage().is_nop());
+    }
+
+    #[test]
     fn injector_is_deterministic() {
         let plan = FaultPlan::new(FaultProfile::chaos(), 42);
         let mut a = FaultInjector::new(plan);
@@ -332,7 +570,10 @@ mod tests {
         for _ in 0..500 {
             assert_eq!(a.jitter(), b.jitter());
             assert_eq!(a.reorder(), b.reorder());
-            assert_eq!(a.duplicate(), b.duplicate());
+            assert_eq!(
+                a.duplicate(DeliveryClass::Direct),
+                b.duplicate(DeliveryClass::Direct)
+            );
             assert_eq!(a.congestion(), b.congestion());
         }
         assert_eq!(a.stats(), b.stats());
@@ -345,8 +586,9 @@ mod tests {
         for _ in 0..200 {
             assert_eq!(inj.jitter(), None);
             assert_eq!(inj.reorder(), None);
-            assert_eq!(inj.duplicate(), None);
+            assert_eq!(inj.duplicate(DeliveryClass::Direct), None);
             assert_eq!(inj.congestion(), None);
+            assert!(!inj.drop_frame());
         }
         assert_eq!(inj.stats().total(), 0);
     }
@@ -362,12 +604,88 @@ mod tests {
             if let Some(d) = inj.reorder() {
                 assert!((1..=p.reorder_max).contains(&d));
             }
-            if let Some(d) = inj.duplicate() {
+            if let Some(d) = inj.duplicate(DeliveryClass::Direct) {
                 assert!((1..=p.duplicate_delay_max).contains(&d));
             }
             if let Some(d) = inj.congestion() {
                 assert_eq!(d, p.congestion_cycles);
             }
         }
+    }
+
+    /// Regression test for the ring-duplication convention: duplicating
+    /// a ring delivery must trip the debug assertion instead of being
+    /// silently accepted by a future fault class or call site.
+    #[test]
+    #[should_panic(expected = "fabricate protocol state")]
+    #[cfg(debug_assertions)]
+    fn duplicating_a_ring_delivery_panics_in_debug() {
+        let mut inj = FaultInjector::new(FaultPlan::new(FaultProfile::duplicate(), 1));
+        let _ = inj.duplicate(DeliveryClass::Ring);
+    }
+
+    #[test]
+    fn drop_draws_are_deterministic_and_rate_shaped() {
+        let plan = FaultPlan::new(FaultProfile::drop_rate(0.20), 13);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        let mut fired = 0u64;
+        for _ in 0..5000 {
+            let fa = a.drop_frame();
+            assert_eq!(fa, b.drop_frame());
+            fired += fa as u64;
+        }
+        assert_eq!(a.stats().drops, fired);
+        // 20% of 5000 with generous slack.
+        assert!((700..=1300).contains(&fired), "drop rate off: {fired}/5000");
+    }
+
+    #[test]
+    fn outage_rota_is_pure_and_periodic() {
+        let plan = FaultPlan::new(FaultProfile::outage(), 99);
+        let mut inj = FaultInjector::new(plan);
+        inj.set_links(64);
+        let p = inj.profile().outage_period;
+        let len = inj.profile().outage_len;
+        for window in 0u64..8 {
+            let start = window * p;
+            // Exactly one link is down during the window...
+            let down: Vec<LinkId> = (0..64)
+                .map(LinkId)
+                .filter(|&l| inj.link_down(start + len / 2, l).is_some())
+                .collect();
+            assert_eq!(down.len(), 1, "window {window}");
+            let up_at = inj.link_down(start + len / 2, down[0]).unwrap();
+            assert_eq!(up_at, start + len);
+            // ...and no link is down outside it.
+            assert!((0..64)
+                .map(LinkId)
+                .all(|l| inj.link_down(start + len, l).is_none()));
+            // Purity: asking never perturbs the RNG-backed draws.
+            let before = inj.stats().total();
+            assert_eq!(inj.stats().total(), before);
+        }
+    }
+
+    #[test]
+    fn outage_transitions_surface_once_per_window_edge() {
+        let plan = FaultPlan::new(FaultProfile::outage(), 5);
+        let mut inj = FaultInjector::new(plan);
+        inj.set_links(16);
+        let p = inj.profile().outage_period;
+        let len = inj.profile().outage_len;
+        let mut out = Vec::new();
+        inj.observe_outages(1, &mut out);
+        assert_eq!(out.len(), 1, "first window announces its down link");
+        assert!(out[0].down);
+        assert_eq!(out[0].up_at, len);
+        inj.observe_outages(len / 2, &mut out);
+        assert_eq!(out.len(), 1, "same window announces nothing new");
+        inj.observe_outages(len + 1, &mut out);
+        assert_eq!(out.len(), 2, "window end announces the up transition");
+        assert!(!out[1].down);
+        inj.observe_outages(p + 1, &mut out);
+        assert_eq!(out.len(), 3, "next window announces its down link");
+        assert!(out[2].down);
     }
 }

@@ -30,11 +30,19 @@
 mod fault;
 mod multicast;
 mod network;
+mod reliable;
 mod ring;
 mod topology;
 
-pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultProfile, FaultStats, InjectedFault};
+pub use fault::{
+    DeliveryClass, FaultInjector, FaultKind, FaultPlan, FaultProfile, FaultStats, InjectedFault,
+    OutageEvent,
+};
 pub use multicast::{multicast_tree, TreeEdge};
 pub use network::{Channel, Delivery, LinkTraffic, Network, NetworkConfig, NocError};
+pub use reliable::{
+    FlowKey, FlowSnapshot, FrameId, RelAction, RelSnapshot, RelStats, ReliabilityConfig,
+    ReliabilityConfigError, ReliableTransport, ACK_BYTES,
+};
 pub use ring::RingEmbedding;
 pub use topology::{Direction, LinkId, NodeId, RouteIter, Torus};

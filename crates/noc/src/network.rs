@@ -5,7 +5,7 @@ use std::fmt;
 use ring_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
-use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultStats, InjectedFault};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultStats, InjectedFault, OutageEvent};
 use crate::multicast::{multicast_tree, TreeEdge};
 use crate::topology::{NodeId, Torus};
 
@@ -58,7 +58,9 @@ impl Channel {
     /// Number of virtual channels.
     pub const COUNT: usize = 3;
 
-    fn index(self) -> usize {
+    /// Dense index of the channel (stable across runs; used for
+    /// occupancy tables, flow sort keys, and trace encoding).
+    pub fn index(self) -> usize {
         match self {
             Channel::Request => 0,
             Channel::Response => 1,
@@ -106,6 +108,11 @@ pub struct Delivery {
     /// (so the machine can trace injected faults next to protocol
     /// events).
     pub fault: Option<InjectedFault>,
+    /// `true` when a lossy link destroyed the message in flight — only
+    /// possible on the `*_lossy` wire paths used by the reliability
+    /// sublayer, which retransmits it. `arrival` is then the cycle the
+    /// frame died, and `fault` names the drop class.
+    pub dropped: bool,
 }
 
 /// The network timing model. Owns per-link occupancy state.
@@ -135,6 +142,12 @@ pub struct Network {
     /// Per-link traffic counters (all virtual channels combined),
     /// indexed like `free_at[_]` by physical link.
     link_traffic: Vec<LinkTraffic>,
+    /// Per-link destroyed-frame counters (drops + outage kills), for
+    /// stall-report attribution.
+    link_drops: Vec<u64>,
+    /// Link-outage transitions observed by lossy traffic, drained by the
+    /// machine into `LinkDown`/`LinkUp` trace events.
+    outage_events: Vec<OutageEvent>,
     messages_sent: u64,
     /// Installed by chaos mode; `None` in normal runs.
     faults: Option<FaultInjector>,
@@ -145,6 +158,40 @@ pub struct Network {
     /// Reusable per-broadcast arrival scratch, indexed by node;
     /// `Cycle::MAX` marks an unreached node.
     arrive: Vec<Cycle>,
+    /// Reusable per-broadcast lossy scratch: nodes whose copy of the
+    /// frame was destroyed (the subtree below a lossy edge).
+    killed: Vec<bool>,
+}
+
+/// Applies the lossy per-link checks to one link crossing departing at
+/// `depart`: scheduled outage first (a pure schedule lookup), then a
+/// probabilistic drop draw. Returns the destroying fault, if any.
+///
+/// A free function over the injector and drop counters so callers can
+/// use it while other fields of the network are borrowed.
+fn lossy_check(
+    faults: &mut Option<FaultInjector>,
+    link_drops: &mut [u64],
+    depart: Cycle,
+    link: crate::topology::LinkId,
+) -> Option<InjectedFault> {
+    let inj = faults.as_mut()?;
+    if let Some(up_at) = inj.link_down(depart, link) {
+        inj.count_outage_drop();
+        link_drops[link.0] += 1;
+        return Some(InjectedFault {
+            kind: FaultKind::Outage,
+            delay: up_at.saturating_sub(depart),
+        });
+    }
+    if inj.drop_frame() {
+        link_drops[link.0] += 1;
+        return Some(InjectedFault {
+            kind: FaultKind::Drop,
+            delay: 0,
+        });
+    }
+    None
 }
 
 /// Messages and bytes that crossed one physical link, for hotspot
@@ -176,10 +223,13 @@ impl Network {
             cfg,
             free_at: vec![vec![0; links]; Channel::COUNT],
             link_traffic: vec![LinkTraffic::default(); links],
+            link_drops: vec![0; links],
+            outage_events: Vec::new(),
             messages_sent: 0,
             faults: None,
             trees: vec![None; nodes],
             arrive: vec![Cycle::MAX; nodes],
+            killed: vec![false; nodes],
         }
     }
 
@@ -199,7 +249,9 @@ impl Network {
             self.cfg.model_contention,
             "fault injection requires contention modeling (ring FIFO safety)"
         );
-        self.faults = Some(FaultInjector::new(plan));
+        let mut inj = FaultInjector::new(plan);
+        inj.set_links(self.torus.links());
+        self.faults = Some(inj);
     }
 
     /// Mutable access to the fault injector, for the machine layer to
@@ -234,6 +286,19 @@ impl Network {
         &self.link_traffic
     }
 
+    /// Per-link destroyed-frame counters (probabilistic drops plus
+    /// outage kills), indexed by physical link id. All zero unless the
+    /// lossy wire paths ran.
+    pub fn link_drops(&self) -> &[u64] {
+        &self.link_drops
+    }
+
+    /// Drains link-outage transitions observed since the last call, in
+    /// chronological order, appending them to `out`.
+    pub fn take_outage_events(&mut self, out: &mut Vec<OutageEvent>) {
+        out.append(&mut self.outage_events);
+    }
+
     fn serialization(&self, bytes: u64) -> Cycle {
         bytes.div_ceil(self.cfg.link_bytes_per_cycle)
     }
@@ -258,6 +323,7 @@ impl Network {
                 arrival: now,
                 hops: 0,
                 fault: None,
+                dropped: false,
             };
         }
         let ser = self.serialization(bytes);
@@ -313,6 +379,7 @@ impl Network {
             arrival: t + ser,
             hops,
             fault,
+            dropped: false,
         }
     }
 
@@ -426,9 +493,213 @@ impl Network {
                 arrival: t + ser,
                 hops: 1,
                 fault,
+                dropped: false,
             });
         }
         Ok(())
+    }
+
+    /// [`Network::unicast`] over lossy links: each link crossed may
+    /// destroy the frame, either probabilistically
+    /// ([`crate::FaultProfile::drop_prob`], drawn per link) or because
+    /// the link sits inside a scheduled outage window. A destroyed frame
+    /// comes back with [`Delivery::dropped`] set and `fault` naming the
+    /// drop class; links up to and including the lossy one keep their
+    /// occupancy and traffic charges (the frame really crossed them).
+    ///
+    /// Only the reliability sublayer sends through this path — the
+    /// protocol layers above it always use [`Network::unicast`], whose
+    /// draw sequence is untouched, so runs without reliability stay
+    /// byte-identical.
+    pub fn unicast_lossy(
+        &mut self,
+        now: Cycle,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        ch: Channel,
+    ) -> Delivery {
+        if let Some(inj) = self.faults.as_mut() {
+            inj.observe_outages(now, &mut self.outage_events);
+        }
+        self.messages_sent += 1;
+        if from == to {
+            return Delivery {
+                to,
+                arrival: now,
+                hops: 0,
+                fault: None,
+                dropped: false,
+            };
+        }
+        let ser = self.serialization(bytes);
+        let mut fault = None;
+        if let Some(inj) = self.faults.as_mut() {
+            if let Some(jit) = inj.jitter() {
+                fault = Some(InjectedFault {
+                    kind: FaultKind::Jitter,
+                    delay: jit,
+                });
+            }
+            if let Some(burst) = inj.congestion() {
+                let free_at = &mut self.free_at[ch.index()];
+                for link in self.torus.route_iter(from, to) {
+                    free_at[link.0] = free_at[link.0].max(now) + burst;
+                }
+                if fault.is_none() {
+                    fault = Some(InjectedFault {
+                        kind: FaultKind::Congestion,
+                        delay: burst,
+                    });
+                }
+            }
+        }
+        let jitter = match fault {
+            Some(InjectedFault {
+                kind: FaultKind::Jitter,
+                delay,
+            }) => delay,
+            _ => 0,
+        };
+        let mut t = now + jitter;
+        let mut hops = 0;
+        let mut dropped = false;
+        for link in self.torus.route_iter(from, to) {
+            self.link_traffic[link.0].messages += 1;
+            self.link_traffic[link.0].bytes += bytes;
+            hops += 1;
+            let depart;
+            if self.cfg.model_contention {
+                depart = t.max(self.free_at[ch.index()][link.0]);
+                self.free_at[ch.index()][link.0] = depart + ser;
+                t = depart + self.cfg.hop_cycles;
+            } else {
+                depart = t;
+                t += self.cfg.hop_cycles;
+            }
+            if let Some(kill) = lossy_check(&mut self.faults, &mut self.link_drops, depart, link) {
+                fault = Some(kill);
+                dropped = true;
+                break;
+            }
+        }
+        Delivery {
+            to,
+            arrival: t + ser,
+            hops,
+            fault,
+            dropped,
+        }
+    }
+
+    /// [`Network::multicast_into`] over lossy links. Each tree edge may
+    /// destroy the frame crossing it; a destroyed frame kills the whole
+    /// subtree below that edge (children of a dropped node are reported
+    /// dropped with zero hops and no link charges — the frame never
+    /// departed their parent).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Network::multicast_into`].
+    pub fn multicast_lossy_into(
+        &mut self,
+        now: Cycle,
+        root: NodeId,
+        bytes: u64,
+        ch: Channel,
+        out: &mut Vec<Delivery>,
+    ) -> Result<(), NocError> {
+        if let Some(inj) = self.faults.as_mut() {
+            inj.observe_outages(now, &mut self.outage_events);
+        }
+        out.clear();
+        self.messages_sent += 1;
+        let ser = self.serialization(bytes);
+        if self.trees[root.0].is_none() {
+            self.trees[root.0] = Some(multicast_tree(&self.torus, root).into_boxed_slice());
+        }
+        let edges = self.trees[root.0].take().expect("tree built above");
+        self.arrive.fill(Cycle::MAX);
+        self.arrive[root.0] = now;
+        // Nodes whose copy of the frame was destroyed (the subtree below
+        // a lossy edge): a dropped node keeps its parent's arrival time
+        // for tree-ordering purposes and is marked in the reusable
+        // scratch.
+        self.killed.fill(false);
+        let mut result = Ok(());
+        for e in edges.iter() {
+            let t0 = self.arrive[e.from.0];
+            if t0 == Cycle::MAX {
+                result = Err(NocError::MulticastTreeDisorder { root, from: e.from });
+                break;
+            }
+            if self.killed[e.from.0] {
+                // The frame never reached the parent; the whole subtree
+                // is dropped without touching any link.
+                self.killed[e.to.0] = true;
+                self.arrive[e.to.0] = t0;
+                out.push(Delivery {
+                    to: e.to,
+                    arrival: t0,
+                    hops: 0,
+                    fault: None,
+                    dropped: true,
+                });
+                continue;
+            }
+            self.link_traffic[e.link.0].messages += 1;
+            self.link_traffic[e.link.0].bytes += bytes;
+            let mut fault = None;
+            if let Some(inj) = self.faults.as_mut() {
+                if let Some(jit) = inj.jitter() {
+                    fault = Some(InjectedFault {
+                        kind: FaultKind::Jitter,
+                        delay: jit,
+                    });
+                }
+                if let Some(burst) = inj.congestion() {
+                    self.free_at[ch.index()][e.link.0] =
+                        self.free_at[ch.index()][e.link.0].max(t0) + burst;
+                    if fault.is_none() {
+                        fault = Some(InjectedFault {
+                            kind: FaultKind::Congestion,
+                            delay: burst,
+                        });
+                    }
+                }
+            }
+            let jitter = match fault {
+                Some(InjectedFault {
+                    kind: FaultKind::Jitter,
+                    delay,
+                }) => delay,
+                _ => 0,
+            };
+            let (depart, t) = if self.cfg.model_contention {
+                let depart = (t0 + jitter).max(self.free_at[ch.index()][e.link.0]);
+                self.free_at[ch.index()][e.link.0] = depart + ser;
+                (depart, depart + self.cfg.hop_cycles)
+            } else {
+                (t0 + jitter, t0 + jitter + self.cfg.hop_cycles)
+            };
+            let mut dropped = false;
+            if let Some(kill) = lossy_check(&mut self.faults, &mut self.link_drops, depart, e.link)
+            {
+                fault = Some(kill);
+                dropped = true;
+                self.killed[e.to.0] = true;
+            }
+            self.arrive[e.to.0] = t;
+            out.push(Delivery {
+                to: e.to,
+                arrival: t + ser,
+                hops: 1,
+                fault,
+                dropped,
+            });
+        }
+        self.trees[root.0] = Some(edges);
+        result
     }
 
     /// Replaces the cached multicast tree for `root` with an explicit

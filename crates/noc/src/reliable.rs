@@ -1,0 +1,1447 @@
+//! Reliable-delivery sublayer: exactly-once, in-order delivery over
+//! lossy links.
+//!
+//! The coherence protocols above the network assume every message sent
+//! is eventually delivered, exactly once, and that ring (`r`) messages
+//! between ring neighbours arrive in FIFO order — the Ordering invariant
+//! and the LTT construction both lean on this. When the fault model
+//! destroys frames in flight (probabilistic per-link drops, scheduled
+//! link outages), that assumption breaks *unless* something below the
+//! protocol restores it.
+//!
+//! [`ReliableTransport`] is that something: a per-flow ARQ sublayer
+//! sitting between the machine and the [`Network`] wire model.
+//!
+//! - A **flow** is a `(src, dst, channel)` triple ([`FlowKey`]). Each
+//!   flow numbers its frames with consecutive sequence numbers starting
+//!   at 0.
+//! - The sender keeps a bounded in-flight **window** per flow; frames
+//!   beyond the window queue behind it in send order, so a flow's wire
+//!   order always matches its send order.
+//! - Every in-flight frame sits in a **retransmit buffer** until a
+//!   cumulative ack covers it. A timeout on the oldest unacked frame
+//!   retransmits it with deterministic **exponential backoff** plus
+//!   seeded jitter (drawn from the transport's own [`DetRng`] fork, so
+//!   retransmission never perturbs any other random stream).
+//! - The receiver delivers in order: the expected sequence is handed up
+//!   immediately, later sequences park in a bounded reorder buffer,
+//!   earlier ones are duplicates and are discarded (re-acked). This is
+//!   what makes delivery **exactly-once and in-order** per flow — dupes
+//!   created by retransmission die here, below the protocol.
+//! - Acks are **cumulative** ("everything below `n` is received") and
+//!   ride piggybacked on reverse-direction data frames when reverse
+//!   traffic exists; otherwise a standalone ack goes out after an
+//!   ack-coalescing timeout. Acks themselves may be dropped: because
+//!   they are cumulative, any later ack (or a re-ack provoked by a
+//!   duplicate data frame) covers for a lost one.
+//! - After `max_retries` attempts a flow is marked **degraded**:
+//!   retransmission keeps going (the frame may still get through when an
+//!   outage window ends), but the machine stops counting those
+//!   retransmits as forward progress, so a permanently dead link still
+//!   trips the watchdog — with per-flow attribution in the stall report
+//!   instead of a silent hang.
+//!
+//! The transport is pure state machine: it never owns an event queue.
+//! Every call returns [`RelAction`]s telling the caller what to
+//! schedule ([`RelAction::Wire`], [`RelAction::Timer`],
+//! [`RelAction::AckTimer`]), what to hand up ([`RelAction::Deliver`]),
+//! and what to trace. That keeps the sublayer independently testable
+//! and keeps all event ordering in the caller's deterministic queue.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use ring_sim::{Cycle, DetRng};
+
+use crate::fault::{FaultKind, InjectedFault};
+use crate::network::{Channel, Network};
+use crate::topology::NodeId;
+
+/// Wire size of a standalone cumulative-ack frame, in bytes.
+pub const ACK_BYTES: u64 = 8;
+
+/// Configuration of the reliable-delivery sublayer.
+///
+/// Disabled by default ([`ReliabilityConfig::disabled`]); a disabled
+/// config makes the machine skip the sublayer entirely, so the send
+/// path, RNG draw sequence, and golden digests are byte-identical to a
+/// build without it.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReliabilityConfig {
+    /// Route protocol messages through the reliable transport.
+    pub enabled: bool,
+    /// Maximum unacked frames in flight per flow; further sends queue.
+    pub window: usize,
+    /// Retransmission timeout for the first attempt, in cycles.
+    pub base_rto: Cycle,
+    /// Ceiling on the exponentially backed-off timeout, in cycles.
+    pub max_rto: Cycle,
+    /// Uniform jitter in `[0, rto_jitter]` cycles added to each
+    /// retransmission deadline (decorrelates flows that died together).
+    pub rto_jitter: Cycle,
+    /// How long a receiver waits for reverse traffic to piggyback an
+    /// ack before sending a standalone one, in cycles.
+    pub ack_coalesce: Cycle,
+    /// Attempts after which a flow counts as degraded (no longer
+    /// watchdog progress). Zero means never degrade.
+    pub max_retries: u32,
+}
+
+impl ReliabilityConfig {
+    /// The sublayer switched off; field values are the same as
+    /// [`ReliabilityConfig::on`] so flipping `enabled` is enough.
+    pub fn disabled() -> Self {
+        ReliabilityConfig {
+            enabled: false,
+            ..Self::on()
+        }
+    }
+
+    /// The sublayer enabled with default tuning: window 64, base RTO
+    /// 512 cycles backing off to 4096, jitter 64, ack coalescing 64,
+    /// degradation after 64 attempts.
+    ///
+    /// The cap and retry budget are sized for the worst ring/torus
+    /// round trip, not a WAN: at 64 nodes an xy route is up to 8 links,
+    /// so at 20% per-link loss a data+ack round trip succeeds with only
+    /// ~3% probability and a flow legitimately needs tens of attempts.
+    /// A low cap (~10x the physical RTT) keeps those attempts frequent
+    /// enough that recovery completes well inside a forward-progress
+    /// watchdog window, and degradation stays what it means: a link
+    /// that is *dead*, not merely at the lossy end of spec.
+    pub fn on() -> Self {
+        ReliabilityConfig {
+            enabled: true,
+            window: 64,
+            base_rto: 512,
+            max_rto: 4_096,
+            rto_jitter: 64,
+            ack_coalesce: 64,
+            max_retries: 64,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// A disabled config is always valid (its fields are unused).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ReliabilityConfigError> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.window == 0 {
+            return Err(ReliabilityConfigError::ZeroWindow);
+        }
+        if self.base_rto == 0 {
+            return Err(ReliabilityConfigError::ZeroBaseRto);
+        }
+        if self.max_rto < self.base_rto {
+            return Err(ReliabilityConfigError::MaxRtoBelowBase);
+        }
+        if self.ack_coalesce == 0 {
+            return Err(ReliabilityConfigError::ZeroAckCoalesce);
+        }
+        Ok(())
+    }
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// A constraint violated by a [`ReliabilityConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReliabilityConfigError {
+    /// `window` must be at least 1 when the sublayer is enabled.
+    ZeroWindow,
+    /// `base_rto` must be at least 1 cycle.
+    ZeroBaseRto,
+    /// `max_rto` must be at least `base_rto`.
+    MaxRtoBelowBase,
+    /// `ack_coalesce` must be at least 1 cycle.
+    ZeroAckCoalesce,
+}
+
+impl std::fmt::Display for ReliabilityConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReliabilityConfigError::ZeroWindow => {
+                write!(f, "reliability window must be at least 1 frame")
+            }
+            ReliabilityConfigError::ZeroBaseRto => {
+                write!(f, "reliability base_rto must be at least 1 cycle")
+            }
+            ReliabilityConfigError::MaxRtoBelowBase => {
+                write!(f, "reliability max_rto must be >= base_rto")
+            }
+            ReliabilityConfigError::ZeroAckCoalesce => {
+                write!(f, "reliability ack_coalesce must be at least 1 cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReliabilityConfigError {}
+
+/// Identifies one direction of reliable traffic: `(src, dst, channel)`.
+///
+/// Sequence numbers, windows, and acks are all per-flow; two flows never
+/// interact, so per-flow FIFO is exactly the guarantee the ring layer
+/// needs and no global ordering is imposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct FlowKey {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Virtual channel the flow travels on.
+    pub channel: Channel,
+}
+
+impl FlowKey {
+    /// The opposite-direction flow on the same channel (where this
+    /// flow's acks piggyback).
+    pub fn reverse(self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            channel: self.channel,
+        }
+    }
+
+    /// Deterministic sort key for reports.
+    fn order(&self) -> (usize, usize, usize) {
+        (self.src.0, self.dst.0, self.channel.index())
+    }
+}
+
+impl std::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n{}->n{} ch{}",
+            self.src.0,
+            self.dst.0,
+            self.channel.index()
+        )
+    }
+}
+
+/// Handle to a frame travelling on the wire, carried inside the
+/// caller's in-flight event. Redeemed exactly once via
+/// [`ReliableTransport::on_wire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameId(pub u64);
+
+/// What a transport call asks the caller to do.
+///
+/// The transport never schedules anything itself; the caller owns the
+/// event queue and turns these into events (and trace records).
+#[derive(Debug, Clone)]
+pub enum RelAction<P> {
+    /// Hand `payload` up to the protocol layer at `to` — the exactly-
+    /// once, in-order delivery boundary.
+    Deliver {
+        /// Destination node (receiver of the flow).
+        to: NodeId,
+        /// Source node of the flow.
+        from: NodeId,
+        /// Channel the flow travels on.
+        channel: Channel,
+        /// Per-flow sequence number being delivered.
+        seq: u64,
+        /// The payload handed to the protocol.
+        payload: P,
+    },
+    /// Schedule [`ReliableTransport::on_wire`] for `frame` at `at`.
+    Wire {
+        /// Arrival cycle at the far end.
+        at: Cycle,
+        /// Frame to redeem on arrival.
+        frame: FrameId,
+    },
+    /// Schedule [`ReliableTransport::on_timer`] for `flow` at `at`.
+    Timer {
+        /// Cycle to fire at.
+        at: Cycle,
+        /// Flow whose retransmission deadline this guards.
+        flow: FlowKey,
+    },
+    /// Schedule [`ReliableTransport::on_ack_timer`] for `flow` at `at`.
+    AckTimer {
+        /// Cycle to fire at.
+        at: Cycle,
+        /// Flow whose coalesced ack this flushes.
+        flow: FlowKey,
+    },
+    /// A frame (data, retransmission, or ack) was put on the wire:
+    /// account `bytes` over `hops` links on `channel`.
+    Sent {
+        /// Channel the frame travelled on.
+        channel: Channel,
+        /// Wire size of the frame.
+        bytes: u64,
+        /// Links the frame crossed (0 for a self-send).
+        hops: u64,
+    },
+    /// The oldest unacked frame of `flow` timed out and was resent.
+    Retransmitted {
+        /// The flow being recovered.
+        flow: FlowKey,
+        /// Sequence number retransmitted.
+        seq: u64,
+        /// Attempt count including this one (first retransmit is 1).
+        attempt: u32,
+        /// Whether the flow has exceeded `max_retries` and no longer
+        /// counts as watchdog progress.
+        degraded: bool,
+    },
+    /// A lossy link destroyed a frame of `flow` in flight.
+    Dropped {
+        /// The flow whose frame died.
+        flow: FlowKey,
+        /// The injected fault that killed it.
+        fault: InjectedFault,
+    },
+}
+
+/// Counters kept by the transport (monotonic over a run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RelStats {
+    /// First transmissions of data frames.
+    pub data_frames: u64,
+    /// Timeout-driven retransmissions.
+    pub retransmits: u64,
+    /// Standalone ack frames sent (piggybacked acks are free).
+    pub acks_sent: u64,
+    /// Payloads handed up at the delivery boundary.
+    pub delivered: u64,
+    /// Received data frames below the expected sequence (retransmission
+    /// duplicates), discarded and re-acked.
+    pub dup_frames: u64,
+    /// Received data frames above the expected sequence, parked in the
+    /// reorder buffer.
+    pub out_of_order: u64,
+    /// Frames destroyed on the wire (data and acks).
+    pub wire_drops: u64,
+    /// Flows that crossed the `max_retries` degradation threshold.
+    pub degraded_flows: u64,
+}
+
+/// Per-flow state visible in a stall report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FlowSnapshot {
+    /// Sending node.
+    pub src: u32,
+    /// Receiving node.
+    pub dst: u32,
+    /// Channel index ([`Channel::index`]).
+    pub channel: u8,
+    /// Unacked frames in the retransmit buffer.
+    pub unacked: usize,
+    /// Frames queued behind the window.
+    pub queued: usize,
+    /// Sequence number of the oldest unacked frame.
+    pub oldest_seq: u64,
+    /// Retransmission attempts on the oldest unacked frame.
+    pub attempts: u32,
+    /// Whether the flow crossed the degradation threshold.
+    pub degraded: bool,
+}
+
+/// Deterministic summary of transport state for stall attribution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RelSnapshot {
+    /// Total unacked frames across all flows.
+    pub unacked_frames: usize,
+    /// Total frames queued behind windows.
+    pub queued_frames: usize,
+    /// Retransmissions so far.
+    pub retransmits: u64,
+    /// Flows currently past the degradation threshold.
+    pub degraded_flows: usize,
+    /// Flows with unacked traffic, worst (most attempts) first, ties
+    /// broken by `(src, dst, channel)`; capped at
+    /// [`RelSnapshot::MAX_FLOWS`].
+    pub worst_flows: Vec<FlowSnapshot>,
+}
+
+impl RelSnapshot {
+    /// Cap on `worst_flows` entries.
+    pub const MAX_FLOWS: usize = 8;
+}
+
+struct InFlight<P> {
+    seq: u64,
+    payload: P,
+    bytes: u64,
+    attempts: u32,
+    deadline: Cycle,
+}
+
+struct SendFlow<P> {
+    next_seq: u64,
+    inflight: VecDeque<InFlight<P>>,
+    queued: VecDeque<(u64, P, u64)>,
+    /// Earliest pending retransmission-timer event we know of.
+    timer_at: Option<Cycle>,
+    degraded: bool,
+}
+
+impl<P> Default for SendFlow<P> {
+    fn default() -> Self {
+        SendFlow {
+            next_seq: 0,
+            inflight: VecDeque::new(),
+            queued: VecDeque::new(),
+            timer_at: None,
+            degraded: false,
+        }
+    }
+}
+
+struct RecvFlow<P> {
+    expected: u64,
+    reorder: BTreeMap<u64, P>,
+    ack_pending: bool,
+    /// Earliest pending ack-timer event we know of.
+    ack_timer_at: Option<Cycle>,
+}
+
+impl<P> Default for RecvFlow<P> {
+    fn default() -> Self {
+        RecvFlow {
+            expected: 0,
+            reorder: BTreeMap::new(),
+            ack_pending: false,
+            ack_timer_at: None,
+        }
+    }
+}
+
+enum FrameKind<P> {
+    Data {
+        seq: u64,
+        payload: P,
+        /// Cumulative ack for the reverse flow, frozen at transmit time.
+        piggy: u64,
+    },
+    Ack {
+        cum: u64,
+    },
+}
+
+struct Frame<P> {
+    flow: FlowKey,
+    kind: FrameKind<P>,
+}
+
+/// The reliable transport: per-flow ARQ state plus its own RNG stream.
+///
+/// Generic over the payload `P` so the machine can carry its agent
+/// inputs and tests can carry plain integers.
+pub struct ReliableTransport<P> {
+    cfg: ReliabilityConfig,
+    rng: DetRng,
+    send_flows: HashMap<FlowKey, SendFlow<P>>,
+    recv_flows: HashMap<FlowKey, RecvFlow<P>>,
+    frames: HashMap<u64, Frame<P>>,
+    next_frame: u64,
+    stats: RelStats,
+}
+
+impl<P: Clone> ReliableTransport<P> {
+    /// Creates a transport with `cfg` (must be enabled and valid) and a
+    /// dedicated RNG stream derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is disabled or fails validation — the caller
+    /// gates construction on `cfg.enabled`.
+    pub fn new(cfg: ReliabilityConfig, seed: u64) -> Self {
+        assert!(cfg.enabled, "constructing a disabled reliable transport");
+        cfg.validate().expect("invalid reliability config");
+        ReliableTransport {
+            cfg,
+            rng: DetRng::seed(seed ^ 0xAC4D_BEEF_5EED_0001),
+            send_flows: HashMap::new(),
+            recv_flows: HashMap::new(),
+            frames: HashMap::new(),
+            next_frame: 0,
+            stats: RelStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ReliabilityConfig {
+        &self.cfg
+    }
+
+    /// Monotonic counters.
+    pub fn stats(&self) -> &RelStats {
+        &self.stats
+    }
+
+    /// True when no flow has unacked or queued frames — nothing left
+    /// that retransmission could still be recovering.
+    pub fn idle(&self) -> bool {
+        self.send_flows
+            .values()
+            .all(|sf| sf.inflight.is_empty() && sf.queued.is_empty())
+    }
+
+    /// Sends `payload` reliably from `from` to `to`. `extra_delay` is
+    /// added to the first transmission's arrival only (the machine uses
+    /// it to preserve reorder-fault draws); retransmissions ignore it.
+    #[allow(clippy::too_many_arguments)] // mirrors Network::unicast_lossy plus the action sink
+    pub fn send(
+        &mut self,
+        net: &mut Network,
+        now: Cycle,
+        from: NodeId,
+        to: NodeId,
+        channel: Channel,
+        bytes: u64,
+        extra_delay: Cycle,
+        payload: P,
+        out: &mut Vec<RelAction<P>>,
+    ) {
+        let flow = FlowKey {
+            src: from,
+            dst: to,
+            channel,
+        };
+        let sf = self.send_flows.entry(flow).or_default();
+        let seq = sf.next_seq;
+        sf.next_seq += 1;
+        // FIFO: if anything is already queued, this frame must queue
+        // behind it even if the window momentarily has room.
+        if !sf.queued.is_empty() || sf.inflight.len() >= self.cfg.window {
+            sf.queued.push_back((seq, payload, bytes));
+            return;
+        }
+        self.transmit_data(net, now, flow, seq, payload, bytes, extra_delay, out);
+    }
+
+    /// Sends `payload` reliably from `root` to every other node, using
+    /// the lossy multicast tree for the first copy of each destination's
+    /// frame. Each destination gets its own flow and sequence number;
+    /// recovery (retransmission) is per-destination unicast.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::NocError`] from the tree walk.
+    #[allow(clippy::too_many_arguments)] // mirrors Network::multicast_lossy_into plus the action sink
+    pub fn send_multicast(
+        &mut self,
+        net: &mut Network,
+        now: Cycle,
+        root: NodeId,
+        channel: Channel,
+        bytes: u64,
+        payload: P,
+        deliveries: &mut Vec<crate::network::Delivery>,
+        out: &mut Vec<RelAction<P>>,
+    ) -> Result<(), crate::network::NocError> {
+        net.multicast_lossy_into(now, root, bytes, channel, deliveries)?;
+        for d in deliveries.iter() {
+            let flow = FlowKey {
+                src: root,
+                dst: d.to,
+                channel,
+            };
+            let sf = self.send_flows.entry(flow).or_default();
+            let seq = sf.next_seq;
+            sf.next_seq += 1;
+            if !sf.queued.is_empty() || sf.inflight.len() >= self.cfg.window {
+                sf.queued.push_back((seq, payload.clone(), bytes));
+                continue;
+            }
+            // The wire crossing already happened inside the tree walk;
+            // register the in-flight frame and either redeem the
+            // arrival or let the timer recover the drop.
+            self.stats.data_frames += 1;
+            out.push(RelAction::Sent {
+                channel,
+                bytes,
+                hops: d.hops,
+            });
+            let deadline = now + self.cfg.base_rto;
+            if d.dropped {
+                self.stats.wire_drops += 1;
+                out.push(RelAction::Dropped {
+                    flow,
+                    fault: d.fault.unwrap_or(InjectedFault {
+                        kind: FaultKind::Drop,
+                        delay: 0,
+                    }),
+                });
+            } else {
+                let piggy = self.peek_piggy(flow.reverse());
+                let id = self.next_frame;
+                self.next_frame += 1;
+                self.frames.insert(
+                    id,
+                    Frame {
+                        flow,
+                        kind: FrameKind::Data {
+                            seq,
+                            payload: payload.clone(),
+                            piggy,
+                        },
+                    },
+                );
+                out.push(RelAction::Wire {
+                    at: d.arrival,
+                    frame: FrameId(id),
+                });
+            }
+            let sf = self.send_flows.get_mut(&flow).expect("flow created above");
+            sf.inflight.push_back(InFlight {
+                seq,
+                payload: payload.clone(),
+                bytes,
+                attempts: 0,
+                deadline,
+            });
+            arm_timer(sf, flow, deadline, now, out);
+        }
+        Ok(())
+    }
+
+    /// Redeems a wire arrival scheduled by a previous
+    /// [`RelAction::Wire`]. Unknown frame ids are ignored (they cannot
+    /// occur from a well-behaved caller, but a stale event is harmless).
+    pub fn on_wire(
+        &mut self,
+        net: &mut Network,
+        now: Cycle,
+        frame: FrameId,
+        out: &mut Vec<RelAction<P>>,
+    ) {
+        let Some(frame) = self.frames.remove(&frame.0) else {
+            return;
+        };
+        match frame.kind {
+            FrameKind::Ack { cum } => self.process_ack(net, now, frame.flow, cum, out),
+            FrameKind::Data {
+                seq,
+                payload,
+                piggy,
+            } => {
+                // The piggybacked ack covers the reverse flow, whose
+                // sender lives at this frame's destination.
+                self.process_ack(net, now, frame.flow.reverse(), piggy, out);
+                let flow = frame.flow;
+                let window = self.cfg.window;
+                let rf = self.recv_flows.entry(flow).or_default();
+                if seq < rf.expected {
+                    // Duplicate of something already delivered: our ack
+                    // was lost or is still in flight. Re-ack.
+                    self.stats.dup_frames += 1;
+                } else if seq == rf.expected {
+                    rf.expected += 1;
+                    self.stats.delivered += 1;
+                    out.push(RelAction::Deliver {
+                        to: flow.dst,
+                        from: flow.src,
+                        channel: flow.channel,
+                        seq,
+                        payload,
+                    });
+                    // Drain whatever the reorder buffer now unblocks.
+                    while let Some(p) = rf.reorder.remove(&rf.expected) {
+                        let s = rf.expected;
+                        rf.expected += 1;
+                        self.stats.delivered += 1;
+                        out.push(RelAction::Deliver {
+                            to: flow.dst,
+                            from: flow.src,
+                            channel: flow.channel,
+                            seq: s,
+                            payload: p,
+                        });
+                    }
+                } else {
+                    // Ahead of the expected sequence: an earlier frame
+                    // was dropped. Park it (bounded) and ack what we
+                    // have so the sender's cumulative view stays fresh.
+                    if rf.reorder.len() < window && !rf.reorder.contains_key(&seq) {
+                        rf.reorder.insert(seq, payload);
+                        self.stats.out_of_order += 1;
+                    }
+                }
+                let rf = self.recv_flows.get_mut(&flow).expect("entry above");
+                rf.ack_pending = true;
+                let at = now + self.cfg.ack_coalesce;
+                arm_ack_timer(rf, flow, at, now, out);
+            }
+        }
+    }
+
+    /// Fires a retransmission timer for `flow` (scheduled by a previous
+    /// [`RelAction::Timer`]). Retransmits the oldest unacked frame if
+    /// its deadline has passed, with exponential backoff and jitter on
+    /// the next deadline.
+    pub fn on_timer(
+        &mut self,
+        net: &mut Network,
+        now: Cycle,
+        flow: FlowKey,
+        out: &mut Vec<RelAction<P>>,
+    ) {
+        let Some(sf) = self.send_flows.get_mut(&flow) else {
+            return;
+        };
+        if sf.timer_at.is_some_and(|t| t <= now) {
+            sf.timer_at = None;
+        }
+        let Some(head) = sf.inflight.front_mut() else {
+            return;
+        };
+        if now >= head.deadline {
+            head.attempts += 1;
+            let attempt = head.attempts;
+            let backoff = backoff_rto(&self.cfg, attempt);
+            let jitter = if self.cfg.rto_jitter > 0 {
+                self.rng.below(self.cfg.rto_jitter + 1)
+            } else {
+                0
+            };
+            head.deadline = now + backoff + jitter;
+            let (seq, payload, bytes) = (head.seq, head.payload.clone(), head.bytes);
+            let newly_degraded =
+                self.cfg.max_retries > 0 && attempt >= self.cfg.max_retries && !sf.degraded;
+            if newly_degraded {
+                sf.degraded = true;
+                self.stats.degraded_flows += 1;
+            }
+            let degraded = sf.degraded;
+            self.stats.retransmits += 1;
+            out.push(RelAction::Retransmitted {
+                flow,
+                seq,
+                attempt,
+                degraded,
+            });
+            self.put_data_on_wire(net, now, flow, seq, payload, bytes, 0, out);
+        }
+        let sf = self.send_flows.get_mut(&flow).expect("checked above");
+        if let Some(head) = sf.inflight.front() {
+            let deadline = head.deadline;
+            arm_timer(sf, flow, deadline, now, out);
+        }
+    }
+
+    /// Fires an ack-coalescing timer for `flow` (scheduled by a
+    /// previous [`RelAction::AckTimer`]). Sends a standalone cumulative
+    /// ack if one is still owed (reverse data may have piggybacked it
+    /// away in the meantime).
+    pub fn on_ack_timer(
+        &mut self,
+        net: &mut Network,
+        now: Cycle,
+        flow: FlowKey,
+        out: &mut Vec<RelAction<P>>,
+    ) {
+        let Some(rf) = self.recv_flows.get_mut(&flow) else {
+            return;
+        };
+        if rf.ack_timer_at.is_some_and(|t| t <= now) {
+            rf.ack_timer_at = None;
+        }
+        if !rf.ack_pending {
+            return;
+        }
+        rf.ack_pending = false;
+        let cum = rf.expected;
+        // Acks travel the reverse direction of the flow they cover.
+        let d = net.unicast_lossy(now, flow.dst, flow.src, ACK_BYTES, flow.channel);
+        self.stats.acks_sent += 1;
+        out.push(RelAction::Sent {
+            channel: flow.channel,
+            bytes: ACK_BYTES,
+            hops: d.hops,
+        });
+        if d.dropped {
+            // Lost acks need no recovery: they are cumulative, and a
+            // duplicate data frame re-arms ack_pending at the receiver.
+            self.stats.wire_drops += 1;
+            out.push(RelAction::Dropped {
+                flow,
+                fault: d.fault.unwrap_or(InjectedFault {
+                    kind: FaultKind::Drop,
+                    delay: 0,
+                }),
+            });
+            return;
+        }
+        let id = self.next_frame;
+        self.next_frame += 1;
+        self.frames.insert(
+            id,
+            Frame {
+                flow,
+                kind: FrameKind::Ack { cum },
+            },
+        );
+        out.push(RelAction::Wire {
+            at: d.arrival,
+            frame: FrameId(id),
+        });
+    }
+
+    /// Deterministic summary of in-flight state for stall attribution.
+    pub fn snapshot(&self) -> RelSnapshot {
+        let mut flows: Vec<(FlowKey, FlowSnapshot)> = self
+            .send_flows
+            .iter()
+            .filter(|(_, sf)| !sf.inflight.is_empty() || !sf.queued.is_empty())
+            .map(|(k, sf)| {
+                let head = sf.inflight.front();
+                (
+                    *k,
+                    FlowSnapshot {
+                        src: k.src.0 as u32,
+                        dst: k.dst.0 as u32,
+                        channel: k.channel.index() as u8,
+                        unacked: sf.inflight.len(),
+                        queued: sf.queued.len(),
+                        oldest_seq: head.map_or(0, |h| h.seq),
+                        attempts: head.map_or(0, |h| h.attempts),
+                        degraded: sf.degraded,
+                    },
+                )
+            })
+            .collect();
+        flows.sort_by(|(ka, a), (kb, b)| {
+            b.attempts
+                .cmp(&a.attempts)
+                .then(ka.order().cmp(&kb.order()))
+        });
+        let unacked_frames = flows.iter().map(|(_, f)| f.unacked).sum();
+        let queued_frames = flows.iter().map(|(_, f)| f.queued).sum();
+        let degraded_flows = flows.iter().filter(|(_, f)| f.degraded).count();
+        flows.truncate(RelSnapshot::MAX_FLOWS);
+        RelSnapshot {
+            unacked_frames,
+            queued_frames,
+            retransmits: self.stats.retransmits,
+            degraded_flows,
+            worst_flows: flows.into_iter().map(|(_, f)| f).collect(),
+        }
+    }
+
+    /// Reads (and clears the pending flag of) the cumulative ack to
+    /// piggyback for `flow`, or 0 if we have never received on it.
+    fn peek_piggy(&mut self, flow: FlowKey) -> u64 {
+        match self.recv_flows.get_mut(&flow) {
+            Some(rf) => {
+                rf.ack_pending = false;
+                rf.expected
+            }
+            None => 0,
+        }
+    }
+
+    /// First transmission of a data frame: wire it, buffer it for
+    /// retransmission, arm the flow timer.
+    #[allow(clippy::too_many_arguments)]
+    fn transmit_data(
+        &mut self,
+        net: &mut Network,
+        now: Cycle,
+        flow: FlowKey,
+        seq: u64,
+        payload: P,
+        bytes: u64,
+        extra_delay: Cycle,
+        out: &mut Vec<RelAction<P>>,
+    ) {
+        self.stats.data_frames += 1;
+        self.put_data_on_wire(
+            net,
+            now,
+            flow,
+            seq,
+            payload.clone(),
+            bytes,
+            extra_delay,
+            out,
+        );
+        let deadline = now + self.cfg.base_rto;
+        let sf = self.send_flows.entry(flow).or_default();
+        sf.inflight.push_back(InFlight {
+            seq,
+            payload,
+            bytes,
+            attempts: 0,
+            deadline,
+        });
+        arm_timer(sf, flow, deadline, now, out);
+    }
+
+    /// Puts one copy of a data frame on the (lossy) wire. Shared by
+    /// first transmissions and retransmissions; the retransmit buffer is
+    /// untouched here.
+    #[allow(clippy::too_many_arguments)]
+    fn put_data_on_wire(
+        &mut self,
+        net: &mut Network,
+        now: Cycle,
+        flow: FlowKey,
+        seq: u64,
+        payload: P,
+        bytes: u64,
+        extra_delay: Cycle,
+        out: &mut Vec<RelAction<P>>,
+    ) {
+        let piggy = self.peek_piggy(flow.reverse());
+        let d = net.unicast_lossy(now, flow.src, flow.dst, bytes, flow.channel);
+        out.push(RelAction::Sent {
+            channel: flow.channel,
+            bytes,
+            hops: d.hops,
+        });
+        if d.dropped {
+            self.stats.wire_drops += 1;
+            out.push(RelAction::Dropped {
+                flow,
+                fault: d.fault.unwrap_or(InjectedFault {
+                    kind: FaultKind::Drop,
+                    delay: 0,
+                }),
+            });
+            return;
+        }
+        let id = self.next_frame;
+        self.next_frame += 1;
+        self.frames.insert(
+            id,
+            Frame {
+                flow,
+                kind: FrameKind::Data {
+                    seq,
+                    payload,
+                    piggy,
+                },
+            },
+        );
+        out.push(RelAction::Wire {
+            at: d.arrival + extra_delay,
+            frame: FrameId(id),
+        });
+    }
+
+    /// Applies a cumulative ack to `flow`'s sender state: frees acked
+    /// frames, promotes queued frames into the window, re-arms the
+    /// timer.
+    fn process_ack(
+        &mut self,
+        net: &mut Network,
+        now: Cycle,
+        flow: FlowKey,
+        cum: u64,
+        out: &mut Vec<RelAction<P>>,
+    ) {
+        let Some(sf) = self.send_flows.get_mut(&flow) else {
+            return;
+        };
+        let mut advanced = false;
+        while sf.inflight.front().is_some_and(|h| h.seq < cum) {
+            sf.inflight.pop_front();
+            advanced = true;
+        }
+        if advanced && sf.degraded {
+            // An ack got through: the path works again.
+            sf.degraded = false;
+        }
+        let mut promote = Vec::new();
+        while sf.inflight.len() + promote.len() < self.cfg.window {
+            match sf.queued.pop_front() {
+                Some(item) => promote.push(item),
+                None => break,
+            }
+        }
+        for (seq, payload, bytes) in promote {
+            self.transmit_data(net, now, flow, seq, payload, bytes, 0, out);
+        }
+        let sf = self.send_flows.get_mut(&flow).expect("flow exists");
+        if let Some(head) = sf.inflight.front() {
+            let deadline = head.deadline;
+            arm_timer(sf, flow, deadline, now, out);
+        }
+    }
+}
+
+/// Exponential backoff for retransmission `attempt` (1-based), capped
+/// at `max_rto`. Jitter is added by the caller.
+fn backoff_rto(cfg: &ReliabilityConfig, attempt: u32) -> Cycle {
+    let shift = attempt.min(14);
+    cfg.base_rto
+        .checked_shl(shift)
+        .unwrap_or(Cycle::MAX)
+        .min(cfg.max_rto)
+        .max(cfg.base_rto)
+}
+
+/// Arms (or confirms) a retransmission-timer event at `at`. `timer_at`
+/// tracks the earliest pending event; an event at or before `at` is
+/// already coming, so nothing new is scheduled then.
+fn arm_timer<P>(
+    sf: &mut SendFlow<P>,
+    flow: FlowKey,
+    at: Cycle,
+    now: Cycle,
+    out: &mut Vec<RelAction<P>>,
+) {
+    let at = at.max(now + 1);
+    if sf.timer_at.is_none_or(|t| at < t) {
+        sf.timer_at = Some(at);
+        out.push(RelAction::Timer { at, flow });
+    }
+}
+
+/// Arms (or confirms) an ack-timer event at `at`, same discipline as
+/// [`arm_timer`].
+fn arm_ack_timer<P>(
+    rf: &mut RecvFlow<P>,
+    flow: FlowKey,
+    at: Cycle,
+    now: Cycle,
+    out: &mut Vec<RelAction<P>>,
+) {
+    let at = at.max(now + 1);
+    if rf.ack_timer_at.is_none_or(|t| at < t) {
+        rf.ack_timer_at = Some(at);
+        out.push(RelAction::AckTimer { at, flow });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultProfile};
+    use crate::network::NetworkConfig;
+    use crate::topology::Torus;
+    use ring_sim::EventQueue;
+
+    fn lossy_net(nodes: usize, profile: FaultProfile, seed: u64) -> Network {
+        let side = (nodes as f64).sqrt() as usize;
+        let mut net = Network::new(Torus::new(side, side), NetworkConfig::default());
+        net.set_fault_plan(FaultPlan::new(profile, seed));
+        net
+    }
+
+    /// Drives a transport + network to quiescence through a real event
+    /// queue, returning every delivery in order of occurrence.
+    fn run_to_quiescence(
+        tp: &mut ReliableTransport<u64>,
+        net: &mut Network,
+        sends: &[(Cycle, NodeId, NodeId, u64)],
+        limit: Cycle,
+    ) -> Vec<(NodeId, NodeId, u64, u64)> {
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        enum Ev {
+            Send(NodeId, NodeId, u64),
+            Wire(FrameId),
+            Timer(FlowKey),
+            AckTimer(FlowKey),
+        }
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        for &(at, from, to, val) in sends {
+            q.schedule(at, Ev::Send(from, to, val));
+        }
+        let mut delivered = Vec::new();
+        let mut acts = Vec::new();
+        while let Some((now, ev)) = q.pop() {
+            assert!(now <= limit, "harness ran past cycle limit {limit}");
+            match ev {
+                Ev::Send(from, to, val) => {
+                    tp.send(net, now, from, to, Channel::Request, 8, 0, val, &mut acts)
+                }
+                Ev::Wire(f) => tp.on_wire(net, now, f, &mut acts),
+                Ev::Timer(fl) => tp.on_timer(net, now, fl, &mut acts),
+                Ev::AckTimer(fl) => tp.on_ack_timer(net, now, fl, &mut acts),
+            }
+            for a in acts.drain(..) {
+                match a {
+                    RelAction::Wire { at, frame } => q.schedule(at.max(now + 1), Ev::Wire(frame)),
+                    RelAction::Timer { at, flow } => q.schedule(at, Ev::Timer(flow)),
+                    RelAction::AckTimer { at, flow } => q.schedule(at, Ev::AckTimer(flow)),
+                    RelAction::Deliver {
+                        to,
+                        from,
+                        seq,
+                        payload,
+                        ..
+                    } => delivered.push((from, to, seq, payload)),
+                    RelAction::Sent { .. }
+                    | RelAction::Retransmitted { .. }
+                    | RelAction::Dropped { .. } => {}
+                }
+            }
+        }
+        assert!(
+            tp.idle(),
+            "transport still has unacked frames at quiescence"
+        );
+        delivered
+    }
+
+    #[test]
+    fn config_validation_catches_each_field() {
+        assert!(ReliabilityConfig::disabled().validate().is_ok());
+        assert!(ReliabilityConfig::on().validate().is_ok());
+        let bad = ReliabilityConfig {
+            window: 0,
+            ..ReliabilityConfig::on()
+        };
+        assert_eq!(bad.validate(), Err(ReliabilityConfigError::ZeroWindow));
+        let bad = ReliabilityConfig {
+            base_rto: 0,
+            ..ReliabilityConfig::on()
+        };
+        assert_eq!(bad.validate(), Err(ReliabilityConfigError::ZeroBaseRto));
+        let bad = ReliabilityConfig {
+            max_rto: 1,
+            base_rto: 2,
+            ..ReliabilityConfig::on()
+        };
+        assert_eq!(bad.validate(), Err(ReliabilityConfigError::MaxRtoBelowBase));
+        let bad = ReliabilityConfig {
+            ack_coalesce: 0,
+            ..ReliabilityConfig::on()
+        };
+        assert_eq!(bad.validate(), Err(ReliabilityConfigError::ZeroAckCoalesce));
+        // A disabled config never validates its fields.
+        let off = ReliabilityConfig {
+            enabled: false,
+            window: 0,
+            ..ReliabilityConfig::on()
+        };
+        assert!(off.validate().is_ok());
+    }
+
+    #[test]
+    fn lossless_flow_delivers_in_order_without_retransmits() {
+        let mut net = lossy_net(16, FaultProfile::drop_rate(0.0), 1);
+        let mut tp: ReliableTransport<u64> = ReliableTransport::new(ReliabilityConfig::on(), 1);
+        let sends: Vec<(Cycle, NodeId, NodeId, u64)> = (0..40)
+            .map(|i| (i * 3, NodeId(0), NodeId(5), 100 + i))
+            .collect();
+        let delivered = run_to_quiescence(&mut tp, &mut net, &sends, 1_000_000);
+        assert_eq!(delivered.len(), 40);
+        for (i, &(from, to, seq, val)) in delivered.iter().enumerate() {
+            assert_eq!(from, NodeId(0));
+            assert_eq!(to, NodeId(5));
+            assert_eq!(seq, i as u64);
+            assert_eq!(val, 100 + i as u64);
+        }
+        assert_eq!(tp.stats().retransmits, 0);
+        assert_eq!(tp.stats().dup_frames, 0);
+    }
+
+    #[test]
+    fn heavy_drop_still_delivers_exactly_once_in_order() {
+        let mut net = lossy_net(16, FaultProfile::drop_rate(0.4), 7);
+        let mut tp: ReliableTransport<u64> = ReliableTransport::new(ReliabilityConfig::on(), 7);
+        let mut sends = Vec::new();
+        for i in 0..60u64 {
+            sends.push((i * 10, NodeId(1), NodeId(14), i));
+            sends.push((i * 10 + 5, NodeId(14), NodeId(1), 1000 + i));
+        }
+        let delivered = run_to_quiescence(&mut tp, &mut net, &sends, 50_000_000);
+        let fwd: Vec<u64> = delivered
+            .iter()
+            .filter(|(f, _, _, _)| *f == NodeId(1))
+            .map(|&(_, _, _, v)| v)
+            .collect();
+        let rev: Vec<u64> = delivered
+            .iter()
+            .filter(|(f, _, _, _)| *f == NodeId(14))
+            .map(|&(_, _, _, v)| v)
+            .collect();
+        assert_eq!(fwd, (0..60).collect::<Vec<u64>>());
+        assert_eq!(rev, (1000..1060).collect::<Vec<u64>>());
+        assert!(tp.stats().retransmits > 0, "40% drop must retransmit");
+        assert!(tp.stats().wire_drops > 0);
+    }
+
+    #[test]
+    fn outage_window_is_survived() {
+        let profile = FaultProfile {
+            outage_period: 5_000,
+            outage_len: 2_000,
+            ..FaultProfile::none()
+        };
+        let mut net = lossy_net(16, profile, 3);
+        let mut tp: ReliableTransport<u64> = ReliableTransport::new(ReliabilityConfig::on(), 3);
+        // Spray traffic across several node pairs so some of it is
+        // guaranteed to cross whichever link the rota takes down.
+        let mut sends = Vec::new();
+        let mut k = 0u64;
+        for round in 0..50u64 {
+            for (a, b) in [(0usize, 15usize), (3, 12), (7, 8)] {
+                sends.push((round * 200, NodeId(a), NodeId(b), k));
+                k += 1;
+            }
+        }
+        let delivered = run_to_quiescence(&mut tp, &mut net, &sends, 50_000_000);
+        assert_eq!(delivered.len(), sends.len());
+        // Per-flow order: payloads were issued in increasing order per pair.
+        for (a, b) in [(0usize, 15usize), (3, 12), (7, 8)] {
+            let vals: Vec<u64> = delivered
+                .iter()
+                .filter(|(f, t, _, _)| *f == NodeId(a) && *t == NodeId(b))
+                .map(|&(_, _, _, v)| v)
+                .collect();
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            assert_eq!(vals, sorted, "flow n{a}->n{b} delivered out of order");
+        }
+    }
+
+    #[test]
+    fn window_preserves_fifo_under_queueing() {
+        let cfg = ReliabilityConfig {
+            window: 2,
+            ..ReliabilityConfig::on()
+        };
+        let mut net = lossy_net(16, FaultProfile::drop_rate(0.2), 11);
+        let mut tp: ReliableTransport<u64> = ReliableTransport::new(cfg, 11);
+        // Burst 30 sends in one cycle: 28 of them must queue.
+        let sends: Vec<(Cycle, NodeId, NodeId, u64)> =
+            (0..30).map(|i| (0, NodeId(2), NodeId(9), i)).collect();
+        let delivered = run_to_quiescence(&mut tp, &mut net, &sends, 50_000_000);
+        let vals: Vec<u64> = delivered.iter().map(|&(_, _, _, v)| v).collect();
+        assert_eq!(vals, (0..30).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn backoff_schedule_is_reproducible_across_equal_seeds() {
+        // Same seed => identical retransmission deadlines (the
+        // satellite-3 determinism guarantee); a different seed shifts
+        // the jittered schedule.
+        let timers = |seed: u64| -> Vec<Cycle> {
+            let mut net = lossy_net(16, FaultProfile::drop_rate(1.0), seed);
+            let mut tp: ReliableTransport<u64> =
+                ReliableTransport::new(ReliabilityConfig::on(), seed);
+            let mut acts = Vec::new();
+            tp.send(
+                &mut net,
+                0,
+                NodeId(0),
+                NodeId(5),
+                Channel::Request,
+                8,
+                0,
+                42,
+                &mut acts,
+            );
+            let mut out = Vec::new();
+            let mut next = acts
+                .iter()
+                .find_map(|a| match a {
+                    RelAction::Timer { at, flow } => Some((*at, *flow)),
+                    _ => None,
+                })
+                .expect("initial timer armed");
+            for _ in 0..10 {
+                acts.clear();
+                let (now, flow) = next;
+                tp.on_timer(&mut net, now, flow, &mut acts);
+                out.push(now);
+                next = acts
+                    .iter()
+                    .find_map(|a| match a {
+                        RelAction::Timer { at, flow } => Some((*at, *flow)),
+                        _ => None,
+                    })
+                    .expect("timer re-armed while frame unacked");
+            }
+            out
+        };
+        let a = timers(21);
+        let b = timers(21);
+        let c = timers(22);
+        assert_eq!(a, b, "same seed must reproduce the backoff schedule");
+        assert_ne!(a, c, "different seeds should jitter differently");
+        // Deadlines grow (backoff) and the gaps are capped by
+        // max_rto + jitter.
+        let cfg = ReliabilityConfig::on();
+        for w in a.windows(2) {
+            let gap = w[1] - w[0];
+            assert!(gap >= cfg.base_rto, "gap {gap} below base rto");
+            assert!(
+                gap <= cfg.max_rto + cfg.rto_jitter,
+                "gap {gap} above capped rto"
+            );
+        }
+        let late_gap = a[9] - a[8];
+        let early_gap = a[1] - a[0];
+        assert!(late_gap > early_gap, "backoff should grow the gaps");
+    }
+
+    #[test]
+    fn degraded_flow_recovers_on_ack() {
+        let cfg = ReliabilityConfig {
+            max_retries: 3,
+            ..ReliabilityConfig::on()
+        };
+        // 100% drop: the flow must degrade after 3 attempts.
+        let mut net = lossy_net(16, FaultProfile::drop_rate(1.0), 5);
+        let mut tp: ReliableTransport<u64> = ReliableTransport::new(cfg, 5);
+        let mut acts = Vec::new();
+        tp.send(
+            &mut net,
+            0,
+            NodeId(0),
+            NodeId(5),
+            Channel::Request,
+            8,
+            0,
+            7,
+            &mut acts,
+        );
+        let flow = FlowKey {
+            src: NodeId(0),
+            dst: NodeId(5),
+            channel: Channel::Request,
+        };
+        let mut now = 0;
+        let mut saw_degraded = false;
+        for _ in 0..5 {
+            now += 100_000; // far past any deadline
+            acts.clear();
+            tp.on_timer(&mut net, now, flow, &mut acts);
+            for a in &acts {
+                if let RelAction::Retransmitted { degraded, .. } = a {
+                    saw_degraded |= degraded;
+                }
+            }
+        }
+        assert!(saw_degraded, "flow should degrade after max_retries");
+        assert_eq!(tp.stats().degraded_flows, 1);
+        let snap = tp.snapshot();
+        assert_eq!(snap.degraded_flows, 1);
+        assert_eq!(snap.worst_flows.len(), 1);
+        assert!(snap.worst_flows[0].degraded);
+        // A cumulative ack revives the flow.
+        acts.clear();
+        tp.process_ack(&mut net, now, flow, 1, &mut acts);
+        assert!(tp.idle());
+        assert_eq!(tp.snapshot().degraded_flows, 0);
+    }
+
+    #[test]
+    fn snapshot_orders_flows_deterministically() {
+        let mut net = lossy_net(16, FaultProfile::drop_rate(1.0), 9);
+        let mut tp: ReliableTransport<u64> = ReliableTransport::new(ReliabilityConfig::on(), 9);
+        let mut acts = Vec::new();
+        for dst in [9usize, 3, 6] {
+            tp.send(
+                &mut net,
+                0,
+                NodeId(1),
+                NodeId(dst),
+                Channel::Request,
+                8,
+                0,
+                dst as u64,
+                &mut acts,
+            );
+        }
+        // Retransmit only the flow to n6 so it sorts first.
+        let flow6 = FlowKey {
+            src: NodeId(1),
+            dst: NodeId(6),
+            channel: Channel::Request,
+        };
+        acts.clear();
+        tp.on_timer(&mut net, 1_000_000, flow6, &mut acts);
+        let snap = tp.snapshot();
+        assert_eq!(snap.unacked_frames, 3);
+        assert_eq!(snap.worst_flows.len(), 3);
+        assert_eq!(snap.worst_flows[0].dst, 6, "most attempts sorts first");
+        assert_eq!(snap.worst_flows[1].dst, 3, "ties break by (src,dst,ch)");
+        assert_eq!(snap.worst_flows[2].dst, 9);
+        assert_eq!(snap.retransmits, 1);
+    }
+
+    #[test]
+    fn standalone_ack_flows_back_when_no_reverse_traffic() {
+        let mut net = lossy_net(16, FaultProfile::drop_rate(0.0), 13);
+        let mut tp: ReliableTransport<u64> = ReliableTransport::new(ReliabilityConfig::on(), 13);
+        let delivered = run_to_quiescence(
+            &mut tp,
+            &mut net,
+            &[(0, NodeId(0), NodeId(5), 1)],
+            1_000_000,
+        );
+        assert_eq!(delivered.len(), 1);
+        // One-way traffic: the ack cannot piggyback, so exactly one
+        // standalone ack was sent and the send window drained.
+        assert_eq!(tp.stats().acks_sent, 1);
+        assert_eq!(tp.stats().data_frames, 1);
+    }
+
+    #[test]
+    fn multicast_sets_up_per_destination_flows() {
+        let mut net = lossy_net(16, FaultProfile::drop_rate(0.15), 17);
+        let mut tp: ReliableTransport<u64> = ReliableTransport::new(ReliabilityConfig::on(), 17);
+
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        enum Ev {
+            Wire(FrameId),
+            Timer(FlowKey),
+            AckTimer(FlowKey),
+        }
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut acts = Vec::new();
+        let mut dels = Vec::new();
+        tp.send_multicast(
+            &mut net,
+            0,
+            NodeId(0),
+            Channel::Request,
+            8,
+            99,
+            &mut dels,
+            &mut acts,
+        )
+        .expect("tree walk succeeds");
+        let mut delivered = Vec::new();
+        loop {
+            for a in acts.drain(..) {
+                match a {
+                    RelAction::Wire { at, frame } => q.schedule(at.max(1), Ev::Wire(frame)),
+                    RelAction::Timer { at, flow } => q.schedule(at, Ev::Timer(flow)),
+                    RelAction::AckTimer { at, flow } => q.schedule(at, Ev::AckTimer(flow)),
+                    RelAction::Deliver { to, payload, .. } => delivered.push((to, payload)),
+                    _ => {}
+                }
+            }
+            match q.pop() {
+                Some((now, Ev::Wire(f))) => tp.on_wire(&mut net, now, f, &mut acts),
+                Some((now, Ev::Timer(fl))) => tp.on_timer(&mut net, now, fl, &mut acts),
+                Some((now, Ev::AckTimer(fl))) => tp.on_ack_timer(&mut net, now, fl, &mut acts),
+                None => break,
+            }
+        }
+        assert!(tp.idle());
+        assert_eq!(
+            delivered.len(),
+            15,
+            "every non-root node hears the multicast"
+        );
+        let mut nodes: Vec<usize> = delivered.iter().map(|(n, _)| n.0).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, (1..16).collect::<Vec<usize>>());
+        assert!(delivered.iter().all(|&(_, v)| v == 99));
+    }
+}

@@ -39,7 +39,7 @@ mod watchdog;
 
 pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
-pub use rng::DetRng;
+pub use rng::{splitmix64_mix, DetRng};
 pub use watchdog::Watchdog;
 
 /// Simulation time, in processor cycles (4 GHz in the paper's Table 3).

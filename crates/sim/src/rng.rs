@@ -28,6 +28,17 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One splitmix64 step as a pure, stateless 64-bit mixer.
+///
+/// For deterministic decisions that must *not* consume from any RNG
+/// stream — e.g. which link a scheduled outage window takes down, which
+/// is queried on every lossy wire crossing and would otherwise shift
+/// every later draw.
+pub fn splitmix64_mix(x: u64) -> u64 {
+    let mut s = x;
+    splitmix64(&mut s)
+}
+
 impl DetRng {
     /// The generator's internal state, for state digesting (the
     /// `ring-model` explorer hashes it so two protocol states that would

@@ -16,6 +16,16 @@ use crate::Cycle;
 ///
 /// A `threshold` of 0 disables the watchdog entirely.
 ///
+/// Progress comes in two flavors. *Protocol* progress
+/// ([`Watchdog::progress`]) is the real liveness signal: a transaction
+/// bound, completed, or a core advanced. *Network* progress
+/// ([`Watchdog::net_progress`]) covers the reliability sublayer —
+/// retransmissions and reliable deliveries on a lossy link are work, not
+/// livelock, so they hold the watchdog off even while the protocol is
+/// momentarily starved of deliveries. A genuine dead link eventually
+/// stops producing net progress too (its flows degrade after
+/// `max_retries`), so the watchdog still trips on permanent loss.
+///
 /// # Examples
 ///
 /// ```
@@ -31,6 +41,7 @@ use crate::Cycle;
 pub struct Watchdog {
     threshold: Cycle,
     last_progress: Cycle,
+    last_net_progress: Cycle,
 }
 
 impl Watchdog {
@@ -40,6 +51,7 @@ impl Watchdog {
         Self {
             threshold,
             last_progress: 0,
+            last_net_progress: 0,
         }
     }
 
@@ -50,10 +62,18 @@ impl Watchdog {
         self.last_progress = self.last_progress.max(now);
     }
 
+    /// Records reliability-layer activity (a retransmission or reliable
+    /// delivery) at cycle `now`. Keeps the watchdog from mistaking a
+    /// lossy-but-live link for a protocol livelock.
+    pub fn net_progress(&mut self, now: Cycle) {
+        self.last_net_progress = self.last_net_progress.max(now);
+    }
+
     /// Whether more than the threshold has elapsed since the last
-    /// progress milestone. Never trips when disabled.
+    /// progress milestone of either flavor. Never trips when disabled.
     pub fn expired(&self, now: Cycle) -> bool {
-        self.threshold > 0 && now > self.last_progress.saturating_add(self.threshold)
+        let latest = self.last_progress.max(self.last_net_progress);
+        self.threshold > 0 && now > latest.saturating_add(self.threshold)
     }
 
     /// The configured no-progress threshold (0 = disabled).
@@ -61,9 +81,15 @@ impl Watchdog {
         self.threshold
     }
 
-    /// The cycle of the most recent progress milestone.
+    /// The cycle of the most recent protocol-progress milestone.
     pub fn last_progress(&self) -> Cycle {
         self.last_progress
+    }
+
+    /// The cycle of the most recent reliability-layer milestone (0 if
+    /// the reliability sublayer never reported any activity).
+    pub fn last_net_progress(&self) -> Cycle {
+        self.last_net_progress
     }
 }
 
@@ -99,5 +125,29 @@ mod tests {
         let mut wd = Watchdog::new(Cycle::MAX);
         wd.progress(10);
         assert!(!wd.expired(Cycle::MAX));
+    }
+
+    #[test]
+    fn net_progress_holds_off_expiry() {
+        let mut wd = Watchdog::new(50);
+        wd.progress(100);
+        wd.net_progress(130);
+        assert!(!wd.expired(180), "retransmissions count as progress");
+        assert!(wd.expired(181));
+        assert_eq!(wd.last_progress(), 100);
+        assert_eq!(wd.last_net_progress(), 130);
+    }
+
+    #[test]
+    fn net_progress_alone_keeps_watchdog_alive() {
+        let mut wd = Watchdog::new(10);
+        for t in 0..100 {
+            wd.net_progress(t);
+        }
+        assert!(!wd.expired(105));
+        assert!(
+            wd.expired(200),
+            "degraded flows stop reporting, so it trips"
+        );
     }
 }

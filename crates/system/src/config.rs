@@ -5,7 +5,7 @@ use std::fmt;
 use ring_cache::CacheConfig;
 use ring_coherence::{ConfigError, ProtocolConfig, ProtocolKind};
 use ring_mem::MemConfig;
-use ring_noc::{FaultPlan, NetworkConfig};
+use ring_noc::{FaultPlan, NetworkConfig, ReliabilityConfig, ReliabilityConfigError};
 use ring_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +33,12 @@ pub enum MachineConfigError {
     ZeroMemRoundTrip,
     /// `core_slice == 0`: cores could never execute between events.
     ZeroCoreSlice,
+    /// The reliability sublayer configuration is invalid.
+    Reliability(ReliabilityConfigError),
+    /// The fault plan destroys frames (drops or outages) but the
+    /// reliability sublayer is disabled — messages would vanish and the
+    /// protocol would stall or corrupt.
+    LossyFaultsNeedReliability,
 }
 
 impl fmt::Display for MachineConfigError {
@@ -53,6 +59,12 @@ impl fmt::Display for MachineConfigError {
             ),
             MachineConfigError::ZeroMemRoundTrip => write!(f, "mem.round_trip must be >= 1"),
             MachineConfigError::ZeroCoreSlice => write!(f, "core_slice must be >= 1"),
+            MachineConfigError::Reliability(e) => write!(f, "reliability config: {e}"),
+            MachineConfigError::LossyFaultsNeedReliability => write!(
+                f,
+                "fault profile destroys frames (drop/outage) but reliability is \
+                 disabled; enable MachineConfig::reliability or use a lossless profile"
+            ),
         }
     }
 }
@@ -110,6 +122,12 @@ pub struct MachineConfig {
     /// Forward-progress watchdog: abort with a stall report when this
     /// many cycles pass without any node making progress (0 = disabled).
     pub watchdog_cycles: Cycle,
+    /// Reliable-delivery sublayer (ack/retransmit over lossy links).
+    /// Disabled by default; required whenever `faults` destroys frames
+    /// ([`ring_noc::FaultProfile::needs_reliability`]). When disabled
+    /// the machine skips the sublayer entirely, leaving timing and RNG
+    /// draw sequences byte-identical to builds without it.
+    pub reliability: ReliabilityConfig,
 }
 
 impl MachineConfig {
@@ -144,6 +162,7 @@ impl MachineConfig {
             trace_lines: Vec::new(),
             faults: None,
             watchdog_cycles: 0,
+            reliability: ReliabilityConfig::disabled(),
         }
     }
 
@@ -189,6 +208,14 @@ impl MachineConfig {
         }
         if self.core_slice == 0 {
             return Err(MachineConfigError::ZeroCoreSlice);
+        }
+        self.reliability
+            .validate()
+            .map_err(MachineConfigError::Reliability)?;
+        if let Some(plan) = &self.faults {
+            if plan.profile.needs_reliability() && !self.reliability.enabled {
+                return Err(MachineConfigError::LossyFaultsNeedReliability);
+            }
         }
         Ok(())
     }
@@ -256,5 +283,42 @@ mod tests {
         let mut c = base();
         c.protocol.retry_backoff = 0;
         assert!(matches!(c.validate(), Err(MachineConfigError::Protocol(_))));
+    }
+
+    #[test]
+    fn lossy_fault_plan_requires_reliability() {
+        use ring_noc::{FaultPlan, FaultProfile};
+        let mut c = MachineConfig::paper(ProtocolKind::Uncorq);
+        c.faults = Some(FaultPlan::new(FaultProfile::drop_rate(0.05), 1));
+        assert_eq!(
+            c.validate(),
+            Err(MachineConfigError::LossyFaultsNeedReliability)
+        );
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("reliability"));
+        c.reliability = ReliabilityConfig::on();
+        c.validate().unwrap();
+        // Lossless chaos stays legal without the sublayer.
+        let mut c = MachineConfig::paper(ProtocolKind::Uncorq);
+        c.faults = Some(FaultPlan::new(FaultProfile::chaos(), 1));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_reliability_config_is_rejected_with_typed_error() {
+        let mut c = MachineConfig::paper(ProtocolKind::Uncorq);
+        c.reliability = ReliabilityConfig {
+            window: 0,
+            ..ReliabilityConfig::on()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(MachineConfigError::Reliability(
+                ReliabilityConfigError::ZeroWindow
+            ))
+        );
     }
 }

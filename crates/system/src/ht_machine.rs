@@ -67,6 +67,16 @@ impl HtMachine {
     ) -> Self {
         let nodes = cfg.nodes();
         assert_eq!(streams.len(), nodes, "one op stream per node required");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid machine config: {e}");
+        }
+        // The HT baseline models neither fault injection nor the
+        // reliability sublayer; a config asking for recovery machinery
+        // would silently measure nothing, so refuse it loudly.
+        assert!(
+            !cfg.reliability.enabled,
+            "HtMachine does not model the reliability sublayer; disable it for the HT baseline"
+        );
         let torus = Torus::new(cfg.width, cfg.height);
         let net = Network::new(torus, cfg.net);
         let mut cores = Vec::with_capacity(nodes);

@@ -5,7 +5,8 @@ use ring_coherence::{AgentInput, Effect, ProtocolKind, RingAgent, TxnId, TxnKind
 use ring_cpu::{Core, L2View, NextStep};
 use ring_mem::{ControllerPrefetchPredictor, MemoryController, PrefetchBuffer};
 use ring_noc::{
-    Channel, Delivery, FaultKind, InjectedFault, Network, NodeId, RingEmbedding, Torus,
+    Channel, Delivery, DeliveryClass, FaultKind, FlowKey, FrameId, InjectedFault, Network, NodeId,
+    OutageEvent, RelAction, ReliableTransport, RingEmbedding, Torus,
 };
 use ring_sim::{Cycle, DetRng, EventQueue, FxHashMap, Watchdog};
 use ring_trace::{
@@ -15,7 +16,7 @@ use ring_trace::{
 use ring_workloads::{AppProfile, WorkloadGen};
 
 use crate::config::MachineConfig;
-use crate::stall::{NodeStallState, StallCause, StallReport};
+use crate::stall::{NodeStallState, ReliabilityStall, StallCause, StallReport};
 use crate::stats::{MachineStats, Report};
 
 /// Maps a protocol transaction kind onto the trace-layer operation
@@ -35,6 +36,25 @@ fn fault_class(kind: FaultKind) -> FaultClass {
         FaultKind::Reorder => FaultClass::Reorder,
         FaultKind::Duplicate => FaultClass::Duplicate,
         FaultKind::Congestion => FaultClass::Congestion,
+        FaultKind::Drop => FaultClass::Drop,
+        FaultKind::Outage => FaultClass::Outage,
+    }
+}
+
+/// Transaction and line identity carried inside a reliably delivered
+/// protocol input, for trace attribution at the delivery boundary.
+fn input_ids(input: &AgentInput) -> (TxnId, u64) {
+    match input {
+        AgentInput::RingArrival(msg) => (msg.txn(), msg.line().raw()),
+        AgentInput::DirectRequest(req) => (req.txn, req.line.raw()),
+        AgentInput::Supplier(msg) => (msg.txn, msg.line.raw()),
+        _ => (
+            TxnId {
+                node: NodeId(0),
+                serial: 0,
+            },
+            0,
+        ),
     }
 }
 
@@ -60,6 +80,12 @@ enum Ev {
     Agent(usize, AgentInput),
     /// A demand memory fetch completed for a node.
     MemDone(usize, LineAddr),
+    /// A reliable-transport frame arrives at the far end of its route.
+    RelWire(FrameId),
+    /// A retransmission deadline check for one flow.
+    RelTimer(FlowKey),
+    /// An ack-coalescing deadline for one flow.
+    RelAck(FlowKey),
 }
 
 /// A 64-node (configurable) CMP running one of the embedded-ring
@@ -105,6 +131,15 @@ pub struct Machine {
     watchdog: Watchdog,
     /// Last [`RECENT_EVENTS`] trace events, for stall reports.
     recent: std::collections::VecDeque<TraceEvent>,
+    /// Reliable-delivery sublayer (`None` when disabled — the send
+    /// paths then run the exact pre-reliability code, so timing and RNG
+    /// draw sequences are untouched).
+    rel: Option<ReliableTransport<AgentInput>>,
+    /// Reusable action buffer for reliable-transport calls.
+    rel_buf: Vec<RelAction<AgentInput>>,
+    /// Reusable buffer for link outage transitions observed by the
+    /// network.
+    outage_buf: Vec<OutageEvent>,
 }
 
 impl Machine {
@@ -192,7 +227,12 @@ impl Machine {
             }
         }
         let watchdog = Watchdog::new(cfg.watchdog_cycles);
+        let rel = cfg
+            .reliability
+            .enabled
+            .then(|| ReliableTransport::new(cfg.reliability, cfg.seed ^ 0x0AC4));
         Machine {
+            rel,
             mem: MemoryController::new(cfg.mem),
             cpp,
             cfg,
@@ -213,6 +253,8 @@ impl Machine {
             trace_enabled,
             watchdog,
             recent: std::collections::VecDeque::new(),
+            rel_buf: Vec::new(),
+            outage_buf: Vec::new(),
         }
     }
 
@@ -287,12 +329,26 @@ impl Machine {
                     self.resume(t, n);
                     continue;
                 }
+                Ev::RelWire(frame) => {
+                    self.rel_event(t, |rel, net, acts| rel.on_wire(net, t, frame, acts));
+                    continue;
+                }
+                Ev::RelTimer(flow) => {
+                    self.rel_event(t, |rel, net, acts| rel.on_timer(net, t, flow, acts));
+                    continue;
+                }
+                Ev::RelAck(flow) => {
+                    self.rel_event(t, |rel, net, acts| rel.on_ack_timer(net, t, flow, acts));
+                    continue;
+                }
                 Ev::Agent(_, input) => input,
                 Ev::MemDone(_, line) => AgentInput::MemData { line },
             };
             let n = match ev {
                 Ev::Agent(n, _) | Ev::MemDone(n, _) => n,
-                Ev::Resume(_) => unreachable!("handled above"),
+                Ev::Resume(_) | Ev::RelWire(_) | Ev::RelTimer(_) | Ev::RelAck(_) => {
+                    unreachable!("handled above")
+                }
             };
             // Reuse one effect buffer across all events; `apply_effects`
             // drains it and never re-enters `handle`, so taking the
@@ -338,11 +394,29 @@ impl Machine {
                 starving_on: a.starving_line().map(|l| l.raw()),
             })
             .collect();
+        let reliability = self.rel.as_ref().map(|rel| {
+            let fs = self.net.fault_stats();
+            ReliabilityStall {
+                transport: rel.snapshot(),
+                drops: fs.drops,
+                outage_drops: fs.outage_drops,
+                link_drops: self
+                    .net
+                    .link_drops()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &d)| d > 0)
+                    .map(|(l, &d)| (l as u32, d))
+                    .collect(),
+            }
+        });
         StallReport {
             cause,
             detected_at: now,
             last_progress: self.watchdog.last_progress(),
+            last_net_progress: self.watchdog.last_net_progress(),
             threshold: self.watchdog.threshold(),
+            reliability,
             unfinished_nodes: self
                 .finish_time
                 .iter()
@@ -401,6 +475,168 @@ impl Machine {
                 delay: fault.delay,
             },
         });
+    }
+
+    /// Runs one reliable-transport callback with the transport
+    /// temporarily moved out of `self` (it needs `&mut Network` at the
+    /// same time), then applies the resulting actions.
+    fn rel_event(
+        &mut self,
+        t: Cycle,
+        f: impl FnOnce(
+            &mut ReliableTransport<AgentInput>,
+            &mut Network,
+            &mut Vec<RelAction<AgentInput>>,
+        ),
+    ) {
+        let Some(mut rel) = self.rel.take() else {
+            return;
+        };
+        let mut acts = std::mem::take(&mut self.rel_buf);
+        acts.clear();
+        f(&mut rel, &mut self.net, &mut acts);
+        self.rel = Some(rel);
+        self.process_rel_actions(t, &mut acts);
+        self.rel_buf = acts;
+    }
+
+    /// Applies the actions a reliable-transport call produced:
+    /// schedules wire/timer events, hands payloads to agents at the
+    /// exactly-once boundary, accounts traffic, traces recovery, and
+    /// feeds the watchdog's reliability-progress channel.
+    fn process_rel_actions(&mut self, t: Cycle, acts: &mut Vec<RelAction<AgentInput>>) {
+        self.drain_outages(t);
+        for a in acts.drain(..) {
+            match a {
+                RelAction::Deliver {
+                    to,
+                    from,
+                    channel,
+                    seq,
+                    payload,
+                } => {
+                    self.watchdog.net_progress(t);
+                    if self.trace_enabled {
+                        let (txn, line) = input_ids(&payload);
+                        self.emit(TraceEvent {
+                            cycle: t,
+                            node: to.0 as u32,
+                            txn_node: txn.node.0 as u32,
+                            txn_serial: txn.serial,
+                            line,
+                            kind: TraceKind::ReliableDeliver {
+                                from: from.0 as u32,
+                                channel: channel.index() as u8,
+                                seq,
+                            },
+                        });
+                    }
+                    self.queue.schedule(t, Ev::Agent(to.0, payload));
+                }
+                RelAction::Wire { at, frame } => self.queue.schedule(at, Ev::RelWire(frame)),
+                RelAction::Timer { at, flow } => self.queue.schedule(at, Ev::RelTimer(flow)),
+                RelAction::AckTimer { at, flow } => self.queue.schedule(at, Ev::RelAck(flow)),
+                RelAction::Sent {
+                    channel,
+                    bytes,
+                    hops,
+                } => {
+                    if channel == Channel::Data {
+                        self.stats.traffic.add_data(bytes, hops);
+                    } else {
+                        self.stats.traffic.add_control(bytes, hops);
+                    }
+                }
+                RelAction::Retransmitted {
+                    flow,
+                    seq,
+                    attempt,
+                    degraded,
+                } => {
+                    // Retransmission is the sublayer fighting loss — it
+                    // holds the watchdog off *until* the flow degrades;
+                    // a permanently dead path then still trips it, with
+                    // attribution.
+                    if !degraded {
+                        self.watchdog.net_progress(t);
+                    }
+                    if self.trace_enabled {
+                        self.emit(TraceEvent {
+                            cycle: t,
+                            node: flow.src.0 as u32,
+                            txn_node: flow.src.0 as u32,
+                            txn_serial: 0,
+                            line: 0,
+                            kind: TraceKind::Retransmit {
+                                to: flow.dst.0 as u32,
+                                channel: flow.channel.index() as u8,
+                                seq,
+                                attempt,
+                            },
+                        });
+                    }
+                }
+                RelAction::Dropped { flow, fault } => {
+                    if self.trace_enabled {
+                        self.emit(TraceEvent {
+                            cycle: t,
+                            node: flow.src.0 as u32,
+                            txn_node: flow.src.0 as u32,
+                            txn_serial: 0,
+                            line: 0,
+                            kind: TraceKind::FaultInjected {
+                                fault: fault_class(fault.kind),
+                                delay: fault.delay,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Surfaces link outage transitions the network observed since the
+    /// last reliable-transport call as `LinkDown`/`LinkUp` trace events.
+    fn drain_outages(&mut self, t: Cycle) {
+        let mut buf = std::mem::take(&mut self.outage_buf);
+        self.net.take_outage_events(&mut buf);
+        if self.trace_enabled {
+            for oe in buf.drain(..) {
+                let kind = if oe.down {
+                    TraceKind::LinkDown {
+                        link: oe.link.0 as u32,
+                        up_at: oe.up_at,
+                    }
+                } else {
+                    TraceKind::LinkUp {
+                        link: oe.link.0 as u32,
+                    }
+                };
+                self.emit(TraceEvent {
+                    cycle: t,
+                    node: 0,
+                    txn_node: 0,
+                    txn_serial: 0,
+                    line: 0,
+                    kind,
+                });
+            }
+        } else {
+            buf.clear();
+        }
+        self.outage_buf = buf;
+    }
+
+    /// Reliable-transport counters (`None` when the sublayer is
+    /// disabled).
+    pub fn reliability_stats(&self) -> Option<&ring_noc::RelStats> {
+        self.rel.as_ref().map(|r| r.stats())
+    }
+
+    /// Whether the reliable transport has fully drained (no unacked or
+    /// queued frames). Trivially true when the sublayer is disabled.
+    pub fn reliability_idle(&self) -> bool {
+        self.rel.as_ref().is_none_or(|r| r.idle())
     }
 
     /// Builds the report for the run so far without consuming the
@@ -637,17 +873,37 @@ impl Machine {
                         ring_coherence::RingMsg::Request(_) => Channel::Request,
                         ring_coherence::RingMsg::Response(_) => Channel::Response,
                     };
-                    let d = self.net.unicast(t + delay, from, succ, msg.bytes(), ch);
-                    // Ring messages are only ever perturbed inside the
-                    // network model (jitter/congestion through the link
-                    // occupancy chain, which preserves per-link FIFO);
-                    // they are never reordered or duplicated here.
-                    if let Some(fault) = d.fault {
-                        self.emit_fault(t, n, msg.txn(), msg.line().raw(), fault);
+                    if self.rel.is_some() {
+                        // Ring FIFO survives loss because the flow
+                        // (from, succ, ch) delivers strictly in
+                        // sequence order at the far end.
+                        let bytes = msg.bytes();
+                        self.rel_event(t, |rel, net, acts| {
+                            rel.send(
+                                net,
+                                t + delay,
+                                from,
+                                succ,
+                                ch,
+                                bytes,
+                                0,
+                                AgentInput::RingArrival(msg),
+                                acts,
+                            );
+                        });
+                    } else {
+                        let d = self.net.unicast(t + delay, from, succ, msg.bytes(), ch);
+                        // Ring messages are only ever perturbed inside the
+                        // network model (jitter/congestion through the link
+                        // occupancy chain, which preserves per-link FIFO);
+                        // they are never reordered or duplicated here.
+                        if let Some(fault) = d.fault {
+                            self.emit_fault(t, n, msg.txn(), msg.line().raw(), fault);
+                        }
+                        self.stats.traffic.add_control(msg.bytes(), d.hops);
+                        self.queue
+                            .schedule(d.arrival, Ev::Agent(succ.0, AgentInput::RingArrival(msg)));
                     }
-                    self.stats.traffic.add_control(msg.bytes(), d.hops);
-                    self.queue
-                        .schedule(d.arrival, Ev::Agent(succ.0, AgentInput::RingArrival(msg)));
                 }
                 Effect::MulticastRequest(req) => {
                     if self.trace_enabled {
@@ -670,6 +926,41 @@ impl Machine {
                             ..AnatomyMark::default()
                         },
                     );
+                    if self.rel.is_some() {
+                        let mut ds = std::mem::take(&mut self.mc_buf);
+                        let root = self.node(n);
+                        let mut tree_err = None;
+                        self.rel_event(t, |rel, net, acts| {
+                            if let Err(e) = rel.send_multicast(
+                                net,
+                                t,
+                                root,
+                                Channel::Request,
+                                CONTROL_BYTES,
+                                AgentInput::DirectRequest(req),
+                                &mut ds,
+                                acts,
+                            ) {
+                                tree_err = Some(e);
+                            }
+                        });
+                        ds.clear();
+                        self.mc_buf = ds;
+                        if let Some(noc_err) = tree_err {
+                            eprintln!("multicast from node {n} at cycle {t} failed: {noc_err}");
+                            self.emit(TraceEvent {
+                                cycle: t,
+                                node: n as u32,
+                                txn_node: req.txn.node.0 as u32,
+                                txn_serial: req.txn.serial,
+                                line: req.line.raw(),
+                                kind: TraceKind::ProtocolError {
+                                    error: ErrorClass::MulticastTreeDisorder,
+                                },
+                            });
+                        }
+                        continue;
+                    }
                     let mut ds = std::mem::take(&mut self.mc_buf);
                     match self.net.multicast_into(
                         t,
@@ -744,6 +1035,24 @@ impl Machine {
                     } else {
                         Channel::Response
                     };
+                    if self.rel.is_some() {
+                        let from = self.node(n);
+                        let bytes = msg.bytes();
+                        self.rel_event(t, |rel, net, acts| {
+                            rel.send(
+                                net,
+                                t,
+                                from,
+                                to,
+                                ch,
+                                bytes,
+                                0,
+                                AgentInput::Supplier(msg),
+                                acts,
+                            );
+                        });
+                        continue;
+                    }
                     let d = self.net.unicast(t, self.node(n), to, msg.bytes(), ch);
                     if msg.with_data {
                         self.stats.traffic.add_data(msg.bytes(), d.hops);
@@ -773,7 +1082,10 @@ impl Machine {
                             },
                         );
                     }
-                    let duplicate = self.net.faults_mut().and_then(|fi| fi.duplicate());
+                    let duplicate = self
+                        .net
+                        .faults_mut()
+                        .and_then(|fi| fi.duplicate(DeliveryClass::Direct));
                     if let Some(extra) = duplicate {
                         self.emit_fault(
                             t,
@@ -906,7 +1218,10 @@ impl Machine {
     /// handling is idempotent (data for a line with no waiting
     /// transaction is dropped).
     fn schedule_mem_done(&mut self, t: Cycle, n: usize, line: LineAddr, at: Cycle) {
-        let duplicate = self.net.faults_mut().and_then(|fi| fi.duplicate());
+        let duplicate = self
+            .net
+            .faults_mut()
+            .and_then(|fi| fi.duplicate(DeliveryClass::Direct));
         if let Some(extra) = duplicate {
             let txn = TxnId {
                 node: NodeId(n),
@@ -1110,6 +1425,105 @@ mod tests {
             (r.exec_cycles, r.stats.traffic, m.fault_stats())
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    fn lossy_cfg(kind: ProtocolKind, profile: ring_noc::FaultProfile, seed: u64) -> MachineConfig {
+        let mut cfg = chaos_cfg(kind, profile, seed);
+        cfg.reliability = ring_noc::ReliabilityConfig::on();
+        cfg
+    }
+
+    #[test]
+    fn heavy_drop_rate_runs_to_completion_on_all_protocols() {
+        for kind in ProtocolKind::ALL {
+            let cfg = lossy_cfg(kind, ring_noc::FaultProfile::drop_rate(0.20), 42);
+            let mut m = Machine::new(cfg, &tiny_profile());
+            match m.try_run() {
+                Ok(r) => assert!(r.finished, "{kind} not finished at 20% drop"),
+                Err(stall) => panic!("{kind} stalled at 20% drop:\n{stall}"),
+            }
+            let rs = m.reliability_stats().expect("sublayer on");
+            assert!(rs.wire_drops > 0, "{kind}: nothing was ever dropped");
+            assert!(rs.retransmits > 0, "{kind}: drops but no retransmits");
+            assert!(
+                m.reliability_idle(),
+                "{kind}: unacked frames left after completion"
+            );
+            for a in m.agents() {
+                assert_eq!(a.stats().protocol_errors, 0, "{kind}: protocol errors");
+            }
+        }
+    }
+
+    #[test]
+    fn outage_windows_run_to_completion() {
+        let cfg = lossy_cfg(ProtocolKind::Uncorq, ring_noc::FaultProfile::outage(), 11);
+        let mut m = Machine::new(cfg, &tiny_profile());
+        match m.try_run() {
+            Ok(r) => assert!(r.finished),
+            Err(stall) => panic!("stalled under outages:\n{stall}"),
+        }
+        assert!(m.fault_stats().outage_drops > 0, "no outage ever bit");
+    }
+
+    #[test]
+    fn lossy_runs_are_deterministic() {
+        let run_once = || {
+            let cfg = lossy_cfg(
+                ProtocolKind::Uncorq,
+                ring_noc::FaultProfile::lossy_chaos(),
+                9,
+            );
+            let mut m = Machine::new(cfg, &tiny_profile());
+            let r = m.try_run().expect("no stall");
+            (
+                r.exec_cycles,
+                r.stats.traffic,
+                m.fault_stats(),
+                *m.reliability_stats().expect("sublayer on"),
+            )
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn reliable_delivery_passes_the_exactly_once_checker() {
+        use ring_trace::{InvariantChecker, SharedBufferSink};
+        let cfg = lossy_cfg(
+            ProtocolKind::Uncorq,
+            ring_noc::FaultProfile::drop_rate(0.2),
+            5,
+        );
+        let mut m = Machine::new(cfg, &tiny_profile());
+        let sink = SharedBufferSink::new();
+        m.set_trace_sink(Box::new(sink.clone()));
+        m.try_run().expect("no stall");
+        let mut checker = InvariantChecker::new();
+        for ev in sink.snapshot() {
+            checker.observe(&ev);
+        }
+        checker.finish();
+        assert_eq!(
+            checker.violations(),
+            &[] as &[String],
+            "invariant violations under 20% drop"
+        );
+        assert!(
+            checker.reliable_deliveries() > 0,
+            "no reliable deliveries traced"
+        );
+        assert!(checker.retransmits() > 0, "no retransmits traced");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine config")]
+    fn lossy_faults_without_reliability_are_rejected() {
+        let cfg = chaos_cfg(
+            ProtocolKind::Uncorq,
+            ring_noc::FaultProfile::drop_rate(0.05),
+            1,
+        );
+        let _ = Machine::new(cfg, &tiny_profile());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! deadlock post-mortem: per-node LTT occupancy, in-flight transactions,
 //! retry backoff and starvation state, and the last few trace events.
 
+use ring_noc::RelSnapshot;
 use ring_sim::Cycle;
 use ring_trace::TraceEvent;
 use serde::{Deserialize, Serialize};
@@ -64,6 +65,23 @@ impl NodeStallState {
     }
 }
 
+/// Loss and recovery attribution when the reliability sublayer was
+/// active at stall time: which links ate frames, which flows are stuck,
+/// and how hard retransmission was working.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReliabilityStall {
+    /// Transport-level view: unacked/queued frames and the worst flows
+    /// (most retransmission attempts first).
+    pub transport: RelSnapshot,
+    /// Frames destroyed by probabilistic per-link drops.
+    pub drops: u64,
+    /// Frames destroyed by scheduled link-outage windows.
+    pub outage_drops: u64,
+    /// Per-link destroyed-frame counts, `(link, frames)`, links with
+    /// zero drops omitted, ascending link id.
+    pub link_drops: Vec<(u32, u64)>,
+}
+
 /// A structured description of a forward-progress failure, returned by
 /// [`crate::Machine::try_run`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,6 +92,10 @@ pub struct StallReport {
     pub detected_at: Cycle,
     /// Cycle of the last progress milestone the watchdog saw.
     pub last_progress: Cycle,
+    /// Cycle of the last reliability-layer milestone (delivery or
+    /// non-degraded retransmission) the watchdog saw; 0 when the
+    /// sublayer is off or never acted.
+    pub last_net_progress: Cycle,
     /// The watchdog threshold in force (0 when the cause is
     /// [`StallCause::QueueDrained`] with the watchdog disabled).
     pub threshold: Cycle,
@@ -86,6 +108,9 @@ pub struct StallReport {
     /// The last few trace events before the stall, chronological (empty
     /// unless tracing was enabled).
     pub recent_events: Vec<TraceEvent>,
+    /// Loss/recovery attribution (`None` when the reliability sublayer
+    /// is disabled).
+    pub reliability: Option<ReliabilityStall>,
 }
 
 impl StallReport {
@@ -107,6 +132,13 @@ impl std::fmt::Display for StallReport {
             "  last progress at cycle {} (threshold {} cycles)",
             self.last_progress, self.threshold
         )?;
+        if self.last_net_progress > 0 {
+            writeln!(
+                f,
+                "  last reliability-layer progress at cycle {}",
+                self.last_net_progress
+            )?;
+        }
         writeln!(
             f,
             "  {} transactions completed; {} unfinished node(s): {:?}",
@@ -131,6 +163,44 @@ impl std::fmt::Display for StallReport {
             }
             writeln!(f)?;
         }
+        if let Some(rel) = &self.reliability {
+            writeln!(
+                f,
+                "  reliability: {} unacked / {} queued frames, {} retransmits, \
+                 {} drops ({} from outages), {} degraded flow(s)",
+                rel.transport.unacked_frames,
+                rel.transport.queued_frames,
+                rel.transport.retransmits,
+                rel.drops,
+                rel.outage_drops,
+                rel.transport.degraded_flows
+            )?;
+            for fl in &rel.transport.worst_flows {
+                writeln!(
+                    f,
+                    "    flow n{}->n{} ch{}: {} unacked (oldest seq {} after {} attempts){}{}",
+                    fl.src,
+                    fl.dst,
+                    fl.channel,
+                    fl.unacked,
+                    fl.oldest_seq,
+                    fl.attempts,
+                    if fl.queued > 0 {
+                        format!(", {} queued", fl.queued)
+                    } else {
+                        String::new()
+                    },
+                    if fl.degraded { " DEGRADED" } else { "" }
+                )?;
+            }
+            if !rel.link_drops.is_empty() {
+                write!(f, "    frames destroyed per link:")?;
+                for (link, n) in &rel.link_drops {
+                    write!(f, " l{link}={n}")?;
+                }
+                writeln!(f)?;
+            }
+        }
         if !self.recent_events.is_empty() {
             writeln!(f, "  last {} trace events:", self.recent_events.len())?;
             for ev in &self.recent_events {
@@ -150,6 +220,7 @@ mod tests {
             cause: StallCause::WatchdogExpired,
             detected_at: 1000,
             last_progress: 100,
+            last_net_progress: 0,
             threshold: 800,
             unfinished_nodes: vec![3],
             completed_transactions: 42,
@@ -174,6 +245,7 @@ mod tests {
                 },
             ],
             recent_events: vec![],
+            reliability: None,
         }
     }
 
@@ -190,5 +262,40 @@ mod tests {
         assert!(s.contains("livelock suspected"));
         assert!(s.contains("STARVING on 0x40"));
         assert!(s.contains("retry[0x40]=5"));
+        assert!(!s.contains("reliability:"), "no section when sublayer off");
+    }
+
+    #[test]
+    fn display_attributes_losses_when_reliability_active() {
+        let mut r = report();
+        r.last_net_progress = 900;
+        r.reliability = Some(ReliabilityStall {
+            transport: RelSnapshot {
+                unacked_frames: 4,
+                queued_frames: 2,
+                retransmits: 17,
+                degraded_flows: 1,
+                worst_flows: vec![ring_noc::FlowSnapshot {
+                    src: 3,
+                    dst: 9,
+                    channel: 0,
+                    unacked: 4,
+                    queued: 2,
+                    oldest_seq: 11,
+                    attempts: 6,
+                    degraded: true,
+                }],
+            },
+            drops: 20,
+            outage_drops: 5,
+            link_drops: vec![(7, 18), (12, 2)],
+        });
+        let s = r.to_string();
+        assert!(s.contains("last reliability-layer progress at cycle 900"));
+        assert!(s.contains("17 retransmits"));
+        assert!(s.contains("20 drops (5 from outages)"));
+        assert!(s.contains("flow n3->n9 ch0: 4 unacked (oldest seq 11 after 6 attempts)"));
+        assert!(s.contains("DEGRADED"));
+        assert!(s.contains("l7=18 l12=2"));
     }
 }

@@ -23,11 +23,20 @@
 //!    because the read serializes before the write or joins a
 //!    suppliership chain.
 //!
+//! 5. **Exactly-once delivery** — when the reliability sublayer is
+//!    active, its delivery boundary events
+//!    ([`EventKind::ReliableDeliver`]) must carry strictly consecutive
+//!    sequence numbers per `(source, destination, channel)` flow,
+//!    starting at 0: no loss, no duplicate, no reordering survives the
+//!    sublayer regardless of what the lossy links did underneath.
+//!
 //! Injected-fault events ([`EventKind::FaultInjected`]) are counted but
 //! assert nothing: the invariants above must hold *with faults present*,
-//! which is the whole point of a chaos run. Protocol-error events
-//! ([`EventKind::ProtocolError`]) are violations — a correct protocol
-//! under in-spec faults never needs its recovery escape hatches.
+//! which is the whole point of a chaos run. The same goes for
+//! retransmission and link-outage events — they document recovery work,
+//! not failures. Protocol-error events ([`EventKind::ProtocolError`])
+//! are violations — a correct protocol under in-spec faults never needs
+//! its recovery escape hatches.
 
 use std::collections::{HashMap, HashSet};
 
@@ -65,10 +74,15 @@ pub struct InvariantChecker {
     win_at: HashMap<Txn, u64>,
     /// Completed attempts -> event index of the requester's completion.
     completed_at: HashMap<Txn, u64>,
+    /// Next expected sequence number per reliable flow
+    /// `(src node, dst node, channel)`.
+    rel_expected: HashMap<(u32, u32, u8), u64>,
     violations: Vec<String>,
     completed: u64,
     retried: u64,
     faults: u64,
+    rel_delivered: u64,
+    retransmits: u64,
 }
 
 impl InvariantChecker {
@@ -184,6 +198,25 @@ impl InvariantChecker {
             EventKind::FaultInjected { .. } => {
                 self.faults += 1;
             }
+            EventKind::Retransmit { .. } => {
+                self.retransmits += 1;
+            }
+            EventKind::ReliableDeliver { from, channel, seq } => {
+                self.rel_delivered += 1;
+                let slot = self
+                    .rel_expected
+                    .entry((from, ev.node, channel))
+                    .or_insert(0);
+                let expected = *slot;
+                *slot = seq + 1;
+                if seq != expected {
+                    self.violation(format!(
+                        "exactly-once delivery: flow {from}->{} ch {channel} delivered seq \
+                         {seq}, expected {expected}: {ev}",
+                        ev.node
+                    ));
+                }
+            }
             EventKind::ProtocolError { error } => {
                 self.violation(format!(
                     "protocol error under in-spec faults ({error}): {ev}"
@@ -287,6 +320,16 @@ impl InvariantChecker {
         self.faults
     }
 
+    /// Reliable-delivery boundary events observed.
+    pub fn reliable_deliveries(&self) -> u64 {
+        self.rel_delivered
+    }
+
+    /// Retransmission events observed.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
     /// Every violation found so far.
     pub fn violations(&self) -> &[String] {
         &self.violations
@@ -380,6 +423,73 @@ mod tests {
         c.finish();
         assert_eq!(c.violations().len(), 1);
         assert!(c.violations()[0].contains("ltt_slot_missing"));
+    }
+
+    fn rdeliver(cycle: u64, node: u32, from: u32, seq: u64) -> TraceEvent {
+        ev(
+            cycle,
+            node,
+            (from, 0),
+            EventKind::ReliableDeliver {
+                from,
+                channel: 0,
+                seq,
+            },
+        )
+    }
+
+    #[test]
+    fn consecutive_reliable_deliveries_pass() {
+        let mut c = InvariantChecker::new();
+        for seq in 0..5 {
+            c.observe(&rdeliver(seq * 10, 1, 0, seq));
+        }
+        // An independent flow restarts at 0.
+        c.observe(&rdeliver(60, 2, 0, 0));
+        c.finish();
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        assert_eq!(c.reliable_deliveries(), 6);
+    }
+
+    #[test]
+    fn skipped_or_duplicated_sequence_is_flagged() {
+        let mut c = InvariantChecker::new();
+        c.observe(&rdeliver(0, 1, 0, 0));
+        c.observe(&rdeliver(10, 1, 0, 2)); // lost seq 1
+        c.finish();
+        assert!(c.violations().iter().any(|v| v.contains("exactly-once")));
+
+        let mut c = InvariantChecker::new();
+        c.observe(&rdeliver(0, 1, 0, 0));
+        c.observe(&rdeliver(10, 1, 0, 0)); // duplicate
+        c.finish();
+        assert!(c.violations().iter().any(|v| v.contains("exactly-once")));
+    }
+
+    #[test]
+    fn retransmit_events_are_counted_not_flagged() {
+        let mut c = InvariantChecker::new();
+        c.observe(&ev(
+            5,
+            2,
+            (2, 0),
+            EventKind::Retransmit {
+                to: 3,
+                channel: 0,
+                seq: 9,
+                attempt: 1,
+            },
+        ));
+        c.observe(&ev(
+            6,
+            0,
+            (0, 0),
+            EventKind::LinkDown { link: 4, up_at: 90 },
+        ));
+        c.observe(&ev(7, 0, (0, 0), EventKind::LinkUp { link: 4 }));
+        c.finish();
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        assert_eq!(c.retransmits(), 1);
     }
 
     #[test]

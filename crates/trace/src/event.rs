@@ -55,6 +55,12 @@ pub enum FaultClass {
     Duplicate,
     /// A transient link congestion burst.
     Congestion,
+    /// A wire frame dropped by a lossy link (reliability sublayer will
+    /// retransmit it).
+    Drop,
+    /// A wire frame dropped because its link was inside a scheduled
+    /// outage window.
+    Outage,
 }
 
 impl FaultClass {
@@ -64,6 +70,8 @@ impl FaultClass {
             FaultClass::Reorder => "ro",
             FaultClass::Duplicate => "dup",
             FaultClass::Congestion => "cong",
+            FaultClass::Drop => "drop",
+            FaultClass::Outage => "out",
         }
     }
 
@@ -73,6 +81,8 @@ impl FaultClass {
             "ro" => Some(FaultClass::Reorder),
             "dup" => Some(FaultClass::Duplicate),
             "cong" => Some(FaultClass::Congestion),
+            "drop" => Some(FaultClass::Drop),
+            "out" => Some(FaultClass::Outage),
             _ => None,
         }
     }
@@ -85,6 +95,8 @@ impl fmt::Display for FaultClass {
             FaultClass::Reorder => f.write_str("reorder"),
             FaultClass::Duplicate => f.write_str("duplicate"),
             FaultClass::Congestion => f.write_str("congestion"),
+            FaultClass::Drop => f.write_str("drop"),
+            FaultClass::Outage => f.write_str("outage"),
         }
     }
 }
@@ -287,6 +299,42 @@ pub enum EventKind {
         /// What went wrong.
         error: ErrorClass,
     },
+    /// The reliability sublayer retransmitted an unacknowledged frame.
+    Retransmit {
+        /// Destination node of the frame.
+        to: u32,
+        /// Virtual-channel index of the flow.
+        channel: u8,
+        /// Flow sequence number of the retransmitted frame.
+        seq: u64,
+        /// Retransmission attempt (1 = first retransmit).
+        attempt: u32,
+    },
+    /// A scheduled link outage began (the link drops everything until
+    /// `up_at`).
+    LinkDown {
+        /// Link identifier (see `ring_noc::LinkId`).
+        link: u32,
+        /// Cycle at which the link comes back up.
+        up_at: u64,
+    },
+    /// A scheduled link outage ended.
+    LinkUp {
+        /// Link identifier (see `ring_noc::LinkId`).
+        link: u32,
+    },
+    /// The reliability sublayer handed a payload to the protocol layer:
+    /// the exactly-once, in-order delivery boundary. `seq` must be
+    /// exactly one past the previous delivery of the same
+    /// `(from, node, channel)` flow.
+    ReliableDeliver {
+        /// Source node of the flow.
+        from: u32,
+        /// Virtual-channel index of the flow.
+        channel: u8,
+        /// Flow sequence number delivered.
+        seq: u64,
+    },
 }
 
 /// One structured protocol event.
@@ -421,6 +469,22 @@ impl fmt::Display for TraceEvent {
             }
             EventKind::ProtocolError { error } => {
                 write!(f, "t={t} n{n} PROTO-ERR {error} txn={txn}")
+            }
+            EventKind::Retransmit {
+                to,
+                channel,
+                seq,
+                attempt,
+            } => write!(
+                f,
+                "t={t} n{n} RETX -> n{to} ch={channel} seq={seq} attempt={attempt}"
+            ),
+            EventKind::LinkDown { link, up_at } => {
+                write!(f, "t={t} n{n} LINK-DOWN link={link} up_at={up_at}")
+            }
+            EventKind::LinkUp { link } => write!(f, "t={t} n{n} LINK-UP link={link}"),
+            EventKind::ReliableDeliver { from, channel, seq } => {
+                write!(f, "t={t} n{n} RDELIVER <- n{from} ch={channel} seq={seq}")
             }
         }
     }
@@ -612,6 +676,10 @@ impl TraceEvent {
             EventKind::Starvation { .. } => "starve",
             EventKind::FaultInjected { .. } => "fault",
             EventKind::ProtocolError { .. } => "proto_err",
+            EventKind::Retransmit { .. } => "retx",
+            EventKind::LinkDown { .. } => "link_down",
+            EventKind::LinkUp { .. } => "link_up",
+            EventKind::ReliableDeliver { .. } => "rdeliver",
         }
     }
 
@@ -704,6 +772,26 @@ impl TraceEvent {
             EventKind::ProtocolError { error } => {
                 let _ = write!(s, ",\"code\":\"{}\"", error.code());
             }
+            EventKind::Retransmit {
+                to,
+                channel,
+                seq,
+                attempt,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"to\":{to},\"ch\":{channel},\"seq\":{seq},\"att\":{attempt}"
+                );
+            }
+            EventKind::LinkDown { link, up_at } => {
+                let _ = write!(s, ",\"link\":{link},\"up\":{up_at}");
+            }
+            EventKind::LinkUp { link } => {
+                let _ = write!(s, ",\"link\":{link}");
+            }
+            EventKind::ReliableDeliver { from, channel, seq } => {
+                let _ = write!(s, ",\"from\":{from},\"ch\":{channel},\"seq\":{seq}");
+            }
         }
         s.push('}');
         s
@@ -794,6 +882,24 @@ impl TraceEvent {
                         .ok_or_else(|| err(format!("bad error class '{code}'")))?,
                 }
             }
+            "retx" => EventKind::Retransmit {
+                to: f.num("to")? as u32,
+                channel: f.num("ch")? as u8,
+                seq: f.num("seq")?,
+                attempt: f.num("att")? as u32,
+            },
+            "link_down" => EventKind::LinkDown {
+                link: f.num("link")? as u32,
+                up_at: f.num("up")?,
+            },
+            "link_up" => EventKind::LinkUp {
+                link: f.num("link")? as u32,
+            },
+            "rdeliver" => EventKind::ReliableDeliver {
+                from: f.num("from")? as u32,
+                channel: f.num("ch")? as u8,
+                seq: f.num("seq")?,
+            },
             other => return Err(err(format!("unknown event tag '{other}'"))),
         };
         Ok(TraceEvent {
@@ -924,6 +1030,30 @@ mod tests {
             },
             EventKind::ProtocolError {
                 error: ErrorClass::MulticastTreeDisorder,
+            },
+            EventKind::FaultInjected {
+                fault: FaultClass::Drop,
+                delay: 0,
+            },
+            EventKind::FaultInjected {
+                fault: FaultClass::Outage,
+                delay: 500,
+            },
+            EventKind::Retransmit {
+                to: 3,
+                channel: 1,
+                seq: 977,
+                attempt: 4,
+            },
+            EventKind::LinkDown {
+                link: 17,
+                up_at: 90_000,
+            },
+            EventKind::LinkUp { link: 17 },
+            EventKind::ReliableDeliver {
+                from: 12,
+                channel: 2,
+                seq: 4096,
             },
         ]
     }

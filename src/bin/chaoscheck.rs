@@ -22,7 +22,7 @@
 use std::process::ExitCode;
 
 use uncorq::coherence::{ProtocolConfig, ProtocolVariant};
-use uncorq::noc::{FaultPlan, FaultProfile};
+use uncorq::noc::{FaultPlan, FaultProfile, ReliabilityConfig};
 use uncorq::system::{Machine, MachineConfig};
 use uncorq::trace::{InvariantChecker, SharedBufferSink};
 use uncorq::workloads::AppProfile;
@@ -42,9 +42,19 @@ impl Default for Args {
             nodes: (4, 4),
             seeds: 5,
             ops: 1200,
-            profiles: ["jitter", "reorder", "duplicate", "congestion", "chaos"]
-                .map(String::from)
-                .to_vec(),
+            profiles: [
+                "jitter",
+                "reorder",
+                "duplicate",
+                "congestion",
+                "chaos",
+                "drop1",
+                "drop5",
+                "drop20",
+                "outage",
+            ]
+            .map(String::from)
+            .to_vec(),
         }
     }
 }
@@ -118,6 +128,11 @@ fn run_combo(
     cfg.watchdog_cycles = 2_000_000;
     cfg.check_invariants = true;
     cfg.faults = Some(FaultPlan::new(profile, chaos_seed));
+    if profile.needs_reliability() {
+        // Lossy profiles destroy frames; the reliable-delivery sublayer
+        // is what turns that back into exactly-once, in-order delivery.
+        cfg.reliability = ReliabilityConfig::on();
+    }
     let app = AppProfile::by_name("fmm")
         .expect("fmm profile")
         .scaled(args.ops);
@@ -148,6 +163,20 @@ fn run_combo(
     if !profile.is_nop() && m.fault_stats().total() == 0 {
         return Err("fault profile active but nothing was injected".into());
     }
+    if !m.reliability_idle() {
+        return Err("reliable transport still holds unacked frames after completion".into());
+    }
+    if profile.needs_reliability() {
+        let rs = m
+            .reliability_stats()
+            .expect("sublayer enabled for lossy profiles");
+        if rs.wire_drops == 0 {
+            return Err("lossy profile active but no frame was ever destroyed".into());
+        }
+        if rs.retransmits == 0 {
+            return Err("frames were destroyed but never retransmitted".into());
+        }
+    }
     let mut out = String::new();
     for ev in &events {
         out.push_str(&ev.to_jsonl());
@@ -169,7 +198,10 @@ fn main() -> ExitCode {
         match FaultProfile::by_name(name) {
             Some(p) => profiles.push((name.as_str(), p)),
             None => {
-                eprintln!("unknown fault profile {name}; known: none jitter reorder duplicate congestion chaos");
+                eprintln!(
+                    "unknown fault profile {name}; known: none jitter reorder duplicate \
+                     congestion chaos drop1 drop5 drop20 outage lossy_chaos"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -178,6 +210,7 @@ fn main() -> ExitCode {
     let mut runs = 0u32;
     for (proto_name, protocol) in protocols() {
         let mut first_trace: Option<String> = None;
+        let mut first_lossy: Option<(&str, FaultProfile, String)> = None;
         for &(profile_name, profile) in &profiles {
             for chaos_seed in 1..=args.seeds {
                 runs += 1;
@@ -187,6 +220,14 @@ fn main() -> ExitCode {
                         // Keep the grid's first combo for the replay check.
                         if profile_name == profiles[0].0 && chaos_seed == 1 {
                             first_trace = Some(trace);
+                        } else if first_lossy.is_none()
+                            && profile.needs_reliability()
+                            && chaos_seed == 1
+                        {
+                            // And the first frame-destroying combo: its
+                            // replay proves retransmission timing and
+                            // backoff jitter are seed-reproducible too.
+                            first_lossy = Some((profile_name, profile, trace));
                         }
                     }
                     Err(msg) => {
@@ -213,6 +254,25 @@ fn main() -> ExitCode {
                 Err(msg) => {
                     failures += 1;
                     println!("FAIL {proto_name:<12} replay: {msg}");
+                }
+            }
+        }
+        if let Some((lossy_name, lossy_profile, expected)) = first_lossy {
+            runs += 1;
+            match run_combo(&args, protocol, lossy_profile, 1) {
+                Ok(replay) if replay == expected => {
+                    println!("ok   {proto_name:<12} lossy replay ({lossy_name}) is byte-identical");
+                }
+                Ok(_) => {
+                    failures += 1;
+                    println!(
+                        "FAIL {proto_name:<12} lossy replay ({lossy_name}) diverged from the \
+                         first run"
+                    );
+                }
+                Err(msg) => {
+                    failures += 1;
+                    println!("FAIL {proto_name:<12} lossy replay ({lossy_name}): {msg}");
                 }
             }
         }

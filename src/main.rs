@@ -11,7 +11,7 @@
 use std::process::ExitCode;
 
 use uncorq::coherence::ProtocolKind;
-use uncorq::noc::{FaultPlan, FaultProfile};
+use uncorq::noc::{FaultPlan, FaultProfile, ReliabilityConfig};
 use uncorq::system::{HtMachine, Machine, MachineConfig, Report};
 use uncorq::workloads::AppProfile;
 
@@ -32,6 +32,7 @@ struct Args {
     stats_out: Option<String>,
     chaos: Option<u64>,
     chaos_profile: String,
+    reliable: bool,
     watchdog: Option<u64>,
     list: bool,
 }
@@ -54,6 +55,7 @@ impl Default for Args {
             stats_out: None,
             chaos: None,
             chaos_profile: "chaos".into(),
+            reliable: false,
             watchdog: None,
             list: false,
         }
@@ -65,8 +67,9 @@ const USAGE: &str =
               [--ops N] [--seed N] [--prefetch] [--dual-rings] [--row-major-ring]
               [--nodes WxH] [--check-invariants] [--histogram] [--trace-line N]
               [--trace-out FILE] [--stats-out FILE]
-              [--chaos SEED] [--chaos-profile none|jitter|reorder|duplicate|congestion|chaos]
-              [--watchdog CYCLES]";
+              [--chaos SEED] [--chaos-profile none|jitter|reorder|duplicate|congestion|chaos|
+                              drop1|drop5|drop20|outage|lossy_chaos]
+              [--reliable] [--watchdog CYCLES]";
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     let mut a = Args::default();
@@ -101,6 +104,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                 )
             }
             "--chaos-profile" => a.chaos_profile = value("--chaos-profile")?.to_lowercase(),
+            "--reliable" => a.reliable = true,
             "--watchdog" => {
                 a.watchdog = Some(
                     value("--watchdog")?
@@ -244,12 +248,28 @@ fn main() -> ExitCode {
         }
         let Some(profile) = FaultProfile::by_name(&args.chaos_profile) else {
             eprintln!(
-                "unknown chaos profile {}; known: none jitter reorder duplicate congestion chaos",
+                "unknown chaos profile {}; known: none jitter reorder duplicate congestion \
+                 chaos drop1 drop5 drop20 outage lossy_chaos",
                 args.chaos_profile
             );
             return ExitCode::FAILURE;
         };
         cfg.faults = Some(FaultPlan::new(profile, chaos_seed));
+        if profile.needs_reliability() && !args.reliable {
+            eprintln!(
+                "note: profile {} destroys frames; enabling the reliable-delivery sublayer \
+                 (implied --reliable)",
+                args.chaos_profile
+            );
+            cfg.reliability = ReliabilityConfig::on();
+        }
+    }
+    if args.reliable {
+        if kind.is_none() {
+            eprintln!("--reliable is not supported on the HT baseline machine");
+            return ExitCode::FAILURE;
+        }
+        cfg.reliability = ReliabilityConfig::on();
     }
     if let Some(w) = args.watchdog {
         cfg.watchdog_cycles = w;
