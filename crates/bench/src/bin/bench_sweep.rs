@@ -18,10 +18,14 @@
 use std::process::ExitCode;
 
 use bench::sweep::{
-    compare, default_grid, parse_bench_json, run_sweep_repeat, write_bench_json, Comparison,
+    compare, default_grid, parse_bench_json, parse_bench_schema, run_sweep_repeat,
+    write_bench_json, Comparison, BENCH_SCHEMA,
 };
 use ring_coherence::ProtocolVariant;
 use ring_stats::{Align, Table};
+use ring_system::Machine;
+use ring_trace::{FlightConfig, FlightRecorder};
+use ring_workloads::AppProfile;
 
 struct Args {
     apps: Vec<String>,
@@ -36,6 +40,8 @@ struct Args {
     baseline: Option<String>,
     tolerance: f64,
     check_determinism: bool,
+    profile: bool,
+    profile_out: Option<String>,
 }
 
 impl Default for Args {
@@ -55,6 +61,8 @@ impl Default for Args {
             baseline: None,
             tolerance: 0.20,
             check_determinism: false,
+            profile: false,
+            profile_out: None,
         }
     }
 }
@@ -62,7 +70,13 @@ impl Default for Args {
 const USAGE: &str = "usage: bench_sweep [--apps A,B] [--seeds S1,S2] [--ops N] [--grids 4x4,8x8]
                    [--protocols eager,uncorq] [--threads N] [--serial]
                    [--repeat N] [--out FILE] [--note TEXT] [--baseline FILE]
-                   [--tolerance FRACTION] [--check-determinism]";
+                   [--tolerance FRACTION] [--check-determinism]
+                   [--profile] [--profile-out PREFIX]
+
+--profile re-runs each cell serially after the timed sweep with a
+flight recorder installed (so wall-clock numbers stay clean) and writes
+one windowed-snapshot JSONL stream per cell to PREFIX.<cell>.jsonl
+(default prefix BENCH_profile). --profile-out implies --profile.";
 
 fn parse_grid(v: &str) -> Result<(usize, usize), String> {
     let (w, h) = v
@@ -125,6 +139,11 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                     .map_err(|e| format!("--tolerance: {e}"))?
             }
             "--check-determinism" => a.check_determinism = true,
+            "--profile" => a.profile = true,
+            "--profile-out" => {
+                a.profile_out = Some(value("--profile-out")?);
+                a.profile = true;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -178,6 +197,8 @@ fn main() -> ExitCode {
             "Exec cycles",
             "Events",
             "Peak queue",
+            "Lat p50",
+            "Lat p99",
             "Wall s",
             "Events/s",
         ]
@@ -191,6 +212,8 @@ fn main() -> ExitCode {
         Align::Right,
         Align::Right,
         Align::Right,
+        Align::Right,
+        Align::Right,
     ]);
     for r in &results {
         t.row(vec![
@@ -198,15 +221,19 @@ fn main() -> ExitCode {
             format!("{}", r.exec_cycles),
             format!("{}", r.events),
             format!("{}", r.peak_queue),
+            format!("{}", r.lat_p50),
+            format!("{}", r.lat_p99),
             format!("{:.3}", r.wall_secs),
             format!("{:.0}", r.events_per_sec),
         ]);
     }
     println!("{}", t.render());
 
+    let mut baseline_schema: Option<String> = None;
     let cmp: Option<Comparison> = match &args.baseline {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(text) => {
+                baseline_schema = parse_bench_schema(&text);
                 let rows = parse_bench_json(&text);
                 if rows.is_empty() {
                     eprintln!("baseline {path}: no parseable rows");
@@ -231,12 +258,35 @@ fn main() -> ExitCode {
     }
     eprintln!("wrote {}", args.out);
 
+    if args.profile {
+        let prefix = args
+            .profile_out
+            .clone()
+            .unwrap_or_else(|| "BENCH_profile".into());
+        if let Err(e) = write_profiles(&cells, &prefix) {
+            eprintln!("profile pass failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if let Some(c) = &cmp {
         for (cell, old, ratio) in &c.matched {
             println!("vs baseline {cell}: {old:.0} -> x{ratio:.2}");
         }
         for cell in &c.unmatched {
             eprintln!("no baseline row for {cell}");
+        }
+        // Wall-clock numbers are comparable across schema versions, but
+        // the gate only *fails* on same-schema baselines: a schema bump
+        // changes what a row carries, so a cross-version regression is a
+        // warning to investigate, not a hard CI failure.
+        let cross_schema = baseline_schema.as_deref() != Some(BENCH_SCHEMA);
+        if cross_schema {
+            eprintln!(
+                "warning: baseline schema {} differs from current {BENCH_SCHEMA}; \
+                 regressions will warn instead of fail",
+                baseline_schema.as_deref().unwrap_or("<none>")
+            );
         }
         let floor = 1.0 - args.tolerance;
         if c.min_ratio < floor {
@@ -245,12 +295,43 @@ fn main() -> ExitCode {
                  (baseline {})",
                 c.min_ratio, floor, c.baseline_path
             );
-            return ExitCode::FAILURE;
+            if !cross_schema {
+                return ExitCode::FAILURE;
+            }
+            eprintln!("cross-schema baseline: regression reported as warning only");
+        } else {
+            println!(
+                "baseline check passed: min ratio x{:.2} (floor {:.2})",
+                c.min_ratio, floor
+            );
         }
-        println!(
-            "baseline check passed: min ratio x{:.2} (floor {:.2})",
-            c.min_ratio, floor
-        );
     }
     ExitCode::SUCCESS
+}
+
+/// Re-runs each cell serially with a flight recorder installed and
+/// writes its windowed snapshots to `PREFIX.<cell>.jsonl`. Kept out of
+/// the timed sweep so profiling never pollutes the wall-clock rows.
+fn write_profiles(cells: &[bench::sweep::SweepCell], prefix: &str) -> Result<(), String> {
+    for cell in cells {
+        let profile = AppProfile::by_name(&cell.app)
+            .ok_or_else(|| format!("unknown app profile {}", cell.app))?
+            .scaled(cell.ops);
+        let mut m = Machine::new(cell.config(), &profile);
+        m.enable_flight_recorder(FlightRecorder::new(FlightConfig::default()));
+        let _ = m.run();
+        let label = cell.label().replace('/', "_");
+        let path = format!("{prefix}.{label}.jsonl");
+        let file = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+        let mut file = std::io::BufWriter::new(file);
+        let rec = m.flight().expect("recorder was installed");
+        rec.write_jsonl(&mut file)
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "profiled {} -> {path} ({} windows)",
+            cell.label(),
+            rec.len()
+        );
+    }
+    Ok(())
 }

@@ -20,7 +20,38 @@ use ring_trace::{TraceEvent, TraceSink};
 use ring_workloads::AppProfile;
 
 /// Schema identifier written into every `BENCH_machine.json`.
-pub const BENCH_SCHEMA: &str = "uncorq-bench-v1";
+///
+/// v2 adds per-row read-latency percentiles (`lat_p50`, `lat_p99`) and
+/// a top-level `git_commit` stamp. [`parse_bench_json`] still reads v1
+/// documents (the extra fields are simply absent); cross-schema
+/// comparisons should warn, not fail — see [`parse_bench_schema`].
+pub const BENCH_SCHEMA: &str = "uncorq-bench-v2";
+
+/// The previous schema identifier, still accepted as a baseline.
+pub const BENCH_SCHEMA_V1: &str = "uncorq-bench-v1";
+
+/// The `"schema"` field of a `BENCH_machine.json` document, if present
+/// (v0 prototypes had none).
+pub fn parse_bench_schema(text: &str) -> Option<String> {
+    text.lines()
+        .find_map(|l| json_field(l.trim_start(), "schema"))
+        .map(str::to_string)
+}
+
+/// The current git commit hash, for stamping measurement rows back to
+/// the code that produced them. Falls back to `"unknown"` outside a
+/// git checkout (or without git on PATH).
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
 
 /// One cell of the sweep grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +124,11 @@ pub struct CellResult {
     pub events_per_sec: f64,
     /// FNV-1a digest of the full stats listing ([`report_digest`]).
     pub digest: u64,
+    /// Median read-miss completion latency in cycles (p50 over both
+    /// cache-to-cache and memory-serviced reads).
+    pub lat_p50: u64,
+    /// 99th-percentile read-miss completion latency in cycles.
+    pub lat_p99: u64,
 }
 
 impl CellResult {
@@ -157,6 +193,7 @@ pub fn run_cell_repeat(cell: &SweepCell, repeat: usize) -> CellResult {
     }
     let (report, peak_queue) = best.expect("at least one repeat runs");
     let events = report.stats.events;
+    let reads = report.stats.class_latency.reads();
     CellResult {
         protocol: cell.variant.name().to_string(),
         nodes: cell.nodes(),
@@ -174,6 +211,8 @@ pub fn run_cell_repeat(cell: &SweepCell, repeat: usize) -> CellResult {
             0.0
         },
         digest: report_digest(&report),
+        lat_p50: reads.p50(),
+        lat_p99: reads.p99(),
     }
 }
 
@@ -352,7 +391,7 @@ fn write_row<W: Write>(w: &mut W, r: &CellResult, last: bool) -> io::Result<()> 
         "    {{\"protocol\": \"{}\", \"nodes\": {}, \"app\": \"{}\", \"seed\": {}, \
          \"ops\": {}, \"finished\": {}, \"exec_cycles\": {}, \"events\": {}, \
          \"peak_queue\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.0}, \
-         \"digest\": \"{:016x}\"}}{}",
+         \"lat_p50\": {}, \"lat_p99\": {}, \"digest\": \"{:016x}\"}}{}",
         json_escape(&r.protocol),
         r.nodes,
         json_escape(&r.app),
@@ -364,6 +403,8 @@ fn write_row<W: Write>(w: &mut W, r: &CellResult, last: bool) -> io::Result<()> 
         r.peak_queue,
         r.wall_secs,
         r.events_per_sec,
+        r.lat_p50,
+        r.lat_p99,
         r.digest,
         if last { "" } else { "," }
     )
@@ -381,6 +422,7 @@ pub fn write_bench_json<W: Write>(
 ) -> io::Result<()> {
     writeln!(w, "{{")?;
     writeln!(w, "  \"schema\": \"{BENCH_SCHEMA}\",")?;
+    writeln!(w, "  \"git_commit\": \"{}\",", json_escape(&git_commit()))?;
     writeln!(w, "  \"note\": \"{}\",", json_escape(note))?;
     writeln!(w, "  \"threads\": {threads},")?;
     writeln!(w, "  \"rows\": [")?;
@@ -613,6 +655,42 @@ mod tests {
         write_bench_json(&mut buf, "with-baseline", 2, &rows, Some(&cmp)).unwrap();
         let parsed = parse_bench_json(&String::from_utf8(buf).unwrap());
         assert_eq!(parsed.len(), rows.len(), "baseline cells leaked into rows");
+    }
+
+    #[test]
+    fn schema_commit_and_percentiles_are_stamped() {
+        let rows = run_sweep(&tiny_cells()[..1], 1);
+        assert!(rows[0].lat_p99 >= rows[0].lat_p50);
+        assert!(rows[0].lat_p50 > 0);
+        let mut buf = Vec::new();
+        write_bench_json(&mut buf, "t", 1, &rows, None).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(parse_bench_schema(&text).as_deref(), Some(BENCH_SCHEMA));
+        assert!(text.contains("\"git_commit\": \""));
+        assert!(text.contains("\"lat_p50\": "));
+        assert!(text.contains("\"lat_p99\": "));
+    }
+
+    #[test]
+    fn v1_documents_still_parse_as_baselines() {
+        let v1 = concat!(
+            "{\n",
+            "  \"schema\": \"uncorq-bench-v1\",\n",
+            "  \"note\": \"old\",\n",
+            "  \"threads\": 1,\n",
+            "  \"rows\": [\n",
+            "    {\"protocol\": \"uncorq\", \"nodes\": 16, \"app\": \"fmm\", ",
+            "\"seed\": 7, \"ops\": 60, \"finished\": true, \"exec_cycles\": 100, ",
+            "\"events\": 5, \"peak_queue\": 2, \"wall_secs\": 0.1, ",
+            "\"events_per_sec\": 50, \"digest\": \"00000000000000aa\"}\n",
+            "  ]\n",
+            "}\n"
+        );
+        assert_eq!(parse_bench_schema(v1).as_deref(), Some(BENCH_SCHEMA_V1));
+        let rows = parse_bench_json(v1);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].protocol, "uncorq");
+        assert!((rows[0].events_per_sec - 50.0).abs() < 1e-9);
     }
 
     #[test]

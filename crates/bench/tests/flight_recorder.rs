@@ -1,0 +1,103 @@
+//! Flight-recorder determinism at the machine level.
+//!
+//! The recorder is a pure function of the event stream, so two runs of
+//! the same cell — in this thread, in another thread, with different
+//! ring capacities, or spilling to a writer — must produce
+//! byte-identical windowed snapshot streams.
+
+use ring_coherence::ProtocolVariant;
+use ring_system::{Machine, MachineConfig};
+use ring_trace::{FlightConfig, FlightRecorder};
+use ring_workloads::AppProfile;
+
+const SEED: u64 = 2007;
+
+fn recorded_jsonl(interval: u64, capacity: usize) -> String {
+    let mut cfg = MachineConfig::with_protocol(ProtocolVariant::Uncorq.config());
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.seed = SEED;
+    let profile = AppProfile::by_name("fmm").expect("fmm").scaled(300);
+    let mut m = Machine::new(cfg, &profile);
+    m.enable_flight_recorder(FlightRecorder::new(FlightConfig { interval, capacity }));
+    let r = m.try_run().expect("no stall");
+    assert!(r.finished);
+    let mut buf = Vec::new();
+    m.flight()
+        .expect("recorder installed")
+        .write_jsonl(&mut buf)
+        .expect("vec write");
+    String::from_utf8(buf).expect("jsonl is utf8")
+}
+
+#[test]
+fn same_seed_produces_byte_identical_snapshots() {
+    let a = recorded_jsonl(2_000, 4096);
+    let b = recorded_jsonl(2_000, 4096);
+    assert!(!a.is_empty(), "run should record at least one window");
+    assert_eq!(a, b, "same seed must spill identical window streams");
+}
+
+#[test]
+fn snapshots_are_identical_across_threads() {
+    let serial = recorded_jsonl(2_000, 4096);
+    let threaded = std::thread::spawn(|| recorded_jsonl(2_000, 4096))
+        .join()
+        .expect("worker thread");
+    assert_eq!(
+        serial, threaded,
+        "a run on a worker thread must record the same windows as a serial run"
+    );
+}
+
+#[test]
+fn ring_capacity_only_trims_the_window_stream() {
+    let full = recorded_jsonl(2_000, 4096);
+    let trimmed = recorded_jsonl(2_000, 2);
+    let full_lines: Vec<&str> = full.lines().collect();
+    let trimmed_lines: Vec<&str> = trimmed.lines().collect();
+    assert_eq!(trimmed_lines.len(), 2.min(full_lines.len()));
+    // The retained windows are the *last* ones, byte-for-byte.
+    assert_eq!(
+        &full_lines[full_lines.len() - trimmed_lines.len()..],
+        &trimmed_lines[..],
+        "a bounded ring must keep a suffix of the unbounded stream"
+    );
+}
+
+#[test]
+fn spill_writer_sees_every_window() {
+    let mut cfg = MachineConfig::with_protocol(ProtocolVariant::Uncorq.config());
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.seed = SEED;
+    let profile = AppProfile::by_name("fmm").expect("fmm").scaled(300);
+    let spill = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+
+    struct Shared(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let mut m = Machine::new(cfg, &profile);
+    m.enable_flight_recorder(FlightRecorder::with_spill(
+        FlightConfig {
+            interval: 2_000,
+            capacity: 2, // far smaller than the window count
+        },
+        Box::new(Shared(spill.clone())),
+    ));
+    m.try_run().expect("no stall");
+    let spilled = String::from_utf8(spill.lock().unwrap().clone()).expect("utf8");
+    let unbounded = recorded_jsonl(2_000, 4096);
+    assert_eq!(
+        spilled, unbounded,
+        "the spill must carry the full stream even when the ring drops windows"
+    );
+}

@@ -205,6 +205,42 @@ fn disabled_reliability_reproduces_golden_digests() {
     }
 }
 
+/// The flight recorder is pure observation: with a recorder installed
+/// (and actively sampling every 1000 cycles), every run still
+/// reproduces the golden digests byte-for-byte — same event order,
+/// same timing, same trace stream, same report.
+#[test]
+fn flight_recorder_reproduces_golden_digests() {
+    use ring_trace::{FlightConfig, FlightRecorder};
+    for &(variant, w, h, report, trace, events) in GOLDEN {
+        if w * h != 16 {
+            continue; // 4x4 covers all variants; 8x8 runs in the check above
+        }
+        let mut cfg = MachineConfig::with_protocol(variant.config());
+        cfg.width = w;
+        cfg.height = h;
+        cfg.seed = SEED;
+        let profile = AppProfile::by_name("fmm")
+            .expect("fmm")
+            .scaled(ops_for(w * h));
+        let mut m = Machine::new(cfg, &profile);
+        m.enable_flight_recorder(FlightRecorder::new(FlightConfig::with_interval(1000)));
+        let sink = DigestSink::new();
+        m.set_trace_sink(Box::new(sink.clone()));
+        let r = m.try_run().expect("no stall");
+        let (t, n) = sink.digest();
+        assert_eq!(
+            (report_digest(&r), t, n),
+            (report, trace, events),
+            "{variant} at {w}x{h}: an installed flight recorder must be byte-identical to golden"
+        );
+        assert!(
+            !m.flight().expect("recorder stays installed").is_empty(),
+            "{variant} at {w}x{h}: the recorder should have captured windows"
+        );
+    }
+}
+
 #[test]
 fn sweep_serial_and_parallel_agree_on_golden_grid() {
     let cells: Vec<SweepCell> = ProtocolVariant::ALL

@@ -270,6 +270,19 @@ impl<E> EventQueue<E> {
     pub fn peak_len(&self) -> usize {
         self.peak
     }
+
+    /// Number of pending events held in the calendar buckets (events
+    /// within the `BUCKETS`-cycle near-future window). A profiling tap:
+    /// `bucket_len() + heap_len() == len()`.
+    pub fn bucket_len(&self) -> usize {
+        self.in_buckets
+    }
+
+    /// Number of pending events on the far-future heap fallback
+    /// (watchdogs, cycle caps, retransmission timers scheduled far out).
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -409,6 +422,20 @@ mod tests {
         q.pop();
         assert_eq!(q.peak_len(), 3);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn depth_taps_split_buckets_and_heap() {
+        let mut q = EventQueue::new();
+        q.schedule(1, ());
+        q.schedule(2, ());
+        q.schedule(10_000, ()); // far future: heap
+        assert_eq!(q.bucket_len(), 2);
+        assert_eq!(q.heap_len(), 1);
+        assert_eq!(q.bucket_len() + q.heap_len(), q.len());
+        q.pop();
+        assert_eq!(q.bucket_len(), 1);
+        assert_eq!(q.heap_len(), 1);
     }
 
     #[test]

@@ -267,6 +267,220 @@ impl Histogram {
     }
 }
 
+/// Sub-bucket precision of [`LogHistogram`]: each power-of-two octave is
+/// split into `2^LOG_SUB_BITS` sub-buckets, bounding the relative
+/// quantization error at `2^-LOG_SUB_BITS` (~3.1%).
+const LOG_SUB_BITS: u32 = 5;
+const LOG_SUB_BUCKETS: u64 = 1 << LOG_SUB_BITS; // 32
+/// Largest most-significant-bit position tracked exactly; values at or
+/// above `2^(LOG_MAX_MSB + 1)` (4 Mcycles) saturate into the top bucket.
+const LOG_MAX_MSB: u32 = 21;
+const LOG_BUCKETS: usize = ((LOG_MAX_MSB - LOG_SUB_BITS + 2) * LOG_SUB_BUCKETS as u32) as usize;
+
+/// An HDR-style log-bucketed histogram for latency distributions.
+///
+/// Values below 32 land in unit-width buckets (exact); larger values are
+/// bucketed with 32 sub-buckets per power-of-two octave, so every
+/// percentile is reported with at most ~3.1% relative error. Values of
+/// `2^22` cycles (≈4M) or more saturate into the top bucket — far beyond
+/// any plausible transaction latency, and counted by [`saturated`].
+///
+/// The bucket geometry is a compile-time constant, so any two
+/// `LogHistogram`s can be merged. Recording is two shifts, a compare and
+/// an increment — cheap enough to stay always-on in the simulator hot
+/// path.
+///
+/// [`saturated`]: LogHistogram::saturated
+///
+/// # Examples
+///
+/// ```
+/// use ring_stats::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.percentile(50.0);
+/// assert!((490..=510).contains(&p50), "p50 was {p50}");
+/// assert_eq!(h.percentile(100.0), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    saturated: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; LOG_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            saturated: 0,
+        }
+    }
+
+    /// Bucket index for `value`; `LOG_BUCKETS` means "saturated".
+    fn index(value: u64) -> usize {
+        if value < LOG_SUB_BUCKETS {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        if msb > LOG_MAX_MSB {
+            return LOG_BUCKETS;
+        }
+        // `sub` is in [32, 64): the top LOG_SUB_BITS+1 bits of the value.
+        let sub = (value >> (msb - LOG_SUB_BITS)) as usize;
+        ((msb - LOG_SUB_BITS) as usize + 1) * LOG_SUB_BUCKETS as usize + sub
+            - LOG_SUB_BUCKETS as usize
+    }
+
+    /// Inclusive upper edge of bucket `idx`.
+    fn upper(idx: usize) -> u64 {
+        if idx < LOG_SUB_BUCKETS as usize {
+            return idx as u64;
+        }
+        let group = (idx >> LOG_SUB_BITS) as u32;
+        let sub = (idx as u64 & (LOG_SUB_BUCKETS - 1)) + LOG_SUB_BUCKETS;
+        ((sub + 1) << (group - 1)) - 1
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index(value);
+        if idx >= LOG_BUCKETS {
+            self.saturated += 1;
+            self.counts[LOG_BUCKETS - 1] += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of samples that exceeded the tracked range and were clamped
+    /// into the top bucket. `min`/`max`/`sum` stay exact regardless.
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
+
+    /// Mean of all recorded samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Approximate percentile. `p` in `[0, 100]`; returns 0 if empty.
+    ///
+    /// Reports the upper edge of the first bucket at which the cumulative
+    /// count reaches `ceil(p/100 * total)`, clamped to the exact observed
+    /// `[min, max]` range, so `percentile(100) == max` and no percentile
+    /// ever falls outside the recorded values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        if self.total == 0 {
+            return 0;
+        }
+        let need = ((p / 100.0 * self.total as f64).ceil() as u64).max(1);
+        if need >= self.total {
+            // The last sample in rank order is exactly the observed max;
+            // this also keeps percentile(100) exact for saturated samples.
+            return self.max;
+        }
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= need {
+                return Self::upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (50th percentile).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+
+    /// Merges another histogram into this one. The bucket geometry is a
+    /// compile-time constant, so any two `LogHistogram`s are compatible.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.saturated += other.saturated;
+    }
+
+    /// Returns a merged copy of `self` and `other`.
+    pub fn merged(&self, other: &LogHistogram) -> LogHistogram {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,5 +606,113 @@ mod tests {
         h.record(100);
         let d: f64 = h.densities().iter().sum();
         assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_empty_is_well_behaved() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.saturated(), 0);
+    }
+
+    #[test]
+    fn log_histogram_single_sample_pins_every_percentile() {
+        let mut h = LogHistogram::new();
+        h.record(137);
+        for p in [0.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 137, "p{p}");
+        }
+        assert_eq!(h.min(), Some(137));
+        assert_eq!(h.max(), Some(137));
+        assert_eq!(h.mean(), 137.0);
+    }
+
+    #[test]
+    fn log_histogram_small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        // Unit-width buckets below 32: percentiles are exact.
+        assert_eq!(h.percentile(50.0), 15);
+        assert_eq!(h.percentile(100.0), 31);
+        assert_eq!(h.min(), Some(0));
+    }
+
+    #[test]
+    fn log_histogram_relative_error_is_bounded() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            let exact = (p / 100.0 * 100_000.0_f64).ceil() as u64;
+            let got = h.percentile(p);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "p{p}: got {got}, exact {exact}");
+        }
+    }
+
+    #[test]
+    fn log_histogram_saturating_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(10);
+        h.record(1 << 23); // beyond the 4M-cycle tracked range
+        h.record(u64::MAX);
+        assert_eq!(h.saturated(), 2);
+        assert_eq!(h.total(), 3);
+        // min/max/sum stay exact even for saturated samples.
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(u64::MAX));
+        // Percentiles are clamped to the observed range, never beyond max.
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        assert_eq!(h.percentile(1.0), 10);
+    }
+
+    #[test]
+    fn log_histogram_merge_preserves_percentile_bounds() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in 1..=1000u64 {
+            a.record(v);
+        }
+        for v in 5000..=9000u64 {
+            b.record(v);
+        }
+        let m = a.merged(&b);
+        assert_eq!(m.total(), a.total() + b.total());
+        assert_eq!(m.min(), a.min());
+        assert_eq!(m.max(), b.max());
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            let lo = a.percentile(p).min(b.percentile(p));
+            let hi = a.percentile(p).max(b.percentile(p));
+            let got = m.percentile(p);
+            assert!(
+                (lo..=hi).contains(&got),
+                "merged p{p} = {got} outside [{lo}, {hi}]"
+            );
+        }
+        // Merge is symmetric.
+        assert_eq!(b.merged(&a), m);
+    }
+
+    #[test]
+    fn log_histogram_percentiles_monotone() {
+        let mut h = LogHistogram::new();
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            h.record(x % 50_000);
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max().unwrap());
     }
 }

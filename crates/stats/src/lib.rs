@@ -33,7 +33,7 @@ mod summary;
 mod table;
 mod traffic;
 
-pub use histogram::{CdfPoint, Histogram};
+pub use histogram::{CdfPoint, Histogram, LogHistogram};
 pub use summary::Summary;
 pub use table::{Align, Table};
 pub use traffic::TrafficMeter;

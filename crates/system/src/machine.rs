@@ -10,8 +10,8 @@ use ring_noc::{
 };
 use ring_sim::{Cycle, DetRng, EventQueue, FxHashMap, Watchdog};
 use ring_trace::{
-    ErrorClass, EventKind as TraceKind, FaultClass, LinkMetrics, MetricsRegistry, OpClass, Payload,
-    TraceEvent, TraceSink,
+    ErrorClass, EventKind as TraceKind, FaultClass, FlightProbe, FlightRecorder, LinkMetrics,
+    MetricsRegistry, OpClass, Payload, TraceEvent, TraceSink,
 };
 use ring_workloads::{AppProfile, WorkloadGen};
 
@@ -140,6 +140,12 @@ pub struct Machine {
     /// Reusable buffer for link outage transitions observed by the
     /// network.
     outage_buf: Vec<OutageEvent>,
+    /// Windowed flight recorder (`None` when profiling is off — the
+    /// event loop then pays exactly one integer compare per event).
+    flight: Option<FlightRecorder>,
+    /// Next window boundary at which to probe the flight recorder
+    /// (`Cycle::MAX` when no recorder is installed).
+    next_window: Cycle,
 }
 
 impl Machine {
@@ -255,7 +261,30 @@ impl Machine {
             recent: std::collections::VecDeque::new(),
             rel_buf: Vec::new(),
             outage_buf: Vec::new(),
+            flight: None,
+            next_window: Cycle::MAX,
         }
+    }
+
+    /// Installs a flight recorder: from now on the machine probes it the
+    /// first time the clock reaches each multiple of the recorder's
+    /// window interval, plus once at end of run for the final partial
+    /// window. Recording observes state only — event timing, RNG draws,
+    /// and all reported statistics are identical with or without it.
+    pub fn enable_flight_recorder(&mut self, recorder: FlightRecorder) {
+        self.next_window = recorder.interval();
+        self.flight = Some(recorder);
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Mutable access to the installed flight recorder (e.g. to flush
+    /// its spill writer after a run).
+    pub fn flight_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.flight.as_mut()
     }
 
     /// Installs a structured trace sink: from now on every protocol
@@ -318,6 +347,9 @@ impl Machine {
         // queue (the old pop-then-check discarded it, losing an event
         // and advancing the clock past the cap).
         while let Some((t, ev)) = self.queue.pop_before(cap) {
+            if t >= self.next_window {
+                self.flight_sample(t);
+            }
             if self.watchdog.expired(t) {
                 if let Some(s) = self.sink.as_mut() {
                     let _ = s.flush();
@@ -363,6 +395,14 @@ impl Machine {
             self.fx_buf = fx;
         }
         let capped = !self.queue.is_empty();
+        if self.flight.is_some() {
+            // Close the final (usually partial) window and flush the
+            // spill so post-run readers see every snapshot.
+            self.flight_sample(self.queue.now());
+            if let Some(f) = self.flight.as_mut() {
+                let _ = f.flush();
+            }
+        }
         if let Some(s) = self.sink.as_mut() {
             let _ = s.flush();
         }
@@ -374,10 +414,75 @@ impl Machine {
         Ok(report)
     }
 
-    /// Snapshots the machine for a forward-progress failure at `now`.
-    fn stall_report(&self, cause: StallCause, now: Cycle) -> StallReport {
-        let nodes = self
-            .agents
+    /// Probes machine state and folds it into the flight recorder,
+    /// advancing the next window boundary past `t`. No-op without a
+    /// recorder.
+    fn flight_sample(&mut self, t: Cycle) {
+        let interval = match &self.flight {
+            Some(f) => f.interval(),
+            None => return,
+        };
+        let probe = self.flight_probe(t);
+        if let Some(f) = self.flight.as_mut() {
+            f.record(probe);
+        }
+        self.next_window = (t / interval + 1) * interval;
+    }
+
+    /// Assembles a cumulative [`FlightProbe`] of the machine at `t`.
+    fn flight_probe(&self, t: Cycle) -> FlightProbe {
+        let nodes = self.agents.len();
+        let mut node_activity = Vec::with_capacity(nodes);
+        let mut node_ltt = Vec::with_capacity(nodes);
+        let mut node_outstanding = Vec::with_capacity(nodes);
+        let mut retries = 0u64;
+        for (n, a) in self.agents.iter().enumerate() {
+            let m = &self.registry.nodes()[n];
+            node_activity.push(
+                m.requests
+                    + m.retries
+                    + m.supplies
+                    + m.mem_demand
+                    + m.mem_prefetch
+                    + m.prefetch_hits
+                    + m.writebacks,
+            );
+            retries += m.retries;
+            node_ltt.push(a.ltt().len() as u32);
+            node_outstanding.push(a.outstanding_count() as u32);
+        }
+        let (rel_unacked, rel_queued, retransmits) = match &self.rel {
+            Some(rel) => {
+                let s = rel.snapshot();
+                (s.unacked_frames, s.queued_frames, s.retransmits)
+            }
+            None => (0, 0, 0),
+        };
+        let traffic = self.net.link_traffic();
+        FlightProbe {
+            cycle: t,
+            events: self.queue.events_processed(),
+            queue_depth: self.queue.len(),
+            queue_buckets: self.queue.bucket_len(),
+            queue_heap: self.queue.heap_len(),
+            rel_unacked,
+            rel_queued,
+            retransmits,
+            retries,
+            node_activity,
+            node_ltt,
+            node_outstanding,
+            link_messages: traffic.iter().map(|l| l.messages).collect(),
+            link_bytes: traffic.iter().map(|l| l.bytes).collect(),
+        }
+    }
+
+    /// Per-node forward-progress state (LTT/MSHR occupancy, pending
+    /// core operations, lines being retried or starving) — the raw
+    /// material for stall reports and for `ringprof`'s stall
+    /// attribution.
+    pub fn node_stall_states(&self) -> Vec<NodeStallState> {
+        self.agents
             .iter()
             .enumerate()
             .map(|(n, a)| NodeStallState {
@@ -393,7 +498,12 @@ impl Machine {
                     .collect(),
                 starving_on: a.starving_line().map(|l| l.raw()),
             })
-            .collect();
+            .collect()
+    }
+
+    /// Snapshots the machine for a forward-progress failure at `now`.
+    fn stall_report(&self, cause: StallCause, now: Cycle) -> StallReport {
+        let nodes = self.node_stall_states();
         let reliability = self.rel.as_ref().map(|rel| {
             let fs = self.net.fault_stats();
             ReliabilityStall {
@@ -678,6 +788,10 @@ impl Machine {
         stats.anat_delivery = reg.anatomy.delivery;
         stats.anat_transfer = reg.anatomy.transfer;
         stats.anat_response = reg.anatomy.response;
+        stats.phase_delivery = reg.anatomy.delivery_hist.clone();
+        stats.phase_transfer = reg.anatomy.transfer_hist.clone();
+        stats.phase_response = reg.anatomy.response_hist.clone();
+        stats.class_latency = reg.classes.clone();
         stats.link_msgs = reg.link_message_summary();
         for core in &self.cores {
             stats.ops_retired += core.stats().retired;
@@ -1177,6 +1291,7 @@ impl Machine {
                 } => {
                     self.watchdog.progress(t);
                     let mark = self.anatomy_marks.remove(&(n, line.raw()));
+                    self.registry.classes.record(op_class(kind), c2c, latency);
                     if kind == TxnKind::Read {
                         self.registry.node_mut(n).record_read_complete(
                             latency,

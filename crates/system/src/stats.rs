@@ -1,7 +1,8 @@
 //! Machine-level statistics and run reports.
 
 use ring_sim::Cycle;
-use ring_stats::{Histogram, Summary, TrafficMeter};
+use ring_stats::{Histogram, LogHistogram, Summary, TrafficMeter};
+use ring_trace::ClassLatency;
 use serde::{Deserialize, Serialize};
 
 /// Everything a machine run measures — the raw material for every figure
@@ -66,6 +67,16 @@ pub struct MachineStats {
     /// Distribution of per-physical-link message counts (hotspot view:
     /// the embedded ring concentrates load on ring links).
     pub link_msgs: Summary,
+    /// Anatomy segment 1 as a full log-bucketed distribution
+    /// (percentiles of the request-delivery phase, not just its mean).
+    pub phase_delivery: LogHistogram,
+    /// Anatomy segment 2 as a full distribution (data transfer).
+    pub phase_transfer: LogHistogram,
+    /// Anatomy segment 3 as a full distribution (response return).
+    pub phase_response: LogHistogram,
+    /// Issue-to-completion latency distributions per transaction class
+    /// (read/write/upgrade × cache-to-cache/memory).
+    pub class_latency: ClassLatency,
 }
 
 impl Default for MachineStats {
@@ -96,6 +107,10 @@ impl Default for MachineStats {
             anat_transfer: Summary::new(),
             anat_response: Summary::new(),
             link_msgs: Summary::new(),
+            phase_delivery: LogHistogram::new(),
+            phase_transfer: LogHistogram::new(),
+            phase_response: LogHistogram::new(),
+            class_latency: ClassLatency::new(),
         }
     }
 }
@@ -176,6 +191,222 @@ impl Report {
         writeln!(w, "events {}", s.events)?;
         Ok(())
     }
+
+    /// Writes the full report as a single JSON object — every counter
+    /// of [`write_stats`](Report::write_stats) plus the phase and
+    /// per-class latency distributions with their percentiles. This is
+    /// the machine-readable companion of the plain-text listing, shared
+    /// by the main CLI's `--metrics-out` and the `ringprof` binary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_json<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        let s = &self.stats;
+        writeln!(w, "{{")?;
+        writeln!(w, "  \"finished\": {},", self.finished)?;
+        writeln!(w, "  \"exec_cycles\": {},", self.exec_cycles)?;
+        writeln!(w, "  \"ops_retired\": {},", s.ops_retired)?;
+        writeln!(w, "  \"read_misses\": {},", s.read_misses())?;
+        writeln!(w, "  \"read_misses_c2c\": {},", s.reads_c2c)?;
+        writeln!(w, "  \"read_misses_mem\": {},", s.reads_mem)?;
+        writeln!(w, "  \"c2c_fraction\": {:.4},", s.c2c_fraction())?;
+        writeln!(w, "  \"read_latency\": {},", json_summary(&s.read_latency))?;
+        writeln!(
+            w,
+            "  \"read_latency_c2c\": {},",
+            json_summary(&s.read_latency_c2c)
+        )?;
+        writeln!(
+            w,
+            "  \"read_latency_mem\": {},",
+            json_summary(&s.read_latency_mem)
+        )?;
+        writeln!(
+            w,
+            "  \"read_completion\": {},",
+            json_summary(&s.read_completion)
+        )?;
+        writeln!(w, "  \"transactions\": {},", s.transactions)?;
+        writeln!(w, "  \"retries\": {},", s.retries)?;
+        writeln!(w, "  \"snoops\": {},", s.snoops)?;
+        writeln!(w, "  \"snoops_skipped\": {},", s.snoops_skipped)?;
+        writeln!(w, "  \"ltt_stalled_responses\": {},", s.ltt_stalls)?;
+        writeln!(w, "  \"ltt_peak_entries\": {},", s.ltt_peak)?;
+        writeln!(w, "  \"starvation_events\": {},", s.starvation_events)?;
+        writeln!(
+            w,
+            "  \"traffic_byte_hops\": {},",
+            s.traffic.total_byte_hops()
+        )?;
+        writeln!(w, "  \"traffic_messages\": {},", s.traffic.messages())?;
+        writeln!(w, "  \"pref_cache\": {},", s.pref_cache)?;
+        writeln!(w, "  \"nopref_cache\": {},", s.nopref_cache)?;
+        writeln!(w, "  \"nopref_mem\": {},", s.nopref_mem)?;
+        writeln!(w, "  \"pref_mem\": {},", s.pref_mem)?;
+        writeln!(w, "  \"link_messages\": {},", json_summary(&s.link_msgs))?;
+        writeln!(w, "  \"events\": {},", s.events)?;
+        writeln!(w, "  \"phases\": {{")?;
+        let phases = [
+            ("delivery", &s.phase_delivery),
+            ("transfer", &s.phase_transfer),
+            ("response", &s.phase_response),
+        ];
+        for (i, (name, h)) in phases.iter().enumerate() {
+            let comma = if i + 1 < phases.len() { "," } else { "" };
+            writeln!(w, "    \"{name}\": {}{comma}", json_histogram(h))?;
+        }
+        writeln!(w, "  }},")?;
+        writeln!(w, "  \"classes\": {{")?;
+        let classes = s.class_latency.classes();
+        for (i, (name, h)) in classes.iter().enumerate() {
+            let comma = if i + 1 < classes.len() { "," } else { "" };
+            writeln!(w, "    \"{name}\": {}{comma}", json_histogram(h))?;
+        }
+        writeln!(w, "  }}")?;
+        writeln!(w, "}}")?;
+        Ok(())
+    }
+
+    /// Writes a Prometheus text-format snapshot of the run: headline
+    /// counters plus the phase and per-class latency distributions as
+    /// summary metrics with `quantile` labels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_prometheus<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        let s = &self.stats;
+        writeln!(w, "# TYPE uncorq_finished gauge")?;
+        writeln!(w, "uncorq_finished {}", u8::from(self.finished))?;
+        writeln!(w, "# TYPE uncorq_exec_cycles gauge")?;
+        writeln!(w, "uncorq_exec_cycles {}", self.exec_cycles)?;
+        let counters: [(&str, u64); 12] = [
+            ("ops_retired", s.ops_retired),
+            ("read_misses", s.read_misses()),
+            ("read_misses_c2c", s.reads_c2c),
+            ("read_misses_mem", s.reads_mem),
+            ("transactions", s.transactions),
+            ("retries", s.retries),
+            ("snoops", s.snoops),
+            ("snoops_skipped", s.snoops_skipped),
+            ("ltt_stalled_responses", s.ltt_stalls),
+            ("starvation_events", s.starvation_events),
+            ("traffic_byte_hops", s.traffic.total_byte_hops()),
+            ("sim_events", s.events),
+        ];
+        for (name, v) in counters {
+            writeln!(w, "# TYPE uncorq_{name} counter")?;
+            writeln!(w, "uncorq_{name} {v}")?;
+        }
+        writeln!(w, "# TYPE uncorq_phase_latency_cycles summary")?;
+        for (name, h) in [
+            ("delivery", &s.phase_delivery),
+            ("transfer", &s.phase_transfer),
+            ("response", &s.phase_response),
+        ] {
+            write_prom_summary(&mut w, "uncorq_phase_latency_cycles", "phase", name, h)?;
+        }
+        writeln!(w, "# TYPE uncorq_class_latency_cycles summary")?;
+        for (name, h) in s.class_latency.classes() {
+            write_prom_summary(&mut w, "uncorq_class_latency_cycles", "class", name, h)?;
+        }
+        Ok(())
+    }
+
+    /// Renders the phase and per-class latency percentile tables as
+    /// plain text — the human-readable view of the distributions that
+    /// [`write_json`](Report::write_json) serializes. Classes and
+    /// phases with no samples are skipped.
+    pub fn latency_table(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::new();
+        let header = format!(
+            "{:<16} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+            "", "count", "p50", "p90", "p99", "p99.9", "max"
+        );
+        out.push_str("phase latency (cycles)\n");
+        out.push_str(&header);
+        for (name, h) in [
+            ("delivery", &s.phase_delivery),
+            ("transfer", &s.phase_transfer),
+            ("response", &s.phase_response),
+        ] {
+            push_table_row(&mut out, name, h);
+        }
+        out.push_str("class latency (cycles)\n");
+        out.push_str(&header);
+        for (name, h) in s.class_latency.classes() {
+            push_table_row(&mut out, name, h);
+        }
+        out
+    }
+}
+
+fn push_table_row(out: &mut String, name: &str, h: &LogHistogram) {
+    if h.is_empty() {
+        return;
+    }
+    out.push_str(&format!(
+        "  {:<14} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+        name,
+        h.total(),
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.p999(),
+        h.max().unwrap_or(0)
+    ));
+}
+
+fn json_summary(s: &Summary) -> String {
+    format!(
+        "{{\"count\": {}, \"mean\": {:.2}, \"min\": {:.0}, \"max\": {:.0}}}",
+        s.count(),
+        s.mean(),
+        s.min().unwrap_or(0.0),
+        s.max().unwrap_or(0.0)
+    )
+}
+
+fn json_histogram(h: &LogHistogram) -> String {
+    format!(
+        "{{\"count\": {}, \"mean\": {:.2}, \"min\": {}, \"max\": {}, \
+         \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"saturated\": {}}}",
+        h.total(),
+        h.mean(),
+        h.min().unwrap_or(0),
+        h.max().unwrap_or(0),
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.p999(),
+        h.saturated()
+    )
+}
+
+fn write_prom_summary<W: std::io::Write>(
+    w: &mut W,
+    metric: &str,
+    label: &str,
+    value: &str,
+    h: &LogHistogram,
+) -> std::io::Result<()> {
+    for (q, v) in [
+        ("0.5", h.p50()),
+        ("0.9", h.p90()),
+        ("0.99", h.p99()),
+        ("0.999", h.p999()),
+    ] {
+        writeln!(w, "{metric}{{{label}=\"{value}\",quantile=\"{q}\"}} {v}")?;
+    }
+    writeln!(
+        w,
+        "{metric}_sum{{{label}=\"{value}\"}} {:.0}",
+        h.mean() * h.total() as f64
+    )?;
+    writeln!(w, "{metric}_count{{{label}=\"{value}\"}} {}", h.total())?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -211,6 +442,76 @@ mod tests {
 {s}"
             );
         }
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_carries_percentiles() {
+        let mut stats = MachineStats {
+            transactions: 5,
+            ..MachineStats::default()
+        };
+        for v in [10, 20, 30, 40, 50] {
+            stats.phase_delivery.record(v);
+            stats
+                .class_latency
+                .record(ring_trace::OpClass::Read, true, v * 2);
+        }
+        let r = Report {
+            exec_cycles: 99,
+            finished: true,
+            stats,
+        };
+        let mut buf = Vec::new();
+        r.write_json(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("\"exec_cycles\": 99"));
+        assert!(s.contains("\"delivery\": {\"count\": 5"));
+        assert!(s.contains("\"read_c2c\": {\"count\": 5"));
+        assert!(s.contains("\"p99\": 50"));
+        // Balanced braces => structurally sound JSON for our own parser
+        // and any external one.
+        let open = s.matches('{').count();
+        let close = s.matches('}').count();
+        assert_eq!(open, close);
+        assert!(!s.contains(",\n}"), "trailing comma before a closer:\n{s}");
+        assert!(!s.contains(",\n  }}"), "trailing comma:\n{s}");
+    }
+
+    #[test]
+    fn prometheus_snapshot_has_types_and_quantiles() {
+        let mut stats = MachineStats::default();
+        stats.phase_response.record(100);
+        stats
+            .class_latency
+            .record(ring_trace::OpClass::WriteMiss, false, 64);
+        let r = Report {
+            exec_cycles: 7,
+            finished: false,
+            stats,
+        };
+        let mut buf = Vec::new();
+        r.write_prometheus(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("# TYPE uncorq_exec_cycles gauge"));
+        assert!(s.contains("uncorq_finished 0"));
+        assert!(s.contains("uncorq_phase_latency_cycles{phase=\"response\",quantile=\"0.99\"} 100"));
+        assert!(s.contains("uncorq_class_latency_cycles{class=\"write_mem\",quantile=\"0.5\"} 64"));
+        assert!(s.contains("uncorq_class_latency_cycles_count{class=\"write_mem\"} 1"));
+    }
+
+    #[test]
+    fn latency_table_skips_empty_rows() {
+        let mut stats = MachineStats::default();
+        stats.phase_delivery.record(40);
+        let r = Report {
+            exec_cycles: 1,
+            finished: true,
+            stats,
+        };
+        let table = r.latency_table();
+        assert!(table.contains("delivery"));
+        assert!(!table.contains("transfer"));
+        assert!(!table.contains("read_c2c"));
     }
 
     #[test]

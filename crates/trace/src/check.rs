@@ -334,6 +334,67 @@ impl InvariantChecker {
     pub fn violations(&self) -> &[String] {
         &self.violations
     }
+
+    /// The standard counts block printed by the checking binaries
+    /// (`tracecheck`, `chaoscheck`): events, attempts and their
+    /// resolutions, collisions, winners, and injected faults — one
+    /// `name : value` line each, trailing newline included.
+    pub fn summary(&self) -> String {
+        format!(
+            "events          : {}\n\
+             attempts issued : {}\n  \
+               completed     : {}\n  \
+               retried       : {}\n\
+             collision pairs : {}\n\
+             winners         : {}\n\
+             faults injected : {}\n",
+            self.events(),
+            self.attempts(),
+            self.completed(),
+            self.retried(),
+            self.collision_pairs(),
+            self.winners(),
+            self.faults(),
+        )
+    }
+
+    /// Formats up to `limit` violations as indented lines (with an
+    /// `... and N more` trailer when truncated). Returns an empty
+    /// string when no invariant was violated.
+    pub fn format_violations(&self, limit: usize) -> String {
+        let mut out = String::new();
+        for v in self.violations.iter().take(limit) {
+            out.push_str("  VIOLATION: ");
+            out.push_str(v);
+            out.push('\n');
+        }
+        if self.violations.len() > limit {
+            out.push_str(&format!(
+                "  ... and {} more\n",
+                self.violations.len() - limit
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the full checker pipeline over an in-memory event stream:
+/// builds an [`InvariantChecker`], observes every event in order, and
+/// closes the trace with [`InvariantChecker::finish`].
+///
+/// This is the shared wiring behind `tracecheck` (file replay) and
+/// `chaoscheck` (in-memory sweep); both binaries only differ in where
+/// the events come from and how the result is formatted.
+pub fn check_events<'a, I>(events: I) -> InvariantChecker
+where
+    I: IntoIterator<Item = &'a TraceEvent>,
+{
+    let mut checker = InvariantChecker::new();
+    for ev in events {
+        checker.observe(ev);
+    }
+    checker.finish();
+    checker
 }
 
 #[cfg(test)]
@@ -490,6 +551,33 @@ mod tests {
         c.finish();
         assert!(c.violations().is_empty(), "{:?}", c.violations());
         assert_eq!(c.retransmits(), 1);
+    }
+
+    #[test]
+    fn check_events_matches_manual_wiring() {
+        let events = vec![
+            issue(0, 1, 1),
+            ev(
+                10,
+                1,
+                (1, 1),
+                EventKind::Complete {
+                    op: OpClass::Read,
+                    c2c: false,
+                    latency: 10,
+                },
+            ),
+            issue(20, 2, 1), // left unresolved: one violation
+        ];
+        let c = crate::check::check_events(&events);
+        assert_eq!(c.events(), 3);
+        assert_eq!(c.attempts(), 2);
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.summary().contains("attempts issued : 2"));
+        assert!(c.summary().contains("completed     : 1"));
+        let f = c.format_violations(10);
+        assert!(f.contains("VIOLATION: attempt 2.1 never completed"));
+        assert_eq!(c.format_violations(0), "  ... and 1 more\n");
     }
 
     #[test]

@@ -43,10 +43,16 @@
 
 mod check;
 mod event;
+mod export;
+mod flight;
 mod metrics;
 mod sink;
 
-pub use check::InvariantChecker;
+pub use check::{check_events, InvariantChecker};
 pub use event::{ErrorClass, EventKind, FaultClass, OpClass, ParseError, Payload, TraceEvent};
-pub use metrics::{LatencyAnatomy, LinkMetrics, MetricsRegistry, NodeMetrics};
+pub use export::perfetto_json;
+pub use flight::{FlightConfig, FlightProbe, FlightRecorder, WindowSnapshot};
+pub use metrics::{
+    ClassLatency, LatencyAnatomy, LinkMetrics, MetricsRegistry, NodeMetrics, TXN_CLASSES,
+};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, SharedBufferSink, TraceSink};

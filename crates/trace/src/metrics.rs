@@ -1,6 +1,8 @@
 //! Per-node and per-link metrics that roll up into the machine report.
 
-use ring_stats::{Histogram, Summary};
+use ring_stats::{Histogram, LogHistogram, Summary};
+
+use crate::event::OpClass;
 
 /// Counters and latency accumulators for one node.
 ///
@@ -110,7 +112,9 @@ pub struct LinkMetrics {
 }
 
 /// Per-transaction latency anatomy, Figure-5 style: where the cycles of
-/// a cache-to-cache read go.
+/// a cache-to-cache read go. Each segment keeps both a streaming mean
+/// ([`Summary`]) and a log-bucketed distribution ([`LogHistogram`]), so
+/// the anatomy can be reported as percentiles, not just averages.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyAnatomy {
     /// Issue until the supplier sends suppliership (request delivery
@@ -121,6 +125,12 @@ pub struct LatencyAnatomy {
     /// Data bound until the combined response lets the transaction
     /// complete (the serialization wait).
     pub response: Summary,
+    /// Distribution of the request-delivery segment.
+    pub delivery_hist: LogHistogram,
+    /// Distribution of the data-transfer segment.
+    pub transfer_hist: LogHistogram,
+    /// Distribution of the response-return segment.
+    pub response_hist: LogHistogram,
 }
 
 impl LatencyAnatomy {
@@ -134,11 +144,92 @@ impl LatencyAnatomy {
         self.delivery.record(delivery as f64);
         self.transfer.record(transfer as f64);
         self.response.record(response as f64);
+        self.delivery_hist.record(delivery);
+        self.transfer_hist.record(transfer);
+        self.response_hist.record(response);
     }
 
     /// Total mean latency across the three segments.
     pub fn mean_total(&self) -> f64 {
         self.delivery.mean() + self.transfer.mean() + self.response.mean()
+    }
+
+    /// The three phase distributions with their report labels, in
+    /// delivery → transfer → response order.
+    pub fn phases(&self) -> [(&'static str, &LogHistogram); 3] {
+        [
+            ("delivery", &self.delivery_hist),
+            ("transfer", &self.transfer_hist),
+            ("response", &self.response_hist),
+        ]
+    }
+}
+
+/// Number of transaction classes tracked by [`ClassLatency`].
+pub const TXN_CLASSES: usize = 6;
+
+/// Machine-wide issue-to-completion latency distributions, one per
+/// transaction class: operation (read miss / write miss / upgrade) ×
+/// service (cache-to-cache forward / memory).
+///
+/// Upgrades (write hits needing ownership) never fetch data from
+/// memory; their "mem" class stays empty on correct protocols but is
+/// kept so the class set is a plain cross product.
+#[derive(Debug, Clone, Default)]
+pub struct ClassLatency {
+    hists: [LogHistogram; TXN_CLASSES],
+}
+
+impl ClassLatency {
+    /// Empty class latencies.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn index(op: OpClass, c2c: bool) -> usize {
+        let op = match op {
+            OpClass::Read => 0,
+            OpClass::WriteMiss => 1,
+            OpClass::WriteHit => 2,
+        };
+        op * 2 + usize::from(!c2c)
+    }
+
+    /// Records one completed transaction of class `(op, c2c)` with its
+    /// issue-to-completion latency in cycles.
+    pub fn record(&mut self, op: OpClass, c2c: bool, latency: u64) {
+        self.hists[Self::index(op, c2c)].record(latency);
+    }
+
+    /// The distribution for one class.
+    pub fn get(&self, op: OpClass, c2c: bool) -> &LogHistogram {
+        &self.hists[Self::index(op, c2c)]
+    }
+
+    /// All classes with their report labels, in a stable order
+    /// (`read_c2c`, `read_mem`, `write_c2c`, `write_mem`, `upgrade_c2c`,
+    /// `upgrade_mem`).
+    pub fn classes(&self) -> [(&'static str, &LogHistogram); TXN_CLASSES] {
+        [
+            ("read_c2c", &self.hists[0]),
+            ("read_mem", &self.hists[1]),
+            ("write_c2c", &self.hists[2]),
+            ("write_mem", &self.hists[3]),
+            ("upgrade_c2c", &self.hists[4]),
+            ("upgrade_mem", &self.hists[5]),
+        ]
+    }
+
+    /// Merged distribution of all read classes (c2c + mem) — the
+    /// machine-wide read-latency distribution used for BENCH percentile
+    /// columns.
+    pub fn reads(&self) -> LogHistogram {
+        self.hists[0].merged(&self.hists[1])
+    }
+
+    /// Total samples across every class.
+    pub fn total(&self) -> u64 {
+        self.hists.iter().map(|h| h.total()).sum()
     }
 }
 
@@ -150,6 +241,8 @@ pub struct MetricsRegistry {
     links: Vec<LinkMetrics>,
     /// Latency anatomy of cache-to-cache reads.
     pub anatomy: LatencyAnatomy,
+    /// Machine-wide issue-to-completion latency per transaction class.
+    pub classes: ClassLatency,
 }
 
 impl MetricsRegistry {
@@ -162,6 +255,7 @@ impl MetricsRegistry {
                 .collect(),
             links: Vec::new(),
             anatomy: LatencyAnatomy::new(),
+            classes: ClassLatency::new(),
         }
     }
 
@@ -294,5 +388,48 @@ mod tests {
         assert_eq!(r.merged(|n| &n.read_latency).count(), 0);
         assert!(r.merged_c2c_histogram().is_none());
         assert_eq!(r.link_message_summary().count(), 0);
+    }
+
+    #[test]
+    fn anatomy_phase_histograms_track_the_summaries() {
+        let mut a = LatencyAnatomy::new();
+        a.record(40, 20, 60);
+        a.record(60, 30, 80);
+        for (label, h) in a.phases() {
+            assert_eq!(h.total(), 2, "{label}");
+        }
+        assert_eq!(a.delivery_hist.max(), Some(60));
+        assert_eq!(a.response_hist.min(), Some(60));
+    }
+
+    #[test]
+    fn class_latency_routes_by_op_and_service() {
+        let mut c = ClassLatency::new();
+        c.record(OpClass::Read, true, 100);
+        c.record(OpClass::Read, false, 400);
+        c.record(OpClass::WriteMiss, true, 200);
+        c.record(OpClass::WriteHit, true, 50);
+        assert_eq!(c.get(OpClass::Read, true).total(), 1);
+        assert_eq!(c.get(OpClass::Read, false).total(), 1);
+        assert_eq!(c.get(OpClass::WriteMiss, true).total(), 1);
+        assert_eq!(c.get(OpClass::WriteMiss, false).total(), 0);
+        assert_eq!(c.get(OpClass::WriteHit, true).total(), 1);
+        assert_eq!(c.total(), 4);
+        let reads = c.reads();
+        assert_eq!(reads.total(), 2);
+        assert_eq!(reads.min(), Some(100));
+        assert_eq!(reads.max(), Some(400));
+        let labels: Vec<&str> = c.classes().iter().map(|(l, _)| *l).collect();
+        assert_eq!(
+            labels,
+            [
+                "read_c2c",
+                "read_mem",
+                "write_c2c",
+                "write_mem",
+                "upgrade_c2c",
+                "upgrade_mem"
+            ]
+        );
     }
 }

@@ -24,7 +24,7 @@ use std::process::ExitCode;
 use uncorq::coherence::{ProtocolConfig, ProtocolVariant};
 use uncorq::noc::{FaultPlan, FaultProfile, ReliabilityConfig};
 use uncorq::system::{Machine, MachineConfig};
-use uncorq::trace::{InvariantChecker, SharedBufferSink};
+use uncorq::trace::{check_events, SharedBufferSink};
 use uncorq::workloads::AppProfile;
 
 const USAGE: &str = "usage: chaoscheck [--nodes WxH] [--seeds N] [--ops N] [--profiles a,b,...]";
@@ -147,18 +147,13 @@ fn run_combo(
         return Err("hit the cycle cap before completion".into());
     }
     let events = sink.snapshot();
-    let mut checker = InvariantChecker::new();
-    for ev in &events {
-        checker.observe(ev);
-    }
-    checker.finish();
+    let checker = check_events(&events);
     if !checker.violations().is_empty() {
-        let mut msg = format!("{} invariant violation(s):", checker.violations().len());
-        for v in checker.violations().iter().take(10) {
-            msg.push_str("\n  ");
-            msg.push_str(v);
-        }
-        return Err(msg);
+        return Err(format!(
+            "{} invariant violation(s):\n{}",
+            checker.violations().len(),
+            checker.format_violations(10)
+        ));
     }
     if !profile.is_nop() && m.fault_stats().total() == 0 {
         return Err("fault profile active but nothing was injected".into());

@@ -54,21 +54,10 @@ fn main() -> ExitCode {
         }
     }
     checker.finish();
-    println!("events          : {}", checker.events());
-    println!("attempts issued : {}", checker.attempts());
-    println!("  completed     : {}", checker.completed());
-    println!("  retried       : {}", checker.retried());
-    println!("collision pairs : {}", checker.collision_pairs());
-    println!("winners         : {}", checker.winners());
-    println!("faults injected : {}", checker.faults());
+    print!("{}", checker.summary());
     println!("parse errors    : {parse_errors}");
     println!("violations      : {}", checker.violations().len());
-    for v in checker.violations().iter().take(50) {
-        println!("  VIOLATION: {v}");
-    }
-    if checker.violations().len() > 50 {
-        println!("  ... and {} more", checker.violations().len() - 50);
-    }
+    print!("{}", checker.format_violations(50));
     if checker.violations().is_empty() && parse_errors == 0 {
         println!("OK: all invariants hold");
         ExitCode::SUCCESS

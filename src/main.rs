@@ -4,15 +4,18 @@
 //! uncorq --app fmm --protocol uncorq [--ops 20000] [--seed 2007]
 //!        [--prefetch] [--dual-rings] [--row-major-ring] [--nodes 8x8]
 //!        [--check-invariants] [--histogram] [--trace-out FILE]
+//!        [--metrics-out FILE] [--profile] [--profile-out BASE]
 //!        [--chaos SEED] [--chaos-profile NAME] [--watchdog N]
 //! uncorq --list
 //! ```
 
+use std::io::Write;
 use std::process::ExitCode;
 
 use uncorq::coherence::ProtocolKind;
 use uncorq::noc::{FaultPlan, FaultProfile, ReliabilityConfig};
 use uncorq::system::{HtMachine, Machine, MachineConfig, Report};
+use uncorq::trace::{perfetto_json, FlightConfig, FlightRecorder, SharedBufferSink};
 use uncorq::workloads::AppProfile;
 
 #[derive(Debug)]
@@ -30,6 +33,9 @@ struct Args {
     trace_line: Option<u64>,
     trace_out: Option<String>,
     stats_out: Option<String>,
+    metrics_out: Option<String>,
+    profile: bool,
+    profile_out: Option<String>,
     chaos: Option<u64>,
     chaos_profile: String,
     reliable: bool,
@@ -53,6 +59,9 @@ impl Default for Args {
             trace_line: None,
             trace_out: None,
             stats_out: None,
+            metrics_out: None,
+            profile: false,
+            profile_out: None,
             chaos: None,
             chaos_profile: "chaos".into(),
             reliable: false,
@@ -66,10 +75,18 @@ const USAGE: &str =
     "usage: uncorq [--list] [--app NAME] [--protocol eager|supersetcon|supersetagg|uncorq|ht]
               [--ops N] [--seed N] [--prefetch] [--dual-rings] [--row-major-ring]
               [--nodes WxH] [--check-invariants] [--histogram] [--trace-line N]
-              [--trace-out FILE] [--stats-out FILE]
+              [--trace-out FILE] [--stats-out FILE] [--metrics-out FILE]
+              [--profile] [--profile-out BASE]
               [--chaos SEED] [--chaos-profile none|jitter|reorder|duplicate|congestion|chaos|
                               drop1|drop5|drop20|outage|lossy_chaos]
-              [--reliable] [--watchdog CYCLES]";
+              [--reliable] [--watchdog CYCLES]
+
+--metrics-out writes the final machine statistics as JSON (including
+phase and per-class latency percentiles). --profile installs the flight
+recorder and prints the latency percentile tables; --profile-out BASE
+additionally writes BASE.perfetto.json (Chrome/Perfetto trace),
+BASE.prom (Prometheus text snapshot), and BASE.windows.jsonl (windowed
+flight-recorder snapshots), and implies --profile.";
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     let mut a = Args::default();
@@ -95,7 +112,13 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--check-invariants" => a.check_invariants = true,
             "--histogram" => a.histogram = true,
             "--stats-out" => a.stats_out = Some(value("--stats-out")?),
+            "--metrics-out" => a.metrics_out = Some(value("--metrics-out")?),
             "--trace-out" => a.trace_out = Some(value("--trace-out")?),
+            "--profile" => a.profile = true,
+            "--profile-out" => {
+                a.profile_out = Some(value("--profile-out")?);
+                a.profile = true;
+            }
             "--chaos" => {
                 a.chaos = Some(
                     value("--chaos")?
@@ -190,6 +213,52 @@ fn print_report(args: &Args, report: &Report) {
     }
 }
 
+/// Writes the three `--profile-out` artifacts: `BASE.perfetto.json`,
+/// `BASE.prom`, and `BASE.windows.jsonl`.
+fn write_profile_files(
+    base: &str,
+    m: &Machine,
+    report: &Report,
+    shared: Option<&SharedBufferSink>,
+) -> std::io::Result<()> {
+    let events = shared.map(|s| s.snapshot()).unwrap_or_default();
+    let windows: Vec<uncorq::trace::WindowSnapshot> = m
+        .flight()
+        .map(|f| f.snapshots().cloned().collect())
+        .unwrap_or_default();
+    std::fs::write(
+        format!("{base}.perfetto.json"),
+        perfetto_json(&events, &windows),
+    )?;
+    let prom = std::fs::File::create(format!("{base}.prom"))?;
+    report.write_prometheus(std::io::BufWriter::new(prom))?;
+    let wjson = std::fs::File::create(format!("{base}.windows.jsonl"))?;
+    let mut wjson = std::io::BufWriter::new(wjson);
+    if let Some(f) = m.flight() {
+        f.write_jsonl(&mut wjson)?;
+    }
+    wjson.flush()?;
+    println!(
+        "profile written to {base}.perfetto.json / {base}.prom / {base}.windows.jsonl \
+         ({} windows, {} events)",
+        windows.len(),
+        events.len()
+    );
+    Ok(())
+}
+
+/// Writes the buffered trace-event stream as JSONL (used when
+/// `--trace-out` and `--profile-out` are both given, since the profile
+/// export needs the events in memory).
+fn write_trace_from_buffer(path: &str, shared: &SharedBufferSink) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    for ev in shared.snapshot() {
+        writeln!(w, "{}", ev.to_jsonl())?;
+    }
+    w.flush()
+}
+
 fn main() -> ExitCode {
     let args = match parse(std::env::args()) {
         Ok(a) => a,
@@ -277,14 +346,28 @@ fn main() -> ExitCode {
     let report = match kind {
         Some(_) => {
             let mut m = Machine::new(cfg, &profile);
-            if let Some(path) = &args.trace_out {
-                match uncorq::trace::JsonlSink::create(path) {
-                    Ok(sink) => m.set_trace_sink(Box::new(sink)),
-                    Err(e) => {
-                        eprintln!("--trace-out {path}: {e}");
-                        return ExitCode::FAILURE;
+            // With --profile-out the Perfetto export needs the full
+            // event stream in memory, so a shared buffer replaces the
+            // direct-to-file sink; --trace-out is then written from the
+            // buffer after the run.
+            let shared = if args.profile && args.profile_out.is_some() {
+                let s = SharedBufferSink::new();
+                m.set_trace_sink(Box::new(s.clone()));
+                Some(s)
+            } else {
+                if let Some(path) = &args.trace_out {
+                    match uncorq::trace::JsonlSink::create(path) {
+                        Ok(sink) => m.set_trace_sink(Box::new(sink)),
+                        Err(e) => {
+                            eprintln!("--trace-out {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
                     }
                 }
+                None
+            };
+            if args.profile {
+                m.enable_flight_recorder(FlightRecorder::new(FlightConfig::default()));
             }
             let r = match m.try_run() {
                 Ok(r) => r,
@@ -301,9 +384,25 @@ fn main() -> ExitCode {
                 }
                 println!();
             }
+            if let Some(base) = &args.profile_out {
+                if let Err(e) = write_profile_files(base, &m, &r, shared.as_ref()) {
+                    eprintln!("--profile-out {base}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let (Some(path), Some(s)) = (&args.trace_out, &shared) {
+                if let Err(e) = write_trace_from_buffer(path, s) {
+                    eprintln!("--trace-out {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             r
         }
         None => {
+            if args.profile {
+                eprintln!("--profile is not supported on the HT baseline machine");
+                return ExitCode::FAILURE;
+            }
             let mut m = HtMachine::new(cfg, &profile);
             if let Some(path) = &args.trace_out {
                 match uncorq::trace::JsonlSink::create(path) {
@@ -318,6 +417,20 @@ fn main() -> ExitCode {
         }
     };
     print_report(&args, &report);
+    if args.profile {
+        println!();
+        print!("{}", report.latency_table());
+    }
+    if let Some(path) = &args.metrics_out {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("--metrics-out {path}: {e}");
+            std::process::exit(1);
+        });
+        report
+            .write_json(std::io::BufWriter::new(file))
+            .expect("write metrics json");
+        println!("metrics written to {path}");
+    }
     if let Some(path) = &args.stats_out {
         let file = std::fs::File::create(path).unwrap_or_else(|e| {
             eprintln!("--stats-out {path}: {e}");
