@@ -300,6 +300,50 @@ impl CacheArray {
     }
 }
 
+impl CacheArray {
+    /// Serializes the full array contents (geometry excluded — it comes
+    /// back from the machine configuration at restore).
+    pub fn snap_save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.tags);
+        w.put(&self.states);
+        w.put(&self.lrus);
+        w.put(&self.occ.iter().map(|&o| o as u64).collect::<Vec<u64>>());
+        w.put(&self.tick);
+        w.put(&self.hits);
+        w.put(&self.misses);
+    }
+
+    /// Rebuilds an array from a snapshot taken under the same geometry.
+    pub fn snap_load(
+        r: &mut ring_snapshot::SnapReader<'_>,
+        cfg: CacheConfig,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let mut a = CacheArray::new(cfg);
+        let tags: Vec<u64> = r.get()?;
+        let states: Vec<LineState> = r.get()?;
+        let lrus: Vec<u64> = r.get()?;
+        let occ64: Vec<u64> = r.get()?;
+        if tags.len() != a.tags.len()
+            || states.len() != a.states.len()
+            || lrus.len() != a.lrus.len()
+            || occ64.len() != a.occ.len()
+        {
+            return Err(r.malformed("cache geometry does not match the configuration"));
+        }
+        a.tags = tags;
+        a.states = states;
+        a.lrus = lrus;
+        a.occ = occ64
+            .into_iter()
+            .map(|o| u32::try_from(o).map_err(|_| r.malformed("occupancy overflows u32")))
+            .collect::<Result<Vec<u32>, _>>()?;
+        a.tick = r.get()?;
+        a.hits = r.get()?;
+        a.misses = r.get()?;
+        Ok(a)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -69,6 +69,15 @@ impl fmt::Display for LineAddr {
     }
 }
 
+impl ring_snapshot::Snap for LineAddr {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.0);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(LineAddr(r.get()?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -139,6 +139,47 @@ impl<P> Mshr<P> {
     }
 }
 
+impl<P> Mshr<P> {
+    /// Serializes the MSHR; `f` encodes each payload (payloads are
+    /// protocol-owned types this crate cannot name).
+    pub fn snap_save_with(
+        &self,
+        w: &mut ring_snapshot::SnapWriter,
+        mut f: impl FnMut(&mut ring_snapshot::SnapWriter, &P),
+    ) {
+        w.put(&self.capacity);
+        w.put(&self.peak);
+        w.put(&self.stalls);
+        w.put(&(self.entries.len() as u64));
+        for (addr, payload) in &self.entries {
+            w.put(addr);
+            f(w, payload);
+        }
+    }
+
+    /// Rebuilds an MSHR from a snapshot; `f` decodes each payload.
+    pub fn snap_load_with(
+        r: &mut ring_snapshot::SnapReader<'_>,
+        mut f: impl FnMut(&mut ring_snapshot::SnapReader<'_>) -> Result<P, ring_snapshot::SnapshotError>,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let capacity: usize = r.get()?;
+        let peak: usize = r.get()?;
+        let stalls: u64 = r.get()?;
+        let n = r.get_len()?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let addr: LineAddr = r.get()?;
+            entries.insert(addr, f(r)?);
+        }
+        Ok(Mshr {
+            capacity,
+            entries,
+            peak,
+            stalls,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,6 +111,31 @@ impl fmt::Display for LineState {
     }
 }
 
+impl ring_snapshot::Snap for LineState {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        let tag: u8 = match self {
+            LineState::Invalid => 0,
+            LineState::Shared => 1,
+            LineState::Exclusive => 2,
+            LineState::MasterShared => 3,
+            LineState::Dirty => 4,
+            LineState::Tagged => 5,
+        };
+        w.put(&tag);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(match r.get::<u8>()? {
+            0 => LineState::Invalid,
+            1 => LineState::Shared,
+            2 => LineState::Exclusive,
+            3 => LineState::MasterShared,
+            4 => LineState::Dirty,
+            5 => LineState::Tagged,
+            other => return Err(r.malformed(format!("LineState tag {other}"))),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1758,6 +1758,246 @@ impl RingAgent {
     }
 }
 
+impl ring_snapshot::Snap for AgentStats {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.issued);
+        w.put(&self.completed);
+        w.put(&self.completed_c2c);
+        w.put(&self.retries);
+        w.put(&self.collisions);
+        w.put(&self.snoops);
+        w.put(&self.snoops_skipped);
+        w.put(&self.supplierships_sent);
+        w.put(&self.squash_marks);
+        w.put(&self.loser_hint_marks);
+        w.put(&self.starvation_events);
+        w.put(&self.prefetches_issued);
+        w.put(&self.protocol_errors);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(AgentStats {
+            issued: r.get()?,
+            completed: r.get()?,
+            completed_c2c: r.get()?,
+            retries: r.get()?,
+            collisions: r.get()?,
+            snoops: r.get()?,
+            snoops_skipped: r.get()?,
+            supplierships_sent: r.get()?,
+            squash_marks: r.get()?,
+            loser_hint_marks: r.get()?,
+            starvation_events: r.get()?,
+            prefetches_issued: r.get()?,
+            protocol_errors: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for AgentInput {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        match self {
+            AgentInput::CoreRequest { line, kind } => {
+                w.put(&0u8);
+                w.put(line);
+                w.put(kind);
+            }
+            AgentInput::RingArrival(m) => {
+                w.put(&1u8);
+                w.put(m);
+            }
+            AgentInput::DirectRequest(m) => {
+                w.put(&2u8);
+                w.put(m);
+            }
+            AgentInput::SnoopDone { txn, line } => {
+                w.put(&3u8);
+                w.put(txn);
+                w.put(line);
+            }
+            AgentInput::Supplier(m) => {
+                w.put(&4u8);
+                w.put(m);
+            }
+            AgentInput::MemData { line } => {
+                w.put(&5u8);
+                w.put(line);
+            }
+            AgentInput::RetryNow { line } => {
+                w.put(&6u8);
+                w.put(line);
+            }
+        }
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(match r.get::<u8>()? {
+            0 => AgentInput::CoreRequest {
+                line: r.get()?,
+                kind: r.get()?,
+            },
+            1 => AgentInput::RingArrival(r.get()?),
+            2 => AgentInput::DirectRequest(r.get()?),
+            3 => AgentInput::SnoopDone {
+                txn: r.get()?,
+                line: r.get()?,
+            },
+            4 => AgentInput::Supplier(r.get()?),
+            5 => AgentInput::MemData { line: r.get()? },
+            6 => AgentInput::RetryNow { line: r.get()? },
+            other => return Err(r.malformed(format!("AgentInput tag {other}"))),
+        })
+    }
+}
+
+impl ring_snapshot::Snap for Collider {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.priority);
+        w.put(&self.kind);
+        w.put(&self.response_seen);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(Collider {
+            priority: r.get()?,
+            kind: r.get()?,
+            response_seen: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for OwnTx {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.txn);
+        w.put(&self.kind);
+        w.put(&self.priority);
+        w.put(&self.first_issued_at);
+        w.put(&self.retries);
+        w.put(&self.suppliership);
+        w.put(&self.own_resp);
+        w.put(&self.committed);
+        w.put(&self.lost);
+        w.put(&self.colliders);
+        w.put(&self.must_invalidate);
+        w.put(&self.doomed);
+        w.put(&self.copy_lost);
+        w.put(&self.sharers_seen);
+        w.put(&self.prefetch_issued);
+        w.put(&self.mem_waiting);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(OwnTx {
+            txn: r.get()?,
+            kind: r.get()?,
+            priority: r.get()?,
+            first_issued_at: r.get()?,
+            retries: r.get()?,
+            suppliership: r.get()?,
+            own_resp: r.get()?,
+            committed: r.get()?,
+            lost: r.get()?,
+            colliders: r.get()?,
+            must_invalidate: r.get()?,
+            doomed: r.get()?,
+            copy_lost: r.get()?,
+            sharers_seen: r.get()?,
+            prefetch_issued: r.get()?,
+            mem_waiting: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for RetryInfo {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.kind);
+        w.put(&self.count);
+        w.put(&self.first_issued_at);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(RetryInfo {
+            kind: r.get()?,
+            count: r.get()?,
+            first_issued_at: r.get()?,
+        })
+    }
+}
+
+impl RingAgent {
+    /// Serializes the agent's complete protocol state: L2 array, LTT,
+    /// presence filter, prefetch predictor, outstanding transactions,
+    /// queues, retry/squash bookkeeping, the RNG mid-stream, and the
+    /// statistics counters. The supplier table is not stored — every
+    /// production agent consults the shared canonical table.
+    pub fn snap_save(&self, w: &mut ring_snapshot::SnapWriter) {
+        self.l2.snap_save(w);
+        self.ltt.snap_save(w);
+        match &self.filter {
+            None => w.put(&false),
+            Some(f) => {
+                w.put(&true);
+                f.snap_save(w);
+            }
+        }
+        self.npp.snap_save(w);
+        self.outstanding.snap_save_with(w, |w, tx| w.put(tx));
+        w.put(&self.pending_core);
+        w.put(&self.retry_info);
+        w.put(&self.squash_set);
+        w.put(&self.held_requests);
+        w.put(&self.forward_on_snoop);
+        w.put(&self.snoop_delay_budget);
+        w.put(&self.starving);
+        w.put(&self.serial);
+        w.put(&self.rng.state());
+        w.put(&self.stats);
+        w.put(
+            &self
+                .trace_buf
+                .iter()
+                .map(|ev| ev.to_jsonl())
+                .collect::<Vec<String>>(),
+        );
+    }
+
+    /// Rebuilds an agent from configuration plus snapshot state.
+    pub fn snap_load(
+        r: &mut ring_snapshot::SnapReader<'_>,
+        node: NodeId,
+        cfg: ProtocolConfig,
+        l2_cfg: CacheConfig,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let mut a = RingAgent::new(node, cfg, l2_cfg, DetRng::seed(0));
+        a.l2 = CacheArray::snap_load(r, l2_cfg)?;
+        a.ltt = Ltt::snap_load(r, cfg.ltt)?;
+        let has_filter: bool = r.get()?;
+        if has_filter != a.filter.is_some() {
+            return Err(
+                r.malformed("presence-filter presence does not match the protocol configuration")
+            );
+        }
+        if has_filter {
+            a.filter = Some(PresenceFilter::snap_load(r)?);
+        }
+        a.npp = NodePrefetchPredictor::snap_load(r)?;
+        a.outstanding = Mshr::snap_load_with(r, |r| r.get::<OwnTx>())?;
+        a.pending_core = r.get()?;
+        a.retry_info = r.get()?;
+        a.squash_set = r.get()?;
+        a.held_requests = r.get()?;
+        a.forward_on_snoop = r.get()?;
+        a.snoop_delay_budget = r.get()?;
+        a.starving = r.get()?;
+        a.serial = r.get()?;
+        a.rng = DetRng::from_state(r.get()?);
+        a.stats = r.get()?;
+        let trace: Vec<String> = r.get()?;
+        a.trace_buf = trace
+            .iter()
+            .map(|line| {
+                TraceEvent::from_jsonl(line).map_err(|e| r.malformed(format!("trace event: {e}")))
+            })
+            .collect::<Result<Vec<TraceEvent>, _>>()?;
+        Ok(a)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -127,6 +127,36 @@ impl PresenceFilter {
     }
 }
 
+impl PresenceFilter {
+    /// Serializes the filter: counters plus lookup statistics.
+    pub fn snap_save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.counters);
+        w.put(&self.hashes);
+        w.put(&self.lookups);
+        w.put(&self.positives);
+    }
+
+    /// Rebuilds a filter from a snapshot.
+    pub fn snap_load(
+        r: &mut ring_snapshot::SnapReader<'_>,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let counters: Vec<u16> = r.get()?;
+        if !counters.len().is_power_of_two() {
+            return Err(r.malformed("filter slot count is not a power of two"));
+        }
+        let hashes: u32 = r.get()?;
+        if hashes == 0 {
+            return Err(r.malformed("filter hash count is zero"));
+        }
+        Ok(PresenceFilter {
+            counters,
+            hashes,
+            lookups: r.get()?,
+            positives: r.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -457,6 +457,77 @@ impl Ltt {
     }
 }
 
+impl ring_snapshot::Snap for TxnSlot {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.txn);
+        w.put(&self.request);
+        w.put(&self.snoop_done);
+        w.put(&self.snoop_positive);
+        w.put(&self.response);
+        w.put(&self.response_order);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(TxnSlot {
+            txn: r.get()?,
+            request: r.get()?,
+            snoop_done: r.get()?,
+            snoop_positive: r.get()?,
+            response: r.get()?,
+            response_order: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for LttEntry {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.line);
+        w.put(&self.wid);
+        w.put(&self.reservation);
+        w.put(&self.slots);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(LttEntry {
+            line: r.get()?,
+            wid: r.get()?,
+            reservation: r.get()?,
+            slots: r.get()?,
+        })
+    }
+}
+
+impl Ltt {
+    /// Serializes the full table, preserving per-set entry order (which
+    /// victim-free allocation order and drain order depend on) and the
+    /// raw response sequence numbers.
+    pub fn snap_save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.sets);
+        w.put(&self.response_seq);
+        w.put(&self.stalled_responses);
+        w.put(&self.entries);
+        w.put(&self.peak_entries);
+        w.put(&self.overflows);
+    }
+
+    /// Rebuilds a table from a snapshot taken under the same geometry.
+    pub fn snap_load(
+        r: &mut ring_snapshot::SnapReader<'_>,
+        cfg: LttConfig,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let mut ltt = Ltt::new(cfg);
+        let sets: Vec<Vec<LttEntry>> = r.get()?;
+        if sets.len() != ltt.sets.len() {
+            return Err(r.malformed("LTT set count does not match the configuration"));
+        }
+        ltt.sets = sets;
+        ltt.response_seq = r.get()?;
+        ltt.stalled_responses = r.get()?;
+        ltt.entries = r.get()?;
+        ltt.peak_entries = r.get()?;
+        ltt.overflows = r.get()?;
+        Ok(ltt)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

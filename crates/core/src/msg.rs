@@ -169,6 +169,91 @@ impl SupplierMsg {
     }
 }
 
+impl ring_snapshot::Snap for RequestMsg {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.txn);
+        w.put(&self.line);
+        w.put(&self.kind);
+        w.put(&self.priority);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(RequestMsg {
+            txn: r.get()?,
+            line: r.get()?,
+            kind: r.get()?,
+            priority: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for ResponseMsg {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.txn);
+        w.put(&self.line);
+        w.put(&self.kind);
+        w.put(&self.priority);
+        w.put(&self.positive);
+        w.put(&self.sharers);
+        w.put(&self.outcomes);
+        w.put(&self.squashed);
+        w.put(&self.loser_hint);
+        w.put(&self.snid);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(ResponseMsg {
+            txn: r.get()?,
+            line: r.get()?,
+            kind: r.get()?,
+            priority: r.get()?,
+            positive: r.get()?,
+            sharers: r.get()?,
+            outcomes: r.get()?,
+            squashed: r.get()?,
+            loser_hint: r.get()?,
+            snid: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for SupplierMsg {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.txn);
+        w.put(&self.line);
+        w.put(&self.with_data);
+        w.put(&self.new_state);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(SupplierMsg {
+            txn: r.get()?,
+            line: r.get()?,
+            with_data: r.get()?,
+            new_state: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for RingMsg {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        match self {
+            RingMsg::Request(m) => {
+                w.put(&0u8);
+                w.put(m);
+            }
+            RingMsg::Response(m) => {
+                w.put(&1u8);
+                w.put(m);
+            }
+        }
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(match r.get::<u8>()? {
+            0 => RingMsg::Request(r.get()?),
+            1 => RingMsg::Response(r.get()?),
+            other => return Err(r.malformed(format!("RingMsg tag {other}"))),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

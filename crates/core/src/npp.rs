@@ -142,6 +142,46 @@ impl NodePrefetchPredictor {
     }
 }
 
+impl NodePrefetchPredictor {
+    /// Serializes the predictor. The hashed presence table is emitted
+    /// in sorted address order so the encoding is canonical regardless
+    /// of hash-map iteration order.
+    pub fn snap_save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.capacity);
+        w.put(&self.queue);
+        let mut present: Vec<(LineAddr, u64)> =
+            self.present.iter().map(|(&a, &s)| (a, s)).collect();
+        present.sort_unstable();
+        w.put(&present);
+        w.put(&self.tick);
+        w.put(&self.observations);
+        w.put(&self.prefetch_hits);
+        w.put(&self.prefetch_suppressions);
+    }
+
+    /// Rebuilds a predictor from a snapshot.
+    pub fn snap_load(
+        r: &mut ring_snapshot::SnapReader<'_>,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let capacity: usize = r.get()?;
+        let queue: VecDeque<(LineAddr, u64)> = r.get()?;
+        let present_vec: Vec<(LineAddr, u64)> = r.get()?;
+        let mut present = FxHashMap::default();
+        for (a, s) in present_vec {
+            present.insert(a, s);
+        }
+        Ok(NodePrefetchPredictor {
+            capacity,
+            queue,
+            present,
+            tick: r.get()?,
+            observations: r.get()?,
+            prefetch_hits: r.get()?,
+            prefetch_suppressions: r.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -132,6 +132,48 @@ impl Ord for Priority {
     }
 }
 
+impl ring_snapshot::Snap for TxnKind {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.rank());
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(match r.get::<u8>()? {
+            0 => TxnKind::Read,
+            1 => TxnKind::WriteMiss,
+            2 => TxnKind::WriteHit,
+            other => return Err(r.malformed(format!("TxnKind rank {other}"))),
+        })
+    }
+}
+
+impl ring_snapshot::Snap for TxnId {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.node);
+        w.put(&self.serial);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(TxnId {
+            node: r.get()?,
+            serial: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for Priority {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.kind_rank);
+        w.put(&self.random);
+        w.put(&(self.node as u64));
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(Priority {
+            kind_rank: r.get()?,
+            random: r.get()?,
+            node: r.get::<u64>()? as usize,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

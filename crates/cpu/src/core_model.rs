@@ -88,6 +88,9 @@ pub struct Core {
     blocked: Blocked,
     exhausted: bool,
     stats: CoreStats,
+    /// Ops pulled from the stream so far — checkpoint/restore rebuilds
+    /// the deterministic generator and fast-forwards it by this count.
+    pulled: u64,
 }
 
 impl std::fmt::Debug for Core {
@@ -132,6 +135,7 @@ impl Core {
             blocked: Blocked::No,
             exhausted: false,
             stats: CoreStats::default(),
+            pulled: 0,
         }
     }
 
@@ -192,6 +196,7 @@ impl Core {
                 self.blocked = Blocked::Fence;
                 return NextStep::BlockedStores { cycles: local };
             };
+            self.pulled += 1;
             self.stats.retired += 1;
             match op {
                 Op::Compute(c) => local += u64::from(c),
@@ -299,6 +304,88 @@ impl Core {
             }
             _ => (None, false),
         }
+    }
+}
+
+impl ring_snapshot::Snap for CoreStats {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.retired);
+        w.put(&self.mem_refs);
+        w.put(&self.l1_hits);
+        w.put(&self.l2_hits);
+        w.put(&self.read_misses);
+        w.put(&self.write_txns);
+        w.put(&self.silent_stores);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(CoreStats {
+            retired: r.get()?,
+            mem_refs: r.get()?,
+            l1_hits: r.get()?,
+            l2_hits: r.get()?,
+            read_misses: r.get()?,
+            write_txns: r.get()?,
+            silent_stores: r.get()?,
+        })
+    }
+}
+
+impl Core {
+    /// Serializes the core: op-stream position, L1 contents, store
+    /// buffer, blocking state, and statistics. The op stream itself is
+    /// not stored — it is a deterministic generator the caller rebuilds
+    /// and fast-forwards at restore.
+    pub fn snap_save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.pulled);
+        self.l1.snap_save(w);
+        self.store_buffer.snap_save(w);
+        match self.blocked {
+            Blocked::No => w.put(&0u8),
+            Blocked::Read(line) => {
+                w.put(&1u8);
+                w.put(&line);
+            }
+            Blocked::StoreFull(line) => {
+                w.put(&2u8);
+                w.put(&line);
+            }
+            Blocked::Fence => w.put(&3u8),
+        }
+        w.put(&self.exhausted);
+        w.put(&self.stats);
+    }
+
+    /// Rebuilds a core from configuration plus snapshot state. `ops`
+    /// must be a fresh instance of the same deterministic stream the
+    /// snapshotted core was created with; it is advanced past the ops
+    /// the core had already consumed.
+    pub fn snap_load(
+        r: &mut ring_snapshot::SnapReader<'_>,
+        mut ops: Box<dyn Iterator<Item = Op> + Send>,
+        l1_cfg: CacheConfig,
+        l2_latency: u64,
+        store_capacity: usize,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let pulled: u64 = r.get()?;
+        for i in 0..pulled {
+            if ops.next().is_none() {
+                return Err(r.malformed(format!("op stream ended at {i} of {pulled} consumed ops")));
+            }
+        }
+        let mut c = Core::new(ops, l1_cfg, l2_latency, store_capacity);
+        c.pulled = pulled;
+        c.l1 = CacheArray::snap_load(r, l1_cfg)?;
+        c.store_buffer = StoreBuffer::snap_load(r)?;
+        c.blocked = match r.get::<u8>()? {
+            0 => Blocked::No,
+            1 => Blocked::Read(r.get()?),
+            2 => Blocked::StoreFull(r.get()?),
+            3 => Blocked::Fence,
+            other => return Err(r.malformed(format!("core blocked tag {other}"))),
+        };
+        c.exhausted = r.get()?;
+        c.stats = r.get()?;
+        Ok(c)
     }
 }
 

@@ -96,6 +96,36 @@ impl StoreBuffer {
     }
 }
 
+impl StoreBuffer {
+    /// Serializes the buffer: capacity, outstanding lines in insertion
+    /// order, and counters.
+    pub fn snap_save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.capacity);
+        w.put(&self.entries);
+        w.put(&self.merges);
+        w.put(&self.full_stalls);
+    }
+
+    /// Rebuilds a buffer from snapshot state.
+    pub fn snap_load(
+        r: &mut ring_snapshot::SnapReader<'_>,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let capacity: usize = r.get()?;
+        if capacity == 0 {
+            return Err(r.malformed("store buffer capacity must be positive"));
+        }
+        let entries: Vec<LineAddr> = r.get()?;
+        if entries.len() > capacity {
+            return Err(r.malformed("store buffer holds more lines than its capacity"));
+        }
+        let mut sb = StoreBuffer::new(capacity);
+        sb.entries = entries;
+        sb.merges = r.get()?;
+        sb.full_stalls = r.get()?;
+        Ok(sb)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -124,6 +124,36 @@ impl MemoryController {
     }
 }
 
+impl MemoryController {
+    /// Serializes the controller's dynamic state (slot completion times
+    /// and counters); the timing configuration is re-supplied at restore.
+    pub fn snap_save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.slot_free);
+        w.put(&self.requests);
+        w.put(&self.queued);
+    }
+
+    /// Rebuilds a controller from configuration plus snapshot state.
+    pub fn snap_load(
+        r: &mut ring_snapshot::SnapReader<'_>,
+        cfg: MemConfig,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let slot_free: Vec<Cycle> = r.get()?;
+        if slot_free.len() != cfg.max_in_flight {
+            return Err(r.malformed(format!(
+                "{} controller slots, config has {}",
+                slot_free.len(),
+                cfg.max_in_flight
+            )));
+        }
+        let mut mc = MemoryController::new(cfg);
+        mc.slot_free = slot_free;
+        mc.requests = r.get()?;
+        mc.queued = r.get()?;
+        Ok(mc)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -138,6 +138,47 @@ impl ControllerPrefetchPredictor {
     }
 }
 
+impl ControllerPrefetchPredictor {
+    /// Serializes the CPP: geometry plus the full page-entry table, so a
+    /// restored predictor suppresses exactly the same prefetches.
+    pub fn snap_save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.line_bytes);
+        w.put(&self.page_bytes);
+        w.put_seq_with(self.entries.iter(), |w, e| {
+            w.put(&e.page);
+            w.put(&e.valid);
+            w.put(&e.bits);
+        });
+        w.put(&self.suppressed);
+    }
+
+    /// Rebuilds a CPP from snapshot state.
+    pub fn snap_load(
+        r: &mut ring_snapshot::SnapReader<'_>,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let line_bytes: u64 = r.get()?;
+        let page_bytes: u64 = r.get()?;
+        let entries: Vec<PageEntry> = r.get_seq_with(|r| {
+            Ok(PageEntry {
+                page: r.get()?,
+                valid: r.get()?,
+                bits: r.get()?,
+            })
+        })?;
+        if entries.is_empty() || !entries.len().is_power_of_two() {
+            return Err(r.malformed("CPP entry count must be a power of two"));
+        }
+        let lines_per_page = page_bytes.checked_div(line_bytes).unwrap_or(0);
+        if !(1..=64).contains(&lines_per_page) {
+            return Err(r.malformed("CPP page must hold 1..=64 lines"));
+        }
+        let mut cpp = ControllerPrefetchPredictor::new(entries.len(), line_bytes, page_bytes);
+        cpp.entries = entries;
+        cpp.suppressed = r.get()?;
+        Ok(cpp)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

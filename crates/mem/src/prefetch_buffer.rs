@@ -126,6 +126,48 @@ impl PrefetchBuffer {
     }
 }
 
+impl PrefetchBuffer {
+    /// Serializes the buffer: geometry, live entries in insertion order,
+    /// and counters.
+    pub fn snap_save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.capacity);
+        w.put(&self.hold_cycles);
+        w.put_seq_with(self.entries.iter(), |w, e| {
+            w.put(&e.addr);
+            w.put(&e.ready_at);
+        });
+        w.put(&self.hits);
+        w.put(&self.expirations);
+        w.put(&self.discards);
+    }
+
+    /// Rebuilds a buffer from snapshot state.
+    pub fn snap_load(
+        r: &mut ring_snapshot::SnapReader<'_>,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let capacity: usize = r.get()?;
+        if capacity == 0 {
+            return Err(r.malformed("prefetch buffer capacity must be positive"));
+        }
+        let hold_cycles: Cycle = r.get()?;
+        let entries: Vec<Entry> = r.get_seq_with(|r| {
+            Ok(Entry {
+                addr: r.get()?,
+                ready_at: r.get()?,
+            })
+        })?;
+        if entries.len() > capacity {
+            return Err(r.malformed("prefetch buffer holds more entries than its capacity"));
+        }
+        let mut b = PrefetchBuffer::new(capacity, hold_cycles);
+        b.entries = entries;
+        b.hits = r.get()?;
+        b.expirations = r.get()?;
+        b.discards = r.get()?;
+        Ok(b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -537,6 +537,55 @@ impl FaultInjector {
     }
 }
 
+impl ring_snapshot::Snap for FaultStats {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.jitters);
+        w.put(&self.reorders);
+        w.put(&self.duplicates);
+        w.put(&self.congestions);
+        w.put(&self.drops);
+        w.put(&self.outage_drops);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(FaultStats {
+            jitters: r.get()?,
+            reorders: r.get()?,
+            duplicates: r.get()?,
+            congestions: r.get()?,
+            drops: r.get()?,
+            outage_drops: r.get()?,
+        })
+    }
+}
+
+impl FaultInjector {
+    /// Serializes the injector's cursor: the RNG position mid-stream,
+    /// the injection counters, and the last announced outage window.
+    /// The profile, seed, and link count are not stored — they come
+    /// back from the machine configuration's [`FaultPlan`] at restore.
+    pub fn snap_save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.rng.state());
+        w.put(&self.stats);
+        w.put(&self.announced.map(|(win, l)| (win, l.0 as u64)));
+    }
+
+    /// Rebuilds the injector from `plan` and a snapshot cursor.
+    pub fn snap_load(
+        r: &mut ring_snapshot::SnapReader<'_>,
+        plan: FaultPlan,
+        links: usize,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let mut inj = FaultInjector::new(plan);
+        inj.set_links(links);
+        inj.rng = DetRng::from_state(r.get()?);
+        inj.stats = r.get()?;
+        inj.announced = r
+            .get::<Option<(u64, u64)>>()?
+            .map(|(win, l)| (win, LinkId(l as usize)));
+        Ok(inj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

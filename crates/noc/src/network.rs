@@ -718,6 +718,102 @@ impl Network {
     }
 }
 
+impl Channel {
+    /// Inverse of [`Channel::index`].
+    pub fn from_index(i: usize) -> Option<Channel> {
+        match i {
+            0 => Some(Channel::Request),
+            1 => Some(Channel::Response),
+            2 => Some(Channel::Data),
+            _ => None,
+        }
+    }
+}
+
+impl Network {
+    /// Serializes the network's dynamic state: link occupancy chains,
+    /// traffic/drop counters, undrained outage transitions, and the
+    /// fault injector's cursor. The topology and timing configuration
+    /// are rebuilt from the machine configuration at restore, and the
+    /// multicast-tree cache and per-call scratch buffers are
+    /// deliberately excluded (they are recomputed caches with no
+    /// observable effect).
+    pub fn snap_save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.free_at);
+        w.put(
+            &self
+                .link_traffic
+                .iter()
+                .map(|t| (t.messages, t.bytes))
+                .collect::<Vec<(u64, u64)>>(),
+        );
+        w.put(&self.link_drops);
+        w.put(
+            &self
+                .outage_events
+                .iter()
+                .map(|e| (e.at, e.link.0 as u64, (e.down, e.up_at)))
+                .collect::<Vec<(Cycle, u64, (bool, Cycle))>>(),
+        );
+        w.put(&self.messages_sent);
+        match &self.faults {
+            None => w.put(&false),
+            Some(inj) => {
+                w.put(&true);
+                inj.snap_save(w);
+            }
+        }
+    }
+
+    /// Rebuilds a network from configuration plus snapshot state.
+    pub fn snap_load(
+        r: &mut ring_snapshot::SnapReader<'_>,
+        torus: Torus,
+        cfg: NetworkConfig,
+        plan: Option<FaultPlan>,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let mut n = Network::new(torus, cfg);
+        let free_at: Vec<Vec<Cycle>> = r.get()?;
+        if free_at.len() != n.free_at.len() || free_at.iter().any(|f| f.len() != n.torus.links()) {
+            return Err(r.malformed("link occupancy shape does not match the topology"));
+        }
+        n.free_at = free_at;
+        let traffic: Vec<(u64, u64)> = r.get()?;
+        if traffic.len() != n.link_traffic.len() {
+            return Err(r.malformed("link traffic length does not match the topology"));
+        }
+        n.link_traffic = traffic
+            .into_iter()
+            .map(|(messages, bytes)| LinkTraffic { messages, bytes })
+            .collect();
+        n.link_drops = r.get()?;
+        if n.link_drops.len() != n.torus.links() {
+            return Err(r.malformed("link drop length does not match the topology"));
+        }
+        let outages: Vec<(Cycle, u64, (bool, Cycle))> = r.get()?;
+        n.outage_events = outages
+            .into_iter()
+            .map(|(at, link, (down, up_at))| OutageEvent {
+                at,
+                link: crate::topology::LinkId(link as usize),
+                down,
+                up_at,
+            })
+            .collect();
+        n.messages_sent = r.get()?;
+        let has_faults: bool = r.get()?;
+        n.faults =
+            match (has_faults, plan) {
+                (false, _) => None,
+                (true, Some(plan)) => Some(FaultInjector::snap_load(r, plan, n.torus.links())?),
+                (true, None) => return Err(r.malformed(
+                    "snapshot carries fault-injector state but the configuration has no fault plan",
+                )),
+            };
+        Ok(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1022,6 +1022,234 @@ fn arm_ack_timer<P>(
     }
 }
 
+impl ring_snapshot::Snap for RelStats {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.data_frames);
+        w.put(&self.retransmits);
+        w.put(&self.acks_sent);
+        w.put(&self.delivered);
+        w.put(&self.dup_frames);
+        w.put(&self.out_of_order);
+        w.put(&self.wire_drops);
+        w.put(&self.degraded_flows);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(RelStats {
+            data_frames: r.get()?,
+            retransmits: r.get()?,
+            acks_sent: r.get()?,
+            delivered: r.get()?,
+            dup_frames: r.get()?,
+            out_of_order: r.get()?,
+            wire_drops: r.get()?,
+            degraded_flows: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for FlowKey {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&(self.src.0 as u64));
+        w.put(&(self.dst.0 as u64));
+        w.put(&(self.channel.index() as u8));
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        let src = NodeId(r.get::<u64>()? as usize);
+        let dst = NodeId(r.get::<u64>()? as usize);
+        let ch = r.get::<u8>()?;
+        let channel = Channel::from_index(ch as usize)
+            .ok_or_else(|| r.malformed(format!("channel index {ch}")))?;
+        Ok(FlowKey { src, dst, channel })
+    }
+}
+
+impl<P: Clone> ReliableTransport<P> {
+    /// Serializes the transport's complete ARQ state mid-flight: RNG
+    /// position, every send/recv flow (in-flight windows, queued sends,
+    /// reorder buffers, timers), the wire-frame table, and the counters.
+    /// `enc` encodes a payload (the machine's agent inputs). Flow and
+    /// frame maps are hashed containers, so they are emitted in sorted
+    /// key order to keep the encoding canonical.
+    pub fn snap_save_with(
+        &self,
+        w: &mut ring_snapshot::SnapWriter,
+        mut enc: impl FnMut(&mut ring_snapshot::SnapWriter, &P),
+    ) {
+        w.put(&self.rng.state());
+        w.put(&self.next_frame);
+        w.put(&self.stats);
+
+        let mut send_keys: Vec<&FlowKey> = self.send_flows.keys().collect();
+        send_keys.sort_by_key(|k| k.order());
+        w.put(&(send_keys.len() as u64));
+        for key in send_keys {
+            let sf = &self.send_flows[key];
+            w.put(key);
+            w.put(&sf.next_seq);
+            w.put(&(sf.inflight.len() as u64));
+            for inf in &sf.inflight {
+                w.put(&inf.seq);
+                w.put(&inf.bytes);
+                w.put(&inf.attempts);
+                w.put(&inf.deadline);
+                enc(w, &inf.payload);
+            }
+            w.put(&(sf.queued.len() as u64));
+            for (seq, payload, bytes) in &sf.queued {
+                w.put(seq);
+                w.put(bytes);
+                enc(w, payload);
+            }
+            w.put(&sf.timer_at);
+            w.put(&sf.degraded);
+        }
+
+        let mut recv_keys: Vec<&FlowKey> = self.recv_flows.keys().collect();
+        recv_keys.sort_by_key(|k| k.order());
+        w.put(&(recv_keys.len() as u64));
+        for key in recv_keys {
+            let rf = &self.recv_flows[key];
+            w.put(key);
+            w.put(&rf.expected);
+            w.put(&(rf.reorder.len() as u64));
+            for (seq, payload) in &rf.reorder {
+                w.put(seq);
+                enc(w, payload);
+            }
+            w.put(&rf.ack_pending);
+            w.put(&rf.ack_timer_at);
+        }
+
+        let mut frame_ids: Vec<&u64> = self.frames.keys().collect();
+        frame_ids.sort_unstable();
+        w.put(&(frame_ids.len() as u64));
+        for id in frame_ids {
+            let frame = &self.frames[id];
+            w.put(id);
+            w.put(&frame.flow);
+            match &frame.kind {
+                FrameKind::Data {
+                    seq,
+                    payload,
+                    piggy,
+                } => {
+                    w.put(&0u8);
+                    w.put(seq);
+                    w.put(piggy);
+                    enc(w, payload);
+                }
+                FrameKind::Ack { cum } => {
+                    w.put(&1u8);
+                    w.put(cum);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a transport from configuration plus snapshot state;
+    /// `dec` decodes a payload.
+    pub fn snap_load_with(
+        r: &mut ring_snapshot::SnapReader<'_>,
+        cfg: ReliabilityConfig,
+        seed: u64,
+        mut dec: impl FnMut(
+            &mut ring_snapshot::SnapReader<'_>,
+        ) -> Result<P, ring_snapshot::SnapshotError>,
+    ) -> Result<Self, ring_snapshot::SnapshotError> {
+        let mut t = ReliableTransport::new(cfg, seed);
+        t.rng = DetRng::from_state(r.get()?);
+        t.next_frame = r.get()?;
+        t.stats = r.get()?;
+
+        let n_send = r.get_len()?;
+        for _ in 0..n_send {
+            let key: FlowKey = r.get()?;
+            let next_seq: u64 = r.get()?;
+            let n_inflight = r.get_len()?;
+            let mut inflight = VecDeque::with_capacity(n_inflight);
+            for _ in 0..n_inflight {
+                let seq: u64 = r.get()?;
+                let bytes: u64 = r.get()?;
+                let attempts: u32 = r.get()?;
+                let deadline: Cycle = r.get()?;
+                let payload = dec(r)?;
+                inflight.push_back(InFlight {
+                    seq,
+                    payload,
+                    bytes,
+                    attempts,
+                    deadline,
+                });
+            }
+            let n_queued = r.get_len()?;
+            let mut queued = VecDeque::with_capacity(n_queued);
+            for _ in 0..n_queued {
+                let seq: u64 = r.get()?;
+                let bytes: u64 = r.get()?;
+                let payload = dec(r)?;
+                queued.push_back((seq, payload, bytes));
+            }
+            let timer_at: Option<Cycle> = r.get()?;
+            let degraded: bool = r.get()?;
+            t.send_flows.insert(
+                key,
+                SendFlow {
+                    next_seq,
+                    inflight,
+                    queued,
+                    timer_at,
+                    degraded,
+                },
+            );
+        }
+
+        let n_recv = r.get_len()?;
+        for _ in 0..n_recv {
+            let key: FlowKey = r.get()?;
+            let expected: u64 = r.get()?;
+            let n_reorder = r.get_len()?;
+            let mut reorder = BTreeMap::new();
+            for _ in 0..n_reorder {
+                let seq: u64 = r.get()?;
+                reorder.insert(seq, dec(r)?);
+            }
+            let ack_pending: bool = r.get()?;
+            let ack_timer_at: Option<Cycle> = r.get()?;
+            t.recv_flows.insert(
+                key,
+                RecvFlow {
+                    expected,
+                    reorder,
+                    ack_pending,
+                    ack_timer_at,
+                },
+            );
+        }
+
+        let n_frames = r.get_len()?;
+        for _ in 0..n_frames {
+            let id: u64 = r.get()?;
+            let flow: FlowKey = r.get()?;
+            let kind = match r.get::<u8>()? {
+                0 => {
+                    let seq: u64 = r.get()?;
+                    let piggy: u64 = r.get()?;
+                    let payload = dec(r)?;
+                    FrameKind::Data {
+                        seq,
+                        payload,
+                        piggy,
+                    }
+                }
+                1 => FrameKind::Ack { cum: r.get()? },
+                other => return Err(r.malformed(format!("frame kind {other}"))),
+            };
+            t.frames.insert(id, Frame { flow, kind });
+        }
+        Ok(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

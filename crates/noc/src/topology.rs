@@ -235,6 +235,24 @@ impl Iterator for RouteIter<'_> {
 
 impl ExactSizeIterator for RouteIter<'_> {}
 
+impl ring_snapshot::Snap for NodeId {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&(self.0 as u64));
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(NodeId(r.get::<u64>()? as usize))
+    }
+}
+
+impl ring_snapshot::Snap for LinkId {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&(self.0 as u64));
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(LinkId(r.get::<u64>()? as usize))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -285,6 +285,53 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E: Clone> EventQueue<E> {
+    /// Every pending event as `(time, event)` in exact pop order,
+    /// without disturbing the queue — the serialization form for
+    /// checkpointing. Works on a clone, so it costs O(n log n) but
+    /// cannot perturb the live queue's state.
+    pub fn pending_in_order(&self) -> Vec<(Cycle, E)> {
+        let mut q = self.clone();
+        let mut out = Vec::with_capacity(q.len());
+        while let Some(te) = q.pop() {
+            out.push(te);
+        }
+        out
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Rebuilds a queue from checkpoint parts: the clock, the pop
+    /// counters, and the pending events in pop order (as produced by
+    /// [`EventQueue::pending_in_order`]).
+    ///
+    /// Re-scheduling in pop order reproduces the exact observable
+    /// behavior: within one cycle every structure (bucket FIFO, heap
+    /// `(time, seq)` order) preserves insertion order, and across
+    /// cycles pops are by time regardless of structure — so the rebuilt
+    /// queue pops the identical sequence even though events that sat on
+    /// the far-future heap may now land in calendar buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event time is before `now`.
+    pub fn restore_from_parts(
+        now: Cycle,
+        popped: u64,
+        peak: usize,
+        events: Vec<(Cycle, E)>,
+    ) -> Self {
+        let mut q = Self::new();
+        q.now = now;
+        for (t, e) in events {
+            q.schedule(t, e);
+        }
+        q.popped = popped;
+        q.peak = q.peak.max(peak);
+        q
+    }
+}
+
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
@@ -436,6 +483,54 @@ mod tests {
         q.pop();
         assert_eq!(q.bucket_len(), 1);
         assert_eq!(q.heap_len(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_pop_order_and_counters() {
+        let mut q = EventQueue::new();
+        for i in 0..40u64 {
+            q.schedule(i * 3, i);
+            q.schedule(6000 + i, 1000 + i); // heap path
+        }
+        for _ in 0..10 {
+            q.pop();
+        }
+        q.schedule_in(1, 777);
+        let events = q.pending_in_order();
+        let mut restored =
+            EventQueue::restore_from_parts(q.now(), q.events_processed(), q.peak_len(), events);
+        assert_eq!(restored.now(), q.now());
+        assert_eq!(restored.len(), q.len());
+        assert_eq!(restored.events_processed(), q.events_processed());
+        assert_eq!(restored.peak_len(), q.peak_len());
+        loop {
+            let (a, b) = (q.pop(), restored.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_of_heap_resident_in_window_event_keeps_fifo() {
+        // An event scheduled far ahead stays on the heap even once its
+        // time enters the bucket window; restore re-buckets it. FIFO
+        // against later same-cycle events must survive that migration.
+        let mut q = EventQueue::new();
+        q.schedule(5000, "early-seq"); // heap
+        q.schedule(4990, "advance");
+        q.pop(); // now = 4990; 5000 is in-window but still on the heap
+        q.schedule(5000, "late-seq"); // bucket
+        let restored = EventQueue::restore_from_parts(
+            q.now(),
+            q.events_processed(),
+            q.peak_len(),
+            q.pending_in_order(),
+        );
+        let mut restored = restored;
+        assert_eq!(restored.pop(), Some((5000, "early-seq")));
+        assert_eq!(restored.pop(), Some((5000, "late-seq")));
     }
 
     #[test]

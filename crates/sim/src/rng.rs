@@ -47,6 +47,13 @@ impl DetRng {
         self.s
     }
 
+    /// Reconstructs an RNG at an exact point in its stream from a state
+    /// captured with [`DetRng::state`] — checkpoint/restore must resume
+    /// every random stream mid-sequence, not reseed it.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        DetRng { s }
+    }
+
     /// Creates an RNG from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
         let mut sm = seed;
@@ -211,6 +218,18 @@ mod tests {
         assert_eq!(a.next_u64(), b.next_u64());
         let mut c = root1.fork(1);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn from_state_resumes_mid_stream() {
+        let mut a = DetRng::seed(77);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        let mut b = DetRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -1,0 +1,463 @@
+//! The primitive binary codec: little-endian, length-prefixed, no
+//! padding, no alignment — every byte is explicitly written, so the
+//! encoding of a value is a pure function of the value.
+
+use crate::SnapshotError;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Serializer for one snapshot section.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends any [`Snap`] value.
+    pub fn put<T: Snap>(&mut self, v: &T) {
+        v.save(self);
+    }
+
+    /// Appends raw bytes with a length prefix.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put(&(b.len() as u64));
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a string with a length prefix.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Appends a sequence as count + elements, through a closure — the
+    /// escape hatch for element types that need context to encode
+    /// (generic MSHR/transport payloads).
+    pub fn put_seq_with<T>(
+        &mut self,
+        items: impl ExactSizeIterator<Item = T>,
+        mut f: impl FnMut(&mut Self, T),
+    ) {
+        self.put(&(items.len() as u64));
+        for item in items {
+            f(self, item);
+        }
+    }
+
+    fn raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Deserializer for one snapshot section. Carries the section name so
+/// every decoding failure is attributed to the section it happened in.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    section: String,
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader over `buf`, reporting errors against `section`.
+    pub fn new(section: impl Into<String>, buf: &'a [u8]) -> Self {
+        SnapReader {
+            section: section.into(),
+            buf,
+            pos: 0,
+        }
+    }
+
+    /// The section this reader decodes.
+    pub fn section(&self) -> &str {
+        &self.section
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                section: self.section.clone(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decodes any [`Snap`] value.
+    pub fn get<T: Snap>(&mut self) -> Result<T, SnapshotError> {
+        T::load(self)
+    }
+
+    /// Decodes a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.get::<u64>()?;
+        let n = usize::try_from(n)
+            .map_err(|_| SnapshotError::malformed(&self.section, "length overflows usize"))?;
+        self.take(n)
+    }
+
+    /// Decodes a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, SnapshotError> {
+        let section = self.section.clone();
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| SnapshotError::malformed(section, "string is not UTF-8"))
+    }
+
+    /// Decodes a count-prefixed sequence through a closure.
+    pub fn get_seq_with<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, SnapshotError>,
+    ) -> Result<Vec<T>, SnapshotError> {
+        let n = self.get_len()?;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+
+    /// Decodes a u64 count and bounds-checks it against the remaining
+    /// bytes (each element needs at least one byte), so a corrupted
+    /// length cannot drive a huge allocation.
+    pub fn get_len(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.get::<u64>()?;
+        let n = usize::try_from(n)
+            .map_err(|_| SnapshotError::malformed(&self.section, "count overflows usize"))?;
+        if n > self.remaining() && n > 0 {
+            // Elements occupy >= 1 byte each except zero-sized unit-like
+            // encodings, which the simulator never uses.
+            return Err(SnapshotError::Truncated {
+                section: self.section.clone(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// A malformed-data error attributed to this reader's section.
+    pub fn malformed(&self, detail: impl Into<String>) -> SnapshotError {
+        SnapshotError::malformed(&self.section, detail)
+    }
+
+    /// Fails if any bytes are left unconsumed — a decoder that asks for
+    /// less than was written has a schema bug, not just stale data.
+    pub fn finish(&self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::malformed(
+                &self.section,
+                format!("{} trailing bytes after decode", self.remaining()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A value with a canonical, self-describing binary encoding.
+///
+/// `load(save(v)) == v`, and `save` is a pure function of the value —
+/// the two properties byte-identical restore rests on.
+pub trait Snap: Sized {
+    /// Appends the encoding of `self` to `w`.
+    fn save(&self, w: &mut SnapWriter);
+    /// Decodes a value from `r`.
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError>;
+}
+
+macro_rules! snap_int {
+    ($($t:ty),*) => {$(
+        impl Snap for $t {
+            fn save(&self, w: &mut SnapWriter) {
+                w.raw(&self.to_le_bytes());
+            }
+            fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+                let b = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(b.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+snap_int!(u8, u16, u32, u64, u128, i64);
+
+impl Snap for usize {
+    fn save(&self, w: &mut SnapWriter) {
+        (*self as u64).save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let v = u64::load(r)?;
+        usize::try_from(v).map_err(|_| r.malformed("usize overflow"))
+    }
+}
+
+impl Snap for bool {
+    fn save(&self, w: &mut SnapWriter) {
+        w.raw(&[u8::from(*self)]);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        match u8::load(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(r.malformed(format!("bool byte {other}"))),
+        }
+    }
+}
+
+impl Snap for f64 {
+    fn save(&self, w: &mut SnapWriter) {
+        self.to_bits().save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(f64::from_bits(u64::load(r)?))
+    }
+}
+
+impl Snap for String {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_str(self);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        r.get_str()
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.put(&0u8),
+            Some(v) => {
+                w.put(&1u8);
+                w.put(v);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        match u8::load(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(r)?)),
+            other => Err(r.malformed(format!("Option tag {other}"))),
+        }
+    }
+}
+
+impl<T: Snap> Snap for Vec<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&(self.len() as u64));
+        for v in self {
+            w.put(v);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.get_len()?;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap> Snap for VecDeque<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&(self.len() as u64));
+        for v in self {
+            w.put(v);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Vec::<T>::load(r)?.into())
+    }
+}
+
+impl<K: Snap + Ord, V: Snap> Snap for BTreeMap<K, V> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&(self.len() as u64));
+        for (k, v) in self {
+            w.put(k);
+            w.put(v);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.get_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::load(r)?;
+            let v = V::load(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap + Ord> Snap for BTreeSet<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&(self.len() as u64));
+        for v in self {
+            w.put(v);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.get_len()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            out.insert(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Snap, B: Snap> Snap for (A, B) {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&self.0);
+        w.put(&self.1);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::load(r)?, B::load(r)?))
+    }
+}
+
+impl<A: Snap, B: Snap, C: Snap> Snap for (A, B, C) {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&self.0);
+        w.put(&self.1);
+        w.put(&self.2);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?))
+    }
+}
+
+impl<T: Snap, const N: usize> Snap for [T; N] {
+    fn save(&self, w: &mut SnapWriter) {
+        for v in self {
+            w.put(v);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::load(r)?);
+        }
+        out.try_into()
+            .map_err(|_| r.malformed("array length mismatch"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Snap + PartialEq + std::fmt::Debug>(v: T) {
+        let mut w = SnapWriter::new();
+        w.put(&v);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new("test", &bytes);
+        assert_eq!(r.get::<T>().unwrap(), v);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(u128::MAX - 7);
+        roundtrip(-42i64);
+        roundtrip(true);
+        roundtrip(3.25f64);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip(String::from("héllo"));
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn nan_bits_roundtrip() {
+        let v = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut w = SnapWriter::new();
+        w.put(&v);
+        let mut r = SnapReader::new("test", w.into_bytes().leak());
+        assert_eq!(r.get::<f64>().unwrap().to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(VecDeque::from([9u32, 8]));
+        roundtrip(Some(7u8));
+        roundtrip(Option::<u8>::None);
+        roundtrip(BTreeMap::from([(1u64, 2u64), (3, 4)]));
+        roundtrip(BTreeSet::from([5u32, 6]));
+        roundtrip((1u8, 2u16, 3u32));
+        roundtrip([1u64, 2, 3]);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = SnapWriter::new();
+        w.put(&12345678u64);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new("queue", &bytes[..4]);
+        match r.get::<u64>() {
+            Err(SnapshotError::Truncated { section }) => assert_eq!(section, "queue"),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_count_rejected() {
+        let mut w = SnapWriter::new();
+        w.put(&u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new("s", &bytes);
+        assert!(r.get::<Vec<u64>>().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = SnapWriter::new();
+        w.put(&1u8);
+        w.put(&2u8);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new("s", &bytes);
+        let _ = r.get::<u8>().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        let mut r = SnapReader::new("s", &[7u8]);
+        assert!(r.get::<bool>().is_err());
+    }
+
+    #[test]
+    fn seq_with_closure() {
+        let mut w = SnapWriter::new();
+        w.put_seq_with([10u64, 20].iter(), |w, v| w.put(v));
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new("s", &bytes);
+        let out = r.get_seq_with(|r| r.get::<u64>()).unwrap();
+        assert_eq!(out, vec![10, 20]);
+    }
+}

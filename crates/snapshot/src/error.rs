@@ -1,0 +1,158 @@
+//! The typed error every snapshot operation reports.
+
+use std::fmt;
+
+/// Why a snapshot could not be written, read, or decoded.
+///
+/// Corruption errors name the section that failed verification, so a
+/// harness (or a human) knows which subsystem's state was damaged and can
+/// fall back to an older checkpoint instead of resuming wrongly.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// Path involved.
+        path: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic,
+    /// The file was written by an incompatible schema version.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The header's CRC32 does not match its contents.
+    CorruptHeader,
+    /// The file ends before the named section's payload does.
+    Truncated {
+        /// Section (or `"header"`) that was cut off.
+        section: String,
+    },
+    /// The named section's CRC32 does not match its payload.
+    CorruptSection {
+        /// Section that failed verification.
+        section: String,
+    },
+    /// A section decoded successfully but its contents are malformed.
+    Malformed {
+        /// Section being decoded.
+        section: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The section that was expected.
+        section: String,
+    },
+    /// The snapshot was taken under a different machine configuration.
+    ConfigMismatch {
+        /// Config hash recorded in the snapshot.
+        found: u64,
+        /// Config hash of the machine being restored into.
+        expected: u64,
+    },
+    /// No usable checkpoint exists (all candidates failed verification).
+    NoValidCheckpoint {
+        /// Directory that was searched.
+        dir: String,
+    },
+}
+
+impl SnapshotError {
+    /// Convenience constructor for [`SnapshotError::Io`].
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        SnapshotError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Convenience constructor for [`SnapshotError::Malformed`].
+    pub fn malformed(section: impl Into<String>, detail: impl Into<String>) -> Self {
+        SnapshotError::Malformed {
+            section: section.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// The section this error is attributed to, when it names one.
+    pub fn section(&self) -> Option<&str> {
+        match self {
+            SnapshotError::Truncated { section }
+            | SnapshotError::CorruptSection { section }
+            | SnapshotError::Malformed { section, .. }
+            | SnapshotError::MissingSection { section } => Some(section),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, source } => write!(f, "snapshot I/O on {path}: {source}"),
+            SnapshotError::BadMagic => write!(f, "not a ring snapshot (bad magic)"),
+            SnapshotError::BadVersion { found, expected } => write!(
+                f,
+                "snapshot schema version {found} is not the supported version {expected}"
+            ),
+            SnapshotError::CorruptHeader => write!(f, "snapshot header failed CRC verification"),
+            SnapshotError::Truncated { section } => {
+                write!(f, "snapshot truncated inside section `{section}`")
+            }
+            SnapshotError::CorruptSection { section } => {
+                write!(f, "snapshot section `{section}` failed CRC verification")
+            }
+            SnapshotError::Malformed { section, detail } => {
+                write!(f, "snapshot section `{section}` is malformed: {detail}")
+            }
+            SnapshotError::MissingSection { section } => {
+                write!(f, "snapshot is missing required section `{section}`")
+            }
+            SnapshotError::ConfigMismatch { found, expected } => write!(
+                f,
+                "snapshot was taken under config hash {found:#018x}, \
+                 machine expects {expected:#018x}"
+            ),
+            SnapshotError::NoValidCheckpoint { dir } => {
+                write!(f, "no valid checkpoint found in {dir}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_section() {
+        let e = SnapshotError::CorruptSection {
+            section: "queue".into(),
+        };
+        assert!(e.to_string().contains("queue"));
+        assert_eq!(e.section(), Some("queue"));
+    }
+
+    #[test]
+    fn io_keeps_source() {
+        use std::error::Error;
+        let e = SnapshotError::io("x", std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+        assert!(e.section().is_none());
+    }
+}

@@ -481,6 +481,50 @@ impl LogHistogram {
     }
 }
 
+impl ring_snapshot::Snap for Histogram {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.bin_width);
+        w.put(&self.counts);
+        w.put(&self.overflow);
+        w.put(&self.total);
+        w.put(&self.sum);
+        w.put(&self.min);
+        w.put(&self.max);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(Histogram {
+            bin_width: r.get()?,
+            counts: r.get()?,
+            overflow: r.get()?,
+            total: r.get()?,
+            sum: r.get()?,
+            min: r.get()?,
+            max: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for LogHistogram {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.counts);
+        w.put(&self.total);
+        w.put(&self.sum);
+        w.put(&self.min);
+        w.put(&self.max);
+        w.put(&self.saturated);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(LogHistogram {
+            counts: r.get()?,
+            total: r.get()?,
+            sum: r.get()?,
+            min: r.get()?,
+            max: r.get()?,
+            saturated: r.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

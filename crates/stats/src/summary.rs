@@ -97,6 +97,25 @@ impl Summary {
     }
 }
 
+impl ring_snapshot::Snap for Summary {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.count);
+        w.put(&self.sum);
+        w.put(&self.min);
+        w.put(&self.max);
+        w.put(&self.sum_sq);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(Summary {
+            count: r.get()?,
+            sum: r.get()?,
+            min: r.get()?,
+            max: r.get()?,
+            sum_sq: r.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -71,6 +71,21 @@ impl TrafficMeter {
     }
 }
 
+impl ring_snapshot::Snap for TrafficMeter {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.control);
+        w.put(&self.data);
+        w.put(&self.messages);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(TrafficMeter {
+            control: r.get()?,
+            data: r.get()?,
+            messages: r.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,162 @@
+//! Checkpoint-directory management: discovery, newest-valid selection,
+//! and automatic fallback past corrupted snapshots.
+//!
+//! A checkpointed run leaves a trail of `ckpt-<cycle>.ringsnap` files
+//! (see [`crate::Machine::enable_checkpoints`]). After a crash,
+//! [`restore_latest`] walks them newest-first and resumes from the first
+//! one that passes full integrity verification — a torn or bit-flipped
+//! newest checkpoint costs the work since the previous one, never
+//! correctness.
+
+use std::path::{Path, PathBuf};
+
+use ring_snapshot::{fnv1a, SnapshotError};
+use ring_workloads::AppProfile;
+
+use crate::config::MachineConfig;
+use crate::machine::Machine;
+
+/// Hash of the parts of the machine configuration that shape snapshot
+/// state, bound into every snapshot header so a restore into a
+/// differently configured machine is refused.
+///
+/// `max_cycles` is excluded: it caps a run without altering the machine,
+/// and resuming a capped ("killed") run with the cap lifted is the whole
+/// point of crash recovery.
+pub fn config_hash(cfg: &MachineConfig) -> u64 {
+    let mut c = cfg.clone();
+    c.max_cycles = 0;
+    fnv1a(format!("{c:?}").as_bytes())
+}
+
+/// Fingerprint of a workload profile, bound into every snapshot so a
+/// restore against a different workload fails with a typed error
+/// instead of silently diverging (the op streams are rebuilt from the
+/// profile at restore and fast-forwarded to their snapshotted
+/// positions).
+pub fn workload_fingerprint(profile: &AppProfile) -> u64 {
+    fnv1a(format!("{profile:?}").as_bytes())
+}
+
+/// Checkpoint files (`*.ringsnap`) in `dir`, newest first — ordered by
+/// the cycle embedded in the `ckpt-<cycle>` file name, with unparseable
+/// names sorted last. Missing or unreadable directories yield an empty
+/// list.
+pub fn list_checkpoints(dir: &Path) -> Vec<PathBuf> {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut found: Vec<(u64, PathBuf)> = rd
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|s| s.to_str()) == Some("ringsnap"))
+        .map(|p| {
+            let cycle = p
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| s.rsplit('-').next())
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0);
+            (cycle, p)
+        })
+        .collect();
+    found.sort();
+    found.reverse();
+    found.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Restores from the newest valid checkpoint in `dir`, automatically
+/// falling back to older ones when a candidate fails verification
+/// (truncation, bit flips, config mismatch — each rejection is reported
+/// on stderr with its typed [`SnapshotError`], naming the damaged
+/// section where applicable). Returns the machine and the path it
+/// resumed from, or [`SnapshotError::NoValidCheckpoint`] when every
+/// candidate is unusable.
+pub fn restore_latest(
+    cfg: &MachineConfig,
+    profile: &AppProfile,
+    dir: &Path,
+) -> Result<(Machine, PathBuf), SnapshotError> {
+    for path in list_checkpoints(dir) {
+        match Machine::restore(cfg.clone(), profile, &path) {
+            Ok(m) => return Ok((m, path)),
+            Err(e) => eprintln!(
+                "checkpoint {} rejected ({e}); falling back to an older one",
+                path.display()
+            ),
+        }
+    }
+    Err(SnapshotError::NoValidCheckpoint {
+        dir: dir.display().to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_coherence::ProtocolKind;
+
+    fn profile() -> AppProfile {
+        MachineConfig::default_workload().unwrap().scaled(50)
+    }
+
+    #[test]
+    fn config_hash_ignores_max_cycles_only() {
+        let a = MachineConfig::small_test(ProtocolKind::Uncorq);
+        let mut b = a.clone();
+        b.max_cycles = 12345;
+        assert_eq!(config_hash(&a), config_hash(&b));
+        let mut c = a.clone();
+        c.seed ^= 1;
+        assert_ne!(config_hash(&a), config_hash(&c));
+    }
+
+    #[test]
+    fn workload_fingerprint_distinguishes_profiles() {
+        let a = profile();
+        let b = profile().scaled(51);
+        assert_ne!(workload_fingerprint(&a), workload_fingerprint(&b));
+        assert_eq!(workload_fingerprint(&a), workload_fingerprint(&profile()));
+    }
+
+    #[test]
+    fn list_checkpoints_orders_newest_first() {
+        let dir = std::env::temp_dir().join("ring-ckpt-list-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for c in [5u64, 500, 50] {
+            std::fs::write(dir.join(format!("ckpt-{c:012}.ringsnap")), b"x").unwrap();
+        }
+        std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
+        let names: Vec<String> = list_checkpoints(&dir)
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "ckpt-000000000500.ringsnap",
+                "ckpt-000000000050.ringsnap",
+                "ckpt-000000000005.ringsnap"
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_reports_no_valid_checkpoint() {
+        let dir = std::env::temp_dir().join("ring-ckpt-empty-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = MachineConfig::small_test(ProtocolKind::Uncorq);
+        let err = match restore_latest(&cfg, &profile(), &dir) {
+            Ok(_) => panic!("empty dir must not restore"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, SnapshotError::NoValidCheckpoint { .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

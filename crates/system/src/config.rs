@@ -9,6 +9,9 @@ use ring_noc::{FaultPlan, NetworkConfig, ReliabilityConfig, ReliabilityConfigErr
 use ring_sim::Cycle;
 use serde::{Deserialize, Serialize};
 
+/// The workload profile used when a run does not name one.
+pub const DEFAULT_WORKLOAD: &str = "fmm";
+
 /// Why a [`MachineConfig`] cannot build a runnable machine.
 ///
 /// Returned by [`MachineConfig::validate`], which the machine
@@ -39,6 +42,8 @@ pub enum MachineConfigError {
     /// reliability sublayer is disabled — messages would vanish and the
     /// protocol would stall or corrupt.
     LossyFaultsNeedReliability,
+    /// A workload name did not resolve to any known application profile.
+    UnknownWorkload(&'static str),
 }
 
 impl fmt::Display for MachineConfigError {
@@ -65,6 +70,9 @@ impl fmt::Display for MachineConfigError {
                 "fault profile destroys frames (drop/outage) but reliability is \
                  disabled; enable MachineConfig::reliability or use a lossless profile"
             ),
+            MachineConfigError::UnknownWorkload(name) => {
+                write!(f, "unknown workload profile `{name}`")
+            }
         }
     }
 }
@@ -184,6 +192,15 @@ impl MachineConfig {
         self.width * self.height
     }
 
+    /// The workload profile used when a run does not name one
+    /// ([`DEFAULT_WORKLOAD`]), resolved through the typed error
+    /// machinery so a rename of the profile table surfaces as a
+    /// [`MachineConfigError::UnknownWorkload`] instead of a panic.
+    pub fn default_workload() -> Result<ring_workloads::AppProfile, MachineConfigError> {
+        ring_workloads::AppProfile::by_name(DEFAULT_WORKLOAD)
+            .ok_or(MachineConfigError::UnknownWorkload(DEFAULT_WORKLOAD))
+    }
+
     /// Checks that every subsystem parameter can build a runnable
     /// machine, so misconfigurations fail here with a typed error
     /// instead of panicking deep inside a subsystem later.
@@ -243,6 +260,18 @@ mod tests {
     #[test]
     fn small_test_is_16_nodes() {
         assert_eq!(MachineConfig::small_test(ProtocolKind::Uncorq).nodes(), 16);
+    }
+
+    #[test]
+    fn default_workload_resolves() {
+        let p = MachineConfig::default_workload().expect("default workload must exist");
+        assert_eq!(p.name, DEFAULT_WORKLOAD);
+    }
+
+    #[test]
+    fn unknown_workload_error_displays_the_name() {
+        let e = MachineConfigError::UnknownWorkload("nosuchapp");
+        assert!(e.to_string().contains("nosuchapp"));
     }
 
     #[test]

@@ -397,7 +397,9 @@ mod tests {
     fn run_ht() -> (Report, HtMachine) {
         let mut cfg = MachineConfig::small_test(ProtocolKind::Eager);
         cfg.seed = 7;
-        let profile = AppProfile::by_name("fmm").unwrap().scaled(200);
+        let profile = MachineConfig::default_workload()
+            .expect("default workload profile must exist")
+            .scaled(200);
         let mut m = HtMachine::new(cfg, &profile);
         let r = m.run();
         (r, m)

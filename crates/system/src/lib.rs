@@ -28,14 +28,16 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod ht_machine;
 mod machine;
 mod stall;
 mod stats;
 
-pub use config::{MachineConfig, MachineConfigError};
+pub use checkpoint::{config_hash, list_checkpoints, restore_latest, workload_fingerprint};
+pub use config::{MachineConfig, MachineConfigError, DEFAULT_WORKLOAD};
 pub use ht_machine::HtMachine;
 pub use machine::{run_paper, Machine};
-pub use stall::{NodeStallState, StallCause, StallReport};
+pub use stall::{NodeStallState, RestoredFrom, StallCause, StallReport};
 pub use stats::{MachineStats, Report};

@@ -15,8 +15,11 @@ use ring_trace::{
 };
 use ring_workloads::{AppProfile, WorkloadGen};
 
+use ring_snapshot::{SnapReader, SnapWriter, SnapshotBuilder, SnapshotError, SnapshotFile};
+
+use crate::checkpoint;
 use crate::config::MachineConfig;
-use crate::stall::{NodeStallState, ReliabilityStall, StallCause, StallReport};
+use crate::stall::{NodeStallState, ReliabilityStall, RestoredFrom, StallCause, StallReport};
 use crate::stats::{MachineStats, Report};
 
 /// Maps a protocol transaction kind onto the trace-layer operation
@@ -146,6 +149,82 @@ pub struct Machine {
     /// Next window boundary at which to probe the flight recorder
     /// (`Cycle::MAX` when no recorder is installed).
     next_window: Cycle,
+    /// Checkpoint cadence in cycles (0 = checkpointing off).
+    ckpt_every: Cycle,
+    /// Directory checkpoint files are written into.
+    ckpt_dir: std::path::PathBuf,
+    /// Next cycle boundary at which to write a checkpoint
+    /// (`Cycle::MAX` when checkpointing is off — the event loop then
+    /// pays exactly one integer compare per event).
+    next_ckpt: Cycle,
+    /// Provenance of the checkpoint this machine was restored from
+    /// (`None` for a machine built from scratch).
+    restored_from: Option<(String, Cycle)>,
+    /// Fingerprint of the workload profile the op streams were built
+    /// from; 0 for explicit streams ([`Machine::with_streams`]), whose
+    /// snapshots cannot be restored (the streams are opaque).
+    workload_fp: u64,
+}
+
+/// Serializes one machine event. The tags are part of the snapshot
+/// schema: renumbering them requires a [`ring_snapshot::SCHEMA_VERSION`]
+/// bump.
+fn ev_save(w: &mut SnapWriter, ev: &Ev) {
+    match ev {
+        Ev::Resume(n) => {
+            w.put(&0u8);
+            w.put(&(*n as u64));
+        }
+        Ev::Agent(n, input) => {
+            w.put(&1u8);
+            w.put(&(*n as u64));
+            w.put(input);
+        }
+        Ev::MemDone(n, line) => {
+            w.put(&2u8);
+            w.put(&(*n as u64));
+            w.put(line);
+        }
+        Ev::RelWire(frame) => {
+            w.put(&3u8);
+            w.put(&frame.0);
+        }
+        Ev::RelTimer(flow) => {
+            w.put(&4u8);
+            w.put(flow);
+        }
+        Ev::RelAck(flow) => {
+            w.put(&5u8);
+            w.put(flow);
+        }
+    }
+}
+
+/// Decodes one machine event, validating node indices against the
+/// machine size.
+fn ev_load(r: &mut SnapReader<'_>, nodes: usize) -> Result<Ev, SnapshotError> {
+    let node = |r: &mut SnapReader<'_>| -> Result<usize, SnapshotError> {
+        let n = r.get::<u64>()? as usize;
+        if n >= nodes {
+            return Err(r.malformed(format!("event node {n} out of range (machine has {nodes})")));
+        }
+        Ok(n)
+    };
+    Ok(match r.get::<u8>()? {
+        0 => Ev::Resume(node(r)?),
+        1 => {
+            let n = node(r)?;
+            Ev::Agent(n, r.get()?)
+        }
+        2 => {
+            let n = node(r)?;
+            Ev::MemDone(n, r.get()?)
+        }
+        3 => Ev::RelWire(FrameId(r.get()?)),
+        4 => Ev::RelTimer(r.get()?),
+        5 => Ev::RelAck(r.get()?),
+        other => return Err(r.malformed(format!("unknown event tag {other}"))),
+    })
 }
 
 impl Machine {
@@ -160,6 +239,7 @@ impl Machine {
             })
             .collect();
         let mut m = Self::with_streams(cfg, streams);
+        m.workload_fp = checkpoint::workload_fingerprint(profile);
         // Warm the shared regions: pool lines interleave round-robin and
         // producer-consumer buffers start at their producing core, all in
         // a supplier state; every node's prefetch predictor has seen the
@@ -263,6 +343,11 @@ impl Machine {
             outage_buf: Vec::new(),
             flight: None,
             next_window: Cycle::MAX,
+            ckpt_every: 0,
+            ckpt_dir: std::path::PathBuf::new(),
+            next_ckpt: Cycle::MAX,
+            restored_from: None,
+            workload_fp: 0,
         }
     }
 
@@ -285,6 +370,373 @@ impl Machine {
     /// its spill writer after a run).
     pub fn flight_mut(&mut self) -> Option<&mut FlightRecorder> {
         self.flight.as_mut()
+    }
+
+    /// Enables periodic checkpointing: approximately every `every`
+    /// cycles (at the first event boundary on or after each multiple)
+    /// the machine writes an integrity-verified snapshot into `dir` as
+    /// `ckpt-<cycle>.ringsnap`, atomically. `every == 0` disables
+    /// checkpointing again.
+    ///
+    /// Checkpointing observes state only — event timing, RNG draws, and
+    /// every reported statistic are byte-identical with or without it.
+    /// Write failures are reported on stderr and the run continues (a
+    /// full disk must not kill the simulation it is meant to protect).
+    pub fn enable_checkpoints(&mut self, every: Cycle, dir: impl Into<std::path::PathBuf>) {
+        self.ckpt_dir = dir.into();
+        self.ckpt_every = every;
+        self.next_ckpt = match self.queue.now().checked_div(every) {
+            None => Cycle::MAX, // every == 0: disabled
+            Some(periods) => (periods + 1) * every,
+        };
+    }
+
+    /// Provenance of the checkpoint this machine was restored from:
+    /// `(path, cycle)`, or `None` for a machine built from scratch.
+    pub fn restored_from(&self) -> Option<(&str, Cycle)> {
+        self.restored_from.as_ref().map(|(p, c)| (p.as_str(), *c))
+    }
+
+    /// Writes a checkpoint if the next pending event crosses the
+    /// checkpoint boundary (and is still under the run's cycle cap),
+    /// then advances the boundary. Called between events, so the
+    /// snapshot captures a consistent machine with the queue intact.
+    fn maybe_checkpoint(&mut self, cap: Cycle) {
+        let every = self.ckpt_every;
+        if every == 0 {
+            return;
+        }
+        let Some(pt) = self.queue.peek_time() else {
+            return;
+        };
+        if pt < self.next_ckpt || pt >= cap {
+            return;
+        }
+        let path = self.ckpt_dir.join(format!("ckpt-{pt:012}.ringsnap"));
+        if let Err(e) = self.snapshot_at(pt).write_atomic(&path) {
+            eprintln!("checkpoint at cycle {pt} failed: {e}");
+        }
+        self.next_ckpt = (pt / every + 1) * every;
+    }
+
+    /// Serializes the complete machine state into a snapshot builder.
+    /// The header cycle is the resume point: the time of the earliest
+    /// unprocessed event (every event before it has been applied, none
+    /// at or after it has).
+    ///
+    /// The snapshot covers everything the event loop can observe:
+    /// event queue, cores (op-stream positions, L1s, store buffers),
+    /// protocol agents (L2s, LTTs, filters, MSHRs, RNGs), memory
+    /// controller, prefetch machinery, network (link occupancy, fault
+    /// cursor, outages), reliable transport, watchdog, metrics, and the
+    /// trace/stall buffers. Scratch buffers, the flight recorder, and
+    /// the trace sink are excluded: they are caches or attachments with
+    /// no effect on simulated behavior.
+    pub fn snapshot(&self) -> SnapshotBuilder {
+        let cycle = self.queue.peek_time().unwrap_or_else(|| self.queue.now());
+        self.snapshot_at(cycle)
+    }
+
+    fn snapshot_at(&self, cycle: Cycle) -> SnapshotBuilder {
+        let header = ring_snapshot::SnapshotHeader {
+            git_commit: ring_snapshot::git_commit_short(),
+            config_hash: checkpoint::config_hash(&self.cfg),
+            cycle,
+        };
+        let mut b = SnapshotBuilder::new(header);
+        b.section("machine", |w| {
+            w.put(&self.workload_fp);
+            w.put(&self.finish_time);
+            // Hashed marks in sorted key order: canonical encoding.
+            let mut marks: Vec<(&(usize, u64), &AnatomyMark)> = self.anatomy_marks.iter().collect();
+            marks.sort_by_key(|(k, _)| **k);
+            w.put(&(marks.len() as u64));
+            for (&(n, line), m) in marks {
+                w.put(&(n as u64));
+                w.put(&line);
+                w.put(&m.issued);
+                w.put(&m.supplied);
+                w.put(&m.bound);
+            }
+            w.put(
+                &self
+                    .recent
+                    .iter()
+                    .map(TraceEvent::to_jsonl)
+                    .collect::<Vec<String>>(),
+            );
+            w.put(&(self.trace.len() as u64));
+            for (line, evs) in &self.trace {
+                w.put(&line.raw());
+                w.put(
+                    &evs.iter()
+                        .map(TraceEvent::to_jsonl)
+                        .collect::<Vec<String>>(),
+                );
+            }
+            w.put(&self.stats.traffic);
+        });
+        b.section("queue", |w| {
+            w.put(&self.queue.now());
+            w.put(&self.queue.events_processed());
+            w.put(&(self.queue.peak_len() as u64));
+            let pending = self.queue.pending_in_order();
+            w.put(&(pending.len() as u64));
+            for (t, ev) in &pending {
+                w.put(t);
+                ev_save(w, ev);
+            }
+        });
+        b.section("cores", |w| {
+            w.put(&(self.cores.len() as u64));
+            for c in &self.cores {
+                c.snap_save(w);
+            }
+        });
+        b.section("agents", |w| {
+            w.put(&(self.agents.len() as u64));
+            for a in &self.agents {
+                a.snap_save(w);
+            }
+        });
+        b.section("memory", |w| {
+            self.mem.snap_save(w);
+            self.cpp.snap_save(w);
+            w.put(&(self.pbufs.len() as u64));
+            for p in &self.pbufs {
+                p.snap_save(w);
+            }
+        });
+        b.section("network", |w| self.net.snap_save(w));
+        b.section("transport", |w| match &self.rel {
+            None => w.put(&false),
+            Some(rel) => {
+                w.put(&true);
+                rel.snap_save_with(w, |w, p| w.put(p));
+            }
+        });
+        b.section("watchdog", |w| {
+            w.put(&self.watchdog.last_progress());
+            w.put(&self.watchdog.last_net_progress());
+        });
+        b.section("metrics", |w| w.put(&self.registry));
+        b
+    }
+
+    /// Restores a machine from a snapshot file on disk, resuming
+    /// byte-identically: the continued run produces the same event
+    /// sequence, trace stream, and final [`Report`] as the original run
+    /// would have uninterrupted.
+    ///
+    /// `cfg` and `profile` must match the snapshotted run (checked via
+    /// the header's config hash and the workload fingerprint;
+    /// `max_cycles` is exempt so a capped run can resume uncapped).
+    pub fn restore(
+        cfg: MachineConfig,
+        profile: &AppProfile,
+        path: &std::path::Path,
+    ) -> Result<Machine, SnapshotError> {
+        let file = SnapshotFile::read(path)?;
+        Machine::restore_file(cfg, profile, &file, &path.display().to_string())
+    }
+
+    /// Restores a machine from an already decoded (CRC-verified)
+    /// snapshot; `origin` labels the snapshot in provenance reporting
+    /// (normally its path).
+    pub fn restore_file(
+        cfg: MachineConfig,
+        profile: &AppProfile,
+        file: &SnapshotFile,
+        origin: &str,
+    ) -> Result<Machine, SnapshotError> {
+        let expected = checkpoint::config_hash(&cfg);
+        if file.header.config_hash != expected {
+            return Err(SnapshotError::ConfigMismatch {
+                found: file.header.config_hash,
+                expected,
+            });
+        }
+        let nodes = cfg.nodes();
+        // Build the structural skeleton (topology, rings, config-derived
+        // wiring) the normal way, then overwrite every piece of dynamic
+        // state from the snapshot.
+        let mut m = Machine::new(cfg, profile);
+
+        let mut r = file.section("machine")?;
+        let fp: u64 = r.get()?;
+        if fp != m.workload_fp {
+            return Err(SnapshotError::ConfigMismatch {
+                found: fp,
+                expected: m.workload_fp,
+            });
+        }
+        let finish_time: Vec<Option<Cycle>> = r.get()?;
+        if finish_time.len() != nodes {
+            return Err(r.malformed(format!(
+                "finish-time length {} does not match {nodes} nodes",
+                finish_time.len()
+            )));
+        }
+        m.finish_time = finish_time;
+        let n_marks = r.get_len()?;
+        let mut marks = FxHashMap::default();
+        for _ in 0..n_marks {
+            let n = r.get::<u64>()? as usize;
+            let line: u64 = r.get()?;
+            let issued: Option<Cycle> = r.get()?;
+            let supplied: Option<Cycle> = r.get()?;
+            let bound: Option<Cycle> = r.get()?;
+            marks.insert(
+                (n, line),
+                AnatomyMark {
+                    issued,
+                    supplied,
+                    bound,
+                },
+            );
+        }
+        m.anatomy_marks = marks;
+        let parse_ev = |r: &SnapReader<'_>, l: &str| {
+            TraceEvent::from_jsonl(l).map_err(|e| r.malformed(format!("trace event: {e}")))
+        };
+        let recent: Vec<String> = r.get()?;
+        m.recent = recent
+            .iter()
+            .map(|l| parse_ev(&r, l))
+            .collect::<Result<_, _>>()?;
+        let n_lines = r.get_len()?;
+        let mut trace = std::collections::BTreeMap::new();
+        for _ in 0..n_lines {
+            let raw: u64 = r.get()?;
+            let lines: Vec<String> = r.get()?;
+            let evs = lines
+                .iter()
+                .map(|l| parse_ev(&r, l))
+                .collect::<Result<Vec<TraceEvent>, _>>()?;
+            trace.insert(LineAddr::new(raw), evs);
+        }
+        m.trace = trace;
+        let traffic = r.get()?;
+        r.finish()?;
+        m.stats = MachineStats::default();
+        m.stats.traffic = traffic;
+
+        let mut r = file.section("queue")?;
+        let now: Cycle = r.get()?;
+        let popped: u64 = r.get()?;
+        let peak = r.get::<u64>()? as usize;
+        let n_ev = r.get_len()?;
+        let mut events = Vec::with_capacity(n_ev);
+        for _ in 0..n_ev {
+            let t: Cycle = r.get()?;
+            if t < now {
+                return Err(r.malformed(format!(
+                    "pending event at cycle {t} is before the restored clock {now}"
+                )));
+            }
+            events.push((t, ev_load(&mut r, nodes)?));
+        }
+        r.finish()?;
+        m.queue = EventQueue::restore_from_parts(now, popped, peak, events);
+
+        let mut r = file.section("cores")?;
+        if r.get_len()? != nodes {
+            return Err(r.malformed(format!("core count does not match {nodes} nodes")));
+        }
+        let mut cores = Vec::with_capacity(nodes);
+        for n in 0..nodes {
+            let ops = Box::new(WorkloadGen::new(profile, n, nodes, m.cfg.seed))
+                as Box<dyn Iterator<Item = ring_cpu::Op> + Send>;
+            cores.push(Core::snap_load(
+                &mut r,
+                ops,
+                m.cfg.l1,
+                m.cfg.l2.latency,
+                m.cfg.store_buffer,
+            )?);
+        }
+        r.finish()?;
+        m.cores = cores;
+
+        let mut r = file.section("agents")?;
+        if r.get_len()? != nodes {
+            return Err(r.malformed(format!("agent count does not match {nodes} nodes")));
+        }
+        let mut agents = Vec::with_capacity(nodes);
+        for n in 0..nodes {
+            let mut a = RingAgent::snap_load(&mut r, NodeId(n), m.cfg.protocol, m.cfg.l2)?;
+            if m.trace_enabled {
+                a.set_tracing(true);
+            }
+            agents.push(a);
+        }
+        r.finish()?;
+        m.agents = agents;
+
+        let mut r = file.section("memory")?;
+        m.mem = MemoryController::snap_load(&mut r, m.cfg.mem)?;
+        m.cpp = ControllerPrefetchPredictor::snap_load(&mut r)?;
+        if r.get_len()? != nodes {
+            return Err(r.malformed(format!(
+                "prefetch-buffer count does not match {nodes} nodes"
+            )));
+        }
+        let mut pbufs = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            pbufs.push(PrefetchBuffer::snap_load(&mut r)?);
+        }
+        r.finish()?;
+        m.pbufs = pbufs;
+
+        let mut r = file.section("network")?;
+        m.net = Network::snap_load(
+            &mut r,
+            Torus::new(m.cfg.width, m.cfg.height),
+            m.cfg.net,
+            m.cfg.faults,
+        )?;
+        r.finish()?;
+
+        let mut r = file.section("transport")?;
+        let has_rel: bool = r.get()?;
+        if has_rel != m.cfg.reliability.enabled {
+            return Err(r.malformed(
+                "reliability-sublayer presence does not match the machine configuration",
+            ));
+        }
+        m.rel = if has_rel {
+            Some(ReliableTransport::snap_load_with(
+                &mut r,
+                m.cfg.reliability,
+                m.cfg.seed ^ 0x0AC4,
+                |r| r.get(),
+            )?)
+        } else {
+            None
+        };
+        r.finish()?;
+
+        let mut r = file.section("watchdog")?;
+        let last_progress: Cycle = r.get()?;
+        let last_net_progress: Cycle = r.get()?;
+        r.finish()?;
+        m.watchdog = Watchdog::new(m.cfg.watchdog_cycles);
+        m.watchdog.progress(last_progress);
+        m.watchdog.net_progress(last_net_progress);
+
+        let mut r = file.section("metrics")?;
+        let registry: MetricsRegistry = r.get()?;
+        if registry.nodes().len() != nodes {
+            return Err(r.malformed(format!(
+                "metrics registry has {} nodes, machine has {nodes}",
+                registry.nodes().len()
+            )));
+        }
+        r.finish()?;
+        m.registry = registry;
+
+        m.restored_from = Some((origin.to_string(), file.header.cycle));
+        Ok(m)
     }
 
     /// Installs a structured trace sink: from now on every protocol
@@ -345,8 +797,19 @@ impl Machine {
         };
         // `pop_before` leaves the first event past the cap *in* the
         // queue (the old pop-then-check discarded it, losing an event
-        // and advancing the clock past the cap).
-        while let Some((t, ev)) = self.queue.pop_before(cap) {
+        // and advancing the clock past the cap). The checkpoint probe
+        // runs *before* the pop so a snapshot always lands on an event
+        // boundary with the queue fully intact.
+        while let Some((t, ev)) = {
+            if self
+                .queue
+                .peek_time()
+                .is_some_and(|pt| pt >= self.next_ckpt)
+            {
+                self.maybe_checkpoint(cap);
+            }
+            self.queue.pop_before(cap)
+        } {
             if t >= self.next_window {
                 self.flight_sample(t);
             }
@@ -537,6 +1000,13 @@ impl Machine {
             completed_transactions: self.agents.iter().map(|a| a.stats().completed).sum(),
             nodes,
             recent_events: self.recent.iter().cloned().collect(),
+            restored_from: self
+                .restored_from
+                .as_ref()
+                .map(|(path, cycle)| RestoredFrom {
+                    path: path.clone(),
+                    cycle: *cycle,
+                }),
         }
     }
 
@@ -1440,7 +1910,9 @@ mod tests {
     use ring_coherence::ProtocolKind;
 
     fn tiny_profile() -> AppProfile {
-        AppProfile::by_name("fmm").unwrap().scaled(200)
+        MachineConfig::default_workload()
+            .expect("default workload profile must exist")
+            .scaled(200)
     }
 
     fn run(kind: ProtocolKind) -> Report {
@@ -1667,5 +2139,189 @@ mod tests {
         cfg.watchdog_cycles = 50;
         let r = Machine::new(cfg, &tiny_profile()).run();
         assert!(!r.finished);
+    }
+
+    /// The report's full serialized form — byte equality here is the
+    /// "same final Report" proof for checkpoint/restore.
+    fn report_bytes(r: &Report) -> Vec<u8> {
+        let mut v = Vec::new();
+        r.write_stats(&mut v).unwrap();
+        v
+    }
+
+    /// Runs `cfg` uninterrupted, then again killed at `kill_at` cycles,
+    /// snapshotted, restored, and resumed — and asserts the resumed
+    /// run's report is byte-identical to the uninterrupted one.
+    fn assert_kill_restore_identical(cfg: MachineConfig, kill_at: Cycle) {
+        let profile = tiny_profile();
+        let full = {
+            let mut m = Machine::new(cfg.clone(), &profile);
+            let r = m.try_run().expect("uninterrupted run stalled");
+            assert!(r.finished, "reference run must finish");
+            report_bytes(&r)
+        };
+        let mut capped = cfg.clone();
+        capped.max_cycles = kill_at;
+        let mut m = Machine::new(capped, &profile);
+        let _ = m.try_run().expect("capped run stalled");
+        let bytes = m.snapshot().encode();
+        let file = ring_snapshot::SnapshotFile::decode(&bytes).expect("snapshot must verify");
+        let mut m2 =
+            Machine::restore_file(cfg, &profile, &file, "mem").expect("restore must succeed");
+        let r2 = m2.try_run().expect("resumed run stalled");
+        assert!(r2.finished);
+        assert_eq!(
+            report_bytes(&r2),
+            full,
+            "resumed run diverged from the uninterrupted one"
+        );
+    }
+
+    #[test]
+    fn restore_mid_run_is_byte_identical() {
+        let mut cfg = MachineConfig::small_test(ProtocolKind::Uncorq);
+        cfg.seed = 7;
+        assert_kill_restore_identical(cfg, 5_000);
+    }
+
+    #[test]
+    fn restore_under_chaos_is_byte_identical() {
+        let cfg = chaos_cfg(ProtocolKind::Uncorq, ring_noc::FaultProfile::chaos(), 42);
+        assert_kill_restore_identical(cfg, 5_000);
+    }
+
+    #[test]
+    fn restore_under_heavy_drop_is_byte_identical() {
+        let cfg = lossy_cfg(
+            ProtocolKind::Uncorq,
+            ring_noc::FaultProfile::drop_rate(0.20),
+            42,
+        );
+        assert_kill_restore_identical(cfg, 5_000);
+    }
+
+    #[test]
+    fn restore_at_cycle_zero_is_byte_identical() {
+        let profile = tiny_profile();
+        let mut cfg = MachineConfig::small_test(ProtocolKind::Uncorq);
+        cfg.seed = 7;
+        let full = {
+            let mut m = Machine::new(cfg.clone(), &profile);
+            report_bytes(&m.try_run().expect("no stall"))
+        };
+        let m = Machine::new(cfg.clone(), &profile);
+        let file = ring_snapshot::SnapshotFile::decode(&m.snapshot().encode()).unwrap();
+        assert_eq!(file.header.cycle, 0, "nothing has run yet");
+        let mut m2 = Machine::restore_file(cfg, &profile, &file, "mem").unwrap();
+        let r2 = m2.try_run().expect("no stall");
+        assert_eq!(report_bytes(&r2), full);
+    }
+
+    #[test]
+    fn restore_after_completion_reproduces_the_final_report() {
+        let profile = tiny_profile();
+        let mut cfg = MachineConfig::small_test(ProtocolKind::Uncorq);
+        cfg.seed = 7;
+        let mut m = Machine::new(cfg.clone(), &profile);
+        let r = m.try_run().expect("no stall");
+        assert!(r.finished);
+        let file = ring_snapshot::SnapshotFile::decode(&m.snapshot().encode()).unwrap();
+        let mut m2 = Machine::restore_file(cfg, &profile, &file, "mem").unwrap();
+        let r2 = m2.try_run().expect("no stall");
+        assert_eq!(report_bytes(&r2), report_bytes(&r));
+    }
+
+    #[test]
+    fn restore_refuses_config_and_workload_mismatches() {
+        let profile = tiny_profile();
+        let mut cfg = MachineConfig::small_test(ProtocolKind::Uncorq);
+        cfg.seed = 7;
+        let m = Machine::new(cfg.clone(), &profile);
+        let file = ring_snapshot::SnapshotFile::decode(&m.snapshot().encode()).unwrap();
+        let mut other = cfg.clone();
+        other.seed = 8;
+        let err = match Machine::restore_file(other, &profile, &file, "mem") {
+            Ok(_) => panic!("config mismatch must be rejected"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, ring_snapshot::SnapshotError::ConfigMismatch { .. }),
+            "{err}"
+        );
+        let other_profile = tiny_profile().scaled(50);
+        let err = match Machine::restore_file(cfg, &other_profile, &file, "mem") {
+            Ok(_) => panic!("workload mismatch must be rejected"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, ring_snapshot::SnapshotError::ConfigMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn restored_machine_stall_report_carries_provenance() {
+        // Watchdog far below the memory round trip: the first cold read
+        // after the restore deterministically trips it.
+        let profile = tiny_profile();
+        let mut cfg = MachineConfig::small_test(ProtocolKind::Uncorq);
+        cfg.seed = 7;
+        cfg.watchdog_cycles = 50;
+        let m = Machine::new(cfg.clone(), &profile);
+        let file = ring_snapshot::SnapshotFile::decode(&m.snapshot().encode()).unwrap();
+        let mut m2 = Machine::restore_file(cfg, &profile, &file, "mem:ckpt").unwrap();
+        assert_eq!(m2.restored_from(), Some(("mem:ckpt", 0)));
+        let stall = m2.try_run().expect_err("tiny watchdog must trip");
+        let rf = stall
+            .restored_from
+            .clone()
+            .expect("provenance must be attached");
+        assert_eq!(rf.path, "mem:ckpt");
+        assert!(
+            stall
+                .to_string()
+                .contains("restored from checkpoint mem:ckpt (cycle 0)"),
+            "{stall}"
+        );
+    }
+
+    #[test]
+    fn checkpointing_run_falls_back_past_a_corrupted_newest() {
+        let dir = std::env::temp_dir().join("ring-machine-ckpt-fallback-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let profile = tiny_profile();
+        let mut cfg = MachineConfig::small_test(ProtocolKind::Uncorq);
+        cfg.seed = 7;
+        let full = {
+            let mut m = Machine::new(cfg.clone(), &profile);
+            report_bytes(&m.try_run().expect("no stall"))
+        };
+        let mut capped = cfg.clone();
+        capped.max_cycles = 20_000;
+        let mut m = Machine::new(capped, &profile);
+        m.enable_checkpoints(1_000, &dir);
+        let _ = m.try_run().expect("no stall");
+        let cks = crate::checkpoint::list_checkpoints(&dir);
+        assert!(cks.len() >= 2, "expected several checkpoints, got {cks:?}");
+        // Damage the newest checkpoint's last section payload.
+        let mut bytes = std::fs::read(&cks[0]).unwrap();
+        let n = bytes.len();
+        bytes[n - 9] ^= 0x40;
+        std::fs::write(&cks[0], &bytes).unwrap();
+        let err = match Machine::restore(cfg.clone(), &profile, &cks[0]) {
+            Ok(_) => panic!("corrupted checkpoint must be rejected"),
+            Err(e) => e,
+        };
+        assert!(
+            err.section().is_some(),
+            "corruption must name the damaged section, got: {err}"
+        );
+        let (mut m2, used) =
+            crate::checkpoint::restore_latest(&cfg, &profile, &dir).expect("fallback must work");
+        assert_eq!(used, cks[1], "must fall back to the previous checkpoint");
+        let r2 = m2.try_run().expect("no stall after fallback restore");
+        assert_eq!(report_bytes(&r2), full);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -82,6 +82,18 @@ pub struct ReliabilityStall {
     pub link_drops: Vec<(u32, u64)>,
 }
 
+/// Provenance of a machine that resumed from a checkpoint: where the
+/// snapshot file lived and the cycle it was taken at. Attached to stall
+/// reports so a post-restore failure is never confused with one from an
+/// uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestoredFrom {
+    /// Path of the snapshot file the machine was restored from.
+    pub path: String,
+    /// Simulated cycle the snapshot was taken at.
+    pub cycle: Cycle,
+}
+
 /// A structured description of a forward-progress failure, returned by
 /// [`crate::Machine::try_run`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -111,6 +123,9 @@ pub struct StallReport {
     /// Loss/recovery attribution (`None` when the reliability sublayer
     /// is disabled).
     pub reliability: Option<ReliabilityStall>,
+    /// Checkpoint provenance (`None` unless this machine was restored
+    /// via [`crate::Machine::restore`] or a checkpoint-directory scan).
+    pub restored_from: Option<RestoredFrom>,
 }
 
 impl StallReport {
@@ -132,6 +147,13 @@ impl std::fmt::Display for StallReport {
             "  last progress at cycle {} (threshold {} cycles)",
             self.last_progress, self.threshold
         )?;
+        if let Some(rf) = &self.restored_from {
+            writeln!(
+                f,
+                "  machine was restored from checkpoint {} (cycle {})",
+                rf.path, rf.cycle
+            )?;
+        }
         if self.last_net_progress > 0 {
             writeln!(
                 f,
@@ -246,6 +268,7 @@ mod tests {
             ],
             recent_events: vec![],
             reliability: None,
+            restored_from: None,
         }
     }
 
@@ -263,6 +286,22 @@ mod tests {
         assert!(s.contains("STARVING on 0x40"));
         assert!(s.contains("retry[0x40]=5"));
         assert!(!s.contains("reliability:"), "no section when sublayer off");
+    }
+
+    #[test]
+    fn display_names_the_checkpoint_after_a_restore() {
+        let mut r = report();
+        r.restored_from = Some(RestoredFrom {
+            path: "/tmp/ckpt/ckpt-000000004096.ringsnap".into(),
+            cycle: 4096,
+        });
+        let s = r.to_string();
+        assert!(
+            s.contains(
+                "restored from checkpoint /tmp/ckpt/ckpt-000000004096.ringsnap (cycle 4096)"
+            ),
+            "{s}"
+        );
     }
 
     #[test]

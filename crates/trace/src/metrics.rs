@@ -319,6 +319,111 @@ impl MetricsRegistry {
     }
 }
 
+impl ring_snapshot::Snap for NodeMetrics {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.requests);
+        w.put(&self.retries);
+        w.put(&self.supplies);
+        w.put(&self.mem_demand);
+        w.put(&self.mem_prefetch);
+        w.put(&self.prefetch_hits);
+        w.put(&self.writebacks);
+        w.put(&self.reads_c2c);
+        w.put(&self.reads_mem);
+        w.put(&self.pref_cache);
+        w.put(&self.nopref_cache);
+        w.put(&self.pref_mem);
+        w.put(&self.nopref_mem);
+        w.put(&self.read_latency);
+        w.put(&self.read_latency_c2c);
+        w.put(&self.read_latency_mem);
+        w.put(&self.read_completion);
+        w.put(&self.c2c_histogram);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(NodeMetrics {
+            requests: r.get()?,
+            retries: r.get()?,
+            supplies: r.get()?,
+            mem_demand: r.get()?,
+            mem_prefetch: r.get()?,
+            prefetch_hits: r.get()?,
+            writebacks: r.get()?,
+            reads_c2c: r.get()?,
+            reads_mem: r.get()?,
+            pref_cache: r.get()?,
+            nopref_cache: r.get()?,
+            pref_mem: r.get()?,
+            nopref_mem: r.get()?,
+            read_latency: r.get()?,
+            read_latency_c2c: r.get()?,
+            read_latency_mem: r.get()?,
+            read_completion: r.get()?,
+            c2c_histogram: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for LinkMetrics {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.messages);
+        w.put(&self.bytes);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(LinkMetrics {
+            messages: r.get()?,
+            bytes: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for LatencyAnatomy {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.delivery);
+        w.put(&self.transfer);
+        w.put(&self.response);
+        w.put(&self.delivery_hist);
+        w.put(&self.transfer_hist);
+        w.put(&self.response_hist);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(LatencyAnatomy {
+            delivery: r.get()?,
+            transfer: r.get()?,
+            response: r.get()?,
+            delivery_hist: r.get()?,
+            transfer_hist: r.get()?,
+            response_hist: r.get()?,
+        })
+    }
+}
+
+impl ring_snapshot::Snap for ClassLatency {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.hists);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(ClassLatency { hists: r.get()? })
+    }
+}
+
+impl ring_snapshot::Snap for MetricsRegistry {
+    fn save(&self, w: &mut ring_snapshot::SnapWriter) {
+        w.put(&self.nodes);
+        w.put(&self.links);
+        w.put(&self.anatomy);
+        w.put(&self.classes);
+    }
+    fn load(r: &mut ring_snapshot::SnapReader<'_>) -> Result<Self, ring_snapshot::SnapshotError> {
+        Ok(MetricsRegistry {
+            nodes: r.get()?,
+            links: r.get()?,
+            anatomy: r.get()?,
+            classes: r.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,15 @@
 //! 3. **Determinism** — re-running one combo per protocol with the same
 //!    chaos seed reproduces the trace byte-for-byte.
 //!
+//! It then runs a **crash-recovery drill** (uncorq under `chaos` and
+//! under `drop20` + the reliable sublayer): kill the machine at a
+//! deterministic random cycle while it checkpoints, corrupt the newest
+//! snapshot (truncation and a bit flip), verify both corruptions are
+//! rejected with typed errors naming the damaged section, fall back to
+//! the previous checkpoint, resume, and assert the final report digest
+//! and the post-checkpoint trace suffix are identical to an
+//! uninterrupted run.
+//!
 //! ```text
 //! chaoscheck [--nodes WxH] [--seeds N] [--ops N] [--profiles a,b,...]
 //! ```
@@ -23,7 +32,9 @@ use std::process::ExitCode;
 
 use uncorq::coherence::{ProtocolConfig, ProtocolVariant};
 use uncorq::noc::{FaultPlan, FaultProfile, ReliabilityConfig};
-use uncorq::system::{Machine, MachineConfig};
+use uncorq::sim::DetRng;
+use uncorq::snapshot::{fnv1a, SnapshotError};
+use uncorq::system::{list_checkpoints, restore_latest, Machine, MachineConfig};
 use uncorq::trace::{check_events, SharedBufferSink};
 use uncorq::workloads::AppProfile;
 
@@ -112,14 +123,14 @@ fn protocols() -> Vec<(&'static str, ProtocolConfig)> {
         .collect()
 }
 
-/// Runs one (protocol, profile, seed) combo and returns the serialized
-/// JSONL trace, or a failure description.
-fn run_combo(
+/// Builds the machine configuration for one (protocol, profile, seed)
+/// combo of the sweep.
+fn combo_cfg(
     args: &Args,
     protocol: ProtocolConfig,
     profile: FaultProfile,
     chaos_seed: u64,
-) -> Result<String, String> {
+) -> MachineConfig {
     let mut cfg = MachineConfig::with_protocol(protocol);
     cfg.width = args.nodes.0;
     cfg.height = args.nodes.1;
@@ -133,9 +144,26 @@ fn run_combo(
         // is what turns that back into exactly-once, in-order delivery.
         cfg.reliability = ReliabilityConfig::on();
     }
-    let app = AppProfile::by_name("fmm")
-        .expect("fmm profile")
-        .scaled(args.ops);
+    cfg
+}
+
+/// The sweep's workload profile scaled to the requested op count.
+fn app(args: &Args) -> Result<AppProfile, String> {
+    Ok(MachineConfig::default_workload()
+        .map_err(|e| e.to_string())?
+        .scaled(args.ops))
+}
+
+/// Runs one (protocol, profile, seed) combo and returns the serialized
+/// JSONL trace, or a failure description.
+fn run_combo(
+    args: &Args,
+    protocol: ProtocolConfig,
+    profile: FaultProfile,
+    chaos_seed: u64,
+) -> Result<String, String> {
+    let cfg = combo_cfg(args, protocol, profile, chaos_seed);
+    let app = app(args)?;
     let mut m = Machine::new(cfg, &app);
     let sink = SharedBufferSink::new();
     m.set_trace_sink(Box::new(sink.clone()));
@@ -178,6 +206,128 @@ fn run_combo(
         out.push('\n');
     }
     Ok(out)
+}
+
+/// FNV-1a digest of a machine report's serialized statistics listing.
+fn report_digest(report: &uncorq::system::Report) -> u64 {
+    let mut bytes = Vec::new();
+    report.write_stats(&mut bytes).expect("Vec write");
+    fnv1a(&bytes)
+}
+
+/// The crash-recovery drill for one (protocol, fault profile) combo:
+/// reference run, checkpointed run killed at a deterministic random
+/// cycle, corruption of the newest checkpoint, typed rejection +
+/// fallback, resume, digest comparison.
+fn crash_recovery_check(
+    args: &Args,
+    protocol: ProtocolConfig,
+    profile_name: &str,
+    profile: FaultProfile,
+) -> Result<(), String> {
+    let cfg = combo_cfg(args, protocol, profile, 1);
+    let app = app(args)?;
+
+    // Uninterrupted reference: final report digest + full trace.
+    let mut m = Machine::new(cfg.clone(), &app);
+    let sink = SharedBufferSink::new();
+    m.set_trace_sink(Box::new(sink.clone()));
+    let report = m
+        .try_run()
+        .map_err(|stall| format!("reference run stalled:\n{stall}"))?;
+    if !report.finished {
+        return Err("reference run hit the cycle cap".into());
+    }
+    let want_digest = report_digest(&report);
+    let reference_events = sink.snapshot();
+
+    // Kill at a deterministic random cycle in the middle half of the
+    // run, with a checkpoint cadence that leaves at least two snapshots
+    // behind (so corrupting the newest still has a fallback).
+    let span = report.exec_cycles;
+    let kill_at = span / 4 + DetRng::seed(0xC4A5 ^ fnv1a(profile_name.as_bytes())).below(span / 2);
+    let every = (kill_at / 3).max(1);
+    let dir = std::env::temp_dir().join(format!("chaoscheck-crash-{profile_name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+
+    let mut killed_cfg = cfg.clone();
+    killed_cfg.max_cycles = kill_at;
+    let mut m = Machine::new(killed_cfg, &app);
+    m.enable_checkpoints(every, &dir);
+    let _ = m.try_run(); // stops at the kill cycle; the trail is what matters
+    let cks = list_checkpoints(&dir);
+    if cks.len() < 2 {
+        return Err(format!(
+            "expected >= 2 checkpoints before the kill cycle {kill_at}, found {}",
+            cks.len()
+        ));
+    }
+
+    // A truncated snapshot must be rejected with a typed error.
+    let newest = &cks[0];
+    let bytes = std::fs::read(newest).map_err(|e| format!("read {}: {e}", newest.display()))?;
+    let torn = dir.join("torn.bin");
+    std::fs::write(&torn, &bytes[..bytes.len() / 2]).map_err(|e| e.to_string())?;
+    match Machine::restore(cfg.clone(), &app, &torn) {
+        Ok(_) => return Err("truncated snapshot was accepted".into()),
+        Err(SnapshotError::Truncated { .. } | SnapshotError::CorruptHeader) => {}
+        Err(e) => return Err(format!("truncation detected but mistyped: {e}")),
+    }
+    let _ = std::fs::remove_file(&torn);
+
+    // A bit flip in the newest checkpoint's payload must be rejected
+    // with an error naming the damaged section...
+    let mut flipped = bytes.clone();
+    let n = flipped.len();
+    flipped[n - 9] ^= 0x40;
+    std::fs::write(newest, &flipped).map_err(|e| e.to_string())?;
+    match Machine::restore(cfg.clone(), &app, newest) {
+        Ok(_) => return Err("bit-flipped snapshot was accepted".into()),
+        Err(e) if e.section().is_some() => {}
+        Err(e) => return Err(format!("bit flip detected but no section named: {e}")),
+    }
+
+    // ...and the directory scan must fall back to the previous one.
+    let (mut m, used) =
+        restore_latest(&cfg, &app, &dir).map_err(|e| format!("fallback restore failed: {e}"))?;
+    if used != cks[1] {
+        return Err(format!(
+            "fallback picked {} instead of {}",
+            used.display(),
+            cks[1].display()
+        ));
+    }
+    let (_, ckpt_cycle) = m.restored_from().expect("restored machine has provenance");
+
+    // Resume and compare against the uninterrupted run: identical final
+    // report, and the resumed trace is exactly the reference trace's
+    // post-checkpoint suffix.
+    let sink = SharedBufferSink::new();
+    m.set_trace_sink(Box::new(sink.clone()));
+    let report = m
+        .try_run()
+        .map_err(|stall| format!("resumed run stalled:\n{stall}"))?;
+    if !report.finished {
+        return Err("resumed run hit the cycle cap".into());
+    }
+    if report_digest(&report) != want_digest {
+        return Err("resumed report digest diverged from the uninterrupted run".into());
+    }
+    let resumed = sink.snapshot();
+    let suffix: Vec<_> = reference_events
+        .iter()
+        .filter(|ev| ev.cycle >= ckpt_cycle)
+        .collect();
+    if suffix.len() != resumed.len() || !suffix.iter().zip(&resumed).all(|(a, b)| **a == *b) {
+        return Err(format!(
+            "resumed trace diverged: {} events vs {} in the reference suffix (checkpoint cycle {ckpt_cycle})",
+            resumed.len(),
+            suffix.len()
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -272,9 +422,27 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Crash-recovery drill: uncorq under pure chaos, and under heavy
+    // frame loss with the reliable sublayer doing the recovery.
+    let uncorq_cfg = ProtocolVariant::Uncorq.config();
+    for profile_name in ["chaos", "drop20"] {
+        let profile = FaultProfile::by_name(profile_name).expect("built-in fault profile");
+        runs += 1;
+        match crash_recovery_check(&args, uncorq_cfg, profile_name, profile) {
+            Ok(()) => println!("ok   uncorq       crash-recovery drill ({profile_name})"),
+            Err(msg) => {
+                failures += 1;
+                println!("FAIL uncorq       crash-recovery drill ({profile_name}): {msg}");
+            }
+        }
+    }
+
     println!("\n{runs} runs, {failures} failures");
     if failures == 0 {
-        println!("OK: forward progress + coherence invariants hold under all fault profiles");
+        println!(
+            "OK: forward progress + coherence invariants + crash recovery hold under all fault \
+         profiles"
+        );
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -15,6 +15,8 @@
 //! - [`trace`] — structured coherence-event tracing, sinks, and the
 //!   per-node/per-link metrics registry;
 //! - [`workloads`] — synthetic SPLASH-2 / commercial application profiles;
+//! - [`snapshot`] — the integrity-verified machine-snapshot container
+//!   behind crash-safe checkpoint/restore;
 //! - [`noc`], [`cache`], [`mem`], [`cpu`], [`sim`], [`stats`] — the
 //!   substrates.
 //!
@@ -43,6 +45,7 @@ pub use ring_mem as mem;
 pub use ring_model as model;
 pub use ring_noc as noc;
 pub use ring_sim as sim;
+pub use ring_snapshot as snapshot;
 pub use ring_stats as stats;
 pub use ring_system as system;
 pub use ring_trace as trace;

@@ -6,6 +6,7 @@
 //!        [--check-invariants] [--histogram] [--trace-out FILE]
 //!        [--metrics-out FILE] [--profile] [--profile-out BASE]
 //!        [--chaos SEED] [--chaos-profile NAME] [--watchdog N]
+//!        [--checkpoint-every N] [--checkpoint-dir D] [--restore PATH]
 //! uncorq --list
 //! ```
 
@@ -40,6 +41,9 @@ struct Args {
     chaos_profile: String,
     reliable: bool,
     watchdog: Option<u64>,
+    checkpoint_every: u64,
+    checkpoint_dir: String,
+    restore: Option<String>,
     list: bool,
 }
 
@@ -66,6 +70,9 @@ impl Default for Args {
             chaos_profile: "chaos".into(),
             reliable: false,
             watchdog: None,
+            checkpoint_every: 0,
+            checkpoint_dir: "checkpoints".into(),
+            restore: None,
             list: false,
         }
     }
@@ -80,6 +87,13 @@ const USAGE: &str =
               [--chaos SEED] [--chaos-profile none|jitter|reorder|duplicate|congestion|chaos|
                               drop1|drop5|drop20|outage|lossy_chaos]
               [--reliable] [--watchdog CYCLES]
+              [--checkpoint-every N] [--checkpoint-dir D] [--restore PATH]
+
+--checkpoint-every N writes an integrity-verified machine snapshot into
+--checkpoint-dir (default ./checkpoints) at every N simulated cycles,
+atomically; 0 disables. --restore PATH resumes byte-identically from a
+snapshot file, or from the newest valid checkpoint when PATH is a
+directory (corrupted candidates are skipped with a typed error).
 
 --metrics-out writes the final machine statistics as JSON (including
 phase and per-class latency percentiles). --profile installs the flight
@@ -128,6 +142,13 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             }
             "--chaos-profile" => a.chaos_profile = value("--chaos-profile")?.to_lowercase(),
             "--reliable" => a.reliable = true,
+            "--checkpoint-every" => {
+                a.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--checkpoint-dir" => a.checkpoint_dir = value("--checkpoint-dir")?,
+            "--restore" => a.restore = Some(value("--restore")?),
             "--watchdog" => {
                 a.watchdog = Some(
                     value("--watchdog")?
@@ -343,9 +364,44 @@ fn main() -> ExitCode {
     if let Some(w) = args.watchdog {
         cfg.watchdog_cycles = w;
     }
+    if kind.is_none() && (args.restore.is_some() || args.checkpoint_every > 0) {
+        eprintln!("--restore/--checkpoint-every are not supported on the HT baseline machine");
+        return ExitCode::FAILURE;
+    }
     let report = match kind {
         Some(_) => {
-            let mut m = Machine::new(cfg, &profile);
+            let mut m = match &args.restore {
+                None => Machine::new(cfg, &profile),
+                Some(path) => {
+                    let p = std::path::Path::new(path);
+                    let restored = if p.is_dir() {
+                        uncorq::system::restore_latest(&cfg, &profile, p).map(|(m, used)| {
+                            println!("restoring from newest valid checkpoint {}", used.display());
+                            m
+                        })
+                    } else {
+                        Machine::restore(cfg.clone(), &profile, p)
+                    };
+                    match restored {
+                        Ok(m) => {
+                            let (from, cycle) = m.restored_from().expect("restore sets provenance");
+                            println!("restored from {from} (cycle {cycle})");
+                            m
+                        }
+                        Err(e) => {
+                            eprintln!("--restore {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            };
+            if args.checkpoint_every > 0 {
+                if let Err(e) = std::fs::create_dir_all(&args.checkpoint_dir) {
+                    eprintln!("--checkpoint-dir {}: {e}", args.checkpoint_dir);
+                    return ExitCode::FAILURE;
+                }
+                m.enable_checkpoints(args.checkpoint_every, &args.checkpoint_dir);
+            }
             // With --profile-out the Perfetto export needs the full
             // event stream in memory, so a shared buffer replaces the
             // direct-to-file sink; --trace-out is then written from the

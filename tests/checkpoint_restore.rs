@@ -1,0 +1,170 @@
+//! Property-based crash-recovery tests: a snapshot taken at an
+//! *arbitrary* cycle — including cycle 0 and past completion — must
+//! resume byte-identically, for every protocol variant, on clean,
+//! chaotic, and heavily lossy networks; and any single bit flip
+//! anywhere in an encoded snapshot must be detected (no corrupted
+//! restore is ever silently accepted).
+
+use proptest::prelude::*;
+use uncorq::coherence::ProtocolVariant;
+use uncorq::noc::{FaultPlan, FaultProfile, ReliabilityConfig};
+use uncorq::snapshot::SnapshotFile;
+use uncorq::system::{Machine, MachineConfig, Report};
+use uncorq::workloads::AppProfile;
+
+/// The three network conditions a checkpoint must survive: a clean
+/// network, the full chaos profile (jitter + reorder + duplication +
+/// congestion), and 20% frame loss recovered by the reliable sublayer.
+const CONDITIONS: [&str; 3] = ["clean", "chaos", "drop20"];
+
+fn cfg_for(variant: ProtocolVariant, condition: &str, seed: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::with_protocol(variant.config());
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.seed = seed;
+    if condition != "clean" {
+        let fault = FaultProfile::by_name(condition).expect("built-in fault profile");
+        cfg.faults = Some(FaultPlan::new(fault, 1));
+        if fault.needs_reliability() {
+            cfg.reliability = ReliabilityConfig::on();
+        }
+    }
+    cfg
+}
+
+fn app() -> AppProfile {
+    MachineConfig::default_workload()
+        .expect("default workload")
+        .scaled(150)
+}
+
+fn report_bytes(r: &Report) -> Vec<u8> {
+    let mut v = Vec::new();
+    r.write_stats(&mut v).expect("Vec write");
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A snapshot at an arbitrary point of the run — pinned to include
+    /// cycle 0 (`frac = 0`) and past completion (`frac >= 100`) — must
+    /// resume to a byte-identical final report under every protocol
+    /// variant and network condition.
+    #[test]
+    fn snapshot_at_arbitrary_cycle_resumes_byte_identically(
+        variant_ix in 0usize..ProtocolVariant::ALL.len(),
+        condition_ix in 0usize..CONDITIONS.len(),
+        frac in 0u64..111,
+    ) {
+        let variant = ProtocolVariant::ALL[variant_ix];
+        let condition = CONDITIONS[condition_ix];
+        let cfg = cfg_for(variant, condition, 2007);
+        let profile = app();
+
+        let want = match Machine::new(cfg.clone(), &profile).try_run() {
+            Ok(r) => r,
+            Err(stall) => panic!("{variant} {condition}: reference stalled:\n{stall}"),
+        };
+        prop_assert!(want.finished, "{} {}: reference hit the cap", variant, condition);
+
+        // frac = 0 snapshots before the first event; frac >= 100 lets
+        // the capped run finish, snapshotting the completed machine.
+        let kill_at = want.exec_cycles * frac / 100;
+        let mut capped = cfg.clone();
+        if kill_at > 0 {
+            capped.max_cycles = kill_at;
+        }
+        let mut m = Machine::new(capped, &profile);
+        if kill_at > 0 {
+            let _ = m.try_run();
+        }
+        let bytes = m.snapshot().encode();
+
+        let file = match SnapshotFile::decode(&bytes) {
+            Ok(f) => f,
+            Err(e) => panic!("{variant} {condition}: decode failed: {e}"),
+        };
+        let mut m = match Machine::restore_file(cfg, &profile, &file, "mem:prop") {
+            Ok(m) => m,
+            Err(e) => panic!("{variant} {condition}: restore failed: {e}"),
+        };
+        let got = match m.try_run() {
+            Ok(r) => r,
+            Err(stall) => panic!("{variant} {condition}: resume stalled:\n{stall}"),
+        };
+        prop_assert_eq!(
+            report_bytes(&want),
+            report_bytes(&got),
+            "{} {} frac={}: resumed report diverged",
+            variant,
+            condition,
+            frac
+        );
+    }
+}
+
+/// A mid-run uncorq snapshot, encoded once for the bit-flip fuzz below.
+fn fuzz_snapshot() -> &'static (MachineConfig, AppProfile, Vec<u8>) {
+    static SNAP: std::sync::OnceLock<(MachineConfig, AppProfile, Vec<u8>)> =
+        std::sync::OnceLock::new();
+    SNAP.get_or_init(|| {
+        let cfg = cfg_for(ProtocolVariant::Uncorq, "clean", 2007);
+        let profile = app();
+        let mut capped = cfg.clone();
+        capped.max_cycles = 3_000;
+        let mut m = Machine::new(capped, &profile);
+        let _ = m.try_run();
+        let bytes = m.snapshot().encode();
+        (cfg, profile, bytes)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// 100% corruption detection: flipping any single bit anywhere in an
+    /// encoded machine snapshot — magic, header, section table, or any
+    /// payload byte — must make the restore fail with a typed error. A
+    /// corrupted snapshot is never silently accepted.
+    #[test]
+    fn any_bit_flip_is_detected(pos_seed in 0u64..u64::MAX, bit in 0u32..8) {
+        let (cfg, profile, bytes) = fuzz_snapshot();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1u8 << bit;
+        let restored = SnapshotFile::decode(&corrupt)
+            .and_then(|f| Machine::restore_file(cfg.clone(), profile, &f, "mem:fuzz"));
+        prop_assert!(
+            restored.is_err(),
+            "bit {} of byte {}/{} flipped and the restore still succeeded",
+            bit,
+            pos,
+            bytes.len()
+        );
+    }
+}
+
+/// The fuzz above samples positions; the container boundaries are the
+/// spots a sampler is most likely to miss, so pin them explicitly:
+/// every byte of the magic/length/header prefix and the last 64 payload
+/// bytes, each with two different flip masks.
+#[test]
+fn bit_flips_at_container_boundaries_are_detected() {
+    let (cfg, profile, bytes) = fuzz_snapshot();
+    let n = bytes.len();
+    let mut positions: Vec<usize> = (0..64.min(n)).collect();
+    positions.extend(n.saturating_sub(64)..n);
+    for pos in positions {
+        for mask in [0x01u8, 0x80] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= mask;
+            let restored = SnapshotFile::decode(&corrupt)
+                .and_then(|f| Machine::restore_file(cfg.clone(), profile, &f, "mem:edge"));
+            assert!(
+                restored.is_err(),
+                "byte {pos}/{n} ^ {mask:#04x} went undetected"
+            );
+        }
+    }
+}
