@@ -1,0 +1,155 @@
+//! The audited-exception allowlist.
+//!
+//! Some findings are correct code that the rules cannot prove safe —
+//! the `FxHashMap` alias definition itself names `HashMap`, a stats
+//! sink may iterate a map into an order-independent merge the heuristic
+//! does not recognize. Those exceptions are *audited*: they live in one
+//! workspace file (`ringlint.allow`), every entry names the rule and
+//! file it discharges and carries a mandatory human-written reason, and
+//! entries that no longer match anything are themselves reported so the
+//! list can only shrink, never silently rot.
+//!
+//! Format, one entry per line:
+//!
+//! ```text
+//! # comment
+//! <rule-id> <workspace-relative-path> -- <reason>
+//! ```
+//!
+//! An entry discharges every finding of `<rule-id>` in that file. There
+//! is deliberately no line-number scoping: line numbers churn with
+//! every edit, and a file either has an audited reason to violate a
+//! rule or it does not.
+
+use crate::rules::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id the entry discharges.
+    pub rule: String,
+    /// Workspace-relative path it applies to.
+    pub rel_path: String,
+    /// Mandatory audit reason.
+    pub reason: String,
+    /// 1-based line in the allowlist file (for unused-entry reports).
+    pub line: usize,
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+    /// Malformed lines: `(line, problem)`.
+    pub errors: Vec<(usize, String)>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. Malformed lines are collected, not fatal,
+    /// so one typo cannot silently disable the whole gate.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut list = Allowlist::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let t = raw.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let Some((head, reason)) = t.split_once("--") else {
+                list.errors
+                    .push((line, "missing ` -- <reason>` separator".to_string()));
+                continue;
+            };
+            let reason = reason.trim();
+            if reason.is_empty() {
+                list.errors.push((
+                    line,
+                    "empty reason: every exception must be audited".to_string(),
+                ));
+                continue;
+            }
+            let mut parts = head.split_whitespace();
+            let (Some(rule), Some(rel_path), None) = (parts.next(), parts.next(), parts.next())
+            else {
+                list.errors
+                    .push((line, "expected `<rule-id> <path> -- <reason>`".to_string()));
+                continue;
+            };
+            if !crate::rules::RULES.iter().any(|r| r.id == rule) {
+                list.errors
+                    .push((line, format!("unknown rule id `{rule}`")));
+                continue;
+            }
+            list.entries.push(AllowEntry {
+                rule: rule.to_string(),
+                rel_path: rel_path.to_string(),
+                reason: reason.to_string(),
+                line,
+            });
+        }
+        list
+    }
+
+    /// Marks allowlisted findings in place (setting `allowed`) and
+    /// returns the entries that discharged nothing — stale exceptions
+    /// that should be deleted.
+    pub fn apply(&self, findings: &mut [Finding]) -> Vec<&AllowEntry> {
+        let mut used = vec![false; self.entries.len()];
+        for f in findings.iter_mut() {
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.rule == f.rule && e.rel_path == f.rel_path {
+                    f.allowed = Some(e.reason.clone());
+                    used[i] = true;
+                    break;
+                }
+            }
+        }
+        self.entries
+            .iter()
+            .zip(used)
+            .filter_map(|(e, u)| (!u).then_some(e))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    #[test]
+    fn parse_accepts_entries_and_rejects_garbage() {
+        let text = "\
+# audited exceptions
+no-std-hashmap-in-sim-paths crates/sim/src/fasthash.rs -- alias definition site
+not-a-rule crates/x/src/y.rs -- nope
+no-wallclock crates/x/src/y.rs
+no-wallclock -- missing path
+";
+        let list = Allowlist::parse(text);
+        assert_eq!(list.entries.len(), 1);
+        assert_eq!(list.errors.len(), 3);
+        assert_eq!(list.entries[0].rule, "no-std-hashmap-in-sim-paths");
+        assert_eq!(list.entries[0].reason, "alias definition site");
+    }
+
+    #[test]
+    fn apply_marks_findings_and_reports_stale_entries() {
+        let f = SourceFile::from_text(
+            "crates/sim/src/fasthash.rs",
+            "use std::collections::HashMap;\n".to_string(),
+        )
+        .unwrap();
+        let mut findings = crate::rules::scan_file(&f);
+        assert!(!findings.is_empty());
+        let list = Allowlist::parse(
+            "no-std-hashmap-in-sim-paths crates/sim/src/fasthash.rs -- alias definition\n\
+             no-wallclock crates/nowhere/src/x.rs -- stale\n",
+        );
+        let stale = list.apply(&mut findings);
+        assert!(findings.iter().all(|f| f.allowed.is_some()));
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rel_path, "crates/nowhere/src/x.rs");
+    }
+}

@@ -1,0 +1,351 @@
+//! A self-contained lexical pass over Rust source.
+//!
+//! The source-level lints do not need a full parse — they need to know,
+//! for every byte of a file, whether it is *code* (as opposed to a
+//! comment or the inside of a string literal) and whether it lives in a
+//! `#[cfg(test)]` region. This module produces exactly that:
+//!
+//! - [`mask`] returns a copy of the source with every comment and every
+//!   string/char-literal *body* replaced by spaces, preserving byte
+//!   offsets and line structure, so pattern scans over the result can
+//!   never match documentation or literal text.
+//! - [`test_line_map`] brace-matches `#[cfg(test)]` attributes to the
+//!   item they gate and marks every line inside that item, so lints can
+//!   skip test-only code the same way
+//!   `#![cfg_attr(not(test), deny(..))]` does.
+//! - [`identifiers`] tokenizes the masked text into identifier
+//!   occurrences with line numbers — the unit the rules match on.
+//!
+//! The pass handles nested block comments, escaped characters in
+//! string/char literals, raw strings with arbitrary hash fences, and
+//! the `'a` lifetime-vs-char-literal ambiguity. It deliberately does
+//! not handle macros-by-example expansion: lints see macro *input*
+//! tokens, which is what a reviewer sees too.
+
+/// Replaces comments and string/char-literal bodies with spaces,
+/// preserving newlines and byte offsets.
+pub fn mask(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match st {
+            St::Code => match b {
+                b'/' if next == Some(b'/') => {
+                    st = St::LineComment;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'/' if next == Some(b'*') => {
+                    st = St::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'"' => {
+                    st = St::Str;
+                    out.push(b'"');
+                    i += 1;
+                }
+                b'r' if matches!(next, Some(b'"') | Some(b'#'))
+                    && !prev_is_ident_char(bytes, i) =>
+                {
+                    // Raw string: r"..." or r#"..."# with any fence width.
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        st = St::RawStr(hashes);
+                        out.resize(out.len() + (j + 1 - i), b' ');
+                        i = j + 1;
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    // Char literal vs lifetime. A char literal is 'x' or
+                    // an escape; a lifetime is 'ident not closed by a
+                    // quote. Lookahead decides.
+                    if next == Some(b'\\') {
+                        st = St::Char;
+                        out.push(b'\'');
+                        i += 1;
+                    } else if next.is_some() && bytes.get(i + 2) == Some(&b'\'') {
+                        out.extend_from_slice(b"'x'");
+                        i += 3;
+                    } else {
+                        // Lifetime (or the odd `'_`): leave as code.
+                        out.push(b);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(b);
+                    i += 1;
+                }
+            },
+            St::LineComment => {
+                if b == b'\n' {
+                    st = St::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if b == b'*' && next == Some(b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && next == Some(b'*') {
+                    st = St::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            St::Str => match b {
+                b'\\' => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'"' => {
+                    st = St::Code;
+                    out.push(b'"');
+                    i += 1;
+                }
+                b'\n' => {
+                    out.push(b'\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(b' ');
+                    i += 1;
+                }
+            },
+            St::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && bytes.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        st = St::Code;
+                        out.resize(out.len() + (j - i), b' ');
+                        i = j;
+                        continue;
+                    }
+                }
+                out.push(if b == b'\n' { b'\n' } else { b' ' });
+                i += 1;
+            }
+            St::Char => match b {
+                b'\\' => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'\'' => {
+                    st = St::Code;
+                    out.push(b'\'');
+                    i += 1;
+                }
+                _ => {
+                    out.push(b' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    // Escapes at end-of-file can overrun by one byte; clamp.
+    out.truncate(bytes.len());
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn prev_is_ident_char(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Marks every line that belongs to a `#[cfg(test)]`-gated item.
+///
+/// The map is computed over *masked* text (so an attribute inside a
+/// doc comment does not count). A `#[cfg(test)]` attribute gates the
+/// next item: if a `{` is reached before a `;`, the whole brace-matched
+/// block is a test region; a `;` first means the attribute gated a
+/// braceless item (a `use`, a declaration) and only those lines are
+/// marked.
+pub fn test_line_map(masked: &str) -> Vec<bool> {
+    let line_count = masked.lines().count();
+    let mut map = vec![false; line_count.max(1)];
+    let mut depth: i32 = 0;
+    // Open test regions: brace depth at which each region's block ends.
+    let mut regions: Vec<i32> = Vec::new();
+    // A pending #[cfg(test)] waiting for its item's opening brace.
+    let mut pending = false;
+    let mut line = 0usize;
+    let bytes = masked.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+            }
+            b'#' if masked[i..].starts_with("#[cfg(test)]")
+                || masked[i..].starts_with("#[cfg(all(test")
+                || masked[i..].starts_with("#[cfg(any(test") =>
+            {
+                pending = true;
+                if line < map.len() {
+                    map[line] = true;
+                }
+            }
+            b'{' => {
+                depth += 1;
+                if pending {
+                    regions.push(depth);
+                    pending = false;
+                }
+            }
+            b'}' => {
+                if regions.last() == Some(&depth) {
+                    regions.pop();
+                }
+                depth -= 1;
+            }
+            b';' => {
+                // A braceless gated item ends here.
+                pending = false;
+            }
+            _ => {}
+        }
+        if (!regions.is_empty() || pending) && line < map.len() {
+            map[line] = true;
+        }
+        i += 1;
+    }
+    map
+}
+
+/// One identifier occurrence in masked source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ident<'a> {
+    /// The identifier text.
+    pub text: &'a str,
+    /// 1-based line number.
+    pub line: usize,
+    /// Byte offset of the identifier's first character.
+    pub offset: usize,
+}
+
+/// Tokenizes masked text into identifier occurrences.
+pub fn identifiers(masked: &str) -> Vec<Ident<'_>> {
+    let mut out = Vec::new();
+    let bytes = masked.as_bytes();
+    let mut line = 1usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(Ident {
+                text: &masked[start..i],
+                line,
+                offset: start,
+            });
+        } else if b.is_ascii_digit() {
+            // Skip numeric literals (so `0x1f` does not yield `x1f`).
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_masked() {
+        let src = "let a = 1; // HashMap in a comment\nlet b = \"HashMap in a string\";\n/* HashMap\n * in a block */ let c = 2;\n";
+        let m = mask(src);
+        assert!(!m.contains("HashMap"), "{m}");
+        assert_eq!(m.lines().count(), src.lines().count());
+        assert!(m.contains("let a = 1;"));
+        assert!(m.contains("let c = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_masked() {
+        let src = "let s = r#\"Instant::now()\"#; let c = 'I'; let l: &'static str = x;\n";
+        let m = mask(src);
+        assert!(!m.contains("Instant"));
+        assert!(m.contains("'static"), "{m}");
+    }
+
+    #[test]
+    fn escaped_quote_in_string_stays_masked() {
+        let src = "let s = \"he said \\\"Instant\\\" loudly\"; let t = Instant::now();\n";
+        let m = mask(src);
+        assert_eq!(m.matches("Instant").count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner SystemTime */ still comment */ SystemTime\n";
+        let m = mask(src);
+        assert_eq!(m.matches("SystemTime").count(), 1);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let m = mask(src);
+        let map = test_line_map(&m);
+        assert!(!map[0]);
+        assert!(map[1] && map[2] && map[3] && map[4]);
+        assert!(!map[5]);
+    }
+
+    #[test]
+    fn identifier_stream_has_lines() {
+        let ids = identifiers("foo bar\nbaz_2 0x1f\n");
+        let got: Vec<(&str, usize)> = ids.iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(got, vec![("foo", 1), ("bar", 1), ("baz_2", 2)]);
+    }
+}

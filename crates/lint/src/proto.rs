@@ -1,0 +1,289 @@
+//! Static protocol-table audits: dead/shadowed rules and guard overlap.
+//!
+//! The PR-3 table analysis ([`ring_model::analyze_all`]) proves the two
+//! decision kernels *total and deterministic* — every `state × message`
+//! point matched by exactly one row. This module proves the complement,
+//! about the rows themselves rather than the points:
+//!
+//! - **Dead-rule detection.** A row is *dead* under a configuration if
+//!   it is the unique match for zero enumeration points — it either
+//!   matches nothing (unreachable guard) or every point it matches is
+//!   contested by another row (fully shadowed; the totality analysis
+//!   reports those points as ambiguities, but the *row-level* view says
+//!   which row to delete). A supplier row is reported dead only if it is
+//!   dead under **every** variant × `reads_keep_supplier` configuration:
+//!   a `KeepSupplier` row is legitimately inactive under the default
+//!   configurations and must not be flagged.
+//! - **Guard-overlap audit.** Overlap is computed *symbolically* on the
+//!   guard cubes, not by enumeration: two [`DecisionGuard`] cubes
+//!   intersect iff no field carries contradictory `Some` constraints,
+//!   and two [`SupplierGuard`]s coexist iff either is `Always` or they
+//!   are equal. Symbolic overlap on same-key rows is exactly the
+//!   condition under which the table's first-match-free semantics would
+//!   be order-dependent, so the canonical tables must have none.
+//!
+//! Both audits are pure functions of the tables, so the mutation
+//! harness can hand them deliberately broken tables and assert the
+//! breakage is caught.
+
+use ring_coherence::table::{
+    DecisionCtx, DecisionGuard, DecisionTable, RespClass, SnoopState, SupplierGuard, SupplierTable,
+};
+use ring_coherence::{ProtocolVariant, TxnKind};
+
+/// Row-level audit result for one table.
+#[derive(Debug, Clone, Default)]
+pub struct TableAudit {
+    /// Human-readable descriptions of dead rows (index + row summary).
+    pub dead_rows: Vec<String>,
+    /// Symbolic guard overlaps between same-key rows.
+    pub overlaps: Vec<String>,
+    /// Per-row unique-match counts (diagnostic; index-aligned with the
+    /// table's rows).
+    pub unique_matches: Vec<usize>,
+}
+
+impl TableAudit {
+    /// Whether the table has no dead rows and no guard overlaps.
+    pub fn is_clean(&self) -> bool {
+        self.dead_rows.is_empty() && self.overlaps.is_empty()
+    }
+}
+
+/// Whether two decision-guard cubes intersect: they do unless some
+/// field constrains the same bit to opposite values.
+pub fn guards_intersect(a: &DecisionGuard, b: &DecisionGuard) -> bool {
+    fn compatible(x: Option<bool>, y: Option<bool>) -> bool {
+        match (x, y) {
+            (Some(p), Some(q)) => p == q,
+            _ => true,
+        }
+    }
+    compatible(a.lost, b.lost)
+        && compatible(a.has_suppliership, b.has_suppliership)
+        && compatible(a.colliders_seen, b.colliders_seen)
+        && compatible(a.beats_all, b.beats_all)
+        && compatible(a.local_write_ok, b.local_write_ok)
+        && compatible(a.stale_suppliership, b.stale_suppliership)
+}
+
+/// Whether two supplier-row guards can both be admitted by a single
+/// configuration.
+pub fn supplier_guards_coexist(a: SupplierGuard, b: SupplierGuard) -> bool {
+    a == SupplierGuard::Always || b == SupplierGuard::Always || a == b
+}
+
+/// Audits the decision table: dead rows by unique-match enumeration
+/// over `RespClass::ALL × DecisionCtx::enumerate()` (4 × 64 points),
+/// overlaps by symbolic cube intersection.
+pub fn audit_decision_table(t: &DecisionTable) -> TableAudit {
+    let rows = t.rows();
+    let mut unique = vec![0usize; rows.len()];
+    for resp in RespClass::ALL {
+        for ctx in DecisionCtx::enumerate() {
+            let matching: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.resp == resp && r.guard.admits(ctx))
+                .map(|(i, _)| i)
+                .collect();
+            if let [only] = matching[..] {
+                unique[only] += 1;
+            }
+        }
+    }
+    let mut audit = TableAudit {
+        unique_matches: unique.clone(),
+        ..TableAudit::default()
+    };
+    for (i, row) in rows.iter().enumerate() {
+        if unique[i] == 0 {
+            audit.dead_rows.push(format!(
+                "decision row {i} ({} -> {}) is dead: unique match for 0 of 256 points",
+                row.resp, row.action
+            ));
+        }
+    }
+    for i in 0..rows.len() {
+        for j in i + 1..rows.len() {
+            if rows[i].resp == rows[j].resp && guards_intersect(&rows[i].guard, &rows[j].guard) {
+                audit.overlaps.push(format!(
+                    "decision rows {i} and {j} overlap on {} (cubes intersect symbolically)",
+                    rows[i].resp
+                ));
+            }
+        }
+    }
+    audit
+}
+
+/// The configuration axis a supplier row can be live under: every
+/// variant crossed with both `reads_keep_supplier` settings.
+fn supplier_configs() -> Vec<(String, ring_coherence::ProtocolConfig)> {
+    let mut out = Vec::new();
+    for v in ProtocolVariant::ALL {
+        for keep in [false, true] {
+            let mut cfg = v.config();
+            cfg.reads_keep_supplier = keep;
+            out.push((format!("{v} keep={keep}"), cfg));
+        }
+    }
+    out
+}
+
+/// Audits the supplier table across all variant configurations.
+pub fn audit_supplier_table(t: &SupplierTable) -> TableAudit {
+    let rows = t.rows();
+    let mut unique = vec![0usize; rows.len()];
+    for (_, cfg) in supplier_configs() {
+        for st in SnoopState::ALL {
+            for k in [TxnKind::Read, TxnKind::WriteMiss, TxnKind::WriteHit] {
+                let matching: Vec<usize> = rows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| {
+                        r.state == st && r.req == k && r.guard.admits(cfg.reads_keep_supplier)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if let [only] = matching[..] {
+                    unique[only] += 1;
+                }
+            }
+        }
+    }
+    let mut audit = TableAudit {
+        unique_matches: unique.clone(),
+        ..TableAudit::default()
+    };
+    for (i, row) in rows.iter().enumerate() {
+        if unique[i] == 0 {
+            audit.dead_rows.push(format!(
+                "supplier row {i} ({} x {}, {:?}) is dead under every variant configuration",
+                row.state, row.req, row.guard
+            ));
+        }
+    }
+    for i in 0..rows.len() {
+        for j in i + 1..rows.len() {
+            if rows[i].state == rows[j].state
+                && rows[i].req == rows[j].req
+                && supplier_guards_coexist(rows[i].guard, rows[j].guard)
+            {
+                audit.overlaps.push(format!(
+                    "supplier rows {i} and {j} overlap on {} x {} ({:?} vs {:?})",
+                    rows[i].state, rows[i].req, rows[i].guard, rows[j].guard
+                ));
+            }
+        }
+    }
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_coherence::table::{DecisionAction, DecisionRow};
+
+    #[test]
+    fn canonical_tables_are_clean() {
+        let d = audit_decision_table(&DecisionTable::canonical());
+        assert!(
+            d.is_clean(),
+            "dead={:?} overlaps={:?}",
+            d.dead_rows,
+            d.overlaps
+        );
+        // Every canonical decision row uniquely serves at least one point.
+        assert!(d.unique_matches.iter().all(|&n| n > 0));
+        let s = audit_supplier_table(&SupplierTable::canonical());
+        assert!(
+            s.is_clean(),
+            "dead={:?} overlaps={:?}",
+            s.dead_rows,
+            s.overlaps
+        );
+        assert!(s.unique_matches.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn duplicated_row_is_dead_and_overlapping() {
+        let t = DecisionTable::canonical();
+        // Replace the last row with a copy of the first: the first's
+        // points all become contested (both rows dead for those points)
+        // and the pair overlaps symbolically.
+        let dup = t.rows()[0];
+        let i = t.rows().len() - 1;
+        let broken = t.with_row(i, dup);
+        let audit = audit_decision_table(&broken);
+        assert!(!audit.is_clean());
+        assert!(!audit.overlaps.is_empty());
+        // The displaced row's coverage is gone and the duplicate pair
+        // shadows itself, so dead rows are reported too.
+        assert!(!audit.dead_rows.is_empty());
+    }
+
+    #[test]
+    fn widened_guard_is_an_overlap() {
+        let t = DecisionTable::canonical();
+        let i = t
+            .rows()
+            .iter()
+            .position(|r| r.resp == RespClass::NegClean && r.guard.lost == Some(true))
+            .unwrap();
+        let broken = t.with_row(
+            i,
+            DecisionRow {
+                resp: RespClass::NegClean,
+                guard: DecisionGuard::ANY,
+                action: DecisionAction::Retry,
+            },
+        );
+        let audit = audit_decision_table(&broken);
+        assert!(!audit.overlaps.is_empty());
+    }
+
+    #[test]
+    fn keep_supplier_rows_are_not_dead() {
+        // The §5.5 rows are inactive under the default configs but live
+        // under keep=true; the audit must not flag them.
+        let audit = audit_supplier_table(&SupplierTable::canonical());
+        assert!(audit.dead_rows.is_empty());
+    }
+
+    #[test]
+    fn symbolic_intersection_matches_enumeration() {
+        // Exhaustive cross-check of the symbolic test on a sample of
+        // cube pairs: symbolic intersection iff some concrete ctx is
+        // admitted by both.
+        let cubes = [
+            DecisionGuard::ANY,
+            DecisionGuard {
+                lost: Some(true),
+                ..DecisionGuard::ANY
+            },
+            DecisionGuard {
+                lost: Some(false),
+                colliders_seen: Some(true),
+                ..DecisionGuard::ANY
+            },
+            DecisionGuard {
+                lost: Some(false),
+                colliders_seen: Some(false),
+                ..DecisionGuard::ANY
+            },
+            DecisionGuard {
+                has_suppliership: Some(true),
+                stale_suppliership: Some(false),
+                ..DecisionGuard::ANY
+            },
+        ];
+        for a in &cubes {
+            for b in &cubes {
+                let symbolic = guards_intersect(a, b);
+                let concrete = DecisionCtx::enumerate().any(|c| a.admits(c) && b.admits(c));
+                assert_eq!(symbolic, concrete, "{a:?} vs {b:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! The combined ringlint report: one struct, one JSON document, one
+//! human summary, one gate verdict.
+//!
+//! The JSON is hand-rolled (the workspace vendors no real serde
+//! runtime) against a stable `ringlint-v1` schema so CI can archive and
+//! diff reports across commits. Everything the gate decides on is in
+//! the document — a reviewer can reconstruct the pass/fail from the
+//! artifact alone.
+
+use std::fmt::Write as _;
+
+use crate::allow::AllowEntry;
+use crate::bounds::{BoundCheck, BoundStatus};
+use crate::proto::TableAudit;
+use crate::rules::{Finding, Severity, RULES};
+use crate::waitfor::DeadlockProof;
+use ring_model::VariantAnalysis;
+
+/// Everything one ringlint run produced.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// All source findings, allowlist already applied.
+    pub findings: Vec<Finding>,
+    /// Malformed allowlist lines: `(line, problem)`.
+    pub allow_errors: Vec<(usize, String)>,
+    /// Allowlist entries that discharged nothing.
+    pub stale_allows: Vec<AllowEntry>,
+    /// Supplier-table row audit.
+    pub supplier_audit: Option<TableAudit>,
+    /// Decision-table row audit.
+    pub decision_audit: Option<TableAudit>,
+    /// Per-variant completeness/determinism (the PR-3 analysis).
+    pub variants: Vec<VariantAnalysis>,
+    /// Per-variant deadlock-freedom proofs.
+    pub proofs: Vec<DeadlockProof>,
+    /// Static capacity bounds.
+    pub bounds: Vec<BoundCheck>,
+}
+
+impl Report {
+    /// Deny-severity findings not covered by the allowlist.
+    pub fn open_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny && f.allowed.is_none())
+    }
+
+    /// The CI gate: fails on any open deny finding, allowlist rot
+    /// (parse errors or stale entries), table audit problems, a
+    /// non-acyclic wait-for graph, or a failed capacity bound.
+    pub fn gate_ok(&self) -> bool {
+        self.open_findings().next().is_none()
+            && self.allow_errors.is_empty()
+            && self.stale_allows.is_empty()
+            && self
+                .supplier_audit
+                .as_ref()
+                .is_none_or(TableAudit::is_clean)
+            && self
+                .decision_audit
+                .as_ref()
+                .is_none_or(TableAudit::is_clean)
+            && self.variants.iter().all(VariantAnalysis::is_sound)
+            && self.proofs.iter().all(|p| p.acyclic)
+            && self.bounds.iter().all(|b| b.status != BoundStatus::Fail)
+    }
+
+    /// Renders the stable `ringlint-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(16 * 1024);
+        s.push_str("{\n  \"schema\": \"ringlint-v1\",\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+
+        s.push_str("  \"rules\": [\n");
+        for (i, r) in RULES.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"id\": {}, \"severity\": {}, \"description\": {}}}",
+                esc(r.id),
+                esc(r.severity.name()),
+                esc(r.description)
+            );
+            s.push_str(if i + 1 < RULES.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+
+        s.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \
+                 \"message\": {}, \"snippet\": {}, \"allowed\": {}}}",
+                esc(f.rule),
+                esc(f.severity.name()),
+                esc(&f.rel_path),
+                f.line,
+                esc(&f.message),
+                esc(&f.snippet),
+                f.allowed.as_deref().map_or("null".to_string(), esc),
+            );
+            s.push_str(if i + 1 < self.findings.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+
+        s.push_str("  \"allowlist\": {\"errors\": [");
+        for (i, (line, msg)) in self.allow_errors.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{{\"line\": {line}, \"problem\": {}}}", esc(msg));
+        }
+        s.push_str("], \"stale\": [");
+        for (i, e) in self.stale_allows.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "{{\"rule\": {}, \"path\": {}, \"line\": {}}}",
+                esc(&e.rule),
+                esc(&e.rel_path),
+                e.line
+            );
+        }
+        s.push_str("]},\n");
+
+        s.push_str("  \"tables\": {");
+        for (key, audit) in [
+            ("supplier", &self.supplier_audit),
+            ("decision", &self.decision_audit),
+        ] {
+            if key == "decision" {
+                s.push_str(", ");
+            }
+            match audit {
+                Some(a) => {
+                    let _ = write!(
+                        s,
+                        "\"{key}\": {{\"clean\": {}, \"dead_rows\": {}, \"overlaps\": {}, \
+                         \"rows\": {}}}",
+                        a.is_clean(),
+                        esc_list(&a.dead_rows),
+                        esc_list(&a.overlaps),
+                        a.unique_matches.len()
+                    );
+                }
+                None => {
+                    let _ = write!(s, "\"{key}\": null");
+                }
+            }
+        }
+        s.push_str("},\n");
+
+        s.push_str("  \"variants\": [\n");
+        for (i, v) in self.variants.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"variant\": {}, \"sound\": {}, \"supplier_holes\": {}, \
+                 \"supplier_ambiguities\": {}, \"decision_holes\": {}, \
+                 \"decision_ambiguities\": {}}}",
+                esc(v.variant.name()),
+                v.is_sound(),
+                v.supplier.holes.len() + v.supplier_keep.holes.len(),
+                v.supplier.ambiguities.len() + v.supplier_keep.ambiguities.len(),
+                v.decision.holes.len(),
+                v.decision.ambiguities.len()
+            );
+            s.push_str(if i + 1 < self.variants.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+
+        s.push_str("  \"deadlock\": [\n");
+        for (i, p) in self.proofs.iter().enumerate() {
+            let topo: Vec<String> = p.topo_order.iter().map(|r| r.name().to_string()).collect();
+            let cycle = match &p.cycle {
+                Some(c) => esc_list(&c.iter().map(|r| r.name().to_string()).collect::<Vec<_>>()),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                s,
+                "    {{\"variant\": {}, \"acyclic\": {}, \"live_edges\": {}, \
+                 \"topological_order\": {}, \"cycle\": {}, \"discharged\": [",
+                esc(p.variant.name()),
+                p.acyclic,
+                p.live_edges,
+                esc_list(&topo),
+                cycle
+            );
+            for (j, e) in p.discharged.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"from\": {}, \"to\": {}, \"wait\": {}, \"rank_argument\": {}}}",
+                    esc(e.from.name()),
+                    esc(e.to.name()),
+                    esc(&e.reason),
+                    esc(e.discharged.as_deref().unwrap_or(""))
+                );
+            }
+            s.push_str("]}");
+            s.push_str(if i + 1 < self.proofs.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+
+        s.push_str("  \"bounds\": [\n");
+        for (i, b) in self.bounds.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"id\": {}, \"config\": {}, \"status\": {}, \"formula\": {}, \
+                 \"detail\": {}}}",
+                esc(b.id),
+                esc(&b.config),
+                esc(b.status.name()),
+                esc(&b.formula),
+                esc(&b.detail)
+            );
+            s.push_str(if i + 1 < self.bounds.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+
+        let _ = write!(
+            s,
+            "  \"gate\": {{\"ok\": {}, \"open_findings\": {}, \"allowed_findings\": {}}}\n}}\n",
+            self.gate_ok(),
+            self.open_findings().count(),
+            self.findings.iter().filter(|f| f.allowed.is_some()).count()
+        );
+        s
+    }
+
+    /// Renders the terminal summary.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "ringlint: scanned {} source files", self.files_scanned);
+        for f in &self.findings {
+            let status = match &f.allowed {
+                Some(reason) => format!("allowed: {reason}"),
+                None => f.severity.name().to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "  [{status}] {}:{} {} — {}",
+                f.rel_path, f.line, f.rule, f.message
+            );
+        }
+        for (line, msg) in &self.allow_errors {
+            let _ = writeln!(s, "  [deny] ringlint.allow:{line} malformed entry: {msg}");
+        }
+        for e in &self.stale_allows {
+            let _ = writeln!(
+                s,
+                "  [deny] ringlint.allow:{} stale entry ({} {}) discharges nothing — delete it",
+                e.line, e.rule, e.rel_path
+            );
+        }
+        for (name, audit) in [
+            ("supplier", &self.supplier_audit),
+            ("decision", &self.decision_audit),
+        ] {
+            if let Some(a) = audit {
+                for d in a.dead_rows.iter().chain(&a.overlaps) {
+                    let _ = writeln!(s, "  [deny] {name} table: {d}");
+                }
+            }
+        }
+        for v in &self.variants {
+            if !v.is_sound() {
+                let _ = writeln!(
+                    s,
+                    "  [deny] {}: table holes/ambiguities (see modelcheck)",
+                    v.variant.name()
+                );
+            }
+        }
+        for p in &self.proofs {
+            if p.acyclic {
+                let order: Vec<&str> = p.topo_order.iter().map(|r| r.name()).collect();
+                let _ = writeln!(
+                    s,
+                    "  deadlock-free [{:<11}] {} live edges, {} discharged; rank: {}",
+                    p.variant.name(),
+                    p.live_edges,
+                    p.discharged.len(),
+                    order.join(" < ")
+                );
+            } else {
+                let cyc: Vec<&str> = p
+                    .cycle
+                    .as_deref()
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|r| r.name())
+                    .collect();
+                let _ = writeln!(
+                    s,
+                    "  [deny] {}: wait-for CYCLE {}",
+                    p.variant.name(),
+                    cyc.join(" -> ")
+                );
+            }
+        }
+        let fails = self
+            .bounds
+            .iter()
+            .filter(|b| b.status == BoundStatus::Fail)
+            .count();
+        let warns = self
+            .bounds
+            .iter()
+            .filter(|b| b.status == BoundStatus::Warn)
+            .count();
+        let _ = writeln!(
+            s,
+            "  bounds: {} checked, {} warn, {} fail",
+            self.bounds.len(),
+            warns,
+            fails
+        );
+        for b in self.bounds.iter().filter(|b| b.status != BoundStatus::Pass) {
+            let _ = writeln!(
+                s,
+                "    [{}] {} ({}): {}",
+                b.status.name(),
+                b.id,
+                b.config,
+                b.formula
+            );
+        }
+        let _ = writeln!(
+            s,
+            "ringlint: {} ({} open findings, {} allowed)",
+            if self.gate_ok() { "PASS" } else { "FAIL" },
+            self.open_findings().count(),
+            self.findings.iter().filter(|f| f.allowed.is_some()).count()
+        );
+        s
+    }
+}
+
+/// JSON string escape.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn esc_list(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&esc(s));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn esc_handles_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(esc("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_gates_ok_and_renders() {
+        let r = Report::default();
+        assert!(r.gate_ok());
+        let j = r.to_json();
+        assert!(j.contains("\"schema\": \"ringlint-v1\""));
+        assert!(j.contains("\"ok\": true"));
+        // Must be structurally balanced.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn open_deny_finding_fails_the_gate() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: "no-wallclock",
+            severity: Severity::Deny,
+            rel_path: "crates/sim/src/x.rs".to_string(),
+            line: 3,
+            message: "m".to_string(),
+            snippet: "s".to_string(),
+            allowed: None,
+        });
+        assert!(!r.gate_ok());
+        r.findings[0].allowed = Some("audited".to_string());
+        assert!(r.gate_ok());
+    }
+
+    #[test]
+    fn full_report_json_is_balanced() {
+        let r = Report {
+            files_scanned: 3,
+            variants: ring_model::analyze_all(),
+            proofs: crate::waitfor::prove_all(true),
+            bounds: crate::bounds::check_all(),
+            supplier_audit: Some(crate::proto::audit_supplier_table(
+                &ring_coherence::SupplierTable::canonical(),
+            )),
+            decision_audit: Some(crate::proto::audit_decision_table(
+                &ring_coherence::DecisionTable::canonical(),
+            )),
+            ..Report::default()
+        };
+        assert!(r.gate_ok());
+        let j = r.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"acyclic\": true"));
+        assert!(j.contains("rank_argument"));
+        let human = r.summary();
+        assert!(human.contains("deadlock-free"));
+        assert!(human.contains("PASS"));
+    }
+}

@@ -1,0 +1,562 @@
+//! Message-class/resource wait-for graph and the Dally–Seitz
+//! deadlock-freedom proof, per protocol variant.
+//!
+//! ## The argument
+//!
+//! A deadlock is a cycle of *holders waiting on holders*. Following
+//! Dally & Seitz, we abstract the machine's concrete resources (one
+//! MSHR at node 3, one request buffer on link 7→8) into **resource
+//! classes** and draw a class-level edge `A → B` whenever a holder of
+//! an `A` instance can be blocked until some `B` instance frees. Every
+//! concrete wait-for cycle in an N-node machine projects onto a closed
+//! walk in this class graph (possibly using self-loops), because the
+//! classes are node-symmetric: the projection forgets *which* node, not
+//! *whether* there is an edge. Therefore:
+//!
+//! > If the class graph, after discharging each self-loop with an
+//! > N-independent rank argument, is **acyclic**, then no concrete
+//! > wait-for cycle exists at **any** node count.
+//!
+//! A *discharged* edge is one that exists syntactically (a ring request
+//! buffer does wait on the next hop's ring request buffer) but cannot
+//! carry a cycle, by an argument that does not mention N:
+//!
+//! - **Consumption at source** (ring channels): every ring message is
+//!   removed from the channel by its own source after one full
+//!   traversal, and forwarding work at each hop is bounded service, so
+//!   channel occupancy drains regardless of protocol state downstream.
+//! - **Dimension-order routing** (Uncorq's multicast mesh): xy routing
+//!   orders links lexicographically; each hop waits only on
+//!   higher-ranked links, so the per-link wait relation is a partial
+//!   order — acyclic by construction.
+//! - **Unconditional sink**: the decision table is *total* (the PR-3
+//!   analysis proves no holes), so a combined response reaching its
+//!   requester is always consumed; acks are sunk on arrival; retry
+//!   timers fire by pure passage of time.
+//! - **Recovery path** (LTT): a snoop that cannot allocate an LTT slot
+//!   does not block — the `LttSlotMissing` recovery squashes the
+//!   transaction and the requester retries, so the wait edge onto LTT
+//!   capacity never holds.
+//!
+//! The proof machinery checks cycles over the **non-discharged** edges
+//! and emits the discharge justifications alongside the topological
+//! order, so the JSON report contains the full argument, not just a
+//! boolean. What this does *not* prove: the discharge justifications
+//! themselves (consumption-at-source, routing acyclicity, table
+//! totality) are premises established elsewhere — the first two by the
+//! NoC construction and the chaos/watchdog suites, the third statically
+//! by [`ring_model::analyze_all`]. See DESIGN.md §17.
+
+use ring_coherence::table::{DecisionAction, DecisionCtx, DecisionTable, RespClass};
+use ring_coherence::ProtocolVariant;
+
+/// A node-symmetric resource class of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Resource {
+    /// Requester-side outstanding-transaction slot (MSHR).
+    Mshr,
+    /// Request-channel buffer (ring slot, or mesh VC for Uncorq reads).
+    RingReq,
+    /// Response-channel buffer on the ring.
+    RingResp,
+    /// Point-to-point suppliership/data transfer channel.
+    SupplierWire,
+    /// LTT entry at a snooping node (Uncorq ordering invariant).
+    LttSlot,
+    /// The L2 tag-access snoop machinery at a node.
+    SnoopEngine,
+    /// Memory-controller request port.
+    MemPort,
+    /// Retry backoff timer (fires by pure passage of time).
+    RetryTimer,
+    /// Reliable-transport send-window slot (per flow).
+    RelWindow,
+    /// Ack channel of the reliable sublayer.
+    AckWire,
+}
+
+impl Resource {
+    /// Every class, in display order.
+    pub const ALL: [Resource; 10] = [
+        Resource::Mshr,
+        Resource::RingReq,
+        Resource::RingResp,
+        Resource::SupplierWire,
+        Resource::LttSlot,
+        Resource::SnoopEngine,
+        Resource::MemPort,
+        Resource::RetryTimer,
+        Resource::RelWindow,
+        Resource::AckWire,
+    ];
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::Mshr => "mshr",
+            Resource::RingReq => "ring-req",
+            Resource::RingResp => "ring-resp",
+            Resource::SupplierWire => "supplier-wire",
+            Resource::LttSlot => "ltt-slot",
+            Resource::SnoopEngine => "snoop-engine",
+            Resource::MemPort => "mem-port",
+            Resource::RetryTimer => "retry-timer",
+            Resource::RelWindow => "rel-window",
+            Resource::AckWire => "ack-wire",
+        }
+    }
+
+    fn index(self) -> usize {
+        Resource::ALL.iter().position(|r| *r == self).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One class-level wait-for edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// The waiting class.
+    pub from: Resource,
+    /// The class waited on.
+    pub to: Resource,
+    /// Why the wait exists (protocol/structural provenance).
+    pub reason: String,
+    /// `Some(argument)` when the edge is discharged by an N-independent
+    /// rank argument and therefore excluded from cycle detection.
+    pub discharged: Option<String>,
+}
+
+/// The class-level wait-for graph of one protocol variant.
+#[derive(Debug, Clone)]
+pub struct WaitForGraph {
+    /// The variant the graph models.
+    pub variant: ProtocolVariant,
+    /// Whether the reliable-transport sublayer is modeled.
+    pub reliability: bool,
+    /// All edges, live and discharged.
+    pub edges: Vec<Edge>,
+}
+
+/// The result of the cycle analysis on one graph.
+#[derive(Debug, Clone)]
+pub struct DeadlockProof {
+    /// The variant proved (or refuted).
+    pub variant: ProtocolVariant,
+    /// Whether the live-edge graph is acyclic.
+    pub acyclic: bool,
+    /// A witness cycle over live edges when not acyclic.
+    pub cycle: Option<Vec<Resource>>,
+    /// A topological order of the live-edge graph when acyclic: the
+    /// rank function of the Dally–Seitz argument.
+    pub topo_order: Vec<Resource>,
+    /// The discharged edges with their justifications — the premises
+    /// the proof leans on.
+    pub discharged: Vec<Edge>,
+    /// Live edge count (diagnostic).
+    pub live_edges: usize,
+}
+
+fn edge(from: Resource, to: Resource, reason: &str) -> Edge {
+    Edge {
+        from,
+        to,
+        reason: reason.to_string(),
+        discharged: None,
+    }
+}
+
+fn discharged(from: Resource, to: Resource, reason: &str, rank: &str) -> Edge {
+    Edge {
+        from,
+        to,
+        reason: reason.to_string(),
+        discharged: Some(rank.to_string()),
+    }
+}
+
+/// Builds the wait-for graph for one variant. Decision-derived edges
+/// come from the table itself: only actions reachable at some
+/// `class × context` point contribute, so a table edit changes the
+/// graph (which is what lets the mutation harness inject a cycle
+/// through the real construction path).
+pub fn build(variant: ProtocolVariant, table: &DecisionTable, reliability: bool) -> WaitForGraph {
+    let mut edges = Vec::new();
+
+    // --- Requester side: MSHR-holder waits, derived from the table ---
+    // The actions actually reachable under total enumeration.
+    let mut reachable = Vec::new();
+    for resp in RespClass::ALL {
+        for ctx in DecisionCtx::enumerate() {
+            if let Ok(a) = table.decide(resp, ctx) {
+                if !reachable.contains(&a) {
+                    reachable.push(a);
+                }
+            }
+        }
+    }
+    edges.push(edge(
+        Resource::Mshr,
+        Resource::RingReq,
+        "an MSHR holder must inject its request into the request channel",
+    ));
+    edges.push(edge(
+        Resource::Mshr,
+        Resource::RingResp,
+        "an MSHR holder waits for its own combined response",
+    ));
+    for a in &reachable {
+        match a {
+            DecisionAction::WaitSupplier => edges.push(edge(
+                Resource::Mshr,
+                Resource::SupplierWire,
+                "decision wait-supplier: completion waits for the suppliership in flight",
+            )),
+            DecisionAction::Defer => edges.push(edge(
+                Resource::Mshr,
+                Resource::RingResp,
+                "decision defer: the undecided collision waits for further collider responses",
+            )),
+            DecisionAction::Retry => {
+                edges.push(edge(
+                    Resource::Mshr,
+                    Resource::RetryTimer,
+                    "decision retry: the failed attempt arms the backoff timer",
+                ));
+                edges.push(edge(
+                    Resource::RetryTimer,
+                    Resource::RingReq,
+                    "an expired backoff reinjects the request (same MSHR slot, no new allocation)",
+                ));
+            }
+            DecisionAction::MemFetch => edges.push(edge(
+                Resource::Mshr,
+                Resource::MemPort,
+                "decision mem-fetch: the winner commits to a memory fill",
+            )),
+            DecisionAction::Complete | DecisionAction::CompleteLocal => {}
+        }
+    }
+
+    // --- Ring/mesh channels ---
+    let req_self_rank = if variant.kind().multicast_reads() {
+        "write requests: consumption at source after one ring traversal; read requests: \
+         xy dimension-order routing ranks mesh links lexicographically, so per-link waits \
+         form a partial order (acyclic at any N)"
+    } else {
+        "consumption at source: every ring request is removed by its own source after one \
+         full traversal, and per-hop forwarding is bounded service, so occupancy drains \
+         independent of downstream protocol state (N-independent)"
+    };
+    edges.push(discharged(
+        Resource::RingReq,
+        Resource::RingReq,
+        "a request buffer waits on the next hop's request buffer",
+        req_self_rank,
+    ));
+    edges.push(discharged(
+        Resource::RingResp,
+        Resource::RingResp,
+        "a response buffer waits on the next hop's response buffer",
+        "unconditional sink: the decision table is total (no holes, proven by enumeration), \
+         so a response reaching its requester is always consumed; en route, forwarding is \
+         bounded service on a dedicated channel",
+    ));
+
+    // --- Snoop path (variant-dependent) ---
+    match variant {
+        ProtocolVariant::SupersetCon => edges.push(edge(
+            Resource::RingReq,
+            Resource::SnoopEngine,
+            "SupersetCon: a filter-positive node stalls the request behind the snoop",
+        )),
+        ProtocolVariant::Eager
+        | ProtocolVariant::SupersetAgg
+        | ProtocolVariant::Uncorq
+        | ProtocolVariant::UncorqPref => {
+            // Eager forwards before snooping; SupersetAgg snoops in
+            // parallel with forwarding; Uncorq reads are delivered
+            // off-ring and writes forward eagerly. No stall edge.
+        }
+    }
+    edges.push(edge(
+        Resource::SnoopEngine,
+        Resource::SupplierWire,
+        "a positive snoop must inject the suppliership transfer",
+    ));
+    if variant.kind().multicast_reads() {
+        edges.push(discharged(
+            Resource::SnoopEngine,
+            Resource::LttSlot,
+            "Uncorq: committing a snoop records the in-flight transaction in the LTT",
+            "recovery path: a full LTT set takes the LttSlotMissing path (squash + requester \
+             retry) instead of blocking, so the wait never holds",
+        ));
+    }
+
+    // --- Memory ---
+    edges.push(edge(
+        Resource::MemPort,
+        Resource::SupplierWire,
+        "a memory fill returns to the requester over the data network",
+    ));
+
+    // --- Reliable sublayer ---
+    if reliability {
+        edges.push(edge(
+            Resource::SupplierWire,
+            Resource::RelWindow,
+            "with reliability on, a data send occupies a send-window slot until acked",
+        ));
+        edges.push(edge(
+            Resource::RelWindow,
+            Resource::AckWire,
+            "a window slot frees when the cumulative ack covers it",
+        ));
+        edges.push(discharged(
+            Resource::AckWire,
+            Resource::AckWire,
+            "acks traverse the same lossy links",
+            "unconditional sink: acks are consumed on arrival with no allocation; cumulative \
+             acks make any later ack cover a lost one; retransmission is timer-driven (pure \
+             time)",
+        ));
+    }
+
+    WaitForGraph {
+        variant,
+        reliability,
+        edges,
+    }
+}
+
+impl WaitForGraph {
+    /// Adds one extra live edge (the mutation harness's entry point for
+    /// injecting a cycle).
+    pub fn with_edge(mut self, from: Resource, to: Resource, reason: &str) -> Self {
+        self.edges.push(edge(from, to, reason));
+        self
+    }
+}
+
+/// Runs cycle detection over the live (non-discharged) edges and, when
+/// acyclic, produces a topological order — the Dally–Seitz rank
+/// function, independent of node count by the class-projection
+/// argument.
+pub fn prove(g: &WaitForGraph) -> DeadlockProof {
+    let n = Resource::ALL.len();
+    let mut adj = vec![Vec::new(); n];
+    let mut live_edges = 0usize;
+    for e in &g.edges {
+        if e.discharged.is_none() {
+            let (f, t) = (e.from.index(), e.to.index());
+            if !adj[f].contains(&t) {
+                adj[f].push(t);
+            }
+            live_edges += 1;
+        }
+    }
+    for next in adj.iter_mut() {
+        next.sort_unstable();
+    }
+
+    // Iterative DFS with colors; records a witness cycle if found.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut cycle: Option<Vec<Resource>> = None;
+    'roots: for root in 0..n {
+        if color[root] != Color::White {
+            continue;
+        }
+        let mut stack = vec![(root, 0usize)];
+        color[root] = Color::Gray;
+        while let Some(&mut (u, ref mut idx)) = stack.last_mut() {
+            if *idx < adj[u].len() {
+                let v = adj[u][*idx];
+                *idx += 1;
+                match color[v] {
+                    Color::White => {
+                        parent[v] = u;
+                        color[v] = Color::Gray;
+                        stack.push((v, 0));
+                    }
+                    Color::Gray => {
+                        // Found a back edge u -> v: walk parents from u
+                        // back to v for the witness.
+                        let mut path = vec![Resource::ALL[v]];
+                        let mut w = u;
+                        while w != v {
+                            path.push(Resource::ALL[w]);
+                            w = parent[w];
+                        }
+                        path.push(Resource::ALL[v]);
+                        path.reverse();
+                        cycle = Some(path);
+                        break 'roots;
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[u] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+
+    let topo_order = if cycle.is_none() {
+        // Kahn's algorithm over the same live edges, tie-broken by
+        // class order for stable output.
+        let mut indeg = vec![0usize; n];
+        for next in &adj {
+            for &v in next {
+                indeg[v] += 1;
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        while let Some(&u) = ready.first() {
+            ready.remove(0);
+            order.push(Resource::ALL[u]);
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    ready.push(v);
+                    ready.sort_unstable();
+                }
+            }
+        }
+        order
+    } else {
+        Vec::new()
+    };
+
+    DeadlockProof {
+        variant: g.variant,
+        acyclic: cycle.is_none(),
+        cycle,
+        topo_order,
+        discharged: g
+            .edges
+            .iter()
+            .filter(|e| e.discharged.is_some())
+            .cloned()
+            .collect(),
+        live_edges,
+    }
+}
+
+/// Builds and proves every variant with the canonical decision table.
+pub fn prove_all(reliability: bool) -> Vec<DeadlockProof> {
+    let table = DecisionTable::canonical();
+    ProtocolVariant::ALL
+        .iter()
+        .map(|&v| prove(&build(v, &table, reliability)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_are_deadlock_free() {
+        for proof in prove_all(true) {
+            assert!(
+                proof.acyclic,
+                "{}: cycle {:?}",
+                proof.variant.name(),
+                proof.cycle
+            );
+            assert_eq!(proof.topo_order.len(), Resource::ALL.len());
+            assert!(proof.live_edges > 0);
+            // The discharge premises must be on record.
+            assert!(proof.discharged.len() >= 2);
+        }
+        // Without the reliable sublayer the graphs are smaller but
+        // still acyclic.
+        for proof in prove_all(false) {
+            assert!(proof.acyclic, "{}", proof.variant.name());
+        }
+    }
+
+    #[test]
+    fn supersetcon_has_the_stall_edge() {
+        let table = DecisionTable::canonical();
+        let has_stall = |v: ProtocolVariant| {
+            build(v, &table, false).edges.iter().any(|e| {
+                e.from == Resource::RingReq
+                    && e.to == Resource::SnoopEngine
+                    && e.discharged.is_none()
+            })
+        };
+        assert!(has_stall(ProtocolVariant::SupersetCon));
+        assert!(!has_stall(ProtocolVariant::Eager));
+        assert!(!has_stall(ProtocolVariant::SupersetAgg));
+        assert!(!has_stall(ProtocolVariant::Uncorq));
+    }
+
+    #[test]
+    fn uncorq_records_the_ltt_discharge() {
+        let table = DecisionTable::canonical();
+        let g = build(ProtocolVariant::Uncorq, &table, false);
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.to == Resource::LttSlot && e.discharged.is_some()));
+        let g = build(ProtocolVariant::Eager, &table, false);
+        assert!(!g.edges.iter().any(|e| e.to == Resource::LttSlot));
+    }
+
+    #[test]
+    fn injected_back_edge_is_caught_with_witness() {
+        let table = DecisionTable::canonical();
+        let g = build(ProtocolVariant::Uncorq, &table, true).with_edge(
+            Resource::SupplierWire,
+            Resource::Mshr,
+            "seeded mutation: pretend binding a suppliership needs a fresh MSHR",
+        );
+        let proof = prove(&g);
+        assert!(!proof.acyclic);
+        let cycle = proof.cycle.expect("witness");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.contains(&Resource::Mshr));
+        assert!(cycle.contains(&Resource::SupplierWire));
+    }
+
+    #[test]
+    fn topo_order_respects_live_edges() {
+        let table = DecisionTable::canonical();
+        for v in ProtocolVariant::ALL {
+            let g = build(v, &table, true);
+            let proof = prove(&g);
+            let pos = |r: Resource| {
+                proof
+                    .topo_order
+                    .iter()
+                    .position(|x| *x == r)
+                    .expect("total order")
+            };
+            for e in &g.edges {
+                if e.discharged.is_none() && e.from != e.to {
+                    assert!(
+                        pos(e.from) < pos(e.to),
+                        "{}: {} -> {} violates topo order",
+                        v.name(),
+                        e.from,
+                        e.to
+                    );
+                }
+            }
+        }
+    }
+}

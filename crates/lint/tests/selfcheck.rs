@@ -1,0 +1,96 @@
+//! The workspace must pass its own lint gate.
+//!
+//! This is the in-tree version of the CI `ringlint` job: scan the real
+//! source tree with the real `ringlint.allow`, and fail the build if any
+//! non-allowlisted finding, stale allowlist entry, unsound table, wait-for
+//! cycle, or violated capacity bound appears. It also pins the soundness
+//! harness at 12/12 so a lint regression cannot silently blunt the rules.
+
+use std::path::Path;
+
+use ring_lint::{run_mutations, run_workspace, BoundStatus};
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .unwrap()
+}
+
+#[test]
+fn workspace_passes_its_own_gate() {
+    let root = workspace_root();
+    let allow = std::fs::read_to_string(root.join("ringlint.allow")).ok();
+    let report = run_workspace(root, allow.as_deref()).unwrap();
+
+    let open: Vec<String> = report
+        .open_findings()
+        .map(|f| format!("{}:{} {} — {}", f.rel_path, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        open.is_empty(),
+        "non-allowlisted findings:\n{}",
+        open.join("\n")
+    );
+    assert!(
+        report.allow_errors.is_empty(),
+        "malformed allowlist: {:?}",
+        report.allow_errors
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale allowlist entries: {:?}",
+        report.stale_allows
+    );
+    assert!(report.gate_ok(), "gate failed:\n{}", report.summary());
+
+    // A scan that silently saw nothing would also report zero findings;
+    // pin a floor so the gate cannot pass vacuously.
+    assert!(
+        report.files_scanned >= 100,
+        "only {} files scanned",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn all_variants_proved_deadlock_free() {
+    let root = workspace_root();
+    let report = run_workspace(root, None).unwrap();
+
+    assert_eq!(report.proofs.len(), 5);
+    for proof in &report.proofs {
+        assert!(
+            proof.acyclic,
+            "{}: wait-for cycle {:?}",
+            proof.variant, proof.cycle
+        );
+        assert!(
+            !proof.topo_order.is_empty(),
+            "{}: missing witness rank order",
+            proof.variant
+        );
+    }
+    for bound in &report.bounds {
+        assert!(
+            bound.status != BoundStatus::Fail,
+            "capacity bound violated: {} [{}] {}",
+            bound.id,
+            bound.config,
+            bound.formula
+        );
+    }
+}
+
+#[test]
+fn mutation_harness_kills_every_seed() {
+    let outcomes = run_mutations();
+    assert_eq!(outcomes.len(), 12);
+    let survivors: Vec<usize> = outcomes
+        .iter()
+        .filter(|o| !o.killed)
+        .map(|o| o.id)
+        .collect();
+    assert!(survivors.is_empty(), "surviving seeds: {survivors:?}");
+}

@@ -33,7 +33,7 @@
 //!   lines without a transaction and without an L2 state change; scenario
 //!   scripts treat them as instant no-ops and do not bump the version.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -43,7 +43,7 @@ use ring_coherence::{
     SupplierMsg, SupplierTable, TxnId, TxnKind,
 };
 use ring_noc::NodeId;
-use ring_sim::DetRng;
+use ring_sim::{DetRng, FxHashSet};
 use ring_trace::{InvariantChecker, TraceEvent};
 
 use crate::conformance::{self, ObservedClass};
@@ -469,7 +469,7 @@ fn enabled_events(st: &ModelState, scripts: &[Vec<Op>]) -> Vec<Event> {
             evs.push(Event::Ring { node });
         }
     }
-    let mut seen = HashSet::new();
+    let mut seen = FxHashSet::default();
     for &(node, item) in &st.items {
         if seen.insert(item_fingerprint(node, &item)) {
             evs.push(Event::Deliver { node, item });
@@ -932,7 +932,7 @@ pub fn explore(cfg: &ExploreConfig) -> ExploreReport {
         truncated: false,
         violation: None,
     };
-    let mut visited: HashSet<(u64, u64)> = HashSet::new();
+    let mut visited: FxHashSet<(u64, u64)> = FxHashSet::default();
     visited.insert(init.digest());
     let mut arena = vec![ArenaNode {
         parent: 0,

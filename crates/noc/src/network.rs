@@ -434,10 +434,8 @@ impl Network {
         out.clear();
         self.messages_sent += 1;
         let ser = self.serialization(bytes);
-        if self.trees[root.0].is_none() {
-            self.trees[root.0] = Some(multicast_tree(&self.torus, root).into_boxed_slice());
-        }
-        let edges = self.trees[root.0].as_deref().expect("tree built above");
+        let edges: &[TreeEdge] = self.trees[root.0]
+            .get_or_insert_with(|| multicast_tree(&self.torus, root).into_boxed_slice());
         // Arrival time at each node, filled in BFS order (edges are
         // topologically ordered root-outward by construction).
         self.arrive.fill(Cycle::MAX);
@@ -618,7 +616,9 @@ impl Network {
         if self.trees[root.0].is_none() {
             self.trees[root.0] = Some(multicast_tree(&self.torus, root).into_boxed_slice());
         }
-        let edges = self.trees[root.0].take().expect("tree built above");
+        let Some(edges) = self.trees[root.0].take() else {
+            unreachable!("tree built above");
+        };
         self.arrive.fill(Cycle::MAX);
         self.arrive[root.0] = now;
         // Nodes whose copy of the frame was destroyed (the subtree below

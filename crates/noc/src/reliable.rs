@@ -48,9 +48,9 @@
 //! and what to trace. That keeps the sublayer independently testable
 //! and keeps all event ordering in the caller's deterministic queue.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
-use ring_sim::{Cycle, DetRng};
+use ring_sim::{Cycle, DetRng, FxHashMap};
 
 use crate::fault::{FaultKind, InjectedFault};
 use crate::network::{Channel, Network};
@@ -447,9 +447,9 @@ struct Frame<P> {
 pub struct ReliableTransport<P> {
     cfg: ReliabilityConfig,
     rng: DetRng,
-    send_flows: HashMap<FlowKey, SendFlow<P>>,
-    recv_flows: HashMap<FlowKey, RecvFlow<P>>,
-    frames: HashMap<u64, Frame<P>>,
+    send_flows: FxHashMap<FlowKey, SendFlow<P>>,
+    recv_flows: FxHashMap<FlowKey, RecvFlow<P>>,
+    frames: FxHashMap<u64, Frame<P>>,
     next_frame: u64,
     stats: RelStats,
 }
@@ -464,13 +464,15 @@ impl<P: Clone> ReliableTransport<P> {
     /// gates construction on `cfg.enabled`.
     pub fn new(cfg: ReliabilityConfig, seed: u64) -> Self {
         assert!(cfg.enabled, "constructing a disabled reliable transport");
-        cfg.validate().expect("invalid reliability config");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid reliability config: {e}");
+        }
         ReliableTransport {
             cfg,
             rng: DetRng::seed(seed ^ 0xAC4D_BEEF_5EED_0001),
-            send_flows: HashMap::new(),
-            recv_flows: HashMap::new(),
-            frames: HashMap::new(),
+            send_flows: FxHashMap::default(),
+            recv_flows: FxHashMap::default(),
+            frames: FxHashMap::default(),
             next_frame: 0,
             stats: RelStats::default(),
         }
@@ -600,7 +602,9 @@ impl<P: Clone> ReliableTransport<P> {
                     frame: FrameId(id),
                 });
             }
-            let sf = self.send_flows.get_mut(&flow).expect("flow created above");
+            let Some(sf) = self.send_flows.get_mut(&flow) else {
+                unreachable!("flow created above");
+            };
             sf.inflight.push_back(InFlight {
                 seq,
                 payload: payload.clone(),
@@ -675,7 +679,9 @@ impl<P: Clone> ReliableTransport<P> {
                         self.stats.out_of_order += 1;
                     }
                 }
-                let rf = self.recv_flows.get_mut(&flow).expect("entry above");
+                let Some(rf) = self.recv_flows.get_mut(&flow) else {
+                    unreachable!("entry above");
+                };
                 rf.ack_pending = true;
                 let at = now + self.cfg.ack_coalesce;
                 arm_ack_timer(rf, flow, at, now, out);
@@ -730,7 +736,9 @@ impl<P: Clone> ReliableTransport<P> {
             });
             self.put_data_on_wire(net, now, flow, seq, payload, bytes, 0, out);
         }
-        let sf = self.send_flows.get_mut(&flow).expect("checked above");
+        let Some(sf) = self.send_flows.get_mut(&flow) else {
+            unreachable!("checked above");
+        };
         if let Some(head) = sf.inflight.front() {
             let deadline = head.deadline;
             arm_timer(sf, flow, deadline, now, out);
@@ -970,7 +978,9 @@ impl<P: Clone> ReliableTransport<P> {
         for (seq, payload, bytes) in promote {
             self.transmit_data(net, now, flow, seq, payload, bytes, 0, out);
         }
-        let sf = self.send_flows.get_mut(&flow).expect("flow exists");
+        let Some(sf) = self.send_flows.get_mut(&flow) else {
+            unreachable!("flow exists");
+        };
         if let Some(head) = sf.inflight.front() {
             let deadline = head.deadline;
             arm_timer(sf, flow, deadline, now, out);

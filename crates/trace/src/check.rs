@@ -38,7 +38,7 @@
 //! are violations — a correct protocol under in-spec faults never needs
 //! its recovery escape hatches.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::event::{EventKind, OpClass, Payload, TraceEvent};
 
@@ -61,22 +61,22 @@ pub struct InvariantChecker {
     events: u64,
     last_cycle: u64,
     /// Issued attempts -> resolution so far.
-    issued: HashMap<Txn, Option<Resolution>>,
+    issued: BTreeMap<Txn, Option<Resolution>>,
     /// Operation class per attempt (from the issue event).
-    ops: HashMap<Txn, OpClass>,
+    ops: BTreeMap<Txn, OpClass>,
     /// (node, txn) pairs whose local snoop finished (performed/skipped).
-    snooped: HashSet<(u32, Txn)>,
+    snooped: BTreeSet<(u32, Txn)>,
     /// Live LTT slots: (node, txn, line) -> insert count.
-    ltt: HashMap<(u32, Txn, u64), u32>,
+    ltt: BTreeMap<(u32, Txn, u64), u32>,
     /// Colliding attempt pairs, normalized (smaller first).
-    collisions: HashSet<(Txn, Txn)>,
+    collisions: BTreeSet<(Txn, Txn)>,
     /// Attempts selected as winners -> event index of first selection.
-    win_at: HashMap<Txn, u64>,
+    win_at: BTreeMap<Txn, u64>,
     /// Completed attempts -> event index of the requester's completion.
-    completed_at: HashMap<Txn, u64>,
+    completed_at: BTreeMap<Txn, u64>,
     /// Next expected sequence number per reliable flow
     /// `(src node, dst node, channel)`.
-    rel_expected: HashMap<(u32, u32, u8), u64>,
+    rel_expected: BTreeMap<(u32, u32, u8), u64>,
     violations: Vec<String>,
     completed: u64,
     retried: u64,
@@ -246,7 +246,7 @@ impl InvariantChecker {
                 "LTT slot for {tn}.{ts} line {line:#x} still present at node {node} at end of trace"
             ));
         }
-        let is_write = |t: &Txn, ops: &HashMap<Txn, OpClass>| {
+        let is_write = |t: &Txn, ops: &BTreeMap<Txn, OpClass>| {
             matches!(
                 ops.get(t),
                 Some(OpClass::WriteMiss) | Some(OpClass::WriteHit)

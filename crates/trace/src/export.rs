@@ -12,7 +12,7 @@
 //! microsecond fields (1 cycle renders as 1 µs); all relative
 //! comparisons in the UI remain correct.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::event::{EventKind, OpClass, TraceEvent};
 use crate::flight::WindowSnapshot;
@@ -56,7 +56,7 @@ pub fn perfetto_json(events: &[TraceEvent], windows: &[WindowSnapshot]) -> Strin
     }
     // Transaction lifetime slices: issue -> complete/retry, one per
     // attempt, on the requester's track.
-    let mut open: HashMap<(u32, u64), (u64, OpClass)> = HashMap::new();
+    let mut open: BTreeMap<(u32, u64), (u64, OpClass)> = BTreeMap::new();
     for ev in events {
         match ev.kind {
             EventKind::RequestIssue { op, .. } => {

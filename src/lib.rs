@@ -11,6 +11,10 @@
 //! - [`model`] — the exhaustive protocol model checker: static table
 //!   analysis, BFS state-space exploration, differential conformance
 //!   and the mutation-soundness harness behind the `modelcheck` binary;
+//! - [`lint`] — workspace static analysis: source-level determinism
+//!   lints, dead-rule/guard-overlap table audits, the wait-for-graph
+//!   deadlock-freedom proof and capacity bounds behind the `ringlint`
+//!   binary;
 //! - [`system`] — the 64-node CMP machine that runs them;
 //! - [`trace`] — structured coherence-event tracing, sinks, and the
 //!   per-node/per-link metrics registry;
@@ -41,6 +45,7 @@
 pub use ring_cache as cache;
 pub use ring_coherence as coherence;
 pub use ring_cpu as cpu;
+pub use ring_lint as lint;
 pub use ring_mem as mem;
 pub use ring_model as model;
 pub use ring_noc as noc;
