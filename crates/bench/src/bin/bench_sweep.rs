@@ -18,7 +18,7 @@
 use std::process::ExitCode;
 
 use bench::sweep::{
-    compare, default_grid, parse_bench_json, parse_bench_schema, run_sweep_repeat,
+    compare, default_grid, parse_bench_json, parse_bench_schema, run_sweep_workers,
     write_bench_json, Comparison, BENCH_SCHEMA,
 };
 use ring_coherence::ProtocolVariant;
@@ -34,6 +34,7 @@ struct Args {
     grids: Vec<(usize, usize)>,
     protocols: Vec<ProtocolVariant>,
     threads: usize,
+    workers: usize,
     repeat: usize,
     out: String,
     note: String,
@@ -55,6 +56,7 @@ impl Default for Args {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            workers: 1,
             repeat: 1,
             out: "BENCH_machine.json".into(),
             note: "perf sweep".into(),
@@ -69,9 +71,14 @@ impl Default for Args {
 
 const USAGE: &str = "usage: bench_sweep [--apps A,B] [--seeds S1,S2] [--ops N] [--grids 4x4,8x8]
                    [--protocols eager,uncorq] [--threads N] [--serial]
-                   [--repeat N] [--out FILE] [--note TEXT] [--baseline FILE]
-                   [--tolerance FRACTION] [--check-determinism]
-                   [--profile] [--profile-out PREFIX]
+                   [--workers N] [--repeat N] [--out FILE] [--note TEXT]
+                   [--baseline FILE] [--tolerance FRACTION]
+                   [--check-determinism] [--profile] [--profile-out PREFIX]
+
+--threads fans independent cells out across OS threads; --workers runs
+each machine on the in-engine conservative-PDES parallel engine with N
+total threads (1 = serial engine). Both are digest-neutral; workers is
+recorded per row and keys baseline matching.
 
 --profile re-runs each cell serially after the timed sweep with a
 flight recorder installed (so wall-clock numbers stay clean) and writes
@@ -125,6 +132,11 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--serial" => a.threads = 1,
+            "--workers" => {
+                a.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
             "--repeat" => {
                 a.repeat = value("--repeat")?
                     .parse()
@@ -162,19 +174,21 @@ fn main() -> ExitCode {
     let mut cells = default_grid(&args.apps, &args.seeds, args.ops, &args.grids);
     cells.retain(|c| args.protocols.contains(&c.variant));
     eprintln!(
-        "sweep: {} cells ({} apps x {} seeds x {} grids x {} protocols), {} threads",
+        "sweep: {} cells ({} apps x {} seeds x {} grids x {} protocols), \
+         {} threads, {} engine workers",
         cells.len(),
         args.apps.len(),
         args.seeds.len(),
         args.grids.len(),
         args.protocols.len(),
-        args.threads
+        args.threads,
+        args.workers.max(1)
     );
-    let results = run_sweep_repeat(&cells, args.threads, args.repeat);
+    let results = run_sweep_workers(&cells, args.threads, args.repeat, args.workers);
 
     if args.check_determinism {
         eprintln!("re-running serially to verify parallel determinism...");
-        let serial = run_sweep_repeat(&cells, 1, 1);
+        let serial = run_sweep_workers(&cells, 1, 1, 1);
         for (p, s) in results.iter().zip(&serial) {
             if p.determinism_key() != s.determinism_key() {
                 eprintln!(
@@ -217,7 +231,10 @@ fn main() -> ExitCode {
     ]);
     for r in &results {
         t.row(vec![
-            format!("{}/{}n/{}@{}", r.protocol, r.nodes, r.app, r.seed),
+            format!(
+                "{}/{}n/{}@{}x{}w",
+                r.protocol, r.nodes, r.app, r.seed, r.workers
+            ),
             format!("{}", r.exec_cycles),
             format!("{}", r.events),
             format!("{}", r.peak_queue),

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod fasthash;
+pub mod pdes;
 mod queue;
 mod rng;
 mod watchdog;

@@ -1,0 +1,403 @@
+//! Conservative parallel-DES building blocks: LP partition maps and the
+//! lock-free synchronization primitives of a two-phase round engine.
+//!
+//! The parallel engine (see `ring-system`'s parallel run loop and
+//! DESIGN.md §18) executes the event stream in *rounds*: the driver
+//! drains every event pending at the earliest cycle in exact serial
+//! `(time, seq)` order, workers compute the node-local part of each
+//! event in parallel (phase A), and the driver commits effects in the
+//! same serial order (phase B), pipelined behind the workers. Nothing in
+//! this module knows what an event *is* — the machine layer owns that —
+//! but everything order-critical lives here so it can be tested in
+//! isolation:
+//!
+//! - [`Partition`]: the node → logical-process (LP) map. Contiguous arcs
+//!   for production use, arbitrary maps for adversarial tests — digests
+//!   must not depend on the partition shape, only on the event order,
+//!   which the round engine fixes to serial order by construction.
+//! - [`Gate`]: generation-stamped round barrier the driver uses to hand
+//!   a batch to the workers and to shut them down.
+//! - [`DoneFlags`]: per-event completion flags workers publish (Release)
+//!   and the driver consumes (Acquire) while committing in order.
+//! - [`AppliedCursor`]: the driver's commit frontier, which workers wait
+//!   on before computing an event that reads state a *same-node*
+//!   predecessor in the batch may still be writing.
+//! - [`prev_same_node`]: computes that same-node predecessor index for
+//!   every event of a batch.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map from node id to logical process (worker shard).
+///
+/// The parallel engine only uses the partition to decide *which worker*
+/// computes an event's node-local phase; event order is globally fixed,
+/// so any partition of the nodes yields byte-identical results. A good
+/// partition balances work; a bad one is merely slow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    lp_of: Vec<usize>,
+    lps: usize,
+}
+
+impl Partition {
+    /// Contiguous arcs: `nodes` split into `lps` runs of near-equal
+    /// length (the first `nodes % lps` runs get one extra node). With a
+    /// row-major ring embedding, contiguous node ids are ring-adjacent,
+    /// so this is the production default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lps` is zero.
+    pub fn contiguous(nodes: usize, lps: usize) -> Self {
+        assert!(lps > 0, "partition needs at least one LP");
+        let lps = lps.min(nodes.max(1));
+        let base = nodes / lps;
+        let extra = nodes % lps;
+        let mut lp_of = Vec::with_capacity(nodes);
+        for lp in 0..lps {
+            let len = base + usize::from(lp < extra);
+            lp_of.extend(std::iter::repeat_n(lp, len));
+        }
+        Partition { lp_of, lps }
+    }
+
+    /// Arbitrary node → LP map (adversarial/property tests). LP ids must
+    /// be dense: every value in `0..max+1` must appear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lp_of` is empty or its LP ids are not dense from 0.
+    pub fn from_map(lp_of: Vec<usize>) -> Self {
+        assert!(!lp_of.is_empty(), "partition map must cover some nodes");
+        let lps = lp_of.iter().max().copied().unwrap_or(0) + 1;
+        let mut seen = vec![false; lps];
+        for &lp in &lp_of {
+            seen[lp] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "partition LP ids must be dense from 0"
+        );
+        Partition { lp_of, lps }
+    }
+
+    /// Number of logical processes.
+    pub fn lps(&self) -> usize {
+        self.lps
+    }
+
+    /// Number of nodes covered by the map.
+    pub fn nodes(&self) -> usize {
+        self.lp_of.len()
+    }
+
+    /// LP owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the map.
+    pub fn lp_of(&self, node: usize) -> usize {
+        self.lp_of[node]
+    }
+}
+
+/// For each event of a batch (given as its node id), the index of the
+/// nearest *earlier* event in the batch on the same node, or `None`.
+///
+/// A worker computing event `j` may read node state that event
+/// `prev[j]`'s commit writes, so it must wait until the driver's
+/// [`AppliedCursor`] has passed `prev[j]` before starting `j`. Events on
+/// distinct nodes never share phase-A state.
+pub fn prev_same_node(nodes: &[usize]) -> Vec<Option<usize>> {
+    let mut last: crate::FxHashMap<usize, usize> = crate::FxHashMap::default();
+    let mut prev = Vec::with_capacity(nodes.len());
+    for (i, &n) in nodes.iter().enumerate() {
+        prev.push(last.insert(n, i));
+    }
+    prev
+}
+
+/// Spin with a cheap CPU hint, yielding to the scheduler occasionally so
+/// an oversubscribed host still makes progress. Callers thread a
+/// per-wait spin counter through repeated calls.
+#[inline]
+pub fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if (*spins).is_multiple_of(1024) {
+        std::thread::yield_now();
+    } else {
+        std::hint::spin_loop();
+    }
+}
+
+/// Generation-stamped round gate.
+///
+/// The driver publishes a new round by bumping the generation
+/// ([`Gate::open`]); every worker spins until it observes the bump
+/// ([`Gate::wait_open`]), processes its share of the batch, and reports
+/// done through its [`DoneFlags`]. A special generation value tells
+/// workers to exit. One `Gate` is shared by all workers of a run.
+#[derive(Debug)]
+pub struct Gate {
+    gen: AtomicUsize,
+}
+
+/// What a worker observed when the gate opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Round {
+    /// A new batch is ready; process generation `gen`.
+    Open(usize),
+    /// The run (or this thread-scope span) is over; exit the worker loop.
+    Shutdown,
+}
+
+impl Gate {
+    const SHUTDOWN: usize = usize::MAX;
+
+    /// A closed gate at generation 0 (workers wait for generation 1).
+    pub fn new() -> Self {
+        Gate {
+            gen: AtomicUsize::new(0),
+        }
+    }
+
+    /// Driver: publish round `gen` (must be the previous generation + 1;
+    /// all batch data must be written before this call — the Release
+    /// store is the only fence workers get).
+    pub fn open(&self, gen: usize) {
+        self.gen.store(gen, Ordering::Release);
+    }
+
+    /// Driver: tell all workers to exit.
+    pub fn shutdown(&self) {
+        self.gen.store(Self::SHUTDOWN, Ordering::Release);
+    }
+
+    /// Worker: spin until the generation moves past `seen` (the last
+    /// generation this worker processed), then return the new one.
+    pub fn wait_open(&self, seen: usize) -> Round {
+        let mut spins = 0u32;
+        loop {
+            let g = self.gen.load(Ordering::Acquire);
+            if g == Self::SHUTDOWN {
+                return Round::Shutdown;
+            }
+            if g != seen {
+                return Round::Open(g);
+            }
+            backoff(&mut spins);
+        }
+    }
+}
+
+impl Default for Gate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-event completion flags for one round's batch.
+///
+/// Workers set their events' flags with Release stores once the node-
+/// local phase is computed; the committing driver spins on each flag in
+/// batch order with Acquire loads, so every write the worker made is
+/// visible before the driver applies the event's effects.
+///
+/// Flags are generation-stamped rather than reset between rounds: slot
+/// `i` is "done for round `g`" when it holds `g`, so the driver never
+/// has to zero the table inside the hot loop.
+#[derive(Debug)]
+pub struct DoneFlags {
+    flags: Vec<AtomicUsize>,
+}
+
+impl DoneFlags {
+    /// A table with room for `cap` events (grows on demand between
+    /// rounds via [`DoneFlags::ensure`]).
+    pub fn new(cap: usize) -> Self {
+        DoneFlags {
+            flags: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Driver, between rounds (single-threaded): make sure `len` slots
+    /// exist.
+    pub fn ensure(&mut self, len: usize) {
+        while self.flags.len() < len {
+            self.flags.push(AtomicUsize::new(0));
+        }
+    }
+
+    /// Worker: mark event `i` computed for round `gen`.
+    pub fn set(&self, i: usize, gen: usize) {
+        self.flags[i].store(gen, Ordering::Release);
+    }
+
+    /// Driver: spin until event `i` is computed for round `gen`.
+    pub fn wait(&self, i: usize, gen: usize) {
+        let mut spins = 0u32;
+        while self.flags[i].load(Ordering::Acquire) != gen {
+            backoff(&mut spins);
+        }
+    }
+
+    /// Work-stealing claim: atomically take event `i` for round `gen`.
+    ///
+    /// Used with a *second* `DoneFlags` table as a claim board: the
+    /// owning worker and the committing driver both try to claim each
+    /// event, and whoever wins computes it (the driver "helps" when a
+    /// worker is slow or descheduled — essential on oversubscribed
+    /// hosts). Returns `true` exactly once per `(i, gen)` pair across
+    /// all callers; the Acquire success ordering makes every write the
+    /// previous claimant published visible to the winner.
+    pub fn try_claim(&self, i: usize, gen: usize) -> bool {
+        let cur = self.flags[i].load(Ordering::Relaxed);
+        cur != gen
+            && self.flags[i]
+                .compare_exchange(cur, gen, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+}
+
+/// The driver's commit frontier: the number of batch events whose
+/// effects have been applied this round.
+///
+/// Reset to 0 by the driver before opening a round; bumped (Release)
+/// after each event's effects are committed; workers with a same-node
+/// hazard spin (Acquire) until the frontier passes their predecessor.
+/// The driver only ever waits on [`DoneFlags`] of *earlier* batch
+/// indices than any worker waits on here, so the two spins cannot
+/// deadlock.
+#[derive(Debug)]
+pub struct AppliedCursor {
+    applied: AtomicUsize,
+}
+
+impl AppliedCursor {
+    /// A cursor at 0.
+    pub fn new() -> Self {
+        AppliedCursor {
+            applied: AtomicUsize::new(0),
+        }
+    }
+
+    /// Driver, between rounds: reset for a new batch. Must happen before
+    /// the gate opens (the gate's Release store publishes it).
+    pub fn reset(&self) {
+        self.applied.store(0, Ordering::Relaxed);
+    }
+
+    /// Driver: event `i` of the batch is fully committed.
+    pub fn advance_past(&self, i: usize) {
+        self.applied.store(i + 1, Ordering::Release);
+    }
+
+    /// Worker: spin until event `i` has been committed.
+    pub fn wait_past(&self, i: usize) {
+        let mut spins = 0u32;
+        while self.applied.load(Ordering::Acquire) <= i {
+            backoff(&mut spins);
+        }
+    }
+}
+
+impl Default for AppliedCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn contiguous_partition_balances() {
+        let p = Partition::contiguous(10, 4);
+        assert_eq!(p.lps(), 4);
+        assert_eq!(p.nodes(), 10);
+        // 10 = 3 + 3 + 2 + 2.
+        let mut counts = [0usize; 4];
+        for n in 0..10 {
+            counts[p.lp_of(n)] += 1;
+        }
+        assert_eq!(counts, [3, 3, 2, 2]);
+        // Contiguous: lp_of is monotone.
+        for n in 1..10 {
+            assert!(p.lp_of(n) >= p.lp_of(n - 1));
+        }
+    }
+
+    #[test]
+    fn contiguous_partition_caps_lps_at_nodes() {
+        let p = Partition::contiguous(3, 8);
+        assert_eq!(p.lps(), 3);
+        assert_eq!((0..3).map(|n| p.lp_of(n)).collect::<Vec<_>>(), [0, 1, 2]);
+    }
+
+    #[test]
+    fn from_map_accepts_scattered_dense_maps() {
+        let p = Partition::from_map(vec![2, 0, 1, 0, 2, 1]);
+        assert_eq!(p.lps(), 3);
+        assert_eq!(p.lp_of(0), 2);
+        assert_eq!(p.lp_of(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn from_map_rejects_sparse_lp_ids() {
+        Partition::from_map(vec![0, 2]);
+    }
+
+    #[test]
+    fn prev_same_node_finds_nearest_predecessor() {
+        assert_eq!(
+            prev_same_node(&[4, 7, 4, 4, 7, 1]),
+            vec![None, None, Some(0), Some(2), Some(1), None]
+        );
+        assert_eq!(prev_same_node(&[]), Vec::<Option<usize>>::new());
+    }
+
+    #[test]
+    fn round_primitives_pipeline_one_batch() {
+        // One worker computes a batch of squares; the driver commits them
+        // in order, checking each done flag; a same-node hazard makes the
+        // worker wait for the cursor mid-batch.
+        let gate = Gate::new();
+        let flags = DoneFlags::new(4);
+        let cursor = AppliedCursor::new();
+        let out: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        let prev = prev_same_node(&[0, 1, 0, 1]);
+
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut seen = 0;
+                loop {
+                    match gate.wait_open(seen) {
+                        Round::Shutdown => break,
+                        Round::Open(g) => {
+                            for i in 0..4 {
+                                if let Some(p) = prev[i] {
+                                    cursor.wait_past(p);
+                                }
+                                out[i].store((i as u64 + 1).pow(2), Ordering::Relaxed);
+                                flags.set(i, g);
+                            }
+                            seen = g;
+                        }
+                    }
+                }
+            });
+
+            cursor.reset();
+            gate.open(1);
+            for (i, o) in out.iter().enumerate() {
+                flags.wait(i, 1);
+                assert_eq!(o.load(Ordering::Relaxed), (i as u64 + 1).pow(2));
+                cursor.advance_past(i);
+            }
+            gate.shutdown();
+        });
+    }
+}

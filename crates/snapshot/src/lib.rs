@@ -90,6 +90,75 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Incremental FNV-1a, for hashing a value field by field instead of
+/// through its `Debug` formatting (which silently ties the hash to
+/// derive output and field order). Feeding the same bytes in the same
+/// order as [`fnv1a`] yields the same value.
+///
+/// Every `push_*` method also folds in the byte width of the field, so
+/// adjacent fields cannot alias (`(1u8, 2u8)` and `(0x0201u16,)` hash
+/// differently even though their raw little-endian bytes agree).
+#[derive(Debug, Clone)]
+pub struct FnvHasher {
+    h: u64,
+}
+
+impl FnvHasher {
+    /// A hasher at the FNV-1a offset basis.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        FnvHasher {
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Folds raw bytes (length-prefixed, so variable-width fields cannot
+    /// run together).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.fold(&(bytes.len() as u64).to_le_bytes());
+        self.fold(bytes);
+    }
+
+    /// Folds a `u64` field.
+    pub fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` field (hashed as `u64` so 32- and 64-bit builds
+    /// agree).
+    pub fn push_usize(&mut self, v: usize) {
+        self.push_u64(v as u64);
+    }
+
+    /// Folds an `f64` field by bit pattern (`-0.0` and `0.0` differ; a
+    /// NaN hashes as its exact payload).
+    pub fn push_f64(&mut self, v: f64) {
+        self.push_u64(v.to_bits());
+    }
+
+    /// Folds a `bool` field.
+    pub fn push_bool(&mut self, v: bool) {
+        self.push_bytes(&[u8::from(v)]);
+    }
+
+    /// Folds a UTF-8 string field.
+    pub fn push_str(&mut self, v: &str) {
+        self.push_bytes(v.as_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+
+    fn fold(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h ^= u64::from(b);
+            self.h = self.h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
 /// `git rev-parse --short=12 HEAD` of the working tree, or `"unknown"`
 /// outside a repository — recorded in every snapshot header as build
 /// provenance (never verified at restore; the config hash is what gates
@@ -121,5 +190,39 @@ mod tests {
     fn fnv1a_stable() {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn incremental_hasher_matches_one_shot() {
+        let mut h = FnvHasher::new();
+        h.push_bytes(b"abc");
+        let mut flat = Vec::new();
+        flat.extend_from_slice(&3u64.to_le_bytes());
+        flat.extend_from_slice(b"abc");
+        assert_eq!(h.finish(), fnv1a(&flat));
+    }
+
+    #[test]
+    fn field_widths_prevent_aliasing() {
+        let mut a = FnvHasher::new();
+        a.push_bytes(&[1]);
+        a.push_bytes(&[2]);
+        let mut b = FnvHasher::new();
+        b.push_bytes(&[1, 2]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn each_push_kind_is_distinguishing() {
+        let mut a = FnvHasher::new();
+        a.push_bool(true);
+        let mut b = FnvHasher::new();
+        b.push_bool(false);
+        assert_ne!(a.finish(), b.finish());
+        let mut a = FnvHasher::new();
+        a.push_f64(0.0);
+        let mut b = FnvHasher::new();
+        b.push_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
     }
 }

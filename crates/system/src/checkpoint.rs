@@ -10,7 +10,8 @@
 
 use std::path::{Path, PathBuf};
 
-use ring_snapshot::{fnv1a, SnapshotError};
+use ring_coherence::ProtocolKind;
+use ring_snapshot::{FnvHasher, SnapshotError};
 use ring_workloads::AppProfile;
 
 use crate::config::MachineConfig;
@@ -20,28 +21,137 @@ use crate::machine::Machine;
 /// state, bound into every snapshot header so a restore into a
 /// differently configured machine is refused.
 ///
+/// Every field is folded explicitly (see [`ring_snapshot::FnvHasher`])
+/// instead of hashing `Debug` output, so the value cannot drift with a
+/// `derive(Debug)` formatting change or a field rename, and a field
+/// *reorder* changes it only if the reorder is mirrored here — where
+/// review sees it next to the pinned-value regression test.
+///
 /// `max_cycles` is excluded: it caps a run without altering the machine,
 /// and resuming a capped ("killed") run with the cap lifted is the whole
 /// point of crash recovery.
 pub fn config_hash(cfg: &MachineConfig) -> u64 {
-    let mut c = cfg.clone();
-    c.max_cycles = 0;
-    fnv1a(format!("{c:?}").as_bytes())
+    let mut h = FnvHasher::new();
+    h.push_usize(cfg.width);
+    h.push_usize(cfg.height);
+    // ProtocolConfig, field by field.
+    h.push_u64(match cfg.protocol.kind {
+        ProtocolKind::Eager => 0,
+        ProtocolKind::SupersetCon => 1,
+        ProtocolKind::SupersetAgg => 2,
+        ProtocolKind::Uncorq => 3,
+    });
+    h.push_bool(cfg.protocol.prefetch);
+    h.push_u64(cfg.protocol.snoop_latency);
+    h.push_u64(cfg.protocol.filter_latency);
+    h.push_usize(cfg.protocol.ltt.entries);
+    h.push_usize(cfg.protocol.ltt.ways);
+    h.push_usize(cfg.protocol.max_outstanding);
+    h.push_u64(cfg.protocol.retry_backoff);
+    h.push_u64(u64::from(cfg.protocol.starvation_threshold));
+    h.push_u64(cfg.protocol.reservation_cycles);
+    h.push_usize(cfg.protocol.npp_entries);
+    h.push_bool(cfg.protocol.winner_node_id_only);
+    h.push_bool(cfg.protocol.reads_keep_supplier);
+    // NetworkConfig.
+    h.push_u64(cfg.net.hop_cycles);
+    h.push_u64(cfg.net.link_bytes_per_cycle);
+    h.push_bool(cfg.net.model_contention);
+    // L1/L2 cache geometry.
+    for cache in [&cfg.l1, &cfg.l2] {
+        h.push_u64(cache.size_bytes);
+        h.push_usize(cache.ways);
+        h.push_u64(cache.line_bytes);
+        h.push_u64(cache.latency);
+    }
+    // MemConfig.
+    h.push_u64(cfg.mem.round_trip);
+    h.push_u64(cfg.mem.page_bytes);
+    h.push_u64(cfg.mem.line_bytes);
+    h.push_usize(cfg.mem.max_in_flight);
+    h.push_usize(cfg.store_buffer);
+    h.push_u64(cfg.seed);
+    h.push_bool(cfg.ring_row_major);
+    h.push_bool(cfg.dual_rings);
+    h.push_u64(cfg.core_slice);
+    h.push_u64(cfg.prefetch_hold);
+    // max_cycles deliberately not hashed.
+    h.push_bool(cfg.check_invariants);
+    h.push_usize(cfg.trace_lines.len());
+    for &line in &cfg.trace_lines {
+        h.push_u64(line);
+    }
+    match &cfg.faults {
+        None => h.push_bool(false),
+        Some(plan) => {
+            h.push_bool(true);
+            h.push_f64(plan.profile.jitter_prob);
+            h.push_u64(plan.profile.jitter_max);
+            h.push_f64(plan.profile.reorder_prob);
+            h.push_u64(plan.profile.reorder_max);
+            h.push_f64(plan.profile.duplicate_prob);
+            h.push_u64(plan.profile.duplicate_delay_max);
+            h.push_f64(plan.profile.congestion_prob);
+            h.push_u64(plan.profile.congestion_cycles);
+            h.push_f64(plan.profile.drop_prob);
+            h.push_u64(plan.profile.outage_period);
+            h.push_u64(plan.profile.outage_len);
+            h.push_u64(plan.seed);
+        }
+    }
+    h.push_u64(cfg.watchdog_cycles);
+    // ReliabilityConfig.
+    h.push_bool(cfg.reliability.enabled);
+    h.push_usize(cfg.reliability.window);
+    h.push_u64(cfg.reliability.base_rto);
+    h.push_u64(cfg.reliability.max_rto);
+    h.push_u64(cfg.reliability.rto_jitter);
+    h.push_u64(cfg.reliability.ack_coalesce);
+    h.push_u64(u64::from(cfg.reliability.max_retries));
+    h.finish()
 }
 
 /// Fingerprint of a workload profile, bound into every snapshot so a
 /// restore against a different workload fails with a typed error
 /// instead of silently diverging (the op streams are rebuilt from the
 /// profile at restore and fast-forwarded to their snapshotted
-/// positions).
+/// positions). Field-wise, like [`config_hash`].
 pub fn workload_fingerprint(profile: &AppProfile) -> u64 {
-    fnv1a(format!("{profile:?}").as_bytes())
+    let mut h = FnvHasher::new();
+    h.push_str(&profile.name);
+    h.push_u64(profile.ops_per_core);
+    h.push_f64(profile.compute_mean);
+    h.push_f64(profile.shared_migratory);
+    h.push_f64(profile.shared_read_mostly);
+    h.push_f64(profile.shared_producer_consumer);
+    h.push_u64(profile.pc_lines_per_core);
+    h.push_u64(profile.shared_lines);
+    h.push_f64(profile.private_miss_rate);
+    h.push_f64(profile.private_write_fraction);
+    h.push_u64(profile.private_lines);
+    h.push_u64(profile.fence_every);
+    h.push_f64(profile.read_mostly_write_fraction);
+    h.finish()
 }
 
-/// Checkpoint files (`*.ringsnap`) in `dir`, newest first — ordered by
-/// the cycle embedded in the `ckpt-<cycle>` file name, with unparseable
-/// names sorted last. Missing or unreadable directories yield an empty
-/// list.
+/// Parses the cycle out of a `ckpt-<cycle>` checkpoint file stem.
+/// Anything else — a stray `notes` stem, a multi-dash `ckpt-old-500`,
+/// an empty or non-numeric cycle — is not a checkpoint name and yields
+/// `None`.
+fn checkpoint_cycle(stem: &str) -> Option<u64> {
+    let digits = stem.strip_prefix("ckpt-")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse::<u64>().ok()
+}
+
+/// Checkpoint files (`ckpt-<cycle>.ringsnap`) in `dir`, newest first —
+/// ordered by the cycle embedded in the file name. Files that do not
+/// match that shape (a stray `notes.ringsnap`, a multi-dash
+/// `ckpt-old-500.ringsnap`) are not checkpoints and are skipped rather
+/// than offered to [`restore_latest`] as doomed candidates. Missing or
+/// unreadable directories yield an empty list.
 pub fn list_checkpoints(dir: &Path) -> Vec<PathBuf> {
     let Ok(rd) = std::fs::read_dir(dir) else {
         return Vec::new();
@@ -50,14 +160,12 @@ pub fn list_checkpoints(dir: &Path) -> Vec<PathBuf> {
         .flatten()
         .map(|e| e.path())
         .filter(|p| p.extension().and_then(|s| s.to_str()) == Some("ringsnap"))
-        .map(|p| {
+        .filter_map(|p| {
             let cycle = p
                 .file_stem()
                 .and_then(|s| s.to_str())
-                .and_then(|s| s.rsplit('-').next())
-                .and_then(|s| s.parse::<u64>().ok())
-                .unwrap_or(0);
-            (cycle, p)
+                .and_then(checkpoint_cycle)?;
+            Some((cycle, p))
         })
         .collect();
     found.sort();
@@ -100,6 +208,10 @@ mod tests {
         MachineConfig::default_workload().unwrap().scaled(50)
     }
 
+    const PINNED_SMALL_UNCORQ: u64 = 0x4592_d5b6_cd7b_ea19;
+    const PINNED_PAPER_UNCORQ_PREF: u64 = 0x4746_2c68_a6f2_3b28;
+    const PINNED_FMM_FINGERPRINT: u64 = 0xd965_be1e_2a0f_c873;
+
     #[test]
     fn config_hash_ignores_max_cycles_only() {
         let a = MachineConfig::small_test(ProtocolKind::Uncorq);
@@ -117,6 +229,101 @@ mod tests {
         let b = profile().scaled(51);
         assert_ne!(workload_fingerprint(&a), workload_fingerprint(&b));
         assert_eq!(workload_fingerprint(&a), workload_fingerprint(&profile()));
+    }
+
+    /// Pins the field-wise hash values. If a config or profile field is
+    /// added, removed, or reordered, this fails in review — update the
+    /// constants *deliberately*, knowing every existing snapshot becomes
+    /// unrestorable against the new build.
+    #[test]
+    fn config_hash_values_are_pinned() {
+        assert_eq!(
+            config_hash(&MachineConfig::small_test(ProtocolKind::Uncorq)),
+            PINNED_SMALL_UNCORQ
+        );
+        assert_eq!(
+            config_hash(&MachineConfig::paper_uncorq_pref()),
+            PINNED_PAPER_UNCORQ_PREF
+        );
+        assert_eq!(
+            workload_fingerprint(&MachineConfig::default_workload().unwrap()),
+            PINNED_FMM_FINGERPRINT
+        );
+    }
+
+    #[test]
+    fn config_hash_sees_every_subsystem() {
+        let base = MachineConfig::small_test(ProtocolKind::Uncorq);
+        let mutations: Vec<MachineConfig> = vec![
+            {
+                let mut c = base.clone();
+                c.protocol.snoop_latency += 1;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.net.model_contention = !c.net.model_contention;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.l2.ways *= 2;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.mem.round_trip += 1;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.trace_lines = vec![7];
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.faults = Some(ring_noc::FaultPlan::new(ring_noc::FaultProfile::chaos(), 1));
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.reliability = ring_noc::ReliabilityConfig::on();
+                c
+            },
+        ];
+        let h0 = config_hash(&base);
+        for m in &mutations {
+            assert_ne!(config_hash(m), h0, "mutation not seen: {m:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_cycle_requires_exact_shape() {
+        assert_eq!(checkpoint_cycle("ckpt-000000000500"), Some(500));
+        assert_eq!(checkpoint_cycle("ckpt-0"), Some(0));
+        assert_eq!(checkpoint_cycle("notes"), None);
+        assert_eq!(checkpoint_cycle("ckpt-"), None);
+        assert_eq!(checkpoint_cycle("ckpt-old-500"), None);
+        assert_eq!(checkpoint_cycle("ckpt-12x"), None);
+        assert_eq!(checkpoint_cycle("backup-ckpt-12"), None);
+    }
+
+    #[test]
+    fn stray_files_are_not_checkpoint_candidates() {
+        let dir = std::env::temp_dir().join("ring-ckpt-stray-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A stray .ringsnap that is not a checkpoint, and a multi-dash
+        // stem that the old rsplit('-') parse would have read as 500.
+        std::fs::write(dir.join("notes.ringsnap"), b"junk").unwrap();
+        std::fs::write(dir.join("ckpt-old-500.ringsnap"), b"junk").unwrap();
+        std::fs::write(dir.join("ckpt-000000000042.ringsnap"), b"x").unwrap();
+        let names: Vec<String> = list_checkpoints(&dir)
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["ckpt-000000000042.ringsnap"]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

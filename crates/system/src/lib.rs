@@ -30,8 +30,10 @@
 
 mod checkpoint;
 mod config;
+mod effects;
 mod ht_machine;
 mod machine;
+mod par;
 mod stall;
 mod stats;
 
@@ -39,5 +41,6 @@ pub use checkpoint::{config_hash, list_checkpoints, restore_latest, workload_fin
 pub use config::{MachineConfig, MachineConfigError, DEFAULT_WORKLOAD};
 pub use ht_machine::HtMachine;
 pub use machine::{run_paper, Machine};
+pub use ring_sim::pdes::Partition;
 pub use stall::{NodeStallState, RestoredFrom, StallCause, StallReport};
 pub use stats::{MachineStats, Report};

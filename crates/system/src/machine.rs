@@ -1,17 +1,17 @@
 //! The ring-protocol machine: event loop and effect execution.
 
 use ring_cache::LineAddr;
-use ring_coherence::{AgentInput, Effect, ProtocolKind, RingAgent, TxnId, TxnKind, CONTROL_BYTES};
-use ring_cpu::{Core, L2View, NextStep};
+use ring_coherence::{AgentInput, Effect, ProtocolKind, RingAgent, TxnId, TxnKind};
+use ring_cpu::Core;
 use ring_mem::{ControllerPrefetchPredictor, MemoryController, PrefetchBuffer};
 use ring_noc::{
-    Channel, Delivery, DeliveryClass, FaultKind, FlowKey, FrameId, InjectedFault, Network, NodeId,
-    OutageEvent, RelAction, ReliableTransport, RingEmbedding, Torus,
+    Delivery, FaultKind, FlowKey, FrameId, Network, NodeId, OutageEvent, RelAction,
+    ReliableTransport, RingEmbedding, Torus,
 };
 use ring_sim::{Cycle, DetRng, EventQueue, FxHashMap, Watchdog};
 use ring_trace::{
-    ErrorClass, EventKind as TraceKind, FaultClass, FlightProbe, FlightRecorder, LinkMetrics,
-    MetricsRegistry, OpClass, Payload, TraceEvent, TraceSink,
+    FaultClass, FlightProbe, FlightRecorder, LinkMetrics, MetricsRegistry, OpClass, TraceEvent,
+    TraceSink,
 };
 use ring_workloads::{AppProfile, WorkloadGen};
 
@@ -24,7 +24,7 @@ use crate::stats::{MachineStats, Report};
 
 /// Maps a protocol transaction kind onto the trace-layer operation
 /// class.
-fn op_class(kind: TxnKind) -> OpClass {
+pub(crate) fn op_class(kind: TxnKind) -> OpClass {
     match kind {
         TxnKind::Read => OpClass::Read,
         TxnKind::WriteMiss => OpClass::WriteMiss,
@@ -33,7 +33,7 @@ fn op_class(kind: TxnKind) -> OpClass {
 }
 
 /// Maps a network-layer fault kind onto the trace-layer fault class.
-fn fault_class(kind: FaultKind) -> FaultClass {
+pub(crate) fn fault_class(kind: FaultKind) -> FaultClass {
     match kind {
         FaultKind::Jitter => FaultClass::Jitter,
         FaultKind::Reorder => FaultClass::Reorder,
@@ -46,7 +46,7 @@ fn fault_class(kind: FaultKind) -> FaultClass {
 
 /// Transaction and line identity carried inside a reliably delivered
 /// protocol input, for trace attribution at the delivery boundary.
-fn input_ids(input: &AgentInput) -> (TxnId, u64) {
+pub(crate) fn input_ids(input: &AgentInput) -> (TxnId, u64) {
     match input {
         AgentInput::RingArrival(msg) => (msg.txn(), msg.line().raw()),
         AgentInput::DirectRequest(req) => (req.txn, req.line.raw()),
@@ -62,21 +62,21 @@ fn input_ids(input: &AgentInput) -> (TxnId, u64) {
 }
 
 /// Trace events kept for post-mortem stall reports.
-const RECENT_EVENTS: usize = 64;
+pub(crate) const RECENT_EVENTS: usize = 64;
 
 /// Timestamps of one in-flight read attempt, keyed by
 /// `(requester node, line)`, from which the Figure-5 latency anatomy is
 /// assembled at completion.
 #[derive(Debug, Clone, Copy, Default)]
-struct AnatomyMark {
-    issued: Option<Cycle>,
-    supplied: Option<Cycle>,
-    bound: Option<Cycle>,
+pub(crate) struct AnatomyMark {
+    pub(crate) issued: Option<Cycle>,
+    pub(crate) supplied: Option<Cycle>,
+    pub(crate) bound: Option<Cycle>,
 }
 
 /// Machine-level events.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Ev {
+pub(crate) enum Ev {
     /// Resume the core of a node.
     Resume(usize),
     /// Deliver a protocol input to a node's agent.
@@ -98,72 +98,77 @@ enum Ev {
 /// workload stream; [`Machine::run`] executes to completion and returns a
 /// [`Report`].
 pub struct Machine {
-    cfg: MachineConfig,
-    queue: EventQueue<Ev>,
-    net: Network,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) net: Network,
     /// Logical rings; one by default, two (opposite directions) when
     /// `dual_rings` is on. Lines map to rings by parity.
-    rings: Vec<RingEmbedding>,
-    cores: Vec<Core>,
-    agents: Vec<RingAgent>,
-    mem: MemoryController,
-    cpp: ControllerPrefetchPredictor,
-    pbufs: Vec<PrefetchBuffer>,
-    finish_time: Vec<Option<Cycle>>,
-    stats: MachineStats,
+    pub(crate) rings: Vec<RingEmbedding>,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) agents: Vec<RingAgent>,
+    pub(crate) mem: MemoryController,
+    pub(crate) cpp: ControllerPrefetchPredictor,
+    pub(crate) pbufs: Vec<PrefetchBuffer>,
+    pub(crate) finish_time: Vec<Option<Cycle>>,
+    pub(crate) stats: MachineStats,
     /// Per-node/per-link counters, merged into [`MachineStats`] at
     /// report time.
-    registry: MetricsRegistry,
+    pub(crate) registry: MetricsRegistry,
     /// Latency-anatomy timestamps of in-flight transactions. Iteration
     /// order is never observed, so the fast deterministic hasher is
     /// safe here.
-    anatomy_marks: FxHashMap<(usize, u64), AnatomyMark>,
+    pub(crate) anatomy_marks: FxHashMap<(usize, u64), AnatomyMark>,
     /// Reusable effect buffer for agent handling (one allocation for
     /// the whole run instead of one per event).
-    fx_buf: Vec<Effect>,
+    pub(crate) fx_buf: Vec<Effect>,
     /// Reusable multicast delivery buffer.
-    mc_buf: Vec<Delivery>,
+    pub(crate) mc_buf: Vec<Delivery>,
     /// Per-line protocol event trace, kept only for lines selected by
     /// `check_invariants` or `trace_lines`.
-    trace: std::collections::BTreeMap<LineAddr, Vec<TraceEvent>>,
+    pub(crate) trace: std::collections::BTreeMap<LineAddr, Vec<TraceEvent>>,
     /// Structured event sink; every trace event of every line goes here.
-    sink: Option<Box<dyn TraceSink>>,
+    pub(crate) sink: Option<Box<dyn TraceSink>>,
     /// Whether any consumer (sink or per-line trace) wants events.
-    trace_enabled: bool,
+    pub(crate) trace_enabled: bool,
     /// Forward-progress watchdog (disabled when the threshold is 0).
-    watchdog: Watchdog,
+    pub(crate) watchdog: Watchdog,
     /// Last [`RECENT_EVENTS`] trace events, for stall reports.
-    recent: std::collections::VecDeque<TraceEvent>,
+    pub(crate) recent: std::collections::VecDeque<TraceEvent>,
     /// Reliable-delivery sublayer (`None` when disabled — the send
     /// paths then run the exact pre-reliability code, so timing and RNG
     /// draw sequences are untouched).
-    rel: Option<ReliableTransport<AgentInput>>,
+    pub(crate) rel: Option<ReliableTransport<AgentInput>>,
     /// Reusable action buffer for reliable-transport calls.
-    rel_buf: Vec<RelAction<AgentInput>>,
+    pub(crate) rel_buf: Vec<RelAction<AgentInput>>,
     /// Reusable buffer for link outage transitions observed by the
     /// network.
-    outage_buf: Vec<OutageEvent>,
+    pub(crate) outage_buf: Vec<OutageEvent>,
     /// Windowed flight recorder (`None` when profiling is off — the
     /// event loop then pays exactly one integer compare per event).
-    flight: Option<FlightRecorder>,
+    pub(crate) flight: Option<FlightRecorder>,
     /// Next window boundary at which to probe the flight recorder
     /// (`Cycle::MAX` when no recorder is installed).
-    next_window: Cycle,
+    pub(crate) next_window: Cycle,
     /// Checkpoint cadence in cycles (0 = checkpointing off).
-    ckpt_every: Cycle,
+    pub(crate) ckpt_every: Cycle,
     /// Directory checkpoint files are written into.
-    ckpt_dir: std::path::PathBuf,
+    pub(crate) ckpt_dir: std::path::PathBuf,
     /// Next cycle boundary at which to write a checkpoint
     /// (`Cycle::MAX` when checkpointing is off — the event loop then
     /// pays exactly one integer compare per event).
-    next_ckpt: Cycle,
+    pub(crate) next_ckpt: Cycle,
     /// Provenance of the checkpoint this machine was restored from
     /// (`None` for a machine built from scratch).
-    restored_from: Option<(String, Cycle)>,
+    pub(crate) restored_from: Option<(String, Cycle)>,
     /// Fingerprint of the workload profile the op streams were built
     /// from; 0 for explicit streams ([`Machine::with_streams`]), whose
     /// snapshots cannot be restored (the streams are opaque).
-    workload_fp: u64,
+    pub(crate) workload_fp: u64,
+    /// Node→LP assignment for the parallel engine (`None` = contiguous
+    /// arcs, derived from the worker count at run time). Purely an
+    /// execution-strategy knob: digests are identical for every
+    /// partition, so it is not part of any snapshot.
+    pub(crate) partition: Option<ring_sim::pdes::Partition>,
 }
 
 /// Serializes one machine event. The tags are part of the snapshot
@@ -348,6 +353,38 @@ impl Machine {
             next_ckpt: Cycle::MAX,
             restored_from: None,
             workload_fp: 0,
+            partition: None,
+        }
+    }
+
+    /// Builds the effect-execution context the serial engine commits
+    /// events through (exclusive access to every shard).
+    pub(crate) fn ctx(&mut self) -> crate::effects::Ctx<'_> {
+        crate::effects::Ctx {
+            cfg: &self.cfg,
+            queue: &mut self.queue,
+            net: &mut self.net,
+            rings: &self.rings,
+            nodes: crate::effects::NodeAccess::Excl {
+                cores: &mut self.cores,
+                agents: &mut self.agents,
+            },
+            mem: &mut self.mem,
+            cpp: &mut self.cpp,
+            pbufs: &mut self.pbufs,
+            finish_time: &mut self.finish_time,
+            stats: &mut self.stats,
+            registry: &mut self.registry,
+            anatomy_marks: &mut self.anatomy_marks,
+            mc_buf: &mut self.mc_buf,
+            trace: &mut self.trace,
+            sink: &mut self.sink,
+            trace_enabled: self.trace_enabled,
+            watchdog: &mut self.watchdog,
+            recent: &mut self.recent,
+            rel: &mut self.rel,
+            rel_buf: &mut self.rel_buf,
+            outage_buf: &mut self.outage_buf,
         }
     }
 
@@ -401,7 +438,7 @@ impl Machine {
     /// checkpoint boundary (and is still under the run's cycle cap),
     /// then advances the boundary. Called between events, so the
     /// snapshot captures a consistent machine with the queue intact.
-    fn maybe_checkpoint(&mut self, cap: Cycle) {
+    pub(crate) fn maybe_checkpoint(&mut self, cap: Cycle) {
         let every = self.ckpt_every;
         if every == 0 {
             return;
@@ -819,42 +856,11 @@ impl Machine {
                 }
                 return Err(Box::new(self.stall_report(StallCause::WatchdogExpired, t)));
             }
-            let input = match ev {
-                Ev::Resume(n) => {
-                    self.resume(t, n);
-                    continue;
-                }
-                Ev::RelWire(frame) => {
-                    self.rel_event(t, |rel, net, acts| rel.on_wire(net, t, frame, acts));
-                    continue;
-                }
-                Ev::RelTimer(flow) => {
-                    self.rel_event(t, |rel, net, acts| rel.on_timer(net, t, flow, acts));
-                    continue;
-                }
-                Ev::RelAck(flow) => {
-                    self.rel_event(t, |rel, net, acts| rel.on_ack_timer(net, t, flow, acts));
-                    continue;
-                }
-                Ev::Agent(_, input) => input,
-                Ev::MemDone(_, line) => AgentInput::MemData { line },
-            };
-            let n = match ev {
-                Ev::Agent(n, _) | Ev::MemDone(n, _) => n,
-                Ev::Resume(_) | Ev::RelWire(_) | Ev::RelTimer(_) | Ev::RelAck(_) => {
-                    unreachable!("handled above")
-                }
-            };
             // Reuse one effect buffer across all events; `apply_effects`
             // drains it and never re-enters `handle`, so taking the
             // buffer out of `self` is safe.
             let mut fx = std::mem::take(&mut self.fx_buf);
-            fx.clear();
-            self.agents[n].handle_into(t, input, &mut fx);
-            if self.trace_enabled {
-                self.drain_agent_trace(n);
-            }
-            self.apply_effects(t, n, &mut fx);
+            self.ctx().dispatch(t, ev, &mut fx);
             self.fx_buf = fx;
         }
         let capped = !self.queue.is_empty();
@@ -880,7 +886,7 @@ impl Machine {
     /// Probes machine state and folds it into the flight recorder,
     /// advancing the next window boundary past `t`. No-op without a
     /// recorder.
-    fn flight_sample(&mut self, t: Cycle) {
+    pub(crate) fn flight_sample(&mut self, t: Cycle) {
         let interval = match &self.flight {
             Some(f) => f.interval(),
             None => return,
@@ -965,7 +971,7 @@ impl Machine {
     }
 
     /// Snapshots the machine for a forward-progress failure at `now`.
-    fn stall_report(&self, cause: StallCause, now: Cycle) -> StallReport {
+    pub(crate) fn stall_report(&self, cause: StallCause, now: Cycle) -> StallReport {
         let nodes = self.node_stall_states();
         let reliability = self.rel.as_ref().map(|rel| {
             let fs = self.net.fault_stats();
@@ -1008,203 +1014,6 @@ impl Machine {
                     cycle: *cycle,
                 }),
         }
-    }
-
-    /// Moves the events the agent emitted during its last `handle` into
-    /// the sink and the per-line traces. The event queue pops in time
-    /// order, so emission order is chronological.
-    fn drain_agent_trace(&mut self, n: usize) {
-        if !self.trace_enabled {
-            return;
-        }
-        for ev in self.agents[n].drain_trace() {
-            self.emit(ev);
-        }
-    }
-
-    /// Routes one trace event to the sink, the stall-report ring buffer,
-    /// and, for selected lines, the per-line trace.
-    fn emit(&mut self, ev: TraceEvent) {
-        if let Some(s) = self.sink.as_mut() {
-            s.record(&ev);
-        }
-        if self.recent.len() == RECENT_EVENTS {
-            self.recent.pop_front();
-        }
-        self.recent.push_back(ev);
-        let line = LineAddr::new(ev.line);
-        if self.tracing(line) {
-            self.trace.entry(line).or_default().push(ev);
-        }
-    }
-
-    /// Emits a [`TraceKind::FaultInjected`] event for an injected fault
-    /// affecting a delivery of `txn` / `line` departing node `n`.
-    fn emit_fault(&mut self, t: Cycle, n: usize, txn: TxnId, line: u64, fault: InjectedFault) {
-        if !self.trace_enabled {
-            return;
-        }
-        self.emit(TraceEvent {
-            cycle: t,
-            node: n as u32,
-            txn_node: txn.node.0 as u32,
-            txn_serial: txn.serial,
-            line,
-            kind: TraceKind::FaultInjected {
-                fault: fault_class(fault.kind),
-                delay: fault.delay,
-            },
-        });
-    }
-
-    /// Runs one reliable-transport callback with the transport
-    /// temporarily moved out of `self` (it needs `&mut Network` at the
-    /// same time), then applies the resulting actions.
-    fn rel_event(
-        &mut self,
-        t: Cycle,
-        f: impl FnOnce(
-            &mut ReliableTransport<AgentInput>,
-            &mut Network,
-            &mut Vec<RelAction<AgentInput>>,
-        ),
-    ) {
-        let Some(mut rel) = self.rel.take() else {
-            return;
-        };
-        let mut acts = std::mem::take(&mut self.rel_buf);
-        acts.clear();
-        f(&mut rel, &mut self.net, &mut acts);
-        self.rel = Some(rel);
-        self.process_rel_actions(t, &mut acts);
-        self.rel_buf = acts;
-    }
-
-    /// Applies the actions a reliable-transport call produced:
-    /// schedules wire/timer events, hands payloads to agents at the
-    /// exactly-once boundary, accounts traffic, traces recovery, and
-    /// feeds the watchdog's reliability-progress channel.
-    fn process_rel_actions(&mut self, t: Cycle, acts: &mut Vec<RelAction<AgentInput>>) {
-        self.drain_outages(t);
-        for a in acts.drain(..) {
-            match a {
-                RelAction::Deliver {
-                    to,
-                    from,
-                    channel,
-                    seq,
-                    payload,
-                } => {
-                    self.watchdog.net_progress(t);
-                    if self.trace_enabled {
-                        let (txn, line) = input_ids(&payload);
-                        self.emit(TraceEvent {
-                            cycle: t,
-                            node: to.0 as u32,
-                            txn_node: txn.node.0 as u32,
-                            txn_serial: txn.serial,
-                            line,
-                            kind: TraceKind::ReliableDeliver {
-                                from: from.0 as u32,
-                                channel: channel.index() as u8,
-                                seq,
-                            },
-                        });
-                    }
-                    self.queue.schedule(t, Ev::Agent(to.0, payload));
-                }
-                RelAction::Wire { at, frame } => self.queue.schedule(at, Ev::RelWire(frame)),
-                RelAction::Timer { at, flow } => self.queue.schedule(at, Ev::RelTimer(flow)),
-                RelAction::AckTimer { at, flow } => self.queue.schedule(at, Ev::RelAck(flow)),
-                RelAction::Sent {
-                    channel,
-                    bytes,
-                    hops,
-                } => {
-                    if channel == Channel::Data {
-                        self.stats.traffic.add_data(bytes, hops);
-                    } else {
-                        self.stats.traffic.add_control(bytes, hops);
-                    }
-                }
-                RelAction::Retransmitted {
-                    flow,
-                    seq,
-                    attempt,
-                    degraded,
-                } => {
-                    // Retransmission is the sublayer fighting loss — it
-                    // holds the watchdog off *until* the flow degrades;
-                    // a permanently dead path then still trips it, with
-                    // attribution.
-                    if !degraded {
-                        self.watchdog.net_progress(t);
-                    }
-                    if self.trace_enabled {
-                        self.emit(TraceEvent {
-                            cycle: t,
-                            node: flow.src.0 as u32,
-                            txn_node: flow.src.0 as u32,
-                            txn_serial: 0,
-                            line: 0,
-                            kind: TraceKind::Retransmit {
-                                to: flow.dst.0 as u32,
-                                channel: flow.channel.index() as u8,
-                                seq,
-                                attempt,
-                            },
-                        });
-                    }
-                }
-                RelAction::Dropped { flow, fault } => {
-                    if self.trace_enabled {
-                        self.emit(TraceEvent {
-                            cycle: t,
-                            node: flow.src.0 as u32,
-                            txn_node: flow.src.0 as u32,
-                            txn_serial: 0,
-                            line: 0,
-                            kind: TraceKind::FaultInjected {
-                                fault: fault_class(fault.kind),
-                                delay: fault.delay,
-                            },
-                        });
-                    }
-                }
-            }
-        }
-    }
-
-    /// Surfaces link outage transitions the network observed since the
-    /// last reliable-transport call as `LinkDown`/`LinkUp` trace events.
-    fn drain_outages(&mut self, t: Cycle) {
-        let mut buf = std::mem::take(&mut self.outage_buf);
-        self.net.take_outage_events(&mut buf);
-        if self.trace_enabled {
-            for oe in buf.drain(..) {
-                let kind = if oe.down {
-                    TraceKind::LinkDown {
-                        link: oe.link.0 as u32,
-                        up_at: oe.up_at,
-                    }
-                } else {
-                    TraceKind::LinkUp {
-                        link: oe.link.0 as u32,
-                    }
-                };
-                self.emit(TraceEvent {
-                    cycle: t,
-                    node: 0,
-                    txn_node: 0,
-                    txn_serial: 0,
-                    line: 0,
-                    kind,
-                });
-            }
-        } else {
-            buf.clear();
-        }
-        self.outage_buf = buf;
     }
 
     /// Reliable-transport counters (`None` when the sublayer is
@@ -1299,15 +1108,6 @@ impl Machine {
             .count()
     }
 
-    fn node(&self, n: usize) -> NodeId {
-        NodeId(n)
-    }
-
-    /// Whether protocol events for `line` are being recorded.
-    fn tracing(&self, line: LineAddr) -> bool {
-        self.cfg.check_invariants || self.cfg.trace_lines.contains(&line.raw())
-    }
-
     /// The recorded protocol event trace for `line`, in chronological
     /// order (request issue/forwarding, snoops, LTT activity, response
     /// forwarding with its marks, suppliership transfers, memory
@@ -1317,514 +1117,6 @@ impl Machine {
     /// [`MachineConfig::trace_lines`].
     pub fn line_trace(&self, line: LineAddr) -> &[TraceEvent] {
         self.trace.get(&line).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    fn resume(&mut self, t: Cycle, n: usize) {
-        if self.cores[n].is_finished() {
-            // A core that drained its last stores finishes here rather
-            // than through a Finished step.
-            if self.finish_time[n].is_none() {
-                self.finish_time[n] = Some(t);
-                self.watchdog.progress(t);
-            }
-            return;
-        }
-        if self.cores[n].is_blocked() {
-            return;
-        }
-        let slice = self.cfg.core_slice;
-        let (cores, agents) = (&mut self.cores, &self.agents);
-        let agent = &agents[n];
-        let step = cores[n].next(slice, |line| {
-            if agent.is_line_engaged(line) {
-                L2View::Outstanding
-            } else {
-                let state = agent.l2().state(line);
-                if state.can_write_silently() {
-                    L2View::HitSilent
-                } else if state.is_valid() {
-                    L2View::HitNeedsOwnership
-                } else {
-                    L2View::Miss
-                }
-            }
-        });
-        match step {
-            NextStep::Advance { cycles } => {
-                self.watchdog.progress(t);
-                self.queue.schedule(t + cycles.max(1), Ev::Resume(n));
-            }
-            NextStep::BlockedRead { cycles, line } => {
-                self.queue.schedule(
-                    t + cycles,
-                    Ev::Agent(
-                        n,
-                        AgentInput::CoreRequest {
-                            line,
-                            kind: TxnKind::Read,
-                        },
-                    ),
-                );
-            }
-            NextStep::IssueWrite { cycles, line } => {
-                self.issue_write(t + cycles, n, line);
-                self.queue.schedule(t + cycles.max(1), Ev::Resume(n));
-            }
-            NextStep::BlockedStores { .. } => {
-                // Resumed by write_complete.
-            }
-            NextStep::Finished => {
-                if self.finish_time[n].is_none() {
-                    self.finish_time[n] = Some(t);
-                    self.watchdog.progress(t);
-                }
-            }
-        }
-    }
-
-    /// Issues (or locally absorbs) a write transaction for `line`.
-    fn issue_write(&mut self, t: Cycle, n: usize, line: LineAddr) {
-        match self.agents[n].classify_store(line) {
-            Some(kind) => {
-                self.queue
-                    .schedule(t, Ev::Agent(n, AgentInput::CoreRequest { line, kind }));
-            }
-            None => {
-                // Became silently writable since classification (e.g. a
-                // racing completion): complete instantly.
-                self.write_completed(t, n, line);
-            }
-        }
-    }
-
-    fn write_completed(&mut self, t: Cycle, n: usize, line: LineAddr) {
-        let (pending, unblocked) = self.cores[n].write_complete(line);
-        if let Some(pl) = pending {
-            self.issue_write(t, n, pl);
-        }
-        if unblocked {
-            self.queue.schedule(t, Ev::Resume(n));
-        }
-    }
-
-    /// Applies the effects in `fx`, draining it (the buffer is reused
-    /// across events). Never calls back into agent handling.
-    fn apply_effects(&mut self, t: Cycle, n: usize, fx: &mut Vec<Effect>) {
-        for e in fx.drain(..) {
-            match e {
-                Effect::RingSend { msg, delay } => {
-                    let from = self.node(n);
-                    let succ =
-                        self.rings[(msg.line().raw() as usize) % self.rings.len()].successor(from);
-                    if self.trace_enabled {
-                        let payload = match &msg {
-                            ring_coherence::RingMsg::Request(r) => Payload::Request {
-                                op: op_class(r.kind),
-                            },
-                            ring_coherence::RingMsg::Response(r) => Payload::Response {
-                                positive: r.positive,
-                                squashed: r.squashed,
-                                loser_hint: r.loser_hint,
-                                outcomes: r.outcomes,
-                            },
-                        };
-                        let txn = msg.txn();
-                        self.emit(TraceEvent {
-                            cycle: t,
-                            node: n as u32,
-                            txn_node: txn.node.0 as u32,
-                            txn_serial: txn.serial,
-                            line: msg.line().raw(),
-                            kind: TraceKind::RingSend {
-                                to: succ.0 as u32,
-                                payload,
-                            },
-                        });
-                    }
-                    if let ring_coherence::RingMsg::Request(r) = &msg {
-                        if r.requester().0 == n {
-                            self.registry.node_mut(n).requests += 1;
-                            self.anatomy_marks.insert(
-                                (n, msg.line().raw()),
-                                AnatomyMark {
-                                    issued: Some(t),
-                                    ..AnatomyMark::default()
-                                },
-                            );
-                        }
-                    }
-                    let ch = match msg {
-                        ring_coherence::RingMsg::Request(_) => Channel::Request,
-                        ring_coherence::RingMsg::Response(_) => Channel::Response,
-                    };
-                    if self.rel.is_some() {
-                        // Ring FIFO survives loss because the flow
-                        // (from, succ, ch) delivers strictly in
-                        // sequence order at the far end.
-                        let bytes = msg.bytes();
-                        self.rel_event(t, |rel, net, acts| {
-                            rel.send(
-                                net,
-                                t + delay,
-                                from,
-                                succ,
-                                ch,
-                                bytes,
-                                0,
-                                AgentInput::RingArrival(msg),
-                                acts,
-                            );
-                        });
-                    } else {
-                        let d = self.net.unicast(t + delay, from, succ, msg.bytes(), ch);
-                        // Ring messages are only ever perturbed inside the
-                        // network model (jitter/congestion through the link
-                        // occupancy chain, which preserves per-link FIFO);
-                        // they are never reordered or duplicated here.
-                        if let Some(fault) = d.fault {
-                            self.emit_fault(t, n, msg.txn(), msg.line().raw(), fault);
-                        }
-                        self.stats.traffic.add_control(msg.bytes(), d.hops);
-                        self.queue
-                            .schedule(d.arrival, Ev::Agent(succ.0, AgentInput::RingArrival(msg)));
-                    }
-                }
-                Effect::MulticastRequest(req) => {
-                    if self.trace_enabled {
-                        self.emit(TraceEvent {
-                            cycle: t,
-                            node: n as u32,
-                            txn_node: req.txn.node.0 as u32,
-                            txn_serial: req.txn.serial,
-                            line: req.line.raw(),
-                            kind: TraceKind::MulticastRequest {
-                                op: op_class(req.kind),
-                            },
-                        });
-                    }
-                    self.registry.node_mut(n).requests += 1;
-                    self.anatomy_marks.insert(
-                        (n, req.line.raw()),
-                        AnatomyMark {
-                            issued: Some(t),
-                            ..AnatomyMark::default()
-                        },
-                    );
-                    if self.rel.is_some() {
-                        let mut ds = std::mem::take(&mut self.mc_buf);
-                        let root = self.node(n);
-                        let mut tree_err = None;
-                        self.rel_event(t, |rel, net, acts| {
-                            if let Err(e) = rel.send_multicast(
-                                net,
-                                t,
-                                root,
-                                Channel::Request,
-                                CONTROL_BYTES,
-                                AgentInput::DirectRequest(req),
-                                &mut ds,
-                                acts,
-                            ) {
-                                tree_err = Some(e);
-                            }
-                        });
-                        ds.clear();
-                        self.mc_buf = ds;
-                        if let Some(noc_err) = tree_err {
-                            eprintln!("multicast from node {n} at cycle {t} failed: {noc_err}");
-                            self.emit(TraceEvent {
-                                cycle: t,
-                                node: n as u32,
-                                txn_node: req.txn.node.0 as u32,
-                                txn_serial: req.txn.serial,
-                                line: req.line.raw(),
-                                kind: TraceKind::ProtocolError {
-                                    error: ErrorClass::MulticastTreeDisorder,
-                                },
-                            });
-                        }
-                        continue;
-                    }
-                    let mut ds = std::mem::take(&mut self.mc_buf);
-                    match self.net.multicast_into(
-                        t,
-                        self.node(n),
-                        CONTROL_BYTES,
-                        Channel::Request,
-                        &mut ds,
-                    ) {
-                        Ok(()) => {
-                            for d in ds.drain(..) {
-                                self.stats.traffic.add_control(CONTROL_BYTES, d.hops);
-                                if let Some(fault) = d.fault {
-                                    self.emit_fault(t, n, req.txn, req.line.raw(), fault);
-                                }
-                                // Multicast requests travel the unconstrained
-                                // path, which guarantees no ordering — a bounded
-                                // reordering delay is in-spec.
-                                let mut arrival = d.arrival;
-                                let reorder = self.net.faults_mut().and_then(|fi| fi.reorder());
-                                if let Some(extra) = reorder {
-                                    arrival += extra;
-                                    self.emit_fault(
-                                        t,
-                                        n,
-                                        req.txn,
-                                        req.line.raw(),
-                                        InjectedFault {
-                                            kind: FaultKind::Reorder,
-                                            delay: extra,
-                                        },
-                                    );
-                                }
-                                self.queue.schedule(
-                                    arrival,
-                                    Ev::Agent(d.to.0, AgentInput::DirectRequest(req)),
-                                );
-                            }
-                        }
-                        Err(noc_err) => {
-                            // A corrupted multicast tree: drop the
-                            // broadcast and trace the error (recorded
-                            // even without a sink, so stall reports
-                            // show it) instead of panicking.
-                            ds.clear();
-                            eprintln!("multicast from node {n} at cycle {t} failed: {noc_err}");
-                            self.emit(TraceEvent {
-                                cycle: t,
-                                node: n as u32,
-                                txn_node: req.txn.node.0 as u32,
-                                txn_serial: req.txn.serial,
-                                line: req.line.raw(),
-                                kind: TraceKind::ProtocolError {
-                                    error: ErrorClass::MulticastTreeDisorder,
-                                },
-                            });
-                        }
-                    }
-                    self.mc_buf = ds;
-                }
-                Effect::SendSupplier { to, msg } => {
-                    self.registry.node_mut(n).supplies += 1;
-                    if let Some(m) = self
-                        .anatomy_marks
-                        .get_mut(&(msg.txn.node.0, msg.line.raw()))
-                    {
-                        if m.supplied.is_none() {
-                            m.supplied = Some(t);
-                        }
-                    }
-                    let ch = if msg.with_data {
-                        Channel::Data
-                    } else {
-                        Channel::Response
-                    };
-                    if self.rel.is_some() {
-                        let from = self.node(n);
-                        let bytes = msg.bytes();
-                        self.rel_event(t, |rel, net, acts| {
-                            rel.send(
-                                net,
-                                t,
-                                from,
-                                to,
-                                ch,
-                                bytes,
-                                0,
-                                AgentInput::Supplier(msg),
-                                acts,
-                            );
-                        });
-                        continue;
-                    }
-                    let d = self.net.unicast(t, self.node(n), to, msg.bytes(), ch);
-                    if msg.with_data {
-                        self.stats.traffic.add_data(msg.bytes(), d.hops);
-                    } else {
-                        self.stats.traffic.add_control(msg.bytes(), d.hops);
-                    }
-                    if let Some(fault) = d.fault {
-                        self.emit_fault(t, n, msg.txn, msg.line.raw(), fault);
-                    }
-                    // Suppliership messages are point-to-point and
-                    // unordered, and their consumption is idempotent
-                    // (the agent ignores a suppliership for a
-                    // transaction it already holds one for) — so both
-                    // reordering and duplication are in-spec.
-                    let mut arrival = d.arrival;
-                    let reorder = self.net.faults_mut().and_then(|fi| fi.reorder());
-                    if let Some(extra) = reorder {
-                        arrival += extra;
-                        self.emit_fault(
-                            t,
-                            n,
-                            msg.txn,
-                            msg.line.raw(),
-                            InjectedFault {
-                                kind: FaultKind::Reorder,
-                                delay: extra,
-                            },
-                        );
-                    }
-                    let duplicate = self
-                        .net
-                        .faults_mut()
-                        .and_then(|fi| fi.duplicate(DeliveryClass::Direct));
-                    if let Some(extra) = duplicate {
-                        self.emit_fault(
-                            t,
-                            n,
-                            msg.txn,
-                            msg.line.raw(),
-                            InjectedFault {
-                                kind: FaultKind::Duplicate,
-                                delay: extra,
-                            },
-                        );
-                        self.queue
-                            .schedule(arrival + extra, Ev::Agent(to.0, AgentInput::Supplier(msg)));
-                    }
-                    self.queue
-                        .schedule(arrival, Ev::Agent(to.0, AgentInput::Supplier(msg)));
-                }
-                Effect::StartSnoop { txn, line, delay }
-                | Effect::DelaySnoop { txn, line, delay } => {
-                    self.queue
-                        .schedule(t + delay, Ev::Agent(n, AgentInput::SnoopDone { txn, line }));
-                }
-                Effect::MemFetch { line, prefetch } => {
-                    if prefetch {
-                        if self.cpp.admit_prefetch(line) {
-                            self.registry.node_mut(n).mem_prefetch += 1;
-                            let done = self.mem.request(t, line);
-                            self.cpp.mark_fetched(line);
-                            self.pbufs[n].fill(t, line, done);
-                        }
-                    } else if let Some(avail) = self.pbufs[n].claim(t, line) {
-                        self.registry.node_mut(n).prefetch_hits += 1;
-                        if self.trace_enabled {
-                            self.emit(TraceEvent {
-                                cycle: t,
-                                node: n as u32,
-                                txn_node: n as u32,
-                                txn_serial: 0,
-                                line: line.raw(),
-                                kind: TraceKind::PrefetchHit,
-                            });
-                        }
-                        self.schedule_mem_done(t, n, line, avail);
-                    } else {
-                        self.registry.node_mut(n).mem_demand += 1;
-                        let done = self.mem.request(t, line);
-                        self.cpp.mark_fetched(line);
-                        self.schedule_mem_done(t, n, line, done);
-                    }
-                }
-                Effect::Writeback { line } => {
-                    self.registry.node_mut(n).writebacks += 1;
-                    self.cpp.mark_written_back(line);
-                }
-                Effect::L1Invalidate { line } => {
-                    self.cores[n].l1_invalidate(line);
-                }
-                Effect::Bound {
-                    line,
-                    kind,
-                    latency,
-                    c2c,
-                } => {
-                    self.watchdog.progress(t);
-                    if let Some(m) = self.anatomy_marks.get_mut(&(n, line.raw())) {
-                        if m.bound.is_none() {
-                            m.bound = Some(t);
-                        }
-                    }
-                    if kind == TxnKind::Read {
-                        // Add the L1 fill on top of the L2-to-L2 path, per
-                        // the paper's "until the data arrives at the
-                        // requester's L1".
-                        self.registry
-                            .node_mut(n)
-                            .record_read_bound(latency + self.cfg.l1.latency, c2c);
-                        if self.cores[n].read_done(line) {
-                            self.queue.schedule(t, Ev::Resume(n));
-                        }
-                    }
-                }
-                Effect::Complete {
-                    line,
-                    kind,
-                    c2c,
-                    retries: _,
-                    prefetch_issued,
-                    latency,
-                } => {
-                    self.watchdog.progress(t);
-                    let mark = self.anatomy_marks.remove(&(n, line.raw()));
-                    self.registry.classes.record(op_class(kind), c2c, latency);
-                    if kind == TxnKind::Read {
-                        self.registry.node_mut(n).record_read_complete(
-                            latency,
-                            c2c,
-                            prefetch_issued,
-                        );
-                        if c2c {
-                            if let Some(AnatomyMark {
-                                issued: Some(i),
-                                supplied: Some(s),
-                                bound: Some(b),
-                            }) = mark
-                            {
-                                if i <= s && s <= b && b <= t {
-                                    self.registry.anatomy.record(s - i, b - s, t - b);
-                                }
-                            }
-                        }
-                    }
-                    if self.cfg.check_invariants {
-                        self.check_line_invariants(t, line);
-                    }
-                    if kind != TxnKind::Read {
-                        self.write_completed(t, n, line);
-                    }
-                }
-                Effect::Retry { line, delay } => {
-                    self.registry.node_mut(n).retries += 1;
-                    self.anatomy_marks.remove(&(n, line.raw()));
-                    self.queue
-                        .schedule(t + delay, Ev::Agent(n, AgentInput::RetryNow { line }));
-                }
-            }
-        }
-    }
-
-    /// Schedules a memory-data delivery at `at`, possibly duplicated
-    /// under fault injection — in-spec because the agent's `MemData`
-    /// handling is idempotent (data for a line with no waiting
-    /// transaction is dropped).
-    fn schedule_mem_done(&mut self, t: Cycle, n: usize, line: LineAddr, at: Cycle) {
-        let duplicate = self
-            .net
-            .faults_mut()
-            .and_then(|fi| fi.duplicate(DeliveryClass::Direct));
-        if let Some(extra) = duplicate {
-            let txn = TxnId {
-                node: NodeId(n),
-                serial: 0,
-            };
-            self.emit_fault(
-                t,
-                n,
-                txn,
-                line.raw(),
-                InjectedFault {
-                    kind: FaultKind::Duplicate,
-                    delay: extra,
-                },
-            );
-            self.queue.schedule(at + extra, Ev::MemDone(n, line));
-        }
-        self.queue.schedule(at, Ev::MemDone(n, line));
     }
 
     /// Read access to the protocol kind this machine runs.
@@ -1842,58 +1134,6 @@ impl Machine {
     /// injector (all zeros when faults are off).
     pub fn fault_stats(&self) -> ring_noc::FaultStats {
         self.net.fault_stats()
-    }
-
-    /// Asserts the coherence invariants for one line (enabled with
-    /// [`MachineConfig::check_invariants`]): at most one supplier, and no
-    /// valid non-supplier copies without *some* designated supplier having
-    /// existed (Shared copies may transiently outlive a supplier eviction,
-    /// which the protocol handles via the memory path, so only the
-    /// single-supplier half is asserted).
-    ///
-    /// # Panics
-    ///
-    /// Panics if two nodes simultaneously hold `line` in supplier states.
-    fn check_line_invariants(&self, t: Cycle, line: LineAddr) {
-        // A node with an outstanding transaction on the line may hold a
-        // logically dead supplier-state copy (the paper defers its
-        // invalidation until the transaction loses), and it snoops
-        // negative meanwhile -- so only settled copies count.
-        let suppliers: Vec<usize> = self
-            .agents
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.l2().state(line).is_supplier() && !a.has_outstanding(line))
-            .map(|(n, _)| n)
-            .collect();
-        if suppliers.len() > 1 {
-            for (n, a) in self.agents.iter().enumerate() {
-                let st = a.l2().state(line);
-                if st.is_valid() || a.is_line_engaged(line) {
-                    eprintln!(
-                        "  node {n}: state={st} outstanding={} engaged={}",
-                        a.has_outstanding(line),
-                        a.is_line_engaged(line)
-                    );
-                }
-            }
-            if let Some(events) = self.trace.get(&line) {
-                for e in events
-                    .iter()
-                    .rev()
-                    .take(200)
-                    .collect::<Vec<_>>()
-                    .iter()
-                    .rev()
-                {
-                    eprintln!("  {e}");
-                }
-            }
-            panic!(
-                "single-supplier invariant violated at cycle {t}: line {line} \
-                 held in supplier state by settled nodes {suppliers:?}"
-            );
-        }
     }
 }
 
