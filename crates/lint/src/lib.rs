@@ -19,8 +19,8 @@
 //!    closed-form worst-case in-flight bounds checked against the
 //!    shipped LTT/MSHR/reliable-window capacities ([`bounds`]).
 //!
-//! The [`mutation`] harness seeds twelve violations through the real
-//! detection paths and requires 12/12 killed, so the gate's "zero
+//! The [`mutation`] harness seeds thirteen violations through the real
+//! detection paths and requires 13/13 killed, so the gate's "zero
 //! findings" verdict stays falsifiable. The `ringlint` binary in the
 //! umbrella crate packages everything as a CI gate with a stable JSON
 //! report ([`report`]).

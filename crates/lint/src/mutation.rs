@@ -4,11 +4,11 @@
 //! A linter that reports zero findings is only meaningful if it
 //! *would* report the bugs it claims to guard against. Mirroring the
 //! PR-3 protocol mutation sweep (12/12 table flips killed), this module
-//! seeds twelve concrete violations — eight synthetic source files fed
+//! seeds thirteen concrete violations — nine synthetic source files fed
 //! through the real scan path, four deliberately broken tables/graphs/
 //! configurations fed through the real analyses — and requires every
 //! one to be detected. `ringlint --mutate` runs the sweep as a CI gate;
-//! the integration suite asserts the same 12/12.
+//! the integration suite asserts the same 13/13.
 //!
 //! Seed 8 is a *precision* probe, not just a recall probe: the file
 //! contains a violation inside `#[cfg(test)]` that must NOT fire and a
@@ -78,7 +78,7 @@ fn source_seed(
     }
 }
 
-/// Runs all twelve seeded violations through the real detectors.
+/// Runs all thirteen seeded violations through the real detectors.
 pub fn run_all() -> Vec<ViolationOutcome> {
     // --- Source family (through the real lexer/rule path) ---
     let mut out =
@@ -256,6 +256,17 @@ pub fn run_all() -> Vec<ViolationOutcome> {
         });
     }
 
+    // Seed 13: a blocking socket inside a simulator crate — the daemon
+    // boundary (crates/server) is the only audited place for sockets.
+    out.push(source_seed(
+        13,
+        "UnixListener bound inside a simulator crate (blocking net)",
+        "crates/system/src/seeded.rs",
+        "use std::os::unix::net::UnixListener;\npub fn attach() {\n    let _l = \
+         UnixListener::bind(\"/tmp/seeded.sock\");\n}\n",
+        "no-blocking-net-in-sim-paths",
+    ));
+
     // Sanity: the canonical artifacts themselves must be clean, or the
     // "killed" verdicts above are vacuous.
     debug_assert!(audit_supplier_table(&SupplierTable::canonical()).is_clean());
@@ -269,9 +280,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_twelve_seeds_are_killed() {
+    fn all_thirteen_seeds_are_killed() {
         let outcomes = run_all();
-        assert_eq!(outcomes.len(), 12);
+        assert_eq!(outcomes.len(), 13);
         for o in &outcomes {
             assert!(
                 o.killed,
@@ -279,7 +290,7 @@ mod tests {
                 o.id, o.description, o.evidence
             );
         }
-        // Stable 1..=12 ids for the report.
+        // Stable 1..=13 ids for the report.
         for (i, o) in outcomes.iter().enumerate() {
             assert_eq!(o.id, i + 1);
         }

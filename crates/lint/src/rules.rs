@@ -13,7 +13,8 @@
 //! | `no-thread-rng` | OS entropy (`thread_rng`, `OsRng`, `getrandom`, `from_entropy`) anywhere outside tests |
 //! | `no-unordered-iteration-feeding-events` | iterating a hash map without an order-restoring sort or an order-independent reduction — the one way even a deterministic-hash map can leak insertion-history into event order |
 //! | `no-unchecked-unwrap-in-protocol-crates` | `.unwrap()`/`.expect(` in non-test code of the audited protocol crates |
-//! | `missing-clippy-deny` | an audited crate whose `lib.rs` lost its `deny(clippy::unwrap_used, clippy::expect_used)` attribute |
+//! | `missing-clippy-deny` | an audited crate whose `lib.rs` — or any binary frontend — lost its `deny(clippy::unwrap_used, clippy::expect_used)` attribute |
+//! | `no-blocking-net-in-sim-paths` | socket types (`std::net`, Unix sockets) anywhere but the daemon's audited I/O boundary — simulation code must never block on a network |
 //!
 //! Each finding carries file/line diagnostics and a severity; audited
 //! exceptions live in the workspace allowlist file ([`crate::allow`]),
@@ -74,7 +75,8 @@ pub struct RuleInfo {
 /// The crates whose non-test code must be free of unchecked unwraps
 /// (and must carry the clippy deny attribute that enforces it at
 /// compile time too).
-pub const UNWRAP_AUDITED_CRATES: &[&str] = &["cache", "core", "model", "noc", "mem", "stats"];
+pub const UNWRAP_AUDITED_CRATES: &[&str] =
+    &["cache", "core", "model", "noc", "mem", "stats", "server"];
 
 /// Every source-level rule, in report order.
 pub const RULES: &[RuleInfo] = &[
@@ -111,8 +113,14 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "missing-clippy-deny",
         severity: Severity::Deny,
-        description: "audited crate lib.rs lost its deny(clippy::unwrap_used, \
-                      clippy::expect_used) attribute",
+        description: "audited crate lib.rs (or a binary frontend) lost its \
+                      deny(clippy::unwrap_used, clippy::expect_used) attribute",
+    },
+    RuleInfo {
+        id: "no-blocking-net-in-sim-paths",
+        severity: Severity::Deny,
+        description: "socket types outside the daemon's audited I/O boundary; simulation \
+                      code must never block on a network",
     },
 ];
 
@@ -147,6 +155,17 @@ const ENTROPY_IDENTS: &[&str] = &[
     "OsRng",
     "getrandom",
     "from_entropy",
+];
+/// Blocking socket types. A simulator must never block on a network:
+/// any of these outside the daemon's audited boundary modules
+/// (`crates/server/src/daemon.rs`, `crates/server/src/client.rs`,
+/// carried in the allowlist) is a determinism and availability bug.
+const NET_IDENTS: &[&str] = &[
+    "TcpListener",
+    "TcpStream",
+    "UdpSocket",
+    "UnixListener",
+    "UnixStream",
 ];
 
 /// Map-iteration methods whose order is the hasher's.
@@ -191,7 +210,9 @@ pub fn scan_file(f: &SourceFile) -> Vec<Finding> {
         if f.is_test_line(id.line) {
             continue;
         }
-        if matches!(f.origin, Origin::SimPath | Origin::Cli) && HASH_IDENTS.contains(&id.text) {
+        if matches!(f.origin, Origin::SimPath | Origin::Cli | Origin::Service)
+            && HASH_IDENTS.contains(&id.text)
+        {
             out.push(finding(
                 f,
                 "no-std-hashmap-in-sim-paths",
@@ -228,13 +249,28 @@ pub fn scan_file(f: &SourceFile) -> Vec<Finding> {
                 ),
             ));
         }
+        if NET_IDENTS.contains(&id.text) {
+            out.push(finding(
+                f,
+                "no-blocking-net-in-sim-paths",
+                id.line,
+                format!(
+                    "`{}` is a blocking socket type; only the daemon's audited I/O boundary \
+                     (allowlisted modules of crates/server) may touch the network — \
+                     simulation, harness, and CLI code must not",
+                    id.text
+                ),
+            ));
+        }
     }
 
-    if f.origin == Origin::SimPath {
+    if matches!(f.origin, Origin::SimPath | Origin::Service) {
         unordered_iteration(f, &idents, &mut out);
     }
 
-    if f.origin == Origin::SimPath && UNWRAP_AUDITED_CRATES.contains(&f.crate_name.as_str()) {
+    if matches!(f.origin, Origin::SimPath | Origin::Service)
+        && UNWRAP_AUDITED_CRATES.contains(&f.crate_name.as_str())
+    {
         unchecked_unwraps(f, &mut out);
     }
     out
@@ -414,6 +450,28 @@ pub fn scan_workspace(files: &[SourceFile]) -> Vec<Finding> {
             None => {} // crate not in the scanned set (partial scan)
         }
     }
+    // Binary frontends are entry paths: a panic there is a user-facing
+    // crash with no typed exit, so every binary root carries the same
+    // compile-time deny as the audited crates.
+    for f in files {
+        let is_binary_root =
+            f.origin == Origin::Cli || (f.origin == Origin::Service && f.rel.contains("/src/bin/"));
+        if is_binary_root
+            && !(f.masked.contains("clippy::unwrap_used")
+                && f.masked.contains("clippy::expect_used"))
+        {
+            out.push(finding(
+                f,
+                "missing-clippy-deny",
+                1,
+                format!(
+                    "binary `{}` does not deny clippy::unwrap_used/clippy::expect_used; \
+                     entry paths must exit with typed errors, not panics",
+                    f.rel
+                ),
+            ));
+        }
+    }
     out.sort_by(|a, b| {
         (a.rel_path.as_str(), a.line, a.rule).cmp(&(b.rel_path.as_str(), b.line, b.rule))
     });
@@ -540,6 +598,66 @@ mod tests {
         assert!(scan_file(&file("crates/system/src/x.rs", body))
             .iter()
             .all(|h| h.rule != "no-unchecked-unwrap-in-protocol-crates"));
+    }
+
+    #[test]
+    fn blocking_net_flagged_everywhere_outside_tests() {
+        let body = "use std::os::unix::net::UnixListener;\nfn f() { \
+                    let _l = UnixListener::bind(\"/tmp/x\"); }\n";
+        for rel in [
+            "crates/system/src/x.rs",
+            "crates/bench/src/sweep.rs",
+            "src/bin/ringprof.rs",
+            "crates/server/src/supervisor.rs",
+        ] {
+            assert!(
+                scan_file(&file(rel, body))
+                    .iter()
+                    .any(|h| h.rule == "no-blocking-net-in-sim-paths"),
+                "{rel} should flag blocking net"
+            );
+        }
+        // Tests may spin up sockets freely.
+        assert!(scan_file(&file("crates/server/tests/e2e.rs", body)).is_empty());
+        // Socket names in comments/strings never fire.
+        let f = file(
+            "crates/system/src/x.rs",
+            "// TcpStream in a comment\nconst S: &str = \"UnixListener\";\n",
+        );
+        assert!(scan_file(&f).is_empty());
+    }
+
+    #[test]
+    fn service_origin_is_hashmap_and_unwrap_audited_but_wallclock_free() {
+        let f = file(
+            "crates/server/src/supervisor.rs",
+            "use std::collections::HashMap;\nuse std::time::Instant;\n\
+             fn f() { Some(1).unwrap(); }\n",
+        );
+        let hits = scan_file(&f);
+        assert!(hits.iter().any(|h| h.rule == "no-std-hashmap-in-sim-paths"));
+        assert!(hits
+            .iter()
+            .any(|h| h.rule == "no-unchecked-unwrap-in-protocol-crates"));
+        // Socket deadlines are the daemon's job: wall clock is allowed.
+        assert!(hits.iter().all(|h| h.rule != "no-wallclock"));
+    }
+
+    #[test]
+    fn binaries_without_deny_attr_are_workspace_findings() {
+        let bare = file("src/bin/ringprof.rs", "fn main() {}\n");
+        let armed = file(
+            "crates/server/src/bin/ringd.rs",
+            "#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]\n\
+             fn main() {}\n",
+        );
+        let hits = scan_workspace(&[bare, armed]);
+        let denies: Vec<_> = hits
+            .iter()
+            .filter(|h| h.rule == "missing-clippy-deny")
+            .collect();
+        assert_eq!(denies.len(), 1, "{denies:?}");
+        assert_eq!(denies[0].rel_path, "src/bin/ringprof.rs");
     }
 
     #[test]

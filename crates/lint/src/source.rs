@@ -22,6 +22,10 @@ pub enum Origin {
     /// Binary frontends (`src/bin`, `src/main.rs`): wall clock allowed
     /// (progress reporting), entropy still banned.
     Cli,
+    /// Daemon/service code (`crates/server`): wall clock allowed
+    /// (socket deadlines are its job), entropy still banned, and
+    /// blocking sockets allowed only in the audited boundary modules.
+    Service,
     /// Test-only code (`tests/`, `benches/`, `examples/` trees): scanned
     /// for precision checks but exempt from the determinism rules.
     Test,
@@ -71,6 +75,8 @@ impl SourceFile {
             Origin::Test
         } else if crate_name == "bench" {
             Origin::Harness
+        } else if crate_name == "server" {
+            Origin::Service
         } else if rel.starts_with("src/bin/") || rel == "src/main.rs" {
             Origin::Cli
         } else {
@@ -165,6 +171,9 @@ mod tests {
         );
         assert_eq!(classify("src/bin/ringlint.rs"), Origin::Cli);
         assert_eq!(classify("src/main.rs"), Origin::Cli);
+        assert_eq!(classify("crates/server/src/daemon.rs"), Origin::Service);
+        assert_eq!(classify("crates/server/src/bin/ringd.rs"), Origin::Service);
+        assert_eq!(classify("crates/server/tests/daemon_e2e.rs"), Origin::Test);
         assert_eq!(classify("crates/core/tests/ltt.rs"), Origin::Test);
         assert_eq!(classify("tests/integration.rs"), Origin::Test);
         assert_eq!(classify("examples/quick.rs"), Origin::Test);

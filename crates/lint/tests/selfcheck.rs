@@ -4,7 +4,7 @@
 //! source tree with the real `ringlint.allow`, and fail the build if any
 //! non-allowlisted finding, stale allowlist entry, unsound table, wait-for
 //! cycle, or violated capacity bound appears. It also pins the soundness
-//! harness at 12/12 so a lint regression cannot silently blunt the rules.
+//! harness at 13/13 so a lint regression cannot silently blunt the rules.
 
 use std::path::Path;
 
@@ -86,7 +86,7 @@ fn all_variants_proved_deadlock_free() {
 #[test]
 fn mutation_harness_kills_every_seed() {
     let outcomes = run_mutations();
-    assert_eq!(outcomes.len(), 12);
+    assert_eq!(outcomes.len(), 13);
     let survivors: Vec<usize> = outcomes
         .iter()
         .filter(|o| !o.killed)

@@ -1,0 +1,222 @@
+//! The `ringctl` client: connect, retry, request/reply.
+//!
+//! Connection attempts use exponential backoff with *deterministic*
+//! jitter — a [`DetRng`] seeded from the caller's seed, so two runs of
+//! the same script retry on the same schedule. Retries are capped; a
+//! daemon that never answers is a typed error, not a hang.
+//!
+//! Like [`crate::daemon`], this module is inside the repo's one audited
+//! blocking-I/O boundary.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use ring_sim::DetRng;
+
+use crate::proto::{Command, ErrorKind, Reply, Request, WireError};
+
+/// Base backoff delay; attempt `n` waits `BASE * 2^n` plus jitter.
+const BASE_DELAY_MS: u64 = 50;
+/// Backoff delays are capped here regardless of attempt count.
+const MAX_DELAY_MS: u64 = 2_000;
+
+/// Connection retry policy.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Connection attempts before giving up.
+    pub attempts: u32,
+    /// Jitter seed (deterministic schedules for identical seeds).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 8,
+            seed: 2007,
+        }
+    }
+}
+
+/// The delay before retry `attempt` (0-based): truncated binary
+/// exponential backoff plus up to 50% deterministic jitter.
+pub fn backoff_delay(policy: &RetryPolicy, attempt: u32) -> Duration {
+    let base = BASE_DELAY_MS
+        .saturating_mul(1_u64 << attempt.min(16))
+        .min(MAX_DELAY_MS);
+    // Fork per attempt so the schedule is a pure function of
+    // (seed, attempt), independent of call history.
+    let mut rng = DetRng::seed(policy.seed).fork(u64::from(attempt));
+    let jitter = rng.below(base / 2 + 1);
+    Duration::from_millis(base + jitter)
+}
+
+/// A connected client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects immediately, no retries.
+    ///
+    /// # Errors
+    ///
+    /// Typed `internal` error carrying the connect failure.
+    pub fn connect(socket: &Path) -> Result<Client, WireError> {
+        let stream = UnixStream::connect(socket).map_err(|e| {
+            WireError::new(
+                ErrorKind::Internal,
+                format!("connect to {} failed: {e}", socket.display()),
+            )
+        })?;
+        let writer = stream.try_clone().map_err(|e| {
+            WireError::new(ErrorKind::Internal, format!("socket clone failed: {e}"))
+        })?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Connects with the retry policy's capped, deterministically
+    /// jittered exponential backoff.
+    ///
+    /// # Errors
+    ///
+    /// The last connect failure once attempts are exhausted.
+    pub fn connect_with_retry(socket: &Path, policy: &RetryPolicy) -> Result<Client, WireError> {
+        let mut last = WireError::new(ErrorKind::Internal, "no connection attempts configured");
+        for attempt in 0..policy.attempts.max(1) {
+            match Client::connect(socket) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = e,
+            }
+            if attempt + 1 < policy.attempts.max(1) {
+                std::thread::sleep(backoff_delay(policy, attempt));
+            }
+        }
+        Err(last)
+    }
+
+    /// Sends one command and reads its reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (typed `internal`) or the daemon's own typed
+    /// error from the reply frame.
+    pub fn request(&mut self, cmd: Command) -> Result<Reply, WireError> {
+        let id = self.next_id.to_string();
+        self.next_id += 1;
+        let req = Request { id, cmd };
+        let line = req.render();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| WireError::new(ErrorKind::Internal, format!("send failed: {e}")))?;
+        let mut buf = String::new();
+        let n = self
+            .reader
+            .read_line(&mut buf)
+            .map_err(|e| WireError::new(ErrorKind::Internal, format!("recv failed: {e}")))?;
+        if n == 0 {
+            return Err(WireError::new(
+                ErrorKind::Internal,
+                "daemon closed the connection",
+            ));
+        }
+        let reply = Reply::parse(buf.trim_end())?;
+        match reply.error {
+            Some(err) => Err(err),
+            None => Ok(reply),
+        }
+    }
+
+    /// Sends `subscribe` and returns the raw line reader: the first
+    /// line is the acknowledgement, then one line per delivery
+    /// (`{"ev":{...}}` / `{"gap":N}`) until the session ends
+    /// (`{"end":"state"}`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the daemon's typed refusal.
+    pub fn subscribe(
+        mut self,
+        session: &str,
+        buffer: u64,
+    ) -> Result<BufReader<UnixStream>, WireError> {
+        let cmd = Command::Subscribe {
+            session: session.to_string(),
+            buffer,
+        };
+        let req = Request {
+            id: "sub".to_string(),
+            cmd,
+        };
+        let line = req.render();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| WireError::new(ErrorKind::Internal, format!("send failed: {e}")))?;
+        let mut buf = String::new();
+        self.reader
+            .read_line(&mut buf)
+            .map_err(|e| WireError::new(ErrorKind::Internal, format!("recv failed: {e}")))?;
+        let ack = Reply::parse(buf.trim_end())?;
+        if let Some(err) = ack.error {
+            return Err(err);
+        }
+        Ok(self.reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_monotone_in_base() {
+        let policy = RetryPolicy::default();
+        let a: Vec<Duration> = (0..10).map(|n| backoff_delay(&policy, n)).collect();
+        let b: Vec<Duration> = (0..10).map(|n| backoff_delay(&policy, n)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        for (n, d) in a.iter().enumerate() {
+            assert!(
+                d.as_millis() <= u128::from(MAX_DELAY_MS + MAX_DELAY_MS / 2),
+                "attempt {n} delay {d:?} exceeds cap+jitter"
+            );
+            assert!(d.as_millis() >= u128::from(BASE_DELAY_MS), "attempt {n}");
+        }
+        let other = RetryPolicy {
+            seed: 1,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(
+            (0..10)
+                .map(|n| backoff_delay(&other, n))
+                .collect::<Vec<_>>(),
+            a,
+            "different seeds should jitter differently"
+        );
+    }
+
+    #[test]
+    fn connect_to_nowhere_is_a_typed_error() {
+        let path = std::env::temp_dir().join("ringctl-no-such-socket");
+        let err = Client::connect(&path).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Internal);
+        let policy = RetryPolicy {
+            attempts: 2,
+            seed: 3,
+        };
+        let err = Client::connect_with_retry(&path, &policy).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Internal);
+    }
+}

@@ -1,0 +1,541 @@
+//! The versioned line-delimited JSON protocol `ringd` speaks.
+//!
+//! One request per line, one response per line. Every frame carries the
+//! protocol version (`"v":1`) and a client-chosen correlation id; a
+//! version the daemon does not speak is refused with a typed
+//! `bad-version` error rather than guessed at. Malformed bytes — not
+//! JSON, missing fields, wrong types — are *always* a typed `bad-frame`
+//! error; no input a client can write may panic the daemon (the
+//! proptest suite drives this promise with arbitrary byte soup).
+//!
+//! ```text
+//! → {"v":1,"id":"1","cmd":"create","session":"a","spec":{...}}
+//! ← {"v":1,"id":"1","ok":true,"session":"a"}
+//! → {"v":1,"id":"2","cmd":"start","session":"a"}
+//! ← {"v":1,"id":"2","ok":false,"error":{"kind":"queue-full","detail":"..."}}
+//! ```
+
+use std::fmt;
+
+use crate::json::{obj, Json};
+use crate::spec::SessionSpec;
+
+/// The one protocol version this build speaks.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Typed failure classes a response can carry. The wire name is the
+/// kebab-case form ([`ErrorKind::name`]); clients branch on it, never
+/// on the human-readable detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The daemon is at its concurrent-session cap.
+    Busy,
+    /// The run-slot wait queue is full.
+    QueueFull,
+    /// No such session.
+    UnknownSession,
+    /// The request line is not a well-formed frame.
+    BadFrame,
+    /// The frame's protocol version is not spoken here.
+    BadVersion,
+    /// The command is legal but not in the session's current state
+    /// (double-start, restore-into-running, …).
+    InvalidState,
+    /// A snapshot operation failed (the detail carries the typed
+    /// [`ring_snapshot::SnapshotError`] rendering).
+    Snapshot,
+    /// The session hit its forward-progress watchdog; the detail
+    /// carries the stall report.
+    Stalled,
+    /// The session spec is invalid.
+    BadSpec,
+    /// Anything else (the catch-all the daemon uses instead of dying).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Every kind, for table-driven tests.
+    pub const ALL: [ErrorKind; 10] = [
+        ErrorKind::Busy,
+        ErrorKind::QueueFull,
+        ErrorKind::UnknownSession,
+        ErrorKind::BadFrame,
+        ErrorKind::BadVersion,
+        ErrorKind::InvalidState,
+        ErrorKind::Snapshot,
+        ErrorKind::Stalled,
+        ErrorKind::BadSpec,
+        ErrorKind::Internal,
+    ];
+
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Busy => "busy",
+            ErrorKind::QueueFull => "queue-full",
+            ErrorKind::UnknownSession => "unknown-session",
+            ErrorKind::BadFrame => "bad-frame",
+            ErrorKind::BadVersion => "bad-version",
+            ErrorKind::InvalidState => "invalid-state",
+            ErrorKind::Snapshot => "snapshot",
+            ErrorKind::Stalled => "stalled",
+            ErrorKind::BadSpec => "bad-spec",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn by_name(name: &str) -> Option<ErrorKind> {
+        ErrorKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed protocol error: the kind clients branch on plus a
+/// human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable class.
+    pub kind: ErrorKind,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+impl WireError {
+    /// Builds an error.
+    pub fn new(kind: ErrorKind, detail: impl Into<String>) -> Self {
+        WireError {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One command a client can issue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Admit a new session built from `spec`.
+    Create {
+        /// Session name (also its state-directory name).
+        session: String,
+        /// What to simulate.
+        spec: SessionSpec,
+    },
+    /// Start (or resume) a session, subject to run-slot admission.
+    Start {
+        /// Target session.
+        session: String,
+    },
+    /// Pause a running (or queued) session at the next event boundary.
+    Pause {
+        /// Target session.
+        session: String,
+    },
+    /// Execute exactly `events` events while otherwise paused.
+    Step {
+        /// Target session.
+        session: String,
+        /// Event budget.
+        events: u64,
+    },
+    /// Report daemon or per-session status.
+    Status {
+        /// Restrict to one session (`None` = all).
+        session: Option<String>,
+    },
+    /// Write an integrity-verified snapshot now.
+    Snapshot {
+        /// Target session.
+        session: String,
+    },
+    /// Rebuild the session from its newest valid snapshot.
+    Restore {
+        /// Target session.
+        session: String,
+    },
+    /// Stream trace events (bounded buffer, counted-drop gap markers).
+    Subscribe {
+        /// Target session.
+        session: String,
+        /// Subscriber buffer capacity in deliveries.
+        buffer: u64,
+    },
+    /// Stop a session and forget it (its state directory survives).
+    Kill {
+        /// Target session.
+        session: String,
+    },
+    /// Gracefully drain and stop the daemon.
+    Shutdown,
+}
+
+impl Command {
+    /// Wire name of the command.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Create { .. } => "create",
+            Command::Start { .. } => "start",
+            Command::Pause { .. } => "pause",
+            Command::Step { .. } => "step",
+            Command::Status { .. } => "status",
+            Command::Snapshot { .. } => "snapshot",
+            Command::Restore { .. } => "restore",
+            Command::Subscribe { .. } => "subscribe",
+            Command::Kill { .. } => "kill",
+            Command::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed into the response.
+    pub id: String,
+    /// The command.
+    pub cmd: Command,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::BadFrame`] for anything that is not a well-formed
+    /// frame, [`ErrorKind::BadVersion`] for a version this build does
+    /// not speak. The returned error is safe to send as a response
+    /// (with id `""` when no id could be recovered).
+    pub fn parse(line: &str) -> Result<Request, (String, WireError)> {
+        let v = Json::parse(line).map_err(|e| {
+            (
+                String::new(),
+                WireError::new(ErrorKind::BadFrame, format!("not JSON: {e}")),
+            )
+        })?;
+        // Recover the id early so even version errors correlate.
+        let id = v
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let fail = |kind, detail: String| (id.clone(), WireError::new(kind, detail));
+        let version = v
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| fail(ErrorKind::BadFrame, "missing protocol version `v`".into()))?;
+        if version != PROTO_VERSION {
+            return Err(fail(
+                ErrorKind::BadVersion,
+                format!("version {version} not spoken; this daemon speaks {PROTO_VERSION}"),
+            ));
+        }
+        let cmd_name = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail(ErrorKind::BadFrame, "missing `cmd`".into()))?;
+        let session = || -> Result<String, (String, WireError)> {
+            v.get("session")
+                .and_then(Json::as_str)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .ok_or_else(|| fail(ErrorKind::BadFrame, "missing `session`".into()))
+        };
+        let cmd = match cmd_name {
+            "create" => {
+                let spec_json = v
+                    .get("spec")
+                    .ok_or_else(|| fail(ErrorKind::BadFrame, "missing `spec`".into()))?;
+                let spec = SessionSpec::from_json(spec_json)
+                    .map_err(|e| fail(ErrorKind::BadSpec, e.to_string()))?;
+                Command::Create {
+                    session: session()?,
+                    spec,
+                }
+            }
+            "start" => Command::Start {
+                session: session()?,
+            },
+            "pause" => Command::Pause {
+                session: session()?,
+            },
+            "step" => Command::Step {
+                session: session()?,
+                events: v
+                    .get("events")
+                    .and_then(Json::as_u64)
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| {
+                        fail(
+                            ErrorKind::BadFrame,
+                            "`events` must be a positive count".into(),
+                        )
+                    })?,
+            },
+            "status" => Command::Status {
+                session: v.get("session").and_then(Json::as_str).map(str::to_string),
+            },
+            "snapshot" => Command::Snapshot {
+                session: session()?,
+            },
+            "restore" => Command::Restore {
+                session: session()?,
+            },
+            "subscribe" => Command::Subscribe {
+                session: session()?,
+                buffer: v.get("buffer").and_then(Json::as_u64).unwrap_or(256).max(1),
+            },
+            "kill" => Command::Kill {
+                session: session()?,
+            },
+            "shutdown" => Command::Shutdown,
+            other => {
+                return Err(fail(
+                    ErrorKind::BadFrame,
+                    format!("unknown command `{other}`"),
+                ))
+            }
+        };
+        Ok(Request { id, cmd })
+    }
+
+    /// Renders the request as one frame line (the client side).
+    pub fn render(&self) -> String {
+        let mut fields: Vec<(&str, Json)> = vec![
+            ("v", Json::Num(PROTO_VERSION as f64)),
+            ("id", Json::Str(self.id.clone())),
+            ("cmd", Json::Str(self.cmd.name().to_string())),
+        ];
+        match &self.cmd {
+            Command::Create { session, spec } => {
+                fields.push(("session", Json::Str(session.clone())));
+                fields.push(("spec", spec.to_json()));
+            }
+            Command::Start { session }
+            | Command::Pause { session }
+            | Command::Snapshot { session }
+            | Command::Restore { session }
+            | Command::Kill { session } => {
+                fields.push(("session", Json::Str(session.clone())));
+            }
+            Command::Step { session, events } => {
+                fields.push(("session", Json::Str(session.clone())));
+                fields.push(("events", Json::Num(*events as f64)));
+            }
+            Command::Status { session } => {
+                if let Some(s) = session {
+                    fields.push(("session", Json::Str(s.clone())));
+                }
+            }
+            Command::Subscribe { session, buffer } => {
+                fields.push(("session", Json::Str(session.clone())));
+                fields.push(("buffer", Json::Num(*buffer as f64)));
+            }
+            Command::Shutdown => {}
+        }
+        obj(fields).render()
+    }
+}
+
+/// Renders a success response with extra payload fields.
+pub fn ok_frame(id: &str, mut fields: Vec<(&str, Json)>) -> String {
+    let mut all: Vec<(&str, Json)> = vec![
+        ("v", Json::Num(PROTO_VERSION as f64)),
+        ("id", Json::Str(id.to_string())),
+        ("ok", Json::Bool(true)),
+    ];
+    all.append(&mut fields);
+    obj(all).render()
+}
+
+/// Renders an error response.
+pub fn err_frame(id: &str, err: &WireError) -> String {
+    obj(vec![
+        ("v", Json::Num(PROTO_VERSION as f64)),
+        ("id", Json::Str(id.to_string())),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str(err.kind.name().to_string())),
+                ("detail", Json::Str(err.detail.clone())),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// A parsed response frame (the client side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Echoed correlation id.
+    pub id: String,
+    /// `None` on success; the typed error otherwise.
+    pub error: Option<WireError>,
+    /// The whole response object, for payload field access.
+    pub body: Json,
+}
+
+impl Reply {
+    /// Whether the request succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireError`] of kind [`ErrorKind::BadFrame`] when the line is
+    /// not a well-formed response.
+    pub fn parse(line: &str) -> Result<Reply, WireError> {
+        let body = Json::parse(line)
+            .map_err(|e| WireError::new(ErrorKind::BadFrame, format!("bad response: {e}")))?;
+        let id = body
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let ok = body
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| WireError::new(ErrorKind::BadFrame, "response missing `ok`"))?;
+        let error = if ok {
+            None
+        } else {
+            let e = body
+                .get("error")
+                .ok_or_else(|| WireError::new(ErrorKind::BadFrame, "error response sans error"))?;
+            let kind = e
+                .get("kind")
+                .and_then(Json::as_str)
+                .and_then(ErrorKind::by_name)
+                .ok_or_else(|| WireError::new(ErrorKind::BadFrame, "unknown error kind"))?;
+            let detail = e
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            Some(WireError::new(kind, detail))
+        };
+        Ok(Reply { id, error, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_command_roundtrips_through_the_wire() {
+        let cmds = vec![
+            Command::Create {
+                session: "a".into(),
+                spec: SessionSpec::default(),
+            },
+            Command::Start {
+                session: "a".into(),
+            },
+            Command::Pause {
+                session: "a".into(),
+            },
+            Command::Step {
+                session: "a".into(),
+                events: 1000,
+            },
+            Command::Status { session: None },
+            Command::Status {
+                session: Some("a".into()),
+            },
+            Command::Snapshot {
+                session: "a".into(),
+            },
+            Command::Restore {
+                session: "a".into(),
+            },
+            Command::Subscribe {
+                session: "a".into(),
+                buffer: 64,
+            },
+            Command::Kill {
+                session: "a".into(),
+            },
+            Command::Shutdown,
+        ];
+        for cmd in cmds {
+            let req = Request {
+                id: "42".into(),
+                cmd,
+            };
+            let parsed = Request::parse(&req.render()).unwrap();
+            assert_eq!(parsed, req);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_typed_and_keeps_the_id() {
+        let (id, err) = Request::parse(r#"{"v":2,"id":"9","cmd":"status"}"#).unwrap_err();
+        assert_eq!(id, "9");
+        assert_eq!(err.kind, ErrorKind::BadVersion);
+    }
+
+    #[test]
+    fn malformed_frames_are_bad_frame_errors() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"v":1}"#,
+            r#"{"v":1,"cmd":"warp"}"#,
+            r#"{"v":1,"cmd":"start"}"#,
+            r#"{"v":1,"cmd":"start","session":""}"#,
+            r#"{"v":1,"cmd":"step","session":"a"}"#,
+            r#"{"v":1,"cmd":"step","session":"a","events":0}"#,
+            r#"{"v":"1","cmd":"status"}"#,
+        ] {
+            let (_, err) = Request::parse(bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadFrame, "input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn bad_spec_is_its_own_kind() {
+        let line = r#"{"v":1,"id":"1","cmd":"create","session":"a","spec":{"variant":"warp"}}"#;
+        let (_, err) = Request::parse(line).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadSpec);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let ok = ok_frame("7", vec![("cycle", Json::Num(123.0))]);
+        let r = Reply::parse(&ok).unwrap();
+        assert!(r.is_ok());
+        assert_eq!(r.id, "7");
+        assert_eq!(r.body.get("cycle").and_then(Json::as_u64), Some(123));
+
+        let err = err_frame("8", &WireError::new(ErrorKind::QueueFull, "queue at cap 4"));
+        let r = Reply::parse(&err).unwrap();
+        assert_eq!(r.error.as_ref().map(|e| e.kind), Some(ErrorKind::QueueFull));
+        assert!(r.error.unwrap().detail.contains("cap 4"));
+    }
+
+    #[test]
+    fn error_kind_names_roundtrip() {
+        for k in ErrorKind::ALL {
+            assert_eq!(ErrorKind::by_name(k.name()), Some(k));
+        }
+        assert_eq!(ErrorKind::by_name("bogus"), None);
+    }
+}

@@ -1,0 +1,221 @@
+//! The session lifecycle as a pure, total transition function.
+//!
+//! Every command the daemon accepts consults [`transition`] before
+//! touching a worker, so the state machine below is the single
+//! authority on what is legal when — and because it is a pure function
+//! over two small enums, the property suite can drive it with
+//! arbitrary command sequences and prove the daemon's promise: no
+//! sequence of commands panics, every misuse is a typed
+//! [`ErrorKind::InvalidState`] (double-start, restore-into-running,
+//! stepping a running session, snapshotting a dead one, …).
+//!
+//! ```text
+//!            start              start(slot)
+//! Created ─────────► Queued ──────────────► Running ──┐ finish
+//!    │  ▲ pause/restore │  ▲              ▲ │ pause    ▼
+//!    │  └───────────────┘  │       start  │ ▼      Finished
+//!    │ step                └────────── Paused ◄──── restore
+//!    ▼                                  ▲  ▲
+//! (stays Created)       panic restart ──┘  └── stall restart
+//!
+//! Running ──watchdog──► Stalled ──restore──► Paused
+//! (any)  ──panic cap──► Dead    ──restore──► Paused
+//! (any)  ──kill─────────► entry removed
+//! ```
+
+use std::fmt;
+
+use crate::proto::ErrorKind;
+
+/// Where a session is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Admitted; machine built; never started.
+    Created,
+    /// Wants to run; waiting in the FIFO for a run slot.
+    Queued,
+    /// Executing on a worker thread.
+    Running,
+    /// Alive but not executing (explicit pause, or post-restore).
+    Paused,
+    /// Ran to completion; final report retained.
+    Finished,
+    /// Hit the forward-progress watchdog; stall report retained.
+    Stalled,
+    /// Supervision gave up (restart cap exhausted).
+    Dead,
+}
+
+impl SessionState {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionState::Created => "created",
+            SessionState::Queued => "queued",
+            SessionState::Running => "running",
+            SessionState::Paused => "paused",
+            SessionState::Finished => "finished",
+            SessionState::Stalled => "stalled",
+            SessionState::Dead => "dead",
+        }
+    }
+
+    /// Whether a worker thread exists in this state.
+    pub fn has_worker(self) -> bool {
+        matches!(
+            self,
+            SessionState::Created
+                | SessionState::Queued
+                | SessionState::Running
+                | SessionState::Paused
+        )
+    }
+}
+
+impl fmt::Display for SessionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The session-targeted commands, shorn of their payloads — exactly
+/// what the transition function needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionCmd {
+    /// `start`
+    Start,
+    /// `pause`
+    Pause,
+    /// `step`
+    Step,
+    /// `snapshot`
+    Snapshot,
+    /// `restore`
+    Restore,
+    /// `subscribe`
+    Subscribe,
+    /// `kill`
+    Kill,
+}
+
+impl SessionCmd {
+    /// Every command, for exhaustive property tests.
+    pub const ALL: [SessionCmd; 7] = [
+        SessionCmd::Start,
+        SessionCmd::Pause,
+        SessionCmd::Step,
+        SessionCmd::Snapshot,
+        SessionCmd::Restore,
+        SessionCmd::Subscribe,
+        SessionCmd::Kill,
+    ];
+}
+
+/// The state a legal command moves the session into. `Start` yields
+/// `Running`; the supervisor downgrades that to [`SessionState::Queued`]
+/// when no run slot is free (admission is a resource decision layered
+/// on top of legality, which is this function's concern).
+///
+/// # Errors
+///
+/// [`ErrorKind::InvalidState`] with a message naming both the state and
+/// the refused command. Total: every (state, command) pair returns.
+pub fn transition(state: SessionState, cmd: SessionCmd) -> Result<SessionState, String> {
+    use SessionCmd as C;
+    use SessionState as S;
+    let refuse = |why: &str| Err(format!("cannot {cmd:?} a {state} session: {why}"));
+    match (state, cmd) {
+        // kill is always legal; the entry is removed, state is moot.
+        (_, C::Kill) => Ok(state),
+        // subscribe attaches a buffer in any state (a finished session
+        // yields an empty stream, which is an answer, not an error).
+        (_, C::Subscribe) => Ok(state),
+
+        (S::Created | S::Paused, C::Start) => Ok(S::Running),
+        (S::Running, C::Start) => refuse("it is already running (double-start)"),
+        (S::Queued, C::Start) => refuse("it is already waiting for a run slot"),
+        (S::Finished, C::Start) => refuse("it already ran to completion"),
+        (S::Stalled, C::Start) => refuse("it stalled; restore it first"),
+        (S::Dead, C::Start) => refuse("supervision gave up on it; restore it first"),
+
+        (S::Running | S::Queued, C::Pause) => Ok(S::Paused),
+        (S::Paused, C::Pause) => Ok(S::Paused), // idempotent
+        (S::Created | S::Finished | S::Stalled | S::Dead, C::Pause) => {
+            refuse("only running, queued, or paused sessions pause")
+        }
+
+        (S::Created | S::Paused, C::Step) => Ok(state),
+        (S::Running | S::Queued, C::Step) => refuse("pause it before stepping"),
+        (S::Finished | S::Stalled | S::Dead, C::Step) => refuse("it is not executable"),
+
+        (S::Created | S::Paused | S::Running | S::Queued, C::Snapshot) => Ok(state),
+        (S::Finished | S::Stalled | S::Dead, C::Snapshot) => {
+            refuse("its worker is gone; the trail on disk is final")
+        }
+
+        (S::Running, C::Restore) => refuse("restoring into a running session would fork it"),
+        (S::Queued, C::Restore) => refuse("it is waiting to run; pause it first"),
+        (S::Created | S::Paused | S::Finished | S::Stalled | S::Dead, C::Restore) => Ok(S::Paused),
+    }
+}
+
+/// Wraps [`transition`]'s message into the protocol's typed error kind.
+pub fn check(state: SessionState, cmd: SessionCmd) -> Result<SessionState, (ErrorKind, String)> {
+    transition(state, cmd).map_err(|msg| (ErrorKind::InvalidState, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SessionCmd as C;
+    use SessionState as S;
+
+    const STATES: [SessionState; 7] = [
+        S::Created,
+        S::Queued,
+        S::Running,
+        S::Paused,
+        S::Finished,
+        S::Stalled,
+        S::Dead,
+    ];
+
+    #[test]
+    fn transition_is_total() {
+        for s in STATES {
+            for c in C::ALL {
+                // Must return, never panic; errors must name the state.
+                if let Err(msg) = transition(s, c) {
+                    assert!(msg.contains(s.name()), "{msg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn the_issue_scenarios_are_refused() {
+        assert!(transition(S::Running, C::Start).is_err(), "double-start");
+        assert!(
+            transition(S::Running, C::Restore).is_err(),
+            "restore-into-running"
+        );
+        assert!(transition(S::Running, C::Step).is_err());
+        assert!(transition(S::Dead, C::Start).is_err());
+    }
+
+    #[test]
+    fn recovery_paths_exist() {
+        // A stalled or dead session is always restorable back to life.
+        assert_eq!(transition(S::Stalled, C::Restore), Ok(S::Paused));
+        assert_eq!(transition(S::Dead, C::Restore), Ok(S::Paused));
+        assert_eq!(transition(S::Paused, C::Start), Ok(S::Running));
+    }
+
+    #[test]
+    fn kill_and_subscribe_are_universal() {
+        for s in STATES {
+            assert!(transition(s, C::Kill).is_ok());
+            assert!(transition(s, C::Subscribe).is_ok());
+        }
+    }
+}

@@ -1,0 +1,886 @@
+//! Session supervision: admission control, restart-from-snapshot, the
+//! run-slot FIFO, graceful drain, and post-crash rediscovery.
+//!
+//! The supervisor owns every session's worker and is the only writer
+//! of the session table. Its policies:
+//!
+//! - **Admission**: at most `max_sessions` concurrent sessions
+//!   (`create` past the cap is a typed `busy`); at most `max_running`
+//!   executing at once — further `start`s wait in a FIFO, and a full
+//!   FIFO is a typed `queue-full`, never a hang.
+//! - **Supervision**: a worker that panics or hits the machine's
+//!   forward-progress watchdog is restarted from the newest valid
+//!   snapshot (falling back past corrupted candidates), at most
+//!   `restart_cap` times; after that the session is `dead` with the
+//!   failure retained. Restore failures surface the typed
+//!   [`SnapshotError`] to clients.
+//! - **Drain**: on shutdown every live session is checkpointed and its
+//!   worker stopped, so a daemon restart resumes each one
+//!   byte-identically; `kill -9` merely costs the work since each
+//!   session's last periodic checkpoint.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ring_snapshot::{SessionManifest, SnapshotError};
+use ring_system::{config_hash, list_checkpoints, restore_latest, workload_fingerprint, Machine};
+use ring_trace::{FanoutSink, Subscription};
+
+use crate::json::{obj, Json};
+use crate::proto::{ErrorKind, WireError};
+use crate::session::{check, SessionCmd, SessionState};
+use crate::spec::SessionSpec;
+use crate::worker::{self, lock, Ctl, Shared, Worker};
+
+/// File name of the per-session manifest.
+pub const MANIFEST_FILE: &str = "session.ringmeta";
+
+/// Daemon-side policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Root directory holding one subdirectory per session.
+    pub state_root: PathBuf,
+    /// Concurrent-session admission cap (`busy` past it).
+    pub max_sessions: usize,
+    /// Concurrent run slots (`start` past it queues).
+    pub max_running: usize,
+    /// FIFO wait-queue cap (`queue-full` past it).
+    pub queue_cap: usize,
+    /// Periodic checkpoint interval in simulated cycles (0 = off).
+    pub checkpoint_every: u64,
+    /// Snapshot retention per session (keep newest K; 0 = unbounded).
+    pub checkpoint_keep: usize,
+    /// Restarts per session before supervision gives up.
+    pub restart_cap: u32,
+    /// Worker slice granularity in events.
+    pub slice_events: u64,
+}
+
+impl ServerConfig {
+    /// Defaults rooted at `state_root`.
+    pub fn new(state_root: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            state_root: state_root.into(),
+            max_sessions: 8,
+            max_running: 2,
+            queue_cap: 4,
+            checkpoint_every: 10_000,
+            checkpoint_keep: 3,
+            restart_cap: 3,
+            slice_events: worker::DEFAULT_SLICE,
+        }
+    }
+}
+
+/// One admitted session.
+#[derive(Debug)]
+struct Entry {
+    spec: SessionSpec,
+    dir: PathBuf,
+    shared: Arc<Mutex<Shared>>,
+    fanout: FanoutSink,
+    worker: Option<Worker>,
+}
+
+/// The session table and its policies. Wrap in a `Mutex` to share
+/// between client-connection threads.
+#[derive(Debug)]
+pub struct Supervisor {
+    cfg: ServerConfig,
+    sessions: BTreeMap<String, Entry>,
+    run_queue: VecDeque<String>,
+}
+
+/// Result payload fields of a successful command.
+pub type Fields = Vec<(&'static str, Json)>;
+
+impl Supervisor {
+    /// An empty supervisor.
+    pub fn new(cfg: ServerConfig) -> Self {
+        Supervisor {
+            cfg,
+            sessions: BTreeMap::new(),
+            run_queue: VecDeque::new(),
+        }
+    }
+
+    /// The configured state root.
+    pub fn state_root(&self) -> &std::path::Path {
+        &self.cfg.state_root
+    }
+
+    fn entry(&self, name: &str) -> Result<&Entry, WireError> {
+        self.sessions.get(name).ok_or_else(|| {
+            WireError::new(ErrorKind::UnknownSession, format!("no session `{name}`"))
+        })
+    }
+
+    fn state_of(&self, name: &str) -> Result<SessionState, WireError> {
+        Ok(lock(&self.entry(name)?.shared).state)
+    }
+
+    fn gate(&self, name: &str, cmd: SessionCmd) -> Result<SessionState, WireError> {
+        let state = self.state_of(name)?;
+        check(state, cmd).map_err(|(kind, msg)| WireError::new(kind, msg))
+    }
+
+    fn running_count(&self) -> usize {
+        self.sessions
+            .values()
+            .filter(|e| lock(&e.shared).state == SessionState::Running)
+            .count()
+    }
+
+    /// Builds the machine a session entry runs, wiring the trace sink
+    /// and checkpoint policy.
+    fn outfit(&self, machine: &mut Machine, dir: &std::path::Path, fanout: &FanoutSink) {
+        machine.set_trace_sink(Box::new(fanout.clone()));
+        // Cadence 0 still sets the directory for on-demand snapshots.
+        machine.enable_checkpoints(self.cfg.checkpoint_every, dir);
+        machine.set_checkpoint_retention(self.cfg.checkpoint_keep);
+    }
+
+    /// Admits a new session.
+    pub fn create(&mut self, name: &str, spec: SessionSpec) -> Result<Fields, WireError> {
+        validate_name(name)?;
+        if self.sessions.contains_key(name) {
+            return Err(WireError::new(
+                ErrorKind::InvalidState,
+                format!("session `{name}` already exists"),
+            ));
+        }
+        if self.sessions.len() >= self.cfg.max_sessions {
+            return Err(WireError::new(
+                ErrorKind::Busy,
+                format!(
+                    "at the concurrent-session cap ({}); kill a session first",
+                    self.cfg.max_sessions
+                ),
+            ));
+        }
+        let (cfg, profile) = spec
+            .build()
+            .map_err(|e| WireError::new(ErrorKind::BadSpec, e.to_string()))?;
+        let dir = self.cfg.state_root.join(name);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| WireError::new(ErrorKind::Internal, format!("mkdir failed: {e}")))?;
+        let manifest = SessionManifest {
+            session: name.to_string(),
+            config_hash: config_hash(&cfg),
+            workload_fingerprint: workload_fingerprint(&profile),
+            fields: spec.to_fields(),
+        };
+        manifest
+            .write_atomic(&dir.join(MANIFEST_FILE))
+            .map_err(|e| WireError::new(ErrorKind::Snapshot, e.to_string()))?;
+        let mut machine = Machine::new(cfg, &profile);
+        let fanout = FanoutSink::new();
+        self.outfit(&mut machine, &dir, &fanout);
+        let shared = Arc::new(Mutex::new(Shared::new()));
+        let w = worker::spawn(
+            machine,
+            Arc::clone(&shared),
+            dir.clone(),
+            self.cfg.slice_events,
+            spec.inject_panic_at,
+        );
+        self.sessions.insert(
+            name.to_string(),
+            Entry {
+                spec,
+                dir,
+                shared,
+                fanout,
+                worker: Some(w),
+            },
+        );
+        Ok(vec![
+            ("session", Json::Str(name.to_string())),
+            ("state", Json::Str("created".into())),
+        ])
+    }
+
+    /// Starts or queues a session, subject to run-slot admission.
+    pub fn start(&mut self, name: &str) -> Result<Fields, WireError> {
+        self.gate(name, SessionCmd::Start)?;
+        if self.running_count() < self.cfg.max_running {
+            let entry = self.entry(name)?;
+            lock(&entry.shared).state = SessionState::Running;
+            send_ctl(entry, Ctl::Resume)?;
+            Ok(vec![("state", Json::Str("running".into()))])
+        } else if self.run_queue.len() >= self.cfg.queue_cap {
+            Err(WireError::new(
+                ErrorKind::QueueFull,
+                format!(
+                    "all {} run slots busy and the wait queue is at its cap ({})",
+                    self.cfg.max_running, self.cfg.queue_cap
+                ),
+            ))
+        } else {
+            self.run_queue.push_back(name.to_string());
+            let entry = self.entry(name)?;
+            lock(&entry.shared).state = SessionState::Queued;
+            Ok(vec![
+                ("state", Json::Str("queued".into())),
+                ("queue_position", Json::Num(self.run_queue.len() as f64)),
+            ])
+        }
+    }
+
+    /// Pauses a running or queued session.
+    pub fn pause(&mut self, name: &str) -> Result<Fields, WireError> {
+        self.gate(name, SessionCmd::Pause)?;
+        let was = self.state_of(name)?;
+        if was == SessionState::Queued {
+            self.run_queue.retain(|n| n != name);
+        }
+        let entry = self.entry(name)?;
+        lock(&entry.shared).state = SessionState::Paused;
+        if was == SessionState::Running {
+            send_ctl(entry, Ctl::Pause)?;
+        }
+        self.pump();
+        Ok(vec![("state", Json::Str("paused".into()))])
+    }
+
+    /// Steps a held session by exactly `events` events.
+    pub fn step(&mut self, name: &str, events: u64) -> Result<Fields, WireError> {
+        self.gate(name, SessionCmd::Step)?;
+        let entry = self.entry(name)?;
+        send_ctl(entry, Ctl::Step(events))?;
+        Ok(vec![("stepping", Json::Num(events as f64))])
+    }
+
+    /// Writes an integrity-verified snapshot of a live session now.
+    pub fn snapshot(&mut self, name: &str) -> Result<Fields, WireError> {
+        self.gate(name, SessionCmd::Snapshot)?;
+        let entry = self.entry(name)?;
+        let (tx, rx) = std::sync::mpsc::channel();
+        send_ctl(entry, Ctl::Snapshot(tx))?;
+        match rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(Ok(path)) => Ok(vec![("snapshot", Json::Str(path.display().to_string()))]),
+            Ok(Err(e)) => Err(WireError::new(ErrorKind::Snapshot, e.to_string())),
+            Err(RecvTimeoutError::Timeout) => Err(WireError::new(
+                ErrorKind::Internal,
+                "worker did not reach a slice boundary in time",
+            )),
+            Err(RecvTimeoutError::Disconnected) => Err(WireError::new(
+                ErrorKind::Internal,
+                "worker exited before snapshotting; poll status",
+            )),
+        }
+    }
+
+    /// Rebuilds a session from its newest valid snapshot (time-travel
+    /// restore). The worker comes back held (`paused`).
+    pub fn restore(&mut self, name: &str) -> Result<Fields, WireError> {
+        self.gate(name, SessionCmd::Restore)?;
+        self.run_queue.retain(|n| n != name);
+        let entry = self.sessions.get_mut(name).ok_or_else(|| {
+            WireError::new(ErrorKind::UnknownSession, format!("no session `{name}`"))
+        })?;
+        if let Some(w) = entry.worker.take() {
+            let _ = w.ctl.send(Ctl::Kill);
+            let _ = w.handle.join();
+        }
+        let (cfg, profile) = entry
+            .spec
+            .build()
+            .map_err(|e| WireError::new(ErrorKind::BadSpec, e.to_string()))?;
+        let (mut machine, from) = restore_latest(&cfg, &profile, &entry.dir)
+            .map_err(|e| WireError::new(ErrorKind::Snapshot, e.to_string()))?;
+        let cycle = machine.restored_from().map_or(0, |(_, c)| c);
+        let slice = self.cfg.slice_events;
+        let panic_at = entry.spec.inject_panic_at;
+        // Re-outfit: same fanout, so subscriptions survive the restore.
+        machine.set_trace_sink(Box::new(entry.fanout.clone()));
+        machine.enable_checkpoints(self.cfg.checkpoint_every, &entry.dir);
+        machine.set_checkpoint_retention(self.cfg.checkpoint_keep);
+        {
+            let mut sh = lock(&entry.shared);
+            sh.state = SessionState::Paused;
+            sh.cycle = cycle;
+            sh.report_text = None;
+            sh.report_json = None;
+            sh.stall = None;
+            sh.note = Some(format!("restored from {}", from.display()));
+        }
+        entry.worker = Some(worker::spawn(
+            machine,
+            Arc::clone(&entry.shared),
+            entry.dir.clone(),
+            slice,
+            panic_at,
+        ));
+        Ok(vec![
+            ("restored_from", Json::Str(from.display().to_string())),
+            ("cycle", Json::Num(cycle as f64)),
+            ("state", Json::Str("paused".into())),
+        ])
+    }
+
+    /// Attaches a bounded trace subscription (drained by the caller's
+    /// connection thread, never by the simulation).
+    pub fn subscribe(
+        &mut self,
+        name: &str,
+        buffer: u64,
+    ) -> Result<(Subscription, Arc<Mutex<Shared>>), WireError> {
+        self.gate(name, SessionCmd::Subscribe)?;
+        let entry = self.entry(name)?;
+        let sub = entry.fanout.subscribe(buffer.clamp(1, 1 << 20) as usize);
+        Ok((sub, Arc::clone(&entry.shared)))
+    }
+
+    /// Stops a session and forgets it (its state directory survives).
+    pub fn kill(&mut self, name: &str) -> Result<Fields, WireError> {
+        self.gate(name, SessionCmd::Kill)?;
+        self.run_queue.retain(|n| n != name);
+        if let Some(mut entry) = self.sessions.remove(name) {
+            if let Some(w) = entry.worker.take() {
+                let _ = w.ctl.send(Ctl::Kill);
+                let _ = w.handle.join();
+            }
+        }
+        self.pump();
+        Ok(vec![("killed", Json::Str(name.to_string()))])
+    }
+
+    /// Status of one session or of the whole daemon.
+    pub fn status(&self, name: Option<&str>) -> Result<Fields, WireError> {
+        match name {
+            Some(n) => {
+                let entry = self.entry(n)?;
+                let mut fields = session_fields(n, entry, &self.run_queue);
+                let sh = lock(&entry.shared);
+                if let Some(r) = &sh.report_text {
+                    fields.push(("report", Json::Str(r.clone())));
+                }
+                if let Some(r) = &sh.report_json {
+                    fields.push(("report_json", Json::Str(r.clone())));
+                }
+                Ok(fields)
+            }
+            None => {
+                let sessions: Vec<Json> = self
+                    .sessions
+                    .iter()
+                    .map(|(n, e)| obj(session_fields(n, e, &self.run_queue)))
+                    .collect();
+                Ok(vec![
+                    ("sessions", Json::Arr(sessions)),
+                    ("running", Json::Num(self.running_count() as f64)),
+                    ("queued", Json::Num(self.run_queue.len() as f64)),
+                    (
+                        "capacity",
+                        obj(vec![
+                            ("max_sessions", Json::Num(self.cfg.max_sessions as f64)),
+                            ("max_running", Json::Num(self.cfg.max_running as f64)),
+                            ("queue_cap", Json::Num(self.cfg.queue_cap as f64)),
+                        ]),
+                    ),
+                ])
+            }
+        }
+    }
+
+    /// Reaps exited workers, applies the restart policy, and grants
+    /// freed run slots to the FIFO. Called periodically by the accept
+    /// loop; cheap when nothing changed.
+    pub fn poll(&mut self) {
+        let names: Vec<String> = self.sessions.keys().cloned().collect();
+        for name in names {
+            let finished = self
+                .sessions
+                .get(&name)
+                .and_then(|e| e.worker.as_ref())
+                .is_some_and(|w| w.handle.is_finished());
+            if !finished {
+                continue;
+            }
+            let Some(entry) = self.sessions.get_mut(&name) else {
+                continue;
+            };
+            let Some(w) = entry.worker.take() else {
+                continue;
+            };
+            match w.handle.join() {
+                Ok(()) => {
+                    // Clean exit: finished, stalled, or killed. A stall
+                    // gets the restart policy; the report stays visible.
+                    let state = lock(&entry.shared).state;
+                    if state == SessionState::Stalled {
+                        self.restart(&name, "watchdog stall");
+                    }
+                }
+                Err(payload) => {
+                    let what = panic_text(payload.as_ref());
+                    self.restart(&name, &format!("worker panic: {what}"));
+                }
+            }
+        }
+        self.pump();
+    }
+
+    /// Restart policy: restore from the newest valid snapshot, resume
+    /// if the session was executing, give up past the cap.
+    fn restart(&mut self, name: &str, why: &str) {
+        let Some(entry) = self.sessions.get_mut(name) else {
+            return;
+        };
+        let restarts = lock(&entry.shared).restarts;
+        if restarts >= self.cfg.restart_cap {
+            let mut sh = lock(&entry.shared);
+            sh.state = SessionState::Dead;
+            sh.note = Some(format!(
+                "{why}; restart cap ({}) exhausted — supervision gave up",
+                self.cfg.restart_cap
+            ));
+            return;
+        }
+        let build = entry.spec.build();
+        let (cfg, profile) = match build {
+            Ok(v) => v,
+            Err(e) => {
+                let mut sh = lock(&entry.shared);
+                sh.state = SessionState::Dead;
+                sh.note = Some(format!("{why}; rebuild failed: {e}"));
+                return;
+            }
+        };
+        // A session that dies before its first checkpoint restarts from
+        // scratch — determinism makes a fresh machine exactly
+        // equivalent to a cycle-0 snapshot.
+        let restored = match restore_latest(&cfg, &profile, &entry.dir) {
+            Ok((m, from)) => Ok((m, Some(from))),
+            Err(SnapshotError::NoValidCheckpoint { .. })
+                if list_checkpoints(&entry.dir).is_empty() =>
+            {
+                Ok((Machine::new(cfg, &profile), None))
+            }
+            Err(e) => Err(e),
+        };
+        match restored {
+            Ok((mut machine, from)) => {
+                let cycle = machine.restored_from().map_or(0, |(_, c)| c);
+                machine.set_trace_sink(Box::new(entry.fanout.clone()));
+                machine.enable_checkpoints(self.cfg.checkpoint_every, &entry.dir);
+                machine.set_checkpoint_retention(self.cfg.checkpoint_keep);
+                let resume = {
+                    let mut sh = lock(&entry.shared);
+                    sh.restarts = restarts + 1;
+                    sh.cycle = cycle;
+                    let origin = from.as_ref().map_or_else(
+                        || "scratch (no checkpoint yet)".to_string(),
+                        |p| p.display().to_string(),
+                    );
+                    sh.note = Some(format!(
+                        "{why}; restarted from {origin} (restart {} of {})",
+                        restarts + 1,
+                        self.cfg.restart_cap
+                    ));
+                    // A stall is surfaced, not silently re-run: the
+                    // session comes back held with the report attached.
+                    let resume = sh.stall.is_none();
+                    sh.state = if resume {
+                        SessionState::Running
+                    } else {
+                        SessionState::Paused
+                    };
+                    resume
+                };
+                let w = worker::spawn(
+                    machine,
+                    Arc::clone(&entry.shared),
+                    entry.dir.clone(),
+                    self.cfg.slice_events,
+                    entry.spec.inject_panic_at,
+                );
+                if resume {
+                    let _ = w.ctl.send(Ctl::Resume);
+                }
+                entry.worker = Some(w);
+            }
+            Err(e) => {
+                let mut sh = lock(&entry.shared);
+                sh.state = SessionState::Dead;
+                sh.note = Some(format!("{why}; restore failed: {e}"));
+            }
+        }
+    }
+
+    /// Grants freed run slots to the FIFO, oldest `start` first.
+    fn pump(&mut self) {
+        while self.running_count() < self.cfg.max_running {
+            let Some(name) = self.run_queue.pop_front() else {
+                return;
+            };
+            let Some(entry) = self.sessions.get(&name) else {
+                continue; // killed while queued
+            };
+            {
+                let mut sh = lock(&entry.shared);
+                if sh.state != SessionState::Queued {
+                    continue; // paused/killed while queued
+                }
+                sh.state = SessionState::Running;
+            }
+            if let Some(w) = &entry.worker {
+                let _ = w.ctl.send(Ctl::Resume);
+            }
+        }
+    }
+
+    /// Graceful drain: checkpoint every live session, stop every
+    /// worker. After this the daemon can exit and a restart resumes
+    /// each session from exactly this point.
+    pub fn drain(&mut self) {
+        let names: Vec<String> = self.sessions.keys().cloned().collect();
+        for name in names {
+            let Some(entry) = self.sessions.get_mut(&name) else {
+                continue;
+            };
+            let Some(w) = entry.worker.take() else {
+                continue;
+            };
+            let state = lock(&entry.shared).state;
+            if state.has_worker() {
+                let _ = w.ctl.send(Ctl::Pause);
+                let (tx, rx) = std::sync::mpsc::channel();
+                let _ = w.ctl.send(Ctl::Snapshot(tx));
+                match rx.recv_timeout(Duration::from_secs(30)) {
+                    Ok(Ok(_)) => {}
+                    Ok(Err(e)) => eprintln!("drain: snapshot of `{name}` failed: {e}"),
+                    Err(_) => eprintln!("drain: snapshot of `{name}` timed out"),
+                }
+            }
+            let _ = w.ctl.send(Ctl::Kill);
+            let _ = w.handle.join();
+            lock(&entry.shared).state = SessionState::Paused;
+        }
+        self.run_queue.clear();
+    }
+
+    /// Rediscovers sessions from the state root after a daemon restart:
+    /// every subdirectory with a valid manifest is re-admitted, restored
+    /// from its newest valid snapshot when one exists, held (`paused`)
+    /// otherwise fresh (`created`). Corrupt directories are reported and
+    /// skipped — one damaged session must not take the daemon down.
+    pub fn rediscover(&mut self) -> usize {
+        let Ok(rd) = std::fs::read_dir(&self.cfg.state_root) else {
+            return 0;
+        };
+        let mut dirs: Vec<PathBuf> = rd
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        let mut admitted = 0;
+        for dir in dirs {
+            let manifest_path = dir.join(MANIFEST_FILE);
+            let manifest = match SessionManifest::read(&manifest_path) {
+                Ok(m) => m,
+                Err(SnapshotError::Io { .. }) => continue, // not a session dir
+                Err(e) => {
+                    eprintln!("skipping {}: manifest invalid: {e}", dir.display());
+                    continue;
+                }
+            };
+            let name = manifest.session.clone();
+            if self.sessions.contains_key(&name) || self.sessions.len() >= self.cfg.max_sessions {
+                continue;
+            }
+            let spec = match SessionSpec::from_fields(&manifest.fields) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("skipping {name}: manifest spec invalid: {e}");
+                    continue;
+                }
+            };
+            let (cfg, profile) = match spec.build() {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("skipping {name}: spec no longer builds: {e}");
+                    continue;
+                }
+            };
+            let has_trail = !list_checkpoints(&dir).is_empty();
+            let (machine, state, cycle, note) = if has_trail {
+                match restore_latest(&cfg, &profile, &dir) {
+                    Ok((m, from)) => {
+                        let cycle = m.restored_from().map_or(0, |(_, c)| c);
+                        (
+                            m,
+                            SessionState::Paused,
+                            cycle,
+                            Some(format!("rediscovered; restored from {}", from.display())),
+                        )
+                    }
+                    Err(e) => {
+                        eprintln!("skipping {name}: no valid checkpoint: {e}");
+                        continue;
+                    }
+                }
+            } else {
+                (
+                    Machine::new(cfg, &profile),
+                    SessionState::Created,
+                    0,
+                    Some("rediscovered; no checkpoint trail, starting fresh".to_string()),
+                )
+            };
+            let mut machine = machine;
+            let fanout = FanoutSink::new();
+            self.outfit(&mut machine, &dir, &fanout);
+            let shared = Arc::new(Mutex::new(Shared {
+                state,
+                cycle,
+                note,
+                ..Shared::new()
+            }));
+            let w = worker::spawn(
+                machine,
+                Arc::clone(&shared),
+                dir.clone(),
+                self.cfg.slice_events,
+                spec.inject_panic_at,
+            );
+            self.sessions.insert(
+                name,
+                Entry {
+                    spec,
+                    dir,
+                    shared,
+                    fanout,
+                    worker: Some(w),
+                },
+            );
+            admitted += 1;
+        }
+        admitted
+    }
+
+    /// Session names currently admitted (status order).
+    pub fn session_names(&self) -> Vec<String> {
+        self.sessions.keys().cloned().collect()
+    }
+}
+
+fn send_ctl(entry: &Entry, msg: Ctl) -> Result<(), WireError> {
+    match &entry.worker {
+        Some(w) => w.ctl.send(msg).map_err(|_| {
+            WireError::new(
+                ErrorKind::Internal,
+                "worker exited mid-command; poll status for its fate",
+            )
+        }),
+        None => Err(WireError::new(
+            ErrorKind::InvalidState,
+            "session has no live worker",
+        )),
+    }
+}
+
+fn session_fields(name: &str, entry: &Entry, queue: &VecDeque<String>) -> Fields {
+    let sh = lock(&entry.shared);
+    let mut fields: Fields = vec![
+        ("session", Json::Str(name.to_string())),
+        ("state", Json::Str(sh.state.name().to_string())),
+        ("cycle", Json::Num(sh.cycle as f64)),
+        ("events", Json::Num(sh.events as f64)),
+        ("restarts", Json::Num(f64::from(sh.restarts))),
+        (
+            "subscribers",
+            Json::Num(entry.fanout.subscriber_count() as f64),
+        ),
+    ];
+    if let Some(pos) = queue.iter().position(|n| n == name) {
+        fields.push(("queue_position", Json::Num((pos + 1) as f64)));
+    }
+    if let Some(s) = &sh.stall {
+        fields.push(("stall", Json::Str(s.clone())));
+    }
+    if let Some(n) = &sh.note {
+        fields.push(("note", Json::Str(n.clone())));
+    }
+    if let Some(p) = &sh.last_snapshot {
+        fields.push(("last_snapshot", Json::Str(p.clone())));
+    }
+    fields
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Session names become directory names; keep them boring.
+fn validate_name(name: &str) -> Result<(), WireError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(WireError::new(
+            ErrorKind::BadFrame,
+            "session names are 1-64 chars of [A-Za-z0-9._-], not starting with `.`",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SessionSpec {
+        SessionSpec {
+            scale: 40,
+            ..SessionSpec::default()
+        }
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ring-supervisor-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn wait_for<F: Fn(&Supervisor) -> bool>(sup: &mut Supervisor, pred: F) {
+        for _ in 0..2000 {
+            sup.poll();
+            if pred(sup) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("condition not reached in 10s");
+    }
+
+    fn state(sup: &Supervisor, name: &str) -> SessionState {
+        lock(&sup.sessions.get(name).unwrap().shared).state
+    }
+
+    #[test]
+    fn session_cap_is_typed_busy() {
+        let root = temp_root("busy");
+        let mut cfg = ServerConfig::new(&root);
+        cfg.max_sessions = 1;
+        let mut sup = Supervisor::new(cfg);
+        sup.create("a", tiny_spec()).unwrap();
+        let err = sup.create("b", tiny_spec()).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Busy);
+        sup.kill("a").unwrap();
+        sup.create("b", tiny_spec()).unwrap();
+        sup.kill("b").unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn run_slots_queue_fifo_and_overflow_is_queue_full() {
+        let root = temp_root("queue");
+        let mut cfg = ServerConfig::new(&root);
+        cfg.max_running = 1;
+        cfg.queue_cap = 1;
+        let mut sup = Supervisor::new(cfg);
+        for n in ["a", "b", "c"] {
+            sup.create(n, tiny_spec()).unwrap();
+        }
+        sup.start("a").unwrap();
+        let fields = sup.start("b").unwrap();
+        assert!(fields
+            .iter()
+            .any(|(k, v)| *k == "state" && v.as_str() == Some("queued")));
+        let err = sup.start("c").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::QueueFull);
+        // `a` finishes; the slot goes to `b`.
+        wait_for(&mut sup, |s| state(s, "a") == SessionState::Finished);
+        wait_for(&mut sup, |s| {
+            matches!(
+                state(s, "b"),
+                SessionState::Running | SessionState::Finished
+            )
+        });
+        for n in ["a", "b", "c"] {
+            sup.kill(n).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn double_start_and_restore_into_running_are_invalid_state() {
+        let root = temp_root("invalid");
+        let mut sup = Supervisor::new(ServerConfig::new(&root));
+        sup.create("a", SessionSpec::default()).unwrap();
+        sup.start("a").unwrap();
+        assert_eq!(sup.start("a").unwrap_err().kind, ErrorKind::InvalidState);
+        assert_eq!(sup.restore("a").unwrap_err().kind, ErrorKind::InvalidState);
+        sup.kill("a").unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_panic_is_restarted_from_snapshot_and_finishes() {
+        // A scale-40 run lasts ~1800 simulated cycles, so checkpoint
+        // every 200 and panic around 800; the small slice makes the
+        // worker yield (and check the injection point) often.
+        let root = temp_root("panic");
+        let mut cfg = ServerConfig::new(&root);
+        cfg.checkpoint_every = 200;
+        cfg.slice_events = 256;
+        let mut sup = Supervisor::new(cfg);
+        let spec = SessionSpec {
+            inject_panic_at: Some(800),
+            ..tiny_spec()
+        };
+        sup.create("a", spec).unwrap();
+        sup.start("a").unwrap();
+        wait_for(&mut sup, |s| state(s, "a") == SessionState::Finished);
+        let sh = sup.sessions.get("a").unwrap();
+        let sh = lock(&sh.shared);
+        assert_eq!(sh.restarts, 1, "exactly one supervised restart");
+        assert!(sh.note.as_deref().is_some_and(|n| n.contains("panic")));
+        assert!(sh.report_text.is_some());
+        drop(sh);
+        sup.kill("a").unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unknown_session_is_typed() {
+        let root = temp_root("unknown");
+        let mut sup = Supervisor::new(ServerConfig::new(&root));
+        assert_eq!(
+            sup.start("ghost").unwrap_err().kind,
+            ErrorKind::UnknownSession
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bad_session_names_are_refused() {
+        let root = temp_root("names");
+        let mut sup = Supervisor::new(ServerConfig::new(&root));
+        for bad in ["", ".hidden", "a/b", "a b", &"x".repeat(65)] {
+            assert_eq!(
+                sup.create(bad, tiny_spec()).unwrap_err().kind,
+                ErrorKind::BadFrame,
+                "accepted {bad:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

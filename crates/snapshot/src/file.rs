@@ -42,6 +42,12 @@ impl SnapshotBuilder {
         }
     }
 
+    /// The header this builder will write (e.g. to derive a
+    /// cycle-stamped file name before encoding).
+    pub fn header(&self) -> &SnapshotHeader {
+        &self.header
+    }
+
     /// Adds a section; `f` serializes its payload.
     pub fn section(&mut self, name: &str, f: impl FnOnce(&mut SnapWriter)) {
         let mut w = SnapWriter::new();

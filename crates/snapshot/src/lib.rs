@@ -44,10 +44,12 @@
 mod codec;
 mod error;
 mod file;
+mod manifest;
 
 pub use codec::{Snap, SnapReader, SnapWriter};
 pub use error::SnapshotError;
 pub use file::{SnapshotBuilder, SnapshotFile, SnapshotHeader, MAGIC, SCHEMA_VERSION};
+pub use manifest::{SessionManifest, MANIFEST_MAGIC, MANIFEST_VERSION};
 
 /// CRC-32 (IEEE 802.3, reflected) of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {

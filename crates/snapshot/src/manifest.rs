@@ -1,0 +1,261 @@
+//! Session manifests: the small, CRC-verified sidecar file a service
+//! (`ringd`) leaves next to a session's checkpoint trail.
+//!
+//! A checkpoint (`.ringsnap`) captures machine *state* but deliberately
+//! not the run's *provenance* — which workload spec produced it, what
+//! the session was called, when it was admitted. The manifest records
+//! exactly that, as an order-stable string key/value map plus the two
+//! hashes restore uses to refuse mismatched state, so a daemon killed
+//! with `kill -9` can rediscover every session from its state directory
+//! alone and rebuild the machine the snapshot belongs to.
+//!
+//! The format mirrors the snapshot container's discipline in miniature:
+//! magic, schema version, CRC over the payload, atomic writes, and the
+//! same typed [`SnapshotError`] on every failure path.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+use crate::{crc32, SnapReader, SnapWriter, SnapshotError};
+
+/// File magic of a manifest.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"RINGMETA";
+
+/// Manifest schema version; bumped on breaking layout changes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Section name manifests report corruption against.
+const SECTION: &str = "manifest";
+
+/// Provenance of one simulation session.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionManifest {
+    /// Daemon-assigned session identifier (also its directory name).
+    pub session: String,
+    /// Hash of the machine configuration the session runs under (the
+    /// same `config_hash` bound into snapshot headers) — must match the
+    /// snapshots beside it.
+    pub config_hash: u64,
+    /// Workload fingerprint of the profile driving the cores.
+    pub workload_fingerprint: u64,
+    /// Caller-defined fields (workload spec, admission time, protocol
+    /// name …), kept in a `BTreeMap` so encoding order — and therefore
+    /// the file's bytes — never depend on insertion history.
+    pub fields: BTreeMap<String, String>,
+}
+
+impl SessionManifest {
+    /// Encodes the manifest: magic, version, CRC-protected payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put(&MANIFEST_VERSION);
+        w.put_str(&self.session);
+        w.put(&self.config_hash);
+        w.put(&self.workload_fingerprint);
+        w.put(&(self.fields.len() as u64));
+        for (k, v) in &self.fields {
+            w.put_str(k);
+            w.put_str(v);
+        }
+        let payload = w.into_bytes();
+        let mut out = Vec::with_capacity(MANIFEST_MAGIC.len() + 12 + payload.len());
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out
+    }
+
+    /// Decodes and CRC-verifies a manifest image.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadMagic`] for a non-manifest, `Truncated` /
+    /// `CorruptSection` (section `"manifest"`) for damage,
+    /// `BadVersion` for a future schema.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let truncated = || SnapshotError::Truncated {
+            section: SECTION.into(),
+        };
+        if bytes.len() < MANIFEST_MAGIC.len() + 8 {
+            return Err(truncated());
+        }
+        if bytes[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut len8 = [0u8; 8];
+        len8.copy_from_slice(&bytes[MANIFEST_MAGIC.len()..MANIFEST_MAGIC.len() + 8]);
+        let payload_len = u64::from_le_bytes(len8) as usize;
+        let start = MANIFEST_MAGIC.len() + 8;
+        let end = start.checked_add(payload_len).ok_or_else(truncated)?;
+        if bytes.len() < end + 4 {
+            return Err(truncated());
+        }
+        let payload = &bytes[start..end];
+        let mut crc4 = [0u8; 4];
+        crc4.copy_from_slice(&bytes[end..end + 4]);
+        if crc32(payload) != u32::from_le_bytes(crc4) {
+            return Err(SnapshotError::CorruptSection {
+                section: SECTION.into(),
+            });
+        }
+        let mut r = SnapReader::new(SECTION, payload);
+        let version: u32 = r.get()?;
+        if version != MANIFEST_VERSION {
+            return Err(SnapshotError::BadVersion {
+                found: version,
+                expected: MANIFEST_VERSION,
+            });
+        }
+        let session = r.get_str()?;
+        let config_hash: u64 = r.get()?;
+        let workload_fingerprint: u64 = r.get()?;
+        let n = r.get_len()?;
+        let mut fields = BTreeMap::new();
+        for _ in 0..n {
+            let k = r.get_str()?;
+            let v = r.get_str()?;
+            fields.insert(k, v);
+        }
+        r.finish()?;
+        Ok(SessionManifest {
+            session,
+            config_hash,
+            workload_fingerprint,
+            fields,
+        })
+    }
+
+    /// Reads and verifies a manifest from disk.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as [`SnapshotError::Io`], everything else as in
+    /// [`SessionManifest::decode`].
+    pub fn read(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes =
+            std::fs::read(path).map_err(|e| SnapshotError::io(path.display().to_string(), e))?;
+        Self::decode(&bytes)
+    }
+
+    /// Writes the manifest atomically (temp file + fsync + rename), the
+    /// same discipline as snapshot files: a crash mid-write leaves the
+    /// old manifest or the new one, never a torn mix.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures as [`SnapshotError::Io`].
+    pub fn write_atomic(&self, path: &Path) -> Result<(), SnapshotError> {
+        let bytes = self.encode();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)
+                .map_err(|e| SnapshotError::io(tmp.display().to_string(), e))?;
+            f.write_all(&bytes)
+                .map_err(|e| SnapshotError::io(tmp.display().to_string(), e))?;
+            f.sync_all()
+                .map_err(|e| SnapshotError::io(tmp.display().to_string(), e))?;
+        }
+        std::fs::rename(&tmp, path)
+            .map_err(|e| SnapshotError::io(path.display().to_string(), e))?;
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> SessionManifest {
+        let mut fields = BTreeMap::new();
+        fields.insert("app".to_string(), "fmm".to_string());
+        fields.insert("protocol".to_string(), "uncorq".to_string());
+        fields.insert("seed".to_string(), "2007".to_string());
+        SessionManifest {
+            session: "s-0001".to_string(),
+            config_hash: 0xDEAD_BEEF_0000_0001,
+            workload_fingerprint: 0x1234_5678_9ABC_DEF0,
+            fields,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = manifest();
+        let decoded = SessionManifest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn encoding_is_insertion_order_independent() {
+        let a = manifest();
+        let mut b = SessionManifest {
+            session: a.session.clone(),
+            config_hash: a.config_hash,
+            workload_fingerprint: a.workload_fingerprint,
+            fields: BTreeMap::new(),
+        };
+        // Insert in reverse order; bytes must be identical.
+        for (k, v) in a.fields.iter().rev() {
+            b.fields.insert(k.clone(), v.clone());
+        }
+        assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn corruption_is_typed() {
+        let bytes = manifest().encode();
+        assert!(matches!(
+            SessionManifest::decode(b"not a manifest at all"),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert!(matches!(
+            SessionManifest::decode(&bytes[..bytes.len() / 2]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        let mut flipped = bytes.clone();
+        let n = flipped.len();
+        flipped[n - 6] ^= 0x10; // inside the payload
+        assert!(matches!(
+            SessionManifest::decode(&flipped),
+            Err(SnapshotError::CorruptSection { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let m = manifest();
+        let mut bytes = m.encode();
+        // The version is the first u32 of the payload (offset 16); bump
+        // it and fix the CRC so only the version check can object.
+        bytes[16] = 9;
+        let payload_len = bytes.len() - MANIFEST_MAGIC.len() - 8 - 4;
+        let start = MANIFEST_MAGIC.len() + 8;
+        let crc = crc32(&bytes[start..start + payload_len]);
+        let end = start + payload_len;
+        bytes[end..end + 4].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            SessionManifest::decode(&bytes),
+            Err(SnapshotError::BadVersion { found: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = std::env::temp_dir().join("ring-manifest-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.ringmeta");
+        let m = manifest();
+        m.write_atomic(&path).unwrap();
+        assert_eq!(SessionManifest::read(&path).unwrap(), m);
+        assert!(!path.with_extension("tmp").exists(), "tmp must be renamed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -173,6 +173,28 @@ pub fn list_checkpoints(dir: &Path) -> Vec<PathBuf> {
     found.into_iter().map(|(_, p)| p).collect()
 }
 
+/// Prunes the checkpoint trail in `dir` down to its newest `keep`
+/// snapshots, removing the oldest first. Only files matching the
+/// `ckpt-<cycle>.ringsnap` shape are candidates — stray files are never
+/// touched — and the newest checkpoint is never removed (`keep == 0` is
+/// treated as `keep == 1` rather than deleting the only restore
+/// candidate). Returns the paths removed; removal failures are reported
+/// on stderr and skipped (a busy file must not kill the run the trail
+/// protects).
+pub fn prune_checkpoints(dir: &Path, keep: usize) -> Vec<PathBuf> {
+    let keep = keep.max(1);
+    let mut removed = Vec::new();
+    // `list_checkpoints` orders newest first, so everything past the
+    // first `keep` entries is prunable, oldest last in the list.
+    for path in list_checkpoints(dir).into_iter().skip(keep) {
+        match std::fs::remove_file(&path) {
+            Ok(()) => removed.push(path),
+            Err(e) => eprintln!("checkpoint prune of {} failed: {e}", path.display()),
+        }
+    }
+    removed
+}
+
 /// Restores from the newest valid checkpoint in `dir`, automatically
 /// falling back to older ones when a candidate fails verification
 /// (truncation, bit flips, config mismatch — each rejection is reported
@@ -347,6 +369,64 @@ mod tests {
                 "ckpt-000000000005.ringsnap"
             ]
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_keeps_newest_and_ignores_strays() {
+        let dir = std::env::temp_dir().join("ring-ckpt-prune-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for c in [5u64, 50, 500, 5000] {
+            std::fs::write(dir.join(format!("ckpt-{c:012}.ringsnap")), b"x").unwrap();
+        }
+        std::fs::write(dir.join("notes.ringsnap"), b"stray").unwrap();
+        let removed = prune_checkpoints(&dir, 2);
+        let names: Vec<String> = list_checkpoints(&dir)
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["ckpt-000000005000.ringsnap", "ckpt-000000000500.ringsnap"]
+        );
+        assert_eq!(removed.len(), 2);
+        assert!(dir.join("notes.ringsnap").exists(), "strays must survive");
+        // keep == 0 must not delete the only restore candidate.
+        let removed = prune_checkpoints(&dir, 0);
+        assert_eq!(removed.len(), 1);
+        assert!(dir.join("ckpt-000000005000.ringsnap").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The retention bound applied during a real checkpointed run never
+    /// removes the newest snapshot, and that snapshot stays a valid
+    /// restore candidate.
+    #[test]
+    fn retention_during_run_preserves_newest_valid_snapshot() {
+        let dir = std::env::temp_dir().join("ring-ckpt-retention-run-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = MachineConfig::small_test(ProtocolKind::Uncorq);
+        let app = profile();
+        let mut m = Machine::new(cfg.clone(), &app);
+        m.enable_checkpoints(500, &dir);
+        m.set_checkpoint_retention(2);
+        let report = m.run();
+        assert!(report.finished);
+        let cks = list_checkpoints(&dir);
+        assert!(
+            !cks.is_empty() && cks.len() <= 2,
+            "retention bound violated: {} checkpoints",
+            cks.len()
+        );
+        // The newest survivor restores and resumes to the same report.
+        let (mut resumed, used) = restore_latest(&cfg, &app, &dir).expect("newest must be valid");
+        assert_eq!(&used, &cks[0], "restore must pick the newest");
+        let r2 = resumed.run();
+        assert!(r2.finished);
+        assert_eq!(r2.exec_cycles, report.exec_cycles);
+        assert_eq!(r2.stats.ops_retired, report.stats.ops_retired);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

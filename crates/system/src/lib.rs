@@ -37,10 +37,12 @@ mod par;
 mod stall;
 mod stats;
 
-pub use checkpoint::{config_hash, list_checkpoints, restore_latest, workload_fingerprint};
+pub use checkpoint::{
+    config_hash, list_checkpoints, prune_checkpoints, restore_latest, workload_fingerprint,
+};
 pub use config::{MachineConfig, MachineConfigError, DEFAULT_WORKLOAD};
 pub use ht_machine::HtMachine;
-pub use machine::{run_paper, Machine};
+pub use machine::{run_paper, Machine, RunProgress};
 pub use ring_sim::pdes::Partition;
 pub use stall::{NodeStallState, RestoredFrom, StallCause, StallReport};
 pub use stats::{MachineStats, Report};

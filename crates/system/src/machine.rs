@@ -153,6 +153,9 @@ pub struct Machine {
     pub(crate) ckpt_every: Cycle,
     /// Directory checkpoint files are written into.
     pub(crate) ckpt_dir: std::path::PathBuf,
+    /// Checkpoint retention bound: keep only the newest `ckpt_keep`
+    /// snapshots in `ckpt_dir` (0 = unbounded, the historical default).
+    pub(crate) ckpt_keep: usize,
     /// Next cycle boundary at which to write a checkpoint
     /// (`Cycle::MAX` when checkpointing is off — the event loop then
     /// pays exactly one integer compare per event).
@@ -169,6 +172,22 @@ pub struct Machine {
     /// execution-strategy knob: digests are identical for every
     /// partition, so it is not part of any snapshot.
     pub(crate) partition: Option<ring_sim::pdes::Partition>,
+}
+
+/// Outcome of one bounded slice of the event loop
+/// ([`Machine::try_run_slice`]).
+#[derive(Debug)]
+pub enum RunProgress {
+    /// The run completed (or hit the cycle cap): the final [`Report`].
+    Done(Box<Report>),
+    /// The event budget was exhausted with runnable events still
+    /// queued; call [`Machine::try_run_slice`] again to continue.
+    Yielded {
+        /// Events processed in this slice.
+        events: u64,
+        /// Simulated cycle the machine paused at.
+        cycle: Cycle,
+    },
 }
 
 /// Serializes one machine event. The tags are part of the snapshot
@@ -350,6 +369,7 @@ impl Machine {
             next_window: Cycle::MAX,
             ckpt_every: 0,
             ckpt_dir: std::path::PathBuf::new(),
+            ckpt_keep: 0,
             next_ckpt: Cycle::MAX,
             restored_from: None,
             workload_fp: 0,
@@ -428,6 +448,44 @@ impl Machine {
         };
     }
 
+    /// Bounds checkpoint retention: after every successful checkpoint
+    /// write, only the newest `keep` snapshots are left in the
+    /// checkpoint directory (oldest pruned first). `0` restores the
+    /// unbounded historical behavior. The newest snapshot — the one
+    /// just written — is never pruned.
+    pub fn set_checkpoint_retention(&mut self, keep: usize) {
+        self.ckpt_keep = keep;
+    }
+
+    /// Writes a snapshot of the current machine state into the
+    /// checkpoint directory right now (named `ckpt-<cycle>.ringsnap`
+    /// like the periodic ones, at the resume-point cycle), returning
+    /// the path written. Used by the daemon's on-demand `snapshot`
+    /// command and its graceful drain; requires a checkpoint directory
+    /// (set via [`Machine::enable_checkpoints`] — a cadence of 0 with a
+    /// directory is valid for on-demand-only use).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the snapshot write failure.
+    pub fn checkpoint_now(
+        &mut self,
+        dir: &std::path::Path,
+    ) -> Result<std::path::PathBuf, ring_snapshot::SnapshotError> {
+        let b = self.snapshot();
+        let path = dir.join(format!("ckpt-{:012}.ringsnap", b.header().cycle));
+        b.write_atomic(&path)?;
+        self.prune_checkpoints(dir);
+        Ok(path)
+    }
+
+    /// Applies the retention bound to `dir` (no-op when unbounded).
+    fn prune_checkpoints(&self, dir: &std::path::Path) {
+        if self.ckpt_keep > 0 {
+            checkpoint::prune_checkpoints(dir, self.ckpt_keep);
+        }
+    }
+
     /// Provenance of the checkpoint this machine was restored from:
     /// `(path, cycle)`, or `None` for a machine built from scratch.
     pub fn restored_from(&self) -> Option<(&str, Cycle)> {
@@ -450,8 +508,11 @@ impl Machine {
             return;
         }
         let path = self.ckpt_dir.join(format!("ckpt-{pt:012}.ringsnap"));
-        if let Err(e) = self.snapshot_at(pt).write_atomic(&path) {
-            eprintln!("checkpoint at cycle {pt} failed: {e}");
+        match self.snapshot_at(pt).write_atomic(&path) {
+            // Prune only after a *successful* atomic write: a failed
+            // write must never shrink the set of restore candidates.
+            Ok(()) => self.prune_checkpoints(&self.ckpt_dir),
+            Err(e) => eprintln!("checkpoint at cycle {pt} failed: {e}"),
         }
         self.next_ckpt = (pt / every + 1) * every;
     }
@@ -827,26 +888,63 @@ impl Machine {
     /// Hitting the `max_cycles` cap is not a stall: like before, the run
     /// stops and reports with `finished = false`.
     pub fn try_run(&mut self) -> Result<Report, Box<StallReport>> {
+        match self.try_run_slice(u64::MAX)? {
+            RunProgress::Done(r) => Ok(*r),
+            RunProgress::Yielded { .. } => {
+                // A u64::MAX event budget cannot be exhausted before the
+                // queue drains or the cap is reached.
+                unreachable!("unbounded slice yielded")
+            }
+        }
+    }
+
+    /// Runs at most `max_events` events, then yields — the pausable/
+    /// steppable hook the `ringd` daemon's session workers are built
+    /// on. Event processing is *identical* to [`Machine::try_run`]
+    /// (same checkpoint probes, flight windows, watchdog checks, and
+    /// dispatch); slicing changes only where control returns to the
+    /// caller, so a run driven in slices of any size produces
+    /// byte-identical reports, traces, and checkpoints to one
+    /// uninterrupted [`Machine::try_run`].
+    ///
+    /// Returns [`RunProgress::Yielded`] when the budget was exhausted
+    /// with runnable events still queued (the trace sink is flushed at
+    /// each yield so live subscribers observe progress), or
+    /// [`RunProgress::Done`] once the run completes or reaches the
+    /// cycle cap.
+    ///
+    /// # Errors
+    ///
+    /// Terminates with a [`StallReport`] exactly like
+    /// [`Machine::try_run`]: watchdog expiry or a drained queue with
+    /// unfinished cores.
+    pub fn try_run_slice(&mut self, max_events: u64) -> Result<RunProgress, Box<StallReport>> {
         let cap = if self.cfg.max_cycles == 0 {
             Cycle::MAX
         } else {
             self.cfg.max_cycles
         };
+        let mut budget = max_events;
         // `pop_before` leaves the first event past the cap *in* the
         // queue (the old pop-then-check discarded it, losing an event
         // and advancing the clock past the cap). The checkpoint probe
         // runs *before* the pop so a snapshot always lands on an event
         // boundary with the queue fully intact.
         while let Some((t, ev)) = {
-            if self
-                .queue
-                .peek_time()
-                .is_some_and(|pt| pt >= self.next_ckpt)
-            {
-                self.maybe_checkpoint(cap);
+            if budget == 0 {
+                None
+            } else {
+                if self
+                    .queue
+                    .peek_time()
+                    .is_some_and(|pt| pt >= self.next_ckpt)
+                {
+                    self.maybe_checkpoint(cap);
+                }
+                self.queue.pop_before(cap)
             }
-            self.queue.pop_before(cap)
         } {
+            budget -= 1;
             if t >= self.next_window {
                 self.flight_sample(t);
             }
@@ -862,6 +960,19 @@ impl Machine {
             let mut fx = std::mem::take(&mut self.fx_buf);
             self.ctx().dispatch(t, ev, &mut fx);
             self.fx_buf = fx;
+        }
+        if budget == 0 && self.queue.peek_time().is_some_and(|pt| pt < cap) {
+            // Budget exhausted with runnable work left: yield without
+            // running the end-of-run epilogue. Flushing the sink is
+            // observable on the trace *file/stream* only, never in
+            // simulated state.
+            if let Some(s) = self.sink.as_mut() {
+                let _ = s.flush();
+            }
+            return Ok(RunProgress::Yielded {
+                events: max_events,
+                cycle: self.queue.now(),
+            });
         }
         let capped = !self.queue.is_empty();
         if self.flight.is_some() {
@@ -880,7 +991,7 @@ impl Machine {
             let now = self.queue.now();
             return Err(Box::new(self.stall_report(StallCause::QueueDrained, now)));
         }
-        Ok(report)
+        Ok(RunProgress::Done(Box::new(report)))
     }
 
     /// Probes machine state and folds it into the flight recorder,

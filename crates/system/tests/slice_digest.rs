@@ -1,0 +1,161 @@
+//! Determinism proof for the pausable/steppable run loop.
+//!
+//! The contract under test: driving a machine through
+//! [`Machine::try_run_slice`] in slices of *any* size — including one
+//! event at a time — produces a run byte-identical to one uninterrupted
+//! [`Machine::try_run`]: same full stats listing, same complete
+//! trace-event stream, same queue high-water mark, and the same
+//! checkpoint trail. This is what lets the `ringd` daemon pause, step,
+//! and snapshot live sessions without perturbing them.
+
+use std::sync::{Arc, Mutex};
+
+use ring_coherence::ProtocolVariant;
+use ring_noc::{FaultPlan, FaultProfile};
+use ring_system::{Machine, MachineConfig, RunProgress};
+use ring_trace::{TraceEvent, TraceSink};
+use ring_workloads::AppProfile;
+
+/// FNV-1a over every trace event's canonical JSONL rendering.
+#[derive(Debug, Clone, Default)]
+struct DigestSink {
+    state: Arc<Mutex<(u64, u64)>>,
+}
+
+impl DigestSink {
+    fn new() -> Self {
+        DigestSink {
+            state: Arc::new(Mutex::new((0xcbf2_9ce4_8422_2325, 0))),
+        }
+    }
+
+    fn digest(&self) -> (u64, u64) {
+        *self.state.lock().unwrap()
+    }
+}
+
+impl TraceSink for DigestSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let mut st = self.state.lock().unwrap();
+        for &b in ev.to_jsonl().as_bytes() {
+            st.0 ^= b as u64;
+            st.0 = st.0.wrapping_mul(0x100_0000_01b3);
+        }
+        st.1 += 1;
+    }
+}
+
+fn cfg(variant: ProtocolVariant, chaos: bool) -> MachineConfig {
+    let mut cfg = MachineConfig::with_protocol(variant.config());
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.max_cycles = 50_000_000;
+    cfg.watchdog_cycles = 2_000_000;
+    cfg.seed = 2007;
+    if chaos {
+        cfg.faults = Some(FaultPlan::new(FaultProfile::chaos(), 42));
+    }
+    cfg
+}
+
+fn profile() -> AppProfile {
+    AppProfile::by_name("fmm").expect("fmm profile").scaled(120)
+}
+
+fn uninterrupted(cfg: MachineConfig) -> (Vec<u8>, (u64, u64), usize) {
+    let mut m = Machine::new(cfg, &profile());
+    let sink = DigestSink::new();
+    m.set_trace_sink(Box::new(sink.clone()));
+    let r = m.try_run().expect("reference run must not stall");
+    assert!(r.finished);
+    let mut stats = Vec::new();
+    r.write_stats(&mut stats).expect("Vec write cannot fail");
+    (stats, sink.digest(), m.queue_peak())
+}
+
+fn sliced(cfg: MachineConfig, slice: u64) -> (Vec<u8>, (u64, u64), usize, u64) {
+    let mut m = Machine::new(cfg, &profile());
+    let sink = DigestSink::new();
+    m.set_trace_sink(Box::new(sink.clone()));
+    let mut slices = 0u64;
+    let r = loop {
+        match m.try_run_slice(slice).expect("sliced run must not stall") {
+            RunProgress::Done(r) => break r,
+            RunProgress::Yielded { events, cycle: _ } => {
+                assert_eq!(events, slice, "a yield means the budget was exhausted");
+                slices += 1;
+            }
+        }
+    };
+    assert!(r.finished);
+    let mut stats = Vec::new();
+    r.write_stats(&mut stats).expect("Vec write cannot fail");
+    (stats, sink.digest(), m.queue_peak(), slices)
+}
+
+/// Slices of several sizes (including single-event stepping) against
+/// the uninterrupted run, on a ring variant and the HT-free chaos case.
+#[test]
+fn sliced_runs_are_byte_identical() {
+    for (variant, chaos) in [
+        (ProtocolVariant::Uncorq, false),
+        (ProtocolVariant::UncorqPref, true),
+    ] {
+        let reference = uninterrupted(cfg(variant, chaos));
+        for slice in [1u64, 97, 5000] {
+            let (stats, trace, peak, slices) = sliced(cfg(variant, chaos), slice);
+            assert!(slices > 0, "slice {slice} never yielded (test is vacuous)");
+            assert_eq!(
+                (stats, trace, peak),
+                reference.clone(),
+                "{variant} chaos={chaos}: slice size {slice} diverged"
+            );
+        }
+    }
+}
+
+/// Checkpoints written mid-run are identical whether the loop is sliced
+/// or not: same file set, same bytes.
+#[test]
+fn sliced_checkpoint_trail_matches_uninterrupted() {
+    let base = std::env::temp_dir().join("ring-slice-ckpt-test");
+    let _ = std::fs::remove_dir_all(&base);
+    let dir_a = base.join("uninterrupted");
+    let dir_b = base.join("sliced");
+    std::fs::create_dir_all(&dir_a).expect("temp dir");
+    std::fs::create_dir_all(&dir_b).expect("temp dir");
+
+    let mut a = Machine::new(cfg(ProtocolVariant::Uncorq, false), &profile());
+    a.enable_checkpoints(2000, &dir_a);
+    assert!(a.try_run().expect("run").finished);
+
+    let mut b = Machine::new(cfg(ProtocolVariant::Uncorq, false), &profile());
+    b.enable_checkpoints(2000, &dir_b);
+    loop {
+        match b.try_run_slice(313).expect("run") {
+            RunProgress::Done(r) => {
+                assert!(r.finished);
+                break;
+            }
+            RunProgress::Yielded { .. } => {}
+        }
+    }
+
+    let names = |d: &std::path::Path| {
+        let mut v: Vec<String> = std::fs::read_dir(d)
+            .expect("read dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        v.sort();
+        v
+    };
+    let (na, nb) = (names(&dir_a), names(&dir_b));
+    assert!(!na.is_empty(), "reference run wrote no checkpoints");
+    assert_eq!(na, nb, "checkpoint file sets diverged");
+    for n in &na {
+        let ba = std::fs::read(dir_a.join(n)).expect("read");
+        let bb = std::fs::read(dir_b.join(n)).expect("read");
+        assert_eq!(ba, bb, "checkpoint {n} bytes diverged");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -44,6 +44,7 @@
 mod check;
 mod event;
 mod export;
+mod fanout;
 mod flight;
 mod metrics;
 mod sink;
@@ -51,6 +52,7 @@ mod sink;
 pub use check::{check_events, InvariantChecker};
 pub use event::{ErrorClass, EventKind, FaultClass, OpClass, ParseError, Payload, TraceEvent};
 pub use export::perfetto_json;
+pub use fanout::{Delivery, FanoutSink, Subscription};
 pub use flight::{FlightConfig, FlightProbe, FlightRecorder, WindowSnapshot};
 pub use metrics::{
     ClassLatency, LatencyAnatomy, LinkMetrics, MetricsRegistry, NodeMetrics, TXN_CLASSES,

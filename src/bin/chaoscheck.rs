@@ -28,6 +28,8 @@
 //!
 //! Exits 0 when every run passes, 1 otherwise.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::process::ExitCode;
 
 use uncorq::coherence::{ProtocolConfig, ProtocolVariant};
@@ -190,9 +192,9 @@ fn run_combo(
         return Err("reliable transport still holds unacked frames after completion".into());
     }
     if profile.needs_reliability() {
-        let rs = m
-            .reliability_stats()
-            .expect("sublayer enabled for lossy profiles");
+        let Some(rs) = m.reliability_stats() else {
+            return Err("lossy profile requires the reliable sublayer, but it is absent".into());
+        };
         if rs.wire_drops == 0 {
             return Err("lossy profile active but no frame was ever destroyed".into());
         }
@@ -211,7 +213,9 @@ fn run_combo(
 /// FNV-1a digest of a machine report's serialized statistics listing.
 fn report_digest(report: &uncorq::system::Report) -> u64 {
     let mut bytes = Vec::new();
-    report.write_stats(&mut bytes).expect("Vec write");
+    if report.write_stats(&mut bytes).is_err() {
+        unreachable!("writes into a Vec are infallible");
+    }
     fnv1a(&bytes)
 }
 
@@ -298,7 +302,9 @@ fn crash_recovery_check(
             cks[1].display()
         ));
     }
-    let (_, ckpt_cycle) = m.restored_from().expect("restored machine has provenance");
+    let Some((_, ckpt_cycle)) = m.restored_from() else {
+        return Err("restored machine reports no checkpoint provenance".into());
+    };
 
     // Resume and compare against the uninterrupted run: identical final
     // report, and the resumed trace is exactly the reference trace's
@@ -426,7 +432,11 @@ fn main() -> ExitCode {
     // frame loss with the reliable sublayer doing the recovery.
     let uncorq_cfg = ProtocolVariant::Uncorq.config();
     for profile_name in ["chaos", "drop20"] {
-        let profile = FaultProfile::by_name(profile_name).expect("built-in fault profile");
+        let Some(profile) = FaultProfile::by_name(profile_name) else {
+            failures += 1;
+            println!("FAIL uncorq       crash-recovery drill ({profile_name}): unknown profile");
+            continue;
+        };
         runs += 1;
         match crash_recovery_check(&args, uncorq_cfg, profile_name, profile) {
             Ok(()) => println!("ok   uncorq       crash-recovery drill ({profile_name})"),

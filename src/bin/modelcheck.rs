@@ -27,6 +27,8 @@
 //!
 //! Exits 0 when every layer passes, 1 otherwise.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::process::ExitCode;
 
 use uncorq::coherence::ProtocolVariant;

@@ -16,8 +16,8 @@
 //!    node count, and closed-form capacity bounds against the shipped
 //!    LTT/MSHR/reliable-window sizes.
 //!
-//! `--mutate` runs the lint-soundness harness: twelve seeded violations
-//! (eight source, four table/graph/bounds) must all be caught.
+//! `--mutate` runs the lint-soundness harness: thirteen seeded violations
+//! (nine source, four table/graph/bounds) must all be caught.
 //!
 //! ```text
 //! ringlint [--root DIR] [--allowlist FILE] [--json FILE|-]
@@ -26,6 +26,8 @@
 //!
 //! Exits 0 when the gate passes, 1 on findings or surviving seeds, 2 on
 //! usage errors.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::path::PathBuf;
 use std::process::ExitCode;

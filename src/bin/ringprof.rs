@@ -18,6 +18,8 @@
 //!          [--flight-out FILE]
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -302,7 +304,10 @@ fn main() -> ExitCode {
         report.exec_cycles,
         report.finished
     );
-    let recorder = m.flight().expect("recorder installed above");
+    let Some(recorder) = m.flight() else {
+        eprintln!("flight recorder missing after the run (installed above)");
+        return ExitCode::FAILURE;
+    };
     let windows: Vec<WindowSnapshot> = recorder.snapshots().cloned().collect();
     println!(
         "windows: {} recorded at {}-cycle intervals ({} evicted from ring)",

@@ -12,6 +12,8 @@
 //! Exits 0 when the trace is well-formed and all invariants hold, 1
 //! otherwise (listing the violations found).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
 

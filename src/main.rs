@@ -6,10 +6,12 @@
 //!        [--workers N] [--check-invariants] [--histogram]
 //!        [--trace-out FILE] [--metrics-out FILE] [--profile]
 //!        [--profile-out BASE] [--chaos SEED] [--chaos-profile NAME]
-//!        [--watchdog N] [--checkpoint-every N] [--checkpoint-dir D]
+//!        [--watchdog N] [--checkpoint-every N] [--checkpoint-dir D] [--checkpoint-keep K]
 //!        [--restore PATH]
 //! uncorq --list
 //! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -45,6 +47,7 @@ struct Args {
     watchdog: Option<u64>,
     checkpoint_every: u64,
     checkpoint_dir: String,
+    checkpoint_keep: usize,
     restore: Option<String>,
     list: bool,
 }
@@ -75,6 +78,7 @@ impl Default for Args {
             watchdog: None,
             checkpoint_every: 0,
             checkpoint_dir: "checkpoints".into(),
+            checkpoint_keep: 0,
             restore: None,
             list: false,
         }
@@ -90,13 +94,17 @@ const USAGE: &str =
               [--chaos SEED] [--chaos-profile none|jitter|reorder|duplicate|congestion|chaos|
                               drop1|drop5|drop20|outage|lossy_chaos]
               [--reliable] [--watchdog CYCLES]
-              [--checkpoint-every N] [--checkpoint-dir D] [--restore PATH]
+              [--checkpoint-every N] [--checkpoint-dir D] [--checkpoint-keep K]
+              [--restore PATH]
 
 --checkpoint-every N writes an integrity-verified machine snapshot into
 --checkpoint-dir (default ./checkpoints) at every N simulated cycles,
-atomically; 0 disables. --restore PATH resumes byte-identically from a
-snapshot file, or from the newest valid checkpoint when PATH is a
-directory (corrupted candidates are skipped with a typed error).
+atomically; 0 disables. --checkpoint-keep K bounds the directory to the
+newest K snapshots (oldest pruned after each write; the snapshot just
+written is never pruned; 0 = keep all). --restore PATH resumes
+byte-identically from a snapshot file, or from the newest valid
+checkpoint when PATH is a directory (corrupted candidates are skipped
+with a typed error).
 
 --workers N runs the conservative-PDES parallel engine with N total
 threads (1 = serial engine, the default). Every observable byte —
@@ -162,6 +170,11 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                     .map_err(|e| format!("--checkpoint-every: {e}"))?
             }
             "--checkpoint-dir" => a.checkpoint_dir = value("--checkpoint-dir")?,
+            "--checkpoint-keep" => {
+                a.checkpoint_keep = value("--checkpoint-keep")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-keep: {e}"))?
+            }
             "--restore" => a.restore = Some(value("--restore")?),
             "--watchdog" => {
                 a.watchdog = Some(
@@ -398,8 +411,9 @@ fn main() -> ExitCode {
                     };
                     match restored {
                         Ok(m) => {
-                            let (from, cycle) = m.restored_from().expect("restore sets provenance");
-                            println!("restored from {from} (cycle {cycle})");
+                            if let Some((from, cycle)) = m.restored_from() {
+                                println!("restored from {from} (cycle {cycle})");
+                            }
                             m
                         }
                         Err(e) => {
@@ -415,6 +429,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 m.enable_checkpoints(args.checkpoint_every, &args.checkpoint_dir);
+                m.set_checkpoint_retention(args.checkpoint_keep);
             }
             // With --profile-out the Perfetto export needs the full
             // event stream in memory, so a shared buffer replaces the
@@ -505,9 +520,10 @@ fn main() -> ExitCode {
             eprintln!("--metrics-out {path}: {e}");
             std::process::exit(1);
         });
-        report
-            .write_json(std::io::BufWriter::new(file))
-            .expect("write metrics json");
+        if let Err(e) = report.write_json(std::io::BufWriter::new(file)) {
+            eprintln!("--metrics-out {path}: {e}");
+            return ExitCode::FAILURE;
+        }
         println!("metrics written to {path}");
     }
     if let Some(path) = &args.stats_out {
@@ -515,9 +531,10 @@ fn main() -> ExitCode {
             eprintln!("--stats-out {path}: {e}");
             std::process::exit(1);
         });
-        report
-            .write_stats(std::io::BufWriter::new(file))
-            .expect("write stats");
+        if let Err(e) = report.write_stats(std::io::BufWriter::new(file)) {
+            eprintln!("--stats-out {path}: {e}");
+            return ExitCode::FAILURE;
+        }
         println!("\nstats written to {path}");
     }
     if let Some(path) = &args.trace_out {

@@ -168,3 +168,80 @@ fn bit_flips_at_container_boundaries_are_detected() {
         }
     }
 }
+
+/// Retention bound (`--checkpoint-keep` / `set_checkpoint_retention`):
+/// the directory holds at most K snapshots, the one pruning keeps is
+/// always the **newest** (the only valid resume point after a crash at
+/// the end of the run), and resuming from the pruned directory is still
+/// byte-identical to the uninterrupted run.
+#[test]
+fn retention_prunes_oldest_but_never_the_newest() {
+    use uncorq::system::{list_checkpoints, restore_latest};
+
+    let dir = std::env::temp_dir().join(format!("uncorq-keep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    let cfg = cfg_for(ProtocolVariant::Uncorq, "clean", 2007);
+    let profile = app();
+    let want = Machine::new(cfg.clone(), &profile)
+        .try_run()
+        .expect("reference run");
+
+    const KEEP: usize = 3;
+    let cadence = want.exec_cycles / 8; // ~8 checkpoints: pruning must engage
+    let mut m = Machine::new(cfg.clone(), &profile);
+    m.enable_checkpoints(cadence, &dir);
+    m.set_checkpoint_retention(KEEP);
+    let got = m.try_run().expect("checkpointed run");
+    assert_eq!(
+        report_bytes(&want),
+        report_bytes(&got),
+        "checkpointing perturbed the run"
+    );
+
+    let mut kept: Vec<String> = list_checkpoints(&dir)
+        .iter()
+        .filter_map(|p| p.file_name().and_then(|n| n.to_str()).map(str::to_string))
+        .collect();
+    kept.sort();
+    assert!(
+        kept.len() <= KEEP && !kept.is_empty(),
+        "retention bound violated: {} snapshots with keep={KEEP}",
+        kept.len()
+    );
+
+    // Determinism makes the unbounded run write the *same* snapshot
+    // filenames, so the kept set must be exactly the newest KEEP of
+    // them — pruning removed the oldest and never the newest.
+    let unbounded = dir.join("unbounded");
+    std::fs::create_dir_all(&unbounded).expect("mkdir unbounded");
+    let mut m = Machine::new(cfg.clone(), &profile);
+    m.enable_checkpoints(cadence, &unbounded);
+    let _ = m.try_run().expect("unbounded checkpointed run");
+    let mut all: Vec<String> = list_checkpoints(&unbounded)
+        .iter()
+        .filter_map(|p| p.file_name().and_then(|n| n.to_str()).map(str::to_string))
+        .collect();
+    all.sort();
+    assert!(
+        all.len() > KEEP,
+        "cadence too coarse to exercise pruning ({} snapshots)",
+        all.len()
+    );
+    assert_eq!(
+        kept,
+        all[all.len() - kept.len()..],
+        "pruning must keep exactly the newest snapshots"
+    );
+
+    // The pruned directory is still a valid crash-recovery source.
+    let (mut resumed, _) = restore_latest(&cfg, &profile, &dir).expect("restore from pruned dir");
+    let rep = resumed.try_run().expect("resume");
+    assert_eq!(
+        report_bytes(&want),
+        report_bytes(&rep),
+        "resume from pruned dir diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
